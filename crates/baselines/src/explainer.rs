@@ -1,0 +1,134 @@
+//! The common interface all explainers (MOCHE and the six baselines)
+//! implement, so the experiment harness can treat them uniformly.
+
+use moche_core::{KsConfig, Moche, PreferenceList};
+
+/// One explanation request: a failed KS test plus optional context.
+#[derive(Debug, Clone, Copy)]
+pub struct ExplainRequest<'a> {
+    /// The reference set `R`.
+    pub reference: &'a [f64],
+    /// The test set `T`. For time-series methods the slice order is the
+    /// time order of the test window.
+    pub test: &'a [f64],
+    /// KS configuration (significance level).
+    pub cfg: &'a KsConfig,
+    /// The user preference list, for methods that accept one (MOCHE, GRD,
+    /// CS, GRC). Methods that cannot take preferences ignore it.
+    pub preference: Option<&'a PreferenceList>,
+    /// Seed for randomized methods (CS, GRC).
+    pub seed: u64,
+}
+
+/// A method that proposes counterfactual explanations on failed KS tests.
+pub trait KsExplainer {
+    /// Short method name as used in the paper's figures (`M`, `GRD`, `CS`,
+    /// `GRC`, `D3`, `STMP`, `S2G`).
+    fn name(&self) -> &'static str;
+
+    /// Attempts to explain the failed test. Returns the selected original
+    /// test indices, or `None` when the method aborts without reversing the
+    /// test (counts against its reverse factor).
+    fn explain(&self, req: &ExplainRequest<'_>) -> Option<Vec<usize>>;
+
+    /// Whether the method consumes the user preference list.
+    fn uses_preference(&self) -> bool {
+        false
+    }
+
+    /// Whether the method only applies to time-series data (the paper's
+    /// STMP and S2G "can only work on time series").
+    fn time_series_only(&self) -> bool {
+        false
+    }
+}
+
+/// MOCHE wrapped as a [`KsExplainer`], so the harness can benchmark it next
+/// to the baselines.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MocheExplainer {
+    /// Use the `MOCHE_ns` ablation (no Phase-1 lower bound).
+    pub no_lower_bound: bool,
+}
+
+impl KsExplainer for MocheExplainer {
+    fn name(&self) -> &'static str {
+        if self.no_lower_bound {
+            "Mns"
+        } else {
+            "M"
+        }
+    }
+
+    fn explain(&self, req: &ExplainRequest<'_>) -> Option<Vec<usize>> {
+        let mut moche = Moche::with_config(*req.cfg);
+        if self.no_lower_bound {
+            moche = moche.size_search(moche_core::SizeSearchStrategy::NoLowerBound);
+        }
+        let fallback = PreferenceList::identity(req.test.len());
+        let preference = req.preference.unwrap_or(&fallback);
+        moche
+            .explain(req.reference, req.test, preference)
+            .ok()
+            .map(|e| e.indices().to_vec())
+    }
+
+    fn uses_preference(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper_setup() -> (Vec<f64>, Vec<f64>, KsConfig) {
+        (
+            vec![14.0, 14.0, 14.0, 14.0, 20.0, 20.0, 20.0, 20.0],
+            vec![13.0, 13.0, 12.0, 20.0],
+            KsConfig::new(0.3).unwrap(),
+        )
+    }
+
+    #[test]
+    fn moche_explainer_reproduces_example_6() {
+        let (r, t, cfg) = paper_setup();
+        let pref = PreferenceList::new(vec![3, 2, 1, 0]).unwrap();
+        let req = ExplainRequest {
+            reference: &r,
+            test: &t,
+            cfg: &cfg,
+            preference: Some(&pref),
+            seed: 0,
+        };
+        let m = MocheExplainer::default();
+        assert_eq!(m.name(), "M");
+        assert!(m.uses_preference());
+        assert_eq!(m.explain(&req), Some(vec![2, 1]));
+    }
+
+    #[test]
+    fn ablation_name_and_agreement() {
+        let (r, t, cfg) = paper_setup();
+        let pref = PreferenceList::new(vec![3, 2, 1, 0]).unwrap();
+        let req = ExplainRequest {
+            reference: &r,
+            test: &t,
+            cfg: &cfg,
+            preference: Some(&pref),
+            seed: 0,
+        };
+        let m = MocheExplainer { no_lower_bound: true };
+        assert_eq!(m.name(), "Mns");
+        assert_eq!(m.explain(&req), MocheExplainer::default().explain(&req));
+    }
+
+    #[test]
+    fn missing_preference_falls_back_to_identity() {
+        let (r, t, cfg) = paper_setup();
+        let req =
+            ExplainRequest { reference: &r, test: &t, cfg: &cfg, preference: None, seed: 0 };
+        let out = MocheExplainer::default().explain(&req).unwrap();
+        assert_eq!(out.len(), 2);
+    }
+}

@@ -1,0 +1,37 @@
+//! # moche-baselines
+//!
+//! The six baseline explainers the MOCHE paper compares against
+//! (Section 6.1.2), plus the shared [`KsExplainer`] interface and a MOCHE
+//! adapter so the experiment harness can benchmark everything uniformly:
+//!
+//! | Method | Module | Accepts preferences? | Time-series only? |
+//! |---|---|---|---|
+//! | GRD (greedy prefix) | [`greedy`] | yes | no |
+//! | Extended-CornerSearch (CS) | [`corner_search`] | yes | no |
+//! | Extended-GRACE (GRC) | [`grace`] | yes | no |
+//! | Extended-D3 | [`d3`] | no | no |
+//! | Extended-STOMP (STMP) | [`stomp`] | no | yes |
+//! | Extended-Series2Graph (S2G) | [`series2graph`] | no | yes |
+//!
+//! Every baseline's output is verified against the same KS predicate as
+//! MOCHE's; CS and GRC may legitimately *abort* (return `None`), which the
+//! harness counts against their reverse factor (Table 2).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod corner_search;
+pub mod d3;
+pub mod explainer;
+pub mod grace;
+pub mod greedy;
+pub mod series2graph;
+pub mod stomp;
+
+pub use corner_search::{CornerSearch, CornerSearchConfig};
+pub use d3::{DensityModel, D3};
+pub use explainer::{ExplainRequest, KsExplainer, MocheExplainer};
+pub use grace::{Grace, GraceConfig};
+pub use greedy::{greedy_prefix, Greedy};
+pub use series2graph::{S2gConfig, Series2GraphExplainer};
+pub use stomp::{Stomp, StompConfig};

@@ -1,0 +1,153 @@
+//! The Extended-Series2Graph baseline (Section 6.1.2), adapted from Boniol
+//! & Palpanas's Series2Graph subsequence anomaly detector (VLDB 2020).
+//!
+//! Extended-Series2Graph learns the shape graph of the reference window
+//! (see [`moche_sigproc::series2graph`]), scores every point of the test
+//! window by the unfamiliarity of the shape transitions covering it, and
+//! greedily removes the most anomalous points until the KS test passes.
+//! Like Extended-STOMP it judges *shapes*, not value distributions, so its
+//! selections are often irrelevant to the KS failure (Figure 2).
+
+use crate::explainer::{ExplainRequest, KsExplainer};
+use crate::greedy::greedy_prefix;
+use moche_core::PreferenceList;
+use moche_sigproc::series2graph::{Series2Graph, Series2GraphConfig};
+
+/// Configuration of Extended-Series2Graph.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct S2gConfig {
+    /// Subsequence length as a fraction of `|T|` (the paper's 5%).
+    pub subsequence_fraction: f64,
+    /// Lower bound on the subsequence length.
+    pub min_subsequence: usize,
+    /// Number of angular graph nodes.
+    pub nodes: usize,
+    /// Smoothing window for the embedding.
+    pub smoothing: usize,
+}
+
+impl Default for S2gConfig {
+    fn default() -> Self {
+        Self { subsequence_fraction: 0.05, min_subsequence: 4, nodes: 24, smoothing: 3 }
+    }
+}
+
+/// The Extended-Series2Graph explainer.
+#[derive(Debug, Clone, Copy)]
+#[derive(Default)]
+pub struct Series2GraphExplainer {
+    /// Tunable parameters.
+    pub config: S2gConfig,
+}
+
+
+impl Series2GraphExplainer {
+    /// Creates the baseline with an explicit configuration.
+    pub fn new(config: S2gConfig) -> Self {
+        Self { config }
+    }
+
+    /// Per-point anomaly scores of the test window under the reference
+    /// window's shape graph, or `None` when the windows are too short.
+    pub fn scores(&self, reference: &[f64], test: &[f64]) -> Option<Vec<f64>> {
+        let m = test.len();
+        let q = ((m as f64 * self.config.subsequence_fraction).round() as usize)
+            .max(self.config.min_subsequence);
+        if q < 2 || reference.len() < 2 * q || test.len() < q {
+            return None;
+        }
+        let cfg = Series2GraphConfig {
+            subsequence_len: q,
+            nodes: self.config.nodes,
+            smoothing: self.config.smoothing,
+        };
+        let graph = Series2Graph::fit(reference, cfg);
+        Some(graph.score_points(test))
+    }
+}
+
+impl KsExplainer for Series2GraphExplainer {
+    fn name(&self) -> &'static str {
+        "S2G"
+    }
+
+    fn explain(&self, req: &ExplainRequest<'_>) -> Option<Vec<usize>> {
+        let scores = self.scores(req.reference, req.test)?;
+        let order = PreferenceList::from_scores_desc(&scores).ok()?;
+        greedy_prefix(req.reference, req.test, req.cfg, order.as_order())
+    }
+
+    fn time_series_only(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use moche_core::base_vector::BaseVector;
+    use moche_core::cumulative::SubsetCounts;
+    use moche_core::KsConfig;
+
+    fn drifted_windows() -> (Vec<f64>, Vec<f64>, KsConfig) {
+        let base = |i: usize| (i as f64 * 0.2).sin() * 2.0;
+        let r: Vec<f64> = (0..300).map(base).collect();
+        let mut t: Vec<f64> = (300..600).map(base).collect();
+        for i in 120..220 {
+            t[i] += 6.0;
+        }
+        (r, t, KsConfig::new(0.05).unwrap())
+    }
+
+    #[test]
+    fn explanation_reverses_the_test() {
+        let (r, t, cfg) = drifted_windows();
+        let base = BaseVector::build(&r, &t).unwrap();
+        assert!(base.outcome(&cfg).rejected);
+        let req =
+            ExplainRequest { reference: &r, test: &t, cfg: &cfg, preference: None, seed: 0 };
+        let out = Series2GraphExplainer::default().explain(&req).expect("S2G must reverse");
+        let counts = SubsetCounts::from_test_indices(&base, &out);
+        assert!(base.outcome_after_removal(counts.as_slice(), &cfg).passes());
+    }
+
+    #[test]
+    fn scores_cover_every_point() {
+        let (r, t, _) = drifted_windows();
+        let scores = Series2GraphExplainer::default().scores(&r, &t).unwrap();
+        assert_eq!(scores.len(), t.len());
+        assert!(scores.iter().all(|s| s.is_finite()));
+    }
+
+    #[test]
+    fn anomalous_patch_scores_higher_on_average() {
+        let (r, t, _) = drifted_windows();
+        let scores = Series2GraphExplainer::default().scores(&r, &t).unwrap();
+        let patch: f64 = scores[120..220].iter().sum::<f64>() / 100.0;
+        let rest: f64 = (scores[..120].iter().sum::<f64>()
+            + scores[220..].iter().sum::<f64>())
+            / (scores.len() - 100) as f64;
+        assert!(patch > rest, "patch mean {patch} <= rest mean {rest}");
+    }
+
+    #[test]
+    fn too_short_windows_abort() {
+        let cfg = KsConfig::new(0.05).unwrap();
+        let req = ExplainRequest {
+            reference: &[1.0, 2.0, 3.0, 4.0],
+            test: &[5.0, 6.0, 7.0, 8.0],
+            cfg: &cfg,
+            preference: None,
+            seed: 0,
+        };
+        assert_eq!(Series2GraphExplainer::default().explain(&req), None);
+    }
+
+    #[test]
+    fn is_time_series_only() {
+        let s2g = Series2GraphExplainer::default();
+        assert!(s2g.time_series_only());
+        assert!(!s2g.uses_preference());
+        assert_eq!(s2g.name(), "S2G");
+    }
+}

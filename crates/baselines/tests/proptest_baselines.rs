@@ -1,0 +1,155 @@
+//! Property-based tests over all baselines: every produced explanation
+//! must actually reverse the failed test, contain no duplicates, stay in
+//! range, and never beat MOCHE's optimum.
+
+use moche_baselines::{
+    CornerSearch, CornerSearchConfig, ExplainRequest, Grace, GraceConfig, Greedy, KsExplainer,
+    MocheExplainer, Series2GraphExplainer, Stomp, D3,
+};
+use moche_core::base_vector::BaseVector;
+use moche_core::brute_force::removal_reverses;
+use moche_core::{KsConfig, PreferenceList};
+use proptest::prelude::*;
+
+/// Shifted integer-grid instances that usually fail the KS test.
+fn failing_instance() -> impl Strategy<Value = (Vec<f64>, Vec<f64>)> {
+    (
+        proptest::collection::vec(0i32..10, 20..60),
+        proptest::collection::vec(0i32..10, 12..40),
+        3i32..8,
+    )
+        .prop_map(|(r, t, shift)| {
+            (
+                r.into_iter().map(f64::from).collect(),
+                t.into_iter().map(|v| f64::from(v + shift)).collect(),
+            )
+        })
+}
+
+fn roster() -> Vec<Box<dyn KsExplainer>> {
+    vec![
+        Box::new(MocheExplainer::default()),
+        Box::new(Greedy),
+        Box::new(D3::default()),
+        Box::new(Stomp::default()),
+        Box::new(Series2GraphExplainer::default()),
+        Box::new(CornerSearch::new(CornerSearchConfig {
+            max_samples: 500,
+            ..CornerSearchConfig::default()
+        })),
+        Box::new(Grace::new(GraceConfig { max_steps: 120, ..GraceConfig::default() })),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 48,
+        max_global_rejects: 4096,
+        ..ProptestConfig::default()
+    })]
+
+    #[test]
+    fn all_outputs_are_sound((r, t) in failing_instance(), seed in 0u64..500) {
+        let cfg = KsConfig::new(0.05).unwrap();
+        let base = BaseVector::build(&r, &t).unwrap();
+        prop_assume!(base.outcome(&cfg).rejected);
+        let pref = PreferenceList::random(t.len(), seed);
+        let req = ExplainRequest {
+            reference: &r,
+            test: &t,
+            cfg: &cfg,
+            preference: Some(&pref),
+            seed,
+        };
+        for method in roster() {
+            if let Some(indices) = method.explain(&req) {
+                // In range, no duplicates.
+                let mut sorted = indices.clone();
+                sorted.sort_unstable();
+                sorted.dedup();
+                prop_assert_eq!(sorted.len(), indices.len(), "{} duplicated", method.name());
+                prop_assert!(
+                    indices.iter().all(|&i| i < t.len()),
+                    "{} out of range",
+                    method.name()
+                );
+                // Sound: removal reverses the test.
+                prop_assert!(
+                    removal_reverses(&base, &cfg, &indices),
+                    "{} returned a non-reversing set",
+                    method.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn moche_is_the_lower_envelope((r, t) in failing_instance(), seed in 0u64..500) {
+        let cfg = KsConfig::new(0.05).unwrap();
+        let base = BaseVector::build(&r, &t).unwrap();
+        prop_assume!(base.outcome(&cfg).rejected);
+        let pref = PreferenceList::random(t.len(), seed);
+        let req = ExplainRequest {
+            reference: &r,
+            test: &t,
+            cfg: &cfg,
+            preference: Some(&pref),
+            seed,
+        };
+        let k = MocheExplainer::default()
+            .explain(&req)
+            .expect("MOCHE always reverses in the guaranteed regime")
+            .len();
+        for method in roster() {
+            if let Some(indices) = method.explain(&req) {
+                prop_assert!(
+                    indices.len() >= k,
+                    "{} found {} < optimum {}",
+                    method.name(),
+                    indices.len(),
+                    k
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn greedy_prefix_is_a_preference_prefix((r, t) in failing_instance(), seed in 0u64..500) {
+        let cfg = KsConfig::new(0.05).unwrap();
+        let base = BaseVector::build(&r, &t).unwrap();
+        prop_assume!(base.outcome(&cfg).rejected);
+        let pref = PreferenceList::random(t.len(), seed);
+        let req = ExplainRequest {
+            reference: &r,
+            test: &t,
+            cfg: &cfg,
+            preference: Some(&pref),
+            seed,
+        };
+        let out = Greedy.explain(&req).expect("GRD reverses");
+        prop_assert_eq!(&out[..], &pref.as_order()[..out.len()]);
+        // Minimality of the *prefix*: one point shorter must not reverse.
+        if out.len() > 1 {
+            prop_assert!(!removal_reverses(&base, &cfg, &out[..out.len() - 1]));
+        }
+    }
+
+    #[test]
+    fn d3_is_preference_independent((r, t) in failing_instance(), s1 in 0u64..100, s2 in 100u64..200) {
+        let cfg = KsConfig::new(0.05).unwrap();
+        let base = BaseVector::build(&r, &t).unwrap();
+        prop_assume!(base.outcome(&cfg).rejected);
+        let p1 = PreferenceList::random(t.len(), s1);
+        let p2 = PreferenceList::random(t.len(), s2);
+        let mk = |p: &PreferenceList, seed| {
+            D3::default().explain(&ExplainRequest {
+                reference: &r,
+                test: &t,
+                cfg: &cfg,
+                preference: Some(p),
+                seed,
+            })
+        };
+        prop_assert_eq!(mk(&p1, s1), mk(&p2, s2));
+    }
+}

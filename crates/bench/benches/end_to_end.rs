@@ -1,0 +1,73 @@
+//! End-to-end explanation benchmarks in the shape of the paper's
+//! Figure 5a: MOCHE against the always-reversing baselines (GRD, D3, STMP,
+//! S2G) on TWT-like failed sliding-window tests as the window size grows.
+//! (CS and GRC are benchmarked by the `fig5a_runtime_twt` binary — their
+//! budgets make them orders of magnitude slower, which drowns Criterion's
+//! sampling.)
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use moche_baselines::{
+    ExplainRequest, Greedy, KsExplainer, MocheExplainer, Series2GraphExplainer, Stomp, D3,
+};
+use moche_bench::runner::spectral_residual_preference;
+use moche_core::KsConfig;
+use moche_data::nab::generate_family;
+use moche_data::sliding::{failed_windows, sample_failed};
+use moche_data::FailedTest;
+use moche_data::NabFamily;
+use std::hint::black_box;
+
+fn one_failed_test(window: usize) -> Option<FailedTest> {
+    let cfg = KsConfig::new(0.05).unwrap();
+    for series in generate_family(NabFamily::Twt, 2021) {
+        if series.values.len() < 2 * window {
+            continue;
+        }
+        let failed = failed_windows(&series, window, &cfg, (window / 2).max(1));
+        if let Some(t) = sample_failed(failed, 1, 5).into_iter().next() {
+            return Some(t);
+        }
+    }
+    None
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let cfg = KsConfig::new(0.05).unwrap();
+    let methods: Vec<Box<dyn KsExplainer>> = vec![
+        Box::new(MocheExplainer::default()),
+        Box::new(Greedy),
+        Box::new(D3::default()),
+        Box::new(Stomp::default()),
+        Box::new(Series2GraphExplainer::default()),
+    ];
+    let mut group = c.benchmark_group("end_to_end_twt");
+    group.sample_size(10);
+    for &w in &[200usize, 500, 1_000] {
+        let Some(case) = one_failed_test(w) else {
+            continue;
+        };
+        let pref = spectral_residual_preference(&case.test);
+        for method in &methods {
+            group.bench_with_input(
+                BenchmarkId::new(method.name(), w),
+                &w,
+                |b, _| {
+                    b.iter(|| {
+                        let req = ExplainRequest {
+                            reference: &case.reference,
+                            test: &case.test,
+                            cfg: &cfg,
+                            preference: Some(&pref),
+                            seed: 1,
+                        };
+                        black_box(method.explain(&req))
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_end_to_end);
+criterion_main!(benches);

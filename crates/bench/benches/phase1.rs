@@ -1,0 +1,37 @@
+//! Ablation bench for Phase 1 (the paper's MOCHE vs MOCHE_ns comparison,
+//! Section 6.4): the Theorem-2 binary-searched lower bound against the
+//! plain Theorem-1 scan from `h = 1`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use moche_core::base_vector::BaseVector;
+use moche_core::bounds::BoundsContext;
+use moche_core::phase1::{find_size, find_size_no_lower_bound};
+use moche_core::KsConfig;
+use moche_data::{failing_kifer_pair, DriftPair};
+use std::hint::black_box;
+
+fn failing_pair(w: usize) -> DriftPair {
+    let cfg = KsConfig::new(0.05).unwrap();
+    failing_kifer_pair(w, 0.03, &cfg, 7, 100).expect("p = 3% should fail at this size")
+}
+
+fn bench_phase1(c: &mut Criterion) {
+    let cfg = KsConfig::new(0.05).unwrap();
+    let mut group = c.benchmark_group("phase1_size_search");
+    for &w in &[1_000usize, 5_000, 20_000] {
+        let pair = failing_pair(w);
+        let base = BaseVector::build(&pair.reference, &pair.test).unwrap();
+        let ctx = BoundsContext::new(&base, &cfg);
+
+        group.bench_with_input(BenchmarkId::new("moche_lower_bounded", w), &w, |b, _| {
+            b.iter(|| find_size(black_box(&ctx), 0.05).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("moche_ns_scan_from_1", w), &w, |b, _| {
+            b.iter(|| find_size_no_lower_bound(black_box(&ctx), 0.05).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_phase1);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Ablation bench for Phase 2: the incremental backward-pass maintenance
+//! (this repo's optimization, `DESIGN.md` §6) against the paper-faithful
+//! full backward pass per candidate. Both produce identical explanations
+//! (enforced by tests); this bench quantifies the saved work.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use moche_core::base_vector::BaseVector;
+use moche_core::bounds::BoundsContext;
+use moche_core::phase1::find_size;
+use moche_core::phase2::{construct, construct_reference};
+use moche_core::{KsConfig, PreferenceList};
+use moche_data::failing_kifer_pair;
+use std::hint::black_box;
+
+fn bench_phase2(c: &mut Criterion) {
+    let cfg = KsConfig::new(0.05).unwrap();
+    let mut group = c.benchmark_group("phase2_construction");
+    group.sample_size(20);
+    for &w in &[1_000usize, 5_000] {
+        let pair = failing_kifer_pair(w, 0.03, &cfg, 7, 100).expect("must fail");
+        let base = BaseVector::build(&pair.reference, &pair.test).unwrap();
+        let ctx = BoundsContext::new(&base, &cfg);
+        let k = find_size(&ctx, 0.05).unwrap().k;
+        let pref = PreferenceList::random(w, 13);
+        let order = pref.as_order();
+
+        group.bench_with_input(BenchmarkId::new("incremental", w), &w, |b, _| {
+            b.iter(|| construct(black_box(&base), &cfg, k, order).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("paper_reference", w), &w, |b, _| {
+            b.iter(|| construct_reference(black_box(&base), &cfg, k, order).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_phase2);
+criterion_main!(benches);

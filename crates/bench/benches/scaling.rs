@@ -1,0 +1,44 @@
+//! Scalability benchmarks in the shape of the paper's Figure 5b: MOCHE,
+//! the MOCHE_ns ablation and GRD on Kifer-style synthetic drift data
+//! (`p = 3%`) with random preference lists, as `w` grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use moche_baselines::{ExplainRequest, Greedy, KsExplainer, MocheExplainer};
+use moche_core::{KsConfig, PreferenceList};
+use moche_data::failing_kifer_pair;
+use std::hint::black_box;
+
+fn bench_scaling(c: &mut Criterion) {
+    let cfg = KsConfig::new(0.05).unwrap();
+    let methods: Vec<Box<dyn KsExplainer>> = vec![
+        Box::new(MocheExplainer::default()),
+        Box::new(MocheExplainer { no_lower_bound: true }),
+        Box::new(Greedy),
+    ];
+    let mut group = c.benchmark_group("scaling_synthetic_p3");
+    group.sample_size(10);
+    for &w in &[1_000usize, 5_000, 20_000] {
+        let Some(pair) = failing_kifer_pair(w, 0.03, &cfg, 11, 100) else {
+            continue;
+        };
+        let pref = PreferenceList::random(w, 23);
+        for method in &methods {
+            group.bench_with_input(BenchmarkId::new(method.name(), w), &w, |b, _| {
+                b.iter(|| {
+                    let req = ExplainRequest {
+                        reference: &pair.reference,
+                        test: &pair.test,
+                        cfg: &cfg,
+                        preference: Some(&pref),
+                        seed: 1,
+                    };
+                    black_box(method.explain(&req))
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scaling);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Writes the synthetic datasets to plain text files so they can be fed to
+//! the `moche` CLI (or any other tool). One value per line, `#` headers.
+//!
+//! Usage: dump_datasets [--out DIR] [--seed N]
+use moche_bench::ExperimentScale;
+use moche_data::nab::generate_all;
+use moche_data::CovidDataset;
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = ExperimentScale::from_arg_strings(&args);
+    let mut out_dir = PathBuf::from("datasets");
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--out" {
+            if let Some(d) = it.next() {
+                out_dir = PathBuf::from(d);
+            }
+        }
+    }
+    std::fs::create_dir_all(&out_dir)?;
+
+    // COVID-19 reference/test pair (age-group codes).
+    let ds = CovidDataset::generate(scale.seed);
+    let write_values = |name: &str, header: &str, values: &[f64]| -> std::io::Result<PathBuf> {
+        let mut content = format!("# {header}\n");
+        for v in values {
+            let _ = writeln!(content, "{v}");
+        }
+        let path = out_dir.join(name);
+        std::fs::write(&path, content)?;
+        Ok(path)
+    };
+    write_values(
+        "covid_reference.txt",
+        "synthetic COVID-19 August cases (age-group codes 1-10)",
+        &ds.reference_values(),
+    )?;
+    write_values(
+        "covid_test.txt",
+        "synthetic COVID-19 September cases (age-group codes 1-10)",
+        &ds.test_values(),
+    )?;
+
+    // Every NAB-like series, with ground-truth windows in the header.
+    let mut count = 2usize;
+    for series in generate_all(scale.seed) {
+        let header = format!(
+            "{} ({} points; ground-truth anomaly windows: {:?})",
+            series.name,
+            series.len(),
+            series.anomalies
+        );
+        write_values(&format!("{}.txt", series.name), &header, &series.values)?;
+        count += 1;
+    }
+    println!("wrote {count} files to {}", out_dir.display());
+    println!("try: moche monitor {}/art_drift_00.txt --window 200", out_dir.display());
+    println!("or:  moche explain {}/covid_reference.txt {}/covid_test.txt --preference value-desc",
+        out_dir.display(), out_dir.display());
+    Ok(())
+}

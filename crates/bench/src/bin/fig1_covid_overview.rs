@@ -1,0 +1,7 @@
+//! Regenerates Figure 1 (COVID-19 dataset and explanation overview).
+use moche_bench::ExperimentScale;
+
+fn main() {
+    let scale = ExperimentScale::from_args();
+    println!("{}", moche_bench::experiments::covid::fig1(scale.seed));
+}

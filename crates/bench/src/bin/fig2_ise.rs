@@ -1,0 +1,10 @@
+//! Regenerates Figure 2 (average ISE per dataset per method).
+//! `--full` runs the paper-scale sweep.
+use moche_bench::experiments::effectiveness;
+use moche_bench::ExperimentScale;
+
+fn main() {
+    let scale = ExperimentScale::from_args();
+    let data = effectiveness::collect(&scale);
+    println!("{}", effectiveness::fig2_ise(&data));
+}

@@ -1,0 +1,9 @@
+//! Regenerates Figure 3 (average RMSE per dataset per method).
+use moche_bench::experiments::effectiveness;
+use moche_bench::ExperimentScale;
+
+fn main() {
+    let scale = ExperimentScale::from_args();
+    let data = effectiveness::collect(&scale);
+    println!("{}", effectiveness::fig3_rmse(&data));
+}

@@ -1,0 +1,7 @@
+//! Regenerates Figure 4 (COVID-19 case study: MOCHE vs GRD vs D3).
+use moche_bench::ExperimentScale;
+
+fn main() {
+    let scale = ExperimentScale::from_args();
+    println!("{}", moche_bench::experiments::covid::fig4(scale.seed));
+}

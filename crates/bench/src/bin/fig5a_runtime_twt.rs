@@ -1,0 +1,7 @@
+//! Regenerates Figure 5a (runtime vs reference/test size on TWT).
+use moche_bench::ExperimentScale;
+
+fn main() {
+    let scale = ExperimentScale::from_args();
+    println!("{}", moche_bench::experiments::runtime::fig5a(&scale));
+}

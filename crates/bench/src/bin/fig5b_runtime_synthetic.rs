@@ -1,0 +1,7 @@
+//! Regenerates Figure 5b (runtime on synthetic drift data, p = 3%).
+use moche_bench::ExperimentScale;
+
+fn main() {
+    let scale = ExperimentScale::from_args();
+    println!("{}", moche_bench::experiments::runtime::fig5b(&scale));
+}

@@ -1,0 +1,7 @@
+//! Regenerates Figure 6 (estimation error of the Phase-1 lower bound).
+use moche_bench::ExperimentScale;
+
+fn main() {
+    let scale = ExperimentScale::from_args();
+    println!("{}", moche_bench::experiments::estimation::fig6(&scale));
+}

@@ -1,0 +1,27 @@
+//! Runs every experiment regenerator in sequence and prints a consolidated
+//! report. `--full` switches every experiment to the paper-scale sweep.
+use moche_bench::experiments::{self, effectiveness};
+use moche_bench::ExperimentScale;
+
+fn main() {
+    let scale = ExperimentScale::from_args();
+    let mode = if scale.full { "FULL (paper scale)" } else { "QUICK (scaled down)" };
+    println!("=== MOCHE reproduction: all experiments [{mode}], seed {} ===\n", scale.seed);
+
+    println!("{}", experiments::table1::run(scale.seed));
+    println!("{}", experiments::covid::fig1(scale.seed));
+    println!("{}", experiments::covid::fig4(scale.seed));
+
+    eprintln!("[run_all] collecting effectiveness data (Figures 2-3, Table 2)...");
+    let data = effectiveness::collect(&scale);
+    println!("{}", effectiveness::fig2_ise(&data));
+    println!("{}", effectiveness::table2_rf(&data));
+    println!("{}", effectiveness::fig3_rmse(&data));
+
+    eprintln!("[run_all] timing sweeps (Figure 5)...");
+    println!("{}", experiments::runtime::fig5a(&scale));
+    println!("{}", experiments::runtime::fig5b(&scale));
+
+    eprintln!("[run_all] estimation errors (Figure 6)...");
+    println!("{}", experiments::estimation::fig6(&scale));
+}

@@ -1,0 +1,7 @@
+//! Regenerates Table 1 (dataset statistics). `--seed N` overrides the seed.
+use moche_bench::ExperimentScale;
+
+fn main() {
+    let scale = ExperimentScale::from_args();
+    println!("{}", moche_bench::experiments::table1::run(scale.seed));
+}

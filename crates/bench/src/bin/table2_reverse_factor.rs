@@ -1,0 +1,9 @@
+//! Regenerates Table 2 (reverse factor of CS and GRC).
+use moche_bench::experiments::effectiveness;
+use moche_bench::ExperimentScale;
+
+fn main() {
+    let scale = ExperimentScale::from_args();
+    let data = effectiveness::collect(&scale);
+    println!("{}", effectiveness::table2_rf(&data));
+}

@@ -1,0 +1,228 @@
+//! The COVID-19 case study: Figure 1 (dataset and explanation overview) and
+//! Figure 4 (explanations of MOCHE, GRD and D3, with post-removal ECDFs).
+
+use crate::experiments::ks_config;
+use crate::metrics::rmse_after_removal;
+use crate::report::{fmt_f, histogram, Table};
+use moche_baselines::{ExplainRequest, Greedy, KsExplainer, D3};
+use moche_core::{Ecdf, Moche};
+use moche_data::covid::{CovidCase, CovidDataset, AGE_LABELS};
+use moche_data::HealthAuthority;
+use std::fmt::Write as _;
+
+fn age_hist_items(cases: &[CovidCase], denom: f64) -> Vec<(String, f64)> {
+    CovidDataset::age_histogram(cases)
+        .iter()
+        .enumerate()
+        .map(|(i, &c)| (AGE_LABELS[i].to_string(), c as f64 / denom))
+        .collect()
+}
+
+fn ha_hist_items(cases: &[CovidCase]) -> Vec<(String, f64)> {
+    CovidDataset::ha_histogram(cases)
+        .iter()
+        .zip(HealthAuthority::ALL)
+        .map(|(&c, ha)| (ha.short_name().to_string(), c as f64))
+        .collect()
+}
+
+/// Figure 1: reference/test histograms plus the two most comprehensible
+/// explanations `I_p` (population preference) and `I_a` (age preference).
+pub fn fig1(seed: u64) -> String {
+    let ds = CovidDataset::generate(seed);
+    let cfg = ks_config();
+    let r = ds.reference_values();
+    let t = ds.test_values();
+    let moche = Moche::with_config(cfg);
+
+    let outcome = moche.test(&r, &t).expect("valid data");
+    let mut out = String::new();
+    let _ = writeln!(out, "Figure 1: COVID-19 case study (synthetic twin, seed {seed})");
+    let _ = writeln!(
+        out,
+        "KS test: D = {:.4}, threshold = {:.4} -> {}",
+        outcome.statistic,
+        outcome.threshold,
+        if outcome.rejected { "FAILED" } else { "passed" }
+    );
+    let _ = writeln!(out, "\n(a) Reference set (August, n = {}), relative frequency:", r.len());
+    out.push_str(&histogram(&age_hist_items(&ds.reference, r.len() as f64), 40));
+    let _ = writeln!(out, "\n(a) Test set (September, m = {}), relative frequency:", t.len());
+    out.push_str(&histogram(&age_hist_items(&ds.test, t.len() as f64), 40));
+
+    let e_p = moche.explain(&r, &t, &ds.preference_by_population()).expect("failed test");
+    let e_a = moche.explain(&r, &t, &ds.preference_by_age()).expect("failed test");
+    let cases_p: Vec<CovidCase> = e_p.indices().iter().map(|&i| ds.test[i]).collect();
+    let cases_a: Vec<CovidCase> = e_a.indices().iter().map(|&i| ds.test[i]).collect();
+
+    let _ = writeln!(
+        out,
+        "\nBoth explanations have size k = {} ({:.1}% of |T|); paper: 291 (8.6%).",
+        e_p.size(),
+        100.0 * e_p.removed_fraction()
+    );
+    let _ = writeln!(out, "\n(b) Explanation I_p by health authority (# cases):");
+    out.push_str(&histogram(&ha_hist_items(&cases_p), 40));
+    let _ = writeln!(out, "\n(b) Explanation I_a by health authority (# cases):");
+    out.push_str(&histogram(&ha_hist_items(&cases_a), 40));
+    let _ = writeln!(out, "\n(c) Explanation I_p by age group (# cases):");
+    out.push_str(&histogram(&age_hist_items(&cases_p, 1.0), 40));
+    let _ = writeln!(out, "\n(c) Explanation I_a by age group (# cases):");
+    out.push_str(&histogram(&age_hist_items(&cases_a, 1.0), 40));
+    out
+}
+
+/// Figure 4: the COVID explanations of MOCHE, GRD and D3, their sizes, and
+/// the ECDFs of `R` and `T \ I` after each removal.
+pub fn fig4(seed: u64) -> String {
+    let ds = CovidDataset::generate(seed);
+    let cfg = ks_config();
+    let r = ds.reference_values();
+    let t = ds.test_values();
+    let pref = ds.preference_by_population();
+    let m = t.len();
+
+    let moche = Moche::with_config(cfg);
+    let e_m = moche.explain(&r, &t, &pref).expect("failed test");
+
+    let req = ExplainRequest {
+        reference: &r,
+        test: &t,
+        cfg: &cfg,
+        preference: Some(&pref),
+        seed,
+    };
+    let grd = Greedy.explain(&req);
+    let d3 = D3::default().explain(&req);
+
+    let mut out = String::new();
+    let _ = writeln!(out, "Figure 4: explanations on the COVID-19 failed KS test (seed {seed})");
+    let mut size_table =
+        Table::new(vec!["Method", "Size", "% of |T|", "RMSE after removal", "Paper size"]);
+    let rows: Vec<(&str, Option<Vec<usize>>, &str)> = vec![
+        ("MOCHE", Some(e_m.indices().to_vec()), "291 (8.6%)"),
+        ("GRD", grd.clone(), "3115 (92.3%)"),
+        ("D3", d3.clone(), "3370 (99.9%)"),
+    ];
+    for (name, indices, paper) in &rows {
+        match indices {
+            Some(idx) => {
+                let rmse = rmse_after_removal(&r, &t, idx);
+                size_table.push_row(vec![
+                    name.to_string(),
+                    idx.len().to_string(),
+                    format!("{:.1}%", 100.0 * idx.len() as f64 / m as f64),
+                    fmt_f(rmse, 4),
+                    paper.to_string(),
+                ]);
+            }
+            None => {
+                size_table.push_row(vec![
+                    name.to_string(),
+                    "-".into(),
+                    "-".into(),
+                    "-".into(),
+                    paper.to_string(),
+                ]);
+            }
+        }
+    }
+    out.push_str(&size_table.render());
+
+    // (a)-(c): explanation histograms over age groups, normalized by |T|.
+    for (name, indices, _) in &rows {
+        if let Some(idx) = indices {
+            let cases: Vec<CovidCase> = idx.iter().map(|&i| ds.test[i]).collect();
+            let _ = writeln!(out, "\n({name}) explanation age histogram (# cases / |T|):");
+            out.push_str(&histogram(&age_hist_items(&cases, m as f64), 40));
+        }
+    }
+
+    // (d): post-removal ECDFs at each age group code.
+    let _ = writeln!(out, "\n(d) ECDFs at each age group (reference vs T \\ I):");
+    let mut ecdf_table =
+        Table::new(vec!["Age", "Ref.", "Test", "M", "GRD", "D3"]);
+    let ref_ecdf = Ecdf::new(&r);
+    let test_ecdf = Ecdf::new(&t);
+    let after = |indices: &Option<Vec<usize>>| -> Option<Ecdf> {
+        indices.as_ref().map(|idx| {
+            let mut keep = vec![true; t.len()];
+            for &i in idx {
+                keep[i] = false;
+            }
+            let kept: Vec<f64> = t
+                .iter()
+                .zip(&keep)
+                .filter_map(|(&v, &k)| k.then_some(v))
+                .collect();
+            Ecdf::new(&kept)
+        })
+    };
+    let e_m_ecdf = after(&Some(e_m.indices().to_vec()));
+    let grd_ecdf = after(&grd);
+    let d3_ecdf = after(&d3);
+    for g in 1..=10 {
+        let x = g as f64;
+        let cell = |e: &Option<Ecdf>| {
+            e.as_ref().map_or("-".to_string(), |e| fmt_f(e.eval(x), 3))
+        };
+        ecdf_table.push_row(vec![
+            AGE_LABELS[g - 1].to_string(),
+            fmt_f(ref_ecdf.eval(x), 3),
+            fmt_f(test_ecdf.eval(x), 3),
+            cell(&e_m_ecdf),
+            cell(&grd_ecdf),
+            cell(&d3_ecdf),
+        ]);
+    }
+    out.push_str(&ecdf_table.render());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig1_reports_failed_test_and_sizes() {
+        let report = fig1(1);
+        assert!(report.contains("FAILED"));
+        assert!(report.contains("Both explanations have size"));
+        assert!(report.contains("FHA"));
+        assert!(report.contains("90+"));
+    }
+
+    #[test]
+    fn fig4_reports_three_methods() {
+        let report = fig4(1);
+        for name in ["MOCHE", "GRD", "D3"] {
+            assert!(report.contains(name), "missing {name}");
+        }
+        assert!(report.contains("ECDFs"));
+    }
+
+    #[test]
+    fn moche_explanation_is_much_smaller_than_greedy() {
+        // The headline of the case study: MOCHE ~8.6% vs GRD >90%.
+        let ds = CovidDataset::generate(1);
+        let cfg = ks_config();
+        let r = ds.reference_values();
+        let t = ds.test_values();
+        let pref = ds.preference_by_population();
+        let e = Moche::with_config(cfg).explain(&r, &t, &pref).unwrap();
+        let req = ExplainRequest {
+            reference: &r,
+            test: &t,
+            cfg: &cfg,
+            preference: Some(&pref),
+            seed: 1,
+        };
+        let grd = Greedy.explain(&req).expect("GRD reverses");
+        assert!(
+            grd.len() > 3 * e.size(),
+            "GRD ({}) should be far larger than MOCHE ({})",
+            grd.len(),
+            e.size()
+        );
+    }
+}

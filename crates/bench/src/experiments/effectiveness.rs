@@ -1,0 +1,203 @@
+//! The effectiveness experiments over the NAB failed tests:
+//! Figure 2 (average ISE), Table 2 (reverse factor) and Figure 3 (average
+//! RMSE). All three consume one shared collection pass.
+
+use crate::experiments::{all_failed_tests, ks_config};
+use crate::metrics::{ise_flags, mean_of, reverse_factor, rmse_after_removal};
+use crate::report::{fmt_f, Table};
+use crate::runner::{default_threads, paper_roster, run_cases, CaseResult};
+use crate::scale::ExperimentScale;
+use moche_data::nab::NabFamily;
+use std::fmt::Write as _;
+
+/// The method names in roster order.
+pub const METHODS: [&str; 7] = ["M", "GRC", "GRD", "CS", "S2G", "STMP", "D3"];
+
+/// The shared effectiveness data: every sampled failed test, with every
+/// method's explanation and timing.
+#[derive(Debug, Clone)]
+pub struct EffectivenessData {
+    /// Per-case results.
+    pub cases: Vec<CaseResult>,
+}
+
+/// Runs the roster over every sampled failed test of every family.
+pub fn collect(scale: &ExperimentScale) -> EffectivenessData {
+    let cfg = ks_config();
+    let cases = all_failed_tests(scale);
+    let roster = paper_roster(scale);
+    let results = run_cases(&cases, &roster, &cfg, scale.seed, default_threads());
+    EffectivenessData { cases: results }
+}
+
+fn families() -> Vec<&'static str> {
+    NabFamily::ALL.iter().map(|f| f.short_name()).collect()
+}
+
+/// Whether every method produced an explanation on this case (the paper's
+/// Figure 2 filter: only tests "where all methods can generate
+/// counterfactual explanations").
+fn all_methods_succeeded(case: &CaseResult) -> bool {
+    case.results.iter().all(|r| r.indices.is_some())
+}
+
+/// Figure 2: average ISE per dataset per method (larger is better).
+pub fn fig2_ise(data: &EffectivenessData) -> String {
+    let mut out = String::new();
+    let eligible: Vec<&CaseResult> =
+        data.cases.iter().filter(|c| all_methods_succeeded(c)).collect();
+    let _ = writeln!(
+        out,
+        "Figure 2: average ISE (larger is better); {} of {} failed tests where all \
+         methods produced explanations (paper: 847 of 2,690)",
+        eligible.len(),
+        data.cases.len()
+    );
+    let mut headers = vec!["Dataset".to_string()];
+    headers.extend(METHODS.iter().map(|m| m.to_string()));
+    let mut table = Table::new(headers);
+    for fam in families() {
+        let fam_cases: Vec<&&CaseResult> =
+            eligible.iter().filter(|c| c.family == fam).collect();
+        let mut row = vec![fam.to_string()];
+        if fam_cases.is_empty() {
+            row.extend(std::iter::repeat_n("-".to_string(), METHODS.len()));
+        } else {
+            // Average the per-case ISE flags per method.
+            let mut sums = vec![0.0f64; METHODS.len()];
+            for case in &fam_cases {
+                let sizes: Vec<Option<usize>> =
+                    METHODS.iter().map(|m| case.result_of(m).and_then(|r| r.size())).collect();
+                for (s, f) in sums.iter_mut().zip(ise_flags(&sizes)) {
+                    *s += f;
+                }
+            }
+            for s in sums {
+                row.push(fmt_f(s / fam_cases.len() as f64, 2));
+            }
+        }
+        table.push_row(row);
+    }
+    out.push_str(&table.render());
+    out.push_str("Paper shape: M = 1.00 everywhere; GRC next; GRD/CS/D3 low; S2G/STMP lowest.\n");
+    out
+}
+
+/// Table 2: reverse factor of CS and GRC per dataset (all other methods
+/// reverse every test).
+pub fn table2_rf(data: &EffectivenessData) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Table 2: reverse factor (larger is better) over {} failed tests",
+        data.cases.len()
+    );
+    let mut headers = vec!["Method".to_string()];
+    headers.extend(families().iter().map(|f| f.to_string()));
+    let mut table = Table::new(headers);
+    for method in METHODS {
+        let mut row = vec![method.to_string()];
+        for fam in families() {
+            let outcomes: Vec<bool> = data
+                .cases
+                .iter()
+                .filter(|c| c.family == fam)
+                .filter_map(|c| c.result_of(method))
+                .map(|r| r.indices.is_some())
+                .collect();
+            row.push(fmt_f(reverse_factor(&outcomes), 2));
+        }
+        table.push_row(row);
+    }
+    out.push_str(&table.render());
+    out.push_str(
+        "Paper: CS in 0.80-0.93, GRC in 0.59-0.82, every other method 1.00 everywhere.\n",
+    );
+    out
+}
+
+/// Figure 3: average RMSE per dataset per method (smaller is better), over
+/// the same all-methods-succeeded subset as Figure 2.
+pub fn fig3_rmse(data: &EffectivenessData) -> String {
+    let mut out = String::new();
+    let eligible: Vec<&CaseResult> =
+        data.cases.iter().filter(|c| all_methods_succeeded(c)).collect();
+    let _ = writeln!(
+        out,
+        "Figure 3: average RMSE between ECDFs of R and T \\ I (smaller is better), \
+         over {} tests",
+        eligible.len()
+    );
+    let mut headers = vec!["Dataset".to_string()];
+    headers.extend(METHODS.iter().map(|m| m.to_string()));
+    let mut table = Table::new(headers);
+    for fam in families() {
+        let fam_cases: Vec<&&CaseResult> =
+            eligible.iter().filter(|c| c.family == fam).collect();
+        let mut row = vec![fam.to_string()];
+        for method in METHODS {
+            let rmse = mean_of(fam_cases.iter().filter_map(|c| {
+                let r = c.result_of(method)?;
+                let idx = r.indices.as_ref()?;
+                Some(rmse_after_removal(&c.reference, &c.test, idx))
+            }));
+            row.push(fmt_f(rmse, 4));
+        }
+        table.push_row(row);
+    }
+    out.push_str(&table.render());
+    out.push_str("Paper shape: M smallest everywhere; GRC next; the rest larger.\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_scale() -> ExperimentScale {
+        let mut s = ExperimentScale::quick();
+        s.max_series_per_family = 1;
+        s.per_combination = 1;
+        s.window_sizes = vec![100];
+        s.cs_max_samples = 300;
+        s.grc_max_steps = 60;
+        s
+    }
+
+    #[test]
+    fn full_effectiveness_pipeline_runs() {
+        let scale = tiny_scale();
+        let data = collect(&scale);
+        assert!(!data.cases.is_empty(), "no failed tests collected");
+
+        let fig2 = fig2_ise(&data);
+        assert!(fig2.contains("Figure 2"));
+        let table2 = table2_rf(&data);
+        assert!(table2.contains("Table 2"));
+        let fig3 = fig3_rmse(&data);
+        assert!(fig3.contains("Figure 3"));
+
+        // MOCHE must reverse everything and always be smallest.
+        for case in &data.cases {
+            let m = case.result_of("M").expect("M ran");
+            let m_size = m.size().expect("MOCHE always reverses");
+            for r in &case.results {
+                if let Some(s) = r.size() {
+                    assert!(m_size <= s, "{} beat MOCHE ({} < {})", r.method, s, m_size);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn moche_rf_is_one() {
+        let scale = tiny_scale();
+        let data = collect(&scale);
+        let outcomes: Vec<bool> = data
+            .cases
+            .iter()
+            .map(|c| c.result_of("M").unwrap().indices.is_some())
+            .collect();
+        assert_eq!(reverse_factor(&outcomes), 1.0);
+    }
+}

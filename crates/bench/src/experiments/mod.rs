@@ -1,0 +1,85 @@
+//! One submodule per experiment of the paper's Section 6; each exposes a
+//! `run(scale) -> String` (or finer-grained functions) that regenerates the
+//! corresponding table or figure as plain text. The binaries in `src/bin`
+//! are thin wrappers; `run_all` composes everything into one report.
+
+pub mod covid;
+pub mod effectiveness;
+pub mod estimation;
+pub mod runtime;
+pub mod table1;
+
+use crate::scale::ExperimentScale;
+use moche_core::KsConfig;
+use moche_data::nab::{generate_family, NabFamily, NabSeries};
+use moche_data::rng::derive_seed;
+use moche_data::sliding::paper_failed_tests;
+use moche_data::FailedTest;
+
+/// The significance level used throughout the paper's experiments.
+pub const ALPHA: f64 = 0.05;
+
+/// The standard KS configuration (`α = 0.05`).
+pub fn ks_config() -> KsConfig {
+    KsConfig::new(ALPHA).expect("0.05 is a valid significance level")
+}
+
+/// Generates the scaled family series roster.
+pub fn family_series(family: NabFamily, scale: &ExperimentScale) -> Vec<NabSeries> {
+    let mut series = generate_family(family, derive_seed(scale.seed, "nab"));
+    series.truncate(scale.max_series_per_family);
+    series
+}
+
+/// Collects sampled failed KS tests for one family under the configured
+/// scale, tagged with the family name.
+pub fn family_failed_tests(
+    family: NabFamily,
+    scale: &ExperimentScale,
+) -> Vec<(FailedTest, String)> {
+    let cfg = ks_config();
+    let mut out = Vec::new();
+    for (i, series) in family_series(family, scale).iter().enumerate() {
+        let tests = paper_failed_tests(
+            series,
+            &scale.window_sizes,
+            &cfg,
+            scale.per_combination,
+            derive_seed(scale.seed, &format!("sample-{}-{i}", family.short_name())),
+        );
+        out.extend(tests.into_iter().map(|t| (t, family.short_name().to_string())));
+    }
+    out
+}
+
+/// Collects failed tests across all six families.
+pub fn all_failed_tests(scale: &ExperimentScale) -> Vec<(FailedTest, String)> {
+    NabFamily::ALL
+        .iter()
+        .flat_map(|&f| family_failed_tests(f, scale))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_scale_produces_failed_tests() {
+        let scale = ExperimentScale::quick();
+        let tests = family_failed_tests(NabFamily::Art, &scale);
+        assert!(!tests.is_empty(), "ART series with drifts must fail somewhere");
+        for (t, fam) in &tests {
+            assert_eq!(fam, "ART");
+            assert_eq!(t.reference.len(), t.window);
+            assert_eq!(t.test.len(), t.window);
+        }
+    }
+
+    #[test]
+    fn family_series_respects_cap() {
+        let mut scale = ExperimentScale::quick();
+        scale.max_series_per_family = 2;
+        assert_eq!(family_series(NabFamily::Aws, &scale).len(), 2);
+    }
+}

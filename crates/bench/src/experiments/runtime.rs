@@ -1,0 +1,230 @@
+//! The efficiency experiments: Figure 5a (runtime on TWT-like data as
+//! reference/test sizes grow) and Figure 5b (runtime on large synthetic
+//! drift data, MOCHE vs MOCHE_ns vs GRD).
+
+use crate::experiments::{family_series, ks_config};
+use crate::report::{fmt_secs, Table};
+use crate::runner::{paper_roster, spectral_residual_preference};
+use crate::scale::ExperimentScale;
+use moche_baselines::{ExplainRequest, Greedy, KsExplainer, MocheExplainer};
+use moche_core::PreferenceList;
+use moche_data::nab::NabFamily;
+use moche_data::rng::derive_seed;
+use moche_data::sliding::{failed_windows, sample_failed};
+use moche_data::FailedTest;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+fn time_method(
+    method: &dyn KsExplainer,
+    case: &FailedTest,
+    preference: &PreferenceList,
+    reps: usize,
+    seed: u64,
+) -> (f64, bool) {
+    let cfg = ks_config();
+    let mut total = 0.0f64;
+    let mut reversed = false;
+    for _ in 0..reps.max(1) {
+        let req = ExplainRequest {
+            reference: &case.reference,
+            test: &case.test,
+            cfg: &cfg,
+            preference: Some(preference),
+            seed,
+        };
+        let start = Instant::now();
+        let out = method.explain(&req);
+        total += start.elapsed().as_secs_f64();
+        reversed = out.is_some();
+    }
+    (total / reps.max(1) as f64, reversed)
+}
+
+/// Figure 5a: average runtime per method as the reference/test window size
+/// grows, on the TWT family (the paper's largest dataset). Rows are window
+/// sizes, columns are methods (including the MOCHE_ns ablation).
+pub fn fig5a(scale: &ExperimentScale) -> String {
+    let cfg = ks_config();
+    let series = family_series(NabFamily::Twt, scale);
+    let mut roster = paper_roster(scale);
+    roster.push(Box::new(MocheExplainer { no_lower_bound: true }));
+    let names: Vec<&'static str> = roster.iter().map(|m| m.name()).collect();
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Figure 5a: average runtime on TWT vs reference/test set size \
+         (cases per size: up to 2; reps: {})",
+        scale.timing_reps
+    );
+    let mut headers = vec!["Size".to_string()];
+    headers.extend(names.iter().map(|n| n.to_string()));
+    let mut table = Table::new(headers);
+
+    for &w in &scale.fig5a_sizes {
+        // Gather up to 2 failed tests of this window size across series.
+        let mut cases = Vec::new();
+        for (i, s) in series.iter().enumerate() {
+            if s.values.len() < 2 * w {
+                continue;
+            }
+            let failed = failed_windows(s, w, &cfg, (w / 2).max(1));
+            cases.extend(sample_failed(
+                failed,
+                1,
+                derive_seed(scale.seed, &format!("fig5a-{w}-{i}")),
+            ));
+            if cases.len() >= 2 {
+                break;
+            }
+        }
+        let mut row = vec![w.to_string()];
+        if cases.is_empty() {
+            row.extend(std::iter::repeat_n("-".to_string(), names.len()));
+        } else {
+            for method in &roster {
+                let mut total = 0.0;
+                for case in &cases {
+                    let pref = spectral_residual_preference(&case.test);
+                    let (secs, _) =
+                        time_method(method.as_ref(), case, &pref, scale.timing_reps, scale.seed);
+                    total += secs;
+                }
+                row.push(fmt_secs(total / cases.len() as f64));
+            }
+        }
+        table.push_row(row);
+    }
+    out.push_str(&table.render());
+    out.push_str(
+        "Paper shape: M fastest and flattest; Mns close; GRD/D3/S2G/STMP in between; \
+         GRC and CS orders of magnitude slower.\n",
+    );
+    out
+}
+
+/// Figure 5b: runtime on Kifer-style synthetic drift data (p = 3%), MOCHE
+/// vs MOCHE_ns vs GRD with random preference lists.
+pub fn fig5b(scale: &ExperimentScale) -> String {
+    let cfg = ks_config();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Figure 5b: runtime on synthetic drift data, p = 3% (reps: {})",
+        scale.timing_reps
+    );
+    let mut table = Table::new(vec!["w", "M", "Mns", "GRD", "M k", "GRD size"]);
+    let m = MocheExplainer::default();
+    let mns = MocheExplainer { no_lower_bound: true };
+
+    for &w in &scale.fig5b_sizes {
+        let Some(pair) = moche_data::failing_kifer_pair(
+            w,
+            0.03,
+            &cfg,
+            derive_seed(scale.seed, &format!("fig5b-{w}")),
+            50,
+        ) else {
+            table.push_row(vec![w.to_string(), "-".into(), "-".into(), "-".into(), "-".into(), "-".into()]);
+            continue;
+        };
+        let case = FailedTest {
+            series_name: format!("kifer-{w}"),
+            window: w,
+            reference_start: 0,
+            test_start: w,
+            reference: pair.reference.clone(),
+            test: pair.test.clone(),
+            overlaps_anomaly: true,
+            statistic: 0.0,
+        };
+        let pref = PreferenceList::random(w, derive_seed(scale.seed, &format!("pref-{w}")));
+
+        let (t_m, _) = time_method(&m, &case, &pref, scale.timing_reps, scale.seed);
+        let (t_mns, _) = time_method(&mns, &case, &pref, scale.timing_reps, scale.seed);
+        let (t_grd, _) = time_method(&Greedy, &case, &pref, scale.timing_reps, scale.seed);
+
+        // Sizes, for context on the crossover.
+        let req = ExplainRequest {
+            reference: &case.reference,
+            test: &case.test,
+            cfg: &cfg,
+            preference: Some(&pref),
+            seed: scale.seed,
+        };
+        let k = m.explain(&req).map_or(0, |v| v.len());
+        let grd_size = Greedy.explain(&req).map_or(0, |v| v.len());
+
+        table.push_row(vec![
+            w.to_string(),
+            fmt_secs(t_m),
+            fmt_secs(t_mns),
+            fmt_secs(t_grd),
+            k.to_string(),
+            grd_size.to_string(),
+        ]);
+    }
+    out.push_str(&table.render());
+    out.push_str(
+        "Paper shape: MOCHE at least 10x faster than GRD at every size; \
+         GRD does not finish at w = 1e5 within 2 hours in the paper's setup.\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig5b_runs_at_small_scale() {
+        let mut scale = ExperimentScale::quick();
+        scale.fig5b_sizes = vec![500, 1_000];
+        scale.timing_reps = 1;
+        let report = fig5b(&scale);
+        assert!(report.contains("Figure 5b"));
+        assert!(report.contains("500"));
+        assert!(report.contains("1000"));
+    }
+
+    #[test]
+    fn fig5a_runs_at_tiny_scale() {
+        let mut scale = ExperimentScale::quick();
+        scale.fig5a_sizes = vec![100];
+        scale.max_series_per_family = 1;
+        scale.timing_reps = 1;
+        scale.cs_max_samples = 200;
+        scale.grc_max_steps = 50;
+        let report = fig5a(&scale);
+        assert!(report.contains("Figure 5a"));
+        assert!(report.contains("Mns"));
+    }
+
+    #[test]
+    fn moche_beats_grd_on_moderate_synthetic() {
+        // The headline efficiency claim at a size where both finish fast.
+        let cfg = ks_config();
+        let pair = moche_data::failing_kifer_pair(4_000, 0.03, &cfg, 5, 50).unwrap();
+        let case = FailedTest {
+            series_name: "t".into(),
+            window: 4_000,
+            reference_start: 0,
+            test_start: 4_000,
+            reference: pair.reference,
+            test: pair.test,
+            overlaps_anomaly: true,
+            statistic: 0.0,
+        };
+        let pref = PreferenceList::random(4_000, 9);
+        let (t_m, rev_m) = time_method(&MocheExplainer::default(), &case, &pref, 1, 1);
+        let (t_grd, rev_grd) = time_method(&Greedy, &case, &pref, 1, 1);
+        assert!(rev_m && rev_grd);
+        assert!(
+            t_m < t_grd,
+            "MOCHE ({}) should beat GRD ({}) here",
+            fmt_secs(t_m),
+            fmt_secs(t_grd)
+        );
+    }
+}

@@ -1,0 +1,38 @@
+//! # moche-bench
+//!
+//! The experiment harness regenerating every table and figure of the MOCHE
+//! paper's evaluation (Section 6), plus Criterion microbenchmarks:
+//!
+//! | Paper artifact | Regenerator binary | Module |
+//! |---|---|---|
+//! | Table 1 (dataset statistics) | `table1_datasets` | [`experiments::table1`] |
+//! | Figure 1 (COVID overview) | `fig1_covid_overview` | [`experiments::covid`] |
+//! | Figure 2 (average ISE) | `fig2_ise` | [`experiments::effectiveness`] |
+//! | Table 2 (reverse factor) | `table2_reverse_factor` | [`experiments::effectiveness`] |
+//! | Figure 3 (average RMSE) | `fig3_rmse` | [`experiments::effectiveness`] |
+//! | Figure 4 (COVID case study) | `fig4_covid_case_study` | [`experiments::covid`] |
+//! | Figure 5a (runtime vs size, TWT) | `fig5a_runtime_twt` | [`experiments::runtime`] |
+//! | Figure 5b (runtime, synthetic) | `fig5b_runtime_synthetic` | [`experiments::runtime`] |
+//! | Figure 6 (estimation error) | `fig6_estimation_error` | [`experiments::estimation`] |
+//! | everything | `run_all` | all |
+//!
+//! Every binary accepts `--full` for the paper-scale sweep (hours) and
+//! defaults to a quick configuration (minutes) that preserves each
+//! experiment's *shape*; `--seed N` overrides the master seed.
+//!
+//! Criterion benches (`cargo bench -p moche-bench`): `ks_primitives`,
+//! `phase1` (including the `MOCHE_ns` ablation), `phase2` (incremental vs
+//! paper-faithful construction), `end_to_end` (Figure 5a's shape) and
+//! `scaling` (Figure 5b's shape).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod metrics;
+pub mod report;
+pub mod runner;
+pub mod scale;
+
+pub use runner::{paper_roster, run_case, run_cases, CaseResult, MethodResult};
+pub use scale::ExperimentScale;

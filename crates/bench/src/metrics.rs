@@ -1,0 +1,105 @@
+//! The paper's evaluation metrics: Is-Smallest-Explanation (ISE, §6.2),
+//! reverse factor (RF, §6.2.1), root-mean-square error between ECDFs
+//! (RMSE, §6.3) and the Phase-1 estimation error (EE, §6.4).
+
+use moche_core::Ecdf;
+
+/// Marks, for each method's explanation size on one failed KS test, whether
+/// it is the smallest among the methods that produced an explanation
+/// (`None` = aborted, never smallest). All methods achieving the minimum
+/// are marked 1, matching the paper's binary ISE variable.
+pub fn ise_flags(sizes: &[Option<usize>]) -> Vec<f64> {
+    let min = sizes.iter().flatten().min().copied();
+    sizes
+        .iter()
+        .map(|s| match (s, min) {
+            (Some(v), Some(m)) if *v == m => 1.0,
+            _ => 0.0,
+        })
+        .collect()
+}
+
+/// The reverse factor: fraction of failed tests a method managed to
+/// reverse.
+pub fn reverse_factor(outcomes: &[bool]) -> f64 {
+    if outcomes.is_empty() {
+        return f64::NAN;
+    }
+    outcomes.iter().filter(|&&b| b).count() as f64 / outcomes.len() as f64
+}
+
+/// The RMSE between the ECDFs of `R` and `T \ I` over the multiset
+/// `R ∪ (T \ I)` (Section 6.3).
+pub fn rmse_after_removal(reference: &[f64], test: &[f64], removed: &[usize]) -> f64 {
+    let mut keep = vec![true; test.len()];
+    for &i in removed {
+        keep[i] = false;
+    }
+    let t_after: Vec<f64> = test
+        .iter()
+        .zip(&keep)
+        .filter_map(|(&v, &k)| k.then_some(v))
+        .collect();
+    if t_after.is_empty() {
+        return f64::NAN;
+    }
+    Ecdf::new(reference).rmse(&Ecdf::new(&t_after))
+}
+
+/// Mean of an iterator of f64, NaN when empty.
+pub fn mean_of(values: impl IntoIterator<Item = f64>) -> f64 {
+    let mut sum = 0.0;
+    let mut count = 0usize;
+    for v in values {
+        sum += v;
+        count += 1;
+    }
+    if count == 0 {
+        f64::NAN
+    } else {
+        sum / count as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ise_marks_all_minima() {
+        let flags = ise_flags(&[Some(3), Some(5), Some(3), None]);
+        assert_eq!(flags, vec![1.0, 0.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn ise_with_all_aborts_is_zero() {
+        assert_eq!(ise_flags(&[None, None]), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn reverse_factor_counts_successes() {
+        assert_eq!(reverse_factor(&[true, true, false, true]), 0.75);
+        assert!(reverse_factor(&[]).is_nan());
+    }
+
+    #[test]
+    fn rmse_zero_when_removal_restores_identity() {
+        let r = vec![1.0, 2.0, 3.0];
+        let t = vec![1.0, 2.0, 3.0, 99.0];
+        let rmse_with = rmse_after_removal(&r, &t, &[3]);
+        assert_eq!(rmse_with, 0.0);
+        let rmse_without = rmse_after_removal(&r, &t, &[]);
+        assert!(rmse_without > 0.0);
+    }
+
+    #[test]
+    fn rmse_of_full_removal_is_nan() {
+        assert!(rmse_after_removal(&[1.0], &[2.0], &[0]).is_nan());
+    }
+
+    #[test]
+    fn mean_of_handles_empty() {
+        assert!(mean_of(std::iter::empty()).is_nan());
+        assert_eq!(mean_of([1.0, 2.0, 3.0]), 2.0);
+    }
+}

@@ -1,0 +1,167 @@
+//! Plain-text table and chart rendering for the experiment binaries.
+
+use std::fmt::Write as _;
+
+/// A simple aligned text table.
+#[derive(Debug, Clone)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>>(headers: Vec<S>) -> Self {
+        Self { headers: headers.into_iter().map(Into::into).collect(), rows: Vec::new() }
+    }
+
+    /// Appends a row; must match the header count.
+    pub fn push_row<S: Into<String>>(&mut self, row: Vec<S>) {
+        let row: Vec<String> = row.into_iter().map(Into::into).collect();
+        assert_eq!(row.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(row);
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let sep = |out: &mut String| {
+            for (i, w) in widths.iter().enumerate() {
+                let _ = write!(out, "+{:-<1$}", "", w + 2);
+                if i + 1 == cols {
+                    out.push('+');
+                    out.push('\n');
+                }
+            }
+        };
+        sep(&mut out);
+        for (i, h) in self.headers.iter().enumerate() {
+            let _ = write!(out, "| {h:<w$} ", w = widths[i]);
+            if i + 1 == cols {
+                out.push('|');
+                out.push('\n');
+            }
+        }
+        sep(&mut out);
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                let _ = write!(out, "| {cell:<w$} ", w = widths[i]);
+                if i + 1 == cols {
+                    out.push('|');
+                    out.push('\n');
+                }
+            }
+        }
+        sep(&mut out);
+        out
+    }
+}
+
+/// Formats a float with `prec` decimals; `NaN` renders as `-`.
+pub fn fmt_f(x: f64, prec: usize) -> String {
+    if x.is_nan() {
+        "-".to_string()
+    } else {
+        format!("{x:.prec$}")
+    }
+}
+
+/// Formats seconds adaptively (`µs` / `ms` / `s`).
+pub fn fmt_secs(s: f64) -> String {
+    if s.is_nan() {
+        "-".to_string()
+    } else if s < 1e-3 {
+        format!("{:.1}us", s * 1e6)
+    } else if s < 1.0 {
+        format!("{:.2}ms", s * 1e3)
+    } else {
+        format!("{s:.2}s")
+    }
+}
+
+/// Renders a horizontal ASCII bar of `value` against `max` scaled to
+/// `width` characters.
+pub fn bar(value: f64, max: f64, width: usize) -> String {
+    if max <= 0.0 || !value.is_finite() {
+        return String::new();
+    }
+    let filled = ((value / max) * width as f64).round().clamp(0.0, width as f64) as usize;
+    "#".repeat(filled)
+}
+
+/// Renders a histogram (label, count) list as rows of bars.
+pub fn histogram(items: &[(String, f64)], width: usize) -> String {
+    let max = items.iter().map(|(_, v)| *v).fold(0.0f64, f64::max);
+    let label_w = items.iter().map(|(l, _)| l.len()).max().unwrap_or(0);
+    let mut out = String::new();
+    for (label, value) in items {
+        let _ = writeln!(
+            out,
+            "  {label:<label_w$} {v:>10.2} |{bar}",
+            v = value,
+            bar = bar(*value, max, width)
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(vec!["method", "value"]);
+        t.push_row(vec!["M".to_string(), "1.00".to_string()]);
+        t.push_row(vec!["GRD".to_string(), "0.25".to_string()]);
+        let s = t.render();
+        assert!(s.contains("| method |"));
+        assert!(s.contains("| GRD    |"));
+        let widths: Vec<usize> = s.lines().map(str::len).collect();
+        assert!(widths.windows(2).all(|w| w[0] == w[1]), "{s}");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn table_rejects_ragged_rows() {
+        let mut t = Table::new(vec!["a", "b"]);
+        t.push_row(vec!["only one"]);
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(fmt_f(1.23456, 2), "1.23");
+        assert_eq!(fmt_f(f64::NAN, 2), "-");
+    }
+
+    #[test]
+    fn seconds_formatting() {
+        assert_eq!(fmt_secs(0.0000005), "0.5us");
+        assert_eq!(fmt_secs(0.005), "5.00ms");
+        assert_eq!(fmt_secs(2.5), "2.50s");
+        assert_eq!(fmt_secs(f64::NAN), "-");
+    }
+
+    #[test]
+    fn bars_scale() {
+        assert_eq!(bar(5.0, 10.0, 10), "#####");
+        assert_eq!(bar(10.0, 10.0, 10), "##########");
+        assert_eq!(bar(0.0, 10.0, 10), "");
+        assert_eq!(bar(1.0, 0.0, 10), "");
+    }
+
+    #[test]
+    fn histogram_renders_all_rows() {
+        let items = vec![("a".to_string(), 1.0), ("bb".to_string(), 2.0)];
+        let h = histogram(&items, 20);
+        assert_eq!(h.lines().count(), 2);
+        assert!(h.contains("bb"));
+    }
+}

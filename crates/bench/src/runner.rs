@@ -1,0 +1,258 @@
+//! The experiment runner: applies a roster of explainers to failed KS
+//! tests, with Spectral-Residual preference lists (the paper's §6.1.1
+//! protocol), wall-clock timing, and thread-pool fan-out across test
+//! cases.
+
+use crate::scale::ExperimentScale;
+use moche_baselines::{
+    CornerSearch, CornerSearchConfig, ExplainRequest, Grace, GraceConfig, Greedy, KsExplainer,
+    MocheExplainer, Series2GraphExplainer, Stomp, D3,
+};
+use moche_core::{KsConfig, PreferenceList};
+use moche_data::FailedTest;
+use moche_sigproc::SpectralResidual;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+/// One method's result on one failed test.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MethodResult {
+    /// Method name (paper abbreviation).
+    pub method: &'static str,
+    /// Selected test indices, or `None` when the method aborted.
+    pub indices: Option<Vec<usize>>,
+    /// Wall-clock seconds for the explain call.
+    pub seconds: f64,
+}
+
+impl MethodResult {
+    /// Explanation size, if one was produced.
+    pub fn size(&self) -> Option<usize> {
+        self.indices.as_ref().map(Vec::len)
+    }
+}
+
+/// All methods' results on one failed test, plus provenance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CaseResult {
+    /// Name of the originating series.
+    pub series_name: String,
+    /// Dataset family short name (`AWS`, `TWT`, ...).
+    pub family: String,
+    /// Window size of the failed test.
+    pub window: usize,
+    /// The failed test's reference set.
+    pub reference: Vec<f64>,
+    /// The failed test's test set.
+    pub test: Vec<f64>,
+    /// Per-method results, in roster order.
+    pub results: Vec<MethodResult>,
+}
+
+impl CaseResult {
+    /// The result of a given method, if present.
+    pub fn result_of(&self, method: &str) -> Option<&MethodResult> {
+        self.results.iter().find(|r| r.method == method)
+    }
+}
+
+/// The roster of explainers for the effectiveness experiments
+/// (Figures 2-3, Table 2): M, GRC, GRD, CS, S2G, STMP, D3 — scaled budgets
+/// for CS/GRC per the configured [`ExperimentScale`].
+pub fn paper_roster(scale: &ExperimentScale) -> Vec<Box<dyn KsExplainer + Send + Sync>> {
+    vec![
+        Box::new(MocheExplainer::default()),
+        Box::new(Grace::new(GraceConfig {
+            max_steps: scale.grc_max_steps,
+            ..GraceConfig::default()
+        })),
+        Box::new(Greedy),
+        Box::new(CornerSearch::new(CornerSearchConfig {
+            max_samples: scale.cs_max_samples,
+            ..CornerSearchConfig::default()
+        })),
+        Box::new(Series2GraphExplainer::default()),
+        Box::new(Stomp::default()),
+        Box::new(D3::default()),
+    ]
+}
+
+/// Derives the preference list for a failed test the way the paper does:
+/// Spectral Residual outlying scores over the test window, larger scores
+/// ranked higher.
+pub fn spectral_residual_preference(test: &[f64]) -> PreferenceList {
+    if test.len() < 4 {
+        return PreferenceList::identity(test.len());
+    }
+    let sr = SpectralResidual::default();
+    let scores = sr.scores(test);
+    PreferenceList::from_scores_desc(&scores)
+        .unwrap_or_else(|_| PreferenceList::identity(test.len()))
+}
+
+/// Runs every method of `roster` on one failed test.
+pub fn run_case(
+    case: &FailedTest,
+    family: &str,
+    roster: &[Box<dyn KsExplainer + Send + Sync>],
+    cfg: &KsConfig,
+    seed: u64,
+) -> CaseResult {
+    let preference = spectral_residual_preference(&case.test);
+    let results = roster
+        .iter()
+        .map(|method| {
+            let req = ExplainRequest {
+                reference: &case.reference,
+                test: &case.test,
+                cfg,
+                preference: Some(&preference),
+                seed,
+            };
+            let start = Instant::now();
+            let indices = method.explain(&req);
+            MethodResult {
+                method: method.name(),
+                indices,
+                seconds: start.elapsed().as_secs_f64(),
+            }
+        })
+        .collect();
+    CaseResult {
+        series_name: case.series_name.clone(),
+        family: family.to_string(),
+        window: case.window,
+        reference: case.reference.clone(),
+        test: case.test.clone(),
+        results,
+    }
+}
+
+/// Runs the roster over many failed tests, fanning out across `threads`
+/// worker threads (results keep the input order).
+pub fn run_cases(
+    cases: &[(FailedTest, String)],
+    roster: &[Box<dyn KsExplainer + Send + Sync>],
+    cfg: &KsConfig,
+    seed: u64,
+    threads: usize,
+) -> Vec<CaseResult> {
+    let threads = threads.max(1).min(cases.len().max(1));
+    let next = AtomicUsize::new(0);
+    let slots: std::sync::Mutex<Vec<Option<CaseResult>>> =
+        std::sync::Mutex::new(vec![None; cases.len()]);
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= cases.len() {
+                    break;
+                }
+                let (case, family) = &cases[i];
+                let result = run_case(case, family, roster, cfg, seed.wrapping_add(i as u64));
+                slots.lock().unwrap()[i] = Some(result);
+            });
+        }
+    });
+    slots
+        .into_inner()
+        .unwrap()
+        .into_iter()
+        .map(|s| s.expect("every slot filled"))
+        .collect()
+}
+
+/// Default worker-thread count: the available parallelism, capped at 8.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).min(8)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use moche_data::nab::{NabFamily, NabSeries};
+    use moche_data::sliding::failed_windows;
+
+    fn drifted_series() -> NabSeries {
+        let mut values: Vec<f64> = (0..300).map(|i| (i as f64 * 0.11).sin()).collect();
+        values.extend((0..300).map(|i| (i as f64 * 0.11).sin() + 5.0));
+        NabSeries {
+            family: NabFamily::Art,
+            name: "runner_test".into(),
+            values,
+            anomalies: vec![300..330],
+        }
+    }
+
+    fn some_failed_test() -> FailedTest {
+        let cfg = KsConfig::new(0.05).unwrap();
+        failed_windows(&drifted_series(), 100, &cfg, 50)
+            .into_iter()
+            .next()
+            .expect("the drifted series must fail somewhere")
+    }
+
+    #[test]
+    fn roster_has_the_papers_seven_methods() {
+        let roster = paper_roster(&ExperimentScale::quick());
+        let names: Vec<&str> = roster.iter().map(|m| m.name()).collect();
+        assert_eq!(names, vec!["M", "GRC", "GRD", "CS", "S2G", "STMP", "D3"]);
+    }
+
+    #[test]
+    fn run_case_times_every_method() {
+        let cfg = KsConfig::new(0.05).unwrap();
+        let case = some_failed_test();
+        let roster = paper_roster(&ExperimentScale::quick());
+        let result = run_case(&case, "ART", &roster, &cfg, 1);
+        assert_eq!(result.results.len(), 7);
+        for r in &result.results {
+            assert!(r.seconds >= 0.0);
+        }
+        // MOCHE and GRD always reverse.
+        assert!(result.result_of("M").unwrap().indices.is_some());
+        assert!(result.result_of("GRD").unwrap().indices.is_some());
+        // MOCHE's is the smallest among produced explanations.
+        let m_size = result.result_of("M").unwrap().size().unwrap();
+        for r in &result.results {
+            if let Some(s) = r.size() {
+                assert!(m_size <= s, "{} produced {} < MOCHE's {}", r.method, s, m_size);
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_run_preserves_order_and_determinism() {
+        let cfg = KsConfig::new(0.05).unwrap();
+        let case = some_failed_test();
+        let cases: Vec<(FailedTest, String)> = (0..4)
+            .map(|_| (case.clone(), "ART".to_string()))
+            .collect();
+        let roster = paper_roster(&ExperimentScale::quick());
+        let seq = run_cases(&cases, &roster, &cfg, 9, 1);
+        let par = run_cases(&cases, &roster, &cfg, 9, 4);
+        assert_eq!(seq.len(), par.len());
+        for (a, b) in seq.iter().zip(&par) {
+            for (ra, rb) in a.results.iter().zip(&b.results) {
+                assert_eq!(ra.method, rb.method);
+                assert_eq!(ra.indices, rb.indices, "method {} differs", ra.method);
+            }
+        }
+    }
+
+    #[test]
+    fn sr_preference_is_valid_permutation() {
+        let case = some_failed_test();
+        let pref = spectral_residual_preference(&case.test);
+        assert_eq!(pref.len(), case.test.len());
+        let mut sorted = pref.as_order().to_vec();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..case.test.len()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn tiny_test_sets_fall_back_to_identity() {
+        let pref = spectral_residual_preference(&[1.0, 2.0]);
+        assert_eq!(pref.as_order(), &[0, 1]);
+    }
+}

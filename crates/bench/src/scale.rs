@@ -1,0 +1,119 @@
+//! Experiment scaling: paper-scale runs take hours (the paper gave its
+//! baselines a 24-hour budget on a Xeon server), so every binary defaults
+//! to a scaled-down configuration that preserves the experiments' *shape*
+//! and accepts `--full` for the paper-scale sweep.
+
+/// Scale parameters shared by the experiment binaries.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExperimentScale {
+    /// Sliding-window sizes to sweep (the paper's §6.1.1 list).
+    pub window_sizes: Vec<usize>,
+    /// Failed KS tests sampled per (series, window) combination.
+    pub per_combination: usize,
+    /// Cap on the number of series used per NAB family.
+    pub max_series_per_family: usize,
+    /// Sampling budget of Extended-CornerSearch.
+    pub cs_max_samples: usize,
+    /// Optimization steps of Extended-GRACE.
+    pub grc_max_steps: usize,
+    /// Reference/test sizes for the Figure 5a runtime sweep.
+    pub fig5a_sizes: Vec<usize>,
+    /// `w` values for the Figure 5b synthetic scalability sweep.
+    pub fig5b_sizes: Vec<usize>,
+    /// Repetitions per timing measurement.
+    pub timing_reps: usize,
+    /// Master seed.
+    pub seed: u64,
+    /// Whether this is the full paper-scale configuration.
+    pub full: bool,
+}
+
+impl ExperimentScale {
+    /// The quick default: minutes, not hours, with the same structure.
+    pub fn quick() -> Self {
+        Self {
+            window_sizes: vec![100, 200, 300],
+            per_combination: 2,
+            max_series_per_family: 3,
+            cs_max_samples: 2_000,
+            grc_max_steps: 400,
+            fig5a_sizes: vec![100, 200, 300, 500, 1_000],
+            fig5b_sizes: vec![1_000, 3_000, 10_000, 30_000],
+            timing_reps: 3,
+            seed: 20_21,
+            full: false,
+        }
+    }
+
+    /// The paper-scale configuration (Section 6.1).
+    pub fn full() -> Self {
+        Self {
+            window_sizes: vec![100, 200, 300, 1_000, 1_500, 2_000],
+            per_combination: 10,
+            max_series_per_family: usize::MAX,
+            cs_max_samples: 150_000,
+            grc_max_steps: 10_000,
+            fig5a_sizes: vec![100, 200, 300, 500, 1_000, 1_500, 2_000],
+            fig5b_sizes: vec![10_000, 30_000, 50_000, 70_000, 100_000],
+            timing_reps: 3,
+            seed: 20_21,
+            full: true,
+        }
+    }
+
+    /// Parses `--full` (and an optional `--seed N`) from the process
+    /// arguments.
+    pub fn from_args() -> Self {
+        let args: Vec<String> = std::env::args().collect();
+        Self::from_arg_strings(&args[1..])
+    }
+
+    /// Parses scale settings from explicit argument strings (testable).
+    pub fn from_arg_strings(args: &[String]) -> Self {
+        let mut scale =
+            if args.iter().any(|a| a == "--full") { Self::full() } else { Self::quick() };
+        let mut it = args.iter();
+        while let Some(a) = it.next() {
+            if a == "--seed" {
+                if let Some(v) = it.next().and_then(|s| s.parse::<u64>().ok()) {
+                    scale.seed = v;
+                }
+            }
+        }
+        scale
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_is_smaller_than_full() {
+        let q = ExperimentScale::quick();
+        let f = ExperimentScale::full();
+        assert!(q.window_sizes.len() < f.window_sizes.len());
+        assert!(q.per_combination < f.per_combination);
+        assert!(q.cs_max_samples < f.cs_max_samples);
+        assert!(!q.full);
+        assert!(f.full);
+    }
+
+    #[test]
+    fn full_matches_paper_windows() {
+        let f = ExperimentScale::full();
+        assert_eq!(f.window_sizes, vec![100, 200, 300, 1_000, 1_500, 2_000]);
+        assert_eq!(f.fig5b_sizes, vec![10_000, 30_000, 50_000, 70_000, 100_000]);
+        assert_eq!(f.per_combination, 10);
+    }
+
+    #[test]
+    fn arg_parsing() {
+        let q = ExperimentScale::from_arg_strings(&[]);
+        assert!(!q.full);
+        let f = ExperimentScale::from_arg_strings(&["--full".to_string()]);
+        assert!(f.full);
+        let s = ExperimentScale::from_arg_strings(&["--seed".to_string(), "7".to_string()]);
+        assert_eq!(s.seed, 7);
+    }
+}

@@ -1,0 +1,334 @@
+//! Hand-rolled argument parsing for the `moche` binary (keeping the
+//! dependency set to the approved list — no clap).
+
+use crate::io::CliError;
+use std::path::PathBuf;
+
+/// How the preference list is derived for `moche explain`.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub enum PreferenceSource {
+    /// Spectral-Residual outlier scores over the test window (the paper's
+    /// time-series protocol) — the default.
+    #[default]
+    SpectralResidual,
+    /// Scores from the test file's second column (or a separate file),
+    /// descending.
+    ScoreColumn,
+    /// Scores from an explicit file, descending.
+    ScoreFile(PathBuf),
+    /// Test values descending (largest first).
+    ValueDesc,
+    /// Test values ascending (smallest first).
+    ValueAsc,
+    /// Input order.
+    Identity,
+}
+
+/// Output format for machine consumption.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OutputFormat {
+    /// Human-readable report (default).
+    #[default]
+    Text,
+    /// One `index,value` line per selected point.
+    Csv,
+}
+
+/// The parsed command.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// `moche test REF TEST [--alpha A]`
+    Test {
+        /// Reference data file.
+        reference: PathBuf,
+        /// Test data file.
+        test: PathBuf,
+        /// Significance level.
+        alpha: f64,
+    },
+    /// `moche size REF TEST [--alpha A]`
+    Size {
+        /// Reference data file.
+        reference: PathBuf,
+        /// Test data file.
+        test: PathBuf,
+        /// Significance level.
+        alpha: f64,
+    },
+    /// `moche explain REF TEST [--alpha A] [--preference SRC] [--format F]`
+    Explain {
+        /// Reference data file.
+        reference: PathBuf,
+        /// Test data file.
+        test: PathBuf,
+        /// Significance level.
+        alpha: f64,
+        /// Preference derivation.
+        preference: PreferenceSource,
+        /// Output format.
+        format: OutputFormat,
+    },
+    /// `moche monitor SERIES --window W [--alpha A] [--no-explain]`
+    Monitor {
+        /// Series data file.
+        series: PathBuf,
+        /// Window size.
+        window: usize,
+        /// Significance level.
+        alpha: f64,
+        /// Disable explanations on alarms.
+        explain: bool,
+    },
+    /// `moche help` or `--help`.
+    Help,
+}
+
+/// The usage string printed by `moche help`.
+pub const USAGE: &str = "\
+moche — counterfactual explanations on failed Kolmogorov-Smirnov tests
+
+USAGE:
+  moche test    <REF> <TEST> [--alpha A]
+      Run the two-sample KS test between two data files.
+  moche size    <REF> <TEST> [--alpha A]
+      Phase 1 only: the minimum explanation size of the failed test.
+  moche explain <REF> <TEST> [--alpha A] [--preference SRC] [--format text|csv]
+      Find the most comprehensible counterfactual explanation.
+      SRC: sr (Spectral Residual, default) | scores (test file's 2nd column)
+           | score-file:PATH | value-desc | value-asc | identity
+  moche monitor <SERIES> --window W [--alpha A] [--no-explain]
+      Stream a series through paired sliding windows; explain each alarm.
+
+Data files: one number per line; '#' starts a comment; for 'explain
+--preference scores' each line may be 'value,score'.
+
+OPTIONS:
+  --alpha A     significance level (default 0.05)
+  --format F    explain output: text (default) or csv
+  --window W    monitor window size (required for monitor)
+  --no-explain  monitor: raise alarms without computing explanations
+";
+
+fn parse_alpha(value: Option<&str>) -> Result<f64, CliError> {
+    let raw = value.ok_or_else(|| CliError::Usage("--alpha needs a value".into()))?;
+    let alpha: f64 = raw
+        .parse()
+        .map_err(|_| CliError::Usage(format!("invalid --alpha '{raw}'")))?;
+    if !(alpha > 0.0 && alpha < 1.0) {
+        return Err(CliError::Usage(format!("--alpha must be in (0, 1), got {alpha}")));
+    }
+    Ok(alpha)
+}
+
+/// Parses the process arguments (without the program name).
+pub fn parse(args: &[String]) -> Result<Command, CliError> {
+    let mut it = args.iter().map(String::as_str).peekable();
+    let Some(sub) = it.next() else {
+        return Ok(Command::Help);
+    };
+    if sub == "help" || sub == "--help" || sub == "-h" {
+        return Ok(Command::Help);
+    }
+
+    // Collect positionals and flags for the remainder.
+    let mut positionals: Vec<&str> = Vec::new();
+    let mut alpha = 0.05f64;
+    let mut preference = PreferenceSource::default();
+    let mut format = OutputFormat::default();
+    let mut window: Option<usize> = None;
+    let mut explain = true;
+    while let Some(arg) = it.next() {
+        match arg {
+            "--alpha" => alpha = parse_alpha(it.next())?,
+            "--format" => {
+                format = match it.next() {
+                    Some("text") => OutputFormat::Text,
+                    Some("csv") => OutputFormat::Csv,
+                    other => {
+                        return Err(CliError::Usage(format!(
+                            "--format must be text or csv, got {other:?}"
+                        )))
+                    }
+                }
+            }
+            "--window" => {
+                let raw = it
+                    .next()
+                    .ok_or_else(|| CliError::Usage("--window needs a value".into()))?;
+                let w: usize = raw
+                    .parse()
+                    .map_err(|_| CliError::Usage(format!("invalid --window '{raw}'")))?;
+                if w < 2 {
+                    return Err(CliError::Usage("--window must be at least 2".into()));
+                }
+                window = Some(w);
+            }
+            "--no-explain" => explain = false,
+            "--preference" => {
+                let raw = it
+                    .next()
+                    .ok_or_else(|| CliError::Usage("--preference needs a value".into()))?;
+                preference = match raw {
+                    "sr" => PreferenceSource::SpectralResidual,
+                    "scores" => PreferenceSource::ScoreColumn,
+                    "value-desc" => PreferenceSource::ValueDesc,
+                    "value-asc" => PreferenceSource::ValueAsc,
+                    "identity" => PreferenceSource::Identity,
+                    other if other.starts_with("score-file:") => PreferenceSource::ScoreFile(
+                        PathBuf::from(other.trim_start_matches("score-file:")),
+                    ),
+                    other => {
+                        return Err(CliError::Usage(format!("unknown preference '{other}'")))
+                    }
+                };
+            }
+            flag if flag.starts_with("--") => {
+                return Err(CliError::Usage(format!("unknown flag '{flag}'")));
+            }
+            positional => positionals.push(positional),
+        }
+    }
+
+    let two_files = |positionals: &[&str]| -> Result<(PathBuf, PathBuf), CliError> {
+        if positionals.len() != 2 {
+            return Err(CliError::Usage(format!(
+                "expected <REF> <TEST>, got {} positional argument(s)",
+                positionals.len()
+            )));
+        }
+        Ok((PathBuf::from(positionals[0]), PathBuf::from(positionals[1])))
+    };
+
+    match sub {
+        "test" => {
+            let (reference, test) = two_files(&positionals)?;
+            Ok(Command::Test { reference, test, alpha })
+        }
+        "size" => {
+            let (reference, test) = two_files(&positionals)?;
+            Ok(Command::Size { reference, test, alpha })
+        }
+        "explain" => {
+            let (reference, test) = two_files(&positionals)?;
+            Ok(Command::Explain { reference, test, alpha, preference, format })
+        }
+        "monitor" => {
+            if positionals.len() != 1 {
+                return Err(CliError::Usage("monitor expects one <SERIES> file".into()));
+            }
+            let window =
+                window.ok_or_else(|| CliError::Usage("monitor requires --window W".into()))?;
+            Ok(Command::Monitor {
+                series: PathBuf::from(positionals[0]),
+                window,
+                alpha,
+                explain,
+            })
+        }
+        other => Err(CliError::Usage(format!(
+            "unknown command '{other}' (try 'moche help')"
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_ok(args: &[&str]) -> Command {
+        parse(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>()).unwrap()
+    }
+
+    fn parse_err(args: &[&str]) -> CliError {
+        parse(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>()).unwrap_err()
+    }
+
+    #[test]
+    fn parses_test_command() {
+        match parse_ok(&["test", "r.txt", "t.txt"]) {
+            Command::Test { reference, test, alpha } => {
+                assert_eq!(reference, PathBuf::from("r.txt"));
+                assert_eq!(test, PathBuf::from("t.txt"));
+                assert_eq!(alpha, 0.05);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_alpha_override() {
+        match parse_ok(&["size", "r", "t", "--alpha", "0.1"]) {
+            Command::Size { alpha, .. } => assert_eq!(alpha, 0.1),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(matches!(parse_err(&["size", "r", "t", "--alpha", "2"]), CliError::Usage(_)));
+        assert!(matches!(parse_err(&["size", "r", "t", "--alpha"]), CliError::Usage(_)));
+    }
+
+    #[test]
+    fn parses_preference_sources() {
+        let cases: Vec<(&str, PreferenceSource)> = vec![
+            ("sr", PreferenceSource::SpectralResidual),
+            ("scores", PreferenceSource::ScoreColumn),
+            ("value-desc", PreferenceSource::ValueDesc),
+            ("value-asc", PreferenceSource::ValueAsc),
+            ("identity", PreferenceSource::Identity),
+            ("score-file:s.txt", PreferenceSource::ScoreFile(PathBuf::from("s.txt"))),
+        ];
+        for (raw, expected) in cases {
+            match parse_ok(&["explain", "r", "t", "--preference", raw]) {
+                Command::Explain { preference, .. } => assert_eq!(preference, expected),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        assert!(matches!(
+            parse_err(&["explain", "r", "t", "--preference", "bogus"]),
+            CliError::Usage(_)
+        ));
+    }
+
+    #[test]
+    fn parses_monitor() {
+        match parse_ok(&["monitor", "s.txt", "--window", "200", "--no-explain"]) {
+            Command::Monitor { series, window, alpha, explain } => {
+                assert_eq!(series, PathBuf::from("s.txt"));
+                assert_eq!(window, 200);
+                assert_eq!(alpha, 0.05);
+                assert!(!explain);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(matches!(parse_err(&["monitor", "s.txt"]), CliError::Usage(_)));
+        assert!(matches!(
+            parse_err(&["monitor", "s.txt", "--window", "1"]),
+            CliError::Usage(_)
+        ));
+    }
+
+    #[test]
+    fn help_variants() {
+        assert_eq!(parse_ok(&["help"]), Command::Help);
+        assert_eq!(parse_ok(&["--help"]), Command::Help);
+        assert_eq!(parse_ok(&[]), Command::Help);
+    }
+
+    #[test]
+    fn rejects_unknown_commands_and_flags() {
+        assert!(matches!(parse_err(&["frobnicate"]), CliError::Usage(_)));
+        assert!(matches!(parse_err(&["test", "r", "t", "--bogus"]), CliError::Usage(_)));
+        assert!(matches!(parse_err(&["test", "r"]), CliError::Usage(_)));
+        assert!(matches!(parse_err(&["test", "r", "t", "x"]), CliError::Usage(_)));
+    }
+
+    #[test]
+    fn format_parsing() {
+        match parse_ok(&["explain", "r", "t", "--format", "csv"]) {
+            Command::Explain { format, .. } => assert_eq!(format, OutputFormat::Csv),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(matches!(
+            parse_err(&["explain", "r", "t", "--format", "xml"]),
+            CliError::Usage(_)
+        ));
+    }
+}

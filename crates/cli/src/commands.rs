@@ -1,0 +1,305 @@
+//! Command implementations: each returns the report it would print, so the
+//! logic is unit-testable without spawning processes.
+
+use crate::args::{Command, OutputFormat, PreferenceSource};
+use crate::io::{read_values, read_values_and_scores, CliError};
+use moche_core::ks::asymptotic_p_value;
+use moche_core::{Moche, PreferenceList};
+use moche_sigproc::SpectralResidual;
+use moche_stream::{DriftMonitor, MonitorConfig, MonitorEvent};
+use std::fmt::Write as _;
+
+/// Executes a parsed command, returning the text to print.
+pub fn run(command: Command) -> Result<String, CliError> {
+    match command {
+        Command::Help => Ok(crate::args::USAGE.to_string()),
+        Command::Test { reference, test, alpha } => {
+            let r = read_values(&reference)?;
+            let t = read_values(&test)?;
+            run_test(&r, &t, alpha)
+        }
+        Command::Size { reference, test, alpha } => {
+            let r = read_values(&reference)?;
+            let t = read_values(&test)?;
+            run_size(&r, &t, alpha)
+        }
+        Command::Explain { reference, test, alpha, preference, format } => {
+            let r = read_values(&reference)?;
+            let (t, scores) = read_values_and_scores(&test)?;
+            run_explain(&r, &t, scores, alpha, &preference, format)
+        }
+        Command::Monitor { series, window, alpha, explain } => {
+            let values = read_values(&series)?;
+            run_monitor(&values, window, alpha, explain)
+        }
+    }
+}
+
+fn run_test(r: &[f64], t: &[f64], alpha: f64) -> Result<String, CliError> {
+    let moche = Moche::new(alpha)?;
+    let outcome = moche.test(r, t)?;
+    let p = asymptotic_p_value(outcome.statistic, outcome.n, outcome.m);
+    let mut out = String::new();
+    let _ = writeln!(out, "n = {}, m = {}, alpha = {alpha}", outcome.n, outcome.m);
+    let _ = writeln!(
+        out,
+        "D = {:.6}, threshold = {:.6}, asymptotic p-value = {:.4e}",
+        outcome.statistic, outcome.threshold, p
+    );
+    let _ = writeln!(
+        out,
+        "verdict: {}",
+        if outcome.rejected {
+            "FAILED (distributions differ)"
+        } else {
+            "passed (no significant difference)"
+        }
+    );
+    Ok(out)
+}
+
+fn run_size(r: &[f64], t: &[f64], alpha: f64) -> Result<String, CliError> {
+    let moche = Moche::new(alpha)?;
+    let s = moche.explanation_size(r, t)?;
+    let mut out = String::new();
+    let _ = writeln!(out, "explanation size k = {}", s.k);
+    let _ = writeln!(
+        out,
+        "phase-1 lower bound k_hat = {} (estimation error {})",
+        s.k_hat,
+        s.estimation_error()
+    );
+    let _ = writeln!(
+        out,
+        "checks: {} binary-search (Theorem 2) + {} exact (Theorem 1)",
+        s.theorem2_checks, s.theorem1_checks
+    );
+    Ok(out)
+}
+
+fn build_preference(
+    t: &[f64],
+    scores_column: Option<Vec<f64>>,
+    source: &PreferenceSource,
+) -> Result<PreferenceList, CliError> {
+    let list = match source {
+        PreferenceSource::SpectralResidual => {
+            if t.len() >= 4 {
+                let sr = SpectralResidual::default();
+                PreferenceList::from_scores_desc(&sr.scores(t))?
+            } else {
+                PreferenceList::identity(t.len())
+            }
+        }
+        PreferenceSource::ScoreColumn => {
+            let scores = scores_column.ok_or_else(|| {
+                CliError::Usage(
+                    "--preference scores requires a 'value,score' second column in the \
+                     test file"
+                        .into(),
+                )
+            })?;
+            PreferenceList::from_scores_desc(&scores)?
+        }
+        PreferenceSource::ScoreFile(path) => {
+            let scores = read_values(path)?;
+            if scores.len() != t.len() {
+                return Err(CliError::Usage(format!(
+                    "score file has {} entries but the test set has {}",
+                    scores.len(),
+                    t.len()
+                )));
+            }
+            PreferenceList::from_scores_desc(&scores)?
+        }
+        PreferenceSource::ValueDesc => PreferenceList::from_scores_desc(t)?,
+        PreferenceSource::ValueAsc => PreferenceList::from_scores_asc(t)?,
+        PreferenceSource::Identity => PreferenceList::identity(t.len()),
+    };
+    Ok(list)
+}
+
+fn run_explain(
+    r: &[f64],
+    t: &[f64],
+    scores_column: Option<Vec<f64>>,
+    alpha: f64,
+    source: &PreferenceSource,
+    format: OutputFormat,
+) -> Result<String, CliError> {
+    let moche = Moche::new(alpha)?;
+    let preference = build_preference(t, scores_column, source)?;
+    let e = moche.explain(r, t, &preference)?;
+
+    let mut out = String::new();
+    match format {
+        OutputFormat::Csv => {
+            let _ = writeln!(out, "index,value");
+            for (&i, &v) in e.indices().iter().zip(e.values()) {
+                let _ = writeln!(out, "{i},{v}");
+            }
+        }
+        OutputFormat::Text => {
+            let _ = writeln!(
+                out,
+                "failed KS test: D = {:.6} > threshold {:.6} (n = {}, m = {})",
+                e.outcome_before.statistic, e.outcome_before.threshold, e.n, e.m
+            );
+            let _ = writeln!(
+                out,
+                "most comprehensible explanation: {} point(s) ({:.2}% of the test set), \
+                 k_hat = {}",
+                e.size(),
+                100.0 * e.removed_fraction(),
+                e.k_hat()
+            );
+            let _ = writeln!(
+                out,
+                "after removal: D = {:.6} <= threshold {:.6} -> passes",
+                e.outcome_after.statistic, e.outcome_after.threshold
+            );
+            let _ = writeln!(out, "\nindex  value");
+            for (&i, &v) in e.indices().iter().zip(e.values()) {
+                let _ = writeln!(out, "{i:>5}  {v}");
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn run_monitor(values: &[f64], window: usize, alpha: f64, explain: bool) -> Result<String, CliError> {
+    let mut cfg = MonitorConfig::new(window, alpha);
+    cfg.explain_on_drift = explain;
+    let mut monitor = DriftMonitor::new(cfg)?;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "monitoring {} observations with paired windows of {window} (alpha = {alpha})",
+        values.len()
+    );
+    for (i, &x) in values.iter().enumerate() {
+        if let MonitorEvent::Drift { outcome, explanation } = monitor.push(x) {
+            let _ = write!(
+                out,
+                "t = {i}: DRIFT  D = {:.4} (threshold {:.4})",
+                outcome.statistic, outcome.threshold
+            );
+            match explanation {
+                Some(e) => {
+                    let _ = writeln!(
+                        out,
+                        "  explanation: {} point(s), window offsets {:?}",
+                        e.size(),
+                        e.indices()
+                    );
+                }
+                None => {
+                    let _ = writeln!(out);
+                }
+            }
+        }
+    }
+    let _ = writeln!(out, "{} alarm(s) in {} observations", monitor.alarms(), monitor.pushes());
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shifted_sets() -> (Vec<f64>, Vec<f64>) {
+        let r: Vec<f64> = (0..60).map(|i| f64::from(i % 8)).collect();
+        let t: Vec<f64> = (0..30).map(|i| f64::from(i % 8) + 4.0).collect();
+        (r, t)
+    }
+
+    #[test]
+    fn test_command_reports_failure() {
+        let (r, t) = shifted_sets();
+        let out = run_test(&r, &t, 0.05).unwrap();
+        assert!(out.contains("FAILED"), "{out}");
+        assert!(out.contains("p-value"));
+        let out2 = run_test(&r, &r, 0.05).unwrap();
+        assert!(out2.contains("passed"), "{out2}");
+    }
+
+    #[test]
+    fn size_command_reports_k_and_bound() {
+        let (r, t) = shifted_sets();
+        let out = run_size(&r, &t, 0.05).unwrap();
+        assert!(out.contains("explanation size k = "));
+        assert!(out.contains("k_hat"));
+    }
+
+    #[test]
+    fn explain_text_and_csv_agree_on_selection() {
+        let (r, t) = shifted_sets();
+        let text = run_explain(&r, &t, None, 0.05, &PreferenceSource::ValueDesc, OutputFormat::Text)
+            .unwrap();
+        let csv = run_explain(&r, &t, None, 0.05, &PreferenceSource::ValueDesc, OutputFormat::Csv)
+            .unwrap();
+        assert!(text.contains("passes"));
+        assert!(csv.starts_with("index,value"));
+        // Same number of selected points in both outputs.
+        let text_rows = text.lines().skip_while(|l| !l.starts_with("index")).count() - 1;
+        let csv_rows = csv.lines().count() - 1;
+        assert_eq!(text_rows, csv_rows);
+    }
+
+    #[test]
+    fn explain_with_score_column_uses_it() {
+        let (r, t) = shifted_sets();
+        // Scores that strongly prefer the last test point first.
+        let mut scores = vec![0.0f64; t.len()];
+        *scores.last_mut().unwrap() = 100.0;
+        let out = run_explain(
+            &r,
+            &t,
+            Some(scores),
+            0.05,
+            &PreferenceSource::ScoreColumn,
+            OutputFormat::Csv,
+        )
+        .unwrap();
+        let first_row = out.lines().nth(1).unwrap();
+        assert!(
+            first_row.starts_with(&format!("{},", t.len() - 1)),
+            "expected the boosted point first, got {first_row}"
+        );
+    }
+
+    #[test]
+    fn explain_missing_score_column_is_usage_error() {
+        let (r, t) = shifted_sets();
+        match run_explain(&r, &t, None, 0.05, &PreferenceSource::ScoreColumn, OutputFormat::Text) {
+            Err(CliError::Usage(msg)) => assert!(msg.contains("second column")),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn explain_passing_test_surfaces_library_error() {
+        let (r, _) = shifted_sets();
+        match run_explain(&r, &r, None, 0.05, &PreferenceSource::Identity, OutputFormat::Text) {
+            Err(CliError::Moche(moche_core::MocheError::TestAlreadyPasses { .. })) => {}
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn monitor_detects_shift_in_file_values() {
+        let mut series: Vec<f64> = (0..200).map(|i| f64::from(i % 7)).collect();
+        series.extend((0..200).map(|i| f64::from(i % 7) + 25.0));
+        let out = run_monitor(&series, 50, 0.05, true).unwrap();
+        assert!(out.contains("DRIFT"), "{out}");
+        assert!(out.contains("explanation"));
+        let quiet = run_monitor(&series[..200], 50, 0.05, false).unwrap();
+        assert!(quiet.contains("0 alarm(s)"), "{quiet}");
+    }
+
+    #[test]
+    fn run_dispatches_help() {
+        let out = run(Command::Help).unwrap();
+        assert!(out.contains("USAGE"));
+    }
+}

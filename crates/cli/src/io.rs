@@ -1,0 +1,189 @@
+//! Data-file parsing for the CLI: one value per line, `#` comments and
+//! blank lines ignored. Lines may optionally be `value,score` pairs for
+//! score-annotated inputs.
+
+use std::fmt;
+use std::path::Path;
+
+/// CLI-level errors.
+#[derive(Debug)]
+pub enum CliError {
+    /// I/O failure reading a file.
+    Io {
+        /// Path involved.
+        path: String,
+        /// Underlying error.
+        source: std::io::Error,
+    },
+    /// A line failed to parse.
+    Parse {
+        /// Path involved.
+        path: String,
+        /// 1-based line number.
+        line: usize,
+        /// Offending content.
+        content: String,
+    },
+    /// Invalid command-line usage.
+    Usage(String),
+    /// An algorithmic error from the library.
+    Moche(moche_core::MocheError),
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Io { path, source } => write!(f, "cannot read {path}: {source}"),
+            CliError::Parse { path, line, content } => {
+                write!(f, "{path}:{line}: cannot parse '{content}' as a number")
+            }
+            CliError::Usage(msg) => write!(f, "{msg}"),
+            CliError::Moche(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<moche_core::MocheError> for CliError {
+    fn from(e: moche_core::MocheError) -> Self {
+        CliError::Moche(e)
+    }
+}
+
+/// Parses the text content of a data file: one `f64` per non-comment line.
+/// A trailing `,score` (or whitespace-separated second column) is ignored
+/// here; use [`parse_values_and_scores`] to capture it.
+pub fn parse_values(path: &str, content: &str) -> Result<Vec<f64>, CliError> {
+    parse_columns(path, content).map(|(v, _)| v)
+}
+
+/// Parses values plus an optional per-line second column of scores.
+/// Returns `(values, Some(scores))` only if *every* data line carries a
+/// second column.
+pub fn parse_values_and_scores(
+    path: &str,
+    content: &str,
+) -> Result<(Vec<f64>, Option<Vec<f64>>), CliError> {
+    let (values, scores) = parse_columns(path, content)?;
+    if !values.is_empty() && scores.len() == values.len() {
+        Ok((values, Some(scores)))
+    } else {
+        Ok((values, None))
+    }
+}
+
+fn parse_columns(path: &str, content: &str) -> Result<(Vec<f64>, Vec<f64>), CliError> {
+    let mut values = Vec::new();
+    let mut scores = Vec::new();
+    for (i, raw) in content.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut parts = line.split(|c: char| c == ',' || c.is_whitespace()).filter(|s| !s.is_empty());
+        let first = parts.next().ok_or_else(|| CliError::Parse {
+            path: path.to_string(),
+            line: i + 1,
+            content: raw.to_string(),
+        })?;
+        let value: f64 = first.parse().map_err(|_| CliError::Parse {
+            path: path.to_string(),
+            line: i + 1,
+            content: raw.to_string(),
+        })?;
+        values.push(value);
+        if let Some(second) = parts.next() {
+            let score: f64 = second.parse().map_err(|_| CliError::Parse {
+                path: path.to_string(),
+                line: i + 1,
+                content: raw.to_string(),
+            })?;
+            scores.push(score);
+        }
+    }
+    Ok((values, scores))
+}
+
+/// Reads and parses a data file from disk.
+pub fn read_values(path: &Path) -> Result<Vec<f64>, CliError> {
+    let content = std::fs::read_to_string(path).map_err(|source| CliError::Io {
+        path: path.display().to_string(),
+        source,
+    })?;
+    parse_values(&path.display().to_string(), &content)
+}
+
+/// Reads a data file, capturing an optional score column.
+pub fn read_values_and_scores(path: &Path) -> Result<(Vec<f64>, Option<Vec<f64>>), CliError> {
+    let content = std::fs::read_to_string(path).map_err(|source| CliError::Io {
+        path: path.display().to_string(),
+        source,
+    })?;
+    parse_values_and_scores(&path.display().to_string(), &content)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_plain_values() {
+        let content = "1.5\n2\n-3.25\n";
+        assert_eq!(parse_values("f", content).unwrap(), vec![1.5, 2.0, -3.25]);
+    }
+
+    #[test]
+    fn skips_comments_and_blanks() {
+        let content = "# header\n1.0\n\n  # another\n2.0 # trailing\n";
+        assert_eq!(parse_values("f", content).unwrap(), vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn reports_parse_errors_with_location() {
+        let content = "1.0\nnot-a-number\n";
+        match parse_values("data.txt", content) {
+            Err(CliError::Parse { path, line, .. }) => {
+                assert_eq!(path, "data.txt");
+                assert_eq!(line, 2);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn score_column_detected_when_complete() {
+        let content = "1.0,0.9\n2.0,0.1\n";
+        let (v, s) = parse_values_and_scores("f", content).unwrap();
+        assert_eq!(v, vec![1.0, 2.0]);
+        assert_eq!(s, Some(vec![0.9, 0.1]));
+    }
+
+    #[test]
+    fn partial_score_column_is_dropped() {
+        let content = "1.0,0.9\n2.0\n";
+        let (v, s) = parse_values_and_scores("f", content).unwrap();
+        assert_eq!(v, vec![1.0, 2.0]);
+        assert_eq!(s, None);
+    }
+
+    #[test]
+    fn whitespace_separator_works() {
+        let content = "1.0 0.9\n2.0\t0.1\n";
+        let (_, s) = parse_values_and_scores("f", content).unwrap();
+        assert_eq!(s, Some(vec![0.9, 0.1]));
+    }
+
+    #[test]
+    fn empty_file_is_empty_vec() {
+        assert!(parse_values("f", "# only comments\n").unwrap().is_empty());
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = CliError::Usage("bad flag".into());
+        assert_eq!(e.to_string(), "bad flag");
+        let e = CliError::Parse { path: "p".into(), line: 3, content: "x".into() };
+        assert!(e.to_string().contains("p:3"));
+    }
+}

@@ -1,0 +1,26 @@
+//! # moche-cli
+//!
+//! The `moche` command-line tool: run two-sample KS tests, compute minimum
+//! explanation sizes, produce most-comprehensible counterfactual
+//! explanations, and monitor streaming series — all over plain text data
+//! files (one value per line).
+//!
+//! ```text
+//! moche test    reference.txt test.txt --alpha 0.05
+//! moche explain reference.txt test.txt --preference sr --format csv
+//! moche monitor series.txt --window 500
+//! ```
+//!
+//! The command logic lives in this library crate ([`commands::run`]) so it
+//! is unit-testable; `main.rs` is a thin shell.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod args;
+pub mod commands;
+pub mod io;
+
+pub use args::{parse, Command, OutputFormat, PreferenceSource, USAGE};
+pub use commands::run;
+pub use io::CliError;

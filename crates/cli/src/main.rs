@@ -1,0 +1,20 @@
+//! The `moche` binary: parse arguments, run the command, print the report.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let command = match moche_cli::parse(&args) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("try 'moche help'");
+            std::process::exit(2);
+        }
+    };
+    match moche_cli::run(command) {
+        Ok(report) => print!("{report}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

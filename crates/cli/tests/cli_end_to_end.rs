@@ -1,0 +1,176 @@
+//! End-to-end tests of the `moche` binary: real process spawns over real
+//! files in a temporary directory.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_moche"))
+}
+
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> Self {
+        let dir = std::env::temp_dir().join(format!(
+            "moche-cli-test-{tag}-{}",
+            std::process::id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        Self(dir)
+    }
+
+    fn write(&self, name: &str, content: &str) -> PathBuf {
+        let path = self.0.join(name);
+        std::fs::write(&path, content).unwrap();
+        path
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn numbers(values: impl IntoIterator<Item = f64>) -> String {
+    values.into_iter().map(|v| format!("{v}\n")).collect()
+}
+
+fn shifted_files(dir: &TempDir) -> (PathBuf, PathBuf) {
+    let r = dir.write("ref.txt", &numbers((0..80).map(|i| f64::from(i % 8))));
+    let t = dir.write("test.txt", &numbers((0..40).map(|i| f64::from(i % 8) + 4.0)));
+    (r, t)
+}
+
+#[test]
+fn help_prints_usage() {
+    let out = bin().arg("help").output().unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("USAGE"));
+    assert!(stdout.contains("explain"));
+}
+
+#[test]
+fn test_subcommand_detects_failure() {
+    let dir = TempDir::new("test");
+    let (r, t) = shifted_files(&dir);
+    let out = bin().args(["test", r.to_str().unwrap(), t.to_str().unwrap()]).output().unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("FAILED"), "{stdout}");
+}
+
+#[test]
+fn explain_csv_output_parses_back() {
+    let dir = TempDir::new("explain");
+    let (r, t) = shifted_files(&dir);
+    let out = bin()
+        .args([
+            "explain",
+            r.to_str().unwrap(),
+            t.to_str().unwrap(),
+            "--preference",
+            "value-desc",
+            "--format",
+            "csv",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    let mut lines = stdout.lines();
+    assert_eq!(lines.next(), Some("index,value"));
+    let mut count = 0;
+    for line in lines {
+        let (idx, val) = line.split_once(',').expect("csv row");
+        let idx: usize = idx.parse().unwrap();
+        let val: f64 = val.parse().unwrap();
+        assert!(idx < 40);
+        assert!(val.is_finite());
+        count += 1;
+    }
+    assert!(count >= 1);
+}
+
+#[test]
+fn size_subcommand_reports_k() {
+    let dir = TempDir::new("size");
+    let (r, t) = shifted_files(&dir);
+    let out = bin().args(["size", r.to_str().unwrap(), t.to_str().unwrap()]).output().unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("explanation size k ="), "{stdout}");
+}
+
+#[test]
+fn monitor_detects_level_shift() {
+    let dir = TempDir::new("monitor");
+    let mut series: Vec<f64> = (0..200).map(|i| f64::from(i % 7)).collect();
+    series.extend((0..200).map(|i| f64::from(i % 7) + 30.0));
+    let path = dir.write("series.txt", &numbers(series));
+    let out = bin()
+        .args(["monitor", path.to_str().unwrap(), "--window", "50"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("DRIFT"), "{stdout}");
+}
+
+#[test]
+fn missing_file_exits_nonzero_with_message() {
+    let out = bin().args(["test", "/nonexistent/r.txt", "/nonexistent/t.txt"]).output().unwrap();
+    assert!(!out.status.success());
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("cannot read"), "{stderr}");
+}
+
+#[test]
+fn bad_usage_exits_with_code_2() {
+    let out = bin().args(["explain", "only-one-file"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("try 'moche help'"));
+}
+
+#[test]
+fn passing_test_explain_reports_nothing_to_do() {
+    let dir = TempDir::new("pass");
+    let r = dir.write("r.txt", &numbers((0..50).map(|i| f64::from(i % 5))));
+    let out = bin()
+        .args(["explain", r.to_str().unwrap(), r.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("already passes"), "{stderr}");
+}
+
+#[test]
+fn comments_and_score_columns_are_accepted() {
+    let dir = TempDir::new("scores");
+    let r = dir.write("r.txt", &numbers((0..80).map(|i| f64::from(i % 8))));
+    let t_content: String = (0..40)
+        .map(|i| format!("{} , {}\n", f64::from(i % 8) + 4.0, 40 - i))
+        .chain(std::iter::once("# trailing comment\n".to_string()))
+        .collect();
+    let t = dir.write("t.txt", &t_content);
+    let out = bin()
+        .args([
+            "explain",
+            r.to_str().unwrap(),
+            t.to_str().unwrap(),
+            "--preference",
+            "scores",
+            "--format",
+            "csv",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    // Highest score = earliest index, so index 0 should appear first.
+    assert!(stdout.lines().nth(1).unwrap().starts_with("0,"), "{stdout}");
+}

@@ -1,0 +1,351 @@
+//! The base vector and the cumulative-count representation of `R` and `T`
+//! (Section 4.2 of the paper).
+//!
+//! The base vector `V = <x_1, ..., x_q>` holds the distinct values of
+//! `R ∪ T` in ascending order. Cumulative counts
+//! `C_R[i] = |{x in R : x <= x_i}|` and `C_T[i] = |{x in T : x <= x_i}|`
+//! fully determine the ECDFs of `R` and `T`, so every KS-test quantity used
+//! by MOCHE can be computed from this structure without touching the raw
+//! samples again.
+
+use crate::error::{MocheError, SetKind};
+use crate::ks::{validate_finite, KsConfig, KsOutcome};
+
+/// The base vector of a (reference set, test set) pair together with the
+/// cumulative counts `C_R` and `C_T` and the mapping from each original test
+/// point to its position in the base vector.
+///
+/// Index convention: the paper indexes base-vector entries `1..=q` with the
+/// sentinel `C[0] = 0`. This struct follows the same convention; cumulative
+/// arrays have length `q + 1` and index `0` is the sentinel.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BaseVector {
+    /// Distinct sorted values; `values[i - 1]` is the paper's `x_i`.
+    values: Vec<f64>,
+    /// `c_r[i] = |{x in R : x <= x_i}|`, with `c_r[0] = 0`.
+    c_r: Vec<u64>,
+    /// `c_t[i] = |{x in T : x <= x_i}|`, with `c_t[0] = 0`.
+    c_t: Vec<u64>,
+    /// For each original test index, the (1-based) base-vector index of its
+    /// value.
+    t_pos: Vec<usize>,
+    n: usize,
+    m: usize,
+}
+
+impl BaseVector {
+    /// Builds the base vector and cumulative counts from raw samples.
+    ///
+    /// Runs in `O((n + m) log(n + m))` time.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if either sample is empty or contains non-finite
+    /// values.
+    pub fn build(reference: &[f64], test: &[f64]) -> Result<Self, MocheError> {
+        if reference.is_empty() {
+            return Err(MocheError::EmptyReference);
+        }
+        if test.is_empty() {
+            return Err(MocheError::EmptyTest);
+        }
+        validate_finite(SetKind::Reference, reference)?;
+        validate_finite(SetKind::Test, test)?;
+
+        let mut r_sorted = reference.to_vec();
+        let mut t_sorted = test.to_vec();
+        r_sorted.sort_unstable_by(f64::total_cmp);
+        t_sorted.sort_unstable_by(f64::total_cmp);
+
+        // Merge the two sorted samples into distinct values + counts.
+        let mut values = Vec::with_capacity(r_sorted.len() + t_sorted.len());
+        let mut c_r = Vec::with_capacity(r_sorted.len() + t_sorted.len() + 1);
+        let mut c_t = Vec::with_capacity(r_sorted.len() + t_sorted.len() + 1);
+        c_r.push(0u64);
+        c_t.push(0u64);
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < r_sorted.len() || j < t_sorted.len() {
+            let x = match (r_sorted.get(i), t_sorted.get(j)) {
+                (Some(&a), Some(&b)) => a.min(b),
+                (Some(&a), None) => a,
+                (None, Some(&b)) => b,
+                (None, None) => unreachable!(),
+            };
+            while i < r_sorted.len() && r_sorted[i] <= x {
+                i += 1;
+            }
+            while j < t_sorted.len() && t_sorted[j] <= x {
+                j += 1;
+            }
+            values.push(x);
+            c_r.push(i as u64);
+            c_t.push(j as u64);
+        }
+
+        // Map every original test point to its base-vector index.
+        let t_pos = test
+            .iter()
+            .map(|&v| {
+                // partition_point returns the count of values < v; the value
+                // itself is at that offset, so the 1-based index is +1.
+                let lt = values.partition_point(|&u| u < v);
+                debug_assert!(values[lt] == v);
+                lt + 1
+            })
+            .collect();
+
+        Ok(Self { values, c_r, c_t, t_pos, n: reference.len(), m: test.len() })
+    }
+
+    /// Number of distinct values `q = |set(R ∪ T)|`.
+    #[inline]
+    pub fn q(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Size of the reference set.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Size of the test set.
+    #[inline]
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// The paper's `x_i` for `1 <= i <= q`.
+    #[inline]
+    pub fn value(&self, i: usize) -> f64 {
+        self.values[i - 1]
+    }
+
+    /// All distinct values, ascending.
+    #[inline]
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// `C_R[i]` for `0 <= i <= q`.
+    #[inline]
+    pub fn c_r(&self, i: usize) -> u64 {
+        self.c_r[i]
+    }
+
+    /// `C_T[i]` for `0 <= i <= q`.
+    #[inline]
+    pub fn c_t(&self, i: usize) -> u64 {
+        self.c_t[i]
+    }
+
+    /// Multiplicity of `x_i` in the reference set.
+    #[inline]
+    pub fn r_mult(&self, i: usize) -> u64 {
+        self.c_r[i] - self.c_r[i - 1]
+    }
+
+    /// Multiplicity of `x_i` in the test set.
+    #[inline]
+    pub fn t_mult(&self, i: usize) -> u64 {
+        self.c_t[i] - self.c_t[i - 1]
+    }
+
+    /// The (1-based) base-vector index of the original test point
+    /// `test[orig]`.
+    #[inline]
+    pub fn test_point_index(&self, orig: usize) -> usize {
+        self.t_pos[orig]
+    }
+
+    /// The KS statistic `D(R, T)` computed from the cumulative counts in
+    /// `O(q)` time.
+    pub fn statistic(&self) -> f64 {
+        let (n, m) = (self.n as f64, self.m as f64);
+        let mut d = 0.0f64;
+        for i in 1..=self.q() {
+            let diff = (self.c_r[i] as f64 / n - self.c_t[i] as f64 / m).abs();
+            if diff > d {
+                d = diff;
+            }
+        }
+        d
+    }
+
+    /// Runs the KS test between `R` and `T` from the cumulative counts.
+    pub fn outcome(&self, cfg: &KsConfig) -> KsOutcome {
+        let statistic = self.statistic();
+        KsOutcome {
+            statistic,
+            threshold: cfg.threshold(self.n, self.m),
+            rejected: cfg.rejects(statistic, self.n, self.m),
+            n: self.n,
+            m: self.m,
+        }
+    }
+
+    /// The KS statistic `D(R, T \ S)` where `S` is described by per-value
+    /// removal counts (`removed[i]` = copies of `x_i` removed, `removed[0]`
+    /// ignored). `O(q)` time.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if `removed` is inconsistent with the test
+    /// set's multiplicities or removes all of `T`.
+    pub fn statistic_after_removal(&self, removed: &[u64]) -> f64 {
+        debug_assert_eq!(removed.len(), self.q() + 1);
+        let h: u64 = removed[1..].iter().sum();
+        let remaining = self.m as u64 - h;
+        debug_assert!(remaining > 0, "cannot remove the entire test set");
+        let (n, m_rem) = (self.n as f64, remaining as f64);
+        let mut d = 0.0f64;
+        let mut cum_removed = 0u64;
+        for i in 1..=self.q() {
+            debug_assert!(removed[i] <= self.t_mult(i), "removal exceeds multiplicity");
+            cum_removed += removed[i];
+            let ft = (self.c_t[i] - cum_removed) as f64 / m_rem;
+            let diff = (self.c_r[i] as f64 / n - ft).abs();
+            if diff > d {
+                d = diff;
+            }
+        }
+        d
+    }
+
+    /// Runs the KS test between `R` and `T \ S` (see
+    /// [`statistic_after_removal`](Self::statistic_after_removal)).
+    pub fn outcome_after_removal(&self, removed: &[u64], cfg: &KsConfig) -> KsOutcome {
+        let h: usize = removed[1..].iter().sum::<u64>() as usize;
+        let m_rem = self.m - h;
+        let statistic = self.statistic_after_removal(removed);
+        KsOutcome {
+            statistic,
+            threshold: cfg.threshold(self.n, m_rem),
+            rejected: cfg.rejects(statistic, self.n, m_rem),
+            n: self.n,
+            m: m_rem,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ks::ks_statistic;
+
+    /// The running example of the paper (Example 3):
+    /// `T = {13, 13, 12, 20}`, `R = {14, 14, 14, 14, 20, 20, 20, 20}`.
+    pub(crate) fn paper_example() -> (Vec<f64>, Vec<f64>) {
+        (
+            vec![14.0, 14.0, 14.0, 14.0, 20.0, 20.0, 20.0, 20.0],
+            vec![13.0, 13.0, 12.0, 20.0],
+        )
+    }
+
+    #[test]
+    fn paper_example_base_vector() {
+        let (r, t) = paper_example();
+        let b = BaseVector::build(&r, &t).unwrap();
+        assert_eq!(b.values(), &[12.0, 13.0, 14.0, 20.0]);
+        assert_eq!(b.q(), 4);
+        assert_eq!(b.n(), 8);
+        assert_eq!(b.m(), 4);
+        // C_T = <0, 1, 3, 3, 4>; C_R = <0, 0, 0, 4, 8>.
+        assert_eq!((0..=4).map(|i| b.c_t(i)).collect::<Vec<_>>(), vec![0, 1, 3, 3, 4]);
+        assert_eq!((0..=4).map(|i| b.c_r(i)).collect::<Vec<_>>(), vec![0, 0, 0, 4, 8]);
+    }
+
+    #[test]
+    fn test_point_positions() {
+        let (r, t) = paper_example();
+        let b = BaseVector::build(&r, &t).unwrap();
+        // t = [13, 13, 12, 20] -> base indices [2, 2, 1, 4].
+        assert_eq!((0..4).map(|i| b.test_point_index(i)).collect::<Vec<_>>(), vec![2, 2, 1, 4]);
+    }
+
+    #[test]
+    fn multiplicities() {
+        let (r, t) = paper_example();
+        let b = BaseVector::build(&r, &t).unwrap();
+        assert_eq!((1..=4).map(|i| b.t_mult(i)).collect::<Vec<_>>(), vec![1, 2, 0, 1]);
+        assert_eq!((1..=4).map(|i| b.r_mult(i)).collect::<Vec<_>>(), vec![0, 0, 4, 4]);
+    }
+
+    #[test]
+    fn statistic_matches_direct_computation() {
+        let (r, t) = paper_example();
+        let b = BaseVector::build(&r, &t).unwrap();
+        let direct = ks_statistic(&r, &t).unwrap();
+        assert!((b.statistic() - direct).abs() < 1e-15);
+    }
+
+    #[test]
+    fn statistic_after_empty_removal_matches_statistic() {
+        let (r, t) = paper_example();
+        let b = BaseVector::build(&r, &t).unwrap();
+        let removed = vec![0u64; b.q() + 1];
+        assert_eq!(b.statistic_after_removal(&removed), b.statistic());
+    }
+
+    #[test]
+    fn statistic_after_removal_matches_recomputation() {
+        let (r, t) = paper_example();
+        let b = BaseVector::build(&r, &t).unwrap();
+        // Remove S = {13, 13} (base index 2, twice) -> Example 3's subset.
+        let mut removed = vec![0u64; b.q() + 1];
+        removed[2] = 2;
+        let t_after = vec![12.0, 20.0];
+        let direct = ks_statistic(&r, &t_after).unwrap();
+        assert!((b.statistic_after_removal(&removed) - direct).abs() < 1e-15);
+    }
+
+    #[test]
+    fn outcome_after_removal_uses_reduced_m() {
+        let (r, t) = paper_example();
+        let b = BaseVector::build(&r, &t).unwrap();
+        let cfg = KsConfig::new(0.3).unwrap();
+        let mut removed = vec![0u64; b.q() + 1];
+        removed[1] = 1; // remove the 12
+        let o = b.outcome_after_removal(&removed, &cfg);
+        assert_eq!(o.m, 3);
+        assert_eq!(o.n, 8);
+    }
+
+    #[test]
+    fn build_rejects_bad_input() {
+        assert!(BaseVector::build(&[], &[1.0]).is_err());
+        assert!(BaseVector::build(&[1.0], &[]).is_err());
+        assert!(BaseVector::build(&[f64::NAN], &[1.0]).is_err());
+        assert!(BaseVector::build(&[1.0], &[f64::NEG_INFINITY]).is_err());
+    }
+
+    #[test]
+    fn all_identical_values_collapse_to_single_entry() {
+        let b = BaseVector::build(&[7.0; 5], &[7.0; 3]).unwrap();
+        assert_eq!(b.q(), 1);
+        assert_eq!(b.c_r(1), 5);
+        assert_eq!(b.c_t(1), 3);
+        assert_eq!(b.statistic(), 0.0);
+    }
+
+    #[test]
+    fn negative_and_positive_values_sort_correctly() {
+        let b = BaseVector::build(&[-1.5, 0.0, 2.0], &[-3.0, 0.0]).unwrap();
+        assert_eq!(b.values(), &[-3.0, -1.5, 0.0, 2.0]);
+        assert_eq!(b.test_point_index(0), 1);
+        assert_eq!(b.test_point_index(1), 3);
+    }
+
+    #[test]
+    fn cumulative_counts_are_monotone_and_total() {
+        let r: Vec<f64> = (0..100).map(|i| f64::from(i % 13)).collect();
+        let t: Vec<f64> = (0..57).map(|i| f64::from(i % 7) * 1.5).collect();
+        let b = BaseVector::build(&r, &t).unwrap();
+        for i in 1..=b.q() {
+            assert!(b.c_r(i) >= b.c_r(i - 1));
+            assert!(b.c_t(i) >= b.c_t(i - 1));
+        }
+        assert_eq!(b.c_r(b.q()), 100);
+        assert_eq!(b.c_t(b.q()), 57);
+    }
+}

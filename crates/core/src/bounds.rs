@@ -1,0 +1,417 @@
+//! The bound recursions behind MOCHE's fast existence checks
+//! (Lemma 1, Theorem 1 and Theorem 2 of the paper).
+//!
+//! For a removal size `h`, define
+//!
+//! ```text
+//! Ω(h)    = c_α * sqrt((m - h) + (m - h)^2 / n)
+//! Γ(i, h) = C_T[i] - ((m - h) / n) * C_R[i]
+//! M(i, h) = max_{1 <= j <= i} Γ(j, h)
+//! ```
+//!
+//! Lemma 1 shows that `S` (with `|S| = h`) is *qualified* — removing it
+//! reverses the failed KS test — iff its cumulative vector satisfies, for
+//! every `i`,
+//!
+//! ```text
+//! max(⌈Γ(i,h) - Ω(h)⌉, h - m + C_T[i], C_S[i-1])                 <= C_S[i]
+//! C_S[i] <= min(⌊Γ(i,h) + Ω(h)⌋, C_T[i] - C_T[i-1] + C_S[i-1], h)
+//! ```
+//!
+//! Iterating these with `C_S[i-1]` replaced by its own bound yields, per
+//! coordinate, a lower bound `l_i^h` and an upper bound `u_i^h`; Theorem 1
+//! states that a qualified `h`-subset exists **iff** `l_i^h <= u_i^h` for all
+//! `i` — an `O(n + m)` check that replaces `C(m, h)` explicit KS tests.
+//!
+//! Theorem 2 relaxes Theorem 1 into a *necessary* condition that is monotone
+//! in `h`, enabling the binary search of Phase 1 (see [`crate::phase1`]).
+//!
+//! ### A note on the paper's Example 4
+//!
+//! The intermediate `(l, u)` pairs printed in the paper's Example 4 are
+//! inconsistent with its own Equations 4a/4b (and with Example 6, which uses
+//! `l_3^2 = 2` where Example 4 printed `1`). This implementation follows the
+//! equations and the proofs; the *conclusions* of Examples 4–6 (no qualified
+//! 1-subset, a qualified 2-subset exists, `k̂ = k = 2`, and the constructed
+//! explanation `{t_3, t_2}`) all hold and are asserted in tests.
+
+use crate::base_vector::BaseVector;
+use crate::cumulative::CumulativeVector;
+use crate::ks::KsConfig;
+
+/// `⌈x⌉` with a tolerance: values that are integers up to `eps` rounding
+/// noise are not bumped to the next integer.
+#[inline]
+pub(crate) fn ceil_eps(x: f64, eps: f64) -> i64 {
+    (x - eps).ceil() as i64
+}
+
+/// `⌊x⌋` with a tolerance, symmetric to [`ceil_eps`].
+#[inline]
+pub(crate) fn floor_eps(x: f64, eps: f64) -> i64 {
+    (x + eps).floor() as i64
+}
+
+/// Per-coordinate lower and upper bounds `l_i^h`, `u_i^h` for the elements of
+/// any qualified `h`-cumulative vector (indices `0..=q`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HBounds {
+    /// The removal size these bounds are for.
+    pub h: usize,
+    /// `l_i^h` for `0 <= i <= q`.
+    pub lower: Vec<i64>,
+    /// `u_i^h` for `0 <= i <= q`.
+    pub upper: Vec<i64>,
+    /// Whether `l_i^h <= u_i^h` holds for every `i` (Theorem 1's condition).
+    pub feasible: bool,
+}
+
+/// Evaluator for Ω, Γ and the Theorem-1/Theorem-2 conditions over one
+/// `(R, T)` pair.
+#[derive(Debug, Clone, Copy)]
+pub struct BoundsContext<'a> {
+    base: &'a BaseVector,
+    c_alpha: f64,
+    eps: f64,
+}
+
+impl<'a> BoundsContext<'a> {
+    /// Creates a context for the given base vector and KS configuration.
+    pub fn new(base: &'a BaseVector, cfg: &KsConfig) -> Self {
+        Self { base, c_alpha: cfg.critical_value(), eps: cfg.eps() }
+    }
+
+    /// The underlying base vector.
+    #[inline]
+    pub fn base(&self) -> &'a BaseVector {
+        self.base
+    }
+
+    /// `Ω(h) = c_α * sqrt((m - h) + (m - h)^2 / n)`.
+    ///
+    /// This is the per-coordinate slack that the KS threshold allows between
+    /// `(m - h) * F_R(x_i)`-scaled counts; it equals
+    /// `(m - h) * c_α * sqrt((n + m - h) / (n (m - h)))`.
+    #[inline]
+    pub fn omega(&self, h: usize) -> f64 {
+        let rem = (self.base.m() - h) as f64;
+        let n = self.base.n() as f64;
+        self.c_alpha * (rem + rem * rem / n).sqrt()
+    }
+
+    /// `Γ(i, h) = C_T[i] - ((m - h) / n) * C_R[i]`.
+    #[inline]
+    pub fn gamma(&self, i: usize, h: usize) -> f64 {
+        let rem = (self.base.m() - h) as f64;
+        let n = self.base.n() as f64;
+        self.base.c_t(i) as f64 - rem / n * self.base.c_r(i) as f64
+    }
+
+    /// Computes the full bound vectors for removal size `h`
+    /// (`1 <= h <= m - 1`), following the recursions in the proof of
+    /// Theorem 1:
+    ///
+    /// ```text
+    /// l_0 = u_0 = 0
+    /// l_i = max(⌈Γ(i,h) - Ω(h)⌉, h - m + C_T[i], l_{i-1})
+    /// u_i = min(⌊Γ(i,h) + Ω(h)⌋, C_T[i] - C_T[i-1] + u_{i-1}, h)
+    /// ```
+    ///
+    /// The recursion continues past an infeasible coordinate so the returned
+    /// vectors are complete; use [`HBounds::feasible`] for the Theorem-1
+    /// verdict, or [`exists_qualified`](Self::exists_qualified) for the
+    /// early-exit version.
+    pub fn compute(&self, h: usize) -> HBounds {
+        let q = self.base.q();
+        debug_assert!(h >= 1 && h < self.base.m(), "h must be in 1..m");
+        let omega = self.omega(h);
+        let h_i = h as i64;
+        let m_i = self.base.m() as i64;
+        let mut lower = Vec::with_capacity(q + 1);
+        let mut upper = Vec::with_capacity(q + 1);
+        lower.push(0i64);
+        upper.push(0i64);
+        let mut feasible = true;
+        for i in 1..=q {
+            let gamma = self.gamma(i, h);
+            let ct = self.base.c_t(i) as i64;
+            let ct_prev = self.base.c_t(i - 1) as i64;
+            let l = ceil_eps(gamma - omega, self.eps)
+                .max(h_i - m_i + ct)
+                .max(lower[i - 1]);
+            let u = floor_eps(gamma + omega, self.eps)
+                .min(ct - ct_prev + upper[i - 1])
+                .min(h_i);
+            if l > u {
+                feasible = false;
+            }
+            lower.push(l);
+            upper.push(u);
+        }
+        HBounds { h, lower, upper, feasible }
+    }
+
+    /// Theorem 1: whether a qualified `h`-cumulative vector (equivalently, a
+    /// qualified `h`-subset) exists. Early-exits on the first violated
+    /// coordinate; `O(n + m)` time, `O(1)` extra space.
+    pub fn exists_qualified(&self, h: usize) -> bool {
+        let q = self.base.q();
+        debug_assert!(h >= 1 && h < self.base.m(), "h must be in 1..m");
+        let omega = self.omega(h);
+        let h_i = h as i64;
+        let m_i = self.base.m() as i64;
+        let mut l_prev = 0i64;
+        let mut u_prev = 0i64;
+        for i in 1..=q {
+            let gamma = self.gamma(i, h);
+            let ct = self.base.c_t(i) as i64;
+            let ct_prev = self.base.c_t(i - 1) as i64;
+            let l = ceil_eps(gamma - omega, self.eps)
+                .max(h_i - m_i + ct)
+                .max(l_prev);
+            let u = floor_eps(gamma + omega, self.eps)
+                .min(ct - ct_prev + u_prev)
+                .min(h_i);
+            if l > u {
+                return false;
+            }
+            l_prev = l;
+            u_prev = u;
+        }
+        true
+    }
+
+    /// Theorem 2: the relaxed *necessary* condition for the existence of a
+    /// qualified `h`-cumulative vector:
+    ///
+    /// ```text
+    /// (5a)  0 <= ⌊Γ(i,h) + Ω(h)⌋
+    /// (5b)  ⌈M(i,h) - Ω(h)⌉ <= h
+    /// (5c)  M(i,h) - Ω(h) <= Γ(i,h) + Ω(h)
+    /// ```
+    ///
+    /// If `h` satisfies the condition then so does `h + 1` (monotonicity),
+    /// which is what makes the Phase-1 binary search sound.
+    pub fn necessary_condition(&self, h: usize) -> bool {
+        let q = self.base.q();
+        debug_assert!(h >= 1 && h < self.base.m(), "h must be in 1..m");
+        let omega = self.omega(h);
+        let h_i = h as i64;
+        let mut m_run = f64::NEG_INFINITY; // M(i, h), running max of Γ
+        for i in 1..=q {
+            let gamma = self.gamma(i, h);
+            if gamma > m_run {
+                m_run = gamma;
+            }
+            if floor_eps(gamma + omega, self.eps) < 0 {
+                return false; // (5a)
+            }
+            if ceil_eps(m_run - omega, self.eps) > h_i {
+                return false; // (5b)
+            }
+            if m_run - omega > gamma + omega + self.eps {
+                return false; // (5c)
+            }
+        }
+        true
+    }
+
+    /// Constructs *some* qualified `h`-cumulative vector as in the
+    /// sufficiency proof of Theorem 1: start from `C[q] = u_q^h` and walk
+    /// down with `C[i-1] = min(u_{i-1}^h, C[i])`.
+    ///
+    /// Returns `None` if no qualified `h`-cumulative vector exists.
+    pub fn construct_witness(&self, h: usize) -> Option<CumulativeVector> {
+        let b = self.compute(h);
+        if !b.feasible {
+            return None;
+        }
+        let q = self.base.q();
+        let mut c = vec![0i64; q + 1];
+        c[q] = b.upper[q];
+        for i in (1..=q).rev() {
+            c[i - 1] = b.upper[i - 1].min(c[i]);
+        }
+        debug_assert!(c.iter().all(|&x| x >= 0));
+        Some(CumulativeVector::new(c.into_iter().map(|x| x as u64).collect()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper_setup() -> (Vec<f64>, Vec<f64>, KsConfig) {
+        let r = vec![14.0, 14.0, 14.0, 14.0, 20.0, 20.0, 20.0, 20.0];
+        let t = vec![13.0, 13.0, 12.0, 20.0];
+        (r, t, KsConfig::new(0.3).unwrap())
+    }
+
+    #[test]
+    fn ceil_floor_eps_handle_float_noise() {
+        let eps = 1e-9;
+        assert_eq!(ceil_eps(3.0 + 1e-12, eps), 3);
+        assert_eq!(ceil_eps(3.0 + 1e-6, eps), 4);
+        assert_eq!(ceil_eps(2.3, eps), 3);
+        assert_eq!(floor_eps(3.0 - 1e-12, eps), 3);
+        assert_eq!(floor_eps(3.0 - 1e-6, eps), 2);
+        assert_eq!(floor_eps(2.7, eps), 2);
+        assert_eq!(ceil_eps(-0.978, eps), 0);
+    }
+
+    #[test]
+    fn omega_matches_threshold_scaling() {
+        // Ω(h) must equal (m - h) * threshold(n, m - h) / 1, since
+        // threshold = c_α sqrt((n + m - h)/(n (m - h))).
+        let (r, t, cfg) = paper_setup();
+        let base = BaseVector::build(&r, &t).unwrap();
+        let ctx = BoundsContext::new(&base, &cfg);
+        for h in 1..t.len() {
+            let rem = t.len() - h;
+            let direct = rem as f64 * cfg.threshold(r.len(), rem);
+            assert!((ctx.omega(h) - direct).abs() < 1e-12, "h = {h}");
+        }
+    }
+
+    #[test]
+    fn example_4_no_qualified_1_subset() {
+        let (r, t, cfg) = paper_setup();
+        let base = BaseVector::build(&r, &t).unwrap();
+        let ctx = BoundsContext::new(&base, &cfg);
+        // Example 4: l_2^1 > u_2^1, so no qualified 1-subset exists.
+        let b = ctx.compute(1);
+        assert!(!b.feasible);
+        assert!(b.lower[2] > b.upper[2], "bounds = {b:?}");
+        assert!(!ctx.exists_qualified(1));
+    }
+
+    #[test]
+    fn example_4_qualified_2_subset_exists() {
+        let (r, t, cfg) = paper_setup();
+        let base = BaseVector::build(&r, &t).unwrap();
+        let ctx = BoundsContext::new(&base, &cfg);
+        let b = ctx.compute(2);
+        assert!(b.feasible, "bounds = {b:?}");
+        assert!(ctx.exists_qualified(2));
+        // The first coordinate's bounds match the paper: (l_1, u_1) = (0, 1).
+        assert_eq!((b.lower[1], b.upper[1]), (0, 1));
+        // C_S[q] is pinned to h for any qualified vector.
+        assert_eq!((b.lower[4], b.upper[4]), (2, 2));
+    }
+
+    #[test]
+    fn compute_and_exists_qualified_agree() {
+        let (r, t, cfg) = paper_setup();
+        let base = BaseVector::build(&r, &t).unwrap();
+        let ctx = BoundsContext::new(&base, &cfg);
+        for h in 1..t.len() {
+            assert_eq!(ctx.compute(h).feasible, ctx.exists_qualified(h), "h = {h}");
+        }
+    }
+
+    #[test]
+    fn witness_is_a_qualified_subset() {
+        let (r, t, cfg) = paper_setup();
+        let base = BaseVector::build(&r, &t).unwrap();
+        let ctx = BoundsContext::new(&base, &cfg);
+        assert!(ctx.construct_witness(1).is_none());
+        let w = ctx.construct_witness(2).expect("h = 2 is feasible");
+        assert_eq!(w.subset_size(), 2);
+        assert!(w.is_subset_of_test(&base));
+        // Removing the witness reverses the failed test.
+        let counts = w.counts();
+        let outcome = base.outcome_after_removal(counts.as_slice(), &cfg);
+        assert!(outcome.passes(), "outcome = {outcome:?}");
+    }
+
+    #[test]
+    fn example_5_necessary_condition() {
+        let (r, t, cfg) = paper_setup();
+        let base = BaseVector::build(&r, &t).unwrap();
+        let ctx = BoundsContext::new(&base, &cfg);
+        // Example 5: h = 2 satisfies Theorem 2, h = 1 does not.
+        assert!(ctx.necessary_condition(2));
+        assert!(!ctx.necessary_condition(1));
+    }
+
+    #[test]
+    fn necessary_condition_is_monotone_in_h() {
+        let (r, t, cfg) = paper_setup();
+        let base = BaseVector::build(&r, &t).unwrap();
+        let ctx = BoundsContext::new(&base, &cfg);
+        let mut seen_true = false;
+        for h in 1..t.len() {
+            let ok = ctx.necessary_condition(h);
+            if seen_true {
+                assert!(ok, "monotonicity violated at h = {h}");
+            }
+            seen_true |= ok;
+        }
+        assert!(seen_true);
+    }
+
+    #[test]
+    fn theorem1_implies_theorem2() {
+        // The necessary condition must hold whenever Theorem 1 holds.
+        let (r, t, cfg) = paper_setup();
+        let base = BaseVector::build(&r, &t).unwrap();
+        let ctx = BoundsContext::new(&base, &cfg);
+        for h in 1..t.len() {
+            if ctx.exists_qualified(h) {
+                assert!(ctx.necessary_condition(h), "h = {h}");
+            }
+        }
+    }
+
+    #[test]
+    fn gamma_at_q_equals_removed_count_offset() {
+        // Γ(q, h) = m - (m - h)/n * n = h.
+        let (r, t, cfg) = paper_setup();
+        let base = BaseVector::build(&r, &t).unwrap();
+        let ctx = BoundsContext::new(&base, &cfg);
+        for h in 1..t.len() {
+            assert!((ctx.gamma(base.q(), h) - h as f64).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn bounds_are_monotone_lower_and_bounded_by_h() {
+        let r: Vec<f64> = (0..60).map(|i| f64::from(i % 10)).collect();
+        let t: Vec<f64> = (0..40).map(|i| f64::from(i % 4) + 5.0).collect();
+        let base = BaseVector::build(&r, &t).unwrap();
+        let cfg = KsConfig::new(0.05).unwrap();
+        let ctx = BoundsContext::new(&base, &cfg);
+        for h in [1usize, 5, 10, 20, 39] {
+            let b = ctx.compute(h);
+            for i in 1..=base.q() {
+                assert!(b.lower[i] >= b.lower[i - 1], "l must be non-decreasing");
+                assert!(b.upper[i] <= h as i64, "u must be <= h");
+                assert!(b.lower[i] >= 0);
+            }
+            if b.feasible {
+                assert_eq!(b.lower[base.q()], h as i64, "C_S[q] pinned to h (lower)");
+                assert_eq!(b.upper[base.q()], h as i64, "C_S[q] pinned to h (upper)");
+            }
+        }
+    }
+
+    #[test]
+    fn witness_valid_on_random_style_instance() {
+        let r: Vec<f64> = (0..60).map(|i| f64::from(i % 10)).collect();
+        let t: Vec<f64> = (0..40).map(|i| f64::from(i % 4) + 5.0).collect();
+        let base = BaseVector::build(&r, &t).unwrap();
+        let cfg = KsConfig::new(0.05).unwrap();
+        let ctx = BoundsContext::new(&base, &cfg);
+        assert!(base.outcome(&cfg).rejected, "instance should fail the KS test");
+        let mut found = false;
+        for h in 1..t.len() {
+            if let Some(w) = ctx.construct_witness(h) {
+                found = true;
+                assert!(w.is_subset_of_test(&base), "witness at h = {h} not a subset");
+                let outcome = base.outcome_after_removal(w.counts().as_slice(), &cfg);
+                assert!(outcome.passes(), "witness at h = {h} does not reverse the test");
+            }
+        }
+        assert!(found, "some h must admit a qualified subset");
+    }
+}

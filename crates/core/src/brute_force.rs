@@ -1,0 +1,336 @@
+//! Brute-force reference algorithms (Section 3.5 of the paper).
+//!
+//! The brute force enumerates subsets of the test set ordered first by size
+//! and then by the lexicographical order of the preference list — a
+//! breadth-first traversal of a set-enumeration tree. The first subset whose
+//! removal reverses the failed KS test is the most comprehensible
+//! counterfactual explanation.
+//!
+//! These routines are exponential and exist as correctness oracles for
+//! MOCHE (used heavily by the test suite) and as the baseline complexity
+//! reference; they enforce explicit work limits instead of running forever.
+
+use crate::base_vector::BaseVector;
+use crate::cumulative::SubsetCounts;
+use crate::error::MocheError;
+use crate::ks::KsConfig;
+use crate::preference::PreferenceList;
+
+/// Work limits for the brute-force search.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BruteForceLimits {
+    /// Largest subset size to try (inclusive). Defaults to `m - 1`.
+    pub max_size: usize,
+    /// Maximum number of subsets to KS-test before giving up.
+    pub max_checks: usize,
+}
+
+impl Default for BruteForceLimits {
+    fn default() -> Self {
+        Self { max_size: usize::MAX, max_checks: 5_000_000 }
+    }
+}
+
+/// The explanation found by brute force: original test indices sorted by
+/// preference rank, plus the number of subsets checked.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BruteForceResult {
+    /// Selected original test indices, most preferred first.
+    pub indices: Vec<usize>,
+    /// Number of candidate subsets that were KS-tested.
+    pub checks: usize,
+}
+
+/// Whether removing the points at `indices` (original test indices) from
+/// `T` makes the KS test against `R` pass.
+///
+/// This is the "conduct the KS test on `R` and `T \ S`" primitive of the
+/// brute-force method, implemented over the base vector in `O(q)` after the
+/// one-off `O((n+m) log(n+m))` construction.
+pub fn removal_reverses(base: &BaseVector, cfg: &KsConfig, indices: &[usize]) -> bool {
+    if indices.len() >= base.m() {
+        return false; // cannot remove the whole test set
+    }
+    let counts = SubsetCounts::from_test_indices(base, indices);
+    base.outcome_after_removal(counts.as_slice(), cfg).passes()
+}
+
+/// Exhaustively decides whether *any* `h`-subset of `T` is qualified, by
+/// enumerating all `C(m, h)` index subsets. An oracle for Theorem 1.
+///
+/// # Errors
+///
+/// Returns [`MocheError::LimitExceeded`] when `max_checks` subsets were
+/// tested without finishing the enumeration.
+pub fn exists_qualified_exhaustive(
+    base: &BaseVector,
+    cfg: &KsConfig,
+    h: usize,
+    max_checks: usize,
+) -> Result<bool, MocheError> {
+    let m = base.m();
+    if h == 0 || h >= m {
+        return Ok(false);
+    }
+    let mut checks = 0usize;
+    let mut found = false;
+    let order: Vec<usize> = (0..m).collect();
+    for_each_combination(&order, h, &mut |combo| {
+        if found {
+            return ControlFlow::Stop;
+        }
+        checks += 1;
+        if checks > max_checks {
+            return ControlFlow::Abort;
+        }
+        if removal_reverses(base, cfg, combo) {
+            found = true;
+            return ControlFlow::Stop;
+        }
+        ControlFlow::Continue
+    });
+    if !found && checks > max_checks {
+        return Err(MocheError::LimitExceeded { checks });
+    }
+    Ok(found)
+}
+
+/// Finds the most comprehensible explanation by brute force: subsets are
+/// enumerated in increasing size, and within each size in the
+/// lexicographical order of the preference list, so the first hit is the
+/// answer by construction.
+///
+/// # Errors
+///
+/// * [`MocheError::TestAlreadyPasses`] if there is nothing to explain.
+/// * [`MocheError::LimitExceeded`] when the limits ran out first.
+/// * [`MocheError::NoExplanation`] if every allowed size was exhausted.
+pub fn brute_force_explain(
+    reference: &[f64],
+    test: &[f64],
+    cfg: &KsConfig,
+    preference: &PreferenceList,
+    limits: BruteForceLimits,
+) -> Result<BruteForceResult, MocheError> {
+    let base = BaseVector::build(reference, test)?;
+    if preference.len() != base.m() {
+        return Err(MocheError::PreferenceLengthMismatch {
+            expected: base.m(),
+            actual: preference.len(),
+        });
+    }
+    let before = base.outcome(cfg);
+    if before.passes() {
+        return Err(MocheError::TestAlreadyPasses {
+            statistic: before.statistic,
+            threshold: before.threshold,
+        });
+    }
+
+    // Enumerating combinations of *ranks* in lexicographic rank order and
+    // mapping ranks back to indices yields exactly the (size, lex) order of
+    // Definition 2.
+    let order = preference.as_order();
+    let m = base.m();
+    let max_size = limits.max_size.min(m.saturating_sub(1));
+    let mut checks = 0usize;
+    for size in 1..=max_size {
+        let mut answer: Option<Vec<usize>> = None;
+        let mut aborted = false;
+        for_each_combination(order, size, &mut |combo| {
+            checks += 1;
+            if checks > limits.max_checks {
+                aborted = true;
+                return ControlFlow::Abort;
+            }
+            if removal_reverses(&base, cfg, combo) {
+                answer = Some(combo.to_vec());
+                return ControlFlow::Stop;
+            }
+            ControlFlow::Continue
+        });
+        if let Some(indices) = answer {
+            return Ok(BruteForceResult { indices, checks });
+        }
+        if aborted {
+            return Err(MocheError::LimitExceeded { checks });
+        }
+    }
+    Err(MocheError::NoExplanation { alpha: cfg.alpha() })
+}
+
+/// Flow control for the combination visitor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ControlFlow {
+    Continue,
+    Stop,
+    Abort,
+}
+
+/// Visits all `size`-combinations of `items` in lexicographic order of
+/// positions, passing each combination (as the selected items, in order) to
+/// `f`. Iterative odometer implementation; no recursion, one scratch buffer.
+fn for_each_combination(
+    items: &[usize],
+    size: usize,
+    f: &mut impl FnMut(&[usize]) -> ControlFlow,
+) {
+    let n = items.len();
+    if size == 0 || size > n {
+        return;
+    }
+    let mut pos: Vec<usize> = (0..size).collect();
+    let mut combo: Vec<usize> = pos.iter().map(|&p| items[p]).collect();
+    loop {
+        match f(&combo) {
+            ControlFlow::Continue => {}
+            ControlFlow::Stop | ControlFlow::Abort => return,
+        }
+        // Advance the odometer.
+        let mut i = size;
+        loop {
+            if i == 0 {
+                return; // done
+            }
+            i -= 1;
+            if pos[i] != i + n - size {
+                break;
+            }
+            if i == 0 {
+                return; // last combination visited
+            }
+        }
+        pos[i] += 1;
+        for j in i + 1..size {
+            pos[j] = pos[j - 1] + 1;
+        }
+        for j in i..size {
+            combo[j] = items[pos[j]];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper_setup() -> (Vec<f64>, Vec<f64>, KsConfig) {
+        (
+            vec![14.0, 14.0, 14.0, 14.0, 20.0, 20.0, 20.0, 20.0],
+            vec![13.0, 13.0, 12.0, 20.0],
+            KsConfig::new(0.3).unwrap(),
+        )
+    }
+
+    #[test]
+    fn combination_enumeration_is_lexicographic() {
+        let items = vec![10, 20, 30, 40];
+        let mut seen = Vec::new();
+        for_each_combination(&items, 2, &mut |c| {
+            seen.push(c.to_vec());
+            ControlFlow::Continue
+        });
+        assert_eq!(
+            seen,
+            vec![
+                vec![10, 20],
+                vec![10, 30],
+                vec![10, 40],
+                vec![20, 30],
+                vec![20, 40],
+                vec![30, 40],
+            ]
+        );
+    }
+
+    #[test]
+    fn combination_full_and_single() {
+        let items = vec![1, 2, 3];
+        let mut count = 0;
+        for_each_combination(&items, 3, &mut |c| {
+            assert_eq!(c, &[1, 2, 3]);
+            count += 1;
+            ControlFlow::Continue
+        });
+        assert_eq!(count, 1);
+        count = 0;
+        for_each_combination(&items, 1, &mut |_| {
+            count += 1;
+            ControlFlow::Continue
+        });
+        assert_eq!(count, 3);
+        for_each_combination(&items, 0, &mut |_| panic!("no combos of size 0"));
+        for_each_combination(&items, 4, &mut |_| panic!("no combos of size 4"));
+    }
+
+    #[test]
+    fn paper_example_brute_force() {
+        let (r, t, cfg) = paper_setup();
+        // L = [t4, t3, t2, t1] = indices [3, 2, 1, 0].
+        let pref = PreferenceList::new(vec![3, 2, 1, 0]).unwrap();
+        let res = brute_force_explain(&r, &t, &cfg, &pref, BruteForceLimits::default()).unwrap();
+        assert_eq!(res.indices, vec![2, 1], "Example 6's explanation {{t3, t2}}");
+    }
+
+    #[test]
+    fn exhaustive_existence_matches_sizes() {
+        let (r, t, cfg) = paper_setup();
+        let base = BaseVector::build(&r, &t).unwrap();
+        assert!(!exists_qualified_exhaustive(&base, &cfg, 1, 10_000).unwrap());
+        assert!(exists_qualified_exhaustive(&base, &cfg, 2, 10_000).unwrap());
+        assert!(!exists_qualified_exhaustive(&base, &cfg, 0, 10_000).unwrap());
+        assert!(!exists_qualified_exhaustive(&base, &cfg, 4, 10_000).unwrap());
+    }
+
+    #[test]
+    fn removal_reverses_guards_full_removal() {
+        let (r, t, cfg) = paper_setup();
+        let base = BaseVector::build(&r, &t).unwrap();
+        assert!(!removal_reverses(&base, &cfg, &[0, 1, 2, 3]));
+    }
+
+    #[test]
+    fn passing_test_yields_error() {
+        let cfg = KsConfig::new(0.05).unwrap();
+        let r: Vec<f64> = (0..20).map(f64::from).collect();
+        let pref = PreferenceList::identity(20);
+        match brute_force_explain(&r, &r, &cfg, &pref, BruteForceLimits::default()) {
+            Err(MocheError::TestAlreadyPasses { .. }) => {}
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn limit_exceeded_is_reported() {
+        let (r, t, cfg) = paper_setup();
+        let pref = PreferenceList::identity(4);
+        let limits = BruteForceLimits { max_size: 3, max_checks: 2 };
+        match brute_force_explain(&r, &t, &cfg, &pref, limits) {
+            Err(MocheError::LimitExceeded { checks }) => assert!(checks > 2),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn preference_length_mismatch_detected() {
+        let (r, t, cfg) = paper_setup();
+        let pref = PreferenceList::identity(3);
+        match brute_force_explain(&r, &t, &cfg, &pref, BruteForceLimits::default()) {
+            Err(MocheError::PreferenceLengthMismatch { expected: 4, actual: 3 }) => {}
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn brute_force_respects_preference_order() {
+        let (r, t, cfg) = paper_setup();
+        // With identity preference [t1, t2, t3, t4], the lex-smallest
+        // explanation of size 2 that reverses the test should prefer low
+        // indices: candidates in order are {0,1}, {0,2}, ...
+        let pref = PreferenceList::identity(4);
+        let res = brute_force_explain(&r, &t, &cfg, &pref, BruteForceLimits::default()).unwrap();
+        assert_eq!(res.indices.len(), 2);
+        // {t1, t2} = {13, 13} reverses (Example 3 checks S = {13, 13}).
+        assert_eq!(res.indices, vec![0, 1]);
+    }
+}

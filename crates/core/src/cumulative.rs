@@ -1,0 +1,286 @@
+//! Cumulative vectors of subsets of the test set (Definition 3 of the
+//! paper) and their multiplicity-count dual.
+//!
+//! A subset `S ⊆ T` is represented in two interchangeable ways:
+//!
+//! * a [`CumulativeVector`] `C_S` with `C_S[i] = |{x in S : x <= x_i}|`
+//!   (the paper's representation), and
+//! * [`SubsetCounts`] `d` with `d[i] = C_S[i] - C_S[i-1]`, the multiplicity
+//!   of `x_i` in `S`, which is the convenient form for the incremental
+//!   Phase-2 construction.
+
+use crate::base_vector::BaseVector;
+
+/// Per-value multiplicities of a subset `S ⊆ T`, indexed by base-vector
+/// position (`1..=q`; index `0` is an unused sentinel).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SubsetCounts {
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl SubsetCounts {
+    /// The empty subset over a base vector with `q` distinct values.
+    pub fn empty(q: usize) -> Self {
+        Self { counts: vec![0; q + 1], total: 0 }
+    }
+
+    /// Builds counts from original test-point indices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of range or listed more times than the test
+    /// set contains copies of its value.
+    pub fn from_test_indices(base: &BaseVector, indices: &[usize]) -> Self {
+        let mut s = Self::empty(base.q());
+        for &orig in indices {
+            assert!(orig < base.m(), "test index {orig} out of range");
+            s.add(base.test_point_index(orig));
+        }
+        for i in 1..=base.q() {
+            assert!(
+                s.counts[i] <= base.t_mult(i),
+                "subset uses value x_{i} more often than the test set contains it"
+            );
+        }
+        s
+    }
+
+    /// Adds one copy of the value at base index `i` (1-based).
+    #[inline]
+    pub fn add(&mut self, i: usize) {
+        self.counts[i] += 1;
+        self.total += 1;
+    }
+
+    /// Removes one copy of the value at base index `i` (1-based).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the subset contains no copy at `i`.
+    #[inline]
+    pub fn remove(&mut self, i: usize) {
+        assert!(self.counts[i] > 0, "no copy of x_{i} to remove");
+        self.counts[i] -= 1;
+        self.total -= 1;
+    }
+
+    /// Multiplicity of `x_i` in the subset (`d[i]`), `1 <= i <= q`.
+    #[inline]
+    pub fn count(&self, i: usize) -> u64 {
+        self.counts[i]
+    }
+
+    /// Total size `|S|`.
+    #[inline]
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// `q` of the underlying base vector.
+    #[inline]
+    pub fn q(&self) -> usize {
+        self.counts.len() - 1
+    }
+
+    /// The raw counts slice (length `q + 1`, index 0 is the sentinel).
+    #[inline]
+    pub fn as_slice(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Converts to the cumulative-vector representation.
+    pub fn cumulative(&self) -> CumulativeVector {
+        let mut c = Vec::with_capacity(self.counts.len());
+        c.push(0u64);
+        let mut acc = 0u64;
+        for &d in &self.counts[1..] {
+            acc += d;
+            c.push(acc);
+        }
+        CumulativeVector { c }
+    }
+}
+
+/// A cumulative vector `C_S` (Definition 3): `C_S[0] = 0` and `C_S[i]` is
+/// the number of points of `S` that are `<= x_i`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CumulativeVector {
+    c: Vec<u64>,
+}
+
+impl CumulativeVector {
+    /// Wraps a raw cumulative array (length `q + 1`, `c[0] == 0`,
+    /// non-decreasing).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the invariants are violated.
+    pub fn new(c: Vec<u64>) -> Self {
+        assert!(!c.is_empty() && c[0] == 0, "cumulative vector must start at 0");
+        assert!(c.windows(2).all(|w| w[0] <= w[1]), "cumulative vector must be non-decreasing");
+        Self { c }
+    }
+
+    /// `C_S[i]` for `0 <= i <= q`.
+    #[inline]
+    pub fn get(&self, i: usize) -> u64 {
+        self.c[i]
+    }
+
+    /// `q` of the underlying base vector.
+    #[inline]
+    pub fn q(&self) -> usize {
+        self.c.len() - 1
+    }
+
+    /// Size of the represented subset, `C_S[q]`.
+    #[inline]
+    pub fn subset_size(&self) -> u64 {
+        *self.c.last().unwrap()
+    }
+
+    /// Converts back to per-value multiplicities.
+    pub fn counts(&self) -> SubsetCounts {
+        let mut counts = Vec::with_capacity(self.c.len());
+        counts.push(0u64);
+        for w in self.c.windows(2) {
+            counts.push(w[1] - w[0]);
+        }
+        SubsetCounts { counts, total: self.subset_size() }
+    }
+
+    /// Whether this vector describes a genuine subset of the test set of
+    /// `base` (i.e. multiplicities never exceed the test set's).
+    pub fn is_subset_of_test(&self, base: &BaseVector) -> bool {
+        debug_assert_eq!(self.q(), base.q());
+        (1..=self.q()).all(|i| self.c[i] - self.c[i - 1] <= base.t_mult(i))
+    }
+
+    /// Materializes a concrete set of original test indices whose cumulative
+    /// vector is `self`, choosing, for each value, the occurrences with the
+    /// smallest original indices.
+    ///
+    /// Returns `None` if the vector is not a subset of the test set.
+    pub fn materialize_indices(&self, base: &BaseVector, test_len: usize) -> Option<Vec<usize>> {
+        if !self.is_subset_of_test(base) {
+            return None;
+        }
+        let counts = self.counts();
+        let mut need: Vec<u64> = counts.counts.clone();
+        let mut out = Vec::with_capacity(self.subset_size() as usize);
+        for orig in 0..test_len {
+            let i = base.test_point_index(orig);
+            if need[i] > 0 {
+                need[i] -= 1;
+                out.push(orig);
+            }
+        }
+        debug_assert!(need[1..].iter().all(|&x| x == 0));
+        Some(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper_base() -> BaseVector {
+        let r = vec![14.0, 14.0, 14.0, 14.0, 20.0, 20.0, 20.0, 20.0];
+        let t = vec![13.0, 13.0, 12.0, 20.0];
+        BaseVector::build(&r, &t).unwrap()
+    }
+
+    #[test]
+    fn paper_example_cumulative_vector() {
+        // Example 3: S = {13, 13} has C_S = <0, 0, 2, 2, 2>.
+        let base = paper_base();
+        // 13s are original indices 0 and 1.
+        let s = SubsetCounts::from_test_indices(&base, &[0, 1]);
+        let c = s.cumulative();
+        assert_eq!((0..=4).map(|i| c.get(i)).collect::<Vec<_>>(), vec![0, 0, 2, 2, 2]);
+        assert_eq!(c.subset_size(), 2);
+    }
+
+    #[test]
+    fn counts_cumulative_roundtrip() {
+        let base = paper_base();
+        let s = SubsetCounts::from_test_indices(&base, &[2, 3]);
+        let c = s.cumulative();
+        assert_eq!(c.counts(), s);
+    }
+
+    #[test]
+    fn add_remove_inverse() {
+        let mut s = SubsetCounts::empty(5);
+        s.add(3);
+        s.add(3);
+        s.add(5);
+        assert_eq!(s.total(), 3);
+        s.remove(3);
+        assert_eq!(s.count(3), 1);
+        assert_eq!(s.total(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "no copy")]
+    fn remove_from_empty_panics() {
+        let mut s = SubsetCounts::empty(3);
+        s.remove(1);
+    }
+
+    #[test]
+    #[should_panic(expected = "more often")]
+    fn from_test_indices_rejects_overuse() {
+        let base = paper_base();
+        // Index 2 is the single 12; using it twice is impossible for a set of
+        // indices, but simulate by passing it twice.
+        let _ = SubsetCounts::from_test_indices(&base, &[2, 2]);
+    }
+
+    #[test]
+    fn cumulative_vector_validation() {
+        assert!(std::panic::catch_unwind(|| CumulativeVector::new(vec![1, 2])).is_err());
+        assert!(std::panic::catch_unwind(|| CumulativeVector::new(vec![0, 2, 1])).is_err());
+        let c = CumulativeVector::new(vec![0, 1, 1, 3]);
+        assert_eq!(c.subset_size(), 3);
+        assert_eq!(c.q(), 3);
+    }
+
+    #[test]
+    fn is_subset_of_test_detects_violation() {
+        let base = paper_base(); // t multiplicities: [1, 2, 0, 1]
+        let ok = CumulativeVector::new(vec![0, 1, 3, 3, 4]);
+        assert!(ok.is_subset_of_test(&base));
+        let bad = CumulativeVector::new(vec![0, 2, 2, 2, 2]); // two copies of 12
+        assert!(!bad.is_subset_of_test(&base));
+        let bad2 = CumulativeVector::new(vec![0, 0, 0, 1, 1]); // a 14, not in T
+        assert!(!bad2.is_subset_of_test(&base));
+    }
+
+    #[test]
+    fn materialize_prefers_smallest_indices() {
+        let base = paper_base();
+        // One copy of 13 -> should pick original index 0 (first 13).
+        let c = CumulativeVector::new(vec![0, 0, 1, 1, 1]);
+        let idxs = c.materialize_indices(&base, 4).unwrap();
+        assert_eq!(idxs, vec![0]);
+    }
+
+    #[test]
+    fn materialize_rejects_non_subset() {
+        let base = paper_base();
+        let bad = CumulativeVector::new(vec![0, 0, 0, 2, 2]);
+        assert!(bad.materialize_indices(&base, 4).is_none());
+    }
+
+    #[test]
+    fn empty_subset_is_valid() {
+        let base = paper_base();
+        let s = SubsetCounts::empty(base.q());
+        let c = s.cumulative();
+        assert_eq!(c.subset_size(), 0);
+        assert!(c.is_subset_of_test(&base));
+        assert_eq!(c.materialize_indices(&base, 4).unwrap(), Vec::<usize>::new());
+    }
+}

@@ -1,0 +1,154 @@
+//! Empirical cumulative distribution functions.
+
+/// An empirical cumulative distribution function (ECDF) over a finite
+/// multiset of real values.
+///
+/// `F(x)` is the fraction of sample points that are `<= x`. Evaluation is
+/// `O(log n)` via binary search over the sorted sample.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Ecdf {
+    sorted: Vec<f64>,
+}
+
+impl Ecdf {
+    /// Builds an ECDF from an arbitrary (unsorted) sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sample is empty or contains NaN. Use the validating
+    /// entry points in [`crate::ks`] when handling untrusted input.
+    pub fn new(values: &[f64]) -> Self {
+        assert!(!values.is_empty(), "ECDF requires a non-empty sample");
+        assert!(values.iter().all(|v| !v.is_nan()), "ECDF sample must not contain NaN");
+        let mut sorted = values.to_vec();
+        sorted.sort_unstable_by(f64::total_cmp);
+        Self { sorted }
+    }
+
+    /// Builds an ECDF from a sample that is already sorted ascending.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if the sample is not sorted.
+    pub fn from_sorted(sorted: Vec<f64>) -> Self {
+        assert!(!sorted.is_empty(), "ECDF requires a non-empty sample");
+        debug_assert!(sorted.windows(2).all(|w| w[0] <= w[1]), "sample must be sorted");
+        Self { sorted }
+    }
+
+    /// Number of sample points.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Whether the sample is empty (never true for a constructed `Ecdf`).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// The underlying sorted sample.
+    #[inline]
+    pub fn sample(&self) -> &[f64] {
+        &self.sorted
+    }
+
+    /// Number of sample points `<= x`.
+    #[inline]
+    pub fn count_le(&self, x: f64) -> usize {
+        self.sorted.partition_point(|&v| v <= x)
+    }
+
+    /// Evaluates `F(x)`, the fraction of sample points `<= x`.
+    #[inline]
+    pub fn eval(&self, x: f64) -> f64 {
+        self.count_le(x) as f64 / self.sorted.len() as f64
+    }
+
+    /// The root-mean-square error between two ECDFs evaluated over the union
+    /// of their supports, as used by the paper's effectiveness metric
+    /// (Section 6.3):
+    ///
+    /// ```text
+    /// RMSE = sqrt( Σ_{x in A ∪ B} (F_A(x) - F_B(x))^2 / |A ∪ B| )
+    /// ```
+    ///
+    /// where the union is a multiset union (duplicates counted).
+    pub fn rmse(&self, other: &Ecdf) -> f64 {
+        let total = self.len() + other.len();
+        let mut sum = 0.0f64;
+        for &x in self.sorted.iter().chain(other.sorted.iter()) {
+            let d = self.eval(x) - other.eval(x);
+            sum += d * d;
+        }
+        (sum / total as f64).sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn step_function_semantics() {
+        let e = Ecdf::new(&[1.0, 2.0, 2.0, 3.0]);
+        assert_eq!(e.eval(0.5), 0.0);
+        assert_eq!(e.eval(1.0), 0.25);
+        assert_eq!(e.eval(1.5), 0.25);
+        assert_eq!(e.eval(2.0), 0.75);
+        assert_eq!(e.eval(3.0), 1.0);
+        assert_eq!(e.eval(99.0), 1.0);
+    }
+
+    #[test]
+    fn from_sorted_equals_new() {
+        let raw = vec![3.0, 1.0, 2.0];
+        let a = Ecdf::new(&raw);
+        let b = Ecdf::from_sorted(vec![1.0, 2.0, 3.0]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn count_le_handles_duplicates() {
+        let e = Ecdf::new(&[5.0; 10]);
+        assert_eq!(e.count_le(4.9), 0);
+        assert_eq!(e.count_le(5.0), 10);
+    }
+
+    #[test]
+    fn rmse_of_identical_samples_is_zero() {
+        let e = Ecdf::new(&[1.0, 4.0, 9.0]);
+        assert_eq!(e.rmse(&e), 0.0);
+    }
+
+    #[test]
+    fn rmse_is_symmetric() {
+        let a = Ecdf::new(&[1.0, 2.0, 3.0]);
+        let b = Ecdf::new(&[2.0, 3.0, 4.0, 5.0]);
+        let ab = a.rmse(&b);
+        let ba = b.rmse(&a);
+        assert!((ab - ba).abs() < 1e-15);
+        assert!(ab > 0.0);
+    }
+
+    #[test]
+    fn rmse_of_disjoint_samples_is_large() {
+        let a = Ecdf::new(&[0.0, 1.0]);
+        let b = Ecdf::new(&[10.0, 11.0]);
+        // At the points of a, F_a in {0.5, 1.0}, F_b = 0; at points of b both 1 or (1, 0.5).
+        assert!(a.rmse(&b) > 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_sample_panics() {
+        let _ = Ecdf::new(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_sample_panics() {
+        let _ = Ecdf::new(&[1.0, f64::NAN]);
+    }
+}

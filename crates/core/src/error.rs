@@ -1,0 +1,190 @@
+//! Error types for the MOCHE core library.
+
+use std::fmt;
+
+/// Which input multiset a validation error refers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SetKind {
+    /// The reference set `R`.
+    Reference,
+    /// The test set `T`.
+    Test,
+}
+
+impl fmt::Display for SetKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SetKind::Reference => f.write_str("reference set"),
+            SetKind::Test => f.write_str("test set"),
+        }
+    }
+}
+
+/// Errors surfaced by the MOCHE core library.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MocheError {
+    /// The reference set is empty; the KS test is undefined.
+    EmptyReference,
+    /// The test set is empty; the KS test is undefined.
+    EmptyTest,
+    /// An input value is NaN or infinite.
+    NonFiniteValue {
+        /// Which multiset contained the offending value.
+        which: SetKind,
+        /// Index of the offending value in the caller's slice.
+        index: usize,
+        /// The offending value.
+        value: f64,
+    },
+    /// The significance level is outside the open interval `(0, 1)`.
+    InvalidAlpha {
+        /// The rejected significance level.
+        alpha: f64,
+    },
+    /// The KS test between `R` and `T` already passes at the configured
+    /// significance level, so there is nothing to explain.
+    TestAlreadyPasses {
+        /// The observed KS statistic `D(R, T)`.
+        statistic: f64,
+        /// The decision threshold (target p-value) at the configured `alpha`.
+        threshold: f64,
+    },
+    /// No subset of `T` reverses the failed test. By Proposition 1 of the
+    /// paper this can only happen when `alpha > 2/e^2 ≈ 0.2707`.
+    NoExplanation {
+        /// The significance level for which no explanation exists.
+        alpha: f64,
+    },
+    /// The preference list is not a permutation of `0..m`.
+    InvalidPreference {
+        /// Human-readable description of the defect.
+        reason: PreferenceDefect,
+    },
+    /// A resource limit (for the brute-force reference implementation) was
+    /// exceeded before an answer was found.
+    LimitExceeded {
+        /// Number of subsets checked before giving up.
+        checks: usize,
+    },
+    /// The preference list length does not match the test set size.
+    PreferenceLengthMismatch {
+        /// Expected length (`|T|`).
+        expected: usize,
+        /// Actual length supplied.
+        actual: usize,
+    },
+    /// Phase 2 could not grow a partial explanation to the target size.
+    /// This indicates a numerical inconsistency between the Phase-1 size
+    /// certificate and the Phase-2 checks and should not occur in practice;
+    /// it is surfaced as an error rather than a panic so callers can recover.
+    ConstructionIncomplete {
+        /// Number of points selected before the scan was exhausted.
+        built: usize,
+        /// The target explanation size.
+        k: usize,
+    },
+}
+
+/// Specific ways a preference list can fail validation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PreferenceDefect {
+    /// An index appears more than once.
+    DuplicateIndex(usize),
+    /// An index is out of range for the test set.
+    OutOfRange(usize),
+    /// A score used to build the list was NaN.
+    NonFiniteScore(usize),
+}
+
+impl fmt::Display for PreferenceDefect {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PreferenceDefect::DuplicateIndex(i) => {
+                write!(f, "test index {i} appears more than once")
+            }
+            PreferenceDefect::OutOfRange(i) => write!(f, "test index {i} is out of range"),
+            PreferenceDefect::NonFiniteScore(i) => write!(f, "score at position {i} is not finite"),
+        }
+    }
+}
+
+impl fmt::Display for MocheError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MocheError::EmptyReference => f.write_str("reference set must not be empty"),
+            MocheError::EmptyTest => f.write_str("test set must not be empty"),
+            MocheError::NonFiniteValue { which, index, value } => {
+                write!(f, "{which} contains non-finite value {value} at index {index}")
+            }
+            MocheError::InvalidAlpha { alpha } => {
+                write!(f, "significance level {alpha} is outside (0, 1)")
+            }
+            MocheError::TestAlreadyPasses { statistic, threshold } => write!(
+                f,
+                "KS test already passes (D = {statistic:.6} <= threshold {threshold:.6}); \
+                 nothing to explain"
+            ),
+            MocheError::NoExplanation { alpha } => write!(
+                f,
+                "no subset of the test set reverses the failed KS test at alpha = {alpha} \
+                 (existence is only guaranteed for alpha <= 2/e^2)"
+            ),
+            MocheError::InvalidPreference { reason } => {
+                write!(f, "invalid preference list: {reason}")
+            }
+            MocheError::LimitExceeded { checks } => {
+                write!(f, "search limit exceeded after checking {checks} subsets")
+            }
+            MocheError::PreferenceLengthMismatch { expected, actual } => write!(
+                f,
+                "preference list has length {actual} but the test set has {expected} points"
+            ),
+            MocheError::ConstructionIncomplete { built, k } => write!(
+                f,
+                "phase 2 selected only {built} of {k} points; \
+                 please report this as a numerical-consistency bug"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for MocheError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = MocheError::NonFiniteValue {
+            which: SetKind::Test,
+            index: 3,
+            value: f64::NAN,
+        };
+        let s = e.to_string();
+        assert!(s.contains("test set"));
+        assert!(s.contains("index 3"));
+    }
+
+    #[test]
+    fn error_trait_object() {
+        let e: Box<dyn std::error::Error> = Box::new(MocheError::EmptyReference);
+        assert_eq!(e.to_string(), "reference set must not be empty");
+    }
+
+    #[test]
+    fn preference_defects_display() {
+        assert!(PreferenceDefect::DuplicateIndex(7).to_string().contains('7'));
+        assert!(PreferenceDefect::OutOfRange(9).to_string().contains('9'));
+        assert!(PreferenceDefect::NonFiniteScore(1).to_string().contains("finite"));
+    }
+
+    #[test]
+    fn errors_compare_equal() {
+        assert_eq!(
+            MocheError::InvalidAlpha { alpha: 1.5 },
+            MocheError::InvalidAlpha { alpha: 1.5 }
+        );
+        assert_ne!(MocheError::EmptyReference, MocheError::EmptyTest);
+    }
+}

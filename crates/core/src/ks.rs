@@ -1,0 +1,444 @@
+//! The two-sample Kolmogorov-Smirnov test.
+//!
+//! The KS test checks whether a test multiset `T` is sampled from the same
+//! distribution as a reference multiset `R` by comparing their empirical
+//! cumulative distribution functions (ECDFs):
+//!
+//! ```text
+//! D(R, T) = max_{x in R ∪ T} |F_R(x) - F_T(x)|
+//! ```
+//!
+//! For a significance level `α` the decision threshold (the "target p-value"
+//! in the paper's terminology) is
+//!
+//! ```text
+//! p = c_α * sqrt((n + m) / (n * m)),   c_α = sqrt(-ln(α / 2) / 2)
+//! ```
+//!
+//! and the null hypothesis ("same distribution") is rejected iff `D > p`.
+//! A rejected test is called a *failed* KS test.
+
+use crate::error::{MocheError, SetKind};
+
+/// The largest significance level for which Proposition 1 of the paper
+/// guarantees that a counterfactual explanation exists: `2 / e^2`.
+pub const ALPHA_EXISTENCE_GUARANTEE: f64 = 2.0 / (std::f64::consts::E * std::f64::consts::E);
+
+/// Default numerical slack used when comparing floating-point quantities that
+/// are equal in exact real arithmetic. See `DESIGN.md` ("Numerical
+/// consistency") for the rationale.
+pub const DEFAULT_EPS: f64 = 1e-9;
+
+/// Configuration shared by every KS-test decision in the crate.
+///
+/// All code paths (the direct KS check, the Lemma-1 bound recursions, and the
+/// brute-force oracle) take their `alpha` and numerical slack `eps` from a
+/// single `KsConfig` so that their decisions are mutually consistent.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KsConfig {
+    alpha: f64,
+    eps: f64,
+}
+
+impl KsConfig {
+    /// Creates a configuration for significance level `alpha` with the
+    /// default numerical slack.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MocheError::InvalidAlpha`] unless `0 < alpha < 1`.
+    pub fn new(alpha: f64) -> Result<Self, MocheError> {
+        if !(alpha > 0.0 && alpha < 1.0) {
+            return Err(MocheError::InvalidAlpha { alpha });
+        }
+        Ok(Self { alpha, eps: DEFAULT_EPS })
+    }
+
+    /// Overrides the numerical slack. `eps` must be finite and non-negative;
+    /// `0.0` requests exact floating-point comparisons.
+    #[must_use]
+    pub fn with_eps(mut self, eps: f64) -> Self {
+        assert!(eps.is_finite() && eps >= 0.0, "eps must be finite and non-negative");
+        self.eps = eps;
+        self
+    }
+
+    /// The configured significance level.
+    #[inline]
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// The configured numerical slack.
+    #[inline]
+    pub fn eps(&self) -> f64 {
+        self.eps
+    }
+
+    /// Whether existence of an explanation is guaranteed by Proposition 1
+    /// (`alpha <= 2/e^2`).
+    #[inline]
+    pub fn existence_guaranteed(&self) -> bool {
+        self.alpha <= ALPHA_EXISTENCE_GUARANTEE
+    }
+
+    /// The critical value `c_α = sqrt(-ln(α/2) / 2)`.
+    #[inline]
+    pub fn critical_value(&self) -> f64 {
+        (-(self.alpha / 2.0).ln() / 2.0).sqrt()
+    }
+
+    /// The decision threshold `p = c_α * sqrt((n + m) / (n * m))` for sample
+    /// sizes `n` and `m`.
+    #[inline]
+    pub fn threshold(&self, n: usize, m: usize) -> f64 {
+        debug_assert!(n > 0 && m > 0);
+        let (n, m) = (n as f64, m as f64);
+        self.critical_value() * ((n + m) / (n * m)).sqrt()
+    }
+
+    /// Decides a test given the statistic and sizes: `true` iff the null
+    /// hypothesis is rejected (`D > p`, modulo the numerical slack).
+    #[inline]
+    pub fn rejects(&self, statistic: f64, n: usize, m: usize) -> bool {
+        statistic > self.threshold(n, m) + self.eps
+    }
+}
+
+/// The outcome of a two-sample KS test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KsOutcome {
+    /// The KS statistic `D(R, T)`.
+    pub statistic: f64,
+    /// The decision threshold at the configured significance level.
+    pub threshold: f64,
+    /// Whether the null hypothesis was rejected (the test *failed*).
+    pub rejected: bool,
+    /// Size of the reference set.
+    pub n: usize,
+    /// Size of the test set.
+    pub m: usize,
+}
+
+impl KsOutcome {
+    /// Whether the two samples pass the test (the null hypothesis is *not*
+    /// rejected).
+    #[inline]
+    pub fn passes(&self) -> bool {
+        !self.rejected
+    }
+}
+
+/// The Kolmogorov distribution's complementary CDF
+/// `Q(λ) = 2 Σ_{j>=1} (-1)^{j-1} e^{-2 j² λ²}`, the asymptotic p-value of a
+/// scaled KS statistic. Series truncated at machine precision; `Q(0) = 1`,
+/// `Q(∞) = 0`.
+pub fn kolmogorov_q(lambda: f64) -> f64 {
+    if lambda <= 1e-9 {
+        return 1.0;
+    }
+    let mut sum = 0.0f64;
+    let mut sign = 1.0f64;
+    for j in 1..=100 {
+        let term = (-2.0 * (j as f64) * (j as f64) * lambda * lambda).exp();
+        sum += sign * term;
+        sign = -sign;
+        if term < 1e-16 {
+            break;
+        }
+    }
+    (2.0 * sum).clamp(0.0, 1.0)
+}
+
+/// The asymptotic two-sample p-value of a KS statistic `d` with sample
+/// sizes `n` and `m`: `Q(d * sqrt(n m / (n + m)))`.
+pub fn asymptotic_p_value(d: f64, n: usize, m: usize) -> f64 {
+    debug_assert!(n > 0 && m > 0);
+    let (n, m) = (n as f64, m as f64);
+    kolmogorov_q(d * (n * m / (n + m)).sqrt())
+}
+
+/// Validates that every value in `values` is finite.
+pub(crate) fn validate_finite(which: SetKind, values: &[f64]) -> Result<(), MocheError> {
+    for (index, &value) in values.iter().enumerate() {
+        if !value.is_finite() {
+            return Err(MocheError::NonFiniteValue { which, index, value });
+        }
+    }
+    Ok(())
+}
+
+/// Computes the two-sample KS statistic `D(R, T)` in
+/// `O((n + m) log(n + m))` time.
+///
+/// # Errors
+///
+/// Returns an error if either multiset is empty or contains non-finite
+/// values.
+pub fn ks_statistic(reference: &[f64], test: &[f64]) -> Result<f64, MocheError> {
+    if reference.is_empty() {
+        return Err(MocheError::EmptyReference);
+    }
+    if test.is_empty() {
+        return Err(MocheError::EmptyTest);
+    }
+    validate_finite(SetKind::Reference, reference)?;
+    validate_finite(SetKind::Test, test)?;
+
+    let mut r: Vec<f64> = reference.to_vec();
+    let mut t: Vec<f64> = test.to_vec();
+    r.sort_unstable_by(f64::total_cmp);
+    t.sort_unstable_by(f64::total_cmp);
+    Ok(ks_statistic_sorted(&r, &t))
+}
+
+/// Computes the KS statistic for two already-sorted multisets.
+///
+/// The supremum of `|F_R - F_T|` over the merged support is attained at a
+/// data point, so a single merge pass suffices.
+pub(crate) fn ks_statistic_sorted(r: &[f64], t: &[f64]) -> f64 {
+    let (n, m) = (r.len() as f64, t.len() as f64);
+    let mut i = 0usize; // points consumed from r
+    let mut j = 0usize; // points consumed from t
+    let mut d = 0.0f64;
+    while i < r.len() || j < t.len() {
+        // Advance over the next distinct value (consume ties from both sides).
+        let x = match (r.get(i), t.get(j)) {
+            (Some(&a), Some(&b)) => a.min(b),
+            (Some(&a), None) => a,
+            (None, Some(&b)) => b,
+            (None, None) => unreachable!(),
+        };
+        while i < r.len() && r[i] <= x {
+            i += 1;
+        }
+        while j < t.len() && t[j] <= x {
+            j += 1;
+        }
+        let diff = (i as f64 / n - j as f64 / m).abs();
+        if diff > d {
+            d = diff;
+        }
+    }
+    d
+}
+
+/// Runs the two-sample KS test.
+///
+/// # Errors
+///
+/// Propagates validation errors from [`ks_statistic`].
+///
+/// # Examples
+///
+/// ```
+/// use moche_core::ks::{ks_test, KsConfig};
+///
+/// let cfg = KsConfig::new(0.05).unwrap();
+/// let r: Vec<f64> = (0..100).map(|i| i as f64 / 100.0).collect();
+/// let t: Vec<f64> = (0..100).map(|i| i as f64 / 100.0 + 0.9).collect();
+/// let outcome = ks_test(&r, &t, &cfg).unwrap();
+/// assert!(outcome.rejected);
+/// ```
+pub fn ks_test(reference: &[f64], test: &[f64], cfg: &KsConfig) -> Result<KsOutcome, MocheError> {
+    let statistic = ks_statistic(reference, test)?;
+    let (n, m) = (reference.len(), test.len());
+    Ok(KsOutcome {
+        statistic,
+        threshold: cfg.threshold(n, m),
+        rejected: cfg.rejects(statistic, n, m),
+        n,
+        m,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(alpha: f64) -> KsConfig {
+        KsConfig::new(alpha).unwrap()
+    }
+
+    #[test]
+    fn critical_value_matches_formula() {
+        let c = cfg(0.05).critical_value();
+        // sqrt(-ln(0.025)/2) = 1.3581015...
+        assert!((c - 1.358_101_5).abs() < 1e-6, "c = {c}");
+    }
+
+    #[test]
+    fn alpha_validation() {
+        assert!(KsConfig::new(0.0).is_err());
+        assert!(KsConfig::new(1.0).is_err());
+        assert!(KsConfig::new(-0.1).is_err());
+        assert!(KsConfig::new(f64::NAN).is_err());
+        assert!(KsConfig::new(0.05).is_ok());
+    }
+
+    #[test]
+    fn existence_guarantee_boundary() {
+        assert!(cfg(0.05).existence_guaranteed());
+        assert!(cfg(0.27).existence_guaranteed());
+        assert!(!cfg(0.28).existence_guaranteed());
+        assert!((ALPHA_EXISTENCE_GUARANTEE - 0.270_670_566).abs() < 1e-8);
+    }
+
+    #[test]
+    fn identical_samples_have_zero_statistic() {
+        let xs = vec![1.0, 2.0, 3.0, 4.0];
+        assert_eq!(ks_statistic(&xs, &xs).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn disjoint_samples_have_statistic_one() {
+        let r = vec![0.0, 1.0, 2.0];
+        let t = vec![10.0, 11.0];
+        assert_eq!(ks_statistic(&r, &t).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn statistic_is_symmetric() {
+        let r = vec![1.0, 3.0, 3.0, 7.0, 9.0];
+        let t = vec![2.0, 3.0, 8.0];
+        let a = ks_statistic(&r, &t).unwrap();
+        let b = ks_statistic(&t, &r).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn paper_example_3_sets_fail_at_alpha_03() {
+        // Example 3/4 of the paper: T = {13, 13, 12, 20}, R = {14 x4, 20 x4};
+        // they fail the KS test at significance level 0.3.
+        let t = vec![13.0, 13.0, 12.0, 20.0];
+        let r = vec![14.0, 14.0, 14.0, 14.0, 20.0, 20.0, 20.0, 20.0];
+        let outcome = ks_test(&r, &t, &cfg(0.3)).unwrap();
+        assert!(outcome.rejected, "outcome = {outcome:?}");
+        // F_R(13) = 0, F_T(13) = 3/4 -> D = 0.75.
+        assert!((outcome.statistic - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn handles_ties_across_sets() {
+        // All mass at the same points: D must be 0.
+        let r = vec![5.0, 5.0, 5.0];
+        let t = vec![5.0, 5.0];
+        assert_eq!(ks_statistic(&r, &t).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn statistic_against_naive_evaluation() {
+        // Naive: evaluate |F_R - F_T| at every point of both samples.
+        let r = vec![0.3, 1.2, 1.2, 2.5, 4.0, 4.0, 4.1, 9.0];
+        let t = vec![0.1, 1.2, 2.5, 2.5, 3.0, 8.0];
+        let naive = {
+            let mut best = 0.0f64;
+            for &x in r.iter().chain(t.iter()) {
+                let fr = r.iter().filter(|&&v| v <= x).count() as f64 / r.len() as f64;
+                let ft = t.iter().filter(|&&v| v <= x).count() as f64 / t.len() as f64;
+                best = best.max((fr - ft).abs());
+            }
+            best
+        };
+        let fast = ks_statistic(&r, &t).unwrap();
+        assert!((fast - naive).abs() < 1e-15, "fast={fast}, naive={naive}");
+    }
+
+    #[test]
+    fn rejects_empty_inputs() {
+        assert_eq!(ks_statistic(&[], &[1.0]).unwrap_err(), MocheError::EmptyReference);
+        assert_eq!(ks_statistic(&[1.0], &[]).unwrap_err(), MocheError::EmptyTest);
+    }
+
+    #[test]
+    fn rejects_non_finite_inputs() {
+        let err = ks_statistic(&[1.0, f64::NAN], &[1.0]).unwrap_err();
+        match err {
+            MocheError::NonFiniteValue { which: SetKind::Reference, index: 1, .. } => {}
+            other => panic!("unexpected error {other:?}"),
+        }
+        assert!(ks_statistic(&[1.0], &[f64::INFINITY]).is_err());
+    }
+
+    #[test]
+    fn threshold_decreases_with_sample_size() {
+        let c = cfg(0.05);
+        assert!(c.threshold(10, 10) > c.threshold(100, 100));
+        assert!(c.threshold(100, 100) > c.threshold(10_000, 10_000));
+    }
+
+    #[test]
+    fn single_point_test_set_passes_for_small_alpha() {
+        // Proposition 1: for alpha <= 2/e^2 the threshold with m = 1 is >= 1,
+        // so any single-point test set passes.
+        let c = cfg(0.05);
+        assert!(c.threshold(100, 1) >= 1.0);
+        let r: Vec<f64> = (0..100).map(f64::from).collect();
+        let outcome = ks_test(&r, &[1_000.0], &c).unwrap();
+        assert!(outcome.passes());
+    }
+
+    #[test]
+    fn ks_outcome_passes_is_negation_of_rejected() {
+        let r: Vec<f64> = (0..50).map(f64::from).collect();
+        let t: Vec<f64> = (0..50).map(|i| f64::from(i) + 0.5).collect();
+        let o = ks_test(&r, &t, &cfg(0.05)).unwrap();
+        assert_eq!(o.passes(), !o.rejected);
+    }
+
+    #[test]
+    fn eps_override_changes_borderline_decision() {
+        let strict = cfg(0.05).with_eps(0.0);
+        let slack = cfg(0.05).with_eps(0.5);
+        // statistic minutely above threshold.
+        let n = 20;
+        let m = 20;
+        let d = strict.threshold(n, m) + 1e-12;
+        assert!(strict.rejects(d, n, m));
+        assert!(!slack.rejects(d, n, m));
+    }
+
+    #[test]
+    #[should_panic(expected = "eps must be finite")]
+    fn with_eps_rejects_negative() {
+        let _ = cfg(0.05).with_eps(-1.0);
+    }
+
+    #[test]
+    fn kolmogorov_q_boundary_values() {
+        assert_eq!(kolmogorov_q(0.0), 1.0);
+        assert!(kolmogorov_q(10.0) < 1e-12);
+        // Known value: Q(1.0) ≈ 0.26999967.
+        assert!((kolmogorov_q(1.0) - 0.269_999_67).abs() < 1e-6);
+        // Monotone decreasing.
+        let qs: Vec<f64> = (0..50).map(|i| kolmogorov_q(i as f64 * 0.1)).collect();
+        assert!(qs.windows(2).all(|w| w[0] >= w[1]));
+    }
+
+    #[test]
+    fn p_value_inverts_the_threshold() {
+        // The critical value c_alpha solves the FIRST term of the series
+        // (2 e^{-2 c²} = alpha), so Q(c_alpha) = alpha up to the higher
+        // series terms — exact to ~1e-6 for small alpha, ~2e-4 at 0.2.
+        for alpha in [0.01, 0.05, 0.1, 0.2] {
+            let c = cfg(alpha);
+            for (n, m) in [(100, 100), (500, 300), (2175, 3375)] {
+                let d = c.threshold(n, m);
+                let p = asymptotic_p_value(d, n, m);
+                assert!((p - alpha).abs() < 5e-4, "alpha = {alpha}, p = {p}");
+            }
+        }
+        // Tight agreement where higher terms vanish.
+        let c = cfg(0.01);
+        let p = asymptotic_p_value(c.threshold(1_000, 1_000), 1_000, 1_000);
+        assert!((p - 0.01).abs() < 1e-8, "p = {p}");
+    }
+
+    #[test]
+    fn p_value_decreases_with_statistic() {
+        let p1 = asymptotic_p_value(0.1, 200, 200);
+        let p2 = asymptotic_p_value(0.2, 200, 200);
+        let p3 = asymptotic_p_value(0.4, 200, 200);
+        assert!(p1 > p2 && p2 > p3);
+    }
+}

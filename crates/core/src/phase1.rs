@@ -1,0 +1,234 @@
+//! Phase 1 of MOCHE: finding the explanation size `k`
+//! (Sections 4.3 and 4.4 of the paper).
+//!
+//! All counterfactual explanations of a failed KS test share the same size
+//! `k` — the smallest `h` for which a qualified `h`-subset exists. Phase 1
+//! finds `k` in two steps:
+//!
+//! 1. **Lower bound `k̂` by binary search (Theorem 2).** The relaxed
+//!    necessary condition is monotone in `h`, so the smallest `h`
+//!    satisfying it — a lower bound on `k` — is found with
+//!    `O(log m)` condition evaluations, i.e. `O((n + m) log m)` time.
+//! 2. **Exact size by linear scan (Theorem 1).** Starting from `k̂`, scan
+//!    upward with the exact existence check until it succeeds. The
+//!    experiments (Figure 6) show `k - k̂` is almost always 0 or 1, so this
+//!    scan is short in practice; the worst case restores the naive
+//!    `O(m (n + m))`.
+//!
+//! The ablation variant [`find_size_no_lower_bound`] (the paper's
+//! `MOCHE_ns`) skips step 1 and scans from `h = 1`.
+
+use crate::bounds::BoundsContext;
+use crate::error::MocheError;
+
+/// The result of the Phase-1 size search, including the counters needed for
+/// the paper's efficiency experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SizeSearch {
+    /// The explanation size `k`.
+    pub k: usize,
+    /// The lower bound `k̂` from the Theorem-2 binary search. Equal to `k`
+    /// when the bound is tight; for [`find_size_no_lower_bound`] this is
+    /// reported as `1`.
+    pub k_hat: usize,
+    /// Number of Theorem-1 (exact) existence checks performed.
+    pub theorem1_checks: usize,
+    /// Number of Theorem-2 (necessary-condition) checks performed.
+    pub theorem2_checks: usize,
+}
+
+impl SizeSearch {
+    /// The estimation error `EE = k - k̂` studied in Figure 6 of the paper.
+    #[inline]
+    pub fn estimation_error(&self) -> usize {
+        self.k - self.k_hat
+    }
+}
+
+/// Binary-searches the smallest `h` in `1..m` satisfying the Theorem-2
+/// necessary condition. Returns the bound and the number of condition
+/// evaluations, or `None` if even `h = m - 1` fails the condition (then no
+/// explanation exists).
+pub fn lower_bound(ctx: &BoundsContext<'_>) -> (Option<usize>, usize) {
+    let m = ctx.base().m();
+    if m < 2 {
+        return (None, 0);
+    }
+    let mut checks = 0usize;
+    // Invariant: predicate is false for every h < lo, true for every h >= hi
+    // (if hi is a witness). Classic first-true search on a monotone predicate.
+    let mut lo = 1usize;
+    let mut hi = m - 1;
+    checks += 1;
+    if !ctx.necessary_condition(hi) {
+        return (None, checks);
+    }
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        checks += 1;
+        if ctx.necessary_condition(mid) {
+            hi = mid;
+        } else {
+            lo = mid + 1;
+        }
+    }
+    (Some(lo), checks)
+}
+
+/// Finds the explanation size `k` with the Theorem-2 lower bound followed by
+/// the Theorem-1 scan. This is MOCHE's Phase 1.
+///
+/// The caller must have established that the KS test between `R` and `T`
+/// fails; for a passing test the notion of explanation size is undefined.
+///
+/// # Errors
+///
+/// Returns [`MocheError::NoExplanation`] when no subset of `T` of any size
+/// `1..m` reverses the test (possible only for `alpha > 2/e^2`).
+#[allow(clippy::explicit_counter_loop)] // the counter is the reported diagnostic
+pub fn find_size(ctx: &BoundsContext<'_>, alpha: f64) -> Result<SizeSearch, MocheError> {
+    let m = ctx.base().m();
+    let (k_hat, theorem2_checks) = lower_bound(ctx);
+    let Some(k_hat) = k_hat else {
+        return Err(MocheError::NoExplanation { alpha });
+    };
+    let mut theorem1_checks = 0usize;
+    for h in k_hat..m {
+        theorem1_checks += 1;
+        if ctx.exists_qualified(h) {
+            return Ok(SizeSearch { k: h, k_hat, theorem1_checks, theorem2_checks });
+        }
+    }
+    Err(MocheError::NoExplanation { alpha })
+}
+
+/// The `MOCHE_ns` ablation: finds `k` by scanning `h = 1, 2, ...` with the
+/// Theorem-1 check, without the Theorem-2 lower bound (Section 6.4).
+///
+/// # Errors
+///
+/// Returns [`MocheError::NoExplanation`] when no subset reverses the test.
+#[allow(clippy::explicit_counter_loop)] // the counter is the reported diagnostic
+pub fn find_size_no_lower_bound(
+    ctx: &BoundsContext<'_>,
+    alpha: f64,
+) -> Result<SizeSearch, MocheError> {
+    let m = ctx.base().m();
+    let mut theorem1_checks = 0usize;
+    for h in 1..m {
+        theorem1_checks += 1;
+        if ctx.exists_qualified(h) {
+            return Ok(SizeSearch { k: h, k_hat: 1, theorem1_checks, theorem2_checks: 0 });
+        }
+    }
+    Err(MocheError::NoExplanation { alpha })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::base_vector::BaseVector;
+    use crate::ks::KsConfig;
+
+    fn paper_ctx() -> (BaseVector, KsConfig) {
+        let r = vec![14.0, 14.0, 14.0, 14.0, 20.0, 20.0, 20.0, 20.0];
+        let t = vec![13.0, 13.0, 12.0, 20.0];
+        (BaseVector::build(&r, &t).unwrap(), KsConfig::new(0.3).unwrap())
+    }
+
+    #[test]
+    fn paper_examples_4_and_5() {
+        let (base, cfg) = paper_ctx();
+        let ctx = BoundsContext::new(&base, &cfg);
+        let s = find_size(&ctx, cfg.alpha()).unwrap();
+        assert_eq!(s.k, 2, "Example 4: the explanation size is 2");
+        assert_eq!(s.k_hat, 2, "Example 5: the binary search concludes k_hat = 2");
+        assert_eq!(s.estimation_error(), 0);
+    }
+
+    #[test]
+    fn ablation_agrees_with_main_path() {
+        let (base, cfg) = paper_ctx();
+        let ctx = BoundsContext::new(&base, &cfg);
+        let a = find_size(&ctx, cfg.alpha()).unwrap();
+        let b = find_size_no_lower_bound(&ctx, cfg.alpha()).unwrap();
+        assert_eq!(a.k, b.k);
+        assert!(b.theorem1_checks >= a.theorem1_checks);
+    }
+
+    #[test]
+    fn lower_bound_never_exceeds_k() {
+        let r: Vec<f64> = (0..80).map(|i| f64::from(i % 10)).collect();
+        let t: Vec<f64> = (0..60).map(|i| f64::from(i % 5) + 3.0).collect();
+        let base = BaseVector::build(&r, &t).unwrap();
+        let cfg = KsConfig::new(0.05).unwrap();
+        assert!(base.outcome(&cfg).rejected);
+        let ctx = BoundsContext::new(&base, &cfg);
+        let s = find_size(&ctx, cfg.alpha()).unwrap();
+        assert!(s.k_hat <= s.k, "k_hat = {} > k = {}", s.k_hat, s.k);
+        // The scan starting at k_hat performs exactly k - k_hat + 1 checks.
+        assert_eq!(s.theorem1_checks, s.k - s.k_hat + 1);
+    }
+
+    #[test]
+    fn binary_search_uses_logarithmic_checks() {
+        let r: Vec<f64> = (0..1000).map(|i| f64::from(i % 100)).collect();
+        let t: Vec<f64> = (0..1000).map(|i| f64::from(i % 50) + 30.0).collect();
+        let base = BaseVector::build(&r, &t).unwrap();
+        let cfg = KsConfig::new(0.05).unwrap();
+        assert!(base.outcome(&cfg).rejected);
+        let ctx = BoundsContext::new(&base, &cfg);
+        let s = find_size(&ctx, cfg.alpha()).unwrap();
+        // ceil(log2(999)) = 10, plus the initial feasibility probe.
+        assert!(s.theorem2_checks <= 12, "checks = {}", s.theorem2_checks);
+    }
+
+    #[test]
+    fn no_explanation_for_huge_alpha_single_point_test() {
+        // With alpha far above 2/e^2 and a 2-point test set wildly different
+        // from R, even removing 1 point may not reverse the test.
+        let r: Vec<f64> = (0..100).map(f64::from).collect();
+        let t = vec![1_000.0, 2_000.0];
+        let cfg = KsConfig::new(0.9).unwrap();
+        let base = BaseVector::build(&r, &t).unwrap();
+        assert!(base.outcome(&cfg).rejected);
+        let ctx = BoundsContext::new(&base, &cfg);
+        match find_size(&ctx, cfg.alpha()) {
+            Err(MocheError::NoExplanation { .. }) => {}
+            other => panic!("expected NoExplanation, got {other:?}"),
+        }
+        match find_size_no_lower_bound(&ctx, cfg.alpha()) {
+            Err(MocheError::NoExplanation { .. }) => {}
+            other => panic!("expected NoExplanation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn size_one_when_single_outlier() {
+        // T equals R except for one far outlier; removing it should suffice
+        // if the outlier alone breaks the test.
+        let r: Vec<f64> = (0..40).map(|i| f64::from(i % 20)).collect();
+        let mut t: Vec<f64> = (0..39).map(|i| f64::from(i % 20)).collect();
+        t.push(1.0e6);
+        let cfg = KsConfig::new(0.05).unwrap();
+        let base = BaseVector::build(&r, &t).unwrap();
+        // This particular construction may or may not fail; only assert when
+        // it does.
+        if base.outcome(&cfg).rejected {
+            let ctx = BoundsContext::new(&base, &cfg);
+            let s = find_size(&ctx, cfg.alpha()).unwrap();
+            assert!(s.k >= 1);
+        }
+    }
+
+    #[test]
+    fn k_is_minimal_against_exhaustive_theorem1() {
+        let (base, cfg) = paper_ctx();
+        let ctx = BoundsContext::new(&base, &cfg);
+        let s = find_size(&ctx, cfg.alpha()).unwrap();
+        for h in 1..s.k {
+            assert!(!ctx.exists_qualified(h), "h = {h} should not be qualified");
+        }
+        assert!(ctx.exists_qualified(s.k));
+    }
+}

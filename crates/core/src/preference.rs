@@ -1,0 +1,251 @@
+//! User preference lists over the test set (Section 3.3 of the paper).
+//!
+//! A preference list `L` is a total order on the points of the test set `T`:
+//! a permutation of the original indices `0..m`, most preferred first. MOCHE
+//! returns the explanation with the smallest lexicographical order under
+//! `L`, which is the explanation "most consistent with the user's domain
+//! knowledge".
+
+use crate::error::{MocheError, PreferenceDefect};
+
+/// A validated total order over the test points: `order[rank] = index`,
+/// with rank 0 the most preferred point.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PreferenceList {
+    order: Vec<usize>,
+}
+
+impl PreferenceList {
+    /// Wraps an explicit order. `order` must be a permutation of `0..m`
+    /// where `m = order.len()`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MocheError::InvalidPreference`] on duplicates or
+    /// out-of-range indices.
+    pub fn new(order: Vec<usize>) -> Result<Self, MocheError> {
+        let m = order.len();
+        let mut seen = vec![false; m];
+        for &idx in &order {
+            if idx >= m {
+                return Err(MocheError::InvalidPreference {
+                    reason: PreferenceDefect::OutOfRange(idx),
+                });
+            }
+            if seen[idx] {
+                return Err(MocheError::InvalidPreference {
+                    reason: PreferenceDefect::DuplicateIndex(idx),
+                });
+            }
+            seen[idx] = true;
+        }
+        Ok(Self { order })
+    }
+
+    /// The identity order: point `i` has rank `i`.
+    pub fn identity(m: usize) -> Self {
+        Self { order: (0..m).collect() }
+    }
+
+    /// The reverse of the identity order.
+    pub fn reversed(m: usize) -> Self {
+        Self { order: (0..m).rev().collect() }
+    }
+
+    /// Ranks points by *descending* score (highest score = most preferred),
+    /// breaking ties by ascending original index (a deterministic stand-in
+    /// for the paper's "sorted arbitrarily").
+    ///
+    /// This is how the paper derives preference lists from outlier scores
+    /// (Spectral Residual) or from attribute orderings (health-authority
+    /// population, age group).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MocheError::InvalidPreference`] if any score is NaN.
+    pub fn from_scores_desc(scores: &[f64]) -> Result<Self, MocheError> {
+        if let Some(pos) = scores.iter().position(|s| s.is_nan()) {
+            return Err(MocheError::InvalidPreference {
+                reason: PreferenceDefect::NonFiniteScore(pos),
+            });
+        }
+        let mut order: Vec<usize> = (0..scores.len()).collect();
+        order.sort_by(|&a, &b| {
+            scores[b].total_cmp(&scores[a]).then_with(|| a.cmp(&b))
+        });
+        Ok(Self { order })
+    }
+
+    /// Ranks points by *ascending* score (lowest score = most preferred).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MocheError::InvalidPreference`] if any score is NaN.
+    pub fn from_scores_asc(scores: &[f64]) -> Result<Self, MocheError> {
+        if let Some(pos) = scores.iter().position(|s| s.is_nan()) {
+            return Err(MocheError::InvalidPreference {
+                reason: PreferenceDefect::NonFiniteScore(pos),
+            });
+        }
+        let mut order: Vec<usize> = (0..scores.len()).collect();
+        order.sort_by(|&a, &b| {
+            scores[a].total_cmp(&scores[b]).then_with(|| a.cmp(&b))
+        });
+        Ok(Self { order })
+    }
+
+    /// A uniformly random order drawn with a small embedded SplitMix64-based
+    /// Fisher-Yates shuffle. Deterministic for a given `(m, seed)` pair, so
+    /// experiments remain reproducible without pulling an RNG dependency
+    /// into the core crate.
+    pub fn random(m: usize, seed: u64) -> Self {
+        let mut state = seed ^ 0x9E37_79B9_7F4A_7C15;
+        let mut next = move || {
+            // SplitMix64 (public domain, Steele et al.).
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        let mut order: Vec<usize> = (0..m).collect();
+        for i in (1..m).rev() {
+            let j = (next() % (i as u64 + 1)) as usize;
+            order.swap(i, j);
+        }
+        Self { order }
+    }
+
+    /// Number of points ordered by this list.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// Whether the list is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+
+    /// The underlying order: `as_order()[rank] = original index`.
+    #[inline]
+    pub fn as_order(&self) -> &[usize] {
+        &self.order
+    }
+
+    /// The rank of each original index: `ranks()[index] = rank`.
+    pub fn ranks(&self) -> Vec<usize> {
+        let mut ranks = vec![0usize; self.order.len()];
+        for (rank, &idx) in self.order.iter().enumerate() {
+            ranks[idx] = rank;
+        }
+        ranks
+    }
+
+    /// Compares two explanations (as sets of original indices) in the
+    /// lexicographical order induced by this list (Definition 2). Smaller
+    /// means more comprehensible. Sets of different sizes are compared by
+    /// the prefix rule of the paper's footnote (a proper prefix precedes).
+    pub fn lex_cmp(&self, a: &[usize], b: &[usize]) -> std::cmp::Ordering {
+        let ranks = self.ranks();
+        let mut ra: Vec<usize> = a.iter().map(|&i| ranks[i]).collect();
+        let mut rb: Vec<usize> = b.iter().map(|&i| ranks[i]).collect();
+        ra.sort_unstable();
+        rb.sort_unstable();
+        ra.cmp(&rb)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cmp::Ordering;
+
+    #[test]
+    fn validates_permutations() {
+        assert!(PreferenceList::new(vec![2, 0, 1]).is_ok());
+        assert!(matches!(
+            PreferenceList::new(vec![0, 0, 1]),
+            Err(MocheError::InvalidPreference {
+                reason: PreferenceDefect::DuplicateIndex(0)
+            })
+        ));
+        assert!(matches!(
+            PreferenceList::new(vec![0, 3]),
+            Err(MocheError::InvalidPreference { reason: PreferenceDefect::OutOfRange(3) })
+        ));
+        assert!(PreferenceList::new(vec![]).is_ok());
+    }
+
+    #[test]
+    fn identity_and_reversed() {
+        assert_eq!(PreferenceList::identity(3).as_order(), &[0, 1, 2]);
+        assert_eq!(PreferenceList::reversed(3).as_order(), &[2, 1, 0]);
+    }
+
+    #[test]
+    fn scores_desc_orders_highest_first() {
+        let l = PreferenceList::from_scores_desc(&[0.5, 2.0, 1.0]).unwrap();
+        assert_eq!(l.as_order(), &[1, 2, 0]);
+    }
+
+    #[test]
+    fn scores_asc_orders_lowest_first() {
+        let l = PreferenceList::from_scores_asc(&[0.5, 2.0, 1.0]).unwrap();
+        assert_eq!(l.as_order(), &[0, 2, 1]);
+    }
+
+    #[test]
+    fn score_ties_break_by_index() {
+        let l = PreferenceList::from_scores_desc(&[1.0, 1.0, 1.0]).unwrap();
+        assert_eq!(l.as_order(), &[0, 1, 2]);
+        let l = PreferenceList::from_scores_asc(&[1.0, 1.0]).unwrap();
+        assert_eq!(l.as_order(), &[0, 1]);
+    }
+
+    #[test]
+    fn nan_scores_rejected() {
+        assert!(PreferenceList::from_scores_desc(&[1.0, f64::NAN]).is_err());
+        assert!(PreferenceList::from_scores_asc(&[f64::NAN]).is_err());
+    }
+
+    #[test]
+    fn random_is_deterministic_permutation() {
+        let a = PreferenceList::random(100, 7);
+        let b = PreferenceList::random(100, 7);
+        let c = PreferenceList::random(100, 8);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        // Must be a permutation.
+        let mut sorted = a.as_order().to_vec();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn ranks_invert_order() {
+        let l = PreferenceList::new(vec![2, 0, 1]).unwrap();
+        assert_eq!(l.ranks(), vec![1, 2, 0]);
+    }
+
+    #[test]
+    fn lex_cmp_follows_definition_2() {
+        // L = [2, 0, 1]: point 2 is most preferred.
+        let l = PreferenceList::new(vec![2, 0, 1]).unwrap();
+        // {2} precedes {0}: rank 0 < rank 1.
+        assert_eq!(l.lex_cmp(&[2], &[0]), Ordering::Less);
+        // {2, 1} vs {2, 0}: first elements tie, then rank 2 vs rank 1.
+        assert_eq!(l.lex_cmp(&[2, 1], &[2, 0]), Ordering::Greater);
+        // Prefix precedes longer sequence.
+        assert_eq!(l.lex_cmp(&[2], &[2, 0]), Ordering::Less);
+        // Equal sets are equal.
+        assert_eq!(l.lex_cmp(&[0, 1], &[1, 0]), Ordering::Equal);
+    }
+
+    #[test]
+    fn random_small_sizes() {
+        assert_eq!(PreferenceList::random(0, 1).len(), 0);
+        assert_eq!(PreferenceList::random(1, 1).as_order(), &[0]);
+    }
+}

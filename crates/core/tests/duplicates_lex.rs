@@ -1,0 +1,84 @@
+//! Edge-case suite: duplicate test-set values interacting with preference
+//! ranks. MOCHE works on cumulative vectors (value multiplicities), while
+//! Definition 2's lexicographic order distinguishes *occurrences* — these
+//! tests pin down that the greedy scan always picks the better-ranked
+//! occurrence of equal values.
+
+use moche_core::brute_force::{brute_force_explain, BruteForceLimits};
+use moche_core::{KsConfig, Moche, PreferenceList};
+
+/// R concentrated low, T with many duplicated high values: any minimum
+/// explanation removes some of the duplicates, and which *occurrence* is
+/// chosen is purely a preference question.
+fn duplicated_instance() -> (Vec<f64>, Vec<f64>) {
+    let r: Vec<f64> = (0..40).map(|i| f64::from(i % 4)).collect();
+    // Ten copies of 9.0 and a few low values.
+    let mut t = vec![9.0f64; 10];
+    t.extend([0.0, 1.0, 2.0, 3.0]);
+    (r, t)
+}
+
+#[test]
+fn instance_fails_and_needs_duplicate_removal() {
+    let (r, t) = duplicated_instance();
+    let moche = Moche::new(0.05).unwrap();
+    assert!(moche.test(&r, &t).unwrap().rejected);
+    let e = moche.explain(&r, &t, &PreferenceList::identity(t.len())).unwrap();
+    // Only nines can fix this test.
+    assert!(e.values().iter().all(|&v| v == 9.0), "values = {:?}", e.values());
+}
+
+#[test]
+fn preferred_occurrences_are_selected_among_equal_values() {
+    let (r, t) = duplicated_instance();
+    let moche = Moche::new(0.05).unwrap();
+    // Rank the nines in reverse index order: 9, 8, 7, ... so the selected
+    // occurrences must be the highest indices among the nines.
+    let mut order: Vec<usize> = (0..10).rev().collect();
+    order.extend(10..t.len());
+    let pref = PreferenceList::new(order).unwrap();
+    let e = moche.explain(&r, &t, &pref).unwrap();
+    let k = e.size();
+    let expected: Vec<usize> = (0..10).rev().take(k).collect();
+    assert_eq!(e.indices(), &expected[..], "must take the best-ranked occurrences");
+}
+
+#[test]
+fn matches_brute_force_on_duplicate_heavy_instances() {
+    // Small enough for the oracle; every preference permutation of a
+    // duplicate-heavy test set must agree with brute force.
+    let r: Vec<f64> = (0..20).map(|i| f64::from(i % 2)).collect();
+    let t = vec![5.0, 5.0, 5.0, 5.0, 0.0, 1.0];
+    let cfg = KsConfig::new(0.1).unwrap();
+    let moche = Moche::new(0.1).unwrap();
+    assert!(moche.test(&r, &t).unwrap().rejected);
+    for seed in 0..40u64 {
+        let pref = PreferenceList::random(t.len(), seed);
+        let fast = moche.explain(&r, &t, &pref).unwrap();
+        let slow = brute_force_explain(&r, &t, &cfg, &pref, BruteForceLimits::default()).unwrap();
+        let mut a = fast.indices().to_vec();
+        let mut b = slow.indices;
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b, "seed {seed}, pref {:?}", pref.as_order());
+    }
+}
+
+#[test]
+fn interleaved_ranks_across_values() {
+    // Preference alternates between duplicate groups; the lex-minimal
+    // explanation interleaves occurrences exactly as ranked.
+    let r: Vec<f64> = (0..30).map(|i| f64::from(i % 3)).collect();
+    let t = vec![7.0, 8.0, 7.0, 8.0, 7.0, 8.0];
+    let cfg = KsConfig::new(0.1).unwrap();
+    let moche = Moche::new(0.1).unwrap();
+    if !moche.test(&r, &t).unwrap().rejected {
+        return; // construction-dependent; only assert when failing
+    }
+    let pref = PreferenceList::identity(t.len());
+    let fast = moche.explain(&r, &t, &pref).unwrap();
+    let slow = brute_force_explain(&r, &t, &cfg, &pref, BruteForceLimits::default()).unwrap();
+    assert_eq!(fast.indices(), &slow.indices[..]);
+    // Identity preference + greedy: selected indices are increasing.
+    assert!(fast.indices().windows(2).all(|w| w[0] < w[1]));
+}

@@ -1,0 +1,387 @@
+//! A synthetic reconstruction of the paper's COVID-19 case study data
+//! (Examples 1-2 and Section 6.3).
+//!
+//! The original data — BC CDC line lists of reported cases for August and
+//! September 2020 — is not redistributable, so this module generates a
+//! seeded synthetic twin calibrated to everything the paper reports about
+//! it:
+//!
+//! * 2,175 reference cases (August) and 3,375 test cases (September);
+//! * 10 age groups encoded 1..=10 from young to old;
+//! * 5 health authorities (HAs) in the population-descending axis order of
+//!   the paper's Figure 1b: FHA, VCHA, NHA, IHA, VIHA;
+//! * the two sets fail the KS test at `α = 0.05`;
+//! * September's excess cases are concentrated in middle/senior age groups
+//!   and in Fraser Health (the paper's case-study finding), so that the
+//!   population-preference explanation `I_p` comes from FHA and the
+//!   age-preference explanation `I_a` skews old;
+//! * MOCHE's explanation size lands close to the paper's 291 (≈ 8.6% of
+//!   `|T|`).
+//!
+//! See `DESIGN.md` §5 for the substitution rationale.
+
+use crate::dist::categorical;
+use crate::rng::rng_from_seed;
+use moche_core::PreferenceList;
+use rand::seq::SliceRandom;
+
+/// Number of age groups (0-10, 10-19, ..., 80-89, 90+).
+pub const AGE_GROUPS: usize = 10;
+
+/// Human-readable age group labels, indexed by `age_group - 1`.
+pub const AGE_LABELS: [&str; AGE_GROUPS] =
+    ["0-10", "10-19", "20-29", "30-39", "40-49", "50-59", "60-69", "70-79", "80-89", "90+"];
+
+/// The five health authorities of British Columbia, in the paper's
+/// Figure 1b axis order (population descending).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum HealthAuthority {
+    /// Fraser Health Authority.
+    Fraser,
+    /// Vancouver Coastal Health Authority.
+    VancouverCoastal,
+    /// Northern Health Authority.
+    Northern,
+    /// Interior Health Authority.
+    Interior,
+    /// Vancouver Island Health Authority.
+    VancouverIsland,
+}
+
+impl HealthAuthority {
+    /// All HAs in population-descending order (the paper's axis order).
+    pub const ALL: [HealthAuthority; 5] = [
+        HealthAuthority::Fraser,
+        HealthAuthority::VancouverCoastal,
+        HealthAuthority::Northern,
+        HealthAuthority::Interior,
+        HealthAuthority::VancouverIsland,
+    ];
+
+    /// Synthetic population, descending in the paper's axis order. (The
+    /// real 2016-census numbers order differently; the paper's Figure 1b
+    /// axis is taken as ground truth for the reproduction.)
+    pub fn population(self) -> u64 {
+        match self {
+            HealthAuthority::Fraser => 1_889_225,
+            HealthAuthority::VancouverCoastal => 1_198_165,
+            HealthAuthority::Northern => 860_000,
+            HealthAuthority::Interior => 810_000,
+            HealthAuthority::VancouverIsland => 765_000,
+        }
+    }
+
+    /// The abbreviation used in the paper's figures.
+    pub fn short_name(self) -> &'static str {
+        match self {
+            HealthAuthority::Fraser => "FHA",
+            HealthAuthority::VancouverCoastal => "VCHA",
+            HealthAuthority::Northern => "NHA",
+            HealthAuthority::Interior => "IHA",
+            HealthAuthority::VancouverIsland => "VIHA",
+        }
+    }
+
+    /// Index into [`HealthAuthority::ALL`].
+    pub fn index(self) -> usize {
+        HealthAuthority::ALL.iter().position(|&h| h == self).unwrap()
+    }
+}
+
+/// One reported COVID-19 case.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CovidCase {
+    /// Age group code `1..=10`, young to old.
+    pub age_group: u8,
+    /// Reporting health authority.
+    pub health_authority: HealthAuthority,
+}
+
+impl CovidCase {
+    /// The numeric value the KS test runs on (the age-group code).
+    #[inline]
+    pub fn value(&self) -> f64 {
+        f64::from(self.age_group)
+    }
+}
+
+/// Generation parameters; [`CovidParams::paper`] reproduces the paper's
+/// setting.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CovidParams {
+    /// `|R|` — August cases.
+    pub reference_size: usize,
+    /// `|T|` — September cases.
+    pub test_size: usize,
+    /// Fraction of the test set that is "excess" (the September surge).
+    pub excess_fraction: f64,
+    /// Age-group weights of the baseline (August-shaped) cases.
+    pub baseline_weights: [f64; AGE_GROUPS],
+    /// Age-group weights of the excess cases (middle/senior-skewed).
+    pub excess_weights: [f64; AGE_GROUPS],
+}
+
+impl CovidParams {
+    /// The calibrated paper setting: 2,175 / 3,375 cases, younger-skewed
+    /// August distribution, middle/senior-skewed September surge
+    /// concentrated in Fraser Health.
+    pub fn paper() -> Self {
+        Self {
+            reference_size: 2_175,
+            test_size: 3_375,
+            excess_fraction: 0.205,
+            baseline_weights: [0.05, 0.17, 0.23, 0.15, 0.12, 0.11, 0.08, 0.05, 0.03, 0.01],
+            excess_weights: [0.00, 0.02, 0.08, 0.15, 0.20, 0.22, 0.18, 0.10, 0.04, 0.01],
+        }
+    }
+}
+
+/// The synthetic COVID-19 dataset: reference (August) and test (September)
+/// case lists.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CovidDataset {
+    /// August cases.
+    pub reference: Vec<CovidCase>,
+    /// September cases.
+    pub test: Vec<CovidCase>,
+}
+
+impl CovidDataset {
+    /// Generates the paper-calibrated dataset.
+    pub fn generate(seed: u64) -> Self {
+        Self::with_params(CovidParams::paper(), seed)
+    }
+
+    /// Generates a dataset with explicit parameters.
+    ///
+    /// Counts per age group are apportioned deterministically (largest
+    /// remainder), so the KS outcome and the explanation size depend only
+    /// on the parameters; the seed randomizes case order and HA assignment
+    /// of baseline cases.
+    pub fn with_params(params: CovidParams, seed: u64) -> Self {
+        let mut rng = rng_from_seed(seed);
+        let ha_weights: Vec<f64> =
+            HealthAuthority::ALL.iter().map(|h| h.population() as f64).collect();
+
+        // Reference: baseline-shaped, HA by population share.
+        let ref_counts = apportion(&params.baseline_weights, params.reference_size);
+        let mut reference = Vec::with_capacity(params.reference_size);
+        for (g, &count) in ref_counts.iter().enumerate() {
+            for _ in 0..count {
+                let ha = HealthAuthority::ALL[categorical(&mut rng, &ha_weights)];
+                reference.push(CovidCase { age_group: (g + 1) as u8, health_authority: ha });
+            }
+        }
+
+        // Test: baseline part + excess part (all Fraser Health).
+        let excess_total =
+            ((params.test_size as f64) * params.excess_fraction).round() as usize;
+        let baseline_total = params.test_size - excess_total;
+        let baseline_counts = apportion(&params.baseline_weights, baseline_total);
+        let excess_counts = apportion(&params.excess_weights, excess_total);
+        let mut test = Vec::with_capacity(params.test_size);
+        for (g, &count) in baseline_counts.iter().enumerate() {
+            for _ in 0..count {
+                let ha = HealthAuthority::ALL[categorical(&mut rng, &ha_weights)];
+                test.push(CovidCase { age_group: (g + 1) as u8, health_authority: ha });
+            }
+        }
+        for (g, &count) in excess_counts.iter().enumerate() {
+            for _ in 0..count {
+                test.push(CovidCase {
+                    age_group: (g + 1) as u8,
+                    health_authority: HealthAuthority::Fraser,
+                });
+            }
+        }
+
+        reference.shuffle(&mut rng);
+        test.shuffle(&mut rng);
+        Self { reference, test }
+    }
+
+    /// Reference case values (age-group codes) for the KS test.
+    pub fn reference_values(&self) -> Vec<f64> {
+        self.reference.iter().map(CovidCase::value).collect()
+    }
+
+    /// Test case values (age-group codes) for the KS test.
+    pub fn test_values(&self) -> Vec<f64> {
+        self.test.iter().map(CovidCase::value).collect()
+    }
+
+    /// The preference list `L_p`: cases from HAs with larger populations
+    /// ranked higher, ties in arbitrary (index) order.
+    pub fn preference_by_population(&self) -> PreferenceList {
+        let scores: Vec<f64> =
+            self.test.iter().map(|c| c.health_authority.population() as f64).collect();
+        PreferenceList::from_scores_desc(&scores).expect("population scores are finite")
+    }
+
+    /// The preference list `L_a`: more senior cases ranked higher, ties in
+    /// arbitrary (index) order.
+    pub fn preference_by_age(&self) -> PreferenceList {
+        let scores: Vec<f64> = self.test.iter().map(|c| f64::from(c.age_group)).collect();
+        PreferenceList::from_scores_desc(&scores).expect("age scores are finite")
+    }
+
+    /// Histogram of cases per age group (index 0 = group 1).
+    pub fn age_histogram(cases: &[CovidCase]) -> [usize; AGE_GROUPS] {
+        let mut hist = [0usize; AGE_GROUPS];
+        for c in cases {
+            hist[(c.age_group - 1) as usize] += 1;
+        }
+        hist
+    }
+
+    /// Histogram of cases per health authority, in
+    /// [`HealthAuthority::ALL`] order.
+    pub fn ha_histogram(cases: &[CovidCase]) -> [usize; 5] {
+        let mut hist = [0usize; 5];
+        for c in cases {
+            hist[c.health_authority.index()] += 1;
+        }
+        hist
+    }
+}
+
+/// Largest-remainder apportionment of `total` items across weights.
+fn apportion(weights: &[f64], total: usize) -> Vec<usize> {
+    let sum: f64 = weights.iter().sum();
+    let quotas: Vec<f64> = weights.iter().map(|&w| w / sum * total as f64).collect();
+    let mut counts: Vec<usize> = quotas.iter().map(|&q| q.floor() as usize).collect();
+    let assigned: usize = counts.iter().sum();
+    let mut order: Vec<usize> = (0..weights.len()).collect();
+    order.sort_by(|&a, &b| {
+        let fa = quotas[a] - quotas[a].floor();
+        let fb = quotas[b] - quotas[b].floor();
+        fb.total_cmp(&fa)
+    });
+    for &i in order.iter().take(total - assigned) {
+        counts[i] += 1;
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use moche_core::{ks_test, KsConfig, Moche};
+
+    #[test]
+    fn apportion_sums_to_total() {
+        let counts = apportion(&[0.3, 0.3, 0.4], 10);
+        assert_eq!(counts.iter().sum::<usize>(), 10);
+        let counts = apportion(&[1.0, 1.0, 1.0], 100);
+        assert_eq!(counts, vec![34, 33, 33]);
+    }
+
+    #[test]
+    fn paper_sizes() {
+        let ds = CovidDataset::generate(1);
+        assert_eq!(ds.reference.len(), 2_175);
+        assert_eq!(ds.test.len(), 3_375);
+    }
+
+    #[test]
+    fn fails_ks_at_005() {
+        let ds = CovidDataset::generate(1);
+        let cfg = KsConfig::new(0.05).unwrap();
+        let o = ks_test(&ds.reference_values(), &ds.test_values(), &cfg).unwrap();
+        assert!(o.rejected, "synthetic COVID data must fail the KS test: {o:?}");
+    }
+
+    #[test]
+    fn explanation_size_near_paper() {
+        let ds = CovidDataset::generate(1);
+        let moche = Moche::new(0.05).unwrap();
+        let s = moche
+            .explanation_size(&ds.reference_values(), &ds.test_values())
+            .unwrap();
+        // Paper: 291 points (8.6% of |T|). The synthetic twin should land in
+        // the same ballpark.
+        assert!(
+            (200..=400).contains(&s.k),
+            "explanation size {} too far from the paper's 291",
+            s.k
+        );
+    }
+
+    #[test]
+    fn population_preference_explanation_is_fraser_heavy() {
+        let ds = CovidDataset::generate(1);
+        let moche = Moche::new(0.05).unwrap();
+        let e = moche
+            .explain(&ds.reference_values(), &ds.test_values(), &ds.preference_by_population())
+            .unwrap();
+        let cases: Vec<CovidCase> = e.indices().iter().map(|&i| ds.test[i]).collect();
+        let hist = CovidDataset::ha_histogram(&cases);
+        let fraser = hist[0];
+        assert!(
+            fraser * 10 >= e.size() * 9,
+            "I_p should be dominated by FHA, got {hist:?} of {}",
+            e.size()
+        );
+    }
+
+    #[test]
+    fn age_preference_explanation_skews_senior() {
+        let ds = CovidDataset::generate(1);
+        let moche = Moche::new(0.05).unwrap();
+        let e_a = moche
+            .explain(&ds.reference_values(), &ds.test_values(), &ds.preference_by_age())
+            .unwrap();
+        let e_p = moche
+            .explain(&ds.reference_values(), &ds.test_values(), &ds.preference_by_population())
+            .unwrap();
+        // Same size (all explanations share k).
+        assert_eq!(e_a.size(), e_p.size());
+        let mean_age = |e: &moche_core::Explanation| {
+            e.values().iter().sum::<f64>() / e.size() as f64
+        };
+        assert!(
+            mean_age(&e_a) >= mean_age(&e_p),
+            "age-preferred explanation should be at least as senior"
+        );
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let a = CovidDataset::generate(9);
+        let b = CovidDataset::generate(9);
+        assert_eq!(a, b);
+        let c = CovidDataset::generate(10);
+        assert_ne!(a, c);
+        // Different seeds still share the same age histograms (counts are
+        // apportioned, not sampled).
+        assert_eq!(
+            CovidDataset::age_histogram(&a.test),
+            CovidDataset::age_histogram(&c.test)
+        );
+    }
+
+    #[test]
+    fn histograms_count_everything() {
+        let ds = CovidDataset::generate(3);
+        assert_eq!(CovidDataset::age_histogram(&ds.test).iter().sum::<usize>(), 3_375);
+        assert_eq!(CovidDataset::ha_histogram(&ds.reference).iter().sum::<usize>(), 2_175);
+    }
+
+    #[test]
+    fn ha_metadata_is_consistent() {
+        // Populations strictly descending in axis order; short names unique.
+        let pops: Vec<u64> = HealthAuthority::ALL.iter().map(|h| h.population()).collect();
+        assert!(pops.windows(2).all(|w| w[0] > w[1]), "{pops:?}");
+        for (i, h) in HealthAuthority::ALL.iter().enumerate() {
+            assert_eq!(h.index(), i);
+        }
+    }
+
+    #[test]
+    fn age_groups_in_range() {
+        let ds = CovidDataset::generate(4);
+        for c in ds.reference.iter().chain(&ds.test) {
+            assert!((1..=10).contains(&c.age_group));
+        }
+    }
+}

@@ -1,0 +1,160 @@
+//! Distribution samplers on top of any [`rand::Rng`].
+//!
+//! Implemented in-repo (Box-Muller, Knuth, inverse-CDF) instead of pulling
+//! `rand_distr`, keeping the workspace on the approved dependency list; see
+//! `DESIGN.md` §7.
+
+use rand::{Rng, RngExt};
+
+/// One draw from `N(mu, sigma^2)` via the Box-Muller transform.
+pub fn normal<R: Rng + ?Sized>(rng: &mut R, mu: f64, sigma: f64) -> f64 {
+    debug_assert!(sigma >= 0.0);
+    // Draw u1 in (0, 1] to keep ln() finite.
+    let u1: f64 = 1.0 - rng.random::<f64>();
+    let u2: f64 = rng.random::<f64>();
+    let mag = (-2.0 * u1.ln()).sqrt();
+    mu + sigma * mag * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// One draw from `U[lo, hi)`.
+pub fn uniform<R: Rng + ?Sized>(rng: &mut R, lo: f64, hi: f64) -> f64 {
+    debug_assert!(lo < hi);
+    rng.random_range(lo..hi)
+}
+
+/// One draw from `Exp(rate)` via inverse CDF.
+pub fn exponential<R: Rng + ?Sized>(rng: &mut R, rate: f64) -> f64 {
+    debug_assert!(rate > 0.0);
+    let u: f64 = 1.0 - rng.random::<f64>();
+    -u.ln() / rate
+}
+
+/// One draw from `Poisson(lambda)`. Knuth's product method for small
+/// `lambda`, a clamped normal approximation beyond 30 (fine for workload
+/// synthesis).
+pub fn poisson<R: Rng + ?Sized>(rng: &mut R, lambda: f64) -> u64 {
+    debug_assert!(lambda >= 0.0);
+    if lambda <= 0.0 {
+        return 0;
+    }
+    if lambda < 30.0 {
+        let l = (-lambda).exp();
+        let mut k = 0u64;
+        let mut p = 1.0f64;
+        loop {
+            p *= rng.random::<f64>();
+            if p <= l {
+                return k;
+            }
+            k += 1;
+        }
+    } else {
+        let x = normal(rng, lambda, lambda.sqrt());
+        x.round().max(0.0) as u64
+    }
+}
+
+/// One index drawn from a discrete distribution given by non-negative
+/// `weights` (not necessarily normalized).
+///
+/// # Panics
+///
+/// Panics if all weights are zero or any is negative/non-finite.
+pub fn categorical<R: Rng + ?Sized>(rng: &mut R, weights: &[f64]) -> usize {
+    assert!(!weights.is_empty(), "categorical needs at least one weight");
+    let total: f64 = weights
+        .iter()
+        .map(|&w| {
+            assert!(w >= 0.0 && w.is_finite(), "weights must be non-negative and finite");
+            w
+        })
+        .sum();
+    assert!(total > 0.0, "weights must not all be zero");
+    let mut x = rng.random::<f64>() * total;
+    for (i, &w) in weights.iter().enumerate() {
+        x -= w;
+        if x <= 0.0 {
+            return i;
+        }
+    }
+    weights.len() - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::rng_from_seed;
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = rng_from_seed(11);
+        let xs: Vec<f64> = (0..40_000).map(|_| normal(&mut rng, 3.0, 2.0)).collect();
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / xs.len() as f64;
+        assert!((mean - 3.0).abs() < 0.05, "mean = {mean}");
+        assert!((var - 4.0).abs() < 0.15, "var = {var}");
+    }
+
+    #[test]
+    fn uniform_bounds_and_mean() {
+        let mut rng = rng_from_seed(12);
+        let xs: Vec<f64> = (0..20_000).map(|_| uniform(&mut rng, -7.0, 7.0)).collect();
+        assert!(xs.iter().all(|&x| (-7.0..7.0).contains(&x)));
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        assert!(mean.abs() < 0.15, "mean = {mean}");
+    }
+
+    #[test]
+    fn exponential_mean() {
+        let mut rng = rng_from_seed(13);
+        let xs: Vec<f64> = (0..30_000).map(|_| exponential(&mut rng, 2.0)).collect();
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean = {mean}");
+        assert!(xs.iter().all(|&x| x >= 0.0));
+    }
+
+    #[test]
+    fn poisson_small_lambda_moments() {
+        let mut rng = rng_from_seed(14);
+        let xs: Vec<f64> = (0..30_000).map(|_| poisson(&mut rng, 4.0) as f64).collect();
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / xs.len() as f64;
+        assert!((mean - 4.0).abs() < 0.1, "mean = {mean}");
+        assert!((var - 4.0).abs() < 0.25, "var = {var}");
+    }
+
+    #[test]
+    fn poisson_large_lambda_approximation() {
+        let mut rng = rng_from_seed(15);
+        let xs: Vec<f64> = (0..20_000).map(|_| poisson(&mut rng, 100.0) as f64).collect();
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        assert!((mean - 100.0).abs() < 0.5, "mean = {mean}");
+    }
+
+    #[test]
+    fn poisson_zero_lambda() {
+        let mut rng = rng_from_seed(16);
+        assert_eq!(poisson(&mut rng, 0.0), 0);
+    }
+
+    #[test]
+    fn categorical_frequencies_follow_weights() {
+        let mut rng = rng_from_seed(17);
+        let weights = [1.0, 3.0, 6.0];
+        let mut counts = [0usize; 3];
+        for _ in 0..30_000 {
+            counts[categorical(&mut rng, &weights)] += 1;
+        }
+        let f1 = counts[1] as f64 / 30_000.0;
+        let f2 = counts[2] as f64 / 30_000.0;
+        assert!((f1 - 0.3).abs() < 0.02, "f1 = {f1}");
+        assert!((f2 - 0.6).abs() < 0.02, "f2 = {f2}");
+    }
+
+    #[test]
+    #[should_panic(expected = "not all be zero")]
+    fn categorical_rejects_zero_weights() {
+        let mut rng = rng_from_seed(18);
+        let _ = categorical(&mut rng, &[0.0, 0.0]);
+    }
+}

@@ -1,0 +1,141 @@
+//! Synthetic drift workloads after Kifer, Ben-David and Gehrke, *Detecting
+//! Change in Data Streams* (VLDB 2004) — the construction the paper uses
+//! for its scalability experiments (Section 6.4, Figure 5b):
+//!
+//! > "we first generate the reference set `R` and the test set `T` with the
+//! > same size `w` from the normal distribution. Then, we replace a `p`
+//! > fraction of `T` by data points sampled from a uniform distribution
+//! > between `[-7, 7]`, such that `R` and `T` fail the KS test with
+//! > significance level `α = 0.05`."
+
+use crate::dist::{normal, uniform};
+use crate::rng::rng_from_seed;
+use moche_core::{ks_test, KsConfig};
+use rand::seq::SliceRandom;
+
+/// A reference/test pair with ground-truth contamination indices.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DriftPair {
+    /// The reference set `R` (standard normal draws).
+    pub reference: Vec<f64>,
+    /// The test set `T` (normal draws with a contaminated fraction).
+    pub test: Vec<f64>,
+    /// Indices of `test` that were replaced by uniform draws.
+    pub contaminated: Vec<usize>,
+}
+
+impl DriftPair {
+    /// `|R| = |T| = w`.
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.reference.len()
+    }
+
+    /// The realized contamination fraction.
+    #[inline]
+    pub fn contamination(&self) -> f64 {
+        self.contaminated.len() as f64 / self.test.len() as f64
+    }
+}
+
+/// Generates one Kifer-style drift pair of size `w` with a `p` fraction of
+/// `T` replaced by `U[-7, 7]` draws.
+///
+/// # Panics
+///
+/// Panics unless `w >= 2` and `0 <= p <= 1`.
+pub fn kifer_pair(w: usize, p: f64, seed: u64) -> DriftPair {
+    assert!(w >= 2, "w must be at least 2");
+    assert!((0.0..=1.0).contains(&p), "p must be a fraction");
+    let mut rng = rng_from_seed(seed);
+    let reference: Vec<f64> = (0..w).map(|_| normal(&mut rng, 0.0, 1.0)).collect();
+    let mut test: Vec<f64> = (0..w).map(|_| normal(&mut rng, 0.0, 1.0)).collect();
+    let n_replace = ((w as f64) * p).round() as usize;
+    let mut indices: Vec<usize> = (0..w).collect();
+    indices.shuffle(&mut rng);
+    let mut contaminated: Vec<usize> = indices.into_iter().take(n_replace).collect();
+    contaminated.sort_unstable();
+    for &i in &contaminated {
+        test[i] = uniform(&mut rng, -7.0, 7.0);
+    }
+    DriftPair { reference, test, contaminated }
+}
+
+/// Generates a Kifer pair that is guaranteed to fail the KS test at the
+/// given configuration, retrying with derived seeds up to `max_tries`
+/// times.
+///
+/// Returns `None` if no failing pair was found (only plausible for tiny `w`
+/// or `p ≈ 0`).
+pub fn failing_kifer_pair(
+    w: usize,
+    p: f64,
+    cfg: &KsConfig,
+    seed: u64,
+    max_tries: usize,
+) -> Option<DriftPair> {
+    for attempt in 0..max_tries {
+        let pair = kifer_pair(w, p, seed.wrapping_add(attempt as u64 * 0x9E37_79B9));
+        let outcome = ks_test(&pair.reference, &pair.test, cfg).expect("finite inputs");
+        if outcome.rejected {
+            return Some(pair);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_and_contamination() {
+        let pair = kifer_pair(1_000, 0.03, 5);
+        assert_eq!(pair.reference.len(), 1_000);
+        assert_eq!(pair.test.len(), 1_000);
+        assert_eq!(pair.contaminated.len(), 30);
+        assert!((pair.contamination() - 0.03).abs() < 1e-12);
+    }
+
+    #[test]
+    fn contaminated_points_are_uniform_range() {
+        let pair = kifer_pair(2_000, 0.05, 6);
+        for &i in &pair.contaminated {
+            assert!((-7.0..7.0).contains(&pair.test[i]));
+        }
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        assert_eq!(kifer_pair(500, 0.02, 9), kifer_pair(500, 0.02, 9));
+        assert_ne!(kifer_pair(500, 0.02, 9), kifer_pair(500, 0.02, 10));
+    }
+
+    #[test]
+    fn failing_pair_fails() {
+        let cfg = KsConfig::new(0.05).unwrap();
+        let pair = failing_kifer_pair(2_000, 0.05, &cfg, 1, 50).expect("should find one");
+        let outcome = ks_test(&pair.reference, &pair.test, &cfg).unwrap();
+        assert!(outcome.rejected);
+    }
+
+    #[test]
+    fn zero_contamination_usually_passes() {
+        let cfg = KsConfig::new(0.05).unwrap();
+        let mut failures = 0;
+        for seed in 0..20 {
+            let pair = kifer_pair(500, 0.0, seed);
+            if ks_test(&pair.reference, &pair.test, &cfg).unwrap().rejected {
+                failures += 1;
+            }
+        }
+        // alpha = 0.05: expect ~1 false alarm in 20; allow up to 4.
+        assert!(failures <= 4, "{failures} false alarms in 20 runs");
+    }
+
+    #[test]
+    #[should_panic(expected = "fraction")]
+    fn rejects_bad_fraction() {
+        let _ = kifer_pair(100, 1.5, 1);
+    }
+}

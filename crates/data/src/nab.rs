@@ -1,0 +1,549 @@
+//! Synthetic stand-ins for the six Numenta Anomaly Benchmark (NAB) dataset
+//! families used by the paper's time-series experiments (Section 6.1.1,
+//! Table 1).
+//!
+//! The real NAB repository is not vendored; instead each family is a seeded
+//! generator producing series whose count and length ranges match the
+//! paper's Table 1 exactly, with injected anomalies (spikes, level shifts,
+//! variance bursts, gradual drifts) recorded as ground-truth windows:
+//!
+//! | Family | # series | Length | Character |
+//! |---|---|---|---|
+//! | AWS | 17 | 1,243-4,700 | server metrics: CPU %, network bytes, disk reads |
+//! | AD  | 6  | 1,538-1,624 | ad click-through rates and CPM |
+//! | TRF | 7  | 1,127-2,500 | freeway occupancy / speed / travel time |
+//! | TWT | 10 | 15,831-15,902 | tweet mention counts (bursty counts) |
+//! | KC  | 7  | 1,882-22,695 | known causes: machine temp, taxi riders, CPU |
+//! | ART | 6  | 4,032 | artificial series with distribution drifts |
+//!
+//! See `DESIGN.md` §5 for why this substitution preserves the experiments'
+//! behaviour.
+
+use crate::dist::{normal, poisson, uniform};
+use crate::rng::{derive_seed, rng_from_seed};
+use rand::rngs::StdRng;
+use rand::RngExt;
+use std::ops::Range;
+
+/// The six dataset families of Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NabFamily {
+    /// AWS server metrics.
+    Aws,
+    /// Online advertisement clicks.
+    Ad,
+    /// Freeway traffic.
+    Trf,
+    /// Tweet mention counts.
+    Twt,
+    /// Miscellaneous known causes.
+    Kc,
+    /// Artificially generated drift series.
+    Art,
+}
+
+impl NabFamily {
+    /// All families, in the paper's Table 1 order.
+    pub const ALL: [NabFamily; 6] = [
+        NabFamily::Aws,
+        NabFamily::Ad,
+        NabFamily::Trf,
+        NabFamily::Twt,
+        NabFamily::Kc,
+        NabFamily::Art,
+    ];
+
+    /// The abbreviation used in the paper.
+    pub fn short_name(self) -> &'static str {
+        match self {
+            NabFamily::Aws => "AWS",
+            NabFamily::Ad => "AD",
+            NabFamily::Trf => "TRF",
+            NabFamily::Twt => "TWT",
+            NabFamily::Kc => "KC",
+            NabFamily::Art => "ART",
+        }
+    }
+
+    /// Number of series in the family (Table 1).
+    pub fn series_count(self) -> usize {
+        match self {
+            NabFamily::Aws => 17,
+            NabFamily::Ad => 6,
+            NabFamily::Trf => 7,
+            NabFamily::Twt => 10,
+            NabFamily::Kc => 7,
+            NabFamily::Art => 6,
+        }
+    }
+
+    /// Length range of the family's series (Table 1), inclusive.
+    pub fn length_range(self) -> (usize, usize) {
+        match self {
+            NabFamily::Aws => (1_243, 4_700),
+            NabFamily::Ad => (1_538, 1_624),
+            NabFamily::Trf => (1_127, 2_500),
+            NabFamily::Twt => (15_831, 15_902),
+            NabFamily::Kc => (1_882, 22_695),
+            NabFamily::Art => (4_032, 4_032),
+        }
+    }
+}
+
+/// One univariate time series with ground-truth anomaly windows.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NabSeries {
+    /// The family this series belongs to.
+    pub family: NabFamily,
+    /// A unique name, e.g. `aws_cpu_03`.
+    pub name: String,
+    /// The observations.
+    pub values: Vec<f64>,
+    /// Ground-truth anomaly windows (half-open index ranges).
+    pub anomalies: Vec<Range<usize>>,
+}
+
+impl NabSeries {
+    /// Number of observations.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the series is empty (never true for generated series).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Whether the index range `[start, end)` overlaps a ground-truth
+    /// anomaly window.
+    pub fn overlaps_anomaly(&self, start: usize, end: usize) -> bool {
+        self.anomalies.iter().any(|r| r.start < end && start < r.end)
+    }
+}
+
+/// Generates every series of one family.
+pub fn generate_family(family: NabFamily, seed: u64) -> Vec<NabSeries> {
+    let count = family.series_count();
+    (0..count)
+        .map(|i| {
+            let series_seed = derive_seed(seed, &format!("{}-{i}", family.short_name()));
+            generate_series(family, i, series_seed)
+        })
+        .collect()
+}
+
+/// Generates all 53 series of all six families (Table 1).
+pub fn generate_all(seed: u64) -> Vec<NabSeries> {
+    NabFamily::ALL.iter().flat_map(|&f| generate_family(f, seed)).collect()
+}
+
+fn pick_len(rng: &mut StdRng, family: NabFamily) -> usize {
+    let (lo, hi) = family.length_range();
+    if lo == hi {
+        lo
+    } else {
+        rng.random_range(lo..=hi)
+    }
+}
+
+fn generate_series(family: NabFamily, index: usize, seed: u64) -> NabSeries {
+    let mut rng = rng_from_seed(seed);
+    let len = pick_len(&mut rng, family);
+    let (kind, mut values) = match family {
+        NabFamily::Aws => aws_base(&mut rng, index, len),
+        NabFamily::Ad => ad_base(&mut rng, index, len),
+        NabFamily::Trf => trf_base(&mut rng, index, len),
+        NabFamily::Twt => twt_base(&mut rng, index, len),
+        NabFamily::Kc => kc_base(&mut rng, index, len),
+        NabFamily::Art => art_base(&mut rng, index, len),
+    };
+    let mut anomalies = Vec::new();
+    inject_anomalies(&mut rng, family, &mut values, &mut anomalies);
+    NabSeries {
+        family,
+        name: format!("{}_{kind}_{index:02}", family.short_name().to_lowercase()),
+        values,
+        anomalies,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Base signals
+// ---------------------------------------------------------------------------
+
+/// AWS server metrics: daily periodicity on a noisy base level. Three
+/// metric shapes rotate across the 17 series.
+fn aws_base(rng: &mut StdRng, index: usize, len: usize) -> (&'static str, Vec<f64>) {
+    match index % 3 {
+        0 => {
+            // CPU utilization percentage.
+            let base = uniform(rng, 20.0, 50.0);
+            let amp = uniform(rng, 5.0, 15.0);
+            let series = (0..len)
+                .map(|t| {
+                    let day = (t as f64 / 288.0 * std::f64::consts::TAU).sin();
+                    (base + amp * day + normal(rng, 0.0, 2.0)).clamp(0.0, 100.0)
+                })
+                .collect();
+            ("cpu", series)
+        }
+        1 => {
+            // Network bytes in: heavier tail, multiplicative noise.
+            let base = uniform(rng, 1.0e4, 5.0e4);
+            let series = (0..len)
+                .map(|t| {
+                    let day = 1.0 + 0.4 * (t as f64 / 288.0 * std::f64::consts::TAU).sin();
+                    (base * day * (1.0 + normal(rng, 0.0, 0.15)).max(0.05)).max(0.0)
+                })
+                .collect();
+            ("network", series)
+        }
+        _ => {
+            // Disk read bytes: mostly quiet with periodic batch jobs.
+            let quiet = uniform(rng, 100.0, 500.0);
+            let batch = uniform(rng, 3_000.0, 8_000.0);
+            let period = rng.random_range(180..360);
+            let series = (0..len)
+                .map(|t| {
+                    let busy = t % period < 12;
+                    let level = if busy { batch } else { quiet };
+                    (level + normal(rng, 0.0, level * 0.1)).max(0.0)
+                })
+                .collect();
+            ("disk", series)
+        }
+    }
+}
+
+/// Online advertisement metrics: slowly drifting rates with weekly shape.
+fn ad_base(rng: &mut StdRng, index: usize, len: usize) -> (&'static str, Vec<f64>) {
+    if index.is_multiple_of(2) {
+        // Click-through rate in [0, 1].
+        let base = uniform(rng, 0.02, 0.08);
+        let series = (0..len)
+            .map(|t| {
+                let week = 1.0 + 0.3 * (t as f64 / 168.0 * std::f64::consts::TAU).sin();
+                (base * week + normal(rng, 0.0, 0.004)).max(0.0)
+            })
+            .collect();
+        ("ctr", series)
+    } else {
+        // Cost per thousand impressions.
+        let base = uniform(rng, 1.0, 4.0);
+        let series = (0..len)
+            .map(|t| {
+                let week = 1.0 + 0.2 * (t as f64 / 168.0 * std::f64::consts::TAU).cos();
+                (base * week + normal(rng, 0.0, 0.15)).max(0.0)
+            })
+            .collect();
+        ("cpm", series)
+    }
+}
+
+/// Freeway traffic: rush-hour double peaks.
+fn trf_base(rng: &mut StdRng, index: usize, len: usize) -> (&'static str, Vec<f64>) {
+    let (kind, base, amp, noise) = match index % 3 {
+        0 => ("occupancy", 12.0, 18.0, 2.0),
+        1 => ("speed", 100.0, -30.0, 4.0),
+        _ => ("traveltime", 12.0, 9.0, 1.0),
+    };
+    let day = 288.0; // 5-minute readings
+    let series = (0..len)
+        .map(|t| {
+            let phase = (t as f64 % day) / day;
+            // Two rush-hour bumps at ~8:00 and ~17:00.
+            let bump = |c: f64| (-((phase - c) * 12.0).powi(2)).exp();
+            let rush = bump(0.33) + bump(0.71);
+            (base + amp * rush + normal(rng, 0.0, noise)).max(0.0)
+        })
+        .collect();
+    (kind, series)
+}
+
+/// Tweet mention counts: bursty Poisson counts with daily cycle.
+fn twt_base(rng: &mut StdRng, _index: usize, len: usize) -> (&'static str, Vec<f64>) {
+    let base = uniform(rng, 3.0, 20.0);
+    let series = (0..len)
+        .map(|t| {
+            let day = 1.0 + 0.5 * (t as f64 / 288.0 * std::f64::consts::TAU).sin();
+            poisson(rng, base * day) as f64
+        })
+        .collect();
+    ("mentions", series)
+}
+
+/// Known causes: machine temperature, NYC taxi passengers, or CPU usage.
+fn kc_base(rng: &mut StdRng, index: usize, len: usize) -> (&'static str, Vec<f64>) {
+    match index % 3 {
+        0 => {
+            // Machine temperature: slow wander around an operating point.
+            let mut level = uniform(rng, 80.0, 100.0);
+            let series = (0..len)
+                .map(|_| {
+                    level += normal(rng, 0.0, 0.05);
+                    level + normal(rng, 0.0, 0.8)
+                })
+                .collect();
+            ("machinetemp", series)
+        }
+        1 => {
+            // Taxi passenger counts: strong daily + weekly cycle.
+            let base = uniform(rng, 10_000.0, 16_000.0);
+            let series = (0..len)
+                .map(|t| {
+                    let daily = 1.0 + 0.6 * (t as f64 / 48.0 * std::f64::consts::TAU).sin();
+                    let weekly = 1.0 + 0.15 * (t as f64 / 336.0 * std::f64::consts::TAU).cos();
+                    (base * daily * weekly / 2.0 + normal(rng, 0.0, 400.0)).max(0.0)
+                })
+                .collect();
+            ("taxi", series)
+        }
+        _ => {
+            // CPU usage with occasional regime changes built into the base.
+            let mut level = uniform(rng, 30.0, 60.0);
+            let mut until = 0usize;
+            let series = (0..len)
+                .map(|t| {
+                    if t >= until {
+                        level = uniform(rng, 25.0, 70.0);
+                        until = t + rng.random_range(400..900);
+                    }
+                    (level + normal(rng, 0.0, 3.0)).clamp(0.0, 100.0)
+                })
+                .collect();
+            ("cpu", series)
+        }
+    }
+}
+
+/// Artificial drift series after Kifer et al.: piecewise distribution
+/// segments whose parameters change at drift points.
+fn art_base(rng: &mut StdRng, index: usize, len: usize) -> (&'static str, Vec<f64>) {
+    let segments = 4 + index % 3;
+    let seg_len = len / segments;
+    let mut series = Vec::with_capacity(len);
+    let mut mu = 0.0f64;
+    let mut sigma = 1.0f64;
+    for s in 0..segments {
+        // Each segment drifts in mean, variance, or family.
+        match s % 3 {
+            0 => mu += uniform(rng, -1.5, 1.5),
+            1 => sigma = uniform(rng, 0.5, 2.5),
+            _ => {}
+        }
+        let uniform_segment = s % 3 == 2;
+        let remaining = len - series.len();
+        let take = if s == segments - 1 { remaining } else { seg_len.min(remaining) };
+        for _ in 0..take {
+            let v = if uniform_segment {
+                uniform(rng, mu - 3.0 * sigma, mu + 3.0 * sigma)
+            } else {
+                normal(rng, mu, sigma)
+            };
+            series.push(v);
+        }
+    }
+    ("drift", series)
+}
+
+// ---------------------------------------------------------------------------
+// Anomaly injection
+// ---------------------------------------------------------------------------
+
+fn inject_anomalies(
+    rng: &mut StdRng,
+    family: NabFamily,
+    values: &mut [f64],
+    anomalies: &mut Vec<Range<usize>>,
+) {
+    let len = values.len();
+    let count = 2 + rng.random_range(0..3usize);
+    let scale = robust_scale(values);
+    for _ in 0..count {
+        let kind = rng.random_range(0..4usize);
+        let width = match kind {
+            0 => 1 + rng.random_range(0..3usize),        // spike
+            1 => rng.random_range(len / 40..len / 12),    // level shift
+            2 => rng.random_range(len / 40..len / 12),    // variance burst
+            _ => rng.random_range(len / 20..len / 8),     // gradual drift
+        }
+        .max(1);
+        if width + 10 >= len {
+            continue;
+        }
+        let start = rng.random_range(5..len - width - 5);
+        let range = start..start + width;
+        if anomalies.iter().any(|r| r.start < range.end + 20 && range.start < r.end + 20) {
+            continue; // keep windows separated
+        }
+        match kind {
+            0 => {
+                let sign = if matches!(family, NabFamily::Twt) || rng.random::<bool>() {
+                    1.0
+                } else {
+                    -1.0
+                };
+                for v in &mut values[range.clone()] {
+                    *v += sign * scale * uniform(rng, 6.0, 12.0);
+                }
+            }
+            1 => {
+                let delta = scale * uniform(rng, 3.0, 6.0) * if rng.random() { 1.0 } else { -1.0 };
+                for v in &mut values[range.clone()] {
+                    *v += delta;
+                }
+            }
+            2 => {
+                for v in &mut values[range.clone()] {
+                    *v += normal(rng, 0.0, scale * 4.0);
+                }
+            }
+            _ => {
+                let slope = scale * uniform(rng, 2.0, 5.0) / width as f64;
+                for (i, v) in values[range.clone()].iter_mut().enumerate() {
+                    *v += slope * i as f64;
+                }
+            }
+        }
+        anomalies.push(range);
+    }
+    anomalies.sort_by_key(|r| r.start);
+}
+
+/// A robust scale estimate (IQR-based, falling back to |median| or 1.0) so
+/// injected anomalies are visible regardless of the base signal's units.
+fn robust_scale(values: &[f64]) -> f64 {
+    let mut sorted = values.to_vec();
+    sorted.sort_unstable_by(f64::total_cmp);
+    let q = |p: f64| sorted[((sorted.len() - 1) as f64 * p) as usize];
+    let iqr = q(0.75) - q(0.25);
+    if iqr > 1e-9 {
+        iqr
+    } else {
+        let med = q(0.5).abs();
+        if med > 1e-9 {
+            med * 0.1
+        } else {
+            1.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_counts_and_lengths() {
+        for family in NabFamily::ALL {
+            let series = generate_family(family, 42);
+            assert_eq!(series.len(), family.series_count(), "{family:?}");
+            let (lo, hi) = family.length_range();
+            for s in &series {
+                assert!(
+                    (lo..=hi).contains(&s.len()),
+                    "{} has length {} outside [{lo}, {hi}]",
+                    s.name,
+                    s.len()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn all_families_total_53_series() {
+        let all = generate_all(7);
+        assert_eq!(all.len(), 53);
+        // Names are unique.
+        let mut names: Vec<&str> = all.iter().map(|s| s.name.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 53);
+    }
+
+    #[test]
+    fn values_are_finite() {
+        for s in generate_all(1) {
+            assert!(s.values.iter().all(|v| v.is_finite()), "{} has non-finite values", s.name);
+        }
+    }
+
+    #[test]
+    fn every_series_has_ground_truth() {
+        for s in generate_all(3) {
+            assert!(!s.anomalies.is_empty(), "{} has no anomaly windows", s.name);
+            for r in &s.anomalies {
+                assert!(r.start < r.end && r.end <= s.len());
+            }
+        }
+    }
+
+    #[test]
+    fn anomaly_windows_are_sorted_and_disjoint() {
+        for s in generate_all(5) {
+            for w in s.anomalies.windows(2) {
+                assert!(w[0].end <= w[1].start, "{}: overlapping windows", s.name);
+            }
+        }
+    }
+
+    #[test]
+    fn overlaps_anomaly_detects_intersections() {
+        let s = NabSeries {
+            family: NabFamily::Art,
+            name: "t".into(),
+            values: vec![0.0; 100],
+            anomalies: vec![10..20, 50..60],
+        };
+        assert!(s.overlaps_anomaly(15, 25));
+        assert!(s.overlaps_anomaly(5, 11));
+        assert!(!s.overlaps_anomaly(20, 50));
+        assert!(s.overlaps_anomaly(0, 100));
+        assert!(!s.overlaps_anomaly(60, 70));
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate_family(NabFamily::Aws, 11);
+        let b = generate_family(NabFamily::Aws, 11);
+        assert_eq!(a, b);
+        let c = generate_family(NabFamily::Aws, 12);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn spikes_are_visible_above_noise() {
+        // At least one anomaly window should contain a point far from the
+        // series median.
+        for s in generate_family(NabFamily::Aws, 21) {
+            let scale = robust_scale(&s.values);
+            let mut sorted = s.values.clone();
+            sorted.sort_unstable_by(f64::total_cmp);
+            let median = sorted[sorted.len() / 2];
+            let visible = s.anomalies.iter().any(|r| {
+                s.values[r.clone()].iter().any(|&v| (v - median).abs() > 2.0 * scale)
+            });
+            assert!(visible, "{} anomalies indistinguishable from noise", s.name);
+        }
+    }
+
+    #[test]
+    fn art_series_have_exact_length() {
+        for s in generate_family(NabFamily::Art, 9) {
+            assert_eq!(s.len(), 4_032);
+        }
+    }
+
+    #[test]
+    fn twt_series_are_counts() {
+        for s in generate_family(NabFamily::Twt, 2) {
+            // Most points are non-negative integers (anomaly windows may
+            // push them off-grid, but the base signal is counts).
+            let integral =
+                s.values.iter().filter(|v| (*v - v.round()).abs() < 1e-9 && **v >= 0.0).count();
+            assert!(integral * 10 >= s.len() * 7, "{}", s.name);
+        }
+    }
+}

@@ -1,0 +1,232 @@
+//! The sliding-window KS harness of the paper's time-series experiments
+//! (Section 6.1.1):
+//!
+//! > "We run a sliding window `W` of size `w` to obtain the reference set,
+//! > and use the window of the same size following `W` immediately without
+//! > any overlap as the test set. [...] The KS test is conducted multiple
+//! > times as the sliding windows run through a time series. A failed KS
+//! > test indicates that the time series has a distribution drift."
+
+use crate::nab::NabSeries;
+use crate::rng::rng_from_seed;
+use moche_core::{ks_test, KsConfig};
+use rand::seq::SliceRandom;
+
+/// One failed KS test extracted from a series: the reference window, the
+/// test window, and provenance metadata.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FailedTest {
+    /// Name of the originating series.
+    pub series_name: String,
+    /// Window size `w` (`|R| = |T| = w`).
+    pub window: usize,
+    /// Index of the first reference observation in the series.
+    pub reference_start: usize,
+    /// Index of the first test observation in the series
+    /// (`reference_start + window`).
+    pub test_start: usize,
+    /// The reference set.
+    pub reference: Vec<f64>,
+    /// The test set.
+    pub test: Vec<f64>,
+    /// Whether the test window overlaps a ground-truth anomaly.
+    pub overlaps_anomaly: bool,
+    /// The KS statistic of the failed test.
+    pub statistic: f64,
+}
+
+/// Slides paired windows through `series` and returns every position where
+/// the KS test fails. `stride` controls how far the window advances per
+/// step (the paper's non-overlapping convention corresponds to
+/// `stride = window`).
+///
+/// # Panics
+///
+/// Panics if `window == 0` or `stride == 0`.
+pub fn failed_windows(
+    series: &NabSeries,
+    window: usize,
+    cfg: &KsConfig,
+    stride: usize,
+) -> Vec<FailedTest> {
+    assert!(window > 0, "window must be positive");
+    assert!(stride > 0, "stride must be positive");
+    let n = series.values.len();
+    let mut out = Vec::new();
+    if n < 2 * window {
+        return out;
+    }
+    let mut start = 0usize;
+    while start + 2 * window <= n {
+        let reference = &series.values[start..start + window];
+        let test = &series.values[start + window..start + 2 * window];
+        let outcome = ks_test(reference, test, cfg).expect("generated data is finite");
+        if outcome.rejected {
+            out.push(FailedTest {
+                series_name: series.name.clone(),
+                window,
+                reference_start: start,
+                test_start: start + window,
+                reference: reference.to_vec(),
+                test: test.to_vec(),
+                overlaps_anomaly: series
+                    .overlaps_anomaly(start + window, start + 2 * window),
+                statistic: outcome.statistic,
+            });
+        }
+        start += stride;
+    }
+    out
+}
+
+/// Samples up to `count` failed tests uniformly (seeded), following the
+/// paper's protocol of preferring tests whose test window contains
+/// ground-truth anomalies. If fewer anomalous tests exist than requested,
+/// the remainder is drawn from the rest.
+pub fn sample_failed(mut failed: Vec<FailedTest>, count: usize, seed: u64) -> Vec<FailedTest> {
+    let mut rng = rng_from_seed(seed);
+    failed.shuffle(&mut rng);
+    let (mut anomalous, clean): (Vec<_>, Vec<_>) =
+        failed.into_iter().partition(|f| f.overlaps_anomaly);
+    if anomalous.len() >= count {
+        anomalous.truncate(count);
+        return anomalous;
+    }
+    let need = count - anomalous.len();
+    anomalous.extend(clean.into_iter().take(need));
+    anomalous
+}
+
+/// Convenience: extracts and samples failed tests for every window size of
+/// the paper's sweep that fits the series (`window <= len / 2`), mirroring
+/// the "10 failed KS tests per combination of time series and window size"
+/// sampling of Section 6.1.3.
+pub fn paper_failed_tests(
+    series: &NabSeries,
+    window_sizes: &[usize],
+    cfg: &KsConfig,
+    per_combination: usize,
+    seed: u64,
+) -> Vec<FailedTest> {
+    let mut out = Vec::new();
+    for (i, &w) in window_sizes.iter().enumerate() {
+        if series.values.len() < 2 * w {
+            continue;
+        }
+        // Slide with stride w/2 to surface more candidate positions than
+        // the strictly non-overlapping walk, then sample.
+        let stride = (w / 2).max(1);
+        let failed = failed_windows(series, w, cfg, stride);
+        out.extend(sample_failed(failed, per_combination, seed.wrapping_add(i as u64)));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nab::NabFamily;
+
+    fn series_with_shift() -> NabSeries {
+        // First 300 points ~ level 0, next 300 ~ level 10: a guaranteed
+        // drift at index 300.
+        let mut values = vec![0.0f64; 300];
+        values.extend(vec![10.0f64; 300]);
+        // Tiny deterministic jitter so values are not all identical.
+        for (i, v) in values.iter_mut().enumerate() {
+            *v += (i % 7) as f64 * 0.01;
+        }
+        NabSeries {
+            family: NabFamily::Art,
+            name: "shift".into(),
+            values,
+            anomalies: vec![300..320],
+        }
+    }
+
+    #[test]
+    fn detects_the_drift() {
+        let cfg = KsConfig::new(0.05).unwrap();
+        let failed = failed_windows(&series_with_shift(), 100, &cfg, 50);
+        assert!(!failed.is_empty());
+        // Some failed window must straddle the shift point.
+        assert!(failed
+            .iter()
+            .any(|f| f.reference_start < 300 && f.test_start + f.window > 300));
+    }
+
+    #[test]
+    fn no_failures_on_stationary_series() {
+        let cfg = KsConfig::new(0.05).unwrap();
+        let series = NabSeries {
+            family: NabFamily::Art,
+            name: "flat".into(),
+            values: (0..600).map(|i| ((i * 31) % 97) as f64).collect(),
+            anomalies: vec![],
+        };
+        let failed = failed_windows(&series, 100, &cfg, 100);
+        assert!(failed.is_empty(), "stationary series should pass everywhere");
+    }
+
+    #[test]
+    fn window_metadata_is_consistent() {
+        let cfg = KsConfig::new(0.05).unwrap();
+        for f in failed_windows(&series_with_shift(), 100, &cfg, 25) {
+            assert_eq!(f.test_start, f.reference_start + f.window);
+            assert_eq!(f.reference.len(), f.window);
+            assert_eq!(f.test.len(), f.window);
+            assert!(f.statistic > 0.0);
+        }
+    }
+
+    #[test]
+    fn overlaps_anomaly_flag() {
+        let cfg = KsConfig::new(0.05).unwrap();
+        let failed = failed_windows(&series_with_shift(), 150, &cfg, 10);
+        let anomalous = failed.iter().filter(|f| f.overlaps_anomaly).count();
+        assert!(anomalous > 0, "tests covering index 300..320 must be flagged");
+    }
+
+    #[test]
+    fn sampling_prefers_anomalous_and_caps_count() {
+        let cfg = KsConfig::new(0.05).unwrap();
+        let failed = failed_windows(&series_with_shift(), 100, &cfg, 10);
+        let total = failed.len();
+        let sampled = sample_failed(failed.clone(), 3, 1);
+        assert_eq!(sampled.len(), 3.min(total));
+        if failed.iter().filter(|f| f.overlaps_anomaly).count() >= 3 {
+            assert!(sampled.iter().all(|f| f.overlaps_anomaly));
+        }
+        // Sampling more than available returns everything.
+        let all = sample_failed(failed.clone(), total + 10, 1);
+        assert_eq!(all.len(), total);
+    }
+
+    #[test]
+    fn sampling_is_deterministic() {
+        let cfg = KsConfig::new(0.05).unwrap();
+        let failed = failed_windows(&series_with_shift(), 100, &cfg, 10);
+        let a = sample_failed(failed.clone(), 5, 7);
+        let b = sample_failed(failed, 5, 7);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn paper_harness_skips_oversized_windows() {
+        let cfg = KsConfig::new(0.05).unwrap();
+        let tests = paper_failed_tests(&series_with_shift(), &[100, 10_000], &cfg, 5, 3);
+        assert!(tests.iter().all(|t| t.window == 100));
+    }
+
+    #[test]
+    fn short_series_yield_nothing() {
+        let cfg = KsConfig::new(0.05).unwrap();
+        let series = NabSeries {
+            family: NabFamily::Art,
+            name: "short".into(),
+            values: vec![1.0; 50],
+            anomalies: vec![],
+        };
+        assert!(failed_windows(&series, 100, &cfg, 10).is_empty());
+    }
+}

@@ -1,0 +1,312 @@
+//! Counterfactual explanations on failed 2-D KS tests — a working
+//! prototype of the MOCHE paper's declared future work.
+//!
+//! The 1-D algorithm's optimality rests on the cumulative-vector bounds of
+//! Lemma 1, which exploit the total order of the real line; no such order
+//! exists in 2-D, and whether minimum explanations can be found in
+//! polynomial time there is open. This module therefore provides two
+//! *heuristic* explainers with the same contract as the baselines (the
+//! returned set always reverses the failed test; minimality is best-effort
+//! and documented as such):
+//!
+//! * [`GreedyPrefix2d`] — the GRD recipe: remove points in preference
+//!   order until the test passes. Linear number of test evaluations.
+//! * [`GreedyImpact2d`] — steepest-descent: repeatedly remove the point
+//!   whose removal most reduces the FF statistic (ties broken by
+//!   preference rank), then *prune* the result back (drop any point whose
+//!   return keeps the test passing, scanning in reverse preference order)
+//!   so the final set is irreducible — no proper subset obtained by
+//!   dropping one point still reverses the test.
+
+use crate::ks2d::{ks2d_p_value, ks2d_test, pearson_r, statistic_after_removal, Ks2dConfig, Ks2dOutcome};
+use crate::point2::Point2;
+use moche_core::{MocheError, PreferenceList};
+
+/// An explanation on a failed 2-D KS test.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Explanation2d {
+    /// Selected original test indices, most preferred first.
+    pub indices: Vec<usize>,
+    /// The failing outcome that was explained.
+    pub outcome_before: Ks2dOutcome,
+    /// The outcome after removal — always passing.
+    pub outcome_after: Ks2dOutcome,
+}
+
+impl Explanation2d {
+    /// Explanation size.
+    pub fn size(&self) -> usize {
+        self.indices.len()
+    }
+}
+
+fn outcome_of_removal(
+    reference: &[Point2],
+    test: &[Point2],
+    removed: &[usize],
+    cfg: &Ks2dConfig,
+) -> Ks2dOutcome {
+    let (d, kept) = statistic_after_removal(reference, test, removed);
+    let p_value =
+        ks2d_p_value(d, reference.len(), kept.len(), pearson_r(reference), pearson_r(&kept));
+    Ks2dOutcome {
+        statistic: d,
+        p_value,
+        rejected: p_value < cfg.alpha,
+        n: reference.len(),
+        m: kept.len(),
+    }
+}
+
+fn prepare(
+    reference: &[Point2],
+    test: &[Point2],
+    cfg: &Ks2dConfig,
+    preference: Option<&PreferenceList>,
+) -> Result<(Ks2dOutcome, PreferenceList), MocheError> {
+    if let Some(p) = preference {
+        if p.len() != test.len() {
+            return Err(MocheError::PreferenceLengthMismatch {
+                expected: test.len(),
+                actual: p.len(),
+            });
+        }
+    }
+    let before = ks2d_test(reference, test, cfg)?;
+    if before.passes() {
+        return Err(MocheError::TestAlreadyPasses {
+            statistic: before.statistic,
+            threshold: cfg.alpha,
+        });
+    }
+    let pref =
+        preference.cloned().unwrap_or_else(|| PreferenceList::identity(test.len()));
+    Ok((before, pref))
+}
+
+/// GRD-style preference-prefix explanation for failed 2-D KS tests.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GreedyPrefix2d;
+
+impl GreedyPrefix2d {
+    /// Explains the failed test by removing preference-ordered points until
+    /// it passes.
+    ///
+    /// # Errors
+    ///
+    /// * [`MocheError::TestAlreadyPasses`] when there is nothing to explain.
+    /// * [`MocheError::NoExplanation`] when even removing all but one point
+    ///   does not reverse the test.
+    /// * Validation errors.
+    pub fn explain(
+        &self,
+        reference: &[Point2],
+        test: &[Point2],
+        cfg: &Ks2dConfig,
+        preference: Option<&PreferenceList>,
+    ) -> Result<Explanation2d, MocheError> {
+        let (before, pref) = prepare(reference, test, cfg, preference)?;
+        let mut removed: Vec<usize> = Vec::new();
+        for &idx in pref.as_order() {
+            if removed.len() + 1 >= test.len() {
+                break;
+            }
+            removed.push(idx);
+            let outcome = outcome_of_removal(reference, test, &removed, cfg);
+            if outcome.passes() {
+                return Ok(Explanation2d {
+                    indices: removed,
+                    outcome_before: before,
+                    outcome_after: outcome,
+                });
+            }
+        }
+        Err(MocheError::NoExplanation { alpha: cfg.alpha })
+    }
+}
+
+/// Steepest-descent explanation with irreducibility pruning.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GreedyImpact2d;
+
+impl GreedyImpact2d {
+    /// Explains the failed test by repeatedly removing the highest-impact
+    /// point, then pruning to an irreducible set.
+    ///
+    /// # Errors
+    ///
+    /// As for [`GreedyPrefix2d::explain`].
+    pub fn explain(
+        &self,
+        reference: &[Point2],
+        test: &[Point2],
+        cfg: &Ks2dConfig,
+        preference: Option<&PreferenceList>,
+    ) -> Result<Explanation2d, MocheError> {
+        let (before, pref) = prepare(reference, test, cfg, preference)?;
+        let ranks = pref.ranks();
+        let m = test.len();
+        let mut removed: Vec<usize> = Vec::new();
+        let mut live: Vec<usize> = (0..m).collect();
+
+        // Greedy descent on the statistic.
+        while removed.len() + 1 < m {
+            let outcome = outcome_of_removal(reference, test, &removed, cfg);
+            if outcome.passes() {
+                break;
+            }
+            // Pick the live point whose removal minimizes the statistic;
+            // ties by preference rank.
+            let mut best: Option<(f64, usize, usize)> = None; // (stat, rank, idx)
+            for (pos, &idx) in live.iter().enumerate() {
+                removed.push(idx);
+                let (d, _) = statistic_after_removal(reference, test, &removed);
+                removed.pop();
+                let candidate = (d, ranks[idx], pos);
+                if best.map_or(true, |b| candidate < b) {
+                    best = Some(candidate);
+                }
+            }
+            let (_, _, pos) = best.expect("live points remain");
+            removed.push(live.swap_remove(pos));
+        }
+
+        let outcome = outcome_of_removal(reference, test, &removed, cfg);
+        if !outcome.passes() {
+            return Err(MocheError::NoExplanation { alpha: cfg.alpha });
+        }
+
+        // Prune: re-admit points (worst preference first) whose return
+        // keeps the test passing.
+        let mut keep: Vec<usize> = removed.clone();
+        keep.sort_by_key(|&i| std::cmp::Reverse(ranks[i]));
+        for idx in keep {
+            let trimmed: Vec<usize> = removed.iter().copied().filter(|&i| i != idx).collect();
+            if trimmed.is_empty() {
+                continue;
+            }
+            if outcome_of_removal(reference, test, &trimmed, cfg).passes() {
+                removed = trimmed;
+            }
+        }
+
+        let mut indices = removed;
+        indices.sort_by_key(|&i| ranks[i]);
+        let outcome_after = outcome_of_removal(reference, test, &indices, cfg);
+        debug_assert!(outcome_after.passes());
+        Ok(Explanation2d { indices, outcome_before: before, outcome_after })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Reference: grid near the origin. Test: same grid plus an offset
+    /// cluster that breaks the test.
+    fn contaminated() -> (Vec<Point2>, Vec<Point2>, Ks2dConfig, usize) {
+        let grid = |n: usize, ox: f64, oy: f64| -> Vec<Point2> {
+            (0..n)
+                .map(|i| {
+                    Point2::new(
+                        ((i * 7) % 13) as f64 * 0.31 + ox,
+                        ((i * 11) % 17) as f64 * 0.23 + oy,
+                    )
+                })
+                .collect()
+        };
+        let r = grid(120, 0.0, 0.0);
+        let mut t = grid(60, 0.01, 0.02);
+        let cluster = grid(25, 50.0, 50.0);
+        let cluster_start = t.len();
+        t.extend(cluster);
+        (r, t, Ks2dConfig::new(0.05).unwrap(), cluster_start)
+    }
+
+    #[test]
+    fn the_instance_fails() {
+        let (r, t, cfg, _) = contaminated();
+        assert!(ks2d_test(&r, &t, &cfg).unwrap().rejected);
+    }
+
+    #[test]
+    fn greedy_prefix_reverses() {
+        let (r, t, cfg, cluster_start) = contaminated();
+        // Preference: cluster points first (simulating domain knowledge).
+        let scores: Vec<f64> = t.iter().map(|p| p.x + p.y).collect();
+        let pref = PreferenceList::from_scores_desc(&scores).unwrap();
+        let e = GreedyPrefix2d.explain(&r, &t, &cfg, Some(&pref)).unwrap();
+        assert!(e.outcome_after.passes());
+        assert!(e.size() >= 1);
+        // With a helpful preference the selection is mostly cluster points.
+        let in_cluster = e.indices.iter().filter(|&&i| i >= cluster_start).count();
+        assert!(in_cluster * 10 >= e.size() * 8, "{in_cluster} of {}", e.size());
+    }
+
+    #[test]
+    fn greedy_impact_reverses_and_is_irreducible() {
+        let (r, t, cfg, _) = contaminated();
+        let e = GreedyImpact2d.explain(&r, &t, &cfg, None).unwrap();
+        assert!(e.outcome_after.passes());
+        // Irreducibility: dropping any single selected point breaks it.
+        for drop in 0..e.size() {
+            let trimmed: Vec<usize> = e
+                .indices
+                .iter()
+                .enumerate()
+                .filter_map(|(j, &i)| (j != drop).then_some(i))
+                .collect();
+            let o = outcome_of_removal(&r, &t, &trimmed, &cfg);
+            assert!(o.rejected, "dropping {drop} still passes -> not irreducible");
+        }
+    }
+
+    #[test]
+    fn impact_explanation_not_larger_than_prefix_with_neutral_preference() {
+        let (r, t, cfg, _) = contaminated();
+        let pref = PreferenceList::identity(t.len());
+        let prefix = GreedyPrefix2d.explain(&r, &t, &cfg, Some(&pref)).unwrap();
+        let impact = GreedyImpact2d.explain(&r, &t, &cfg, Some(&pref)).unwrap();
+        assert!(
+            impact.size() <= prefix.size(),
+            "impact {} > prefix {}",
+            impact.size(),
+            prefix.size()
+        );
+    }
+
+    #[test]
+    fn impact_targets_the_cluster() {
+        let (r, t, cfg, cluster_start) = contaminated();
+        let e = GreedyImpact2d.explain(&r, &t, &cfg, None).unwrap();
+        let in_cluster = e.indices.iter().filter(|&&i| i >= cluster_start).count();
+        assert!(
+            in_cluster * 10 >= e.size() * 9,
+            "only {in_cluster} of {} selected points are cluster points",
+            e.size()
+        );
+    }
+
+    #[test]
+    fn passing_test_is_an_error() {
+        let (r, _, cfg, _) = contaminated();
+        match GreedyPrefix2d.explain(&r, &r, &cfg, None) {
+            Err(MocheError::TestAlreadyPasses { .. }) => {}
+            other => panic!("unexpected {other:?}"),
+        }
+        match GreedyImpact2d.explain(&r, &r, &cfg, None) {
+            Err(MocheError::TestAlreadyPasses { .. }) => {}
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn preference_length_mismatch_detected() {
+        let (r, t, cfg, _) = contaminated();
+        let pref = PreferenceList::identity(3);
+        assert!(matches!(
+            GreedyPrefix2d.explain(&r, &t, &cfg, Some(&pref)),
+            Err(MocheError::PreferenceLengthMismatch { .. })
+        ));
+    }
+}

@@ -1,0 +1,26 @@
+//! # moche-multidim
+//!
+//! A working prototype of the MOCHE paper's declared future work
+//! (Section 7): interpreting failed Kolmogorov-Smirnov tests on
+//! **multidimensional** data.
+//!
+//! * [`ks2d`] — the two-sample 2-D KS test of Fasano & Franceschini
+//!   (MNRAS 1987; reference \[18\] of the paper): quadrant-based statistic
+//!   plus the Press et al. significance approximation.
+//! * [`explain2d`] — heuristic counterfactual explainers over the 2-D
+//!   test. The 1-D optimality machinery (cumulative-vector bounds) relies
+//!   on the real line's total order and does not transfer; these explainers
+//!   guarantee *soundness* (the returned set always reverses the test) and
+//!   *irreducibility* (for [`GreedyImpact2d`]) but not minimality — the
+//!   open problem the paper leaves behind.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod explain2d;
+pub mod ks2d;
+pub mod point2;
+
+pub use explain2d::{Explanation2d, GreedyImpact2d, GreedyPrefix2d};
+pub use ks2d::{ks2d_statistic, ks2d_test, Ks2dConfig, Ks2dOutcome};
+pub use point2::{points_from_xy, Point2};

@@ -1,0 +1,98 @@
+//! 2-D data points for the multidimensional KS test.
+
+use moche_core::error::{MocheError, SetKind};
+
+/// A 2-D observation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Point2 {
+    /// First coordinate.
+    pub x: f64,
+    /// Second coordinate.
+    pub y: f64,
+}
+
+impl Point2 {
+    /// Creates a point.
+    #[inline]
+    pub const fn new(x: f64, y: f64) -> Self {
+        Self { x, y }
+    }
+
+    /// Whether both coordinates are finite.
+    #[inline]
+    pub fn is_finite(&self) -> bool {
+        self.x.is_finite() && self.y.is_finite()
+    }
+
+    /// Euclidean distance to another point.
+    #[inline]
+    pub fn distance(&self, other: &Point2) -> f64 {
+        (self.x - other.x).hypot(self.y - other.y)
+    }
+}
+
+/// Builds points from `(x, y)` pairs.
+pub fn points_from_xy(pairs: &[(f64, f64)]) -> Vec<Point2> {
+    pairs.iter().map(|&(x, y)| Point2::new(x, y)).collect()
+}
+
+/// Validates two samples for the 2-D KS test: non-empty, finite.
+pub fn validate_points(reference: &[Point2], test: &[Point2]) -> Result<(), MocheError> {
+    if reference.is_empty() {
+        return Err(MocheError::EmptyReference);
+    }
+    if test.is_empty() {
+        return Err(MocheError::EmptyTest);
+    }
+    for (which, sample) in [(SetKind::Reference, reference), (SetKind::Test, test)] {
+        for (index, p) in sample.iter().enumerate() {
+            if !p.is_finite() {
+                return Err(MocheError::NonFiniteValue {
+                    which,
+                    index,
+                    value: if p.x.is_finite() { p.y } else { p.x },
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_distance() {
+        let a = Point2::new(0.0, 0.0);
+        let b = Point2::new(3.0, 4.0);
+        assert_eq!(a.distance(&b), 5.0);
+        assert!(a.is_finite());
+        assert!(!Point2::new(f64::NAN, 0.0).is_finite());
+        assert!(!Point2::new(0.0, f64::INFINITY).is_finite());
+    }
+
+    #[test]
+    fn from_xy_preserves_order() {
+        let pts = points_from_xy(&[(1.0, 2.0), (3.0, 4.0)]);
+        assert_eq!(pts[0], Point2::new(1.0, 2.0));
+        assert_eq!(pts[1], Point2::new(3.0, 4.0));
+    }
+
+    #[test]
+    fn validation_reports_side_and_index() {
+        let good = vec![Point2::new(0.0, 0.0)];
+        let bad = vec![Point2::new(0.0, 0.0), Point2::new(f64::NAN, 1.0)];
+        match validate_points(&bad, &good) {
+            Err(MocheError::NonFiniteValue { which: SetKind::Reference, index: 1, .. }) => {}
+            other => panic!("unexpected {other:?}"),
+        }
+        match validate_points(&good, &bad) {
+            Err(MocheError::NonFiniteValue { which: SetKind::Test, index: 1, .. }) => {}
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(validate_points(&good, &good).is_ok());
+        assert!(matches!(validate_points(&[], &good), Err(MocheError::EmptyReference)));
+        assert!(matches!(validate_points(&good, &[]), Err(MocheError::EmptyTest)));
+    }
+}

@@ -1,0 +1,290 @@
+//! Principal-component projection of time-series subsequences — the
+//! embedding substrate used by the Series2Graph-style anomaly scorer.
+//!
+//! Series2Graph (Boniol & Palpanas, VLDB 2020) embeds overlapping
+//! subsequences into a low-dimensional space before discretizing their
+//! angular positions into graph nodes. This module provides:
+//!
+//! * smoothing of subsequences with a local moving-average convolution, and
+//! * projection onto the top principal components, computed with power
+//!   iteration + deflation over the subsequence covariance matrix (no
+//!   external linear-algebra dependency).
+
+use crate::stats::{mean, moving_average};
+
+/// A 2-D projection of a set of subsequences.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Embedding {
+    /// Projected coordinates, one `(x, y)` pair per subsequence.
+    pub points: Vec<(f64, f64)>,
+    /// The first principal axis (unit vector of length `dim`).
+    pub axis1: Vec<f64>,
+    /// The second principal axis (unit vector of length `dim`).
+    pub axis2: Vec<f64>,
+    /// The mean subsequence subtracted before projection.
+    pub center: Vec<f64>,
+}
+
+impl Embedding {
+    /// Projects a new subsequence (length `dim`, same smoothing already
+    /// applied) into the embedding plane.
+    pub fn project(&self, subsequence: &[f64]) -> (f64, f64) {
+        debug_assert_eq!(subsequence.len(), self.center.len());
+        let centered: Vec<f64> =
+            subsequence.iter().zip(&self.center).map(|(v, c)| v - c).collect();
+        (dot(&centered, &self.axis1), dot(&centered, &self.axis2))
+    }
+}
+
+/// Extracts all length-`w` subsequences of `series`, each smoothed with a
+/// centered moving average of `smooth` points.
+pub fn smoothed_subsequences(series: &[f64], w: usize, smooth: usize) -> Vec<Vec<f64>> {
+    assert!(w >= 2 && w <= series.len(), "invalid subsequence length");
+    (0..=series.len() - w)
+        .map(|i| moving_average(&series[i..i + w], smooth.max(1)))
+        .collect()
+}
+
+/// Embeds subsequences into the plane spanned by their top two principal
+/// components.
+///
+/// # Panics
+///
+/// Panics if fewer than 2 subsequences are supplied.
+pub fn embed(subsequences: &[Vec<f64>]) -> Embedding {
+    assert!(subsequences.len() >= 2, "need at least 2 subsequences to embed");
+    let dim = subsequences[0].len();
+    debug_assert!(subsequences.iter().all(|s| s.len() == dim));
+
+    // Center.
+    let mut center = vec![0.0f64; dim];
+    for s in subsequences {
+        for (c, v) in center.iter_mut().zip(s) {
+            *c += v;
+        }
+    }
+    for c in &mut center {
+        *c /= subsequences.len() as f64;
+    }
+    let centered: Vec<Vec<f64>> = subsequences
+        .iter()
+        .map(|s| s.iter().zip(&center).map(|(v, c)| v - c).collect())
+        .collect();
+
+    let axis1 = top_component(&centered, None);
+    let axis2 = top_component(&centered, Some(&axis1));
+
+    let points = centered
+        .iter()
+        .map(|s| (dot(s, &axis1), dot(s, &axis2)))
+        .collect();
+
+    Embedding { points, axis1, axis2, center }
+}
+
+/// Power iteration for the dominant eigenvector of the covariance operator
+/// of `rows`, optionally deflating a previously found component. Operates
+/// matrix-free: each step computes `Σ_s (s · v) s` without forming the
+/// covariance matrix.
+fn top_component(rows: &[Vec<f64>], deflate: Option<&[f64]>) -> Vec<f64> {
+    let dim = rows[0].len();
+    // Deterministic, well-spread start vector.
+    let mut v: Vec<f64> = (0..dim)
+        .map(|i| ((i as f64 + 1.0) * 0.754_877).sin() + 0.01)
+        .collect();
+    if let Some(d) = deflate {
+        orthogonalize(&mut v, d);
+    }
+    normalize(&mut v);
+
+    let mut prev_lambda = 0.0f64;
+    for _ in 0..200 {
+        // w = C v  (up to scale), computed matrix-free.
+        let mut w = vec![0.0f64; dim];
+        for s in rows {
+            let proj = dot(s, &v);
+            for (wi, si) in w.iter_mut().zip(s) {
+                *wi += proj * si;
+            }
+        }
+        if let Some(d) = deflate {
+            orthogonalize(&mut w, d);
+        }
+        let lambda = norm(&w);
+        if lambda < 1e-12 {
+            // Degenerate direction (e.g. all rows identical): return any unit
+            // vector orthogonal to the deflated one.
+            return fallback_direction(dim, deflate);
+        }
+        for x in &mut w {
+            *x /= lambda;
+        }
+        let delta = (lambda - prev_lambda).abs();
+        v = w;
+        if delta < 1e-10 * lambda.max(1.0) {
+            break;
+        }
+        prev_lambda = lambda;
+    }
+    v
+}
+
+fn fallback_direction(dim: usize, deflate: Option<&[f64]>) -> Vec<f64> {
+    for i in 0..dim {
+        let mut v = vec![0.0f64; dim];
+        v[i] = 1.0;
+        if let Some(d) = deflate {
+            orthogonalize(&mut v, d);
+        }
+        if norm(&v) > 1e-6 {
+            normalize(&mut v);
+            return v;
+        }
+    }
+    let mut v = vec![0.0f64; dim];
+    v[0] = 1.0;
+    v
+}
+
+#[inline]
+fn dot(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+#[inline]
+fn norm(a: &[f64]) -> f64 {
+    dot(a, a).sqrt()
+}
+
+fn normalize(a: &mut [f64]) {
+    let n = norm(a);
+    if n > 1e-12 {
+        for x in a.iter_mut() {
+            *x /= n;
+        }
+    }
+}
+
+fn orthogonalize(v: &mut [f64], against: &[f64]) {
+    let proj = dot(v, against);
+    for (x, a) in v.iter_mut().zip(against) {
+        *x -= proj * a;
+    }
+}
+
+/// Mean reconstruction error when projecting the rows onto the two axes —
+/// a diagnostic for embedding quality (small = the subsequences genuinely
+/// live near a plane).
+pub fn reconstruction_error(subsequences: &[Vec<f64>], emb: &Embedding) -> f64 {
+    let errs: Vec<f64> = subsequences
+        .iter()
+        .map(|s| {
+            let centered: Vec<f64> = s.iter().zip(&emb.center).map(|(v, c)| v - c).collect();
+            let a = dot(&centered, &emb.axis1);
+            let b = dot(&centered, &emb.axis2);
+            centered
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| {
+                    let recon = a * emb.axis1[i] + b * emb.axis2[i];
+                    (v - recon) * (v - recon)
+                })
+                .sum::<f64>()
+                .sqrt()
+        })
+        .collect();
+    mean(&errs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sine(n: usize) -> Vec<f64> {
+        (0..n).map(|i| (i as f64 * 0.25).sin() * 3.0).collect()
+    }
+
+    #[test]
+    fn axes_are_orthonormal() {
+        let subs = smoothed_subsequences(&sine(100), 10, 3);
+        let e = embed(&subs);
+        assert!((norm(&e.axis1) - 1.0).abs() < 1e-8);
+        assert!((norm(&e.axis2) - 1.0).abs() < 1e-8);
+        assert!(dot(&e.axis1, &e.axis2).abs() < 1e-6);
+    }
+
+    #[test]
+    fn project_matches_embedding_points() {
+        let subs = smoothed_subsequences(&sine(60), 8, 1);
+        let e = embed(&subs);
+        for (s, &(x, y)) in subs.iter().zip(&e.points) {
+            let (px, py) = e.project(s);
+            assert!((px - x).abs() < 1e-9 && (py - y).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn sine_subsequences_form_a_loop() {
+        // Subsequences of a pure sine live on an ellipse in PC space; the
+        // radius should therefore be nearly constant.
+        let subs = smoothed_subsequences(&sine(400), 25, 1);
+        let e = embed(&subs);
+        let radii: Vec<f64> = e.points.iter().map(|&(x, y)| x.hypot(y)).collect();
+        let mu = mean(&radii);
+        assert!(mu > 0.0);
+        for r in &radii {
+            assert!((r - mu).abs() / mu < 0.25, "radius {r} vs mean {mu}");
+        }
+    }
+
+    #[test]
+    fn pca_recovers_dominant_direction() {
+        // Rows = t * d + small noise in an orthogonal direction.
+        let d = [0.6f64, 0.8];
+        let rows: Vec<Vec<f64>> = (0..50)
+            .map(|i| {
+                let t = (i as f64 - 25.0) / 5.0;
+                vec![t * d[0] + 0.01 * (i as f64).sin(), t * d[1]]
+            })
+            .collect();
+        let e = embed(&rows);
+        let cosine = (e.axis1[0] * d[0] + e.axis1[1] * d[1]).abs();
+        assert!(cosine > 0.999, "axis1 = {:?}", e.axis1);
+    }
+
+    #[test]
+    fn reconstruction_error_small_for_planar_data() {
+        let rows: Vec<Vec<f64>> = (0..40)
+            .map(|i| {
+                let a = (i as f64 * 0.3).sin();
+                let b = (i as f64 * 0.3).cos();
+                vec![a, b, a + b, a - b]
+            })
+            .collect();
+        let e = embed(&rows);
+        assert!(reconstruction_error(&rows, &e) < 1e-6);
+    }
+
+    #[test]
+    fn degenerate_identical_rows_do_not_crash() {
+        let rows = vec![vec![1.0, 2.0, 3.0]; 10];
+        let e = embed(&rows);
+        // All centered rows are zero; points collapse to the origin.
+        for &(x, y) in &e.points {
+            assert!(x.abs() < 1e-9 && y.abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn smoothed_subsequences_count_and_len() {
+        let subs = smoothed_subsequences(&sine(30), 6, 3);
+        assert_eq!(subs.len(), 25);
+        assert!(subs.iter().all(|s| s.len() == 6));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2")]
+    fn embed_rejects_single_row() {
+        let _ = embed(&[vec![1.0, 2.0]]);
+    }
+}

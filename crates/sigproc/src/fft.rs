@@ -1,0 +1,242 @@
+//! An iterative radix-2 Cooley-Tukey fast Fourier transform.
+//!
+//! Built as a substrate for the Spectral Residual saliency transform (which
+//! the paper uses to derive preference lists from time series). The
+//! implementation is the standard bit-reversal + butterfly scheme:
+//! `O(n log n)` time, in-place, power-of-two lengths, with helpers to pad
+//! real signals.
+
+use crate::complex::Complex;
+
+/// Returns the smallest power of two `>= n` (and `>= 1`).
+#[inline]
+pub fn next_pow2(n: usize) -> usize {
+    n.max(1).next_power_of_two()
+}
+
+/// In-place forward FFT. `buf.len()` must be a power of two.
+///
+/// Computes `X[k] = Σ_j x[j] e^{-2πi jk / n}` (unnormalized).
+///
+/// # Panics
+///
+/// Panics if the length is not a power of two.
+pub fn fft_in_place(buf: &mut [Complex]) {
+    transform(buf, false);
+}
+
+/// In-place inverse FFT, normalized by `1/n` so that
+/// `ifft(fft(x)) == x`. `buf.len()` must be a power of two.
+///
+/// # Panics
+///
+/// Panics if the length is not a power of two.
+pub fn ifft_in_place(buf: &mut [Complex]) {
+    transform(buf, true);
+    let n = buf.len() as f64;
+    for z in buf.iter_mut() {
+        *z = *z / n;
+    }
+}
+
+fn transform(buf: &mut [Complex], inverse: bool) {
+    let n = buf.len();
+    assert!(n.is_power_of_two(), "FFT length must be a power of two, got {n}");
+    if n <= 1 {
+        return;
+    }
+
+    // Bit-reversal permutation.
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = i.reverse_bits() >> (usize::BITS - bits);
+        if i < j {
+            buf.swap(i, j);
+        }
+    }
+
+    // Butterflies.
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let mut len = 2usize;
+    while len <= n {
+        let ang = sign * 2.0 * std::f64::consts::PI / len as f64;
+        let wlen = Complex::from_polar(1.0, ang);
+        let mut start = 0usize;
+        while start < n {
+            let mut w = Complex::ONE;
+            for k in 0..len / 2 {
+                let u = buf[start + k];
+                let v = buf[start + k + len / 2] * w;
+                buf[start + k] = u + v;
+                buf[start + k + len / 2] = u - v;
+                w = w * wlen;
+            }
+            start += len;
+        }
+        len <<= 1;
+    }
+}
+
+/// Forward FFT of a real signal, zero-padded to the next power of two.
+/// Returns the full complex spectrum (length `next_pow2(x.len())`).
+pub fn rfft(x: &[f64]) -> Vec<Complex> {
+    let n = next_pow2(x.len());
+    let mut buf: Vec<Complex> = x.iter().map(|&v| Complex::real(v)).collect();
+    buf.resize(n, Complex::ZERO);
+    fft_in_place(&mut buf);
+    buf
+}
+
+/// Inverse FFT returning only real parts, truncated to `out_len` samples.
+pub fn irfft(spectrum: &[Complex], out_len: usize) -> Vec<f64> {
+    let mut buf = spectrum.to_vec();
+    ifft_in_place(&mut buf);
+    buf.truncate(out_len);
+    buf.iter().map(|z| z.re).collect()
+}
+
+/// Reference `O(n^2)` DFT used by the tests as an oracle.
+#[cfg(test)]
+fn dft_naive(x: &[Complex]) -> Vec<Complex> {
+    let n = x.len();
+    (0..n)
+        .map(|k| {
+            let mut acc = Complex::ZERO;
+            for (j, &v) in x.iter().enumerate() {
+                let ang = -2.0 * std::f64::consts::PI * (j * k) as f64 / n as f64;
+                acc += v * Complex::from_polar(1.0, ang);
+            }
+            acc
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: &[Complex], b: &[Complex], tol: f64) {
+        assert_eq!(a.len(), b.len());
+        for (i, (x, y)) in a.iter().zip(b).enumerate() {
+            assert!(
+                (x.re - y.re).abs() < tol && (x.im - y.im).abs() < tol,
+                "index {i}: {x:?} vs {y:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn next_pow2_values() {
+        assert_eq!(next_pow2(0), 1);
+        assert_eq!(next_pow2(1), 1);
+        assert_eq!(next_pow2(2), 2);
+        assert_eq!(next_pow2(3), 4);
+        assert_eq!(next_pow2(1000), 1024);
+        assert_eq!(next_pow2(1024), 1024);
+    }
+
+    #[test]
+    fn matches_naive_dft() {
+        let x: Vec<Complex> = (0..16)
+            .map(|i| Complex::new((i as f64 * 0.7).sin(), (i as f64 * 0.3).cos()))
+            .collect();
+        let mut fast = x.clone();
+        fft_in_place(&mut fast);
+        let slow = dft_naive(&x);
+        assert_close(&fast, &slow, 1e-10);
+    }
+
+    #[test]
+    fn roundtrip_identity() {
+        let x: Vec<Complex> = (0..64)
+            .map(|i| Complex::new((i as f64).sqrt(), (i as f64 * 0.1).sin()))
+            .collect();
+        let mut buf = x.clone();
+        fft_in_place(&mut buf);
+        ifft_in_place(&mut buf);
+        assert_close(&buf, &x, 1e-10);
+    }
+
+    #[test]
+    fn parseval_energy_is_preserved() {
+        let x: Vec<Complex> =
+            (0..32).map(|i| Complex::real((i as f64 * 0.37).sin() * 2.0)).collect();
+        let time_energy: f64 = x.iter().map(|z| z.norm_sqr()).sum();
+        let mut buf = x.clone();
+        fft_in_place(&mut buf);
+        let freq_energy: f64 = buf.iter().map(|z| z.norm_sqr()).sum::<f64>() / x.len() as f64;
+        assert!((time_energy - freq_energy).abs() < 1e-8);
+    }
+
+    #[test]
+    fn impulse_has_flat_spectrum() {
+        let mut buf = vec![Complex::ZERO; 8];
+        buf[0] = Complex::ONE;
+        fft_in_place(&mut buf);
+        for z in &buf {
+            assert!((z.abs() - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn constant_signal_concentrates_at_dc() {
+        let mut buf = vec![Complex::ONE; 16];
+        fft_in_place(&mut buf);
+        assert!((buf[0].re - 16.0).abs() < 1e-10);
+        for z in &buf[1..] {
+            assert!(z.abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn single_tone_peaks_at_its_bin() {
+        let n = 64;
+        let freq = 5;
+        let x: Vec<Complex> = (0..n)
+            .map(|i| {
+                let t = i as f64 / n as f64;
+                Complex::real((2.0 * std::f64::consts::PI * freq as f64 * t).cos())
+            })
+            .collect();
+        let mut buf = x;
+        fft_in_place(&mut buf);
+        let mags: Vec<f64> = buf.iter().map(|z| z.abs()).collect();
+        let peak = mags
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(i, _)| i)
+            .unwrap();
+        assert!(peak == freq || peak == n - freq, "peak at bin {peak}");
+    }
+
+    #[test]
+    fn rfft_pads_and_irfft_truncates() {
+        let x = vec![1.0, 2.0, 3.0]; // padded to 4
+        let spec = rfft(&x);
+        assert_eq!(spec.len(), 4);
+        let back = irfft(&spec, 3);
+        assert_eq!(back.len(), 3);
+        for (a, b) in back.iter().zip(&x) {
+            assert!((a - b).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_pow2_length_panics() {
+        let mut buf = vec![Complex::ZERO; 6];
+        fft_in_place(&mut buf);
+    }
+
+    #[test]
+    fn tiny_lengths() {
+        let mut one = vec![Complex::real(3.5)];
+        fft_in_place(&mut one);
+        assert_eq!(one[0], Complex::real(3.5));
+        let mut two = vec![Complex::real(1.0), Complex::real(2.0)];
+        fft_in_place(&mut two);
+        assert!((two[0].re - 3.0).abs() < 1e-12);
+        assert!((two[1].re + 1.0).abs() < 1e-12);
+    }
+}

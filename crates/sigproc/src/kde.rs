@@ -1,0 +1,231 @@
+//! Gaussian kernel density estimation and empirical probability mass
+//! functions — the density substrate behind the Extended-D3 baseline
+//! (Section 6.1.2 of the paper).
+//!
+//! D3 ranks test points by the density ratio `f_T(t) / f_R(t)`. For
+//! continuous data the densities are KDEs with Silverman's rule-of-thumb
+//! bandwidth; for discrete data (the COVID-19 age groups) the paper uses the
+//! empirical pmfs instead, which [`Epmf`] provides.
+
+use crate::stats;
+
+const INV_SQRT_2PI: f64 = 0.398_942_280_401_432_7;
+
+/// A Gaussian kernel density estimator over a fixed sample.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GaussianKde {
+    sample: Vec<f64>,
+    bandwidth: f64,
+}
+
+impl GaussianKde {
+    /// Fits a KDE with Silverman's rule-of-thumb bandwidth
+    /// `h = 0.9 * min(σ, IQR / 1.34) * n^{-1/5}` (with sane fallbacks for
+    /// degenerate samples).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty sample or NaN values.
+    pub fn fit(sample: &[f64]) -> Self {
+        Self::fit_with_bandwidth(sample, silverman_bandwidth(sample))
+    }
+
+    /// Fits a KDE with an explicit bandwidth.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty sample, NaN values, or a non-positive bandwidth.
+    pub fn fit_with_bandwidth(sample: &[f64], bandwidth: f64) -> Self {
+        assert!(!sample.is_empty(), "KDE requires a non-empty sample");
+        assert!(sample.iter().all(|v| v.is_finite()), "KDE sample must be finite");
+        assert!(bandwidth > 0.0 && bandwidth.is_finite(), "bandwidth must be positive");
+        let mut s = sample.to_vec();
+        s.sort_unstable_by(f64::total_cmp);
+        Self { sample: s, bandwidth }
+    }
+
+    /// The bandwidth in use.
+    #[inline]
+    pub fn bandwidth(&self) -> f64 {
+        self.bandwidth
+    }
+
+    /// Evaluates the estimated density at `x`.
+    ///
+    /// Points farther than `8h` from `x` contribute less than `1e-14` of a
+    /// kernel and are skipped via a binary-searched window, so evaluation is
+    /// `O(log n + w)` with `w` the number of nearby points.
+    pub fn density(&self, x: f64) -> f64 {
+        let h = self.bandwidth;
+        let cutoff = 8.0 * h;
+        let lo = self.sample.partition_point(|&v| v < x - cutoff);
+        let hi = self.sample.partition_point(|&v| v <= x + cutoff);
+        let mut acc = 0.0f64;
+        for &v in &self.sample[lo..hi] {
+            let u = (x - v) / h;
+            acc += (-0.5 * u * u).exp();
+        }
+        acc * INV_SQRT_2PI / (self.sample.len() as f64 * h)
+    }
+
+    /// Evaluates the density at many points.
+    pub fn density_many(&self, xs: &[f64]) -> Vec<f64> {
+        xs.iter().map(|&x| self.density(x)).collect()
+    }
+}
+
+/// Silverman's rule-of-thumb bandwidth with fallbacks: if the IQR is zero
+/// use σ alone; if the sample is (near-)constant fall back to 1.0 so the
+/// estimator stays well-defined.
+pub fn silverman_bandwidth(sample: &[f64]) -> f64 {
+    assert!(!sample.is_empty(), "bandwidth of empty sample");
+    let n = sample.len() as f64;
+    let sd = stats::std_dev(sample);
+    let iqr = stats::quantile(sample, 0.75) - stats::quantile(sample, 0.25);
+    let spread = if iqr > 0.0 { sd.min(iqr / 1.34) } else { sd };
+    let h = 0.9 * spread * n.powf(-0.2);
+    if h > 0.0 && h.is_finite() {
+        h
+    } else {
+        1.0
+    }
+}
+
+/// An empirical probability mass function for discrete-valued data.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Epmf {
+    values: Vec<f64>,
+    probs: Vec<f64>,
+}
+
+impl Epmf {
+    /// Builds the empirical pmf of a sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty sample or NaN values.
+    pub fn fit(sample: &[f64]) -> Self {
+        assert!(!sample.is_empty(), "EPMF requires a non-empty sample");
+        assert!(sample.iter().all(|v| !v.is_nan()), "EPMF sample must not contain NaN");
+        let mut sorted = sample.to_vec();
+        sorted.sort_unstable_by(f64::total_cmp);
+        let mut values = Vec::new();
+        let mut probs = Vec::new();
+        let n = sorted.len() as f64;
+        let mut i = 0usize;
+        while i < sorted.len() {
+            let v = sorted[i];
+            let mut j = i;
+            while j < sorted.len() && sorted[j] == v {
+                j += 1;
+            }
+            values.push(v);
+            probs.push((j - i) as f64 / n);
+            i = j;
+        }
+        Self { values, probs }
+    }
+
+    /// The probability mass at `x` (0 if `x` was never observed).
+    pub fn mass(&self, x: f64) -> f64 {
+        match self.values.binary_search_by(|v| v.total_cmp(&x)) {
+            Ok(i) => self.probs[i],
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Distinct observed values, ascending.
+    #[inline]
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn density_integrates_to_one() {
+        // Riemann sum over a wide grid ~ 1.
+        let sample: Vec<f64> = (0..40).map(|i| (i as f64 * 0.37).sin() * 2.0).collect();
+        let kde = GaussianKde::fit(&sample);
+        let (lo, hi, steps) = (-10.0, 10.0, 4000);
+        let dx = (hi - lo) / steps as f64;
+        let integral: f64 =
+            (0..steps).map(|i| kde.density(lo + (i as f64 + 0.5) * dx) * dx).sum();
+        assert!((integral - 1.0).abs() < 1e-3, "integral = {integral}");
+    }
+
+    #[test]
+    fn density_peaks_near_data() {
+        let sample = vec![0.0, 0.1, -0.1, 0.05, -0.05];
+        let kde = GaussianKde::fit(&sample);
+        assert!(kde.density(0.0) > kde.density(3.0));
+        assert!(kde.density(3.0) >= 0.0);
+    }
+
+    #[test]
+    fn matches_naive_evaluation() {
+        let sample: Vec<f64> = (0..25).map(|i| ((i * 7) % 13) as f64 / 3.0).collect();
+        let kde = GaussianKde::fit(&sample);
+        let h = kde.bandwidth();
+        for x in [-1.0, 0.0, 1.7, 4.3] {
+            let naive: f64 = sample
+                .iter()
+                .map(|&v| {
+                    let u: f64 = (x - v) / h;
+                    (-0.5 * u * u).exp() * INV_SQRT_2PI
+                })
+                .sum::<f64>()
+                / (sample.len() as f64 * h);
+            assert!((kde.density(x) - naive).abs() < 1e-12, "x = {x}");
+        }
+    }
+
+    #[test]
+    fn silverman_shrinks_with_n() {
+        let small: Vec<f64> = (0..10).map(f64::from).collect();
+        let large: Vec<f64> = (0..1000).map(|i| f64::from(i % 10)).collect();
+        assert!(silverman_bandwidth(&large) < silverman_bandwidth(&small));
+    }
+
+    #[test]
+    fn constant_sample_fallback() {
+        let h = silverman_bandwidth(&[5.0; 20]);
+        assert_eq!(h, 1.0);
+        let kde = GaussianKde::fit(&[5.0; 20]);
+        assert!(kde.density(5.0) > kde.density(50.0));
+    }
+
+    #[test]
+    fn density_many_matches_single() {
+        let kde = GaussianKde::fit(&[0.0, 1.0, 2.0]);
+        let xs = [0.5, 1.5];
+        let many = kde.density_many(&xs);
+        assert_eq!(many, vec![kde.density(0.5), kde.density(1.5)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sample")]
+    fn kde_empty_sample_panics() {
+        let _ = GaussianKde::fit(&[]);
+    }
+
+    #[test]
+    fn epmf_masses() {
+        let pmf = Epmf::fit(&[1.0, 1.0, 2.0, 3.0]);
+        assert_eq!(pmf.mass(1.0), 0.5);
+        assert_eq!(pmf.mass(2.0), 0.25);
+        assert_eq!(pmf.mass(9.0), 0.0);
+        assert_eq!(pmf.values(), &[1.0, 2.0, 3.0]);
+        let total: f64 = pmf.values().iter().map(|&v| pmf.mass(v)).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn epmf_empty_panics() {
+        let _ = Epmf::fit(&[]);
+    }
+}

@@ -1,0 +1,36 @@
+//! # moche-sigproc
+//!
+//! Signal-processing substrates for the MOCHE reproduction. The paper's
+//! experiments depend on several published algorithms whose reference
+//! implementations are Python; this crate re-implements each from its
+//! original description, dependency-free:
+//!
+//! | Module | Algorithm | Used by |
+//! |---|---|---|
+//! | [`complex`], [`fft`] | radix-2 Cooley-Tukey FFT | Spectral Residual |
+//! | [`spectral_residual`] | SR saliency (Ren et al., KDD'19) | preference lists (§6.1.1) |
+//! | [`kde`] | Gaussian KDE + Silverman bandwidth, empirical pmf | Extended-D3 |
+//! | [`matrix_profile`] | STOMP AB-join matrix profile | Extended-STOMP |
+//! | [`embedding`] | PCA by power iteration, subsequence embedding | Extended-S2G |
+//! | [`series2graph`] | Series2Graph-style shape graph | Extended-S2G |
+//! | [`stats`] | descriptive stats, rolling windows, box plots | everything |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod complex;
+pub mod embedding;
+pub mod fft;
+pub mod kde;
+pub mod matrix_profile;
+pub mod series2graph;
+pub mod spectral_residual;
+pub mod stats;
+
+pub use complex::Complex;
+pub use embedding::{embed, smoothed_subsequences, Embedding};
+pub use kde::{silverman_bandwidth, Epmf, GaussianKde};
+pub use matrix_profile::ab_join;
+pub use series2graph::{Series2Graph, Series2GraphConfig};
+pub use spectral_residual::SpectralResidual;
+pub use stats::BoxPlotStats;

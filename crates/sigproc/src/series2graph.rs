@@ -1,0 +1,254 @@
+//! A Series2Graph-style subsequence anomaly scorer (after Boniol &
+//! Palpanas, *Series2Graph: Graph-based Subsequence Anomaly Detection for
+//! Time Series*, VLDB 2020) — the substrate behind the Extended-S2G
+//! baseline.
+//!
+//! The method learns the "shape vocabulary" of a reference series:
+//!
+//! 1. embed all smoothed length-`w` subsequences into 2-D (PCA plane, see
+//!    [`crate::embedding`]);
+//! 2. discretize the angular position of each embedded point into `psi`
+//!    nodes of a cyclic graph;
+//! 3. add a directed edge between the nodes of consecutive subsequences,
+//!    accumulating edge weights (how often the reference series makes that
+//!    transition).
+//!
+//! A query subsequence is then scored by walking its own node path through
+//! the learned graph: transitions that the reference series took often are
+//! "normal" (high weight), rare or unseen transitions are anomalous. The
+//! anomaly score of a query subsequence is the mean *unfamiliarity*
+//! `1 / (1 + weight)` along its path, matching the original method's
+//! intuition (low-weight paths = anomalies) in a dependency-free form.
+
+use crate::embedding::{embed, smoothed_subsequences, Embedding};
+use std::collections::HashMap;
+
+/// Configuration of the Series2Graph-style scorer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Series2GraphConfig {
+    /// Subsequence length `w` (the anomaly length of interest).
+    pub subsequence_len: usize,
+    /// Number of angular nodes `psi` of the cyclic graph.
+    pub nodes: usize,
+    /// Moving-average smoothing window applied to subsequences (the paper's
+    /// local convolution).
+    pub smoothing: usize,
+}
+
+impl Default for Series2GraphConfig {
+    fn default() -> Self {
+        Self { subsequence_len: 16, nodes: 24, smoothing: 3 }
+    }
+}
+
+/// The learned shape graph of a reference series.
+#[derive(Debug, Clone)]
+pub struct Series2Graph {
+    cfg: Series2GraphConfig,
+    embedding: Embedding,
+    /// Edge weights keyed by `(from_node, to_node)`.
+    edges: HashMap<(usize, usize), f64>,
+    /// Node occupancy counts from the reference series.
+    node_counts: Vec<f64>,
+}
+
+impl Series2Graph {
+    /// Learns the graph from a reference series.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the series is shorter than `2 * subsequence_len` or the
+    /// configuration is degenerate.
+    pub fn fit(reference: &[f64], cfg: Series2GraphConfig) -> Self {
+        assert!(cfg.subsequence_len >= 2, "subsequence length must be at least 2");
+        assert!(cfg.nodes >= 2, "need at least 2 nodes");
+        assert!(
+            reference.len() >= 2 * cfg.subsequence_len,
+            "reference series too short: {} < {}",
+            reference.len(),
+            2 * cfg.subsequence_len
+        );
+        let subs = smoothed_subsequences(reference, cfg.subsequence_len, cfg.smoothing);
+        let embedding = embed(&subs);
+        let nodes: Vec<usize> =
+            embedding.points.iter().map(|&p| Self::node_of_point(p, cfg.nodes)).collect();
+        let mut edges: HashMap<(usize, usize), f64> = HashMap::new();
+        let mut node_counts = vec![0.0f64; cfg.nodes];
+        for &n in &nodes {
+            node_counts[n] += 1.0;
+        }
+        for pair in nodes.windows(2) {
+            *edges.entry((pair[0], pair[1])).or_insert(0.0) += 1.0;
+        }
+        Self { cfg, embedding, edges, node_counts }
+    }
+
+    fn node_of_point((x, y): (f64, f64), psi: usize) -> usize {
+        let theta = y.atan2(x); // (-π, π]
+        let frac = (theta + std::f64::consts::PI) / (2.0 * std::f64::consts::PI);
+        ((frac * psi as f64) as usize).min(psi - 1)
+    }
+
+    /// The configuration used to fit the graph.
+    #[inline]
+    pub fn config(&self) -> &Series2GraphConfig {
+        &self.cfg
+    }
+
+    /// Weight of the edge `from -> to` learned from the reference series.
+    pub fn edge_weight(&self, from: usize, to: usize) -> f64 {
+        self.edges.get(&(from, to)).copied().unwrap_or(0.0)
+    }
+
+    /// Node occupancy counts of the reference series.
+    pub fn node_counts(&self) -> &[f64] {
+        &self.node_counts
+    }
+
+    /// Scores every length-`w` subsequence of `query`: higher = more
+    /// anomalous (the reference series rarely made those shape
+    /// transitions). Returns `query.len() - w + 1` scores.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the query is shorter than the subsequence length.
+    pub fn score_subsequences(&self, query: &[f64]) -> Vec<f64> {
+        let w = self.cfg.subsequence_len;
+        assert!(query.len() >= w, "query shorter than subsequence length");
+        let subs = smoothed_subsequences(query, w, self.cfg.smoothing);
+        let nodes: Vec<usize> = subs
+            .iter()
+            .map(|s| Self::node_of_point(self.embedding.project(s), self.cfg.nodes))
+            .collect();
+        // Each subsequence's score is the unfamiliarity of the transition
+        // into it (its own node for the first one).
+        let mut scores = Vec::with_capacity(nodes.len());
+        for (i, &n) in nodes.iter().enumerate() {
+            let weight = if i == 0 {
+                self.node_counts[n]
+            } else {
+                self.edge_weight(nodes[i - 1], n)
+            };
+            scores.push(1.0 / (1.0 + weight));
+        }
+        scores
+    }
+
+    /// Per-point anomaly scores for a query series: each point receives the
+    /// maximum score among the subsequences covering it, which is how the
+    /// Extended-S2G baseline turns subsequence scores into a preference
+    /// list over individual data points.
+    pub fn score_points(&self, query: &[f64]) -> Vec<f64> {
+        let w = self.cfg.subsequence_len;
+        if query.len() < w {
+            // Degenerate: score everything identically.
+            return vec![0.5; query.len()];
+        }
+        let sub_scores = self.score_subsequences(query);
+        let mut out = vec![0.0f64; query.len()];
+        #[allow(clippy::needless_range_loop)] // windows overlap; index arithmetic is the point
+        for (i, &s) in sub_scores.iter().enumerate() {
+            for x in out.iter_mut().skip(i).take(w) {
+                if s > *x {
+                    *x = s;
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn periodic(n: usize) -> Vec<f64> {
+        (0..n).map(|i| (i as f64 * 0.2).sin() * 4.0 + 10.0).collect()
+    }
+
+    #[test]
+    fn normal_query_scores_low_anomalous_scores_high() {
+        let reference = periodic(600);
+        let graph = Series2Graph::fit(&reference, Series2GraphConfig::default());
+
+        let normal = periodic(200);
+        let mut anomalous = periodic(200);
+        for i in 90..110 {
+            anomalous[i] = if i % 2 == 0 { 50.0 } else { -50.0 };
+        }
+        let s_norm = graph.score_subsequences(&normal);
+        let s_anom = graph.score_subsequences(&anomalous);
+        let mean_norm: f64 = s_norm.iter().sum::<f64>() / s_norm.len() as f64;
+        let peak_anom = s_anom.iter().cloned().fold(f64::MIN, f64::max);
+        assert!(
+            peak_anom > mean_norm * 2.0,
+            "anomaly peak {peak_anom} should dominate normal mean {mean_norm}"
+        );
+    }
+
+    #[test]
+    fn point_scores_cover_anomalous_region() {
+        let reference = periodic(600);
+        let graph = Series2Graph::fit(&reference, Series2GraphConfig::default());
+        let mut query = periodic(300);
+        for i in 140..160 {
+            query[i] += 60.0;
+        }
+        let scores = graph.score_points(&query);
+        assert_eq!(scores.len(), query.len());
+        let mut ranked: Vec<usize> = (0..query.len()).collect();
+        ranked.sort_by(|&a, &b| scores[b].total_cmp(&scores[a]));
+        // Some of the top-ranked points must fall inside the anomaly window
+        // (smoothing and subsequence extent blur the exact boundary).
+        let hits = ranked[..40].iter().filter(|&&i| (130..170).contains(&i)).count();
+        assert!(hits >= 10, "only {hits} of the top 40 points overlap the anomaly");
+    }
+
+    #[test]
+    fn edge_weights_count_transitions() {
+        let reference = periodic(400);
+        let graph = Series2Graph::fit(&reference, Series2GraphConfig::default());
+        let total_edges: f64 = graph.edges.values().sum();
+        let expected = (reference.len() - graph.cfg.subsequence_len + 1 - 1) as f64;
+        assert_eq!(total_edges, expected);
+        let total_nodes: f64 = graph.node_counts().iter().sum();
+        assert_eq!(total_nodes, expected + 1.0);
+    }
+
+    #[test]
+    fn scores_are_in_unit_interval() {
+        let reference = periodic(300);
+        let graph = Series2Graph::fit(&reference, Series2GraphConfig::default());
+        for s in graph.score_subsequences(&periodic(100)) {
+            assert!((0.0..=1.0).contains(&s));
+        }
+    }
+
+    #[test]
+    fn short_query_degenerates_gracefully() {
+        let reference = periodic(300);
+        let graph = Series2Graph::fit(&reference, Series2GraphConfig::default());
+        let scores = graph.score_points(&[1.0, 2.0, 3.0]);
+        assert_eq!(scores, vec![0.5; 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "too short")]
+    fn fit_rejects_short_reference() {
+        let _ = Series2Graph::fit(&[1.0; 10], Series2GraphConfig::default());
+    }
+
+    #[test]
+    fn node_of_point_covers_all_sectors() {
+        let psi = 8;
+        let mut seen = vec![false; psi];
+        for k in 0..64 {
+            let theta = -std::f64::consts::PI + (k as f64 + 0.5) / 64.0 * 2.0 * std::f64::consts::PI;
+            let p = (theta.cos(), theta.sin());
+            let n = Series2Graph::node_of_point(p, psi);
+            assert!(n < psi);
+            seen[n] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "sectors missed: {seen:?}");
+    }
+}

@@ -1,0 +1,215 @@
+//! The Spectral Residual (SR) saliency transform for time-series anomaly
+//! detection, after Ren et al., *Time-Series Anomaly Detection Service at
+//! Microsoft*, KDD 2019.
+//!
+//! The MOCHE paper derives preference lists for its time-series experiments
+//! by ranking test-window points by their SR outlying score (Section 6.1.1).
+//! The transform:
+//!
+//! 1. extend the series by `extension` extrapolated points (the SR paper's
+//!    trick to score the tail reliably);
+//! 2. take the FFT; split the spectrum into amplitude `A(f)` and phase
+//!    `P(f)`;
+//! 3. compute the *log spectral residual* `R(f) = log A(f) - h_q * log A(f)`
+//!    where `h_q` is a length-`q` average filter;
+//! 4. invert with the original phase: the *saliency map*
+//!    `S(x) = |IFFT(exp(R(f) + i P(f)))|`;
+//! 5. score each point by its relative saliency
+//!    `score(x) = (S(x) - avg) / avg` against a trailing average.
+
+use crate::complex::Complex;
+use crate::fft::{fft_in_place, ifft_in_place, next_pow2};
+use crate::stats::trailing_average;
+
+/// Configuration of the Spectral Residual transform.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpectralResidual {
+    /// Size of the average filter applied to the log spectrum (`q` in the SR
+    /// paper; 3 there and in the reference implementation).
+    pub filter_window: usize,
+    /// Window of the trailing average used to turn saliency into scores
+    /// (`z` in the SR paper; 21 in the reference implementation).
+    pub score_window: usize,
+    /// Number of extrapolated points appended before the transform (`κ`; 5
+    /// in the SR paper).
+    pub extension: usize,
+    /// How many trailing points are used to fit the extrapolation line.
+    pub extension_lookback: usize,
+}
+
+impl Default for SpectralResidual {
+    fn default() -> Self {
+        Self { filter_window: 3, score_window: 21, extension: 5, extension_lookback: 5 }
+    }
+}
+
+impl SpectralResidual {
+    /// Computes the saliency map of `series` (same length as the input).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the series is shorter than 4 points or contains non-finite
+    /// values.
+    pub fn saliency(&self, series: &[f64]) -> Vec<f64> {
+        assert!(series.len() >= 4, "spectral residual needs at least 4 points");
+        assert!(series.iter().all(|v| v.is_finite()), "series must be finite");
+
+        // Step 1: extend the tail with the SR paper's gradient extrapolation.
+        let mut extended = series.to_vec();
+        if self.extension > 0 {
+            let est = self.estimate_next(series);
+            extended.extend(std::iter::repeat_n(est, self.extension));
+        }
+
+        // Step 2: FFT (zero-padded to a power of two).
+        let n = extended.len();
+        let padded = next_pow2(n);
+        let mut buf: Vec<Complex> = extended.iter().map(|&v| Complex::real(v)).collect();
+        buf.resize(padded, Complex::ZERO);
+        fft_in_place(&mut buf);
+
+        // Step 3: log-amplitude residual.
+        let amplitude: Vec<f64> = buf.iter().map(|z| z.abs()).collect();
+        let log_amp: Vec<f64> = amplitude.iter().map(|&a| (a.max(1e-12)).ln()).collect();
+        let smoothed = crate::stats::moving_average(&log_amp, self.filter_window);
+        // Step 4: rebuild with residual amplitude and original phase.
+        for (i, z) in buf.iter_mut().enumerate() {
+            let residual = log_amp[i] - smoothed[i];
+            let phase = z.arg();
+            *z = Complex::from_polar(residual.exp(), phase);
+        }
+        ifft_in_place(&mut buf);
+        let mut sal: Vec<f64> = buf[..n].iter().map(|z| z.abs()).collect();
+        sal.truncate(series.len());
+        sal
+    }
+
+    /// Computes the per-point outlying score: relative deviation of the
+    /// saliency map from its trailing average. Larger scores mean more
+    /// anomalous points.
+    pub fn scores(&self, series: &[f64]) -> Vec<f64> {
+        let sal = self.saliency(series);
+        let avg = trailing_average(&sal, self.score_window);
+        sal.iter()
+            .zip(avg)
+            .map(|(&s, a)| if a > 1e-12 { (s - a) / a } else { 0.0 })
+            .collect()
+    }
+
+    /// The SR paper's estimate of the next point: the last value plus the
+    /// mean slope over the lookback window.
+    fn estimate_next(&self, series: &[f64]) -> f64 {
+        let n = series.len();
+        let lb = self.extension_lookback.min(n - 1).max(1);
+        let last = series[n - 1];
+        let mut grad_sum = 0.0;
+        for i in 1..=lb {
+            grad_sum += (last - series[n - 1 - i]) / i as f64;
+        }
+        last + grad_sum / lb as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn smooth_series(n: usize) -> Vec<f64> {
+        (0..n).map(|i| (i as f64 * 0.1).sin() * 5.0 + 10.0).collect()
+    }
+
+    #[test]
+    fn spike_gets_the_top_score() {
+        let mut series = smooth_series(200);
+        series[120] += 40.0;
+        let sr = SpectralResidual::default();
+        let scores = sr.scores(&series);
+        let argmax = scores
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(i, _)| i)
+            .unwrap();
+        assert!(
+            (118..=122).contains(&argmax),
+            "expected the spike at 120 to dominate, got index {argmax}"
+        );
+    }
+
+    #[test]
+    fn multiple_spikes_rank_above_normal_points() {
+        let mut series = smooth_series(300);
+        for &i in &[50usize, 150, 250] {
+            series[i] += 30.0;
+        }
+        let sr = SpectralResidual::default();
+        let scores = sr.scores(&series);
+        let mut ranked: Vec<usize> = (0..series.len()).collect();
+        ranked.sort_by(|&a, &b| scores[b].total_cmp(&scores[a]));
+        let top: Vec<usize> = ranked[..9].to_vec();
+        for &spike in &[50usize, 150, 250] {
+            assert!(
+                top.iter().any(|&i| i.abs_diff(spike) <= 2),
+                "spike {spike} missing from top-9 {top:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn saliency_preserves_length() {
+        let series = smooth_series(123);
+        let sr = SpectralResidual::default();
+        assert_eq!(sr.saliency(&series).len(), 123);
+        assert_eq!(sr.scores(&series).len(), 123);
+    }
+
+    #[test]
+    fn constant_series_is_unremarkable() {
+        let series = vec![5.0; 100];
+        let sr = SpectralResidual::default();
+        let scores = sr.scores(&series);
+        // No point should stand out strongly on a constant series.
+        let max = scores.iter().cloned().fold(f64::MIN, f64::max);
+        assert!(max < 5.0, "max score {max} on constant series");
+    }
+
+    #[test]
+    fn scores_are_finite() {
+        let mut series = smooth_series(64);
+        series[10] = 0.0;
+        series[11] = 100.0;
+        let sr = SpectralResidual::default();
+        for s in sr.scores(&series) {
+            assert!(s.is_finite());
+        }
+    }
+
+    #[test]
+    fn no_extension_variant_works() {
+        let series = smooth_series(50);
+        let sr = SpectralResidual { extension: 0, ..Default::default() };
+        assert_eq!(sr.saliency(&series).len(), 50);
+    }
+
+    #[test]
+    fn estimate_next_extrapolates_linear_trend() {
+        let series: Vec<f64> = (0..20).map(|i| 2.0 * i as f64).collect();
+        let sr = SpectralResidual::default();
+        let est = sr.estimate_next(&series);
+        assert!((est - 40.0).abs() < 1e-9, "est = {est}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 4")]
+    fn too_short_series_panics() {
+        let sr = SpectralResidual::default();
+        let _ = sr.saliency(&[1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn non_finite_series_panics() {
+        let sr = SpectralResidual::default();
+        let _ = sr.saliency(&[1.0, f64::NAN, 2.0, 3.0]);
+    }
+}

@@ -1,0 +1,176 @@
+//! Property-based tests of the signal-processing substrates against naive
+//! reference implementations and mathematical identities.
+
+use moche_sigproc::complex::Complex;
+use moche_sigproc::fft::{fft_in_place, ifft_in_place, next_pow2};
+use moche_sigproc::kde::{Epmf, GaussianKde};
+use moche_sigproc::matrix_profile::{ab_join, ab_join_naive};
+use moche_sigproc::spectral_residual::SpectralResidual;
+use moche_sigproc::stats::{
+    mean, moving_average, quantile, rolling_mean_std, std_dev, trailing_average, z_normalize,
+    BoxPlotStats,
+};
+use proptest::prelude::*;
+
+fn finite_signal(min_len: usize, max_len: usize) -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(-1000.0f64..1000.0, min_len..max_len)
+}
+
+/// Values on a 0.5-spaced grid: windows are either exactly constant or have
+/// a clearly non-zero spread, keeping the degenerate-window *convention*
+/// exercised without sitting on the floating-point constancy-threshold
+/// knife edge (where the fast recurrence and the naive two-pass can
+/// legitimately classify a sd of ~1e-10 differently).
+fn grid_signal(min_len: usize, max_len: usize) -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec((-2000i32..2000).prop_map(|v| f64::from(v) * 0.5), min_len..max_len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn fft_roundtrip_recovers_signal(xs in finite_signal(1, 120)) {
+        let n = next_pow2(xs.len());
+        let mut buf: Vec<Complex> = xs.iter().map(|&v| Complex::real(v)).collect();
+        buf.resize(n, Complex::ZERO);
+        fft_in_place(&mut buf);
+        ifft_in_place(&mut buf);
+        for (i, &x) in xs.iter().enumerate() {
+            prop_assert!((buf[i].re - x).abs() < 1e-6 * (1.0 + x.abs()), "index {}", i);
+            prop_assert!(buf[i].im.abs() < 1e-6 * (1.0 + x.abs()));
+        }
+    }
+
+    #[test]
+    fn fft_is_linear(xs in finite_signal(8, 40), ys in finite_signal(8, 40), a in -5.0f64..5.0) {
+        let n = next_pow2(xs.len().max(ys.len()));
+        let mk = |v: &[f64]| {
+            let mut b: Vec<Complex> = v.iter().map(|&x| Complex::real(x)).collect();
+            b.resize(n, Complex::ZERO);
+            fft_in_place(&mut b);
+            b
+        };
+        let fx = mk(&xs);
+        let fy = mk(&ys);
+        // combined = a*x + y
+        let mut comb = vec![0.0f64; n];
+        for (i, c) in comb.iter_mut().enumerate() {
+            *c = a * xs.get(i).copied().unwrap_or(0.0) + ys.get(i).copied().unwrap_or(0.0);
+        }
+        let fc = mk(&comb);
+        for i in 0..n {
+            let expect = fx[i].scale(a) + fy[i];
+            prop_assert!((fc[i].re - expect.re).abs() < 1e-6 * (1.0 + expect.re.abs()));
+            prop_assert!((fc[i].im - expect.im).abs() < 1e-6 * (1.0 + expect.im.abs()));
+        }
+    }
+
+    #[test]
+    fn matrix_profile_matches_naive(
+        q in grid_signal(10, 40),
+        r in grid_signal(10, 40),
+        w in 2usize..8,
+    ) {
+        prop_assume!(w <= q.len() && w <= r.len());
+        let fast = ab_join(&q, &r, w);
+        let slow = ab_join_naive(&q, &r, w);
+        for (i, (a, b)) in fast.iter().zip(&slow).enumerate() {
+            // sqrt amplifies rounding near zero: d = sqrt(2w(1 - corr))
+            // turns a 1e-10 correlation error into a ~1e-4 distance error.
+            prop_assert!((a - b).abs() < 1e-4 + 1e-6 * b, "index {}: {} vs {}", i, a, b);
+        }
+    }
+
+    #[test]
+    fn matrix_profile_is_nonnegative_and_bounded(
+        q in finite_signal(12, 40),
+        r in finite_signal(12, 40),
+    ) {
+        let w = 5;
+        prop_assume!(w <= q.len() && w <= r.len());
+        // Two z-normalized vectors are at most 2*sqrt(w) apart (perfect
+        // anti-correlation).
+        let bound = 2.0 * (w as f64).sqrt() + 1e-9;
+        for d in ab_join(&q, &r, w) {
+            prop_assert!(d >= 0.0 && d <= bound, "d = {}", d);
+        }
+    }
+
+    #[test]
+    fn z_normalize_properties(xs in finite_signal(2, 60)) {
+        let z = z_normalize(&xs);
+        prop_assert_eq!(z.len(), xs.len());
+        prop_assert!(mean(&z).abs() < 1e-8);
+        let sd = std_dev(&z);
+        prop_assert!(sd.abs() < 1e-8 || (sd - 1.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn rolling_stats_match_per_window(xs in finite_signal(5, 60), w in 1usize..10) {
+        prop_assume!(w <= xs.len());
+        let (means, stds) = rolling_mean_std(&xs, w);
+        prop_assert_eq!(means.len(), xs.len() - w + 1);
+        for i in 0..means.len() {
+            let win = &xs[i..i + w];
+            prop_assert!((means[i] - mean(win)).abs() < 1e-6);
+            // Absolute tolerance 1e-4: with |x| up to 1000 the recurrence's
+            // floating-point error on the variance is ~1e-8, hence ~1e-4 on
+            // a near-zero standard deviation.
+            prop_assert!(
+                (stds[i] - std_dev(win)).abs() < 1e-4,
+                "window {}: {} vs {}",
+                i,
+                stds[i],
+                std_dev(win)
+            );
+        }
+    }
+
+    #[test]
+    fn quantiles_are_monotone_and_bounded(xs in finite_signal(1, 60)) {
+        let q0 = quantile(&xs, 0.0);
+        let q25 = quantile(&xs, 0.25);
+        let q50 = quantile(&xs, 0.5);
+        let q75 = quantile(&xs, 0.75);
+        let q100 = quantile(&xs, 1.0);
+        prop_assert!(q0 <= q25 && q25 <= q50 && q50 <= q75 && q75 <= q100);
+        let stats = BoxPlotStats::from(&xs);
+        prop_assert_eq!(stats.min, q0);
+        prop_assert_eq!(stats.max, q100);
+        prop_assert!(stats.min <= stats.mean && stats.mean <= stats.max);
+    }
+
+    #[test]
+    fn moving_averages_stay_in_range(xs in finite_signal(1, 60), w in 1usize..12) {
+        let lo = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        for v in moving_average(&xs, w).into_iter().chain(trailing_average(&xs, w)) {
+            prop_assert!(v >= lo - 1e-9 && v <= hi + 1e-9);
+        }
+    }
+
+    #[test]
+    fn kde_density_is_nonnegative_everywhere(xs in finite_signal(1, 40), probe in -2000.0f64..2000.0) {
+        let kde = GaussianKde::fit(&xs);
+        let d = kde.density(probe);
+        prop_assert!(d.is_finite() && d >= 0.0);
+    }
+
+    #[test]
+    fn epmf_sums_to_one(xs in proptest::collection::vec(-20i32..20, 1..60)) {
+        let vals: Vec<f64> = xs.into_iter().map(f64::from).collect();
+        let pmf = Epmf::fit(&vals);
+        let total: f64 = pmf.values().iter().map(|&v| pmf.mass(v)).sum();
+        prop_assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn spectral_residual_scores_are_finite(xs in finite_signal(8, 150)) {
+        let sr = SpectralResidual::default();
+        let scores = sr.scores(&xs);
+        prop_assert_eq!(scores.len(), xs.len());
+        for s in scores {
+            prop_assert!(s.is_finite());
+        }
+    }
+}

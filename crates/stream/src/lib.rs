@@ -1,0 +1,27 @@
+//! # moche-stream
+//!
+//! Streaming substrate for the MOCHE reproduction: an incremental
+//! two-sample Kolmogorov-Smirnov test (treap-based, after dos Reis et al.,
+//! KDD 2016 — reference \[17\] of the paper) and a push-based
+//! [`DriftMonitor`] that pairs it with MOCHE explanations.
+//!
+//! The paper's experiments run the KS test over paired sliding windows
+//! (Section 6.1.1); this crate makes that deployment shape first-class:
+//!
+//! * [`treap`] — an order-augmented treap whose root exposes the maximum
+//!   absolute prefix sum of weighted elements;
+//! * [`incremental`] — weights `+m` / `-n` turn that prefix sum into
+//!   `n·m·D(R, T)`, giving `O(log N)` KS updates;
+//! * [`monitor`] — paired sliding windows, `O(log w)` per observation,
+//!   MOCHE explanations on every drift alarm.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod incremental;
+pub mod monitor;
+pub mod treap;
+
+pub use incremental::{IncrementalKs, ObsId};
+pub use monitor::{DriftMonitor, MonitorConfig, MonitorEvent};
+pub use treap::WeightedTreap;

@@ -1,0 +1,347 @@
+//! A push-based drift monitor: paired sliding windows, the incremental KS
+//! test in steady state, and MOCHE explanations on every alarm.
+//!
+//! This is the deployment shape the paper motivates (model monitoring,
+//! database intrusion detection, change detection): observations stream in
+//! one at a time; the last `2w` of them form a reference window (older
+//! half) and a test window (newer half); a failed KS test raises a drift
+//! alarm, and the monitor answers *which points caused it* with the most
+//! comprehensible counterfactual explanation.
+//!
+//! Steady-state cost per observation is `O(log w)` (two treap slides) plus
+//! `O(1)` for the decision; explanations are computed only on alarms.
+
+use crate::incremental::{IncrementalKs, ObsId};
+use moche_core::{Explanation, KsConfig, KsOutcome, Moche, MocheError, PreferenceList};
+use moche_sigproc::SpectralResidual;
+use std::collections::VecDeque;
+
+/// Monitor configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct MonitorConfig {
+    /// Window size `w` (`|R| = |T| = w`).
+    pub window: usize,
+    /// KS significance level.
+    pub alpha: f64,
+    /// Compute a MOCHE explanation on every alarm (using Spectral-Residual
+    /// preference over the test window).
+    pub explain_on_drift: bool,
+    /// After an alarm, drop both windows and refill from scratch (prevents
+    /// one drift from alarming `w` times as it traverses the window).
+    pub reset_on_drift: bool,
+}
+
+impl MonitorConfig {
+    /// A reasonable default: explain and reset on drift.
+    pub fn new(window: usize, alpha: f64) -> Self {
+        Self { window, alpha, explain_on_drift: true, reset_on_drift: true }
+    }
+}
+
+/// What a [`DriftMonitor::push`] call observed.
+#[derive(Debug, Clone)]
+pub enum MonitorEvent {
+    /// Still filling the initial `2w` observations.
+    Warming {
+        /// Observations seen so far.
+        seen: usize,
+        /// Observations needed before testing starts.
+        needed: usize,
+    },
+    /// Windows full; the KS test passes.
+    Stable {
+        /// The passing outcome.
+        outcome: KsOutcome,
+    },
+    /// The KS test failed: distribution drift.
+    Drift {
+        /// The failing outcome.
+        outcome: KsOutcome,
+        /// The most comprehensible counterfactual explanation of the
+        /// failure, when enabled and computable.
+        explanation: Option<Explanation>,
+    },
+}
+
+/// The push-based drift monitor.
+///
+/// # Examples
+///
+/// ```
+/// use moche_stream::{DriftMonitor, MonitorConfig, MonitorEvent};
+///
+/// let mut monitor = DriftMonitor::new(MonitorConfig::new(40, 0.05)).unwrap();
+/// let mut drifted = false;
+/// for i in 0..400 {
+///     // Level shift at t = 200.
+///     let x = f64::from(i % 8) + if i < 200 { 0.0 } else { 25.0 };
+///     if let MonitorEvent::Drift { explanation, .. } = monitor.push(x) {
+///         let e = explanation.expect("explanations enabled by default");
+///         assert!(e.outcome_after.passes());
+///         drifted = true;
+///         break;
+///     }
+/// }
+/// assert!(drifted);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DriftMonitor {
+    cfg: MonitorConfig,
+    ks_cfg: KsConfig,
+    iks: IncrementalKs,
+    ref_window: VecDeque<(f64, ObsId)>,
+    test_window: VecDeque<(f64, ObsId)>,
+    pushes: u64,
+    alarms: u64,
+}
+
+impl DriftMonitor {
+    /// Creates a monitor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MocheError::InvalidAlpha`] for a bad significance level.
+    /// Panics if `window < 2`.
+    pub fn new(cfg: MonitorConfig) -> Result<Self, MocheError> {
+        assert!(cfg.window >= 2, "window must be at least 2");
+        let ks_cfg = KsConfig::new(cfg.alpha)?;
+        Ok(Self {
+            cfg,
+            ks_cfg,
+            iks: IncrementalKs::new(),
+            ref_window: VecDeque::with_capacity(cfg.window),
+            test_window: VecDeque::with_capacity(cfg.window),
+            pushes: 0,
+            alarms: 0,
+        })
+    }
+
+    /// Total observations pushed.
+    pub fn pushes(&self) -> u64 {
+        self.pushes
+    }
+
+    /// Total drift alarms raised.
+    pub fn alarms(&self) -> u64 {
+        self.alarms
+    }
+
+    /// The current reference window contents, oldest first.
+    pub fn reference_window(&self) -> Vec<f64> {
+        self.ref_window.iter().map(|&(v, _)| v).collect()
+    }
+
+    /// The current test window contents, oldest first.
+    pub fn test_window(&self) -> Vec<f64> {
+        self.test_window.iter().map(|&(v, _)| v).collect()
+    }
+
+    /// Feeds one observation and reports what happened.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-finite observations (monitor state stays valid).
+    pub fn push(&mut self, value: f64) -> MonitorEvent {
+        assert!(value.is_finite(), "observations must be finite");
+        self.pushes += 1;
+        let w = self.cfg.window;
+
+        if self.ref_window.len() < w {
+            let id = self.iks.insert_reference(value);
+            self.ref_window.push_back((value, id));
+            return MonitorEvent::Warming {
+                seen: self.ref_window.len() + self.test_window.len(),
+                needed: 2 * w,
+            };
+        }
+        if self.test_window.len() < w {
+            let id = self.iks.insert_test(value);
+            self.test_window.push_back((value, id));
+            if self.test_window.len() < w {
+                return MonitorEvent::Warming {
+                    seen: self.ref_window.len() + self.test_window.len(),
+                    needed: 2 * w,
+                };
+            }
+            // Windows just became full: fall through to the decision.
+        } else {
+            // Steady state: the oldest test point is promoted to the
+            // reference window (replacing its oldest point), and the new
+            // observation enters the test window. Two O(log w) slides.
+            let (promoted_value, promoted_id) =
+                self.test_window.pop_front().expect("test window full");
+            let (_, oldest_ref_id) = self.ref_window.pop_front().expect("ref window full");
+            let new_ref_id = self
+                .iks
+                .slide_reference(oldest_ref_id, promoted_value)
+                .expect("ref handle is live");
+            self.ref_window.push_back((promoted_value, new_ref_id));
+            let new_test_id =
+                self.iks.slide_test(promoted_id, value).expect("test handle is live");
+            self.test_window.push_back((value, new_test_id));
+        }
+
+        let outcome = self.iks.outcome(&self.ks_cfg).expect("both windows non-empty");
+        if !outcome.rejected {
+            return MonitorEvent::Stable { outcome };
+        }
+
+        self.alarms += 1;
+        let explanation = if self.cfg.explain_on_drift {
+            self.explain_current(&outcome)
+        } else {
+            None
+        };
+        if self.cfg.reset_on_drift {
+            self.ref_window.clear();
+            self.test_window.clear();
+            self.iks = IncrementalKs::new();
+        }
+        MonitorEvent::Drift { outcome, explanation }
+    }
+
+    /// Explains the currently failing window pair with MOCHE, ranking test
+    /// points by Spectral-Residual outlier score.
+    fn explain_current(&self, _outcome: &KsOutcome) -> Option<Explanation> {
+        let reference = self.reference_window();
+        let test = self.test_window();
+        let preference = if test.len() >= 4 {
+            let sr = SpectralResidual::default();
+            PreferenceList::from_scores_desc(&sr.scores(&test)).ok()?
+        } else {
+            PreferenceList::identity(test.len())
+        };
+        Moche::with_config(self.ks_cfg).explain(&reference, &test, &preference).ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn warms_up_then_stabilizes_on_stationary_stream() {
+        let mut mon = DriftMonitor::new(MonitorConfig::new(50, 0.05)).unwrap();
+        let mut stable = 0;
+        for i in 0..400 {
+            let x = ((i * 31) % 17) as f64;
+            match mon.push(x) {
+                MonitorEvent::Warming { seen, needed } => {
+                    assert!(seen <= needed);
+                    assert!(i < 100, "warming past 2w at i = {i}");
+                }
+                MonitorEvent::Stable { outcome } => {
+                    assert!(outcome.passes());
+                    stable += 1;
+                }
+                MonitorEvent::Drift { .. } => {
+                    panic!("stationary periodic stream must not alarm (i = {i})")
+                }
+            }
+        }
+        assert!(stable > 0);
+        assert_eq!(mon.alarms(), 0);
+        assert_eq!(mon.pushes(), 400);
+    }
+
+    #[test]
+    fn detects_a_level_shift_and_explains_it() {
+        let mut mon = DriftMonitor::new(MonitorConfig::new(60, 0.05)).unwrap();
+        let mut drift_at = None;
+        for i in 0..600 {
+            let x = if i < 300 {
+                ((i * 13) % 11) as f64
+            } else {
+                ((i * 13) % 11) as f64 + 20.0
+            };
+            if let MonitorEvent::Drift { outcome, explanation } = mon.push(x) {
+                assert!(outcome.rejected);
+                drift_at = Some(i);
+                let e = explanation.expect("explanation enabled");
+                assert!(e.outcome_after.passes());
+                // The shifted points dominate the explanation.
+                assert!(e.values().iter().all(|&v| v >= 20.0), "values = {:?}", e.values());
+                break;
+            }
+        }
+        let at = drift_at.expect("the level shift must be detected");
+        assert!((300..420).contains(&at), "detected at {at}");
+    }
+
+    #[test]
+    fn reset_on_drift_requires_rewarming() {
+        let mut mon = DriftMonitor::new(MonitorConfig::new(30, 0.05)).unwrap();
+        for i in 0..200 {
+            let x = if i < 100 { 0.0 + (i % 5) as f64 } else { 50.0 + (i % 5) as f64 };
+            if let MonitorEvent::Drift { .. } = mon.push(x) {
+                // The very next push must be a warming event.
+                match mon.push(1.0) {
+                    MonitorEvent::Warming { seen, .. } => assert_eq!(seen, 1),
+                    other => panic!("expected warming after reset, got {other:?}"),
+                }
+                return;
+            }
+        }
+        panic!("drift never detected");
+    }
+
+    #[test]
+    fn no_reset_keeps_sliding() {
+        let mut cfg = MonitorConfig::new(30, 0.05);
+        cfg.reset_on_drift = false;
+        cfg.explain_on_drift = false;
+        let mut mon = DriftMonitor::new(cfg).unwrap();
+        let mut alarms = 0;
+        for i in 0..300 {
+            let x = if i < 150 { (i % 7) as f64 } else { (i % 7) as f64 + 30.0 };
+            if let MonitorEvent::Drift { explanation, .. } = mon.push(x) {
+                assert!(explanation.is_none(), "explanations disabled");
+                alarms += 1;
+            }
+        }
+        // Without reset the drift alarms repeatedly while traversing.
+        assert!(alarms > 1, "expected repeated alarms, got {alarms}");
+        assert_eq!(mon.alarms(), alarms);
+    }
+
+    #[test]
+    fn windows_track_the_last_2w_points() {
+        let w = 20;
+        let mut cfg = MonitorConfig::new(w, 0.001); // tiny alpha: never alarm
+        cfg.reset_on_drift = false;
+        let mut mon = DriftMonitor::new(cfg).unwrap();
+        let series: Vec<f64> = (0..100).map(|i| f64::from(i % 13)).collect();
+        for &x in &series {
+            mon.push(x);
+        }
+        assert_eq!(mon.reference_window(), series[100 - 2 * w..100 - w].to_vec());
+        assert_eq!(mon.test_window(), series[100 - w..].to_vec());
+    }
+
+    #[test]
+    fn monitor_statistic_matches_batch() {
+        let w = 25;
+        let mut cfg = MonitorConfig::new(w, 0.001);
+        cfg.reset_on_drift = false;
+        let mut mon = DriftMonitor::new(cfg).unwrap();
+        let series: Vec<f64> = (0..120).map(|i| ((i * 37) % 19) as f64 * 0.7).collect();
+        for (i, &x) in series.iter().enumerate() {
+            let event = mon.push(x);
+            if i + 1 >= 2 * w {
+                let stat = match event {
+                    MonitorEvent::Stable { outcome } | MonitorEvent::Drift { outcome, .. } => {
+                        outcome.statistic
+                    }
+                    MonitorEvent::Warming { .. } => panic!("past warm-up"),
+                };
+                let lo = i + 1 - 2 * w;
+                let batch = moche_core::ks_statistic(
+                    &series[lo..lo + w],
+                    &series[lo + w..i + 1],
+                )
+                .unwrap();
+                assert!((stat - batch).abs() < 1e-12, "i = {i}: {stat} vs {batch}");
+            }
+        }
+    }
+}

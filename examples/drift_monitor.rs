@@ -1,0 +1,71 @@
+//! A drift-monitoring pipeline over a streaming time series — the paper's
+//! Section 6.1.1 protocol as a downstream application:
+//!
+//! 1. slide paired windows through the series and KS-test each pair;
+//! 2. on every failed test (= distribution drift alarm), rank the test
+//!    window's points with Spectral Residual outlier scores;
+//! 3. ask MOCHE for the most comprehensible counterfactual explanation —
+//!    the minimal set of points that caused the alarm;
+//! 4. report how well the explanation overlaps the injected ground truth.
+//!
+//! ```text
+//! cargo run --release --example drift_monitor
+//! ```
+
+use moche::core::PreferenceList;
+use moche::data::nab::{generate_family, NabFamily};
+use moche::data::sliding::failed_windows;
+use moche::sigproc::SpectralResidual;
+use moche::{KsConfig, Moche};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cfg = KsConfig::new(0.05)?;
+    let moche = Moche::with_config(cfg);
+    let window = 200;
+
+    // Monitor the first few series of the artificial-drift family.
+    let series_set = generate_family(NabFamily::Art, 2021);
+    let mut alarms = 0usize;
+    let mut explained = 0usize;
+
+    for series in series_set.iter().take(3) {
+        println!("series {} ({} points, {} ground-truth anomaly windows)",
+            series.name, series.len(), series.anomalies.len());
+        let failed = failed_windows(series, window, &cfg, window);
+        for test_case in failed {
+            alarms += 1;
+            // Rank test-window points by Spectral Residual outlying score.
+            let sr = SpectralResidual::default();
+            let scores = sr.scores(&test_case.test);
+            let preference = PreferenceList::from_scores_desc(&scores)?;
+
+            let explanation =
+                moche.explain(&test_case.reference, &test_case.test, &preference)?;
+            explained += 1;
+
+            // How much of the explanation falls inside ground-truth windows?
+            let in_truth = explanation
+                .indices()
+                .iter()
+                .filter(|&&i| {
+                    let series_idx = test_case.test_start + i;
+                    series.overlaps_anomaly(series_idx, series_idx + 1)
+                })
+                .count();
+            println!(
+                "  drift at t = {:>5}: D = {:.3}, |I| = {:>3} ({:.1}% of window), \
+                 {} points inside labelled anomalies, k_hat gap = {}",
+                test_case.test_start,
+                test_case.statistic,
+                explanation.size(),
+                100.0 * explanation.removed_fraction(),
+                in_truth,
+                explanation.phase1.estimation_error(),
+            );
+        }
+    }
+
+    println!("\n{alarms} drift alarms raised, {explained} explained — every alarm comes");
+    println!("with the minimal set of points that, once removed, silences it.");
+    Ok(())
+}

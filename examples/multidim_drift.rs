@@ -1,0 +1,74 @@
+//! The paper's future work, running: a failed **2-D** KS test
+//! (Fasano-Franceschini) explained counterfactually.
+//!
+//! Scenario: a service's (latency, payload-size) pairs. The reference
+//! window is healthy traffic; the test window contains a cluster of
+//! degenerate requests that shifts the joint distribution. The explainers
+//! find a small, irreducible set of test points whose removal makes the
+//! 2-D test pass.
+//!
+//! ```text
+//! cargo run --release --example multidim_drift
+//! ```
+
+use moche::core::PreferenceList;
+use moche::data::dist::normal;
+use moche::data::rng::rng_from_seed;
+use moche::multidim::{GreedyImpact2d, GreedyPrefix2d, Ks2dConfig, Point2};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rng = rng_from_seed(7);
+    let healthy = |rng: &mut _| {
+        // latency ~ 50ms ± 10, payload ~ 8KB ± 2, mildly correlated.
+        let l = normal(rng, 50.0, 10.0);
+        let p = 8.0 + 0.05 * (l - 50.0) + normal(rng, 0.0, 2.0);
+        Point2::new(l, p)
+    };
+
+    let reference: Vec<Point2> = (0..300).map(|_| healthy(&mut rng)).collect();
+    let mut test: Vec<Point2> = (0..180).map(|_| healthy(&mut rng)).collect();
+    // The incident: 40 slow, oversized requests.
+    let incident_start = test.len();
+    for _ in 0..40 {
+        test.push(Point2::new(normal(&mut rng, 220.0, 15.0), normal(&mut rng, 64.0, 4.0)));
+    }
+
+    let cfg = Ks2dConfig::new(0.05)?;
+    let outcome = moche::multidim::ks2d_test(&reference, &test, &cfg)?;
+    println!(
+        "2-D KS test: D = {:.4}, p-value = {:.2e} -> {}",
+        outcome.statistic,
+        outcome.p_value,
+        if outcome.rejected { "FAILED" } else { "passed" }
+    );
+    assert!(outcome.rejected);
+
+    // Domain knowledge: suspect slow requests first.
+    let scores: Vec<f64> = test.iter().map(|p| p.x).collect();
+    let pref = PreferenceList::from_scores_desc(&scores)?;
+
+    let prefix = GreedyPrefix2d.explain(&reference, &test, &cfg, Some(&pref))?;
+    let impact = GreedyImpact2d.explain(&reference, &test, &cfg, Some(&pref))?;
+
+    for (name, e) in [("greedy-prefix", &prefix), ("greedy-impact (irreducible)", &impact)] {
+        let incident_hits = e.indices.iter().filter(|&&i| i >= incident_start).count();
+        println!(
+            "\n{name}: removed {} of {} test points, p-value {:.3} after removal",
+            e.size(),
+            test.len(),
+            e.outcome_after.p_value
+        );
+        println!(
+            "  {incident_hits} of {} selected points belong to the injected incident",
+            e.size()
+        );
+        assert!(e.outcome_after.passes());
+    }
+
+    println!(
+        "\nThe 1-D optimality guarantees do not transfer to 2-D (no total order on the \
+         plane); these explanations are sound and irreducible, and the minimal-size \
+         problem is the open question the paper leaves for future work."
+    );
+    Ok(())
+}

@@ -1,0 +1,71 @@
+//! Quickstart: the paper's running example (Examples 3-6), end to end.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use moche::core::bounds::BoundsContext;
+use moche::core::BaseVector;
+use moche::{KsConfig, Moche, PreferenceList};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Example 3: R = {14 x4, 20 x4}, T = {13, 13, 12, 20}.
+    let reference = vec![14.0, 14.0, 14.0, 14.0, 20.0, 20.0, 20.0, 20.0];
+    let test = vec![13.0, 13.0, 12.0, 20.0];
+    let alpha = 0.3;
+
+    // Step 1: the KS test fails at significance level 0.3 (Example 4).
+    let moche = Moche::new(alpha)?;
+    let outcome = moche.test(&reference, &test)?;
+    println!(
+        "KS test: D = {:.3}, threshold = {:.3} -> {}",
+        outcome.statistic,
+        outcome.threshold,
+        if outcome.rejected { "FAILED" } else { "passed" }
+    );
+    assert!(outcome.rejected);
+
+    // A peek at the machinery: the base vector and the Theorem-1 checks
+    // that power Phase 1 (Example 4).
+    let base = BaseVector::build(&reference, &test)?;
+    println!("base vector V = {:?} (q = {})", base.values(), base.q());
+    let cfg = KsConfig::new(alpha)?;
+    let ctx = BoundsContext::new(&base, &cfg);
+    for h in 1..test.len() {
+        println!("  qualified {h}-subset exists? {}", ctx.exists_qualified(h));
+    }
+
+    // Step 2: the user prefers later points first: L = [t4, t3, t2, t1]
+    // (Example 6). Indices are 0-based positions in `test`.
+    let preference = PreferenceList::new(vec![3, 2, 1, 0])?;
+
+    // Step 3: explain.
+    let explanation = moche.explain(&reference, &test, &preference)?;
+    println!(
+        "explanation size k = {} (lower bound k_hat = {})",
+        explanation.size(),
+        explanation.k_hat()
+    );
+    println!(
+        "most comprehensible explanation: indices {:?} = values {:?}",
+        explanation.indices(),
+        explanation.values()
+    );
+
+    // Step 4: removing it reverses the failed test.
+    let t_after = explanation.apply(&test);
+    println!("T \\ I = {t_after:?}");
+    let after = moche.test(&reference, &t_after)?;
+    println!(
+        "KS test after removal: D = {:.3}, threshold = {:.3} -> {}",
+        after.statistic,
+        after.threshold,
+        if after.rejected { "FAILED" } else { "passed" }
+    );
+    assert!(after.passes());
+
+    // The paper's Example 6 result: {t3, t2} = {12, 13}.
+    assert_eq!(explanation.indices(), &[2, 1]);
+    println!("matches the paper's Example 6: I = {{t3, t2}}");
+    Ok(())
+}

@@ -1,0 +1,31 @@
+//! # moche — facade crate
+//!
+//! Re-exports the full MOCHE reproduction workspace:
+//!
+//! * [`core`] — the MOCHE algorithm itself (KS test, cumulative vectors,
+//!   Phase 1/Phase 2, brute-force oracle).
+//! * [`sigproc`] — signal-processing substrates (FFT, Spectral Residual,
+//!   KDE, matrix profile, Series2Graph embedding).
+//! * [`data`] — synthetic dataset generators (COVID-19 case data, NAB-like
+//!   time series, drift workloads) and the sliding-window KS harness.
+//! * [`baselines`] — the six baseline explainers the paper compares against.
+//! * [`stream`] — incremental KS testing and a push-based drift monitor
+//!   (the deployment shape the paper motivates).
+//! * [`multidim`] — the paper's declared future work: 2-D KS testing
+//!   (Fasano-Franceschini) with heuristic counterfactual explanations.
+//!
+//! See the repository `README.md` for a tour and `DESIGN.md` for the
+//! system inventory and per-experiment index.
+
+pub use moche_baselines as baselines;
+pub use moche_core as core;
+pub use moche_data as data;
+pub use moche_multidim as multidim;
+pub use moche_sigproc as sigproc;
+pub use moche_stream as stream;
+
+pub use moche_core::prelude;
+pub use moche_core::{
+    ks_statistic, ks_test, Ecdf, Explanation, KsConfig, KsOutcome, Moche, MocheError,
+    PreferenceList,
+};

@@ -1,0 +1,81 @@
+//! Randomized cross-validation of MOCHE against the brute-force oracle at
+//! the workspace level (the core crate has its own proptest suite; this
+//! one exercises the public facade and mixes in real-valued data with
+//! ties).
+
+use moche::core::brute_force::{brute_force_explain, BruteForceLimits};
+use moche::{KsConfig, Moche, MocheError, PreferenceList};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Generates a small random instance biased toward failing tests: integer
+/// grid values with a shift, occasionally with decimal jitter to mix ties
+/// and non-ties.
+fn random_instance(rng: &mut StdRng) -> (Vec<f64>, Vec<f64>) {
+    let n = rng.random_range(6..18);
+    let m = rng.random_range(4..9);
+    let shift = rng.random_range(2..6) as f64;
+    let jitter = rng.random::<bool>();
+    let grid = |rng: &mut StdRng| -> f64 {
+        let v = rng.random_range(0..6) as f64;
+        if jitter {
+            v + (rng.random_range(0..2) as f64) * 0.5
+        } else {
+            v
+        }
+    };
+    let r: Vec<f64> = (0..n).map(|_| grid(rng)).collect();
+    let t: Vec<f64> = (0..m).map(|_| grid(rng) + shift).collect();
+    (r, t)
+}
+
+#[test]
+fn facade_matches_brute_force_on_many_random_instances() {
+    let mut rng = StdRng::seed_from_u64(0xBF0C);
+    let mut validated = 0usize;
+    for round in 0..400 {
+        let (r, t) = random_instance(&mut rng);
+        let alpha = [0.05, 0.1, 0.2][round % 3];
+        let cfg = KsConfig::new(alpha).unwrap();
+        let moche = Moche::new(alpha).unwrap();
+        if !moche.test(&r, &t).unwrap().rejected {
+            continue;
+        }
+        let pref = PreferenceList::random(t.len(), round as u64);
+        let fast = match moche.explain(&r, &t, &pref) {
+            Ok(e) => e,
+            Err(MocheError::NoExplanation { .. }) => continue,
+            Err(other) => panic!("unexpected error {other:?}"),
+        };
+        let slow = brute_force_explain(&r, &t, &cfg, &pref, BruteForceLimits::default())
+            .expect("brute force must agree an explanation exists");
+        let mut a = fast.indices().to_vec();
+        let mut b = slow.indices;
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b, "round {round}: r = {r:?}, t = {t:?}, L = {:?}", pref.as_order());
+        validated += 1;
+    }
+    assert!(validated >= 100, "only {validated} failing instances validated");
+}
+
+#[test]
+fn explanation_sizes_match_brute_force_minimum() {
+    let mut rng = StdRng::seed_from_u64(0x517E);
+    let mut validated = 0usize;
+    for round in 0..150 {
+        let (r, t) = random_instance(&mut rng);
+        let cfg = KsConfig::new(0.1).unwrap();
+        let moche = Moche::new(0.1).unwrap();
+        if !moche.test(&r, &t).unwrap().rejected {
+            continue;
+        }
+        let Ok(size) = moche.explanation_size(&r, &t) else { continue };
+        let pref = PreferenceList::identity(t.len());
+        let bf = brute_force_explain(&r, &t, &cfg, &pref, BruteForceLimits::default()).unwrap();
+        assert_eq!(size.k, bf.indices.len(), "round {round}");
+        assert!(size.k_hat <= size.k);
+        validated += 1;
+    }
+    assert!(validated >= 40, "only {validated} instances validated");
+}

@@ -1,0 +1,166 @@
+//! Cross-crate integration tests: generated data flows through the
+//! sliding-window harness into MOCHE and the baselines, and every invariant
+//! the paper claims holds along the way.
+
+use moche::baselines::{
+    CornerSearch, ExplainRequest, Grace, Greedy, KsExplainer, MocheExplainer,
+    Series2GraphExplainer, Stomp, D3,
+};
+use moche::core::brute_force::removal_reverses;
+use moche::core::BaseVector;
+use moche::data::nab::{generate_family, NabFamily};
+use moche::data::sliding::{failed_windows, sample_failed};
+use moche::data::{failing_kifer_pair, FailedTest};
+use moche::sigproc::SpectralResidual;
+use moche::{KsConfig, Moche, PreferenceList};
+
+fn collect_failed_tests(count: usize) -> Vec<FailedTest> {
+    let cfg = KsConfig::new(0.05).unwrap();
+    let mut out = Vec::new();
+    for family in [NabFamily::Art, NabFamily::Aws, NabFamily::Kc] {
+        for series in generate_family(family, 77).iter().take(2) {
+            let failed = failed_windows(series, 150, &cfg, 75);
+            out.extend(sample_failed(failed, 2, 7));
+            if out.len() >= count {
+                return out;
+            }
+        }
+    }
+    out
+}
+
+#[test]
+fn pipeline_produces_minimal_reversing_explanations() {
+    let cfg = KsConfig::new(0.05).unwrap();
+    let moche = Moche::with_config(cfg);
+    let tests = collect_failed_tests(6);
+    assert!(!tests.is_empty(), "generators must yield failed tests");
+    for case in &tests {
+        let sr = SpectralResidual::default();
+        let pref = PreferenceList::from_scores_desc(&sr.scores(&case.test)).unwrap();
+        let e = moche.explain(&case.reference, &case.test, &pref).unwrap();
+        // Reverses.
+        assert!(e.outcome_after.passes());
+        // Minimal: no smaller qualified subset exists (via Theorem 1).
+        let base = BaseVector::build(&case.reference, &case.test).unwrap();
+        let ctx = moche::core::BoundsContext::new(&base, &cfg);
+        if e.size() > 1 {
+            assert!(!ctx.exists_qualified(e.size() - 1));
+        }
+        // k_hat is a genuine lower bound.
+        assert!(e.k_hat() <= e.size());
+    }
+}
+
+#[test]
+fn every_baseline_output_is_verified_against_the_same_predicate() {
+    let cfg = KsConfig::new(0.05).unwrap();
+    let tests = collect_failed_tests(3);
+    let methods: Vec<Box<dyn KsExplainer>> = vec![
+        Box::new(MocheExplainer::default()),
+        Box::new(Greedy),
+        Box::new(D3::default()),
+        Box::new(Stomp::default()),
+        Box::new(Series2GraphExplainer::default()),
+        Box::new(CornerSearch::default()),
+        Box::new(Grace::default()),
+    ];
+    for case in &tests {
+        let base = BaseVector::build(&case.reference, &case.test).unwrap();
+        let sr = SpectralResidual::default();
+        let pref = PreferenceList::from_scores_desc(&sr.scores(&case.test)).unwrap();
+        for method in &methods {
+            let req = ExplainRequest {
+                reference: &case.reference,
+                test: &case.test,
+                cfg: &cfg,
+                preference: Some(&pref),
+                seed: 11,
+            };
+            if let Some(indices) = method.explain(&req) {
+                assert!(
+                    removal_reverses(&base, &cfg, &indices),
+                    "{} returned a non-reversing explanation",
+                    method.name()
+                );
+                // No duplicates.
+                let mut sorted = indices.clone();
+                sorted.sort_unstable();
+                sorted.dedup();
+                assert_eq!(sorted.len(), indices.len(), "{} duplicated points", method.name());
+            }
+        }
+    }
+}
+
+#[test]
+fn moche_is_never_larger_than_any_baseline() {
+    let cfg = KsConfig::new(0.05).unwrap();
+    let tests = collect_failed_tests(4);
+    let baselines: Vec<Box<dyn KsExplainer>> = vec![
+        Box::new(Greedy),
+        Box::new(D3::default()),
+        Box::new(Stomp::default()),
+        Box::new(Series2GraphExplainer::default()),
+    ];
+    for case in &tests {
+        let sr = SpectralResidual::default();
+        let pref = PreferenceList::from_scores_desc(&sr.scores(&case.test)).unwrap();
+        let req = ExplainRequest {
+            reference: &case.reference,
+            test: &case.test,
+            cfg: &cfg,
+            preference: Some(&pref),
+            seed: 3,
+        };
+        let k = MocheExplainer::default().explain(&req).unwrap().len();
+        for b in &baselines {
+            if let Some(out) = b.explain(&req) {
+                assert!(k <= out.len(), "{} beat the optimum: {} < {k}", b.name(), out.len());
+            }
+        }
+    }
+}
+
+#[test]
+fn synthetic_drift_explanations_target_contaminated_points() {
+    // On Kifer data the contamination is ground truth: MOCHE's explanation
+    // should hit it far above the base rate.
+    let cfg = KsConfig::new(0.05).unwrap();
+    let pair = failing_kifer_pair(3_000, 0.05, &cfg, 13, 50).unwrap();
+    let moche = Moche::with_config(cfg);
+    // Prefer the points most out of line with N(0, 1): |value| descending.
+    let scores: Vec<f64> = pair.test.iter().map(|v| v.abs()).collect();
+    let pref = PreferenceList::from_scores_desc(&scores).unwrap();
+    let e = moche.explain(&pair.reference, &pair.test, &pref).unwrap();
+    let contaminated: std::collections::HashSet<usize> =
+        pair.contaminated.iter().copied().collect();
+    let hits = e.indices().iter().filter(|i| contaminated.contains(i)).count();
+    let hit_rate = hits as f64 / e.size() as f64;
+    assert!(
+        hit_rate > 0.5,
+        "only {hits}/{} explanation points are contaminated (base rate 5%)",
+        e.size()
+    );
+}
+
+#[test]
+fn window_provenance_allows_series_level_reporting() {
+    let cfg = KsConfig::new(0.05).unwrap();
+    for family in [NabFamily::Art] {
+        for series in generate_family(family, 5).iter().take(1) {
+            for case in failed_windows(series, 120, &cfg, 120) {
+                assert_eq!(case.series_name, series.name);
+                // Window contents match the series slices they claim.
+                assert_eq!(
+                    case.reference,
+                    series.values[case.reference_start..case.reference_start + case.window]
+                );
+                assert_eq!(
+                    case.test,
+                    series.values[case.test_start..case.test_start + case.window]
+                );
+            }
+        }
+    }
+}

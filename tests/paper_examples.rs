@@ -1,0 +1,121 @@
+//! The worked examples of the paper, end to end, with exact expected
+//! numbers. These are the repository's ground-truth acceptance tests.
+
+use moche::core::bounds::BoundsContext;
+use moche::core::brute_force::{brute_force_explain, BruteForceLimits};
+use moche::core::phase1;
+use moche::core::BaseVector;
+use moche::{KsConfig, Moche, PreferenceList};
+
+fn example_sets() -> (Vec<f64>, Vec<f64>) {
+    // Example 3: T = {t1, t2, t3, t4} = {13, 13, 12, 20},
+    //            R = {14, 14, 14, 14, 20, 20, 20, 20}.
+    (
+        vec![14.0, 14.0, 14.0, 14.0, 20.0, 20.0, 20.0, 20.0],
+        vec![13.0, 13.0, 12.0, 20.0],
+    )
+}
+
+#[test]
+fn example_3_base_vector_and_cumulative_vector() {
+    let (r, t) = example_sets();
+    let base = BaseVector::build(&r, &t).unwrap();
+    // "The base vector V = <12, 13, 14, 20>."
+    assert_eq!(base.values(), &[12.0, 13.0, 14.0, 20.0]);
+    // "For a subset S = {13, 13} of T, the cumulative vector is
+    //  C_S = <0, 0, 2, 2, 2>."
+    let s = moche::core::SubsetCounts::from_test_indices(&base, &[0, 1]);
+    let c = s.cumulative();
+    assert_eq!((0..=4).map(|i| c.get(i)).collect::<Vec<_>>(), vec![0, 0, 2, 2, 2]);
+}
+
+#[test]
+fn example_4_failure_and_size() {
+    let (r, t) = example_sets();
+    let cfg = KsConfig::new(0.3).unwrap();
+    let base = BaseVector::build(&r, &t).unwrap();
+    // "One can verify that the reference set and the test set in Example 3
+    //  fail the KS test with significance level 0.3."
+    assert!(base.outcome(&cfg).rejected);
+    // "there does not exist a qualified 1-cumulative vector ... there
+    //  exists a qualified 2-cumulative vector ... the explanation size
+    //  k = 2."
+    let ctx = BoundsContext::new(&base, &cfg);
+    assert!(!ctx.exists_qualified(1));
+    assert!(ctx.exists_qualified(2));
+    assert_eq!(phase1::find_size(&ctx, 0.3).unwrap().k, 2);
+}
+
+#[test]
+fn example_5_binary_searched_lower_bound() {
+    let (r, t) = example_sets();
+    let cfg = KsConfig::new(0.3).unwrap();
+    let base = BaseVector::build(&r, &t).unwrap();
+    let ctx = BoundsContext::new(&base, &cfg);
+    // "h = 2 satisfies Theorem 2 ... h = 1 does not ... k_hat = 2."
+    assert!(ctx.necessary_condition(2));
+    assert!(!ctx.necessary_condition(1));
+    let (k_hat, _) = phase1::lower_bound(&ctx);
+    assert_eq!(k_hat, Some(2));
+}
+
+#[test]
+fn example_6_construction() {
+    let (r, t) = example_sets();
+    // "Suppose a user provides a preference list L = [t4, t3, t2, t1]."
+    let pref = PreferenceList::new(vec![3, 2, 1, 0]).unwrap();
+    let moche = Moche::new(0.3).unwrap();
+    let e = moche.explain(&r, &t, &pref).unwrap();
+    // "I = {t3, t2} is the most comprehensible explanation."
+    assert_eq!(e.indices(), &[2, 1]);
+    assert_eq!(e.values(), &[12.0, 13.0]);
+    assert!(e.outcome_after.passes());
+}
+
+#[test]
+fn example_6_agrees_with_brute_force() {
+    let (r, t) = example_sets();
+    let cfg = KsConfig::new(0.3).unwrap();
+    let pref = PreferenceList::new(vec![3, 2, 1, 0]).unwrap();
+    let bf = brute_force_explain(&r, &t, &cfg, &pref, BruteForceLimits::default()).unwrap();
+    assert_eq!(bf.indices, vec![2, 1]);
+}
+
+#[test]
+fn proposition_1_existence_for_practical_alpha() {
+    // "2/e^2 > 0.27, which is far over the range of significance levels
+    //  used in statistical tests."
+    assert!(moche::core::ALPHA_EXISTENCE_GUARANTEE > 0.27);
+    // For alpha = 0.05 every failed test in a broad family of instances
+    // must have an explanation.
+    let moche_005 = Moche::new(0.05).unwrap();
+    for shift in 1..6 {
+        let r: Vec<f64> = (0..40).map(|i| f64::from(i % 8)).collect();
+        let t: Vec<f64> = (0..25).map(|i| f64::from(i % 8 + shift)).collect();
+        if moche_005.test(&r, &t).unwrap().rejected {
+            let pref = PreferenceList::identity(t.len());
+            let e = moche_005.explain(&r, &t, &pref).unwrap();
+            assert!(e.outcome_after.passes(), "shift = {shift}");
+        }
+    }
+}
+
+#[test]
+fn motivation_example_covid_shapes() {
+    // Example 1/2's headline numbers on the synthetic twin: the sets fail
+    // at alpha = 0.05 and both preference lists give the same size.
+    use moche::data::CovidDataset;
+    let ds = CovidDataset::generate(1);
+    let moche = Moche::new(0.05).unwrap();
+    let r = ds.reference_values();
+    let t = ds.test_values();
+    assert_eq!(r.len(), 2175);
+    assert_eq!(t.len(), 3375);
+    assert!(moche.test(&r, &t).unwrap().rejected);
+    let e_p = moche.explain(&r, &t, &ds.preference_by_population()).unwrap();
+    let e_a = moche.explain(&r, &t, &ds.preference_by_age()).unwrap();
+    assert_eq!(e_p.size(), e_a.size());
+    // "Both I_a and I_p include 291 data points" — the twin is calibrated
+    // to land close to that.
+    assert!((230..=340).contains(&e_p.size()), "size = {}", e_p.size());
+}
