@@ -44,13 +44,11 @@ impl Default for CornerSearchConfig {
 }
 
 /// The Extended-CornerSearch explainer.
-#[derive(Debug, Clone, Copy)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct CornerSearch {
     /// Tunable parameters.
     pub config: CornerSearchConfig,
 }
-
 
 impl CornerSearch {
     /// Creates the baseline with an explicit configuration.
@@ -180,13 +178,8 @@ mod tests {
     fn finds_a_reversing_subset_on_tiny_instance() {
         let (r, t, cfg) = paper_setup();
         let pref = PreferenceList::identity(4);
-        let req = ExplainRequest {
-            reference: &r,
-            test: &t,
-            cfg: &cfg,
-            preference: Some(&pref),
-            seed: 3,
-        };
+        let req =
+            ExplainRequest { reference: &r, test: &t, cfg: &cfg, preference: Some(&pref), seed: 3 };
         let out = CornerSearch::default().explain(&req).expect("should reverse");
         assert!(verify(&r, &t, &cfg, &out));
         assert!(out.len() >= 2, "no single point reverses this test");
@@ -202,13 +195,8 @@ mod tests {
             max_samples: 100,
             max_size_fraction: 1.0,
         });
-        let req = ExplainRequest {
-            reference: &r,
-            test: &t,
-            cfg: &cfg,
-            preference: Some(&pref),
-            seed: 1,
-        };
+        let req =
+            ExplainRequest { reference: &r, test: &t, cfg: &cfg, preference: Some(&pref), seed: 1 };
         assert_eq!(cs.explain(&req), None, "t4 alone cannot reverse the test");
     }
 
@@ -222,13 +210,8 @@ mod tests {
             max_samples: 1,
             max_size_fraction: 1.0,
         });
-        let req = ExplainRequest {
-            reference: &r,
-            test: &t,
-            cfg: &cfg,
-            preference: Some(&pref),
-            seed: 1,
-        };
+        let req =
+            ExplainRequest { reference: &r, test: &t, cfg: &cfg, preference: Some(&pref), seed: 1 };
         assert_eq!(cs.explain(&req), None);
     }
 
@@ -241,10 +224,7 @@ mod tests {
         let cfg = KsConfig::new(0.05).unwrap();
         let base = BaseVector::build(&r, &t).unwrap();
         if base.outcome(&cfg).rejected {
-            let pref = PreferenceList::from_scores_desc(
-                &t.iter().copied().collect::<Vec<_>>(),
-            )
-            .unwrap();
+            let pref = PreferenceList::from_scores_desc(&t.to_vec()).unwrap();
             let req = ExplainRequest {
                 reference: &r,
                 test: &t,

@@ -119,8 +119,7 @@ mod tests {
     #[test]
     fn explanation_reverses_the_test() {
         let (r, t, cfg) = contaminated_instance();
-        let req =
-            ExplainRequest { reference: &r, test: &t, cfg: &cfg, preference: None, seed: 0 };
+        let req = ExplainRequest { reference: &r, test: &t, cfg: &cfg, preference: None, seed: 0 };
         let out = D3::default().explain(&req).expect("D3 must reverse");
         let base = BaseVector::build(&r, &t).unwrap();
         assert!(base.outcome(&cfg).rejected, "instance must fail first");

@@ -67,10 +67,7 @@ impl KsExplainer for MocheExplainer {
         }
         let fallback = PreferenceList::identity(req.test.len());
         let preference = req.preference.unwrap_or(&fallback);
-        moche
-            .explain(req.reference, req.test, preference)
-            .ok()
-            .map(|e| e.indices().to_vec())
+        moche.explain(req.reference, req.test, preference).ok().map(|e| e.indices().to_vec())
     }
 
     fn uses_preference(&self) -> bool {
@@ -94,13 +91,8 @@ mod tests {
     fn moche_explainer_reproduces_example_6() {
         let (r, t, cfg) = paper_setup();
         let pref = PreferenceList::new(vec![3, 2, 1, 0]).unwrap();
-        let req = ExplainRequest {
-            reference: &r,
-            test: &t,
-            cfg: &cfg,
-            preference: Some(&pref),
-            seed: 0,
-        };
+        let req =
+            ExplainRequest { reference: &r, test: &t, cfg: &cfg, preference: Some(&pref), seed: 0 };
         let m = MocheExplainer::default();
         assert_eq!(m.name(), "M");
         assert!(m.uses_preference());
@@ -111,13 +103,8 @@ mod tests {
     fn ablation_name_and_agreement() {
         let (r, t, cfg) = paper_setup();
         let pref = PreferenceList::new(vec![3, 2, 1, 0]).unwrap();
-        let req = ExplainRequest {
-            reference: &r,
-            test: &t,
-            cfg: &cfg,
-            preference: Some(&pref),
-            seed: 0,
-        };
+        let req =
+            ExplainRequest { reference: &r, test: &t, cfg: &cfg, preference: Some(&pref), seed: 0 };
         let m = MocheExplainer { no_lower_bound: true };
         assert_eq!(m.name(), "Mns");
         assert_eq!(m.explain(&req), MocheExplainer::default().explain(&req));
@@ -126,8 +113,7 @@ mod tests {
     #[test]
     fn missing_preference_falls_back_to_identity() {
         let (r, t, cfg) = paper_setup();
-        let req =
-            ExplainRequest { reference: &r, test: &t, cfg: &cfg, preference: None, seed: 0 };
+        let req = ExplainRequest { reference: &r, test: &t, cfg: &cfg, preference: None, seed: 0 };
         let out = MocheExplainer::default().explain(&req).unwrap();
         assert_eq!(out.len(), 2);
     }

@@ -48,13 +48,11 @@ impl Default for GraceConfig {
 }
 
 /// The Extended-GRACE explainer.
-#[derive(Debug, Clone, Copy)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct Grace {
     /// Tunable parameters.
     pub config: GraceConfig,
 }
-
 
 impl Grace {
     /// Creates the baseline with an explicit configuration.
@@ -66,16 +64,9 @@ impl Grace {
 /// Evaluates `g(x)`: the rescaled KS statistic after removing the points
 /// masked out by `x` (coordinates listed in `coords`; `x[i] < 0.5` removes
 /// `coords[i]`). Returns `(g, removed_indices)`.
-fn objective(
-    base: &BaseVector,
-    coords: &[usize],
-    x: &[f64],
-) -> (f64, Vec<usize>) {
-    let removed: Vec<usize> = coords
-        .iter()
-        .zip(x)
-        .filter_map(|(&c, &xi)| (xi < 0.5).then_some(c))
-        .collect();
+fn objective(base: &BaseVector, coords: &[usize], x: &[f64]) -> (f64, Vec<usize>) {
+    let removed: Vec<usize> =
+        coords.iter().zip(x).filter_map(|(&c, &xi)| (xi < 0.5).then_some(c)).collect();
     let m_rem = base.m() - removed.len();
     if m_rem == 0 {
         return (f64::INFINITY, removed);
@@ -205,13 +196,8 @@ mod tests {
     fn reverses_a_soluble_instance() {
         let (r, t, cfg) = shifted_instance();
         let pref = PreferenceList::from_scores_desc(&t).unwrap(); // big values first
-        let req = ExplainRequest {
-            reference: &r,
-            test: &t,
-            cfg: &cfg,
-            preference: Some(&pref),
-            seed: 7,
-        };
+        let req =
+            ExplainRequest { reference: &r, test: &t, cfg: &cfg, preference: Some(&pref), seed: 7 };
         let out = Grace::default().explain(&req);
         if let Some(subset) = out {
             assert!(verify(&r, &t, &cfg, &subset), "GRC returned a non-reversing subset");
@@ -225,8 +211,7 @@ mod tests {
     fn aborts_with_zero_steps() {
         let (r, t, cfg) = shifted_instance();
         let grc = Grace::new(GraceConfig { max_steps: 0, ..GraceConfig::default() });
-        let req =
-            ExplainRequest { reference: &r, test: &t, cfg: &cfg, preference: None, seed: 1 };
+        let req = ExplainRequest { reference: &r, test: &t, cfg: &cfg, preference: None, seed: 1 };
         assert_eq!(grc.explain(&req), None);
     }
 
@@ -249,13 +234,8 @@ mod tests {
         let (r, t, cfg) = shifted_instance();
         let pref = PreferenceList::from_scores_desc(&t).unwrap();
         let ranks = pref.ranks();
-        let req = ExplainRequest {
-            reference: &r,
-            test: &t,
-            cfg: &cfg,
-            preference: Some(&pref),
-            seed: 3,
-        };
+        let req =
+            ExplainRequest { reference: &r, test: &t, cfg: &cfg, preference: Some(&pref), seed: 3 };
         if let Some(out) = Grace::default().explain(&req) {
             for w in out.windows(2) {
                 assert!(ranks[w[0]] < ranks[w[1]]);

@@ -83,13 +83,8 @@ mod tests {
     fn greedy_reverses_the_test() {
         let (r, t, cfg) = paper_setup();
         let pref = PreferenceList::new(vec![3, 2, 1, 0]).unwrap();
-        let req = ExplainRequest {
-            reference: &r,
-            test: &t,
-            cfg: &cfg,
-            preference: Some(&pref),
-            seed: 0,
-        };
+        let req =
+            ExplainRequest { reference: &r, test: &t, cfg: &cfg, preference: Some(&pref), seed: 0 };
         let out = Greedy.explain(&req).expect("greedy must reverse");
         // Verify reversal directly.
         let base = BaseVector::build(&r, &t).unwrap();
@@ -101,13 +96,8 @@ mod tests {
     fn greedy_is_a_prefix_of_the_preference() {
         let (r, t, cfg) = paper_setup();
         let pref = PreferenceList::new(vec![3, 2, 1, 0]).unwrap();
-        let req = ExplainRequest {
-            reference: &r,
-            test: &t,
-            cfg: &cfg,
-            preference: Some(&pref),
-            seed: 0,
-        };
+        let req =
+            ExplainRequest { reference: &r, test: &t, cfg: &cfg, preference: Some(&pref), seed: 0 };
         let out = Greedy.explain(&req).unwrap();
         assert_eq!(out, pref.as_order()[..out.len()].to_vec());
     }

@@ -33,13 +33,11 @@ impl Default for S2gConfig {
 }
 
 /// The Extended-Series2Graph explainer.
-#[derive(Debug, Clone, Copy)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct Series2GraphExplainer {
     /// Tunable parameters.
     pub config: S2gConfig,
 }
-
 
 impl Series2GraphExplainer {
     /// Creates the baseline with an explicit configuration.
@@ -93,8 +91,8 @@ mod tests {
         let base = |i: usize| (i as f64 * 0.2).sin() * 2.0;
         let r: Vec<f64> = (0..300).map(base).collect();
         let mut t: Vec<f64> = (300..600).map(base).collect();
-        for i in 120..220 {
-            t[i] += 6.0;
+        for x in &mut t[120..220] {
+            *x += 6.0;
         }
         (r, t, KsConfig::new(0.05).unwrap())
     }
@@ -104,8 +102,7 @@ mod tests {
         let (r, t, cfg) = drifted_windows();
         let base = BaseVector::build(&r, &t).unwrap();
         assert!(base.outcome(&cfg).rejected);
-        let req =
-            ExplainRequest { reference: &r, test: &t, cfg: &cfg, preference: None, seed: 0 };
+        let req = ExplainRequest { reference: &r, test: &t, cfg: &cfg, preference: None, seed: 0 };
         let out = Series2GraphExplainer::default().explain(&req).expect("S2G must reverse");
         let counts = SubsetCounts::from_test_indices(&base, &out);
         assert!(base.outcome_after_removal(counts.as_slice(), &cfg).passes());
@@ -124,8 +121,7 @@ mod tests {
         let (r, t, _) = drifted_windows();
         let scores = Series2GraphExplainer::default().scores(&r, &t).unwrap();
         let patch: f64 = scores[120..220].iter().sum::<f64>() / 100.0;
-        let rest: f64 = (scores[..120].iter().sum::<f64>()
-            + scores[220..].iter().sum::<f64>())
+        let rest: f64 = (scores[..120].iter().sum::<f64>() + scores[220..].iter().sum::<f64>())
             / (scores.len() - 100) as f64;
         assert!(patch > rest, "patch mean {patch} <= rest mean {rest}");
     }

@@ -35,13 +35,11 @@ impl Default for StompConfig {
 }
 
 /// The Extended-STOMP explainer.
-#[derive(Debug, Clone, Copy)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct Stomp {
     /// Tunable parameters.
     pub config: StompConfig,
 }
-
 
 impl Stomp {
     /// Creates the baseline with an explicit configuration.
@@ -112,8 +110,8 @@ mod tests {
         let base = |i: usize| (i as f64 * 0.2).sin() * 2.0;
         let r: Vec<f64> = (0..200).map(base).collect();
         let mut t: Vec<f64> = (200..400).map(base).collect();
-        for i in 80..160 {
-            t[i] += 6.0;
+        for x in &mut t[80..160] {
+            *x += 6.0;
         }
         (r, t, KsConfig::new(0.05).unwrap())
     }
@@ -126,8 +124,8 @@ mod tests {
         let base = |i: usize| (i as f64 * 0.2).sin() * 2.0;
         let r: Vec<f64> = (0..200).map(base).collect();
         let mut t: Vec<f64> = (200..400).map(base).collect();
-        for i in 80..160 {
-            t[i] += if i % 2 == 0 { 6.0 } else { -6.0 };
+        for (i, x) in t.iter_mut().enumerate().take(160).skip(80) {
+            *x += if i % 2 == 0 { 6.0 } else { -6.0 };
         }
         let order = Stomp::default().point_order(&r, &t).unwrap();
         assert_eq!(order.len(), t.len());
@@ -152,8 +150,7 @@ mod tests {
         let (r, t, cfg) = drifted_windows();
         let base = BaseVector::build(&r, &t).unwrap();
         assert!(base.outcome(&cfg).rejected);
-        let req =
-            ExplainRequest { reference: &r, test: &t, cfg: &cfg, preference: None, seed: 0 };
+        let req = ExplainRequest { reference: &r, test: &t, cfg: &cfg, preference: None, seed: 0 };
         let out = Stomp::default().explain(&req).expect("STMP must reverse");
         let counts = SubsetCounts::from_test_indices(&base, &out);
         assert!(base.outcome_after_removal(counts.as_slice(), &cfg).passes());

@@ -10,7 +10,8 @@ use moche_baselines::{
     ExplainRequest, Greedy, KsExplainer, MocheExplainer, Series2GraphExplainer, Stomp, D3,
 };
 use moche_bench::runner::spectral_residual_preference;
-use moche_core::KsConfig;
+use moche_core::{ConstructionStrategy, ExplainEngine, KsConfig, Moche, SortedReference};
+use moche_data::failing_kifer_pair;
 use moche_data::nab::generate_family;
 use moche_data::sliding::{failed_windows, sample_failed};
 use moche_data::FailedTest;
@@ -48,26 +49,59 @@ fn bench_end_to_end(c: &mut Criterion) {
         };
         let pref = spectral_residual_preference(&case.test);
         for method in &methods {
-            group.bench_with_input(
-                BenchmarkId::new(method.name(), w),
-                &w,
-                |b, _| {
-                    b.iter(|| {
-                        let req = ExplainRequest {
-                            reference: &case.reference,
-                            test: &case.test,
-                            cfg: &cfg,
-                            preference: Some(&pref),
-                            seed: 1,
-                        };
-                        black_box(method.explain(&req))
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(method.name(), w), &w, |b, _| {
+                b.iter(|| {
+                    let req = ExplainRequest {
+                        reference: &case.reference,
+                        test: &case.test,
+                        cfg: &cfg,
+                        preference: Some(&pref),
+                        seed: 1,
+                    };
+                    black_box(method.explain(&req))
+                })
+            });
         }
     }
     group.finish();
 }
 
-criterion_group!(benches, bench_end_to_end);
+/// The allocating one-shot paths against the scratch-reusing engine at the
+/// scale the ROADMAP's monitoring workload runs at (`w = 10_000`). All four
+/// produce byte-identical explanations; only the allocation behaviour and
+/// the shared-reference build differ.
+fn bench_engine_vs_oneshot(c: &mut Criterion) {
+    let cfg = KsConfig::new(0.05).unwrap();
+    let mut group = c.benchmark_group("end_to_end_engine");
+    group.sample_size(10);
+    for &w in &[1_000usize, 10_000] {
+        let Some(pair) = failing_kifer_pair(w, 0.03, &cfg, 7, 100) else {
+            continue;
+        };
+        let pref = spectral_residual_preference(&pair.test);
+        let reference_strategy =
+            Moche::with_config(cfg).construction(ConstructionStrategy::Reference);
+        let oneshot = Moche::with_config(cfg);
+        let mut engine = ExplainEngine::with_config(cfg);
+        let shared = SortedReference::new(&pair.reference).unwrap();
+
+        group.bench_with_input(BenchmarkId::new("moche_reference_alloc", w), &w, |b, _| {
+            b.iter(|| {
+                reference_strategy.explain(black_box(&pair.reference), &pair.test, &pref).unwrap()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("moche_oneshot", w), &w, |b, _| {
+            b.iter(|| oneshot.explain(black_box(&pair.reference), &pair.test, &pref).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("engine_reuse", w), &w, |b, _| {
+            b.iter(|| engine.explain(black_box(&pair.reference), &pair.test, &pref).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("engine_shared_ref", w), &w, |b, _| {
+            b.iter(|| engine.explain_with_reference(black_box(&shared), &pair.test, &pref).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_end_to_end, bench_engine_vs_oneshot);
 criterion_main!(benches);

@@ -47,11 +47,9 @@ fn bench_incremental(c: &mut Criterion) {
                     // Promote the oldest test point to the reference side
                     // and admit the next observation: two O(log w) slides.
                     let promoted_value = series[w + s];
-                    let new_ref =
-                        iks.slide_reference(ref_ids.remove(0), promoted_value).unwrap();
+                    let new_ref = iks.slide_reference(ref_ids.remove(0), promoted_value).unwrap();
                     ref_ids.push(new_ref);
-                    let new_test =
-                        iks.slide_test(test_ids.remove(0), series[2 * w + s]).unwrap();
+                    let new_test = iks.slide_test(test_ids.remove(0), series[2 * w + s]).unwrap();
                     test_ids.push(new_test);
                     acc += iks.statistic().unwrap();
                 }

@@ -5,8 +5,8 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use moche_core::base_vector::BaseVector;
-use moche_core::bounds::BoundsContext;
-use moche_core::{ks_statistic, KsConfig};
+use moche_core::bounds::{BoundsContext, BoundsWorkspace};
+use moche_core::{ks_statistic, KsConfig, SortedReference};
 use moche_data::kifer_pair;
 use std::hint::black_box;
 
@@ -21,8 +21,15 @@ fn bench_primitives(c: &mut Criterion) {
         });
 
         group.bench_with_input(BenchmarkId::new("base_vector_build", w), &w, |b, _| {
+            b.iter(|| BaseVector::build(black_box(&pair.reference), black_box(&pair.test)).unwrap())
+        });
+
+        // Shared-reference fast path: the per-window build when R is
+        // already sorted and validated (the batch workload's inner loop).
+        let shared = SortedReference::new(&pair.reference).unwrap();
+        group.bench_with_input(BenchmarkId::new("base_vector_build_shared_ref", w), &w, |b, _| {
             b.iter(|| {
-                BaseVector::build(black_box(&pair.reference), black_box(&pair.test)).unwrap()
+                BaseVector::build_with_reference(black_box(&shared), black_box(&pair.test)).unwrap()
             })
         });
 
@@ -38,6 +45,17 @@ fn bench_primitives(c: &mut Criterion) {
         });
         group.bench_with_input(BenchmarkId::new("theorem2_necessary", w), &w, |b, _| {
             b.iter(|| ctx.necessary_condition(black_box(h)))
+        });
+
+        // Full bound vectors: the seed's allocating HBounds path against the
+        // interleaved, allocation-free workspace path.
+        group.bench_with_input(BenchmarkId::new("bounds_compute_alloc", w), &w, |b, _| {
+            b.iter(|| ctx.compute(black_box(h)))
+        });
+        let mut ws = BoundsWorkspace::new();
+        ctx.compute_into(h, &mut ws); // warm the buffers
+        group.bench_with_input(BenchmarkId::new("bounds_compute_workspace", w), &w, |b, _| {
+            b.iter(|| ctx.compute_into(black_box(h), &mut ws))
         });
     }
     group.finish();

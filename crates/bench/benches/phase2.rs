@@ -5,9 +5,9 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use moche_core::base_vector::BaseVector;
-use moche_core::bounds::BoundsContext;
+use moche_core::bounds::{BoundsContext, BoundsWorkspace};
 use moche_core::phase1::find_size;
-use moche_core::phase2::{construct, construct_reference};
+use moche_core::phase2::{construct, construct_reference, construct_with};
 use moche_core::{KsConfig, PreferenceList};
 use moche_data::failing_kifer_pair;
 use std::hint::black_box;
@@ -29,6 +29,12 @@ fn bench_phase2(c: &mut Criterion) {
         });
         group.bench_with_input(BenchmarkId::new("paper_reference", w), &w, |b, _| {
             b.iter(|| construct_reference(black_box(&base), &cfg, k, order).unwrap())
+        });
+        // Scratch reuse on top of the incremental maintenance: steady-state
+        // construction with zero transient allocations.
+        let mut ws = BoundsWorkspace::new();
+        group.bench_with_input(BenchmarkId::new("incremental_workspace", w), &w, |b, _| {
+            b.iter(|| construct_with(black_box(&base), &cfg, k, order, &mut ws).unwrap())
         });
     }
     group.finish();

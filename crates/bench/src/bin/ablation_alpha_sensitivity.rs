@@ -3,8 +3,8 @@
 //! on the COVID-19 case study and a synthetic drift pair.
 use moche_bench::report::{fmt_f, Table};
 use moche_bench::ExperimentScale;
-use moche_core::{Moche, MocheError};
 use moche_core::KsConfig;
+use moche_core::{Moche, MocheError};
 use moche_data::{failing_kifer_pair, CovidDataset};
 
 fn profile_table(name: &str, r: &[f64], t: &[f64], alphas: &[f64]) -> String {

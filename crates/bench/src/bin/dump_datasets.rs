@@ -58,7 +58,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     println!("wrote {count} files to {}", out_dir.display());
     println!("try: moche monitor {}/art_drift_00.txt --window 200", out_dir.display());
-    println!("or:  moche explain {}/covid_reference.txt {}/covid_test.txt --preference value-desc",
-        out_dir.display(), out_dir.display());
+    println!(
+        "or:  moche explain {}/covid_reference.txt {}/covid_test.txt --preference value-desc",
+        out_dir.display(),
+        out_dir.display()
+    );
     Ok(())
 }

@@ -1,9 +1,52 @@
 //! Runs every experiment regenerator in sequence and prints a consolidated
 //! report. `--full` switches every experiment to the paper-scale sweep.
+//!
+//! `--bench-json [PATH]` instead runs the compact perf-evidence suite
+//! (`moche_bench::perf`) and writes machine-readable results (default
+//! `BENCH_core.json`), with heap-allocation counts measured by this
+//! binary's counting allocator. Perf PRs diff that file to prove wins.
+
 use moche_bench::experiments::{self, effectiveness};
-use moche_bench::ExperimentScale;
+use moche_bench::{perf, ExperimentScale};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// The system allocator plus a global allocation counter, so the
+/// perf-evidence suite can report allocs/iteration alongside ns/iteration.
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if let Some(pos) = args.iter().position(|a| a == "--bench-json") {
+        let path = args
+            .get(pos + 1)
+            .filter(|a| !a.starts_with("--"))
+            .map_or("BENCH_core.json", String::as_str);
+        run_bench_json(path);
+        return;
+    }
+
     let scale = ExperimentScale::from_args();
     let mode = if scale.full { "FULL (paper scale)" } else { "QUICK (scaled down)" };
     println!("=== MOCHE reproduction: all experiments [{mode}], seed {} ===\n", scale.seed);
@@ -24,4 +67,17 @@ fn main() {
 
     eprintln!("[run_all] estimation errors (Figure 6)...");
     println!("{}", experiments::estimation::fig6(&scale));
+}
+
+fn run_bench_json(path: &str) {
+    eprintln!("[bench-json] running the perf-evidence suite (output: {path})...");
+    let counter = || ALLOCATIONS.load(Ordering::Relaxed);
+    let records = perf::evidence_suite(Some(&counter));
+    let json = perf::to_json(&records);
+    print!("{json}");
+    if let Err(e) = std::fs::write(path, &json) {
+        eprintln!("[bench-json] cannot write {path}: {e}");
+        std::process::exit(1);
+    }
+    eprintln!("[bench-json] wrote {} record(s) to {path}", records.len());
 }

@@ -85,13 +85,7 @@ pub fn fig4(seed: u64) -> String {
     let moche = Moche::with_config(cfg);
     let e_m = moche.explain(&r, &t, &pref).expect("failed test");
 
-    let req = ExplainRequest {
-        reference: &r,
-        test: &t,
-        cfg: &cfg,
-        preference: Some(&pref),
-        seed,
-    };
+    let req = ExplainRequest { reference: &r, test: &t, cfg: &cfg, preference: Some(&pref), seed };
     let grd = Greedy.explain(&req);
     let d3 = D3::default().explain(&req);
 
@@ -140,8 +134,7 @@ pub fn fig4(seed: u64) -> String {
 
     // (d): post-removal ECDFs at each age group code.
     let _ = writeln!(out, "\n(d) ECDFs at each age group (reference vs T \\ I):");
-    let mut ecdf_table =
-        Table::new(vec!["Age", "Ref.", "Test", "M", "GRD", "D3"]);
+    let mut ecdf_table = Table::new(vec!["Age", "Ref.", "Test", "M", "GRD", "D3"]);
     let ref_ecdf = Ecdf::new(&r);
     let test_ecdf = Ecdf::new(&t);
     let after = |indices: &Option<Vec<usize>>| -> Option<Ecdf> {
@@ -150,11 +143,8 @@ pub fn fig4(seed: u64) -> String {
             for &i in idx {
                 keep[i] = false;
             }
-            let kept: Vec<f64> = t
-                .iter()
-                .zip(&keep)
-                .filter_map(|(&v, &k)| k.then_some(v))
-                .collect();
+            let kept: Vec<f64> =
+                t.iter().zip(&keep).filter_map(|(&v, &k)| k.then_some(v)).collect();
             Ecdf::new(&kept)
         })
     };
@@ -163,9 +153,7 @@ pub fn fig4(seed: u64) -> String {
     let d3_ecdf = after(&d3);
     for g in 1..=10 {
         let x = g as f64;
-        let cell = |e: &Option<Ecdf>| {
-            e.as_ref().map_or("-".to_string(), |e| fmt_f(e.eval(x), 3))
-        };
+        let cell = |e: &Option<Ecdf>| e.as_ref().map_or("-".to_string(), |e| fmt_f(e.eval(x), 3));
         ecdf_table.push_row(vec![
             AGE_LABELS[g - 1].to_string(),
             fmt_f(ref_ecdf.eval(x), 3),
@@ -210,13 +198,8 @@ mod tests {
         let t = ds.test_values();
         let pref = ds.preference_by_population();
         let e = Moche::with_config(cfg).explain(&r, &t, &pref).unwrap();
-        let req = ExplainRequest {
-            reference: &r,
-            test: &t,
-            cfg: &cfg,
-            preference: Some(&pref),
-            seed: 1,
-        };
+        let req =
+            ExplainRequest { reference: &r, test: &t, cfg: &cfg, preference: Some(&pref), seed: 1 };
         let grd = Greedy.explain(&req).expect("GRD reverses");
         assert!(
             grd.len() > 3 * e.size(),

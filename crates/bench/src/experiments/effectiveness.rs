@@ -57,8 +57,7 @@ pub fn fig2_ise(data: &EffectivenessData) -> String {
     headers.extend(METHODS.iter().map(|m| m.to_string()));
     let mut table = Table::new(headers);
     for fam in families() {
-        let fam_cases: Vec<&&CaseResult> =
-            eligible.iter().filter(|c| c.family == fam).collect();
+        let fam_cases: Vec<&&CaseResult> = eligible.iter().filter(|c| c.family == fam).collect();
         let mut row = vec![fam.to_string()];
         if fam_cases.is_empty() {
             row.extend(std::iter::repeat_n("-".to_string(), METHODS.len()));
@@ -110,9 +109,7 @@ pub fn table2_rf(data: &EffectivenessData) -> String {
         table.push_row(row);
     }
     out.push_str(&table.render());
-    out.push_str(
-        "Paper: CS in 0.80-0.93, GRC in 0.59-0.82, every other method 1.00 everywhere.\n",
-    );
+    out.push_str("Paper: CS in 0.80-0.93, GRC in 0.59-0.82, every other method 1.00 everywhere.\n");
     out
 }
 
@@ -132,8 +129,7 @@ pub fn fig3_rmse(data: &EffectivenessData) -> String {
     headers.extend(METHODS.iter().map(|m| m.to_string()));
     let mut table = Table::new(headers);
     for fam in families() {
-        let fam_cases: Vec<&&CaseResult> =
-            eligible.iter().filter(|c| c.family == fam).collect();
+        let fam_cases: Vec<&&CaseResult> = eligible.iter().filter(|c| c.family == fam).collect();
         let mut row = vec![fam.to_string()];
         for method in METHODS {
             let rmse = mean_of(fam_cases.iter().filter_map(|c| {
@@ -193,11 +189,8 @@ mod tests {
     fn moche_rf_is_one() {
         let scale = tiny_scale();
         let data = collect(&scale);
-        let outcomes: Vec<bool> = data
-            .cases
-            .iter()
-            .map(|c| c.result_of("M").unwrap().indices.is_some())
-            .collect();
+        let outcomes: Vec<bool> =
+            data.cases.iter().map(|c| c.result_of("M").unwrap().indices.is_some()).collect();
         assert_eq!(reverse_factor(&outcomes), 1.0);
     }
 }

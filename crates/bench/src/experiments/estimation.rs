@@ -33,7 +33,15 @@ pub fn fig6(scale: &ExperimentScale) -> String {
         cases.len()
     );
     let mut table = Table::new(vec![
-        "Test size", "# tests", "min", "q1", "median", "q3", "max", "mean", "mean k",
+        "Test size",
+        "# tests",
+        "min",
+        "q1",
+        "median",
+        "q3",
+        "max",
+        "mean",
+        "mean k",
     ]);
     for (window, errors) in &by_window {
         let stats = BoxPlotStats::from(errors);

@@ -54,10 +54,7 @@ pub fn family_failed_tests(
 
 /// Collects failed tests across all six families.
 pub fn all_failed_tests(scale: &ExperimentScale) -> Vec<(FailedTest, String)> {
-    NabFamily::ALL
-        .iter()
-        .flat_map(|&f| family_failed_tests(f, scale))
-        .collect()
+    NabFamily::ALL.iter().flat_map(|&f| family_failed_tests(f, scale)).collect()
 }
 
 #[cfg(test)]

@@ -126,7 +126,14 @@ pub fn fig5b(scale: &ExperimentScale) -> String {
             derive_seed(scale.seed, &format!("fig5b-{w}")),
             50,
         ) else {
-            table.push_row(vec![w.to_string(), "-".into(), "-".into(), "-".into(), "-".into(), "-".into()]);
+            table.push_row(vec![
+                w.to_string(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+            ]);
             continue;
         };
         let case = FailedTest {

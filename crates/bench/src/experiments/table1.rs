@@ -13,16 +13,8 @@ pub fn run(seed: u64) -> String {
         let min = series.iter().map(|s| s.len()).min().unwrap_or(0);
         let max = series.iter().map(|s| s.len()).max().unwrap_or(0);
         let (plo, phi) = family.length_range();
-        let paper = if plo == phi {
-            format!("{plo}")
-        } else {
-            format!("{plo}~{phi}")
-        };
-        let measured = if min == max {
-            format!("{min}")
-        } else {
-            format!("{min}~{max}")
-        };
+        let paper = if plo == phi { format!("{plo}") } else { format!("{plo}~{phi}") };
+        let measured = if min == max { format!("{min}") } else { format!("{min}~{max}") };
         table.push_row(vec![
             family.short_name().to_string(),
             series.len().to_string(),
@@ -30,10 +22,7 @@ pub fn run(seed: u64) -> String {
             paper,
         ]);
     }
-    format!(
-        "Table 1: dataset statistics (synthetic NAB twin, seed {seed})\n{}",
-        table.render()
-    )
+    format!("Table 1: dataset statistics (synthetic NAB twin, seed {seed})\n{}", table.render())
 }
 
 #[cfg(test)]

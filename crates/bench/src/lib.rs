@@ -30,6 +30,7 @@
 
 pub mod experiments;
 pub mod metrics;
+pub mod perf;
 pub mod report;
 pub mod runner;
 pub mod scale;

@@ -35,11 +35,7 @@ pub fn rmse_after_removal(reference: &[f64], test: &[f64], removed: &[usize]) ->
     for &i in removed {
         keep[i] = false;
     }
-    let t_after: Vec<f64> = test
-        .iter()
-        .zip(&keep)
-        .filter_map(|(&v, &k)| k.then_some(v))
-        .collect();
+    let t_after: Vec<f64> = test.iter().zip(&keep).filter_map(|(&v, &k)| k.then_some(v)).collect();
     if t_after.is_empty() {
         return f64::NAN;
     }

@@ -111,11 +111,7 @@ pub fn run_case(
             };
             let start = Instant::now();
             let indices = method.explain(&req);
-            MethodResult {
-                method: method.name(),
-                indices,
-                seconds: start.elapsed().as_secs_f64(),
-            }
+            MethodResult { method: method.name(), indices, seconds: start.elapsed().as_secs_f64() }
         })
         .collect();
     CaseResult {
@@ -154,12 +150,7 @@ pub fn run_cases(
             });
         }
     });
-    slots
-        .into_inner()
-        .unwrap()
-        .into_iter()
-        .map(|s| s.expect("every slot filled"))
-        .collect()
+    slots.into_inner().unwrap().into_iter().map(|s| s.expect("every slot filled")).collect()
 }
 
 /// Default worker-thread count: the available parallelism, capped at 8.
@@ -180,6 +171,7 @@ mod tests {
             family: NabFamily::Art,
             name: "runner_test".into(),
             values,
+            #[allow(clippy::single_range_in_vec_init)] // one anomalous index range
             anomalies: vec![300..330],
         }
     }
@@ -225,9 +217,8 @@ mod tests {
     fn parallel_run_preserves_order_and_determinism() {
         let cfg = KsConfig::new(0.05).unwrap();
         let case = some_failed_test();
-        let cases: Vec<(FailedTest, String)> = (0..4)
-            .map(|_| (case.clone(), "ART".to_string()))
-            .collect();
+        let cases: Vec<(FailedTest, String)> =
+            (0..4).map(|_| (case.clone(), "ART".to_string())).collect();
         let roster = paper_roster(&ExperimentScale::quick());
         let seq = run_cases(&cases, &roster, &cfg, 9, 1);
         let par = run_cases(&cases, &roster, &cfg, 9, 4);

@@ -68,6 +68,22 @@ pub enum Command {
         /// Output format.
         format: OutputFormat,
     },
+    /// `moche batch REF WINDOWS [--alpha A] [--threads N] [--preference SRC]
+    /// [--format F]`
+    Batch {
+        /// Reference data file (shared by every window).
+        reference: PathBuf,
+        /// Windows file: one test window per line, comma/space separated.
+        windows: PathBuf,
+        /// Significance level.
+        alpha: f64,
+        /// Worker threads (0 = all cores).
+        threads: usize,
+        /// Preference derivation, applied per window.
+        preference: PreferenceSource,
+        /// Output format.
+        format: OutputFormat,
+    },
     /// `moche monitor SERIES --window W [--alpha A] [--no-explain]`
     Monitor {
         /// Series data file.
@@ -96,6 +112,11 @@ USAGE:
       Find the most comprehensible counterfactual explanation.
       SRC: sr (Spectral Residual, default) | scores (test file's 2nd column)
            | score-file:PATH | value-desc | value-asc | identity
+  moche batch   <REF> <WINDOWS> [--alpha A] [--threads N] [--preference SRC]
+                [--format text|csv]
+      Explain many failed tests against one shared reference, in parallel.
+      WINDOWS holds one test window per line (comma/space separated).
+      SRC: sr (default) | value-desc | value-asc | identity
   moche monitor <SERIES> --window W [--alpha A] [--no-explain]
       Stream a series through paired sliding windows; explain each alarm.
 
@@ -104,16 +125,16 @@ Data files: one number per line; '#' starts a comment; for 'explain
 
 OPTIONS:
   --alpha A     significance level (default 0.05)
-  --format F    explain output: text (default) or csv
+  --format F    explain/batch output: text (default) or csv
+  --threads N   batch: worker threads (default 0 = all cores)
   --window W    monitor window size (required for monitor)
   --no-explain  monitor: raise alarms without computing explanations
 ";
 
 fn parse_alpha(value: Option<&str>) -> Result<f64, CliError> {
     let raw = value.ok_or_else(|| CliError::Usage("--alpha needs a value".into()))?;
-    let alpha: f64 = raw
-        .parse()
-        .map_err(|_| CliError::Usage(format!("invalid --alpha '{raw}'")))?;
+    let alpha: f64 =
+        raw.parse().map_err(|_| CliError::Usage(format!("invalid --alpha '{raw}'")))?;
     if !(alpha > 0.0 && alpha < 1.0) {
         return Err(CliError::Usage(format!("--alpha must be in (0, 1), got {alpha}")));
     }
@@ -136,10 +157,18 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
     let mut preference = PreferenceSource::default();
     let mut format = OutputFormat::default();
     let mut window: Option<usize> = None;
+    let mut threads = 0usize;
     let mut explain = true;
     while let Some(arg) = it.next() {
         match arg {
             "--alpha" => alpha = parse_alpha(it.next())?,
+            "--threads" => {
+                let raw =
+                    it.next().ok_or_else(|| CliError::Usage("--threads needs a value".into()))?;
+                threads = raw
+                    .parse()
+                    .map_err(|_| CliError::Usage(format!("invalid --threads '{raw}'")))?;
+            }
             "--format" => {
                 format = match it.next() {
                     Some("text") => OutputFormat::Text,
@@ -152,9 +181,8 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 }
             }
             "--window" => {
-                let raw = it
-                    .next()
-                    .ok_or_else(|| CliError::Usage("--window needs a value".into()))?;
+                let raw =
+                    it.next().ok_or_else(|| CliError::Usage("--window needs a value".into()))?;
                 let w: usize = raw
                     .parse()
                     .map_err(|_| CliError::Usage(format!("invalid --window '{raw}'")))?;
@@ -177,9 +205,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                     other if other.starts_with("score-file:") => PreferenceSource::ScoreFile(
                         PathBuf::from(other.trim_start_matches("score-file:")),
                     ),
-                    other => {
-                        return Err(CliError::Usage(format!("unknown preference '{other}'")))
-                    }
+                    other => return Err(CliError::Usage(format!("unknown preference '{other}'"))),
                 };
             }
             flag if flag.starts_with("--") => {
@@ -212,22 +238,37 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
             let (reference, test) = two_files(&positionals)?;
             Ok(Command::Explain { reference, test, alpha, preference, format })
         }
+        "batch" => {
+            if positionals.len() != 2 {
+                return Err(CliError::Usage(format!(
+                    "expected <REF> <WINDOWS>, got {} positional argument(s)",
+                    positionals.len()
+                )));
+            }
+            if matches!(preference, PreferenceSource::ScoreColumn | PreferenceSource::ScoreFile(_))
+            {
+                return Err(CliError::Usage(
+                    "batch supports --preference sr | value-desc | value-asc | identity".into(),
+                ));
+            }
+            Ok(Command::Batch {
+                reference: PathBuf::from(positionals[0]),
+                windows: PathBuf::from(positionals[1]),
+                alpha,
+                threads,
+                preference,
+                format,
+            })
+        }
         "monitor" => {
             if positionals.len() != 1 {
                 return Err(CliError::Usage("monitor expects one <SERIES> file".into()));
             }
             let window =
                 window.ok_or_else(|| CliError::Usage("monitor requires --window W".into()))?;
-            Ok(Command::Monitor {
-                series: PathBuf::from(positionals[0]),
-                window,
-                alpha,
-                explain,
-            })
+            Ok(Command::Monitor { series: PathBuf::from(positionals[0]), window, alpha, explain })
         }
-        other => Err(CliError::Usage(format!(
-            "unknown command '{other}' (try 'moche help')"
-        ))),
+        other => Err(CliError::Usage(format!("unknown command '{other}' (try 'moche help')"))),
     }
 }
 
@@ -299,10 +340,28 @@ mod tests {
             other => panic!("unexpected {other:?}"),
         }
         assert!(matches!(parse_err(&["monitor", "s.txt"]), CliError::Usage(_)));
+        assert!(matches!(parse_err(&["monitor", "s.txt", "--window", "1"]), CliError::Usage(_)));
+    }
+
+    #[test]
+    fn parses_batch() {
+        match parse_ok(&["batch", "r.txt", "w.csv", "--threads", "8", "--alpha", "0.1"]) {
+            Command::Batch { reference, windows, alpha, threads, preference, format } => {
+                assert_eq!(reference, PathBuf::from("r.txt"));
+                assert_eq!(windows, PathBuf::from("w.csv"));
+                assert_eq!(alpha, 0.1);
+                assert_eq!(threads, 8);
+                assert_eq!(preference, PreferenceSource::SpectralResidual);
+                assert_eq!(format, OutputFormat::Text);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(matches!(parse_err(&["batch", "r.txt"]), CliError::Usage(_)));
         assert!(matches!(
-            parse_err(&["monitor", "s.txt", "--window", "1"]),
+            parse_err(&["batch", "r", "w", "--preference", "scores"]),
             CliError::Usage(_)
         ));
+        assert!(matches!(parse_err(&["batch", "r", "w", "--threads", "many"]), CliError::Usage(_)));
     }
 
     #[test]
@@ -326,9 +385,6 @@ mod tests {
             Command::Explain { format, .. } => assert_eq!(format, OutputFormat::Csv),
             other => panic!("unexpected {other:?}"),
         }
-        assert!(matches!(
-            parse_err(&["explain", "r", "t", "--format", "xml"]),
-            CliError::Usage(_)
-        ));
+        assert!(matches!(parse_err(&["explain", "r", "t", "--format", "xml"]), CliError::Usage(_)));
     }
 }

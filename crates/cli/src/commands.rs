@@ -2,12 +2,13 @@
 //! logic is unit-testable without spawning processes.
 
 use crate::args::{Command, OutputFormat, PreferenceSource};
-use crate::io::{read_values, read_values_and_scores, CliError};
+use crate::io::{read_values, read_values_and_scores, read_windows, CliError};
 use moche_core::ks::asymptotic_p_value;
-use moche_core::{Moche, PreferenceList};
+use moche_core::{BatchExplainer, Moche, MocheError, PreferenceList, SortedReference};
 use moche_sigproc::SpectralResidual;
 use moche_stream::{DriftMonitor, MonitorConfig, MonitorEvent};
 use std::fmt::Write as _;
+use std::time::Instant;
 
 /// Executes a parsed command, returning the text to print.
 pub fn run(command: Command) -> Result<String, CliError> {
@@ -27,6 +28,11 @@ pub fn run(command: Command) -> Result<String, CliError> {
             let r = read_values(&reference)?;
             let (t, scores) = read_values_and_scores(&test)?;
             run_explain(&r, &t, scores, alpha, &preference, format)
+        }
+        Command::Batch { reference, windows, alpha, threads, preference, format } => {
+            let r = read_values(&reference)?;
+            let w = read_windows(&windows)?;
+            run_batch(&r, &w, alpha, threads, &preference, format)
         }
         Command::Monitor { series, window, alpha, explain } => {
             let values = read_values(&series)?;
@@ -84,7 +90,9 @@ fn build_preference(
 ) -> Result<PreferenceList, CliError> {
     let list = match source {
         PreferenceSource::SpectralResidual => {
-            if t.len() >= 4 {
+            // SR panics on non-finite input; fall back to identity and let
+            // the explain call report the NonFiniteValue error properly.
+            if t.len() >= 4 && t.iter().all(|v| v.is_finite()) {
                 let sr = SpectralResidual::default();
                 PreferenceList::from_scores_desc(&sr.scores(t))?
             } else {
@@ -167,7 +175,119 @@ fn run_explain(
     Ok(out)
 }
 
-fn run_monitor(values: &[f64], window: usize, alpha: f64, explain: bool) -> Result<String, CliError> {
+fn run_batch(
+    r: &[f64],
+    windows: &[Vec<f64>],
+    alpha: f64,
+    threads: usize,
+    source: &PreferenceSource,
+    format: OutputFormat,
+) -> Result<String, CliError> {
+    if windows.is_empty() {
+        return Err(CliError::Usage("windows file contains no windows".into()));
+    }
+    let shared = SortedReference::new(r)?;
+    // Per-window preference failures must not poison the batch (matching
+    // the per-window error contract of the explain step): errored windows
+    // run under a placeholder identity order and report their preference
+    // error instead of a result.
+    let pref_results: Vec<Result<PreferenceList, CliError>> =
+        windows.iter().map(|w| build_preference(w, None, source)).collect();
+    let preferences: Vec<PreferenceList> = pref_results
+        .iter()
+        .zip(windows)
+        .map(|(p, w)| match p {
+            Ok(list) => list.clone(),
+            Err(_) => PreferenceList::identity(w.len()),
+        })
+        .collect();
+    let explainer = BatchExplainer::new(alpha)?.threads(threads);
+    let started = Instant::now();
+    let results = explainer.explain_windows(&shared, windows, Some(&preferences));
+    let elapsed = started.elapsed();
+    let outcome = |w: usize| -> Result<&moche_core::Explanation, String> {
+        match (&pref_results[w], &results[w]) {
+            (Err(e), _) => Err(format!("invalid preference: {e}")),
+            (Ok(_), Ok(e)) => Ok(e),
+            (Ok(_), Err(e)) => Err(e.to_string()),
+        }
+    };
+    let window_passes = |w: usize| {
+        matches!(
+            (&pref_results[w], &results[w]),
+            (Ok(_), Err(MocheError::TestAlreadyPasses { .. }))
+        )
+    };
+
+    let mut out = String::new();
+    match format {
+        OutputFormat::Csv => {
+            let _ = writeln!(out, "window,index,value");
+            for w in 0..windows.len() {
+                if window_passes(w) {
+                    // A passing window legitimately has no rows.
+                    continue;
+                }
+                match outcome(w) {
+                    Ok(e) => {
+                        for (&i, &v) in e.indices().iter().zip(e.values()) {
+                            let _ = writeln!(out, "{w},{i},{v}");
+                        }
+                    }
+                    // Any other error must not vanish from the output.
+                    Err(e) => {
+                        let _ = writeln!(out, "# window {w}: error: {e}");
+                    }
+                }
+            }
+        }
+        OutputFormat::Text => {
+            let mut explained = 0usize;
+            let mut passing = 0usize;
+            for w in 0..windows.len() {
+                if window_passes(w) {
+                    passing += 1;
+                    let _ = writeln!(out, "window {w}: passes (nothing to explain)");
+                    continue;
+                }
+                match outcome(w) {
+                    Ok(e) => {
+                        explained += 1;
+                        let _ = writeln!(
+                            out,
+                            "window {w}: k = {} ({:.1}% of {} points), indices {:?}",
+                            e.size(),
+                            100.0 * e.removed_fraction(),
+                            e.m,
+                            e.indices()
+                        );
+                    }
+                    Err(e) => {
+                        let _ = writeln!(out, "window {w}: error: {e}");
+                    }
+                }
+            }
+            let secs = elapsed.as_secs_f64();
+            let _ = writeln!(
+                out,
+                "\n{} window(s): {explained} explained, {passing} passing, {} error(s) \
+                 in {:.3}s ({:.0} explanations/s)",
+                windows.len(),
+                windows.len() - explained - passing,
+                secs,
+                if secs > 0.0 { explained as f64 / secs } else { 0.0 }
+            );
+        }
+    }
+    Ok(out)
+}
+
+fn run_monitor(
+    values: &[f64],
+    window: usize,
+    alpha: f64,
+    explain: bool,
+) -> Result<String, CliError> {
     let mut cfg = MonitorConfig::new(window, alpha);
     cfg.explain_on_drift = explain;
     let mut monitor = DriftMonitor::new(cfg)?;
@@ -234,8 +354,9 @@ mod tests {
     #[test]
     fn explain_text_and_csv_agree_on_selection() {
         let (r, t) = shifted_sets();
-        let text = run_explain(&r, &t, None, 0.05, &PreferenceSource::ValueDesc, OutputFormat::Text)
-            .unwrap();
+        let text =
+            run_explain(&r, &t, None, 0.05, &PreferenceSource::ValueDesc, OutputFormat::Text)
+                .unwrap();
         let csv = run_explain(&r, &t, None, 0.05, &PreferenceSource::ValueDesc, OutputFormat::Csv)
             .unwrap();
         assert!(text.contains("passes"));
@@ -282,6 +403,90 @@ mod tests {
         let (r, _) = shifted_sets();
         match run_explain(&r, &r, None, 0.05, &PreferenceSource::Identity, OutputFormat::Text) {
             Err(CliError::Moche(moche_core::MocheError::TestAlreadyPasses { .. })) => {}
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn batch_reports_per_window_outcomes() {
+        let (r, t) = shifted_sets();
+        let windows = vec![t.clone(), r.clone(), t];
+        let out = run_batch(&r, &windows, 0.05, 2, &PreferenceSource::Identity, OutputFormat::Text)
+            .unwrap();
+        assert!(out.contains("window 0: k = "), "{out}");
+        assert!(out.contains("window 1: passes"), "{out}");
+        assert!(out.contains("2 explained, 1 passing"), "{out}");
+    }
+
+    #[test]
+    fn batch_csv_lists_selected_points_per_window() {
+        let (r, t) = shifted_sets();
+        let windows = vec![t.clone(), t];
+        let out = run_batch(&r, &windows, 0.05, 0, &PreferenceSource::ValueDesc, OutputFormat::Csv)
+            .unwrap();
+        assert!(out.starts_with("window,index,value"));
+        assert!(out.lines().any(|l| l.starts_with("0,")));
+        assert!(out.lines().any(|l| l.starts_with("1,")));
+        // Both windows are identical: their selections must match.
+        let rows = |w: &str| {
+            out.lines()
+                .filter(|l| l.starts_with(w))
+                .map(|l| l.split_once(',').unwrap().1.to_string())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(rows("0,"), rows("1,"));
+    }
+
+    #[test]
+    fn batch_matches_sequential_explain() {
+        let (r, t) = shifted_sets();
+        let windows = vec![t.clone()];
+        let csv = run_batch(&r, &windows, 0.05, 1, &PreferenceSource::Identity, OutputFormat::Csv)
+            .unwrap();
+        let single =
+            run_explain(&r, &t, None, 0.05, &PreferenceSource::Identity, OutputFormat::Csv)
+                .unwrap();
+        let batch_rows: Vec<&str> =
+            csv.lines().skip(1).map(|l| l.split_once(',').unwrap().1).collect();
+        let single_rows: Vec<&str> = single.lines().skip(1).collect();
+        assert_eq!(batch_rows, single_rows);
+    }
+
+    #[test]
+    fn batch_csv_surfaces_per_window_errors_as_comments() {
+        let (r, t) = shifted_sets();
+        let bad = vec![f64::NAN, 1.0, 2.0, 3.0, 4.0];
+        let windows = vec![t, bad];
+        // The default SR preference must not panic on the non-finite
+        // window; the error surfaces as a CSV comment instead.
+        for source in [PreferenceSource::SpectralResidual, PreferenceSource::Identity] {
+            let out = run_batch(&r, &windows, 0.05, 1, &source, OutputFormat::Csv).unwrap();
+            assert!(out.lines().any(|l| l.starts_with("0,")), "{out}");
+            assert!(out.lines().any(|l| l.starts_with("# window 1: error:")), "{out}");
+        }
+    }
+
+    #[test]
+    fn batch_preference_failure_does_not_poison_the_batch() {
+        // value-desc builds the preference from the window values, so a
+        // NaN window fails preference construction; the other windows must
+        // still be explained.
+        let (r, t) = shifted_sets();
+        let bad = vec![f64::NAN, 1.0, 2.0, 3.0, 4.0];
+        let windows = vec![t, bad];
+        let out =
+            run_batch(&r, &windows, 0.05, 1, &PreferenceSource::ValueDesc, OutputFormat::Text)
+                .unwrap();
+        assert!(out.contains("window 0: k = "), "{out}");
+        assert!(out.contains("window 1: error: invalid preference"), "{out}");
+        assert!(out.contains("1 explained"), "{out}");
+    }
+
+    #[test]
+    fn batch_rejects_empty_windows_file() {
+        let (r, _) = shifted_sets();
+        match run_batch(&r, &[], 0.05, 0, &PreferenceSource::Identity, OutputFormat::Text) {
+            Err(CliError::Usage(msg)) => assert!(msg.contains("no windows")),
             other => panic!("unexpected {other:?}"),
         }
     }

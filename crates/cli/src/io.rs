@@ -81,7 +81,8 @@ fn parse_columns(path: &str, content: &str) -> Result<(Vec<f64>, Vec<f64>), CliE
         if line.is_empty() {
             continue;
         }
-        let mut parts = line.split(|c: char| c == ',' || c.is_whitespace()).filter(|s| !s.is_empty());
+        let mut parts =
+            line.split(|c: char| c == ',' || c.is_whitespace()).filter(|s| !s.is_empty());
         let first = parts.next().ok_or_else(|| CliError::Parse {
             path: path.to_string(),
             line: i + 1,
@@ -105,21 +106,58 @@ fn parse_columns(path: &str, content: &str) -> Result<(Vec<f64>, Vec<f64>), CliE
     Ok((values, scores))
 }
 
+/// Parses a windows file: each non-comment line is one test window, its
+/// values separated by commas and/or whitespace. Empty lines are skipped.
+pub fn parse_windows(path: &str, content: &str) -> Result<Vec<Vec<f64>>, CliError> {
+    let mut windows = Vec::new();
+    for (i, raw) in content.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let window = line
+            .split(|c: char| c == ',' || c.is_whitespace())
+            .filter(|s| !s.is_empty())
+            .map(|tok| {
+                tok.parse::<f64>().map_err(|_| CliError::Parse {
+                    path: path.to_string(),
+                    line: i + 1,
+                    content: raw.to_string(),
+                })
+            })
+            .collect::<Result<Vec<f64>, CliError>>()?;
+        if window.is_empty() {
+            // A line of nothing but separators: report it here with a
+            // location instead of a locationless "empty test set" later.
+            return Err(CliError::Parse {
+                path: path.to_string(),
+                line: i + 1,
+                content: raw.to_string(),
+            });
+        }
+        windows.push(window);
+    }
+    Ok(windows)
+}
+
+/// Reads and parses a windows file from disk (see [`parse_windows`]).
+pub fn read_windows(path: &Path) -> Result<Vec<Vec<f64>>, CliError> {
+    let content = std::fs::read_to_string(path)
+        .map_err(|source| CliError::Io { path: path.display().to_string(), source })?;
+    parse_windows(&path.display().to_string(), &content)
+}
+
 /// Reads and parses a data file from disk.
 pub fn read_values(path: &Path) -> Result<Vec<f64>, CliError> {
-    let content = std::fs::read_to_string(path).map_err(|source| CliError::Io {
-        path: path.display().to_string(),
-        source,
-    })?;
+    let content = std::fs::read_to_string(path)
+        .map_err(|source| CliError::Io { path: path.display().to_string(), source })?;
     parse_values(&path.display().to_string(), &content)
 }
 
 /// Reads a data file, capturing an optional score column.
 pub fn read_values_and_scores(path: &Path) -> Result<(Vec<f64>, Option<Vec<f64>>), CliError> {
-    let content = std::fs::read_to_string(path).map_err(|source| CliError::Io {
-        path: path.display().to_string(),
-        source,
-    })?;
+    let content = std::fs::read_to_string(path)
+        .map_err(|source| CliError::Io { path: path.display().to_string(), source })?;
     parse_values_and_scores(&path.display().to_string(), &content)
 }
 
@@ -177,6 +215,32 @@ mod tests {
     #[test]
     fn empty_file_is_empty_vec() {
         assert!(parse_values("f", "# only comments\n").unwrap().is_empty());
+    }
+
+    #[test]
+    fn parses_windows_one_per_line() {
+        let content = "# two windows\n1.0, 2.0, 3.0\n4 5\t6 7\n";
+        let w = parse_windows("f", content).unwrap();
+        assert_eq!(w, vec![vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0, 7.0]]);
+    }
+
+    #[test]
+    fn windows_parse_errors_carry_location() {
+        match parse_windows("w.csv", "1,2\n3,oops,5\n") {
+            Err(CliError::Parse { path, line, .. }) => {
+                assert_eq!(path, "w.csv");
+                assert_eq!(line, 2);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn separator_only_window_line_is_a_located_error() {
+        match parse_windows("w.csv", "1,2\n, ,\n") {
+            Err(CliError::Parse { line: 2, .. }) => {}
+            other => panic!("unexpected {other:?}"),
+        }
     }
 
     #[test]

@@ -12,10 +12,7 @@ struct TempDir(PathBuf);
 
 impl TempDir {
     fn new(tag: &str) -> Self {
-        let dir = std::env::temp_dir().join(format!(
-            "moche-cli-test-{tag}-{}",
-            std::process::id()
-        ));
+        let dir = std::env::temp_dir().join(format!("moche-cli-test-{tag}-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
         Self(dir)
     }
@@ -110,10 +107,7 @@ fn monitor_detects_level_shift() {
     let mut series: Vec<f64> = (0..200).map(|i| f64::from(i % 7)).collect();
     series.extend((0..200).map(|i| f64::from(i % 7) + 30.0));
     let path = dir.write("series.txt", &numbers(series));
-    let out = bin()
-        .args(["monitor", path.to_str().unwrap(), "--window", "50"])
-        .output()
-        .unwrap();
+    let out = bin().args(["monitor", path.to_str().unwrap(), "--window", "50"]).output().unwrap();
     assert!(out.status.success());
     let stdout = String::from_utf8(out.stdout).unwrap();
     assert!(stdout.contains("DRIFT"), "{stdout}");
@@ -139,10 +133,7 @@ fn bad_usage_exits_with_code_2() {
 fn passing_test_explain_reports_nothing_to_do() {
     let dir = TempDir::new("pass");
     let r = dir.write("r.txt", &numbers((0..50).map(|i| f64::from(i % 5))));
-    let out = bin()
-        .args(["explain", r.to_str().unwrap(), r.to_str().unwrap()])
-        .output()
-        .unwrap();
+    let out = bin().args(["explain", r.to_str().unwrap(), r.to_str().unwrap()]).output().unwrap();
     assert_eq!(out.status.code(), Some(1));
     let stderr = String::from_utf8(out.stderr).unwrap();
     assert!(stderr.contains("already passes"), "{stderr}");

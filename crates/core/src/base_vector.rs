@@ -33,6 +33,56 @@ pub struct BaseVector {
     m: usize,
 }
 
+/// A validated, pre-sorted reference sample, shareable across many
+/// [`BaseVector`] builds.
+///
+/// The shared-reference workload (one reference distribution monitored
+/// against thousands of test windows — see [`crate::batch`]) re-sorts and
+/// re-validates the same `R` for every window when it goes through
+/// [`BaseVector::build`]. A `SortedReference` does that `O(n log n)` work
+/// once; [`BaseVector::build_with_reference`] then runs in
+/// `O(n + m log m)` per window.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SortedReference {
+    values: Vec<f64>,
+}
+
+impl SortedReference {
+    /// Validates and sorts a reference sample.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the sample is empty or contains non-finite
+    /// values.
+    pub fn new(reference: &[f64]) -> Result<Self, MocheError> {
+        if reference.is_empty() {
+            return Err(MocheError::EmptyReference);
+        }
+        validate_finite(SetKind::Reference, reference)?;
+        let mut values = reference.to_vec();
+        values.sort_unstable_by(f64::total_cmp);
+        Ok(Self { values })
+    }
+
+    /// Number of reference points `n`.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Always `false`: construction rejects empty samples.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// The sorted values.
+    #[inline]
+    pub fn as_sorted(&self) -> &[f64] {
+        &self.values
+    }
+}
+
 impl BaseVector {
     /// Builds the base vector and cumulative counts from raw samples.
     ///
@@ -46,15 +96,38 @@ impl BaseVector {
         if reference.is_empty() {
             return Err(MocheError::EmptyReference);
         }
+        // Check the test set before paying for the reference sort, and keep
+        // the seed's error precedence (EmptyTest before NonFiniteValue).
         if test.is_empty() {
             return Err(MocheError::EmptyTest);
         }
         validate_finite(SetKind::Reference, reference)?;
-        validate_finite(SetKind::Test, test)?;
-
         let mut r_sorted = reference.to_vec();
-        let mut t_sorted = test.to_vec();
         r_sorted.sort_unstable_by(f64::total_cmp);
+        Self::merge_sorted(&r_sorted, test)
+    }
+
+    /// Builds the base vector against a pre-sorted, pre-validated reference,
+    /// skipping the per-call `O(n log n)` sort of `R`. This is the
+    /// shared-reference fast path used by [`crate::batch`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the test sample is empty or contains non-finite
+    /// values.
+    pub fn build_with_reference(
+        reference: &SortedReference,
+        test: &[f64],
+    ) -> Result<Self, MocheError> {
+        Self::merge_sorted(reference.as_sorted(), test)
+    }
+
+    fn merge_sorted(r_sorted: &[f64], test: &[f64]) -> Result<Self, MocheError> {
+        if test.is_empty() {
+            return Err(MocheError::EmptyTest);
+        }
+        validate_finite(SetKind::Test, test)?;
+        let mut t_sorted = test.to_vec();
         t_sorted.sort_unstable_by(f64::total_cmp);
 
         // Merge the two sorted samples into distinct values + counts.
@@ -94,7 +167,7 @@ impl BaseVector {
             })
             .collect();
 
-        Ok(Self { values, c_r, c_t, t_pos, n: reference.len(), m: test.len() })
+        Ok(Self { values, c_r, c_t, t_pos, n: r_sorted.len(), m: test.len() })
     }
 
     /// Number of distinct values `q = |set(R ∪ T)|`.
@@ -192,6 +265,7 @@ impl BaseVector {
     ///
     /// Panics (in debug builds) if `removed` is inconsistent with the test
     /// set's multiplicities or removes all of `T`.
+    #[allow(clippy::needless_range_loop)] // three parallel arrays share the index
     pub fn statistic_after_removal(&self, removed: &[u64]) -> f64 {
         debug_assert_eq!(removed.len(), self.q() + 1);
         let h: u64 = removed[1..].iter().sum();
@@ -236,10 +310,7 @@ mod tests {
     /// The running example of the paper (Example 3):
     /// `T = {13, 13, 12, 20}`, `R = {14, 14, 14, 14, 20, 20, 20, 20}`.
     pub(crate) fn paper_example() -> (Vec<f64>, Vec<f64>) {
-        (
-            vec![14.0, 14.0, 14.0, 14.0, 20.0, 20.0, 20.0, 20.0],
-            vec![13.0, 13.0, 12.0, 20.0],
-        )
+        (vec![14.0, 14.0, 14.0, 14.0, 20.0, 20.0, 20.0, 20.0], vec![13.0, 13.0, 12.0, 20.0])
     }
 
     #[test]
@@ -309,6 +380,36 @@ mod tests {
         let o = b.outcome_after_removal(&removed, &cfg);
         assert_eq!(o.m, 3);
         assert_eq!(o.n, 8);
+    }
+
+    #[test]
+    fn build_with_reference_matches_build() {
+        let (r, t) = paper_example();
+        let shared = SortedReference::new(&r).unwrap();
+        assert_eq!(shared.len(), r.len());
+        assert!(!shared.is_empty());
+        let direct = BaseVector::build(&r, &t).unwrap();
+        let via_shared = BaseVector::build_with_reference(&shared, &t).unwrap();
+        assert_eq!(direct, via_shared);
+        // A second, different window against the same shared reference.
+        let t2 = vec![20.0, 20.0, 11.0];
+        assert_eq!(
+            BaseVector::build(&r, &t2).unwrap(),
+            BaseVector::build_with_reference(&shared, &t2).unwrap()
+        );
+    }
+
+    #[test]
+    fn sorted_reference_rejects_bad_input() {
+        assert!(SortedReference::new(&[]).is_err());
+        assert!(SortedReference::new(&[1.0, f64::NAN]).is_err());
+    }
+
+    #[test]
+    fn build_error_precedence_is_stable() {
+        // EmptyTest outranks a non-finite reference, as in the seed.
+        assert_eq!(BaseVector::build(&[1.0, f64::NAN], &[]).unwrap_err(), MocheError::EmptyTest);
+        assert_eq!(BaseVector::build(&[], &[]).unwrap_err(), MocheError::EmptyReference);
     }
 
     #[test]

@@ -1,0 +1,308 @@
+//! Parallel batch explanation: many failed KS tests, explained at once.
+//!
+//! The deployment shape the ROADMAP targets is a monitoring service: one or
+//! few reference distributions, thousands of test windows arriving per
+//! evaluation tick, an explanation wanted for every window that fails the
+//! KS test. Explaining them one [`crate::Moche::explain`] call at a time
+//! leaves cores idle and re-does shared work (sorting and validating the
+//! same reference, reallocating identical scratch buffers) per window.
+//!
+//! [`BatchExplainer`] fixes both:
+//!
+//! * **Parallelism.** Jobs are distributed over a pool of scoped worker
+//!   threads (`std::thread::scope` — no dependencies, no unsafe code). Each
+//!   worker owns one [`ExplainEngine`], so scratch buffers are allocated
+//!   once per thread, not once per job. Work is claimed from a shared
+//!   atomic counter, which load-balances jobs of uneven cost (explanation
+//!   cost varies with `k` and `q`).
+//! * **The shared-reference mode.** [`explain_windows`]
+//!   (one `R`, many `T` windows) validates and sorts the reference once
+//!   into a [`SortedReference`] and reuses it for every window's base-vector
+//!   build, cutting the per-window cost from `O((n + m) log(n + m))` to
+//!   `O(n + m log m)` — significant when `n >> m`, the common monitoring
+//!   regime.
+//!
+//! Results are returned in job order and are byte-identical to sequential
+//! [`crate::Moche::explain`] calls (enforced by `tests/proptest_engine.rs`).
+//! Failed tests yield `Ok(Explanation)`; windows that pass the test, or
+//! invalid inputs, yield the same `Err` the sequential API produces, so a
+//! caller can distinguish "nothing to explain" from real failures per job.
+//!
+//! [`explain_windows`]: BatchExplainer::explain_windows
+//!
+//! # Examples
+//!
+//! ```
+//! use moche_core::batch::{BatchExplainer, BatchJob};
+//! use moche_core::{PreferenceList, SortedReference};
+//!
+//! let reference: Vec<f64> = (0..64).map(|i| f64::from(i % 8)).collect();
+//! let windows: Vec<Vec<f64>> = (0..16)
+//!     .map(|w| (0..32).map(|i| f64::from((i + w) % 8) + 4.0).collect())
+//!     .collect();
+//!
+//! let explainer = BatchExplainer::new(0.05).unwrap();
+//! let shared = SortedReference::new(&reference).unwrap();
+//! let results = explainer.explain_windows(&shared, &windows, None);
+//! assert_eq!(results.len(), windows.len());
+//! for result in &results {
+//!     let e = result.as_ref().unwrap();
+//!     assert!(e.outcome_after.passes());
+//! }
+//! ```
+
+use crate::base_vector::SortedReference;
+use crate::engine::ExplainEngine;
+use crate::error::MocheError;
+use crate::ks::KsConfig;
+use crate::moche::Explanation;
+use crate::preference::PreferenceList;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// One independent `(reference, test, preference)` explanation request.
+#[derive(Debug, Clone, Copy)]
+pub struct BatchJob<'a> {
+    /// The reference sample `R`.
+    pub reference: &'a [f64],
+    /// The test sample `T`.
+    pub test: &'a [f64],
+    /// Preference order over `T`; `None` means the identity order.
+    pub preference: Option<&'a PreferenceList>,
+}
+
+/// A parallel explainer over many failed KS tests.
+///
+/// Cheap to construct (two scalars); holds no buffers itself — per-thread
+/// [`ExplainEngine`]s are created inside each call.
+#[derive(Debug, Clone, Copy)]
+pub struct BatchExplainer {
+    cfg: KsConfig,
+    threads: usize,
+}
+
+impl BatchExplainer {
+    /// Creates a batch explainer for significance level `alpha`, using all
+    /// available cores.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MocheError::InvalidAlpha`] unless `0 < alpha < 1`.
+    pub fn new(alpha: f64) -> Result<Self, MocheError> {
+        Ok(Self::with_config(KsConfig::new(alpha)?))
+    }
+
+    /// Creates a batch explainer from an existing [`KsConfig`].
+    pub fn with_config(cfg: KsConfig) -> Self {
+        Self { cfg, threads: 0 }
+    }
+
+    /// Caps the worker-thread count. `0` (the default) means "one per
+    /// available core".
+    #[must_use]
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// The KS configuration in use.
+    #[inline]
+    pub fn config(&self) -> &KsConfig {
+        &self.cfg
+    }
+
+    fn worker_count(&self, jobs: usize) -> usize {
+        let hw = std::thread::available_parallelism().map_or(1, |n| n.get());
+        let cap = if self.threads == 0 { hw } else { self.threads };
+        cap.min(jobs).max(1)
+    }
+
+    /// Explains every job, in parallel, returning results in job order.
+    ///
+    /// Per-job errors (passing test, bad preference, invalid input) are
+    /// reported in the corresponding slot; one bad job never poisons the
+    /// batch.
+    pub fn explain_jobs(&self, jobs: &[BatchJob<'_>]) -> Vec<Result<Explanation, MocheError>> {
+        self.run(jobs, |engine, job| match job.preference {
+            Some(pref) => engine.explain(job.reference, job.test, pref),
+            None => {
+                let pref = PreferenceList::identity(job.test.len());
+                engine.explain(job.reference, job.test, &pref)
+            }
+        })
+    }
+
+    /// The shared-reference mode: one reference, many test windows. The
+    /// reference's cumulative structures are prepared once (see
+    /// [`SortedReference`]) and shared read-only by every worker.
+    ///
+    /// `preferences`, when given, supplies one list per window (in order);
+    /// `None` explains every window under the identity order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `preferences` is `Some` but its length differs from
+    /// `windows`' — that is a caller bug, not a per-job condition.
+    pub fn explain_windows<W: AsRef<[f64]> + Sync>(
+        &self,
+        reference: &SortedReference,
+        windows: &[W],
+        preferences: Option<&[PreferenceList]>,
+    ) -> Vec<Result<Explanation, MocheError>> {
+        if let Some(prefs) = preferences {
+            assert_eq!(prefs.len(), windows.len(), "one preference list per window is required");
+        }
+        let indexed: Vec<usize> = (0..windows.len()).collect();
+        self.run(&indexed, |engine, &i| {
+            let window = windows[i].as_ref();
+            match preferences {
+                Some(prefs) => engine.explain_with_reference(reference, window, &prefs[i]),
+                None => {
+                    let pref = PreferenceList::identity(window.len());
+                    engine.explain_with_reference(reference, window, &pref)
+                }
+            }
+        })
+    }
+
+    /// The worker pool: claim-by-atomic-counter over `items`, one engine per
+    /// worker, results collected in item order.
+    fn run<T, F>(&self, items: &[T], f: F) -> Vec<Result<Explanation, MocheError>>
+    where
+        T: Sync,
+        F: Fn(&mut ExplainEngine, &T) -> Result<Explanation, MocheError> + Sync,
+    {
+        let n = items.len();
+        let workers = self.worker_count(n);
+        if workers <= 1 {
+            let mut engine = ExplainEngine::with_config(self.cfg);
+            return items.iter().map(|item| f(&mut engine, item)).collect();
+        }
+
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<Result<Explanation, MocheError>>>> =
+            (0..n).map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| {
+                    let mut engine = ExplainEngine::with_config(self.cfg);
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        let result = f(&mut engine, &items[i]);
+                        *slots[i].lock().expect("result slot poisoned") = Some(result);
+                    }
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("result slot poisoned")
+                    .expect("every slot is filled before the scope ends")
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::moche::{ConstructionStrategy, Moche};
+
+    fn windows_against(reference_mod: u32, count: usize, len: usize) -> (Vec<f64>, Vec<Vec<f64>>) {
+        let reference: Vec<f64> = (0..200u32).map(|i| f64::from(i % reference_mod)).collect();
+        let windows: Vec<Vec<f64>> = (0..count)
+            .map(|w| {
+                (0..len).map(|i| f64::from(((i + w) % 7) as u32) + 5.0 + (w % 3) as f64).collect()
+            })
+            .collect();
+        (reference, windows)
+    }
+
+    #[test]
+    fn jobs_match_sequential_reference_path() {
+        let (r, windows) = windows_against(10, 12, 60);
+        let moche = Moche::new(0.05).unwrap().construction(ConstructionStrategy::Reference);
+        let jobs: Vec<BatchJob<'_>> =
+            windows.iter().map(|w| BatchJob { reference: &r, test: w, preference: None }).collect();
+        for threads in [1, 4] {
+            let batch = BatchExplainer::new(0.05).unwrap().threads(threads);
+            let results = batch.explain_jobs(&jobs);
+            assert_eq!(results.len(), windows.len());
+            for (w, result) in windows.iter().zip(&results) {
+                let pref = PreferenceList::identity(w.len());
+                let expected = moche.explain(&r, w, &pref).unwrap();
+                let got = result.as_ref().unwrap();
+                assert_eq!(got.indices(), expected.indices());
+                assert_eq!(got.phase1, expected.phase1);
+            }
+        }
+    }
+
+    #[test]
+    fn shared_reference_matches_independent_jobs() {
+        let (r, windows) = windows_against(10, 16, 50);
+        let shared = SortedReference::new(&r).unwrap();
+        let batch = BatchExplainer::new(0.05).unwrap().threads(4);
+        let jobs: Vec<BatchJob<'_>> =
+            windows.iter().map(|w| BatchJob { reference: &r, test: w, preference: None }).collect();
+        let a = batch.explain_jobs(&jobs);
+        let b = batch.explain_windows(&shared, &windows, None);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.as_ref().unwrap(), y.as_ref().unwrap());
+        }
+    }
+
+    #[test]
+    fn per_window_preferences_are_honoured() {
+        let (r, windows) = windows_against(10, 6, 40);
+        let shared = SortedReference::new(&r).unwrap();
+        let prefs: Vec<PreferenceList> =
+            windows.iter().map(|w| PreferenceList::reversed(w.len())).collect();
+        let batch = BatchExplainer::new(0.05).unwrap().threads(2);
+        let results = batch.explain_windows(&shared, &windows, Some(&prefs));
+        let moche = Moche::new(0.05).unwrap();
+        for ((w, pref), result) in windows.iter().zip(&prefs).zip(&results) {
+            let expected = moche.explain(&r, w, pref).unwrap();
+            assert_eq!(result.as_ref().unwrap().indices(), expected.indices());
+        }
+    }
+
+    #[test]
+    fn bad_jobs_do_not_poison_the_batch() {
+        let (r, windows) = windows_against(10, 4, 40);
+        let passing = r.clone();
+        let jobs = vec![
+            BatchJob { reference: &r, test: &windows[0], preference: None },
+            BatchJob { reference: &r, test: &passing, preference: None }, // passes
+            BatchJob { reference: &r, test: &windows[1], preference: None },
+        ];
+        let results = BatchExplainer::new(0.05).unwrap().threads(2).explain_jobs(&jobs);
+        assert!(results[0].is_ok());
+        assert!(matches!(results[1], Err(MocheError::TestAlreadyPasses { .. })));
+        assert!(results[2].is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "one preference list per window")]
+    fn mismatched_preference_count_panics() {
+        let (r, windows) = windows_against(10, 3, 40);
+        let shared = SortedReference::new(&r).unwrap();
+        let prefs = vec![PreferenceList::identity(40)];
+        let _ = BatchExplainer::new(0.05).unwrap().explain_windows(&shared, &windows, Some(&prefs));
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let batch = BatchExplainer::new(0.05).unwrap();
+        assert!(batch.explain_jobs(&[]).is_empty());
+        let shared = SortedReference::new(&[1.0, 2.0]).unwrap();
+        let no_windows: Vec<Vec<f64>> = Vec::new();
+        assert!(batch.explain_windows(&shared, &no_windows, None).is_empty());
+    }
+}

@@ -66,6 +66,90 @@ pub struct HBounds {
     pub feasible: bool,
 }
 
+/// Reusable scratch space for the explain hot path.
+///
+/// [`BoundsContext::compute`] heap-allocates two fresh `(q + 1)`-length
+/// vectors per call; on the workloads the ROADMAP targets (one reference
+/// distribution probed against thousands of test windows) those transient
+/// allocations dominate the Phase-2 profile. A `BoundsWorkspace` owns every
+/// buffer the bound machinery and the Phase-2 construction need and is
+/// reused across `h` probes, constructions, alphas and whole explain calls
+/// (see [`crate::engine::ExplainEngine`] and [`crate::batch`]).
+///
+/// The `l`/`u` vectors are fused into one interleaved buffer
+/// (`lu[2i] = l_i`, `lu[2i + 1] = u_i`) so each recursion step touches one
+/// cache line instead of two.
+#[derive(Debug, Clone, Default)]
+pub struct BoundsWorkspace {
+    /// Interleaved bounds, `lu[2i] = l_i^h`, `lu[2i + 1] = u_i^h`.
+    pub(crate) lu: Vec<i64>,
+    /// Theorem-3 backward-tightened upper bounds `ū_i` for the current
+    /// Phase-2 selection (length `q + 1` while a construction is running).
+    pub(crate) ubar: Vec<i64>,
+    /// Multiplicities `d_i` of the current Phase-2 selection.
+    pub(crate) d: Vec<u64>,
+    /// `(index, value)` staging buffer for incremental `ū` propagation.
+    pub(crate) scratch: Vec<(usize, i64)>,
+    h: usize,
+    q: usize,
+    feasible: bool,
+}
+
+impl BoundsWorkspace {
+    /// Creates an empty workspace; buffers grow on first use and are then
+    /// retained.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The removal size the current bounds were computed for.
+    #[inline]
+    pub fn h(&self) -> usize {
+        self.h
+    }
+
+    /// `q` of the base vector the current bounds were computed over.
+    #[inline]
+    pub fn q(&self) -> usize {
+        self.q
+    }
+
+    /// Theorem 1's verdict for the current bounds.
+    #[inline]
+    pub fn feasible(&self) -> bool {
+        self.feasible
+    }
+
+    /// `l_i^h` for `0 <= i <= q`.
+    #[inline]
+    pub fn lower(&self, i: usize) -> i64 {
+        self.lu[2 * i]
+    }
+
+    /// `u_i^h` for `0 <= i <= q`.
+    #[inline]
+    pub fn upper(&self, i: usize) -> i64 {
+        self.lu[2 * i + 1]
+    }
+
+    /// Copies the current bounds into the allocating [`HBounds`] form
+    /// (diagnostics and tests; the hot path never calls this).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no bounds have been computed into this workspace yet
+    /// (see [`BoundsContext::compute_into`]).
+    pub fn to_hbounds(&self) -> HBounds {
+        assert!(!self.lu.is_empty(), "no bounds computed into this workspace yet");
+        HBounds {
+            h: self.h,
+            lower: (0..=self.q).map(|i| self.lower(i)).collect(),
+            upper: (0..=self.q).map(|i| self.upper(i)).collect(),
+            feasible: self.feasible,
+        }
+    }
+}
+
 /// Evaluator for Ω, Γ and the Theorem-1/Theorem-2 conditions over one
 /// `(R, T)` pair.
 #[derive(Debug, Clone, Copy)]
@@ -85,6 +169,16 @@ impl<'a> BoundsContext<'a> {
     #[inline]
     pub fn base(&self) -> &'a BaseVector {
         self.base
+    }
+
+    /// Re-points this context at a different KS configuration (new alpha
+    /// and/or eps) while keeping the base vector. This is what lets
+    /// [`Moche::size_profile`](crate::Moche::size_profile) sweep many alphas
+    /// over one context instead of rebuilding it per level.
+    #[inline]
+    pub fn set_config(&mut self, cfg: &KsConfig) {
+        self.c_alpha = cfg.critical_value();
+        self.eps = cfg.eps();
     }
 
     /// `Ω(h) = c_α * sqrt((m - h) + (m - h)^2 / n)`.
@@ -136,12 +230,8 @@ impl<'a> BoundsContext<'a> {
             let gamma = self.gamma(i, h);
             let ct = self.base.c_t(i) as i64;
             let ct_prev = self.base.c_t(i - 1) as i64;
-            let l = ceil_eps(gamma - omega, self.eps)
-                .max(h_i - m_i + ct)
-                .max(lower[i - 1]);
-            let u = floor_eps(gamma + omega, self.eps)
-                .min(ct - ct_prev + upper[i - 1])
-                .min(h_i);
+            let l = ceil_eps(gamma - omega, self.eps).max(h_i - m_i + ct).max(lower[i - 1]);
+            let u = floor_eps(gamma + omega, self.eps).min(ct - ct_prev + upper[i - 1]).min(h_i);
             if l > u {
                 feasible = false;
             }
@@ -151,32 +241,68 @@ impl<'a> BoundsContext<'a> {
         HBounds { h, lower, upper, feasible }
     }
 
+    /// [`compute`](Self::compute) without the allocations: fills `ws`'s
+    /// interleaved buffer in place, returning Theorem 1's verdict. The
+    /// buffers are reused verbatim across calls, so a workspace that has
+    /// seen one `(q, h)` probe never allocates for any later probe with the
+    /// same or smaller `q`.
+    pub fn compute_into(&self, h: usize, ws: &mut BoundsWorkspace) -> bool {
+        let q = self.base.q();
+        debug_assert!(h >= 1 && h < self.base.m(), "h must be in 1..m");
+        let omega = self.omega(h);
+        let scale = (self.base.m() - h) as f64 / self.base.n() as f64;
+        let h_i = h as i64;
+        let m_i = self.base.m() as i64;
+        ws.h = h;
+        ws.q = q;
+        ws.lu.clear();
+        ws.lu.reserve(2 * (q + 1));
+        ws.lu.push(0i64); // l_0
+        ws.lu.push(0i64); // u_0
+        let (mut l_prev, mut u_prev) = (0i64, 0i64);
+        let mut ct_prev = 0i64;
+        let mut feasible = true;
+        for i in 1..=q {
+            let ct = self.base.c_t(i) as i64;
+            let gamma = ct as f64 - scale * self.base.c_r(i) as f64;
+            let l = ceil_eps(gamma - omega, self.eps).max(h_i - m_i + ct).max(l_prev);
+            let u = floor_eps(gamma + omega, self.eps).min(ct - ct_prev + u_prev).min(h_i);
+            feasible &= l <= u;
+            ws.lu.push(l);
+            ws.lu.push(u);
+            l_prev = l;
+            u_prev = u;
+            ct_prev = ct;
+        }
+        ws.feasible = feasible;
+        feasible
+    }
+
     /// Theorem 1: whether a qualified `h`-cumulative vector (equivalently, a
     /// qualified `h`-subset) exists. Early-exits on the first violated
-    /// coordinate; `O(n + m)` time, `O(1)` extra space.
+    /// coordinate; `O(n + m)` time, `O(1)` extra space — this streaming path
+    /// never materializes the bound vectors.
     pub fn exists_qualified(&self, h: usize) -> bool {
         let q = self.base.q();
         debug_assert!(h >= 1 && h < self.base.m(), "h must be in 1..m");
         let omega = self.omega(h);
+        let scale = (self.base.m() - h) as f64 / self.base.n() as f64;
         let h_i = h as i64;
         let m_i = self.base.m() as i64;
         let mut l_prev = 0i64;
         let mut u_prev = 0i64;
+        let mut ct_prev = 0i64;
         for i in 1..=q {
-            let gamma = self.gamma(i, h);
             let ct = self.base.c_t(i) as i64;
-            let ct_prev = self.base.c_t(i - 1) as i64;
-            let l = ceil_eps(gamma - omega, self.eps)
-                .max(h_i - m_i + ct)
-                .max(l_prev);
-            let u = floor_eps(gamma + omega, self.eps)
-                .min(ct - ct_prev + u_prev)
-                .min(h_i);
+            let gamma = ct as f64 - scale * self.base.c_r(i) as f64;
+            let l = ceil_eps(gamma - omega, self.eps).max(h_i - m_i + ct).max(l_prev);
+            let u = floor_eps(gamma + omega, self.eps).min(ct - ct_prev + u_prev).min(h_i);
             if l > u {
                 return false;
             }
             l_prev = l;
             u_prev = u;
+            ct_prev = ct;
         }
         true
     }
@@ -196,10 +322,11 @@ impl<'a> BoundsContext<'a> {
         let q = self.base.q();
         debug_assert!(h >= 1 && h < self.base.m(), "h must be in 1..m");
         let omega = self.omega(h);
+        let scale = (self.base.m() - h) as f64 / self.base.n() as f64;
         let h_i = h as i64;
         let mut m_run = f64::NEG_INFINITY; // M(i, h), running max of Γ
         for i in 1..=q {
-            let gamma = self.gamma(i, h);
+            let gamma = self.base.c_t(i) as f64 - scale * self.base.c_r(i) as f64;
             if gamma > m_run {
                 m_run = gamma;
             }
@@ -297,6 +424,53 @@ mod tests {
         assert_eq!((b.lower[1], b.upper[1]), (0, 1));
         // C_S[q] is pinned to h for any qualified vector.
         assert_eq!((b.lower[4], b.upper[4]), (2, 2));
+    }
+
+    #[test]
+    fn compute_into_matches_compute() {
+        let r: Vec<f64> = (0..60).map(|i| f64::from(i % 10)).collect();
+        let t: Vec<f64> = (0..40).map(|i| f64::from(i % 4) + 5.0).collect();
+        let base = BaseVector::build(&r, &t).unwrap();
+        let cfg = KsConfig::new(0.05).unwrap();
+        let ctx = BoundsContext::new(&base, &cfg);
+        let mut ws = BoundsWorkspace::new();
+        for h in 1..t.len() {
+            let reference = ctx.compute(h);
+            let feasible = ctx.compute_into(h, &mut ws);
+            assert_eq!(feasible, reference.feasible, "h = {h}");
+            assert_eq!(ws.to_hbounds(), reference, "h = {h}");
+            assert_eq!(ws.h(), h);
+            assert_eq!(ws.q(), base.q());
+        }
+    }
+
+    #[test]
+    fn workspace_buffers_are_reused_across_probes() {
+        let (r, t, cfg) = paper_setup();
+        let base = BaseVector::build(&r, &t).unwrap();
+        let ctx = BoundsContext::new(&base, &cfg);
+        let mut ws = BoundsWorkspace::new();
+        ctx.compute_into(2, &mut ws);
+        let cap = ws.lu.capacity();
+        for h in 1..t.len() {
+            ctx.compute_into(h, &mut ws);
+        }
+        assert_eq!(ws.lu.capacity(), cap, "probe loop must not grow the buffer");
+    }
+
+    #[test]
+    fn set_config_matches_fresh_context() {
+        let (r, t, _) = paper_setup();
+        let base = BaseVector::build(&r, &t).unwrap();
+        let loose = KsConfig::new(0.3).unwrap();
+        let strict = KsConfig::new(0.05).unwrap();
+        let mut ctx = BoundsContext::new(&base, &loose);
+        ctx.set_config(&strict);
+        let fresh = BoundsContext::new(&base, &strict);
+        for h in 1..t.len() {
+            assert_eq!(ctx.compute(h), fresh.compute(h), "h = {h}");
+            assert_eq!(ctx.necessary_condition(h), fresh.necessary_condition(h));
+        }
     }
 
     #[test]

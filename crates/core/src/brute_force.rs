@@ -170,11 +170,7 @@ enum ControlFlow {
 /// Visits all `size`-combinations of `items` in lexicographic order of
 /// positions, passing each combination (as the selected items, in order) to
 /// `f`. Iterative odometer implementation; no recursion, one scratch buffer.
-fn for_each_combination(
-    items: &[usize],
-    size: usize,
-    f: &mut impl FnMut(&[usize]) -> ControlFlow,
-) {
+fn for_each_combination(items: &[usize], size: usize, f: &mut impl FnMut(&[usize]) -> ControlFlow) {
     let n = items.len();
     if size == 0 || size > n {
         return;

@@ -1,0 +1,316 @@
+//! The reusable explain engine: MOCHE's hot path with caller-owned scratch.
+//!
+//! [`Moche::explain`](crate::Moche::explain) is a convenient one-shot API,
+//! but each call heap-allocates the Phase-2 working set (two bound vectors,
+//! the `ū`/`d` selection state and a propagation buffer). On the workloads
+//! the ROADMAP targets — one reference distribution monitored against
+//! thousands of test windows, explanations served on every drift alarm —
+//! those transient allocations are pure overhead: the buffers have the same
+//! shape every time.
+//!
+//! [`ExplainEngine`] owns a [`BoundsWorkspace`] and reuses it across
+//!
+//! * every Phase-1 `h` probe (the Theorem-2 binary search and the Theorem-1
+//!   linear scan are already streaming and `O(1)`-space),
+//! * the Phase-2 bound computation and construction
+//!   ([`phase2::construct_with`]), and
+//! * all alphas of a [`size_profile`](ExplainEngine::size_profile) sweep
+//!   (one [`BoundsContext`] reconfigured per level).
+//!
+//! In steady state an engine performs no heap allocations besides the
+//! returned [`Explanation`] itself. Results are **byte-identical** to the
+//! one-shot paths — a property enforced by `tests/proptest_engine.rs`.
+//!
+//! For many `(R, T)` pairs at once, see [`crate::batch`], which runs one
+//! engine per worker thread.
+
+use crate::base_vector::{BaseVector, SortedReference};
+use crate::bounds::{BoundsContext, BoundsWorkspace};
+use crate::cumulative::SubsetCounts;
+use crate::error::MocheError;
+use crate::ks::KsConfig;
+use crate::moche::{ConstructionStrategy, Explanation, SizeProfile, SizeSearchStrategy};
+use crate::phase1;
+use crate::phase2;
+use crate::preference::PreferenceList;
+
+/// A MOCHE explainer with reusable scratch buffers.
+///
+/// Construct once, call [`explain`](Self::explain) many times. The engine is
+/// cheap to create but only pays off when reused; for one-shot calls,
+/// [`crate::Moche`] is equivalent.
+///
+/// # Examples
+///
+/// ```
+/// use moche_core::{ExplainEngine, PreferenceList};
+///
+/// let reference = vec![14.0, 14.0, 14.0, 14.0, 20.0, 20.0, 20.0, 20.0];
+/// let mut engine = ExplainEngine::new(0.3).unwrap();
+/// for test in [vec![13.0, 13.0, 12.0, 20.0], vec![12.0, 13.0, 13.0, 20.0]] {
+///     let pref = PreferenceList::identity(test.len());
+///     let e = engine.explain(&reference, &test, &pref).unwrap();
+///     assert_eq!(e.size(), 2);
+///     assert!(e.outcome_after.passes());
+/// }
+/// ```
+#[derive(Debug, Clone)]
+pub struct ExplainEngine {
+    cfg: KsConfig,
+    size_search: SizeSearchStrategy,
+    construction: ConstructionStrategy,
+    ws: BoundsWorkspace,
+}
+
+impl ExplainEngine {
+    /// Creates an engine for significance level `alpha`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MocheError::InvalidAlpha`] unless `0 < alpha < 1`.
+    pub fn new(alpha: f64) -> Result<Self, MocheError> {
+        Ok(Self::with_config(KsConfig::new(alpha)?))
+    }
+
+    /// Creates an engine from an existing [`KsConfig`].
+    pub fn with_config(cfg: KsConfig) -> Self {
+        Self {
+            cfg,
+            size_search: SizeSearchStrategy::default(),
+            construction: ConstructionStrategy::default(),
+            ws: BoundsWorkspace::new(),
+        }
+    }
+
+    /// Selects the Phase-1 size-search strategy.
+    #[must_use]
+    pub fn size_search(mut self, strategy: SizeSearchStrategy) -> Self {
+        self.size_search = strategy;
+        self
+    }
+
+    /// Selects the Phase-2 construction strategy. The default
+    /// [`ConstructionStrategy::Incremental`] is the zero-allocation
+    /// workspace path; [`ConstructionStrategy::Reference`] runs the
+    /// paper-faithful allocating construction (identical results).
+    #[must_use]
+    pub fn construction(mut self, strategy: ConstructionStrategy) -> Self {
+        self.construction = strategy;
+        self
+    }
+
+    /// The KS configuration in use.
+    #[inline]
+    pub fn config(&self) -> &KsConfig {
+        &self.cfg
+    }
+
+    /// Explains the failed KS test between `reference` and `test` under
+    /// `preference`, reusing this engine's scratch buffers.
+    ///
+    /// # Errors
+    ///
+    /// As for [`crate::Moche::explain`].
+    pub fn explain(
+        &mut self,
+        reference: &[f64],
+        test: &[f64],
+        preference: &PreferenceList,
+    ) -> Result<Explanation, MocheError> {
+        let base = BaseVector::build(reference, test)?;
+        self.explain_base(&base, test, preference)
+    }
+
+    /// [`explain`](Self::explain) against a pre-sorted shared reference:
+    /// skips the per-call sort and validation of `R`. This is the
+    /// shared-reference fast path (one `R`, many `T` windows).
+    ///
+    /// # Errors
+    ///
+    /// As for [`explain`](Self::explain).
+    pub fn explain_with_reference(
+        &mut self,
+        reference: &SortedReference,
+        test: &[f64],
+        preference: &PreferenceList,
+    ) -> Result<Explanation, MocheError> {
+        let base = BaseVector::build_with_reference(reference, test)?;
+        self.explain_base(&base, test, preference)
+    }
+
+    /// The core flow over an already-built base vector.
+    pub(crate) fn explain_base(
+        &mut self,
+        base: &BaseVector,
+        test: &[f64],
+        preference: &PreferenceList,
+    ) -> Result<Explanation, MocheError> {
+        if preference.len() != base.m() {
+            return Err(MocheError::PreferenceLengthMismatch {
+                expected: base.m(),
+                actual: preference.len(),
+            });
+        }
+        let outcome_before = base.outcome(&self.cfg);
+        if outcome_before.passes() {
+            return Err(MocheError::TestAlreadyPasses {
+                statistic: outcome_before.statistic,
+                threshold: outcome_before.threshold,
+            });
+        }
+
+        let ctx = BoundsContext::new(base, &self.cfg);
+        let phase1 = match self.size_search {
+            SizeSearchStrategy::LowerBounded => phase1::find_size(&ctx, self.cfg.alpha())?,
+            SizeSearchStrategy::NoLowerBound => {
+                phase1::find_size_no_lower_bound(&ctx, self.cfg.alpha())?
+            }
+        };
+
+        let (indices, phase2) = match self.construction {
+            ConstructionStrategy::Incremental => phase2::construct_with(
+                base,
+                &self.cfg,
+                phase1.k,
+                preference.as_order(),
+                &mut self.ws,
+            )?,
+            ConstructionStrategy::Reference => {
+                phase2::construct_reference(base, &self.cfg, phase1.k, preference.as_order())?
+            }
+        };
+
+        let counts = SubsetCounts::from_test_indices(base, &indices);
+        let outcome_after = base.outcome_after_removal(counts.as_slice(), &self.cfg);
+        let values = indices.iter().map(|&i| test[i]).collect();
+
+        Ok(Explanation {
+            indices,
+            values,
+            phase1,
+            phase2,
+            outcome_before,
+            outcome_after,
+            n: base.n(),
+            m: base.m(),
+            q: base.q(),
+        })
+    }
+
+    /// Sensitivity sweep sharing one base vector *and* one bounds context
+    /// across all levels (cf. [`crate::Moche::size_profile`]).
+    ///
+    /// # Errors
+    ///
+    /// Input-validation errors fail the whole call; per-level outcomes are
+    /// reported inside the vector.
+    pub fn size_profile(
+        &mut self,
+        reference: &[f64],
+        test: &[f64],
+        alphas: &[f64],
+    ) -> Result<SizeProfile, MocheError> {
+        let base = BaseVector::build(reference, test)?;
+        let mut ctx = BoundsContext::new(&base, &self.cfg);
+        let mut out = Vec::with_capacity(alphas.len());
+        for &alpha in alphas {
+            let cfg = match KsConfig::new(alpha) {
+                Ok(c) => c.with_eps(self.cfg.eps()),
+                Err(e) => {
+                    out.push((alpha, Err(e)));
+                    continue;
+                }
+            };
+            let outcome = base.outcome(&cfg);
+            if outcome.passes() {
+                out.push((
+                    alpha,
+                    Err(MocheError::TestAlreadyPasses {
+                        statistic: outcome.statistic,
+                        threshold: outcome.threshold,
+                    }),
+                ));
+                continue;
+            }
+            ctx.set_config(&cfg);
+            out.push((alpha, phase1::find_size(&ctx, alpha)));
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::moche::{ConstructionStrategy, Moche};
+
+    fn paper_setup() -> (Vec<f64>, Vec<f64>) {
+        (vec![14.0, 14.0, 14.0, 14.0, 20.0, 20.0, 20.0, 20.0], vec![13.0, 13.0, 12.0, 20.0])
+    }
+
+    #[test]
+    fn engine_matches_one_shot_paths() {
+        let (r, t) = paper_setup();
+        let pref = PreferenceList::new(vec![3, 2, 1, 0]).unwrap();
+        let mut engine = ExplainEngine::new(0.3).unwrap();
+        let moche = Moche::new(0.3).unwrap();
+        let reference = moche.construction(ConstructionStrategy::Reference);
+        for _ in 0..3 {
+            let a = engine.explain(&r, &t, &pref).unwrap();
+            let b = moche.explain(&r, &t, &pref).unwrap();
+            let c = reference.explain(&r, &t, &pref).unwrap();
+            assert_eq!(a.indices(), b.indices());
+            assert_eq!(a.indices(), c.indices());
+            assert_eq!(a.phase1, b.phase1);
+            assert_eq!(a.outcome_after, b.outcome_after);
+        }
+    }
+
+    #[test]
+    fn engine_shared_reference_matches_direct() {
+        let (r, t) = paper_setup();
+        let shared = SortedReference::new(&r).unwrap();
+        let pref = PreferenceList::new(vec![3, 2, 1, 0]).unwrap();
+        let mut engine = ExplainEngine::new(0.3).unwrap();
+        let direct = engine.explain(&r, &t, &pref).unwrap();
+        let via_shared = engine.explain_with_reference(&shared, &t, &pref).unwrap();
+        assert_eq!(direct, via_shared);
+    }
+
+    #[test]
+    fn engine_surfaces_errors_like_moche() {
+        let (r, t) = paper_setup();
+        let mut engine = ExplainEngine::new(0.3).unwrap();
+        match engine.explain(&r, &r, &PreferenceList::identity(r.len())) {
+            Err(MocheError::TestAlreadyPasses { .. }) => {}
+            other => panic!("unexpected {other:?}"),
+        }
+        match engine.explain(&r, &t, &PreferenceList::identity(3)) {
+            Err(MocheError::PreferenceLengthMismatch { expected: 4, actual: 3 }) => {}
+            other => panic!("unexpected {other:?}"),
+        }
+        // A hard error must not poison the engine for later calls.
+        let pref = PreferenceList::new(vec![3, 2, 1, 0]).unwrap();
+        assert_eq!(engine.explain(&r, &t, &pref).unwrap().size(), 2);
+    }
+
+    #[test]
+    fn engine_size_profile_matches_moche() {
+        let r: Vec<f64> = (0..200).map(|i| f64::from(i % 10)).collect();
+        let t: Vec<f64> = (0..150).map(|i| f64::from(i % 10) + 4.0).collect();
+        let alphas = [0.01, 0.05, 0.1, 0.2, 2.0];
+        let moche = Moche::new(0.05).unwrap();
+        let mut engine = ExplainEngine::new(0.05).unwrap();
+        let a = moche.size_profile(&r, &t, &alphas).unwrap();
+        let b = engine.size_profile(&r, &t, &alphas).unwrap();
+        assert_eq!(a.len(), b.len());
+        for ((alpha_a, res_a), (alpha_b, res_b)) in a.iter().zip(&b) {
+            assert_eq!(alpha_a, alpha_b);
+            match (res_a, res_b) {
+                (Ok(x), Ok(y)) => assert_eq!(x, y),
+                (Err(x), Err(y)) => assert_eq!(x, y),
+                other => panic!("profile mismatch at alpha {alpha_a}: {other:?}"),
+            }
+        }
+    }
+}

@@ -156,11 +156,7 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let e = MocheError::NonFiniteValue {
-            which: SetKind::Test,
-            index: 3,
-            value: f64::NAN,
-        };
+        let e = MocheError::NonFiniteValue { which: SetKind::Test, index: 3, value: f64::NAN };
         let s = e.to_string();
         assert!(s.contains("test set"));
         assert!(s.contains("index 3"));

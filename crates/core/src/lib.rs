@@ -55,10 +55,12 @@
 #![warn(missing_docs)]
 
 pub mod base_vector;
+pub mod batch;
 pub mod bounds;
 pub mod brute_force;
 pub mod cumulative;
 pub mod ecdf;
+pub mod engine;
 pub mod error;
 pub mod ks;
 pub mod moche;
@@ -66,10 +68,12 @@ pub mod phase1;
 pub mod phase2;
 pub mod preference;
 
-pub use base_vector::BaseVector;
-pub use bounds::BoundsContext;
+pub use base_vector::{BaseVector, SortedReference};
+pub use batch::{BatchExplainer, BatchJob};
+pub use bounds::{BoundsContext, BoundsWorkspace};
 pub use cumulative::{CumulativeVector, SubsetCounts};
 pub use ecdf::Ecdf;
+pub use engine::ExplainEngine;
 pub use error::MocheError;
 pub use ks::{ks_statistic, ks_test, KsConfig, KsOutcome, ALPHA_EXISTENCE_GUARANTEE};
 pub use moche::{ConstructionStrategy, Explanation, Moche, SizeSearchStrategy};
@@ -77,9 +81,11 @@ pub use preference::PreferenceList;
 
 /// Commonly used items, for glob import in examples and downstream crates.
 pub mod prelude {
-    pub use crate::base_vector::BaseVector;
+    pub use crate::base_vector::{BaseVector, SortedReference};
+    pub use crate::batch::{BatchExplainer, BatchJob};
     pub use crate::bounds::BoundsContext;
     pub use crate::ecdf::Ecdf;
+    pub use crate::engine::ExplainEngine;
     pub use crate::error::MocheError;
     pub use crate::ks::{ks_test, KsConfig, KsOutcome};
     pub use crate::moche::{Explanation, Moche};

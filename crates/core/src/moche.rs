@@ -8,11 +8,11 @@
 
 use crate::base_vector::BaseVector;
 use crate::bounds::BoundsContext;
-use crate::cumulative::SubsetCounts;
+use crate::engine::ExplainEngine;
 use crate::error::MocheError;
 use crate::ks::{KsConfig, KsOutcome};
 use crate::phase1::{self, SizeSearch};
-use crate::phase2::{self, ConstructStats};
+use crate::phase2::ConstructStats;
 use crate::preference::PreferenceList;
 
 /// Which Phase-2 construction strategy to use. Both produce identical
@@ -166,53 +166,18 @@ impl Moche {
         test: &[f64],
         preference: &PreferenceList,
     ) -> Result<Explanation, MocheError> {
-        let base = BaseVector::build(reference, test)?;
-        if preference.len() != base.m() {
-            return Err(MocheError::PreferenceLengthMismatch {
-                expected: base.m(),
-                actual: preference.len(),
-            });
-        }
-        let outcome_before = base.outcome(&self.cfg);
-        if outcome_before.passes() {
-            return Err(MocheError::TestAlreadyPasses {
-                statistic: outcome_before.statistic,
-                threshold: outcome_before.threshold,
-            });
-        }
+        // The engine is the canonical implementation of the explain flow
+        // for both construction strategies; a one-shot call simply uses a
+        // fresh workspace.
+        self.engine().explain(reference, test, preference)
+    }
 
-        let ctx = BoundsContext::new(&base, &self.cfg);
-        let phase1 = match self.size_search {
-            SizeSearchStrategy::LowerBounded => phase1::find_size(&ctx, self.cfg.alpha())?,
-            SizeSearchStrategy::NoLowerBound => {
-                phase1::find_size_no_lower_bound(&ctx, self.cfg.alpha())?
-            }
-        };
-
-        let (indices, phase2) = match self.construction {
-            ConstructionStrategy::Incremental => {
-                phase2::construct(&base, &self.cfg, phase1.k, preference.as_order())?
-            }
-            ConstructionStrategy::Reference => {
-                phase2::construct_reference(&base, &self.cfg, phase1.k, preference.as_order())?
-            }
-        };
-
-        let counts = SubsetCounts::from_test_indices(&base, &indices);
-        let outcome_after = base.outcome_after_removal(counts.as_slice(), &self.cfg);
-        let values = indices.iter().map(|&i| test[i]).collect();
-
-        Ok(Explanation {
-            indices,
-            values,
-            phase1,
-            phase2,
-            outcome_before,
-            outcome_after,
-            n: base.n(),
-            m: base.m(),
-            q: base.q(),
-        })
+    /// Creates a scratch-reusing [`ExplainEngine`] with this explainer's
+    /// configuration and strategies.
+    pub fn engine(&self) -> ExplainEngine {
+        ExplainEngine::with_config(self.cfg)
+            .size_search(self.size_search)
+            .construction(self.construction)
     }
 
     /// Sensitivity analysis: the explanation size at each of several
@@ -235,31 +200,9 @@ impl Moche {
         test: &[f64],
         alphas: &[f64],
     ) -> Result<SizeProfile, MocheError> {
-        let base = BaseVector::build(reference, test)?;
-        let mut out = Vec::with_capacity(alphas.len());
-        for &alpha in alphas {
-            let cfg = match KsConfig::new(alpha) {
-                Ok(c) => c.with_eps(self.cfg.eps()),
-                Err(e) => {
-                    out.push((alpha, Err(e)));
-                    continue;
-                }
-            };
-            let outcome = base.outcome(&cfg);
-            if outcome.passes() {
-                out.push((
-                    alpha,
-                    Err(MocheError::TestAlreadyPasses {
-                        statistic: outcome.statistic,
-                        threshold: outcome.threshold,
-                    }),
-                ));
-                continue;
-            }
-            let ctx = BoundsContext::new(&base, &cfg);
-            out.push((alpha, phase1::find_size(&ctx, alpha)));
-        }
-        Ok(out)
+        // One BaseVector build and one BoundsContext, reconfigured per
+        // level, shared across the whole sweep.
+        self.engine().size_profile(reference, test, alphas)
     }
 
     /// Convenience: builds a descending-score preference list and explains.
@@ -287,8 +230,8 @@ impl Moche {
 /// The most comprehensible counterfactual explanation of a failed KS test.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Explanation {
-    indices: Vec<usize>,
-    values: Vec<f64>,
+    pub(crate) indices: Vec<usize>,
+    pub(crate) values: Vec<f64>,
     /// Phase-1 diagnostics (`k`, `k̂`, check counts).
     pub phase1: SizeSearch,
     /// Phase-2 diagnostics.
@@ -344,10 +287,7 @@ impl Explanation {
         for &i in &self.indices {
             keep[i] = false;
         }
-        test.iter()
-            .zip(keep)
-            .filter_map(|(&v, k)| k.then_some(v))
-            .collect()
+        test.iter().zip(keep).filter_map(|(&v, k)| k.then_some(v)).collect()
     }
 }
 
@@ -358,10 +298,7 @@ mod tests {
     use crate::ks::ks_test;
 
     fn paper_setup() -> (Vec<f64>, Vec<f64>) {
-        (
-            vec![14.0, 14.0, 14.0, 14.0, 20.0, 20.0, 20.0, 20.0],
-            vec![13.0, 13.0, 12.0, 20.0],
-        )
+        (vec![14.0, 14.0, 14.0, 14.0, 20.0, 20.0, 20.0, 20.0], vec![13.0, 13.0, 12.0, 20.0])
     }
 
     #[test]
@@ -529,7 +466,10 @@ mod tests {
         let t: Vec<f64> = (0..30).map(|i| f64::from(i) + 15.0).collect();
         let moche = Moche::new(0.05).unwrap();
         let profile = moche.size_profile(&r, &t, &[0.05, 2.0]).unwrap();
-        assert!(profile[0].1.is_ok() || matches!(profile[0].1, Err(MocheError::TestAlreadyPasses { .. })));
+        assert!(
+            profile[0].1.is_ok()
+                || matches!(profile[0].1, Err(MocheError::TestAlreadyPasses { .. }))
+        );
         assert!(matches!(profile[1].1, Err(MocheError::InvalidAlpha { .. })));
     }
 }

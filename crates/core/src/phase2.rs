@@ -31,7 +31,7 @@
 //!   change. Equivalence is enforced by unit and property tests.
 
 use crate::base_vector::BaseVector;
-use crate::bounds::{BoundsContext, HBounds};
+use crate::bounds::{BoundsContext, BoundsWorkspace, HBounds};
 use crate::cumulative::SubsetCounts;
 use crate::error::MocheError;
 use crate::ks::KsConfig;
@@ -137,31 +137,57 @@ pub fn construct(
     k: usize,
     order: &[usize],
 ) -> Result<(Vec<usize>, ConstructStats), MocheError> {
+    let mut ws = BoundsWorkspace::new();
+    construct_with(base, cfg, k, order, &mut ws)
+}
+
+/// [`construct`] with caller-owned scratch: every buffer (the Phase-1
+/// bounds, `d`, `ū` and the propagation staging area) lives in `ws` and is
+/// reused across calls, so steady-state construction performs **zero** heap
+/// allocations beyond the returned selection. This is the hot path the
+/// [`crate::engine::ExplainEngine`] and the [`crate::batch`] layer run on.
+///
+/// # Errors
+///
+/// As for [`construct_reference`].
+pub fn construct_with(
+    base: &BaseVector,
+    cfg: &KsConfig,
+    k: usize,
+    order: &[usize],
+    ws: &mut BoundsWorkspace,
+) -> Result<(Vec<usize>, ConstructStats), MocheError> {
     debug_assert_eq!(order.len(), base.m());
     let ctx = BoundsContext::new(base, cfg);
-    let bounds = ctx.compute(k);
-    if !bounds.feasible {
+    if !ctx.compute_into(k, ws) {
         // No qualified k-subset exists at all; nothing can be constructed.
         return Err(MocheError::ConstructionIncomplete { built: 0, k });
     }
     let q = base.q();
 
+    // Split the workspace so the interleaved bounds can be read while the
+    // selection state is mutated.
+    let BoundsWorkspace { lu, ubar, d, scratch, .. } = ws;
+    let lu: &[i64] = lu;
+    let lower = |lu: &[i64], i: usize| lu[2 * i];
+    let upper = |lu: &[i64], i: usize| lu[2 * i + 1];
+
     // Multiplicities d_i of the selected set and the current backward bounds
     // ū_i for it. For the empty set: ū_q = u_q, ū_{i-1} = min(u_{i-1}, ū_i).
-    let mut d = vec![0u64; q + 1];
-    let mut ubar = vec![0i64; q + 1];
-    ubar[q] = bounds.upper[q];
+    d.clear();
+    d.resize(q + 1, 0u64);
+    ubar.clear();
+    ubar.resize(q + 1, 0i64);
+    ubar[q] = upper(lu, q);
     for i in (1..=q).rev() {
-        ubar[i - 1] = bounds.upper[i - 1].min(ubar[i]);
+        ubar[i - 1] = upper(lu, i - 1).min(ubar[i]);
     }
     debug_assert!(
-        (0..=q).all(|i| bounds.lower[i] <= ubar[i]),
+        (0..=q).all(|i| lower(lu, i) <= ubar[i]),
         "the empty set must be a partial explanation when k is the explanation size"
     );
 
-    // Scratch buffer holding the recomputed prefix of ū for the current
-    // candidate: (index, new value) pairs, highest index first.
-    let mut scratch: Vec<(usize, i64)> = Vec::with_capacity(q + 1);
+    scratch.clear();
     let mut selected = Vec::with_capacity(k);
     let mut stats = ConstructStats::default();
 
@@ -181,9 +207,9 @@ pub fn construct(
         let mut i = j;
         loop {
             // prev is the candidate value for ū_{i-1} before clamping by u.
-            let new_val = bounds.upper[i - 1].min(prev);
+            let new_val = upper(lu, i - 1).min(prev);
             stats.propagation_steps += 1;
-            if bounds.lower[i - 1] > new_val {
+            if lower(lu, i - 1) > new_val {
                 continue 'candidates; // reject: not a partial explanation
             }
             if new_val == ubar[i - 1] {
@@ -198,7 +224,7 @@ pub fn construct(
         }
 
         // Accept: commit the recomputed prefix and the new multiplicity.
-        for &(idx, val) in &scratch {
+        for &(idx, val) in scratch.iter() {
             ubar[idx] = val;
         }
         d[j] += 1;
@@ -358,6 +384,36 @@ mod tests {
                 assert_eq!(k, 1);
                 assert_eq!(built, 0);
             }
+            other => panic!("expected ConstructionIncomplete, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn construct_with_matches_construct_and_reference() {
+        let r: Vec<f64> = (0..200).map(|i| f64::from(i % 25)).collect();
+        let t: Vec<f64> = (0..150).map(|i| f64::from(i % 10) + 10.0).collect();
+        let base = BaseVector::build(&r, &t).unwrap();
+        let cfg = KsConfig::new(0.05).unwrap();
+        let ctx = BoundsContext::new(&base, &cfg);
+        let k = find_size(&ctx, cfg.alpha()).unwrap().k;
+        let mut ws = BoundsWorkspace::new();
+        for seed in 0..5u64 {
+            let order = crate::preference::PreferenceList::random(t.len(), seed);
+            let (a, stats_a) = construct_with(&base, &cfg, k, order.as_order(), &mut ws).unwrap();
+            let (b, stats_b) = construct(&base, &cfg, k, order.as_order()).unwrap();
+            let (c, _) = construct_reference(&base, &cfg, k, order.as_order()).unwrap();
+            assert_eq!(a, b, "seed = {seed}");
+            assert_eq!(a, c, "seed = {seed}");
+            assert_eq!(stats_a, stats_b, "workspace reuse must not change the search");
+        }
+    }
+
+    #[test]
+    fn construct_with_infeasible_k_errors() {
+        let (base, cfg) = paper_setup();
+        let mut ws = BoundsWorkspace::new();
+        match construct_with(&base, &cfg, 1, &[0, 1, 2, 3], &mut ws) {
+            Err(MocheError::ConstructionIncomplete { built: 0, k: 1 }) => {}
             other => panic!("expected ConstructionIncomplete, got {other:?}"),
         }
     }

@@ -70,9 +70,7 @@ impl PreferenceList {
             });
         }
         let mut order: Vec<usize> = (0..scores.len()).collect();
-        order.sort_by(|&a, &b| {
-            scores[b].total_cmp(&scores[a]).then_with(|| a.cmp(&b))
-        });
+        order.sort_by(|&a, &b| scores[b].total_cmp(&scores[a]).then_with(|| a.cmp(&b)));
         Ok(Self { order })
     }
 
@@ -88,9 +86,7 @@ impl PreferenceList {
             });
         }
         let mut order: Vec<usize> = (0..scores.len()).collect();
-        order.sort_by(|&a, &b| {
-            scores[a].total_cmp(&scores[b]).then_with(|| a.cmp(&b))
-        });
+        order.sort_by(|&a, &b| scores[a].total_cmp(&scores[b]).then_with(|| a.cmp(&b)));
         Ok(Self { order })
     }
 
@@ -167,9 +163,7 @@ mod tests {
         assert!(PreferenceList::new(vec![2, 0, 1]).is_ok());
         assert!(matches!(
             PreferenceList::new(vec![0, 0, 1]),
-            Err(MocheError::InvalidPreference {
-                reason: PreferenceDefect::DuplicateIndex(0)
-            })
+            Err(MocheError::InvalidPreference { reason: PreferenceDefect::DuplicateIndex(0) })
         ));
         assert!(matches!(
             PreferenceList::new(vec![0, 3]),

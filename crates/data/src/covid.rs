@@ -174,8 +174,7 @@ impl CovidDataset {
         }
 
         // Test: baseline part + excess part (all Fraser Health).
-        let excess_total =
-            ((params.test_size as f64) * params.excess_fraction).round() as usize;
+        let excess_total = ((params.test_size as f64) * params.excess_fraction).round() as usize;
         let baseline_total = params.test_size - excess_total;
         let baseline_counts = apportion(&params.baseline_weights, baseline_total);
         let excess_counts = apportion(&params.excess_weights, excess_total);
@@ -295,9 +294,7 @@ mod tests {
     fn explanation_size_near_paper() {
         let ds = CovidDataset::generate(1);
         let moche = Moche::new(0.05).unwrap();
-        let s = moche
-            .explanation_size(&ds.reference_values(), &ds.test_values())
-            .unwrap();
+        let s = moche.explanation_size(&ds.reference_values(), &ds.test_values()).unwrap();
         // Paper: 291 points (8.6% of |T|). The synthetic twin should land in
         // the same ballpark.
         assert!(
@@ -336,9 +333,8 @@ mod tests {
             .unwrap();
         // Same size (all explanations share k).
         assert_eq!(e_a.size(), e_p.size());
-        let mean_age = |e: &moche_core::Explanation| {
-            e.values().iter().sum::<f64>() / e.size() as f64
-        };
+        let mean_age =
+            |e: &moche_core::Explanation| e.values().iter().sum::<f64>() / e.size() as f64;
         assert!(
             mean_age(&e_a) >= mean_age(&e_p),
             "age-preferred explanation should be at least as senior"
@@ -354,10 +350,7 @@ mod tests {
         assert_ne!(a, c);
         // Different seeds still share the same age histograms (counts are
         // apportioned, not sampled).
-        assert_eq!(
-            CovidDataset::age_histogram(&a.test),
-            CovidDataset::age_histogram(&c.test)
-        );
+        assert_eq!(CovidDataset::age_histogram(&a.test), CovidDataset::age_histogram(&c.test));
     }
 
     #[test]

@@ -204,7 +204,7 @@ fn aws_base(rng: &mut StdRng, index: usize, len: usize) -> (&'static str, Vec<f6
             // Disk read bytes: mostly quiet with periodic batch jobs.
             let quiet = uniform(rng, 100.0, 500.0);
             let batch = uniform(rng, 3_000.0, 8_000.0);
-            let period = rng.random_range(180..360);
+            let period = rng.random_range(180..360usize);
             let series = (0..len)
                 .map(|t| {
                     let busy = t % period < 12;
@@ -308,7 +308,7 @@ fn kc_base(rng: &mut StdRng, index: usize, len: usize) -> (&'static str, Vec<f64
                 .map(|t| {
                     if t >= until {
                         level = uniform(rng, 25.0, 70.0);
-                        until = t + rng.random_range(400..900);
+                        until = t + rng.random_range(400..900usize);
                     }
                     (level + normal(rng, 0.0, 3.0)).clamp(0.0, 100.0)
                 })
@@ -364,10 +364,10 @@ fn inject_anomalies(
     for _ in 0..count {
         let kind = rng.random_range(0..4usize);
         let width = match kind {
-            0 => 1 + rng.random_range(0..3usize),        // spike
-            1 => rng.random_range(len / 40..len / 12),    // level shift
-            2 => rng.random_range(len / 40..len / 12),    // variance burst
-            _ => rng.random_range(len / 20..len / 8),     // gradual drift
+            0 => 1 + rng.random_range(0..3usize),      // spike
+            1 => rng.random_range(len / 40..len / 12), // level shift
+            2 => rng.random_range(len / 40..len / 12), // variance burst
+            _ => rng.random_range(len / 20..len / 8),  // gradual drift
         }
         .max(1);
         if width + 10 >= len {
@@ -522,9 +522,10 @@ mod tests {
             let mut sorted = s.values.clone();
             sorted.sort_unstable_by(f64::total_cmp);
             let median = sorted[sorted.len() / 2];
-            let visible = s.anomalies.iter().any(|r| {
-                s.values[r.clone()].iter().any(|&v| (v - median).abs() > 2.0 * scale)
-            });
+            let visible = s
+                .anomalies
+                .iter()
+                .any(|r| s.values[r.clone()].iter().any(|&v| (v - median).abs() > 2.0 * scale));
             assert!(visible, "{} anomalies indistinguishable from noise", s.name);
         }
     }

@@ -69,8 +69,7 @@ pub fn failed_windows(
                 test_start: start + window,
                 reference: reference.to_vec(),
                 test: test.to_vec(),
-                overlaps_anomaly: series
-                    .overlaps_anomaly(start + window, start + 2 * window),
+                overlaps_anomaly: series.overlaps_anomaly(start + window, start + 2 * window),
                 statistic: outcome.statistic,
             });
         }
@@ -140,6 +139,7 @@ mod tests {
             family: NabFamily::Art,
             name: "shift".into(),
             values,
+            #[allow(clippy::single_range_in_vec_init)] // one anomalous index range
             anomalies: vec![300..320],
         }
     }
@@ -150,9 +150,7 @@ mod tests {
         let failed = failed_windows(&series_with_shift(), 100, &cfg, 50);
         assert!(!failed.is_empty());
         // Some failed window must straddle the shift point.
-        assert!(failed
-            .iter()
-            .any(|f| f.reference_start < 300 && f.test_start + f.window > 300));
+        assert!(failed.iter().any(|f| f.reference_start < 300 && f.test_start + f.window > 300));
     }
 
     #[test]

@@ -18,7 +18,9 @@
 //!   so the final set is irreducible — no proper subset obtained by
 //!   dropping one point still reverses the test.
 
-use crate::ks2d::{ks2d_p_value, ks2d_test, pearson_r, statistic_after_removal, Ks2dConfig, Ks2dOutcome};
+use crate::ks2d::{
+    ks2d_p_value, ks2d_test, pearson_r, statistic_after_removal, Ks2dConfig, Ks2dOutcome,
+};
 use crate::point2::Point2;
 use moche_core::{MocheError, PreferenceList};
 
@@ -79,8 +81,7 @@ fn prepare(
             threshold: cfg.alpha,
         });
     }
-    let pref =
-        preference.cloned().unwrap_or_else(|| PreferenceList::identity(test.len()));
+    let pref = preference.cloned().unwrap_or_else(|| PreferenceList::identity(test.len()));
     Ok((before, pref))
 }
 
@@ -163,7 +164,7 @@ impl GreedyImpact2d {
                 let (d, _) = statistic_after_removal(reference, test, &removed);
                 removed.pop();
                 let candidate = (d, ranks[idx], pos);
-                if best.map_or(true, |b| candidate < b) {
+                if best.is_none_or(|b| candidate < b) {
                     best = Some(candidate);
                 }
             }

@@ -190,13 +190,8 @@ pub fn ks2d_test(
     cfg: &Ks2dConfig,
 ) -> Result<Ks2dOutcome, MocheError> {
     let statistic = ks2d_statistic(reference, test)?;
-    let p_value = ks2d_p_value(
-        statistic,
-        reference.len(),
-        test.len(),
-        pearson_r(reference),
-        pearson_r(test),
-    );
+    let p_value =
+        ks2d_p_value(statistic, reference.len(), test.len(), pearson_r(reference), pearson_r(test));
     Ok(Ks2dOutcome {
         statistic,
         p_value,
@@ -218,8 +213,7 @@ pub(crate) fn statistic_after_removal(
     for &i in removed {
         keep[i] = false;
     }
-    let kept: Vec<Point2> =
-        test.iter().zip(&keep).filter_map(|(&p, &k)| k.then_some(p)).collect();
+    let kept: Vec<Point2> = test.iter().zip(&keep).filter_map(|(&p, &k)| k.then_some(p)).collect();
     let d = ks2d_statistic(reference, &kept).unwrap_or(0.0);
     (d, kept)
 }
@@ -231,7 +225,12 @@ mod tests {
 
     fn grid(n: usize, offset: f64) -> Vec<Point2> {
         (0..n)
-            .map(|i| Point2::new(((i * 7) % 13) as f64 * 0.3 + offset, ((i * 11) % 17) as f64 * 0.2 + offset))
+            .map(|i| {
+                Point2::new(
+                    ((i * 7) % 13) as f64 * 0.3 + offset,
+                    ((i * 11) % 17) as f64 * 0.2 + offset,
+                )
+            })
             .collect()
     }
 
@@ -279,7 +278,8 @@ mod tests {
 
     #[test]
     fn pearson_r_of_correlated_data() {
-        let pts = points_from_xy(&(0..50).map(|i| (i as f64, 2.0 * i as f64 + 1.0)).collect::<Vec<_>>());
+        let pts =
+            points_from_xy(&(0..50).map(|i| (i as f64, 2.0 * i as f64 + 1.0)).collect::<Vec<_>>());
         assert!((pearson_r(&pts) - 1.0).abs() < 1e-9);
         let anti = points_from_xy(&(0..50).map(|i| (i as f64, -i as f64)).collect::<Vec<_>>());
         assert!((pearson_r(&anti) + 1.0).abs() < 1e-9);

@@ -30,8 +30,7 @@ impl Embedding {
     /// applied) into the embedding plane.
     pub fn project(&self, subsequence: &[f64]) -> (f64, f64) {
         debug_assert_eq!(subsequence.len(), self.center.len());
-        let centered: Vec<f64> =
-            subsequence.iter().zip(&self.center).map(|(v, c)| v - c).collect();
+        let centered: Vec<f64> = subsequence.iter().zip(&self.center).map(|(v, c)| v - c).collect();
         (dot(&centered, &self.axis1), dot(&centered, &self.axis2))
     }
 }
@@ -40,9 +39,7 @@ impl Embedding {
 /// centered moving average of `smooth` points.
 pub fn smoothed_subsequences(series: &[f64], w: usize, smooth: usize) -> Vec<Vec<f64>> {
     assert!(w >= 2 && w <= series.len(), "invalid subsequence length");
-    (0..=series.len() - w)
-        .map(|i| moving_average(&series[i..i + w], smooth.max(1)))
-        .collect()
+    (0..=series.len() - w).map(|i| moving_average(&series[i..i + w], smooth.max(1))).collect()
 }
 
 /// Embeds subsequences into the plane spanned by their top two principal
@@ -66,18 +63,13 @@ pub fn embed(subsequences: &[Vec<f64>]) -> Embedding {
     for c in &mut center {
         *c /= subsequences.len() as f64;
     }
-    let centered: Vec<Vec<f64>> = subsequences
-        .iter()
-        .map(|s| s.iter().zip(&center).map(|(v, c)| v - c).collect())
-        .collect();
+    let centered: Vec<Vec<f64>> =
+        subsequences.iter().map(|s| s.iter().zip(&center).map(|(v, c)| v - c).collect()).collect();
 
     let axis1 = top_component(&centered, None);
     let axis2 = top_component(&centered, Some(&axis1));
 
-    let points = centered
-        .iter()
-        .map(|s| (dot(s, &axis1), dot(s, &axis2)))
-        .collect();
+    let points = centered.iter().map(|s| (dot(s, &axis1), dot(s, &axis2))).collect();
 
     Embedding { points, axis1, axis2, center }
 }
@@ -89,9 +81,7 @@ pub fn embed(subsequences: &[Vec<f64>]) -> Embedding {
 fn top_component(rows: &[Vec<f64>], deflate: Option<&[f64]>) -> Vec<f64> {
     let dim = rows[0].len();
     // Deterministic, well-spread start vector.
-    let mut v: Vec<f64> = (0..dim)
-        .map(|i| ((i as f64 + 1.0) * 0.754_877).sin() + 0.01)
-        .collect();
+    let mut v: Vec<f64> = (0..dim).map(|i| ((i as f64 + 1.0) * 0.754_877).sin() + 0.01).collect();
     if let Some(d) = deflate {
         orthogonalize(&mut v, d);
     }

@@ -137,9 +137,8 @@ mod tests {
 
     #[test]
     fn matches_naive_dft() {
-        let x: Vec<Complex> = (0..16)
-            .map(|i| Complex::new((i as f64 * 0.7).sin(), (i as f64 * 0.3).cos()))
-            .collect();
+        let x: Vec<Complex> =
+            (0..16).map(|i| Complex::new((i as f64 * 0.7).sin(), (i as f64 * 0.3).cos())).collect();
         let mut fast = x.clone();
         fft_in_place(&mut fast);
         let slow = dft_naive(&x);
@@ -148,9 +147,8 @@ mod tests {
 
     #[test]
     fn roundtrip_identity() {
-        let x: Vec<Complex> = (0..64)
-            .map(|i| Complex::new((i as f64).sqrt(), (i as f64 * 0.1).sin()))
-            .collect();
+        let x: Vec<Complex> =
+            (0..64).map(|i| Complex::new((i as f64).sqrt(), (i as f64 * 0.1).sin())).collect();
         let mut buf = x.clone();
         fft_in_place(&mut buf);
         ifft_in_place(&mut buf);
@@ -201,12 +199,8 @@ mod tests {
         let mut buf = x;
         fft_in_place(&mut buf);
         let mags: Vec<f64> = buf.iter().map(|z| z.abs()).collect();
-        let peak = mags
-            .iter()
-            .enumerate()
-            .max_by(|a, b| a.1.total_cmp(b.1))
-            .map(|(i, _)| i)
-            .unwrap();
+        let peak =
+            mags.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1)).map(|(i, _)| i).unwrap();
         assert!(peak == freq || peak == n - freq, "peak at bin {peak}");
     }
 

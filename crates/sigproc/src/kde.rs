@@ -152,8 +152,7 @@ mod tests {
         let kde = GaussianKde::fit(&sample);
         let (lo, hi, steps) = (-10.0, 10.0, 4000);
         let dx = (hi - lo) / steps as f64;
-        let integral: f64 =
-            (0..steps).map(|i| kde.density(lo + (i as f64 + 0.5) * dx) * dx).sum();
+        let integral: f64 = (0..steps).map(|i| kde.density(lo + (i as f64 + 0.5) * dx) * dx).sum();
         assert!((integral - 1.0).abs() < 1e-3, "integral = {integral}");
     }
 

@@ -90,12 +90,7 @@ pub fn ab_join_naive(query: &[f64], reference: &[f64], w: usize) -> Vec<f64> {
         let a = crate::stats::z_normalize(&query[i..i + w]);
         for j in 0..nr {
             let b = crate::stats::z_normalize(&reference[j..j + w]);
-            let d: f64 = a
-                .iter()
-                .zip(&b)
-                .map(|(x, y)| (x - y) * (x - y))
-                .sum::<f64>()
-                .sqrt();
+            let d: f64 = a.iter().zip(&b).map(|(x, y)| (x - y) * (x - y)).sum::<f64>().sqrt();
             if d < profile[i] {
                 profile[i] = d;
             }
@@ -163,8 +158,8 @@ mod tests {
         let reference = series_a();
         let mut query = series_a();
         // Replace a patch by a wildly different shape.
-        for i in 40..48 {
-            query[i] = if i % 2 == 0 { 30.0 } else { -30.0 };
+        for (i, x) in query.iter_mut().enumerate().take(48).skip(40) {
+            *x = if i % 2 == 0 { 30.0 } else { -30.0 };
         }
         let w = 8;
         let p = ab_join(&query, &reference, w);

@@ -124,11 +124,8 @@ impl Series2Graph {
         // into it (its own node for the first one).
         let mut scores = Vec::with_capacity(nodes.len());
         for (i, &n) in nodes.iter().enumerate() {
-            let weight = if i == 0 {
-                self.node_counts[n]
-            } else {
-                self.edge_weight(nodes[i - 1], n)
-            };
+            let weight =
+                if i == 0 { self.node_counts[n] } else { self.edge_weight(nodes[i - 1], n) };
             scores.push(1.0 / (1.0 + weight));
         }
         scores
@@ -173,8 +170,8 @@ mod tests {
 
         let normal = periodic(200);
         let mut anomalous = periodic(200);
-        for i in 90..110 {
-            anomalous[i] = if i % 2 == 0 { 50.0 } else { -50.0 };
+        for (i, x) in anomalous.iter_mut().enumerate().take(110).skip(90) {
+            *x = if i % 2 == 0 { 50.0 } else { -50.0 };
         }
         let s_norm = graph.score_subsequences(&normal);
         let s_anom = graph.score_subsequences(&anomalous);
@@ -191,8 +188,8 @@ mod tests {
         let reference = periodic(600);
         let graph = Series2Graph::fit(&reference, Series2GraphConfig::default());
         let mut query = periodic(300);
-        for i in 140..160 {
-            query[i] += 60.0;
+        for x in &mut query[140..160] {
+            *x += 60.0;
         }
         let scores = graph.score_points(&query);
         assert_eq!(scores.len(), query.len());
@@ -243,7 +240,8 @@ mod tests {
         let psi = 8;
         let mut seen = vec![false; psi];
         for k in 0..64 {
-            let theta = -std::f64::consts::PI + (k as f64 + 0.5) / 64.0 * 2.0 * std::f64::consts::PI;
+            let theta =
+                -std::f64::consts::PI + (k as f64 + 0.5) / 64.0 * 2.0 * std::f64::consts::PI;
             let p = (theta.cos(), theta.sin());
             let n = Series2Graph::node_of_point(p, psi);
             assert!(n < psi);

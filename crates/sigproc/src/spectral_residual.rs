@@ -90,10 +90,7 @@ impl SpectralResidual {
     pub fn scores(&self, series: &[f64]) -> Vec<f64> {
         let sal = self.saliency(series);
         let avg = trailing_average(&sal, self.score_window);
-        sal.iter()
-            .zip(avg)
-            .map(|(&s, a)| if a > 1e-12 { (s - a) / a } else { 0.0 })
-            .collect()
+        sal.iter().zip(avg).map(|(&s, a)| if a > 1e-12 { (s - a) / a } else { 0.0 }).collect()
     }
 
     /// The SR paper's estimate of the next point: the last value plus the
@@ -124,12 +121,8 @@ mod tests {
         series[120] += 40.0;
         let sr = SpectralResidual::default();
         let scores = sr.scores(&series);
-        let argmax = scores
-            .iter()
-            .enumerate()
-            .max_by(|a, b| a.1.total_cmp(b.1))
-            .map(|(i, _)| i)
-            .unwrap();
+        let argmax =
+            scores.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1)).map(|(i, _)| i).unwrap();
         assert!(
             (118..=122).contains(&argmax),
             "expected the spike at 120 to dominate, got index {argmax}"

@@ -213,8 +213,7 @@ impl IncrementalKs {
         if self.test.is_empty() {
             return Err(MocheError::EmptyTest);
         }
-        if self.dirty || self.built_n != self.reference.len() || self.built_m != self.test.len()
-        {
+        if self.dirty || self.built_n != self.reference.len() || self.built_m != self.test.len() {
             self.rebuild();
         }
         let nm = (self.built_n as f64) * (self.built_m as f64);

@@ -12,7 +12,7 @@
 //! `O(1)` for the decision; explanations are computed only on alarms.
 
 use crate::incremental::{IncrementalKs, ObsId};
-use moche_core::{Explanation, KsConfig, KsOutcome, Moche, MocheError, PreferenceList};
+use moche_core::{ExplainEngine, Explanation, KsConfig, KsOutcome, MocheError, PreferenceList};
 use moche_sigproc::SpectralResidual;
 use std::collections::VecDeque;
 
@@ -40,6 +40,7 @@ impl MonitorConfig {
 
 /// What a [`DriftMonitor::push`] call observed.
 #[derive(Debug, Clone)]
+#[allow(clippy::large_enum_variant)] // Drift carries the full Explanation by design
 pub enum MonitorEvent {
     /// Still filling the initial `2w` observations.
     Warming {
@@ -91,6 +92,8 @@ pub struct DriftMonitor {
     iks: IncrementalKs,
     ref_window: VecDeque<(f64, ObsId)>,
     test_window: VecDeque<(f64, ObsId)>,
+    /// Scratch-reusing explainer: alarm N reuses the buffers of alarm N-1.
+    engine: ExplainEngine,
     pushes: u64,
     alarms: u64,
 }
@@ -111,6 +114,7 @@ impl DriftMonitor {
             iks: IncrementalKs::new(),
             ref_window: VecDeque::with_capacity(cfg.window),
             test_window: VecDeque::with_capacity(cfg.window),
+            engine: ExplainEngine::with_config(ks_cfg),
             pushes: 0,
             alarms: 0,
         })
@@ -176,8 +180,7 @@ impl DriftMonitor {
                 .slide_reference(oldest_ref_id, promoted_value)
                 .expect("ref handle is live");
             self.ref_window.push_back((promoted_value, new_ref_id));
-            let new_test_id =
-                self.iks.slide_test(promoted_id, value).expect("test handle is live");
+            let new_test_id = self.iks.slide_test(promoted_id, value).expect("test handle is live");
             self.test_window.push_back((value, new_test_id));
         }
 
@@ -187,11 +190,8 @@ impl DriftMonitor {
         }
 
         self.alarms += 1;
-        let explanation = if self.cfg.explain_on_drift {
-            self.explain_current(&outcome)
-        } else {
-            None
-        };
+        let explanation =
+            if self.cfg.explain_on_drift { self.explain_current(&outcome) } else { None };
         if self.cfg.reset_on_drift {
             self.ref_window.clear();
             self.test_window.clear();
@@ -201,8 +201,9 @@ impl DriftMonitor {
     }
 
     /// Explains the currently failing window pair with MOCHE, ranking test
-    /// points by Spectral-Residual outlier score.
-    fn explain_current(&self, _outcome: &KsOutcome) -> Option<Explanation> {
+    /// points by Spectral-Residual outlier score. Runs on the monitor's
+    /// [`ExplainEngine`], so repeated alarms share their scratch buffers.
+    fn explain_current(&mut self, _outcome: &KsOutcome) -> Option<Explanation> {
         let reference = self.reference_window();
         let test = self.test_window();
         let preference = if test.len() >= 4 {
@@ -211,7 +212,7 @@ impl DriftMonitor {
         } else {
             PreferenceList::identity(test.len())
         };
-        Moche::with_config(self.ks_cfg).explain(&reference, &test, &preference).ok()
+        self.engine.explain(&reference, &test, &preference).ok()
     }
 }
 
@@ -249,11 +250,7 @@ mod tests {
         let mut mon = DriftMonitor::new(MonitorConfig::new(60, 0.05)).unwrap();
         let mut drift_at = None;
         for i in 0..600 {
-            let x = if i < 300 {
-                ((i * 13) % 11) as f64
-            } else {
-                ((i * 13) % 11) as f64 + 20.0
-            };
+            let x = if i < 300 { ((i * 13) % 11) as f64 } else { ((i * 13) % 11) as f64 + 20.0 };
             if let MonitorEvent::Drift { outcome, explanation } = mon.push(x) {
                 assert!(outcome.rejected);
                 drift_at = Some(i);
@@ -335,11 +332,8 @@ mod tests {
                     MonitorEvent::Warming { .. } => panic!("past warm-up"),
                 };
                 let lo = i + 1 - 2 * w;
-                let batch = moche_core::ks_statistic(
-                    &series[lo..lo + w],
-                    &series[lo + w..i + 1],
-                )
-                .unwrap();
+                let batch =
+                    moche_core::ks_statistic(&series[lo..lo + w], &series[lo + w..i + 1]).unwrap();
                 assert!((stat - batch).abs() < 1e-12, "i = {i}: {stat} vs {batch}");
             }
         }

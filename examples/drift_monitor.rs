@@ -29,8 +29,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut explained = 0usize;
 
     for series in series_set.iter().take(3) {
-        println!("series {} ({} points, {} ground-truth anomaly windows)",
-            series.name, series.len(), series.anomalies.len());
+        println!(
+            "series {} ({} points, {} ground-truth anomaly windows)",
+            series.name,
+            series.len(),
+            series.anomalies.len()
+        );
         let failed = failed_windows(series, window, &cfg, window);
         for test_case in failed {
             alarms += 1;
@@ -39,8 +43,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             let scores = sr.scores(&test_case.test);
             let preference = PreferenceList::from_scores_desc(&scores)?;
 
-            let explanation =
-                moche.explain(&test_case.reference, &test_case.test, &preference)?;
+            let explanation = moche.explain(&test_case.reference, &test_case.test, &preference)?;
             explained += 1;
 
             // How much of the explanation falls inside ground-truth windows?

@@ -52,10 +52,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                     outcome.statistic, outcome.threshold
                 );
                 if let Some(e) = explanation {
-                    let mean: f64 =
-                        e.values().iter().sum::<f64>() / e.size().max(1) as f64;
-                    let extreme =
-                        e.values().iter().filter(|v| v.abs() > 3.0).count();
+                    let mean: f64 = e.values().iter().sum::<f64>() / e.size().max(1) as f64;
+                    let extreme = e.values().iter().filter(|v| v.abs() > 3.0).count();
                     println!(
                         "          explanation: {} of {} window points (k_hat gap {}), \
                          mean value {:.2}, {} beyond |3σ|",

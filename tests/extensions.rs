@@ -29,8 +29,8 @@ fn monitor_consumes_nab_series_and_agrees_with_batch_checks() {
             continue;
         }
         let lo = i + 1 - 2 * w;
-        let batch = ks_statistic(&series.values[lo..lo + w], &series.values[lo + w..i + 1])
-            .unwrap();
+        let batch =
+            ks_statistic(&series.values[lo..lo + w], &series.values[lo + w..i + 1]).unwrap();
         let stat = match event {
             MonitorEvent::Stable { outcome } => outcome.statistic,
             MonitorEvent::Drift { outcome, .. } => {

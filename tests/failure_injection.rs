@@ -85,9 +85,8 @@ fn baselines_survive_degenerate_but_valid_inputs() {
 #[test]
 fn multidim_rejects_bad_points_and_sides() {
     let cfg = Ks2dConfig::new(0.05).unwrap();
-    let good: Vec<Point2> = (0..20)
-        .map(|i| Point2::new(f64::from(i % 5), f64::from(i % 4)))
-        .collect();
+    let good: Vec<Point2> =
+        (0..20).map(|i| Point2::new(f64::from(i % 5), f64::from(i % 4))).collect();
     for bad in BAD_VALUES {
         let poisoned = vec![Point2::new(bad, 0.0)];
         assert!(ks2d_test(&poisoned, &good, &cfg).is_err());

@@ -10,10 +10,7 @@ use moche::{KsConfig, Moche, PreferenceList};
 fn example_sets() -> (Vec<f64>, Vec<f64>) {
     // Example 3: T = {t1, t2, t3, t4} = {13, 13, 12, 20},
     //            R = {14, 14, 14, 14, 20, 20, 20, 20}.
-    (
-        vec![14.0, 14.0, 14.0, 14.0, 20.0, 20.0, 20.0, 20.0],
-        vec![13.0, 13.0, 12.0, 20.0],
-    )
+    (vec![14.0, 14.0, 14.0, 14.0, 20.0, 20.0, 20.0, 20.0], vec![13.0, 13.0, 12.0, 20.0])
 }
 
 #[test]
@@ -85,7 +82,8 @@ fn example_6_agrees_with_brute_force() {
 fn proposition_1_existence_for_practical_alpha() {
     // "2/e^2 > 0.27, which is far over the range of significance levels
     //  used in statistical tests."
-    assert!(moche::core::ALPHA_EXISTENCE_GUARANTEE > 0.27);
+    let guarantee = moche::core::ALPHA_EXISTENCE_GUARANTEE;
+    assert!(guarantee > 0.27);
     // For alpha = 0.05 every failed test in a broad family of instances
     // must have an explanation.
     let moche_005 = Moche::new(0.05).unwrap();

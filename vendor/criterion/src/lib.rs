@@ -1,0 +1,225 @@
+//! Offline, workspace-local stand-in for the `criterion` benchmark harness.
+//!
+//! Provides the API surface the workspace's benches use — [`Criterion`],
+//! [`BenchmarkId`], benchmark groups, `Bencher::iter`, and the
+//! `criterion_group!` / `criterion_main!` macros — backed by a simple
+//! median-of-samples wall-clock harness instead of criterion's full
+//! statistical machinery.
+//!
+//! Every measurement prints one line:
+//!
+//! ```text
+//! bench: <group>/<name>/<param> ... <ns>/iter (<iters> iters x <samples> samples)
+//! ```
+//!
+//! and, when the `BENCH_JSON` environment variable names a file, appends a
+//! JSON line `{"name": ..., "ns_per_iter": ..., "iters_per_sec": ...}` so
+//! perf PRs can diff machine-readable trajectories (see
+//! `crates/bench/src/bin/run_all.rs`, which assembles `BENCH_core.json`).
+
+use std::fmt::Display;
+use std::fmt::Write as _;
+use std::io::Write as _;
+use std::time::Instant;
+
+/// Identifies one benchmark within a group: `function_name/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id from a function name and a parameter value.
+    pub fn new<P: Display>(function_name: &str, parameter: P) -> Self {
+        Self { id: format!("{function_name}/{parameter}") }
+    }
+
+    /// Builds an id from a parameter only.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        Self { id: parameter.to_string() }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// The measurement handle passed to bench closures.
+pub struct Bencher {
+    /// Filled in by [`Bencher::iter`]: median nanoseconds per iteration.
+    result_ns: f64,
+    iters: u64,
+    samples: u32,
+}
+
+impl Bencher {
+    /// Times `routine`, storing the median ns/iteration across samples.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Calibrate: grow the iteration count until one sample takes >= 2 ms
+        // (or the count gets large); this amortizes timer overhead.
+        let mut iters: u64 = 1;
+        loop {
+            let t = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(routine());
+            }
+            let elapsed = t.elapsed().as_nanos();
+            if elapsed >= 2_000_000 || iters >= 1 << 20 {
+                break;
+            }
+            iters *= 2;
+        }
+        let mut per_iter: Vec<f64> = Vec::with_capacity(self.samples as usize);
+        for _ in 0..self.samples {
+            let t = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(routine());
+            }
+            per_iter.push(t.elapsed().as_nanos() as f64 / iters as f64);
+        }
+        per_iter.sort_by(f64::total_cmp);
+        self.result_ns = per_iter[per_iter.len() / 2];
+        self.iters = iters;
+    }
+}
+
+fn record(full_name: &str, ns_per_iter: f64, iters: u64, samples: u32) {
+    println!("bench: {full_name} ... {ns_per_iter:.1} ns/iter ({iters} iters x {samples} samples)");
+    if let Ok(path) = std::env::var("BENCH_JSON") {
+        if !path.is_empty() {
+            let mut line = String::new();
+            let _ = write!(
+                line,
+                "{{\"name\":\"{full_name}\",\"ns_per_iter\":{ns_per_iter:.1},\"iters_per_sec\":{:.1}}}",
+                1.0e9 / ns_per_iter.max(1e-9),
+            );
+            if let Ok(mut f) = std::fs::OpenOptions::new().create(true).append(true).open(&path) {
+                let _ = writeln!(f, "{line}");
+            }
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    samples: u32,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timing samples per benchmark (criterion's
+    /// `sample_size`; clamped to at least 3 here).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = (n as u32).max(3);
+        self
+    }
+
+    /// Runs one benchmark with an input value.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher { result_ns: 0.0, iters: 0, samples: self.samples };
+        f(&mut b, input);
+        record(&format!("{}/{}", self.name, id), b.result_ns, b.iters, b.samples);
+        self
+    }
+
+    /// Runs one benchmark without an input value.
+    pub fn bench_function<F>(&mut self, id: BenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher { result_ns: 0.0, iters: 0, samples: self.samples };
+        f(&mut b);
+        record(&format!("{}/{}", self.name, id), b.result_ns, b.iters, b.samples);
+        self
+    }
+
+    /// Ends the group (printing is immediate; this exists for API parity).
+    pub fn finish(&mut self) {}
+}
+
+/// The top-level harness handle.
+pub struct Criterion {
+    samples: u32,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { samples: 11 }
+    }
+}
+
+impl Criterion {
+    /// Opens a benchmark group.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        let samples = self.samples;
+        BenchmarkGroup { name: name.into(), samples, _parent: self }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher { result_ns: 0.0, iters: 0, samples: self.samples };
+        f(&mut b);
+        record(name, b.result_ns, b.iters, b.samples);
+        self
+    }
+}
+
+/// Re-export of [`std::hint::black_box`] for parity with criterion.
+pub use std::hint::black_box;
+
+/// Declares a benchmark group function list.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the bench `main` that runs the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trivial(c: &mut Criterion) {
+        let mut g = c.benchmark_group("test_group");
+        g.sample_size(3);
+        g.bench_with_input(BenchmarkId::new("sum", 10), &10u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        g.finish();
+    }
+
+    criterion_group!(benches, trivial);
+
+    #[test]
+    fn harness_runs() {
+        benches();
+    }
+
+    #[test]
+    fn id_formats() {
+        assert_eq!(BenchmarkId::new("f", 42).to_string(), "f/42");
+        assert_eq!(BenchmarkId::from_parameter("x").to_string(), "x");
+    }
+}
