@@ -5,7 +5,10 @@
 //! explanations per second at each thread count.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use moche_core::{BatchExplainer, KsConfig, SortedReference};
+use moche_core::{
+    BaseVector, BatchExplainer, KsConfig, ReferenceIndex, ReferenceMode, SortedReference,
+    StreamingBatchExplainer,
+};
 use moche_data::failing_kifer_pair;
 use std::hint::black_box;
 
@@ -51,5 +54,93 @@ fn bench_batch_throughput(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_batch_throughput);
+/// Merged vs indexed per-window base-vector construction on the
+/// asymmetric monitoring workload (`n >> m`): the splice path replaces the
+/// per-element merge loop with chunk copies of the precomputed reference.
+fn bench_reference_modes(c: &mut Criterion) {
+    let cfg = KsConfig::new(0.05).unwrap();
+    let n = 100_000usize;
+    let m = 1_000usize;
+    let pair = failing_kifer_pair(m, 0.05, &cfg, 11, 100).expect("p = 5% fails at m = 1_000");
+    let reference: Vec<f64> =
+        (0..n).map(|i| pair.reference[i % m] + (i / m) as f64 * 1e-9).collect();
+    let shared = SortedReference::new(&reference).unwrap();
+    let index = ReferenceIndex::from_sorted(&shared);
+
+    let mut group = c.benchmark_group("base_vector_construction");
+    group.bench_function(BenchmarkId::new("merged", format!("n{n}_m{m}")), |b| {
+        b.iter(|| BaseVector::build_with_reference(black_box(&shared), &pair.test).unwrap())
+    });
+    group.bench_function(BenchmarkId::new("indexed", format!("n{n}_m{m}")), |b| {
+        b.iter(|| BaseVector::build_with_index(black_box(&index), &pair.test).unwrap())
+    });
+    group.finish();
+
+    // The end-to-end effect on the batch engine.
+    let (r, windows) = failing_windows(10_000, 32, &cfg);
+    let shared = SortedReference::new(&r).unwrap();
+    let mut group = c.benchmark_group("batch_reference_mode");
+    group.sample_size(10);
+    for (mode, tag) in [(ReferenceMode::Merged, "merged"), (ReferenceMode::Indexed, "indexed")] {
+        let explainer = BatchExplainer::with_config(cfg).threads(1).reference_mode(mode);
+        group.bench_function(BenchmarkId::new(tag, "32_windows_w10000"), |b| {
+            b.iter(|| {
+                let results = explainer.explain_windows(black_box(&shared), &windows, None);
+                assert!(results.iter().all(Result::is_ok));
+                results
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Streaming throughput: the bounded-memory engine against the eager
+/// batch, plus the Phase-1-only `size_only` mode.
+fn bench_streaming(c: &mut Criterion) {
+    let cfg = KsConfig::new(0.05).unwrap();
+    let (r, windows) = failing_windows(10_000, 32, &cfg);
+    let index = ReferenceIndex::new(&r).unwrap();
+
+    let mut group = c.benchmark_group("streaming_batch");
+    group.sample_size(10);
+    for &threads in &[1usize, 4] {
+        let streamer = StreamingBatchExplainer::with_config(cfg).threads(threads).buffer(8);
+        group.bench_with_input(
+            BenchmarkId::new("explain_32_windows_w10000", threads),
+            &threads,
+            |b, _| {
+                b.iter(|| {
+                    let summary = streamer.explain_stream(
+                        black_box(&index),
+                        windows.iter().cloned(),
+                        None,
+                        |r| assert!(r.result.is_ok()),
+                    );
+                    assert_eq!(summary.windows, windows.len());
+                    summary
+                })
+            },
+        );
+        let sized = streamer.mode(moche_core::StreamMode::SizeOnly);
+        group.bench_with_input(
+            BenchmarkId::new("size_only_32_windows_w10000", threads),
+            &threads,
+            |b, _| {
+                b.iter(|| {
+                    let summary = sized.explain_stream(
+                        black_box(&index),
+                        windows.iter().cloned(),
+                        None,
+                        |r| assert!(r.result.is_ok()),
+                    );
+                    assert_eq!(summary.windows, windows.len());
+                    summary
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_batch_throughput, bench_reference_modes, bench_streaming);
 criterion_main!(benches);

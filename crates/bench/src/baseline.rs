@@ -1,0 +1,371 @@
+//! Performance-baseline comparison: the library behind the `perf_gate`
+//! binary and CI's perf-regression gate.
+//!
+//! `BENCH_core.json` (written by `run_all --bench-json`, see
+//! [`crate::perf`]) is committed to the repository as the performance
+//! baseline. The gate re-runs the evidence suite and fails the build when
+//! a benchmark regresses: `ns_per_iter` above the allowed ratio, or
+//! `allocs_per_iter` increasing at all (allocation counts are
+//! deterministic, so any increase is a real change — a small absolute
+//! tolerance absorbs the fractional medians of the batch records).
+//!
+//! The parser handles exactly the flat `{name: {metric: number}}` shape
+//! [`crate::perf::to_json`] writes — the workspace is offline and carries
+//! no JSON dependency.
+
+use std::collections::BTreeMap;
+
+/// One benchmark's baseline (or current) metrics.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BenchEntry {
+    /// Median wall-clock nanoseconds per iteration.
+    pub ns_per_iter: f64,
+    /// Heap allocations per iteration, when recorded.
+    pub allocs_per_iter: Option<f64>,
+}
+
+/// Gate thresholds.
+#[derive(Debug, Clone, Copy)]
+pub struct GateConfig {
+    /// Maximum tolerated `ns_per_iter` regression as a fraction of the
+    /// baseline (`0.15` = +15%).
+    pub max_ns_regression: f64,
+    /// Absolute tolerance on `allocs_per_iter` increases, absorbing
+    /// fractional medians (per-window averages of whole-batch counts).
+    pub alloc_tolerance: f64,
+}
+
+impl Default for GateConfig {
+    fn default() -> Self {
+        Self { max_ns_regression: 0.15, alloc_tolerance: 0.5 }
+    }
+}
+
+/// One benchmark compared against its baseline.
+#[derive(Debug, Clone)]
+pub struct Comparison {
+    /// Benchmark name.
+    pub name: String,
+    /// Baseline metrics.
+    pub baseline: BenchEntry,
+    /// Current metrics.
+    pub current: BenchEntry,
+    /// `current.ns_per_iter / baseline.ns_per_iter`.
+    pub ns_ratio: f64,
+    /// Why this benchmark fails the gate; empty when it passes.
+    pub failures: Vec<String>,
+}
+
+/// The gate's full verdict.
+#[derive(Debug, Clone, Default)]
+pub struct GateReport {
+    /// Per-benchmark comparisons for names present in both files.
+    pub comparisons: Vec<Comparison>,
+    /// Baseline benchmarks missing from the current run — a dropped
+    /// benchmark fails the gate (it would silently shrink coverage).
+    pub missing: Vec<String>,
+    /// Current benchmarks with no baseline yet (informational).
+    pub added: Vec<String>,
+}
+
+impl GateReport {
+    /// Whether the gate passes.
+    pub fn passed(&self) -> bool {
+        self.missing.is_empty() && self.comparisons.iter().all(|c| c.failures.is_empty())
+    }
+
+    /// Human-readable report, one line per benchmark.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for c in &self.comparisons {
+            let allocs = match (c.baseline.allocs_per_iter, c.current.allocs_per_iter) {
+                (Some(b), Some(n)) => format!(", allocs {b:.1} -> {n:.1}"),
+                _ => String::new(),
+            };
+            let verdict = if c.failures.is_empty() {
+                "ok".to_string()
+            } else {
+                format!("FAIL ({})", c.failures.join("; "))
+            };
+            out.push_str(&format!(
+                "{}: {:.0} -> {:.0} ns/iter ({:+.1}%{allocs}) ... {verdict}\n",
+                c.name,
+                c.baseline.ns_per_iter,
+                c.current.ns_per_iter,
+                (c.ns_ratio - 1.0) * 100.0,
+            ));
+        }
+        for name in &self.missing {
+            out.push_str(&format!("{name}: MISSING from the current run ... FAIL\n"));
+        }
+        for name in &self.added {
+            out.push_str(&format!("{name}: new benchmark (no baseline) ... ok\n"));
+        }
+        out.push_str(&format!("\nperf gate: {}\n", if self.passed() { "PASS" } else { "FAIL" }));
+        out
+    }
+}
+
+/// Compares a current run against the baseline under `cfg`.
+pub fn compare(
+    baseline: &BTreeMap<String, BenchEntry>,
+    current: &BTreeMap<String, BenchEntry>,
+    cfg: &GateConfig,
+) -> GateReport {
+    let mut report = GateReport::default();
+    for (name, base) in baseline {
+        let Some(cur) = current.get(name) else {
+            report.missing.push(name.clone());
+            continue;
+        };
+        let ns_ratio = cur.ns_per_iter / base.ns_per_iter.max(1e-9);
+        let mut failures = Vec::new();
+        if ns_ratio > 1.0 + cfg.max_ns_regression {
+            failures.push(format!(
+                "ns/iter regressed {:.1}% (limit {:.0}%)",
+                (ns_ratio - 1.0) * 100.0,
+                cfg.max_ns_regression * 100.0
+            ));
+        }
+        if let (Some(b), Some(n)) = (base.allocs_per_iter, cur.allocs_per_iter) {
+            if n > b + cfg.alloc_tolerance {
+                failures.push(format!("allocs/iter increased {b:.1} -> {n:.1}"));
+            }
+        }
+        report.comparisons.push(Comparison {
+            name: name.clone(),
+            baseline: *base,
+            current: *cur,
+            ns_ratio,
+            failures,
+        });
+    }
+    for name in current.keys() {
+        if !baseline.contains_key(name) {
+            report.added.push(name.clone());
+        }
+    }
+    report
+}
+
+/// Parses the flat bench JSON written by [`crate::perf::to_json`]:
+/// `{"name": {"ns_per_iter": N, "per_sec": N, "allocs_per_iter": N}, ...}`.
+///
+/// # Errors
+///
+/// Returns a human-readable description of the first syntax problem.
+pub fn parse_bench_json(content: &str) -> Result<BTreeMap<String, BenchEntry>, String> {
+    let mut p = Parser { bytes: content.as_bytes(), pos: 0 };
+    let mut entries = BTreeMap::new();
+    p.skip_ws();
+    p.expect(b'{')?;
+    p.skip_ws();
+    if p.peek() == Some(b'}') {
+        return Ok(entries);
+    }
+    loop {
+        p.skip_ws();
+        let name = p.parse_string()?;
+        p.skip_ws();
+        p.expect(b':')?;
+        let mut fields: BTreeMap<String, f64> = BTreeMap::new();
+        p.skip_ws();
+        p.expect(b'{')?;
+        loop {
+            p.skip_ws();
+            let key = p.parse_string()?;
+            p.skip_ws();
+            p.expect(b':')?;
+            p.skip_ws();
+            let value = p.parse_number()?;
+            fields.insert(key, value);
+            p.skip_ws();
+            match p.next_byte()? {
+                b',' => continue,
+                b'}' => break,
+                other => return Err(format!("unexpected '{}' in record", other as char)),
+            }
+        }
+        let ns_per_iter = *fields
+            .get("ns_per_iter")
+            .ok_or_else(|| format!("benchmark '{name}' has no ns_per_iter"))?;
+        entries.insert(
+            name,
+            BenchEntry { ns_per_iter, allocs_per_iter: fields.get("allocs_per_iter").copied() },
+        );
+        p.skip_ws();
+        match p.next_byte()? {
+            b',' => continue,
+            b'}' => break,
+            other => return Err(format!("unexpected '{}' after record", other as char)),
+        }
+    }
+    Ok(entries)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn next_byte(&mut self) -> Result<u8, String> {
+        let b = self.peek().ok_or("unexpected end of input")?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    fn skip_ws(&mut self) {
+        while self.peek().is_some_and(|b| b.is_ascii_whitespace()) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, want: u8) -> Result<(), String> {
+        match self.next_byte()? {
+            b if b == want => Ok(()),
+            other => Err(format!("expected '{}', found '{}'", want as char, other as char)),
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let start = self.pos;
+        // Bench names contain no escapes; scan to the closing quote.
+        while let Some(b) = self.peek() {
+            if b == b'"' {
+                let s = std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| "invalid UTF-8 in string".to_string())?
+                    .to_string();
+                self.pos += 1;
+                return Ok(s);
+            }
+            self.pos += 1;
+        }
+        Err("unterminated string".into())
+    }
+
+    fn parse_number(&mut self) -> Result<f64, String> {
+        let start = self.pos;
+        while self
+            .peek()
+            .is_some_and(|b| b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E'))
+        {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .ok_or_else(|| format!("invalid number at byte {start}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(ns: f64, allocs: Option<f64>) -> BenchEntry {
+        BenchEntry { ns_per_iter: ns, allocs_per_iter: allocs }
+    }
+
+    #[test]
+    fn parses_the_to_json_format() {
+        let records = vec![
+            crate::perf::BenchRecord {
+                name: "a/b/w=10".into(),
+                ns_per_iter: 1234.5,
+                per_sec: 8.1e5,
+                allocs_per_iter: Some(2.0),
+            },
+            crate::perf::BenchRecord {
+                name: "c".into(),
+                ns_per_iter: 5.0,
+                per_sec: 2e8,
+                allocs_per_iter: None,
+            },
+        ];
+        let parsed = parse_bench_json(&crate::perf::to_json(&records)).unwrap();
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed["a/b/w=10"].ns_per_iter, 1234.5);
+        assert_eq!(parsed["a/b/w=10"].allocs_per_iter, Some(2.0));
+        assert_eq!(parsed["c"].allocs_per_iter, None);
+    }
+
+    #[test]
+    fn parses_the_committed_baseline_shape() {
+        let json = r#"{
+  "x/y/w=10000": {"ns_per_iter": 334556.7, "per_sec": 2989.0, "allocs_per_iter": 2.0},
+  "z": {"ns_per_iter": 3334604.8, "per_sec": 299.9}
+}
+"#;
+        let parsed = parse_bench_json(json).unwrap();
+        assert_eq!(parsed["x/y/w=10000"].ns_per_iter, 334556.7);
+        assert_eq!(parsed["z"].allocs_per_iter, None);
+        assert!(parse_bench_json("{}").unwrap().is_empty());
+        assert!(parse_bench_json("{bad").is_err());
+        assert!(parse_bench_json(r#"{"a": {"per_sec": 1.0}}"#).is_err());
+    }
+
+    #[test]
+    fn gate_passes_within_thresholds() {
+        let mut baseline = BTreeMap::new();
+        baseline.insert("a".to_string(), entry(100.0, Some(3.0)));
+        let mut current = BTreeMap::new();
+        current.insert("a".to_string(), entry(110.0, Some(3.0))); // +10%
+        let report = compare(&baseline, &current, &GateConfig::default());
+        assert!(report.passed(), "{}", report.render());
+    }
+
+    #[test]
+    fn gate_fails_on_ns_regression() {
+        let mut baseline = BTreeMap::new();
+        baseline.insert("a".to_string(), entry(100.0, None));
+        let mut current = BTreeMap::new();
+        current.insert("a".to_string(), entry(120.0, None)); // +20% > 15%
+        let report = compare(&baseline, &current, &GateConfig::default());
+        assert!(!report.passed());
+        assert!(report.render().contains("ns/iter regressed"), "{}", report.render());
+    }
+
+    #[test]
+    fn gate_fails_on_alloc_increase() {
+        let mut baseline = BTreeMap::new();
+        baseline.insert("a".to_string(), entry(100.0, Some(0.0)));
+        let mut current = BTreeMap::new();
+        current.insert("a".to_string(), entry(100.0, Some(2.0)));
+        let report = compare(&baseline, &current, &GateConfig::default());
+        assert!(!report.passed());
+        assert!(report.render().contains("allocs/iter increased"), "{}", report.render());
+    }
+
+    #[test]
+    fn gate_fails_on_dropped_benchmarks_but_not_new_ones() {
+        let mut baseline = BTreeMap::new();
+        baseline.insert("old".to_string(), entry(100.0, None));
+        let mut current = BTreeMap::new();
+        current.insert("new".to_string(), entry(100.0, None));
+        let report = compare(&baseline, &current, &GateConfig::default());
+        assert!(!report.passed());
+        assert_eq!(report.missing, vec!["old".to_string()]);
+        assert_eq!(report.added, vec!["new".to_string()]);
+
+        let mut both = baseline.clone();
+        both.insert("new".to_string(), entry(1.0, None));
+        let report = compare(&baseline, &both, &GateConfig::default());
+        assert!(report.passed());
+    }
+
+    #[test]
+    fn faster_runs_and_fewer_allocs_always_pass() {
+        let mut baseline = BTreeMap::new();
+        baseline.insert("a".to_string(), entry(100.0, Some(5.0)));
+        let mut current = BTreeMap::new();
+        current.insert("a".to_string(), entry(10.0, Some(0.0)));
+        let report = compare(&baseline, &current, &GateConfig::default());
+        assert!(report.passed());
+    }
+}

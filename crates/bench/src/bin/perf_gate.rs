@@ -1,0 +1,103 @@
+//! The perf-regression gate: compares a fresh `run_all --bench-json` run
+//! against the committed `BENCH_core.json` baseline and exits non-zero on
+//! regression (see `moche_bench::baseline` for the rules).
+//!
+//! ```text
+//! perf_gate --baseline BENCH_core.json --current /tmp/BENCH_new.json \
+//!           [--max-regress 0.15] [--report report.txt] [--update-baseline]
+//! ```
+//!
+//! `--update-baseline` copies the current run over the baseline (after
+//! printing the comparison) and exits 0 — the refresh path for intentional
+//! performance changes.
+
+use moche_bench::baseline::{compare, parse_bench_json, GateConfig};
+use std::process::ExitCode;
+
+struct Args {
+    baseline: String,
+    current: String,
+    max_regress: f64,
+    report: Option<String>,
+    update_baseline: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        baseline: "BENCH_core.json".to_string(),
+        current: String::new(),
+        max_regress: 0.15,
+        report: None,
+        update_baseline: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--baseline" => args.baseline = it.next().ok_or("--baseline needs a path")?,
+            "--current" => args.current = it.next().ok_or("--current needs a path")?,
+            "--max-regress" => {
+                let raw = it.next().ok_or("--max-regress needs a value")?;
+                args.max_regress = raw
+                    .parse::<f64>()
+                    .ok()
+                    .filter(|v| *v >= 0.0)
+                    .ok_or(format!("invalid --max-regress '{raw}'"))?;
+            }
+            "--report" => args.report = Some(it.next().ok_or("--report needs a path")?),
+            "--update-baseline" => args.update_baseline = true,
+            "--help" | "-h" => {
+                return Err("usage: perf_gate --current NEW.json [--baseline BENCH_core.json] \
+                            [--max-regress 0.15] [--report PATH] [--update-baseline]"
+                    .to_string())
+            }
+            other => return Err(format!("unknown argument '{other}'")),
+        }
+    }
+    if args.current.is_empty() {
+        return Err("--current is required (a fresh `run_all --bench-json` output)".to_string());
+    }
+    Ok(args)
+}
+
+fn read_entries(
+    path: &str,
+) -> Result<std::collections::BTreeMap<String, moche_bench::baseline::BenchEntry>, String> {
+    let content = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    parse_bench_json(&content).map_err(|e| format!("{path}: {e}"))
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let result = (|| -> Result<bool, String> {
+        let baseline = read_entries(&args.baseline)?;
+        let current = read_entries(&args.current)?;
+        let cfg = GateConfig { max_ns_regression: args.max_regress, ..GateConfig::default() };
+        let report = compare(&baseline, &current, &cfg);
+        let rendered = report.render();
+        print!("{rendered}");
+        if let Some(path) = &args.report {
+            std::fs::write(path, &rendered).map_err(|e| format!("cannot write {path}: {e}"))?;
+        }
+        if args.update_baseline {
+            std::fs::copy(&args.current, &args.baseline)
+                .map_err(|e| format!("cannot update {}: {e}", args.baseline))?;
+            eprintln!("[perf-gate] baseline {} refreshed from {}", args.baseline, args.current);
+            return Ok(true);
+        }
+        Ok(report.passed())
+    })();
+    match result {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::FAILURE,
+        Err(msg) => {
+            eprintln!("[perf-gate] {msg}");
+            ExitCode::from(2)
+        }
+    }
+}

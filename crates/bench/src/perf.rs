@@ -15,9 +15,11 @@
 use moche_core::bounds::{BoundsContext, BoundsWorkspace};
 use moche_core::{
     BaseVector, BatchExplainer, ConstructionStrategy, ExplainEngine, KsConfig, Moche,
-    PreferenceList, SortedReference,
+    PreferenceList, ReferenceIndex, SortedReference, StreamMode, StreamingBatchExplainer,
 };
+use moche_data::dist::normal;
 use moche_data::failing_kifer_pair;
+use moche_data::rng::rng_from_seed;
 use std::hint::black_box;
 use std::time::Instant;
 
@@ -159,6 +161,45 @@ pub fn evidence_suite(alloc_counter: Option<&dyn Fn() -> u64>) -> Vec<BenchRecor
         alloc_counter,
     ));
 
+    // The asymmetric construction workload: one large indexed reference,
+    // small windows — the regime where the ReferenceIndex splice beats the
+    // per-element merge loop. `build_with_reference` (not `build`) is the
+    // merged side, so the comparison isolates construction, not sorting.
+    let big_n = 100_000usize;
+    let small_m = 1_000usize;
+    eprintln!("[bench-json] base-vector construction (n = {big_n}, m = {small_m})...");
+    let mut rng = rng_from_seed(42);
+    let big_ref: Vec<f64> = (0..big_n).map(|_| normal(&mut rng, 0.0, 1.0)).collect();
+    let window: Vec<f64> = (0..small_m).map(|_| normal(&mut rng, 0.5, 1.2)).collect();
+    let big_shared = SortedReference::new(&big_ref).unwrap();
+    let big_index = ReferenceIndex::from_sorted(&big_shared);
+    records.push(measure(
+        &format!("base_vector/build_merged/n={big_n},m={small_m}"),
+        || {
+            black_box(BaseVector::build_with_reference(&big_shared, black_box(&window)).unwrap());
+        },
+        alloc_counter,
+    ));
+    records.push(measure(
+        &format!("base_vector/build_indexed/n={big_n},m={small_m}"),
+        || {
+            black_box(BaseVector::build_with_index(&big_index, black_box(&window)).unwrap());
+        },
+        alloc_counter,
+    ));
+    // The engine's steady state: splice into recycled output buffers, so
+    // the per-window cost drops to the actual construction work.
+    let mut recycled = BaseVector::build_with_index(&big_index, &window).unwrap();
+    records.push(measure(
+        &format!("base_vector/build_indexed_reuse/n={big_n},m={small_m}"),
+        || {
+            BaseVector::build_with_index_into(&big_index, black_box(&window), &mut recycled)
+                .unwrap();
+            black_box(&recycled);
+        },
+        alloc_counter,
+    ));
+
     let jobs = 64usize;
     let windows: Vec<Vec<f64>> = (0..jobs)
         .map(|i| {
@@ -181,6 +222,35 @@ pub fn evidence_suite(alloc_counter: Option<&dyn Fn() -> u64>) -> Vec<BenchRecor
             alloc_counter,
         );
         // Report per-explanation throughput rather than per-batch.
+        records.push(BenchRecord {
+            name: record.name,
+            ns_per_iter: record.ns_per_iter / jobs as f64,
+            per_sec: record.per_sec * jobs as f64,
+            allocs_per_iter: record.allocs_per_iter.map(|a| a / jobs as f64),
+        });
+    }
+
+    let index = ReferenceIndex::from_sorted(&shared);
+    for (mode, tag) in [(StreamMode::Explain, "explain"), (StreamMode::SizeOnly, "size_only")] {
+        eprintln!("[bench-json] streaming batch ({tag})...");
+        let streamer = StreamingBatchExplainer::with_config(cfg).threads(1).buffer(8).mode(mode);
+        let record = measure(
+            &format!("streaming/{tag}_{jobs}_windows_w{w}/threads=1"),
+            || {
+                let summary = streamer.explain_stream(
+                    black_box(&index),
+                    windows.iter().cloned(),
+                    None,
+                    |result| {
+                        assert!(result.result.is_ok());
+                    },
+                );
+                assert_eq!(summary.windows, jobs);
+                black_box(summary);
+            },
+            alloc_counter,
+        );
+        // Per-window, like the batch records.
         records.push(BenchRecord {
             name: record.name,
             ns_per_iter: record.ns_per_iter / jobs as f64,

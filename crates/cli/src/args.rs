@@ -69,7 +69,7 @@ pub enum Command {
         format: OutputFormat,
     },
     /// `moche batch REF WINDOWS [--alpha A] [--threads N] [--preference SRC]
-    /// [--format F]`
+    /// [--format F] [--stream] [--size-only]`
     Batch {
         /// Reference data file (shared by every window).
         reference: PathBuf,
@@ -83,8 +83,15 @@ pub enum Command {
         preference: PreferenceSource,
         /// Output format.
         format: OutputFormat,
+        /// Stream windows through the bounded-memory engine instead of
+        /// loading the file up front.
+        stream: bool,
+        /// Phase 1 only: report each window's explanation size `k` without
+        /// constructing the explanation.
+        size_only: bool,
     },
-    /// `moche monitor SERIES --window W [--alpha A] [--no-explain]`
+    /// `moche monitor SERIES --window W [--alpha A] [--no-explain]
+    /// [--size-only]`
     Monitor {
         /// Series data file.
         series: PathBuf,
@@ -94,6 +101,8 @@ pub enum Command {
         alpha: f64,
         /// Disable explanations on alarms.
         explain: bool,
+        /// Report only the Phase-1 explanation size per alarm.
+        size_only: bool,
     },
     /// `moche help` or `--help`.
     Help,
@@ -113,11 +122,14 @@ USAGE:
       SRC: sr (Spectral Residual, default) | scores (test file's 2nd column)
            | score-file:PATH | value-desc | value-asc | identity
   moche batch   <REF> <WINDOWS> [--alpha A] [--threads N] [--preference SRC]
-                [--format text|csv]
+                [--format text|csv] [--stream] [--size-only]
       Explain many failed tests against one shared reference, in parallel.
       WINDOWS holds one test window per line (comma/space separated).
       SRC: sr (default) | value-desc | value-asc | identity
-  moche monitor <SERIES> --window W [--alpha A] [--no-explain]
+      --stream reads windows lazily through the bounded-memory streaming
+      engine; --size-only reports each window's explanation size k
+      (Phase 1 only) without constructing the explanation.
+  moche monitor <SERIES> --window W [--alpha A] [--no-explain] [--size-only]
       Stream a series through paired sliding windows; explain each alarm.
 
 Data files: one number per line; '#' starts a comment; for 'explain
@@ -129,6 +141,8 @@ OPTIONS:
   --threads N   batch: worker threads (default 0 = all cores)
   --window W    monitor window size (required for monitor)
   --no-explain  monitor: raise alarms without computing explanations
+  --stream      batch: bounded-memory streaming ingestion
+  --size-only   batch/monitor: Phase-1 size k only, skip Phase 2
 ";
 
 fn parse_alpha(value: Option<&str>) -> Result<f64, CliError> {
@@ -159,6 +173,8 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
     let mut window: Option<usize> = None;
     let mut threads = 0usize;
     let mut explain = true;
+    let mut stream = false;
+    let mut size_only = false;
     while let Some(arg) = it.next() {
         match arg {
             "--alpha" => alpha = parse_alpha(it.next())?,
@@ -192,6 +208,8 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 window = Some(w);
             }
             "--no-explain" => explain = false,
+            "--stream" => stream = true,
+            "--size-only" => size_only = true,
             "--preference" => {
                 let raw = it
                     .next()
@@ -258,6 +276,8 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 threads,
                 preference,
                 format,
+                stream,
+                size_only,
             })
         }
         "monitor" => {
@@ -266,7 +286,13 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
             }
             let window =
                 window.ok_or_else(|| CliError::Usage("monitor requires --window W".into()))?;
-            Ok(Command::Monitor { series: PathBuf::from(positionals[0]), window, alpha, explain })
+            Ok(Command::Monitor {
+                series: PathBuf::from(positionals[0]),
+                window,
+                alpha,
+                explain,
+                size_only,
+            })
         }
         other => Err(CliError::Usage(format!("unknown command '{other}' (try 'moche help')"))),
     }
@@ -331,12 +357,17 @@ mod tests {
     #[test]
     fn parses_monitor() {
         match parse_ok(&["monitor", "s.txt", "--window", "200", "--no-explain"]) {
-            Command::Monitor { series, window, alpha, explain } => {
+            Command::Monitor { series, window, alpha, explain, size_only } => {
                 assert_eq!(series, PathBuf::from("s.txt"));
                 assert_eq!(window, 200);
                 assert_eq!(alpha, 0.05);
                 assert!(!explain);
+                assert!(!size_only);
             }
+            other => panic!("unexpected {other:?}"),
+        }
+        match parse_ok(&["monitor", "s.txt", "--window", "50", "--size-only"]) {
+            Command::Monitor { size_only, .. } => assert!(size_only),
             other => panic!("unexpected {other:?}"),
         }
         assert!(matches!(parse_err(&["monitor", "s.txt"]), CliError::Usage(_)));
@@ -346,13 +377,31 @@ mod tests {
     #[test]
     fn parses_batch() {
         match parse_ok(&["batch", "r.txt", "w.csv", "--threads", "8", "--alpha", "0.1"]) {
-            Command::Batch { reference, windows, alpha, threads, preference, format } => {
+            Command::Batch {
+                reference,
+                windows,
+                alpha,
+                threads,
+                preference,
+                format,
+                stream,
+                size_only,
+            } => {
                 assert_eq!(reference, PathBuf::from("r.txt"));
                 assert_eq!(windows, PathBuf::from("w.csv"));
                 assert_eq!(alpha, 0.1);
                 assert_eq!(threads, 8);
                 assert_eq!(preference, PreferenceSource::SpectralResidual);
                 assert_eq!(format, OutputFormat::Text);
+                assert!(!stream);
+                assert!(!size_only);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match parse_ok(&["batch", "r.txt", "w.csv", "--stream", "--size-only"]) {
+            Command::Batch { stream, size_only, .. } => {
+                assert!(stream);
+                assert!(size_only);
             }
             other => panic!("unexpected {other:?}"),
         }

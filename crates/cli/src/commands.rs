@@ -2,9 +2,12 @@
 //! logic is unit-testable without spawning processes.
 
 use crate::args::{Command, OutputFormat, PreferenceSource};
-use crate::io::{read_values, read_values_and_scores, read_windows, CliError};
+use crate::io::{read_values, read_values_and_scores, read_windows, CliError, WindowStream};
 use moche_core::ks::asymptotic_p_value;
-use moche_core::{BatchExplainer, Moche, MocheError, PreferenceList, SortedReference};
+use moche_core::{
+    BatchExplainer, Moche, MocheError, PreferenceList, ReferenceIndex, ReferenceMode,
+    SortedReference, StreamMode, StreamingBatchExplainer, WindowPreferences, WindowReport,
+};
 use moche_sigproc::SpectralResidual;
 use moche_stream::{DriftMonitor, MonitorConfig, MonitorEvent};
 use std::fmt::Write as _;
@@ -29,14 +32,27 @@ pub fn run(command: Command) -> Result<String, CliError> {
             let (t, scores) = read_values_and_scores(&test)?;
             run_explain(&r, &t, scores, alpha, &preference, format)
         }
-        Command::Batch { reference, windows, alpha, threads, preference, format } => {
+        Command::Batch {
+            reference,
+            windows,
+            alpha,
+            threads,
+            preference,
+            format,
+            stream,
+            size_only,
+        } => {
             let r = read_values(&reference)?;
-            let w = read_windows(&windows)?;
-            run_batch(&r, &w, alpha, threads, &preference, format)
+            if stream || size_only {
+                run_batch_stream(&r, &windows, alpha, threads, &preference, format, size_only)
+            } else {
+                let w = read_windows(&windows)?;
+                run_batch(&r, &w, alpha, threads, &preference, format)
+            }
         }
-        Command::Monitor { series, window, alpha, explain } => {
+        Command::Monitor { series, window, alpha, explain, size_only } => {
             let values = read_values(&series)?;
-            run_monitor(&values, window, alpha, explain)
+            run_monitor(&values, window, alpha, explain, size_only)
         }
     }
 }
@@ -83,22 +99,45 @@ fn run_size(r: &[f64], t: &[f64], alpha: f64) -> Result<String, CliError> {
     Ok(out)
 }
 
+/// Derives one window's preference list from sources that need only the
+/// window values — the per-window score work `moche batch` runs *inside*
+/// the worker threads (see [`WindowPreferences::Scored`]).
+///
+/// # Panics
+///
+/// Panics on the file-backed sources, which the batch argument parser
+/// rejects up front.
+fn window_preference(t: &[f64], source: &PreferenceSource) -> Result<PreferenceList, MocheError> {
+    match source {
+        PreferenceSource::SpectralResidual => {
+            // SR panics on non-finite input; fall back to identity and let
+            // the explain call report the NonFiniteValue error properly.
+            if t.len() >= 4 && t.iter().all(|v| v.is_finite()) {
+                let sr = SpectralResidual::default();
+                PreferenceList::from_scores_desc(&sr.scores(t))
+            } else {
+                Ok(PreferenceList::identity(t.len()))
+            }
+        }
+        PreferenceSource::ValueDesc => PreferenceList::from_scores_desc(t),
+        PreferenceSource::ValueAsc => PreferenceList::from_scores_asc(t),
+        PreferenceSource::Identity => Ok(PreferenceList::identity(t.len())),
+        PreferenceSource::ScoreColumn | PreferenceSource::ScoreFile(_) => {
+            unreachable!("the batch parser rejects file-backed preference sources")
+        }
+    }
+}
+
 fn build_preference(
     t: &[f64],
     scores_column: Option<Vec<f64>>,
     source: &PreferenceSource,
 ) -> Result<PreferenceList, CliError> {
     let list = match source {
-        PreferenceSource::SpectralResidual => {
-            // SR panics on non-finite input; fall back to identity and let
-            // the explain call report the NonFiniteValue error properly.
-            if t.len() >= 4 && t.iter().all(|v| v.is_finite()) {
-                let sr = SpectralResidual::default();
-                PreferenceList::from_scores_desc(&sr.scores(t))?
-            } else {
-                PreferenceList::identity(t.len())
-            }
-        }
+        PreferenceSource::SpectralResidual
+        | PreferenceSource::ValueDesc
+        | PreferenceSource::ValueAsc
+        | PreferenceSource::Identity => window_preference(t, source)?,
         PreferenceSource::ScoreColumn => {
             let scores = scores_column.ok_or_else(|| {
                 CliError::Usage(
@@ -120,9 +159,6 @@ fn build_preference(
             }
             PreferenceList::from_scores_desc(&scores)?
         }
-        PreferenceSource::ValueDesc => PreferenceList::from_scores_desc(t)?,
-        PreferenceSource::ValueAsc => PreferenceList::from_scores_asc(t)?,
-        PreferenceSource::Identity => PreferenceList::identity(t.len()),
     };
     Ok(list)
 }
@@ -175,6 +211,15 @@ fn run_explain(
     Ok(out)
 }
 
+/// Renders the requested thread cap for the summary line.
+fn requested_threads(threads: usize) -> String {
+    if threads == 0 {
+        "all cores".to_string()
+    } else {
+        threads.to_string()
+    }
+}
+
 fn run_batch(
     r: &[f64],
     windows: &[Vec<f64>],
@@ -187,53 +232,35 @@ fn run_batch(
         return Err(CliError::Usage("windows file contains no windows".into()));
     }
     let shared = SortedReference::new(r)?;
-    // Per-window preference failures must not poison the batch (matching
-    // the per-window error contract of the explain step): errored windows
-    // run under a placeholder identity order and report their preference
-    // error instead of a result.
-    let pref_results: Vec<Result<PreferenceList, CliError>> =
-        windows.iter().map(|w| build_preference(w, None, source)).collect();
-    let preferences: Vec<PreferenceList> = pref_results
-        .iter()
-        .zip(windows)
-        .map(|(p, w)| match p {
-            Ok(list) => list.clone(),
-            Err(_) => PreferenceList::identity(w.len()),
-        })
-        .collect();
-    let explainer = BatchExplainer::new(alpha)?.threads(threads);
+    let explainer =
+        BatchExplainer::new(alpha)?.threads(threads).reference_mode(ReferenceMode::Indexed);
+    // The requested cap silently shrinks to the core and job counts (a
+    // 1 means the batch ran sequentially), so report the effective
+    // number, not the flag.
+    let effective = explainer.effective_threads(windows.len());
+    // Preference scoring (Spectral Residual in particular) runs inside the
+    // worker threads, parallelized along with the explanations; a
+    // per-window scoring failure lands in that window's result slot.
+    let score = |_: usize, w: &[f64]| window_preference(w, source);
     let started = Instant::now();
-    let results = explainer.explain_windows(&shared, windows, Some(&preferences));
+    let results =
+        explainer.explain_windows_with(&shared, windows, WindowPreferences::Scored(&score));
     let elapsed = started.elapsed();
-    let outcome = |w: usize| -> Result<&moche_core::Explanation, String> {
-        match (&pref_results[w], &results[w]) {
-            (Err(e), _) => Err(format!("invalid preference: {e}")),
-            (Ok(_), Ok(e)) => Ok(e),
-            (Ok(_), Err(e)) => Err(e.to_string()),
-        }
-    };
-    let window_passes = |w: usize| {
-        matches!(
-            (&pref_results[w], &results[w]),
-            (Ok(_), Err(MocheError::TestAlreadyPasses { .. }))
-        )
-    };
 
     let mut out = String::new();
     match format {
         OutputFormat::Csv => {
             let _ = writeln!(out, "window,index,value");
-            for w in 0..windows.len() {
-                if window_passes(w) {
-                    // A passing window legitimately has no rows.
-                    continue;
-                }
-                match outcome(w) {
+            let _ = writeln!(out, "# threads: {effective}");
+            for (w, result) in results.iter().enumerate() {
+                match result {
                     Ok(e) => {
                         for (&i, &v) in e.indices().iter().zip(e.values()) {
                             let _ = writeln!(out, "{w},{i},{v}");
                         }
                     }
+                    // A passing window legitimately has no rows.
+                    Err(MocheError::TestAlreadyPasses { .. }) => {}
                     // Any other error must not vanish from the output.
                     Err(e) => {
                         let _ = writeln!(out, "# window {w}: error: {e}");
@@ -244,13 +271,8 @@ fn run_batch(
         OutputFormat::Text => {
             let mut explained = 0usize;
             let mut passing = 0usize;
-            for w in 0..windows.len() {
-                if window_passes(w) {
-                    passing += 1;
-                    let _ = writeln!(out, "window {w}: passes (nothing to explain)");
-                    continue;
-                }
-                match outcome(w) {
+            for (w, result) in results.iter().enumerate() {
+                match result {
                     Ok(e) => {
                         explained += 1;
                         let _ = writeln!(
@@ -262,6 +284,10 @@ fn run_batch(
                             e.indices()
                         );
                     }
+                    Err(MocheError::TestAlreadyPasses { .. }) => {
+                        passing += 1;
+                        let _ = writeln!(out, "window {w}: passes (nothing to explain)");
+                    }
                     Err(e) => {
                         let _ = writeln!(out, "window {w}: error: {e}");
                     }
@@ -271,13 +297,112 @@ fn run_batch(
             let _ = writeln!(
                 out,
                 "\n{} window(s): {explained} explained, {passing} passing, {} error(s) \
-                 in {:.3}s ({:.0} explanations/s)",
+                 in {:.3}s ({:.0} explanations/s) on {effective} worker thread(s) \
+                 (requested {})",
                 windows.len(),
                 windows.len() - explained - passing,
                 secs,
-                if secs > 0.0 { explained as f64 / secs } else { 0.0 }
+                if secs > 0.0 { explained as f64 / secs } else { 0.0 },
+                requested_threads(threads)
             );
         }
+    }
+    Ok(out)
+}
+
+/// `moche batch --stream` / `--size-only`: windows are read lazily and fed
+/// through the bounded-memory [`StreamingBatchExplainer`] over an indexed
+/// reference; results are appended in window order as they complete.
+fn run_batch_stream(
+    r: &[f64],
+    windows: &std::path::Path,
+    alpha: f64,
+    threads: usize,
+    source: &PreferenceSource,
+    format: OutputFormat,
+    size_only: bool,
+) -> Result<String, CliError> {
+    let index = ReferenceIndex::new(r)?;
+    let mode = if size_only { StreamMode::SizeOnly } else { StreamMode::Explain };
+    let streamer = StreamingBatchExplainer::new(alpha)?.threads(threads).mode(mode);
+    let effective = streamer.effective_threads();
+    let (stream, error_slot) = WindowStream::open(windows)?;
+    let score = |_: usize, w: &[f64]| window_preference(w, source);
+
+    let mut out = String::new();
+    if format == OutputFormat::Csv {
+        let _ =
+            writeln!(out, "{}", if size_only { "window,k,k_hat" } else { "window,index,value" });
+        let _ = writeln!(out, "# threads: {effective}");
+    }
+    let started = Instant::now();
+    let summary = streamer.explain_stream(&index, stream, Some(&score), |res| {
+        let w = res.window;
+        match (format, &res.result) {
+            (OutputFormat::Csv, Ok(WindowReport::Explained(e))) => {
+                for (&i, &v) in e.indices().iter().zip(e.values()) {
+                    let _ = writeln!(out, "{w},{i},{v}");
+                }
+            }
+            (OutputFormat::Csv, Ok(WindowReport::Size(s))) => {
+                let _ = writeln!(out, "{w},{},{}", s.k, s.k_hat);
+            }
+            (OutputFormat::Text, Ok(WindowReport::Explained(e))) => {
+                let _ = writeln!(
+                    out,
+                    "window {w}: k = {} ({:.1}% of {} points), indices {:?}",
+                    e.size(),
+                    100.0 * e.removed_fraction(),
+                    e.m,
+                    e.indices()
+                );
+            }
+            (OutputFormat::Text, Ok(WindowReport::Size(s))) => {
+                let _ = writeln!(
+                    out,
+                    "window {w}: k = {} (k_hat = {}, estimation error {})",
+                    s.k,
+                    s.k_hat,
+                    s.estimation_error()
+                );
+            }
+            (OutputFormat::Csv, Err(MocheError::TestAlreadyPasses { .. })) => {}
+            (OutputFormat::Text, Err(MocheError::TestAlreadyPasses { .. })) => {
+                let _ = writeln!(out, "window {w}: passes (nothing to explain)");
+            }
+            (OutputFormat::Csv, Err(e)) => {
+                let _ = writeln!(out, "# window {w}: error: {e}");
+            }
+            (OutputFormat::Text, Err(e)) => {
+                let _ = writeln!(out, "window {w}: error: {e}");
+            }
+        }
+    });
+    let elapsed = started.elapsed();
+    // A malformed line stops the stream; surface it instead of partial
+    // output so consumers never mistake a truncated run for a complete one.
+    if let Some(e) = error_slot.lock().expect("window stream error slot poisoned").take() {
+        return Err(e);
+    }
+    if summary.windows == 0 {
+        return Err(CliError::Usage("windows file contains no windows".into()));
+    }
+    if format == OutputFormat::Text {
+        let secs = elapsed.as_secs_f64();
+        let _ = writeln!(
+            out,
+            "\n{} window(s) streamed: {} {}, {} passing, {} error(s) in {:.3}s \
+             ({:.0} windows/s) on {} worker thread(s) (requested {})",
+            summary.windows,
+            summary.explained,
+            if size_only { "sized" } else { "explained" },
+            summary.passing,
+            summary.errors,
+            secs,
+            if secs > 0.0 { summary.windows as f64 / secs } else { 0.0 },
+            summary.threads,
+            requested_threads(threads)
+        );
     }
     Ok(out)
 }
@@ -287,9 +412,11 @@ fn run_monitor(
     window: usize,
     alpha: f64,
     explain: bool,
+    size_only: bool,
 ) -> Result<String, CliError> {
     let mut cfg = MonitorConfig::new(window, alpha);
     cfg.explain_on_drift = explain;
+    cfg.size_only = size_only;
     let mut monitor = DriftMonitor::new(cfg)?;
     let mut out = String::new();
     let _ = writeln!(
@@ -298,14 +425,14 @@ fn run_monitor(
         values.len()
     );
     for (i, &x) in values.iter().enumerate() {
-        if let MonitorEvent::Drift { outcome, explanation } = monitor.push(x) {
+        if let MonitorEvent::Drift { outcome, explanation, size } = monitor.push(x) {
             let _ = write!(
                 out,
                 "t = {i}: DRIFT  D = {:.4} (threshold {:.4})",
                 outcome.statistic, outcome.threshold
             );
-            match explanation {
-                Some(e) => {
+            match (explanation, size) {
+                (Some(e), _) => {
                     let _ = writeln!(
                         out,
                         "  explanation: {} point(s), window offsets {:?}",
@@ -313,7 +440,10 @@ fn run_monitor(
                         e.indices()
                     );
                 }
-                None => {
+                (None, Some(s)) => {
+                    let _ = writeln!(out, "  size: k = {} (k_hat = {})", s.k, s.k_hat);
+                }
+                (None, None) => {
                     let _ = writeln!(out);
                 }
             }
@@ -446,8 +576,12 @@ mod tests {
         let single =
             run_explain(&r, &t, None, 0.05, &PreferenceSource::Identity, OutputFormat::Csv)
                 .unwrap();
-        let batch_rows: Vec<&str> =
-            csv.lines().skip(1).map(|l| l.split_once(',').unwrap().1).collect();
+        let batch_rows: Vec<&str> = csv
+            .lines()
+            .skip(1)
+            .filter(|l| !l.starts_with('#'))
+            .map(|l| l.split_once(',').unwrap().1)
+            .collect();
         let single_rows: Vec<&str> = single.lines().skip(1).collect();
         assert_eq!(batch_rows, single_rows);
     }
@@ -495,11 +629,146 @@ mod tests {
     fn monitor_detects_shift_in_file_values() {
         let mut series: Vec<f64> = (0..200).map(|i| f64::from(i % 7)).collect();
         series.extend((0..200).map(|i| f64::from(i % 7) + 25.0));
-        let out = run_monitor(&series, 50, 0.05, true).unwrap();
+        let out = run_monitor(&series, 50, 0.05, true, false).unwrap();
         assert!(out.contains("DRIFT"), "{out}");
         assert!(out.contains("explanation"));
-        let quiet = run_monitor(&series[..200], 50, 0.05, false).unwrap();
+        let quiet = run_monitor(&series[..200], 50, 0.05, false, false).unwrap();
         assert!(quiet.contains("0 alarm(s)"), "{quiet}");
+    }
+
+    #[test]
+    fn monitor_size_only_reports_k_per_alarm() {
+        let mut series: Vec<f64> = (0..200).map(|i| f64::from(i % 7)).collect();
+        series.extend((0..200).map(|i| f64::from(i % 7) + 25.0));
+        let out = run_monitor(&series, 50, 0.05, true, true).unwrap();
+        assert!(out.contains("DRIFT"), "{out}");
+        assert!(out.contains("size: k = "), "{out}");
+        assert!(!out.contains("explanation:"), "{out}");
+    }
+
+    /// A throwaway on-disk windows file for the streaming tests.
+    struct TempWindows(std::path::PathBuf);
+
+    impl TempWindows {
+        fn new(tag: &str, windows: &[Vec<f64>]) -> Self {
+            let path = std::env::temp_dir()
+                .join(format!("moche-stream-test-{tag}-{}.csv", std::process::id()));
+            let content: String = windows
+                .iter()
+                .map(|w| w.iter().map(f64::to_string).collect::<Vec<_>>().join(",") + "\n")
+                .collect();
+            std::fs::write(&path, content).unwrap();
+            Self(path)
+        }
+    }
+
+    impl Drop for TempWindows {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_file(&self.0);
+        }
+    }
+
+    #[test]
+    fn batch_stream_matches_eager_batch_csv() {
+        let (r, t) = shifted_sets();
+        let windows = vec![t.clone(), r.clone(), t];
+        let file = TempWindows::new("match", &windows);
+        let eager =
+            run_batch(&r, &windows, 0.05, 2, &PreferenceSource::Identity, OutputFormat::Csv)
+                .unwrap();
+        let streamed = run_batch_stream(
+            &r,
+            &file.0,
+            0.05,
+            2,
+            &PreferenceSource::Identity,
+            OutputFormat::Csv,
+            false,
+        )
+        .unwrap();
+        let rows = |s: &str| {
+            s.lines().filter(|l| !l.starts_with('#')).map(String::from).collect::<Vec<_>>()
+        };
+        assert_eq!(rows(&eager), rows(&streamed));
+        assert!(streamed.lines().any(|l| l.starts_with("# threads: ")), "{streamed}");
+    }
+
+    #[test]
+    fn batch_stream_size_only_reports_k_per_window() {
+        let (r, t) = shifted_sets();
+        let windows = vec![t.clone(), r.clone(), t.clone()];
+        let file = TempWindows::new("size", &windows);
+        let csv = run_batch_stream(
+            &r,
+            &file.0,
+            0.05,
+            1,
+            &PreferenceSource::Identity,
+            OutputFormat::Csv,
+            true,
+        )
+        .unwrap();
+        assert!(csv.starts_with("window,k,k_hat"), "{csv}");
+        // Windows 0 and 2 are identical: same k rows; window 1 passes.
+        let k_rows: Vec<&str> =
+            csv.lines().filter(|l| !l.starts_with('#') && !l.starts_with("window,")).collect();
+        assert_eq!(k_rows.len(), 2, "{csv}");
+        assert_eq!(k_rows[0].split_once(',').unwrap().1, k_rows[1].split_once(',').unwrap().1);
+        // The reported k matches the full explanation's size.
+        let full = run_explain(&r, &t, None, 0.05, &PreferenceSource::Identity, OutputFormat::Csv)
+            .unwrap();
+        let k: usize = k_rows[0].split(',').nth(1).unwrap().parse().unwrap();
+        assert_eq!(k, full.lines().count() - 1);
+
+        let text = run_batch_stream(
+            &r,
+            &file.0,
+            0.05,
+            1,
+            &PreferenceSource::Identity,
+            OutputFormat::Text,
+            true,
+        )
+        .unwrap();
+        assert!(text.contains("window 0: k = "), "{text}");
+        assert!(text.contains("window 1: passes"), "{text}");
+        assert!(text.contains("2 sized, 1 passing"), "{text}");
+        assert!(text.contains("worker thread(s)"), "{text}");
+    }
+
+    #[test]
+    fn batch_stream_surfaces_parse_errors() {
+        let (r, _) = shifted_sets();
+        let path =
+            std::env::temp_dir().join(format!("moche-stream-test-bad-{}.csv", std::process::id()));
+        std::fs::write(&path, "1.0,2.0,3.0\nnot-a-number\n").unwrap();
+        let result = run_batch_stream(
+            &r,
+            &path,
+            0.05,
+            1,
+            &PreferenceSource::Identity,
+            OutputFormat::Text,
+            false,
+        );
+        let _ = std::fs::remove_file(&path);
+        match result {
+            Err(CliError::Parse { line, .. }) => assert_eq!(line, 2),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn batch_reports_effective_thread_count() {
+        let (r, t) = shifted_sets();
+        let windows = vec![t.clone(), t];
+        let out = run_batch(&r, &windows, 0.05, 8, &PreferenceSource::Identity, OutputFormat::Text)
+            .unwrap();
+        // Two jobs cap the pool at two workers regardless of the flag.
+        assert!(out.contains("on 2 worker thread(s) (requested 8)"), "{out}");
+        let csv = run_batch(&r, &windows, 0.05, 8, &PreferenceSource::Identity, OutputFormat::Csv)
+            .unwrap();
+        assert!(csv.lines().any(|l| l == "# threads: 2"), "{csv}");
     }
 
     #[test]

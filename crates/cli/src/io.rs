@@ -106,38 +106,113 @@ fn parse_columns(path: &str, content: &str) -> Result<(Vec<f64>, Vec<f64>), CliE
     Ok((values, scores))
 }
 
+/// Parses one windows-file line: `None` for comments and blanks, otherwise
+/// the window (comma/whitespace separated values). `line_no` is 1-based.
+fn parse_window_line(path: &str, line_no: usize, raw: &str) -> Option<Result<Vec<f64>, CliError>> {
+    let line = raw.split('#').next().unwrap_or("").trim();
+    if line.is_empty() {
+        return None;
+    }
+    let window = line
+        .split(|c: char| c == ',' || c.is_whitespace())
+        .filter(|s| !s.is_empty())
+        .map(|tok| {
+            tok.parse::<f64>().map_err(|_| CliError::Parse {
+                path: path.to_string(),
+                line: line_no,
+                content: raw.to_string(),
+            })
+        })
+        .collect::<Result<Vec<f64>, CliError>>();
+    match window {
+        Ok(w) if w.is_empty() => {
+            // A line of nothing but separators: report it here with a
+            // location instead of a locationless "empty test set" later.
+            Some(Err(CliError::Parse {
+                path: path.to_string(),
+                line: line_no,
+                content: raw.to_string(),
+            }))
+        }
+        other => Some(other),
+    }
+}
+
 /// Parses a windows file: each non-comment line is one test window, its
 /// values separated by commas and/or whitespace. Empty lines are skipped.
 pub fn parse_windows(path: &str, content: &str) -> Result<Vec<Vec<f64>>, CliError> {
     let mut windows = Vec::new();
     for (i, raw) in content.lines().enumerate() {
-        let line = raw.split('#').next().unwrap_or("").trim();
-        if line.is_empty() {
-            continue;
+        if let Some(window) = parse_window_line(path, i + 1, raw) {
+            windows.push(window?);
         }
-        let window = line
-            .split(|c: char| c == ',' || c.is_whitespace())
-            .filter(|s| !s.is_empty())
-            .map(|tok| {
-                tok.parse::<f64>().map_err(|_| CliError::Parse {
-                    path: path.to_string(),
-                    line: i + 1,
-                    content: raw.to_string(),
-                })
-            })
-            .collect::<Result<Vec<f64>, CliError>>()?;
-        if window.is_empty() {
-            // A line of nothing but separators: report it here with a
-            // location instead of a locationless "empty test set" later.
-            return Err(CliError::Parse {
-                path: path.to_string(),
-                line: i + 1,
-                content: raw.to_string(),
-            });
-        }
-        windows.push(window);
     }
     Ok(windows)
+}
+
+/// A lazily-read windows file: one window per [`Iterator::next`] call, so a
+/// stream of any length is processed in bounded memory (see
+/// `moche batch --stream`).
+///
+/// Iteration stops at the first I/O or parse error; the error is parked in
+/// the slot returned by [`WindowStream::open`] for the caller to check
+/// after the stream is drained (the iterator itself must yield plain
+/// windows to feed the streaming engine from another thread).
+pub struct WindowStream {
+    lines: std::io::Lines<std::io::BufReader<std::fs::File>>,
+    path: String,
+    line_no: usize,
+    error: std::sync::Arc<std::sync::Mutex<Option<CliError>>>,
+}
+
+impl WindowStream {
+    /// Opens a windows file for lazy iteration. Returns the iterator and
+    /// the shared slot where a mid-stream error is parked.
+    #[allow(clippy::type_complexity)]
+    pub fn open(
+        path: &Path,
+    ) -> Result<(Self, std::sync::Arc<std::sync::Mutex<Option<CliError>>>), CliError> {
+        use std::io::BufRead as _;
+        let file = std::fs::File::open(path)
+            .map_err(|source| CliError::Io { path: path.display().to_string(), source })?;
+        let error = std::sync::Arc::new(std::sync::Mutex::new(None));
+        let stream = Self {
+            lines: std::io::BufReader::new(file).lines(),
+            path: path.display().to_string(),
+            line_no: 0,
+            error: std::sync::Arc::clone(&error),
+        };
+        Ok((stream, error))
+    }
+
+    fn park(&self, e: CliError) {
+        *self.error.lock().expect("window stream error slot poisoned") = Some(e);
+    }
+}
+
+impl Iterator for WindowStream {
+    type Item = Vec<f64>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            let raw = match self.lines.next()? {
+                Ok(raw) => raw,
+                Err(source) => {
+                    self.park(CliError::Io { path: self.path.clone(), source });
+                    return None;
+                }
+            };
+            self.line_no += 1;
+            match parse_window_line(&self.path, self.line_no, &raw) {
+                None => continue, // comment or blank line
+                Some(Ok(window)) => return Some(window),
+                Some(Err(e)) => {
+                    self.park(e);
+                    return None;
+                }
+            }
+        }
+    }
 }
 
 /// Reads and parses a windows file from disk (see [`parse_windows`]).

@@ -113,6 +113,70 @@ fn monitor_detects_level_shift() {
     assert!(stdout.contains("DRIFT"), "{stdout}");
 }
 
+fn windows_file(dir: &TempDir) -> (PathBuf, PathBuf) {
+    let r = dir.write("ref.txt", &numbers((0..80).map(|i| f64::from(i % 8))));
+    let content: String = (0..5)
+        .map(|w| {
+            (0..40)
+                .map(|i| (f64::from((i + w) % 8) + 4.0).to_string())
+                .collect::<Vec<_>>()
+                .join(",")
+                + "\n"
+        })
+        .collect();
+    let windows = dir.write("wins.csv", &content);
+    (r, windows)
+}
+
+#[test]
+fn batch_stream_matches_eager_batch() {
+    let dir = TempDir::new("batch-stream");
+    let (r, w) = windows_file(&dir);
+    let run = |extra: &[&str]| {
+        let mut args = vec!["batch", r.to_str().unwrap(), w.to_str().unwrap(), "--format", "csv"];
+        args.extend_from_slice(extra);
+        let out = bin().args(&args).output().unwrap();
+        assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+        String::from_utf8(out.stdout).unwrap()
+    };
+    let eager = run(&[]);
+    let streamed = run(&["--stream"]);
+    let rows =
+        |s: &str| s.lines().filter(|l| !l.starts_with('#')).map(String::from).collect::<Vec<_>>();
+    assert_eq!(rows(&eager), rows(&streamed));
+    assert!(eager.lines().any(|l| l.starts_with("# threads: ")), "{eager}");
+}
+
+#[test]
+fn batch_size_only_reports_sizes() {
+    let dir = TempDir::new("batch-size-only");
+    let (r, w) = windows_file(&dir);
+    let out = bin()
+        .args(["batch", r.to_str().unwrap(), w.to_str().unwrap(), "--stream", "--size-only"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("window 0: k = "), "{stdout}");
+    assert!(stdout.contains("sized"), "{stdout}");
+}
+
+#[test]
+fn monitor_size_only_reports_sizes() {
+    let dir = TempDir::new("monitor-size-only");
+    let mut series: Vec<f64> = (0..200).map(|i| f64::from(i % 7)).collect();
+    series.extend((0..200).map(|i| f64::from(i % 7) + 30.0));
+    let path = dir.write("series.txt", &numbers(series));
+    let out = bin()
+        .args(["monitor", path.to_str().unwrap(), "--window", "50", "--size-only"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("DRIFT"), "{stdout}");
+    assert!(stdout.contains("size: k = "), "{stdout}");
+}
+
 #[test]
 fn missing_file_exits_nonzero_with_message() {
     let out = bin().args(["test", "/nonexistent/r.txt", "/nonexistent/t.txt"]).output().unwrap();

@@ -170,6 +170,44 @@ impl BaseVector {
         Ok(Self { values, c_r, c_t, t_pos, n: r_sorted.len(), m: test.len() })
     }
 
+    /// An empty placeholder whose only purpose is buffer recycling: pass it
+    /// to [`build_with_index_into`](Self::build_with_index_into) to rebuild
+    /// it in place without reallocating. Every query method reports a
+    /// zero-size instance until then.
+    pub fn empty() -> Self {
+        Self { values: Vec::new(), c_r: vec![0], c_t: vec![0], t_pos: Vec::new(), n: 0, m: 0 }
+    }
+
+    /// Moves the four backing buffers out (for in-place rebuilds), leaving
+    /// `self` empty.
+    pub(crate) fn take_buffers(&mut self) -> (Vec<f64>, Vec<u64>, Vec<u64>, Vec<usize>) {
+        self.n = 0;
+        self.m = 0;
+        (
+            std::mem::take(&mut self.values),
+            std::mem::take(&mut self.c_r),
+            std::mem::take(&mut self.c_t),
+            std::mem::take(&mut self.t_pos),
+        )
+    }
+
+    /// Assembles a base vector from already-built parts (the
+    /// [`crate::ref_index`] splice path). The caller guarantees the arrays
+    /// obey this struct's invariants.
+    pub(crate) fn from_raw_parts(
+        values: Vec<f64>,
+        c_r: Vec<u64>,
+        c_t: Vec<u64>,
+        t_pos: Vec<usize>,
+        n: usize,
+        m: usize,
+    ) -> Self {
+        debug_assert_eq!(c_r.len(), values.len() + 1);
+        debug_assert_eq!(c_t.len(), values.len() + 1);
+        debug_assert_eq!(t_pos.len(), m);
+        Self { values, c_r, c_t, t_pos, n, m }
+    }
+
     /// Number of distinct values `q = |set(R ∪ T)|`.
     #[inline]
     pub fn q(&self) -> usize {

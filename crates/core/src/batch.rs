@@ -57,8 +57,55 @@ use crate::error::MocheError;
 use crate::ks::KsConfig;
 use crate::moche::Explanation;
 use crate::preference::PreferenceList;
+use crate::ref_index::ReferenceIndex;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+
+/// How the shared reference is prepared for per-window base-vector builds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ReferenceMode {
+    /// Re-merge the sorted reference with each window
+    /// ([`crate::BaseVector::build_with_reference`]): `O(n + m)` per
+    /// window.
+    #[default]
+    Merged,
+    /// Splice each window into a precomputed [`ReferenceIndex`]
+    /// ([`crate::BaseVector::build_with_index`]): the index is built once
+    /// per call and the per-window merge loop is replaced by chunk copies.
+    /// Results are byte-identical to [`ReferenceMode::Merged`].
+    Indexed,
+}
+
+/// A per-window preference scorer `(window index, window) -> preference`,
+/// evaluated inside worker threads (see [`WindowPreferences::Scored`] and
+/// [`crate::streaming`]).
+pub type ScoreFn<'a> = &'a (dyn Fn(usize, &[f64]) -> Result<PreferenceList, MocheError> + Sync);
+
+/// How per-window preference lists are supplied to the worker threads.
+#[derive(Clone, Copy)]
+pub enum WindowPreferences<'a> {
+    /// Every window is explained under the identity order.
+    Identity,
+    /// One precomputed list per window, in window order.
+    PerWindow(&'a [PreferenceList]),
+    /// Derive each window's preference *inside the worker thread* from the
+    /// window index and contents — this parallelizes expensive scoring
+    /// (e.g. Spectral Residual) along with the explanation itself. A
+    /// returned error is reported in that window's result slot.
+    Scored(ScoreFn<'a>),
+}
+
+impl std::fmt::Debug for WindowPreferences<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WindowPreferences::Identity => f.write_str("Identity"),
+            WindowPreferences::PerWindow(lists) => {
+                f.debug_tuple("PerWindow").field(&lists.len()).finish()
+            }
+            WindowPreferences::Scored(_) => f.write_str("Scored(..)"),
+        }
+    }
+}
 
 /// One independent `(reference, test, preference)` explanation request.
 #[derive(Debug, Clone, Copy)]
@@ -79,6 +126,7 @@ pub struct BatchJob<'a> {
 pub struct BatchExplainer {
     cfg: KsConfig,
     threads: usize,
+    reference_mode: ReferenceMode,
 }
 
 impl BatchExplainer {
@@ -94,7 +142,7 @@ impl BatchExplainer {
 
     /// Creates a batch explainer from an existing [`KsConfig`].
     pub fn with_config(cfg: KsConfig) -> Self {
-        Self { cfg, threads: 0 }
+        Self { cfg, threads: 0, reference_mode: ReferenceMode::default() }
     }
 
     /// Caps the worker-thread count. `0` (the default) means "one per
@@ -105,10 +153,28 @@ impl BatchExplainer {
         self
     }
 
+    /// Selects how [`explain_windows`](Self::explain_windows) builds each
+    /// window's base vector (merged vs indexed reference — identical
+    /// results, different constant factors).
+    #[must_use]
+    pub fn reference_mode(mut self, mode: ReferenceMode) -> Self {
+        self.reference_mode = mode;
+        self
+    }
+
     /// The KS configuration in use.
     #[inline]
     pub fn config(&self) -> &KsConfig {
         &self.cfg
+    }
+
+    /// The number of worker threads a call with `jobs` jobs would actually
+    /// use: the configured cap (or the core count for `0`), bounded by the
+    /// job count. On a single-core box this is 1 — the batch silently
+    /// serializes — so CLI consumers report this number instead of the
+    /// requested cap.
+    pub fn effective_threads(&self, jobs: usize) -> usize {
+        self.worker_count(jobs)
     }
 
     fn worker_count(&self, jobs: usize) -> usize {
@@ -149,18 +215,58 @@ impl BatchExplainer {
         windows: &[W],
         preferences: Option<&[PreferenceList]>,
     ) -> Vec<Result<Explanation, MocheError>> {
-        if let Some(prefs) = preferences {
+        let prefs = match preferences {
+            Some(lists) => WindowPreferences::PerWindow(lists),
+            None => WindowPreferences::Identity,
+        };
+        self.explain_windows_with(reference, windows, prefs)
+    }
+
+    /// [`explain_windows`](Self::explain_windows) with the full preference
+    /// vocabulary: identity, precomputed per-window lists, or a score
+    /// callback evaluated inside the worker threads (see
+    /// [`WindowPreferences`]).
+    ///
+    /// Under [`ReferenceMode::Indexed`] a [`ReferenceIndex`] is built once
+    /// from `reference` (an `O(n)` pass over the already-sorted values) and
+    /// every window is spliced into it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`WindowPreferences::PerWindow`] supplies a different
+    /// number of lists than `windows` — that is a caller bug, not a
+    /// per-job condition.
+    pub fn explain_windows_with<W: AsRef<[f64]> + Sync>(
+        &self,
+        reference: &SortedReference,
+        windows: &[W],
+        preferences: WindowPreferences<'_>,
+    ) -> Vec<Result<Explanation, MocheError>> {
+        if let WindowPreferences::PerWindow(prefs) = preferences {
             assert_eq!(prefs.len(), windows.len(), "one preference list per window is required");
         }
-        let indexed: Vec<usize> = (0..windows.len()).collect();
-        self.run(&indexed, |engine, &i| {
+        let index = match self.reference_mode {
+            ReferenceMode::Merged => None,
+            ReferenceMode::Indexed => Some(ReferenceIndex::from_sorted(reference)),
+        };
+        let jobs: Vec<usize> = (0..windows.len()).collect();
+        self.run(&jobs, |engine, &i| {
             let window = windows[i].as_ref();
-            match preferences {
-                Some(prefs) => engine.explain_with_reference(reference, window, &prefs[i]),
-                None => {
-                    let pref = PreferenceList::identity(window.len());
-                    engine.explain_with_reference(reference, window, &pref)
+            let owned_pref;
+            let pref = match preferences {
+                WindowPreferences::Identity => {
+                    owned_pref = PreferenceList::identity(window.len());
+                    &owned_pref
                 }
+                WindowPreferences::PerWindow(prefs) => &prefs[i],
+                WindowPreferences::Scored(score) => {
+                    owned_pref = score(i, window)?;
+                    &owned_pref
+                }
+            };
+            match &index {
+                Some(index) => engine.explain_with_index(index, window, pref),
+                None => engine.explain_with_reference(reference, window, pref),
             }
         })
     }
@@ -271,6 +377,73 @@ mod tests {
             let expected = moche.explain(&r, w, pref).unwrap();
             assert_eq!(result.as_ref().unwrap().indices(), expected.indices());
         }
+    }
+
+    #[test]
+    fn indexed_mode_matches_merged_mode() {
+        let (r, windows) = windows_against(10, 16, 50);
+        let shared = SortedReference::new(&r).unwrap();
+        for threads in [1, 4] {
+            let merged = BatchExplainer::new(0.05).unwrap().threads(threads);
+            let indexed = merged.reference_mode(ReferenceMode::Indexed);
+            let a = merged.explain_windows(&shared, &windows, None);
+            let b = indexed.explain_windows(&shared, &windows, None);
+            assert_eq!(a.len(), b.len());
+            for (x, y) in a.iter().zip(&b) {
+                assert_eq!(x.as_ref().unwrap(), y.as_ref().unwrap());
+            }
+        }
+    }
+
+    #[test]
+    fn scored_preferences_run_in_workers_and_match_precomputed() {
+        let (r, windows) = windows_against(10, 8, 40);
+        let shared = SortedReference::new(&r).unwrap();
+        let prefs: Vec<PreferenceList> =
+            windows.iter().map(|w| PreferenceList::reversed(w.len())).collect();
+        let batch = BatchExplainer::new(0.05).unwrap().threads(3);
+        let precomputed = batch.explain_windows(&shared, &windows, Some(&prefs));
+        let scored = batch.explain_windows_with(
+            &shared,
+            &windows,
+            WindowPreferences::Scored(&|_, w| Ok(PreferenceList::reversed(w.len()))),
+        );
+        for (a, b) in precomputed.iter().zip(&scored) {
+            assert_eq!(a.as_ref().unwrap(), b.as_ref().unwrap());
+        }
+    }
+
+    #[test]
+    fn scored_preference_errors_land_in_the_window_slot() {
+        let (r, windows) = windows_against(10, 3, 40);
+        let shared = SortedReference::new(&r).unwrap();
+        let batch = BatchExplainer::new(0.05).unwrap().threads(2);
+        let results = batch.explain_windows_with(
+            &shared,
+            &windows,
+            WindowPreferences::Scored(&|i, w| {
+                if i == 1 {
+                    // A wrong-length preference is the canonical score bug.
+                    Ok(PreferenceList::identity(w.len() - 1))
+                } else {
+                    Ok(PreferenceList::identity(w.len()))
+                }
+            }),
+        );
+        assert!(results[0].is_ok());
+        assert!(matches!(results[1], Err(MocheError::PreferenceLengthMismatch { .. })));
+        assert!(results[2].is_ok());
+    }
+
+    #[test]
+    fn effective_threads_reports_the_real_worker_count() {
+        let batch = BatchExplainer::new(0.05).unwrap().threads(8);
+        assert_eq!(batch.effective_threads(3), 3); // bounded by job count
+        assert_eq!(batch.effective_threads(100), 8); // bounded by the cap
+        assert_eq!(batch.effective_threads(0), 1); // never zero
+        let auto = BatchExplainer::new(0.05).unwrap();
+        let hw = std::thread::available_parallelism().map_or(1, |n| n.get());
+        assert_eq!(auto.effective_threads(1000), hw.min(1000));
     }
 
     #[test]

@@ -30,9 +30,10 @@ use crate::cumulative::SubsetCounts;
 use crate::error::MocheError;
 use crate::ks::KsConfig;
 use crate::moche::{ConstructionStrategy, Explanation, SizeProfile, SizeSearchStrategy};
-use crate::phase1;
+use crate::phase1::{self, SizeSearch};
 use crate::phase2;
 use crate::preference::PreferenceList;
+use crate::ref_index::ReferenceIndex;
 
 /// A MOCHE explainer with reusable scratch buffers.
 ///
@@ -60,6 +61,10 @@ pub struct ExplainEngine {
     size_search: SizeSearchStrategy,
     construction: ConstructionStrategy,
     ws: BoundsWorkspace,
+    /// Recycled output of the indexed base-vector splice: steady-state
+    /// [`explain_with_index`](Self::explain_with_index) calls rebuild it in
+    /// place instead of reallocating the `O(n + m)` arrays per window.
+    base_scratch: Option<BaseVector>,
 }
 
 impl ExplainEngine {
@@ -79,6 +84,7 @@ impl ExplainEngine {
             size_search: SizeSearchStrategy::default(),
             construction: ConstructionStrategy::default(),
             ws: BoundsWorkspace::new(),
+            base_scratch: None,
         }
     }
 
@@ -138,6 +144,74 @@ impl ExplainEngine {
         self.explain_base(&base, test, preference)
     }
 
+    /// [`explain`](Self::explain) against a precomputed [`ReferenceIndex`]:
+    /// the per-window base vector is spliced into the index
+    /// ([`BaseVector::build_with_index`]) instead of re-merging `R ∪ T`.
+    /// This is the amortized path for one `R` against many windows.
+    ///
+    /// # Errors
+    ///
+    /// As for [`explain`](Self::explain).
+    pub fn explain_with_index(
+        &mut self,
+        index: &ReferenceIndex,
+        test: &[f64],
+        preference: &PreferenceList,
+    ) -> Result<Explanation, MocheError> {
+        let mut base = self.base_scratch.take().unwrap_or_else(BaseVector::empty);
+        let result = BaseVector::build_with_index_into(index, test, &mut base)
+            .and_then(|()| self.explain_base(&base, test, preference));
+        self.base_scratch = Some(base);
+        result
+    }
+
+    /// Phase 1 only, against a precomputed [`ReferenceIndex`]: the
+    /// explanation *size* `k` of the failed test, without constructing the
+    /// explanation itself. This is the `size_only` monitoring fast path —
+    /// "how bad is the drift" without paying for Phase 2.
+    ///
+    /// # Errors
+    ///
+    /// As for [`explain`](Self::explain), except preference errors cannot
+    /// occur (no preference is involved).
+    pub fn size_with_index(
+        &mut self,
+        index: &ReferenceIndex,
+        test: &[f64],
+    ) -> Result<SizeSearch, MocheError> {
+        let mut base = self.base_scratch.take().unwrap_or_else(BaseVector::empty);
+        let result = BaseVector::build_with_index_into(index, test, &mut base)
+            .and_then(|()| self.size_base(&base));
+        self.base_scratch = Some(base);
+        result
+    }
+
+    /// Phase 1 over an already-built base vector.
+    pub(crate) fn size_base(&self, base: &BaseVector) -> Result<SizeSearch, MocheError> {
+        self.size_checked(base, &base.outcome(&self.cfg))
+    }
+
+    /// Phase 1 under an already-computed before-removal outcome.
+    fn size_checked(
+        &self,
+        base: &BaseVector,
+        outcome_before: &crate::ks::KsOutcome,
+    ) -> Result<SizeSearch, MocheError> {
+        if outcome_before.passes() {
+            return Err(MocheError::TestAlreadyPasses {
+                statistic: outcome_before.statistic,
+                threshold: outcome_before.threshold,
+            });
+        }
+        let ctx = BoundsContext::new(base, &self.cfg);
+        match self.size_search {
+            SizeSearchStrategy::LowerBounded => phase1::find_size(&ctx, self.cfg.alpha()),
+            SizeSearchStrategy::NoLowerBound => {
+                phase1::find_size_no_lower_bound(&ctx, self.cfg.alpha())
+            }
+        }
+    }
+
     /// The core flow over an already-built base vector.
     pub(crate) fn explain_base(
         &mut self,
@@ -152,20 +226,7 @@ impl ExplainEngine {
             });
         }
         let outcome_before = base.outcome(&self.cfg);
-        if outcome_before.passes() {
-            return Err(MocheError::TestAlreadyPasses {
-                statistic: outcome_before.statistic,
-                threshold: outcome_before.threshold,
-            });
-        }
-
-        let ctx = BoundsContext::new(base, &self.cfg);
-        let phase1 = match self.size_search {
-            SizeSearchStrategy::LowerBounded => phase1::find_size(&ctx, self.cfg.alpha())?,
-            SizeSearchStrategy::NoLowerBound => {
-                phase1::find_size_no_lower_bound(&ctx, self.cfg.alpha())?
-            }
-        };
+        let phase1 = self.size_checked(base, &outcome_before)?;
 
         let (indices, phase2) = match self.construction {
             ConstructionStrategy::Incremental => phase2::construct_with(
@@ -275,6 +336,32 @@ mod tests {
         let direct = engine.explain(&r, &t, &pref).unwrap();
         let via_shared = engine.explain_with_reference(&shared, &t, &pref).unwrap();
         assert_eq!(direct, via_shared);
+    }
+
+    #[test]
+    fn engine_indexed_matches_direct() {
+        let (r, t) = paper_setup();
+        let index = ReferenceIndex::new(&r).unwrap();
+        let pref = PreferenceList::new(vec![3, 2, 1, 0]).unwrap();
+        let mut engine = ExplainEngine::new(0.3).unwrap();
+        let direct = engine.explain(&r, &t, &pref).unwrap();
+        let via_index = engine.explain_with_index(&index, &t, &pref).unwrap();
+        assert_eq!(direct, via_index);
+    }
+
+    #[test]
+    fn engine_size_only_matches_full_phase1() {
+        let (r, t) = paper_setup();
+        let index = ReferenceIndex::new(&r).unwrap();
+        let mut engine = ExplainEngine::new(0.3).unwrap();
+        let size = engine.size_with_index(&index, &t).unwrap();
+        let full = engine.explain(&r, &t, &PreferenceList::new(vec![3, 2, 1, 0]).unwrap()).unwrap();
+        assert_eq!(size, full.phase1);
+        // Passing tests surface the same error as the explain path.
+        match engine.size_with_index(&index, &r) {
+            Err(MocheError::TestAlreadyPasses { .. }) => {}
+            other => panic!("unexpected {other:?}"),
+        }
     }
 
     #[test]

@@ -67,9 +67,11 @@ pub mod moche;
 pub mod phase1;
 pub mod phase2;
 pub mod preference;
+pub mod ref_index;
+pub mod streaming;
 
 pub use base_vector::{BaseVector, SortedReference};
-pub use batch::{BatchExplainer, BatchJob};
+pub use batch::{BatchExplainer, BatchJob, ReferenceMode, ScoreFn, WindowPreferences};
 pub use bounds::{BoundsContext, BoundsWorkspace};
 pub use cumulative::{CumulativeVector, SubsetCounts};
 pub use ecdf::Ecdf;
@@ -77,7 +79,12 @@ pub use engine::ExplainEngine;
 pub use error::MocheError;
 pub use ks::{ks_statistic, ks_test, KsConfig, KsOutcome, ALPHA_EXISTENCE_GUARANTEE};
 pub use moche::{ConstructionStrategy, Explanation, Moche, SizeSearchStrategy};
+pub use phase1::SizeSearch;
 pub use preference::PreferenceList;
+pub use ref_index::ReferenceIndex;
+pub use streaming::{
+    StreamMode, StreamResult, StreamSummary, StreamingBatchExplainer, WindowReport,
+};
 
 /// Commonly used items, for glob import in examples and downstream crates.
 pub mod prelude {
@@ -90,4 +97,6 @@ pub mod prelude {
     pub use crate::ks::{ks_test, KsConfig, KsOutcome};
     pub use crate::moche::{Explanation, Moche};
     pub use crate::preference::PreferenceList;
+    pub use crate::ref_index::ReferenceIndex;
+    pub use crate::streaming::StreamingBatchExplainer;
 }

@@ -1,0 +1,380 @@
+//! The precomputed reference rank index: amortizing the reference side of
+//! the base-vector build across many test windows.
+//!
+//! The drift-monitoring deployment the paper targets (Section 6.1.1) tests
+//! one large reference sample `R` against thousands of small sliding
+//! windows `T`. [`BaseVector::build`] re-merges `R ∪ T` per window —
+//! `O(n + m)` comparisons each time even though `R` never changes.
+//! A [`ReferenceIndex`] does the reference-side work once: it stores the
+//! distinct reference values together with their cumulative rank counts,
+//! so a per-window build only has to *splice* the window's `O(q_T)`
+//! distinct values into the precomputed structure.
+//!
+//! [`BaseVector::build_with_index`] runs in `O(m log m)` to sort the
+//! window, `O(q_T log q_R)` to locate the splice points, and copies the
+//! untouched reference runs between them with `memcpy`-style chunk copies
+//! instead of a per-element merge loop — the dominant `O(n)` term loses
+//! its branch-per-element constant. The result is **byte-identical** to
+//! [`BaseVector::build`] (enforced by `tests/proptest_indexed.rs`), so
+//! every downstream phase (bounds, Phase 1, Phase 2) is oblivious to which
+//! path built the base vector.
+
+use crate::base_vector::{BaseVector, SortedReference};
+use crate::error::{MocheError, SetKind};
+use crate::ks::validate_finite;
+
+/// A reference sample preprocessed for repeated base-vector builds: the
+/// distinct sorted values of `R` and their cumulative counts.
+///
+/// Build once per reference (`O(n log n)`), then construct per-window base
+/// vectors with [`BaseVector::build_with_index`]. Shareable read-only
+/// across worker threads (see [`crate::batch`] and [`crate::streaming`]).
+///
+/// # Examples
+///
+/// ```
+/// use moche_core::{BaseVector, ReferenceIndex};
+///
+/// let reference = vec![14.0, 14.0, 14.0, 14.0, 20.0, 20.0, 20.0, 20.0];
+/// let index = ReferenceIndex::new(&reference).unwrap();
+/// assert_eq!(index.n(), 8);
+/// assert_eq!(index.q_r(), 2); // distinct values 14 and 20
+///
+/// let test = vec![13.0, 13.0, 12.0, 20.0];
+/// let indexed = BaseVector::build_with_index(&index, &test).unwrap();
+/// let merged = BaseVector::build(&reference, &test).unwrap();
+/// assert_eq!(indexed, merged);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReferenceIndex {
+    /// Distinct reference values, ascending.
+    distinct: Vec<f64>,
+    /// `cum[j] = |{x in R : x <= distinct[j - 1]}|`, with `cum[0] = 0`.
+    cum: Vec<u64>,
+    /// Total reference size `n` (with multiplicities).
+    n: usize,
+}
+
+impl ReferenceIndex {
+    /// Validates, sorts and indexes a reference sample.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the sample is empty or contains non-finite
+    /// values.
+    pub fn new(reference: &[f64]) -> Result<Self, MocheError> {
+        Self::from_vec(reference.to_vec())
+    }
+
+    /// [`new`](Self::new) from an owned sample, sorting it in place —
+    /// callers that already hold a `Vec` (e.g. a collected sliding window)
+    /// skip the defensive copy.
+    ///
+    /// # Errors
+    ///
+    /// As for [`new`](Self::new).
+    pub fn from_vec(mut reference: Vec<f64>) -> Result<Self, MocheError> {
+        if reference.is_empty() {
+            return Err(MocheError::EmptyReference);
+        }
+        validate_finite(SetKind::Reference, &reference)?;
+        reference.sort_unstable_by(f64::total_cmp);
+        Ok(Self::from_sorted_values(&reference))
+    }
+
+    /// Indexes an already-validated [`SortedReference`] in `O(n)`.
+    pub fn from_sorted(reference: &SortedReference) -> Self {
+        Self::from_sorted_values(reference.as_sorted())
+    }
+
+    fn from_sorted_values(sorted: &[f64]) -> Self {
+        let mut distinct = Vec::with_capacity(sorted.len());
+        let mut cum = Vec::with_capacity(sorted.len() + 1);
+        cum.push(0u64);
+        let mut i = 0usize;
+        while i < sorted.len() {
+            // The representative of a duplicate run is its first element in
+            // total_cmp order, matching the merge in `BaseVector::build`.
+            let v = sorted[i];
+            let mut j = i + 1;
+            while j < sorted.len() && sorted[j] <= v {
+                j += 1;
+            }
+            distinct.push(v);
+            cum.push(j as u64);
+            i = j;
+        }
+        Self { distinct, cum, n: sorted.len() }
+    }
+
+    /// Total reference size `n` (with multiplicities).
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of distinct reference values `q_R`.
+    #[inline]
+    pub fn q_r(&self) -> usize {
+        self.distinct.len()
+    }
+
+    /// Always `false`: construction rejects empty samples.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.distinct.is_empty()
+    }
+
+    /// The distinct reference values, ascending.
+    #[inline]
+    pub fn distinct(&self) -> &[f64] {
+        &self.distinct
+    }
+
+    /// The rank of `v` in the reference: `|{x in R : x <= v}|`, in
+    /// `O(log q_R)`.
+    pub fn rank(&self, v: f64) -> u64 {
+        let pos = self.distinct.partition_point(|&u| u <= v);
+        self.cum[pos]
+    }
+
+    /// The cumulative counts, `cum[j] = |{x in R : x <= distinct[j - 1]}|`.
+    #[inline]
+    pub(crate) fn cum(&self) -> &[u64] {
+        &self.cum
+    }
+}
+
+impl BaseVector {
+    /// Builds the base vector against a precomputed [`ReferenceIndex`],
+    /// splicing the window's distinct values into the index instead of
+    /// re-merging `R ∪ T`.
+    ///
+    /// `O(m log m + q_T log q_R)` plus chunk copies of the reference runs;
+    /// the result is byte-identical to [`BaseVector::build`] on the same
+    /// inputs.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the test sample is empty or contains non-finite
+    /// values.
+    pub fn build_with_index(index: &ReferenceIndex, test: &[f64]) -> Result<Self, MocheError> {
+        let mut out = Self::empty();
+        Self::build_with_index_into(index, test, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`build_with_index`](Self::build_with_index), rebuilding `out` in
+    /// place. The splice writes into `out`'s existing buffers, so a caller
+    /// looping over windows of similar size pays the page-fault cost of the
+    /// `O(n + m)` output arrays once instead of per window — on large
+    /// references that allocation dominates the construction itself.
+    /// Start from [`BaseVector::empty`] (or any previous build).
+    ///
+    /// # Errors
+    ///
+    /// As for [`build_with_index`](Self::build_with_index); on error `out`
+    /// is left unchanged.
+    pub fn build_with_index_into(
+        index: &ReferenceIndex,
+        test: &[f64],
+        out: &mut Self,
+    ) -> Result<(), MocheError> {
+        if test.is_empty() {
+            return Err(MocheError::EmptyTest);
+        }
+        validate_finite(SetKind::Test, test)?;
+        let (mut values, mut c_r, mut c_t, mut t_pos) = out.take_buffers();
+        values.clear();
+        c_r.clear();
+        c_t.clear();
+        t_pos.clear();
+        let mut t_sorted = test.to_vec();
+        t_sorted.sort_unstable_by(f64::total_cmp);
+
+        let distinct = index.distinct();
+        let cum = index.cum();
+        values.reserve(distinct.len() + test.len());
+        c_r.reserve(distinct.len() + test.len() + 1);
+        c_t.reserve(distinct.len() + test.len() + 1);
+        c_r.push(0u64);
+        c_t.push(0u64);
+
+        let mut rpos = 0usize; // next reference-distinct index to emit
+        let mut consumed_t = 0u64;
+        let mut gi = 0usize;
+        while gi < t_sorted.len() {
+            // One distinct test value per iteration; its representative is
+            // the first element of the duplicate run, as in the merge.
+            let tv = t_sorted[gi];
+            let mut ge = gi + 1;
+            while ge < t_sorted.len() && t_sorted[ge] <= tv {
+                ge += 1;
+            }
+
+            // Copy the run of reference values strictly below tv as one
+            // chunk: values and c_r are memcpys of the precomputed arrays,
+            // c_t is a constant fill.
+            let splice = rpos + distinct[rpos..].partition_point(|&u| u < tv);
+            if splice > rpos {
+                values.extend_from_slice(&distinct[rpos..splice]);
+                c_r.extend_from_slice(&cum[rpos + 1..splice + 1]);
+                c_t.resize(c_t.len() + (splice - rpos), consumed_t);
+                rpos = splice;
+            }
+
+            consumed_t += (ge - gi) as u64;
+            if rpos < distinct.len() && distinct[rpos] == tv {
+                // Shared value: same min-of-heads selection as the merge
+                // (only observable for signed zeros).
+                values.push(distinct[rpos].min(tv));
+                rpos += 1;
+            } else {
+                values.push(tv);
+            }
+            c_r.push(cum[rpos]);
+            c_t.push(consumed_t);
+            gi = ge;
+        }
+
+        // Tail: every remaining reference value, in one chunk.
+        if rpos < distinct.len() {
+            let run = distinct.len() - rpos;
+            values.extend_from_slice(&distinct[rpos..]);
+            c_r.extend_from_slice(&cum[rpos + 1..]);
+            c_t.resize(c_t.len() + run, consumed_t);
+        }
+
+        t_pos.extend(test.iter().map(|&v| {
+            let lt = values.partition_point(|&u| u < v);
+            debug_assert!(values[lt] == v);
+            lt + 1
+        }));
+
+        *out = Self::from_raw_parts(values, c_r, c_t, t_pos, index.n(), test.len());
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper_example() -> (Vec<f64>, Vec<f64>) {
+        (vec![14.0, 14.0, 14.0, 14.0, 20.0, 20.0, 20.0, 20.0], vec![13.0, 13.0, 12.0, 20.0])
+    }
+
+    #[test]
+    fn index_summarizes_the_reference() {
+        let (r, _) = paper_example();
+        let index = ReferenceIndex::new(&r).unwrap();
+        assert_eq!(index.n(), 8);
+        assert_eq!(index.q_r(), 2);
+        assert!(!index.is_empty());
+        assert_eq!(index.distinct(), &[14.0, 20.0]);
+        assert_eq!(index.rank(13.0), 0);
+        assert_eq!(index.rank(14.0), 4);
+        assert_eq!(index.rank(19.0), 4);
+        assert_eq!(index.rank(20.0), 8);
+        assert_eq!(index.rank(99.0), 8);
+    }
+
+    #[test]
+    fn from_sorted_and_from_vec_match_new() {
+        let (r, _) = paper_example();
+        let shared = SortedReference::new(&r).unwrap();
+        assert_eq!(ReferenceIndex::from_sorted(&shared), ReferenceIndex::new(&r).unwrap());
+        assert_eq!(ReferenceIndex::from_vec(r.clone()).unwrap(), ReferenceIndex::new(&r).unwrap());
+        assert_eq!(ReferenceIndex::from_vec(Vec::new()).unwrap_err(), MocheError::EmptyReference);
+    }
+
+    #[test]
+    fn indexed_build_matches_merged_on_the_paper_example() {
+        let (r, t) = paper_example();
+        let index = ReferenceIndex::new(&r).unwrap();
+        let merged = BaseVector::build(&r, &t).unwrap();
+        let indexed = BaseVector::build_with_index(&index, &t).unwrap();
+        assert_eq!(indexed, merged);
+    }
+
+    #[test]
+    fn indexed_build_matches_merged_on_overlap_patterns() {
+        // Every interleaving shape: test below, inside, between, equal to
+        // and above the reference values, with duplicates everywhere.
+        let r = vec![1.0, 1.0, 3.0, 5.0, 5.0, 5.0, 9.0];
+        let index = ReferenceIndex::new(&r).unwrap();
+        let tests: Vec<Vec<f64>> = vec![
+            vec![0.0, 0.0],                 // all below
+            vec![10.0, 11.0],               // all above
+            vec![1.0, 5.0, 9.0],            // all shared
+            vec![2.0, 4.0, 6.0],            // all between
+            vec![0.0, 1.0, 4.0, 5.0, 12.0], // mixed
+            vec![5.0, 5.0, 5.0, 5.0],       // one shared value, duplicated
+            vec![3.0],                      // single shared point
+            vec![-2.5],                     // single outside point
+        ];
+        for t in tests {
+            let merged = BaseVector::build(&r, &t).unwrap();
+            let indexed = BaseVector::build_with_index(&index, &t).unwrap();
+            assert_eq!(indexed, merged, "test window {t:?}");
+        }
+    }
+
+    #[test]
+    fn indexed_build_matches_merged_with_signed_zeros() {
+        let r = vec![-0.0, 0.0, 1.0];
+        let index = ReferenceIndex::new(&r).unwrap();
+        for t in [vec![0.0, 2.0], vec![-0.0, 2.0], vec![-0.0, 0.0]] {
+            let merged = BaseVector::build(&r, &t).unwrap();
+            let indexed = BaseVector::build_with_index(&index, &t).unwrap();
+            assert_eq!(indexed, merged, "test window {t:?}");
+            assert_eq!(
+                indexed.values().iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                merged.values().iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "bitwise value mismatch for {t:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn rebuild_in_place_recycles_buffers_and_matches() {
+        let r = vec![1.0, 1.0, 3.0, 5.0, 5.0, 5.0, 9.0];
+        let index = ReferenceIndex::new(&r).unwrap();
+        let mut out = BaseVector::empty();
+        for t in [vec![2.0, 4.0], vec![0.0, 5.0, 12.0], vec![9.0, 9.0, 9.0]] {
+            BaseVector::build_with_index_into(&index, &t, &mut out).unwrap();
+            assert_eq!(out, BaseVector::build(&r, &t).unwrap(), "test window {t:?}");
+        }
+        // Validation errors leave the previous contents untouched.
+        let before = out.clone();
+        assert_eq!(
+            BaseVector::build_with_index_into(&index, &[], &mut out).unwrap_err(),
+            MocheError::EmptyTest
+        );
+        assert!(BaseVector::build_with_index_into(&index, &[f64::NAN], &mut out).is_err());
+        assert_eq!(out, before);
+    }
+
+    #[test]
+    fn indexed_build_rejects_bad_test_input() {
+        let index = ReferenceIndex::new(&[1.0, 2.0]).unwrap();
+        assert_eq!(BaseVector::build_with_index(&index, &[]).unwrap_err(), MocheError::EmptyTest);
+        assert!(BaseVector::build_with_index(&index, &[f64::NAN]).is_err());
+    }
+
+    #[test]
+    fn index_rejects_bad_reference() {
+        assert_eq!(ReferenceIndex::new(&[]).unwrap_err(), MocheError::EmptyReference);
+        assert!(ReferenceIndex::new(&[1.0, f64::INFINITY]).is_err());
+    }
+
+    #[test]
+    fn indexed_statistic_matches_direct() {
+        let r: Vec<f64> = (0..500).map(|i| f64::from(i % 23)).collect();
+        let t: Vec<f64> = (0..80).map(|i| f64::from(i % 17) + 3.5).collect();
+        let index = ReferenceIndex::new(&r).unwrap();
+        let b = BaseVector::build_with_index(&index, &t).unwrap();
+        let direct = crate::ks::ks_statistic(&r, &t).unwrap();
+        assert!((b.statistic() - direct).abs() < 1e-15);
+    }
+}

@@ -1,0 +1,476 @@
+//! Bounded-memory streaming batch explanation: explain windows as they
+//! arrive instead of buffering them all up front.
+//!
+//! [`crate::batch::BatchExplainer`] wants every window in memory before it
+//! starts — fine for a few thousand windows, wrong for the monitor
+//! deployment where windows arrive indefinitely. [`StreamingBatchExplainer`]
+//! accepts windows from any iterator (a lazily-parsed file, a socket, a
+//! generator) and pipelines them through a pool of workers with **bounded
+//! memory**:
+//!
+//! * a feeder thread pulls windows from the iterator into a
+//!   [`sync_channel`](std::sync::mpsc::sync_channel) whose capacity is the
+//!   configured [`buffer`](StreamingBatchExplainer::buffer) — the iterator
+//!   is never driven more than `buffer` windows ahead of the workers;
+//! * each worker owns one [`ExplainEngine`] (scratch buffers and the
+//!   identity preference are recycled across windows) and splices every
+//!   window into the shared [`ReferenceIndex`] — the amortized
+//!   [`crate::BaseVector::build_with_index`] path;
+//! * completed windows pass through a small reorder buffer so results are
+//!   delivered to the caller **in arrival order**, exactly matching the
+//!   sequential output. The reorder buffer is itself bounded (a window can
+//!   only wait on `buffer + threads` predecessors), so total residency is
+//!   `O((buffer + threads) · m)` regardless of stream length.
+//!
+//! The [`StreamMode::SizeOnly`] mode runs Phase 1 only and reports just the
+//! explanation size `k` per window — "how bad is the drift" at a fraction
+//! of the cost, the common monitoring question.
+
+pub use crate::batch::ScoreFn;
+use crate::engine::ExplainEngine;
+use crate::error::MocheError;
+use crate::ks::KsConfig;
+use crate::moche::Explanation;
+use crate::phase1::SizeSearch;
+use crate::preference::PreferenceList;
+use crate::ref_index::ReferenceIndex;
+use std::collections::BTreeMap;
+use std::sync::mpsc;
+use std::sync::Mutex;
+
+/// What the streaming engine computes per window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StreamMode {
+    /// Full MOCHE: Phase 1 + Phase 2, yielding an [`Explanation`].
+    #[default]
+    Explain,
+    /// Phase 1 only, yielding the explanation size ([`SizeSearch`]) —
+    /// Phase 2 is skipped entirely.
+    SizeOnly,
+}
+
+/// The successful payload of one streamed window.
+#[derive(Debug, Clone, PartialEq)]
+#[allow(clippy::large_enum_variant)] // Explained carries the full Explanation by design
+pub enum WindowReport {
+    /// The full explanation ([`StreamMode::Explain`]).
+    Explained(Explanation),
+    /// Phase-1 size only ([`StreamMode::SizeOnly`]).
+    Size(SizeSearch),
+}
+
+/// One delivered window outcome. Results arrive in window (arrival) order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamResult {
+    /// 0-based arrival index of the window.
+    pub window: usize,
+    /// The window's outcome; windows that pass the KS test report
+    /// [`MocheError::TestAlreadyPasses`], like the batch API.
+    pub result: Result<WindowReport, MocheError>,
+}
+
+/// Aggregate statistics of one streaming run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StreamSummary {
+    /// Total windows consumed from the iterator.
+    pub windows: usize,
+    /// Windows that produced an explanation (or a size, in
+    /// [`StreamMode::SizeOnly`]).
+    pub explained: usize,
+    /// Windows whose KS test passed (nothing to explain).
+    pub passing: usize,
+    /// Windows that failed with any other error.
+    pub errors: usize,
+    /// Worker threads actually used (1 means the run was sequential).
+    pub threads: usize,
+}
+
+/// A bounded-memory streaming explainer over an indexed reference.
+///
+/// # Examples
+///
+/// ```
+/// use moche_core::{ReferenceIndex, StreamingBatchExplainer, WindowReport};
+///
+/// let reference: Vec<f64> = (0..64).map(|i| f64::from(i % 8)).collect();
+/// let index = ReferenceIndex::new(&reference).unwrap();
+/// let windows = (0..100u32).map(|w| {
+///     (0..32).map(|i| f64::from((i + w) % 8) + 4.0).collect::<Vec<f64>>()
+/// });
+///
+/// let streamer = StreamingBatchExplainer::new(0.05).unwrap().buffer(4);
+/// let mut sizes = Vec::new();
+/// let summary = streamer.explain_stream(&index, windows, None, |r| {
+///     if let Ok(WindowReport::Explained(e)) = r.result {
+///         sizes.push(e.size());
+///     }
+/// });
+/// assert_eq!(summary.windows, 100);
+/// assert_eq!(summary.explained, sizes.len());
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct StreamingBatchExplainer {
+    cfg: KsConfig,
+    threads: usize,
+    buffer: usize,
+    mode: StreamMode,
+}
+
+impl StreamingBatchExplainer {
+    /// Creates a streaming explainer for significance level `alpha`, using
+    /// all available cores and an automatic buffer bound.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MocheError::InvalidAlpha`] unless `0 < alpha < 1`.
+    pub fn new(alpha: f64) -> Result<Self, MocheError> {
+        Ok(Self::with_config(KsConfig::new(alpha)?))
+    }
+
+    /// Creates a streaming explainer from an existing [`KsConfig`].
+    pub fn with_config(cfg: KsConfig) -> Self {
+        Self { cfg, threads: 0, buffer: 0, mode: StreamMode::default() }
+    }
+
+    /// Caps the worker-thread count. `0` (the default) means "one per
+    /// available core".
+    #[must_use]
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Bounds the number of windows buffered ahead of the workers. `0`
+    /// (the default) picks `2 × threads`, minimum 4. Total memory held by a
+    /// run is `O((buffer + threads) · window size)`.
+    #[must_use]
+    pub fn buffer(mut self, buffer: usize) -> Self {
+        self.buffer = buffer;
+        self
+    }
+
+    /// Selects what to compute per window (full explanations vs Phase-1
+    /// sizes only).
+    #[must_use]
+    pub fn mode(mut self, mode: StreamMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// The KS configuration in use.
+    #[inline]
+    pub fn config(&self) -> &KsConfig {
+        &self.cfg
+    }
+
+    /// The number of worker threads a run would actually use (the
+    /// configured cap, or the core count for `0`). `1` means runs will be
+    /// sequential.
+    pub fn effective_threads(&self) -> usize {
+        self.worker_count()
+    }
+
+    fn worker_count(&self) -> usize {
+        let hw = std::thread::available_parallelism().map_or(1, |n| n.get());
+        if self.threads == 0 {
+            hw
+        } else {
+            self.threads.max(1)
+        }
+    }
+
+    fn buffer_bound(&self, workers: usize) -> usize {
+        if self.buffer == 0 {
+            (2 * workers).max(4)
+        } else {
+            self.buffer.max(1)
+        }
+    }
+
+    /// Streams every window through the worker pool, calling `on_result`
+    /// once per window **in arrival order**. `score`, when given, derives
+    /// each window's preference inside the workers
+    /// ([`StreamMode::SizeOnly`] ignores it — Phase 1 needs no
+    /// preference); `None` uses the identity order.
+    ///
+    /// Results are byte-identical to [`crate::batch::BatchExplainer`] over
+    /// the same windows (enforced by `tests/proptest_indexed.rs`).
+    pub fn explain_stream<I, F>(
+        &self,
+        reference: &ReferenceIndex,
+        windows: I,
+        score: Option<ScoreFn<'_>>,
+        on_result: F,
+    ) -> StreamSummary
+    where
+        I: IntoIterator<Item = Vec<f64>>,
+        I::IntoIter: Send,
+        F: FnMut(StreamResult),
+    {
+        let workers = self.worker_count();
+        if workers <= 1 {
+            self.run_sequential(reference, windows, score, on_result)
+        } else {
+            self.run_parallel(reference, windows, score, on_result, workers)
+        }
+    }
+
+    /// One window's computation, on a worker-owned engine. `ident` caches
+    /// the identity preference across same-length windows so steady-state
+    /// streams build it once.
+    fn process(
+        &self,
+        engine: &mut ExplainEngine,
+        ident: &mut PreferenceList,
+        reference: &ReferenceIndex,
+        score: Option<ScoreFn<'_>>,
+        window_id: usize,
+        window: &[f64],
+    ) -> Result<WindowReport, MocheError> {
+        match self.mode {
+            StreamMode::SizeOnly => {
+                engine.size_with_index(reference, window).map(WindowReport::Size)
+            }
+            StreamMode::Explain => {
+                let owned;
+                let pref = match score {
+                    Some(score) => {
+                        owned = score(window_id, window)?;
+                        &owned
+                    }
+                    None => {
+                        if ident.len() != window.len() {
+                            *ident = PreferenceList::identity(window.len());
+                        }
+                        &*ident
+                    }
+                };
+                engine.explain_with_index(reference, window, pref).map(WindowReport::Explained)
+            }
+        }
+    }
+
+    fn run_sequential<I, F>(
+        &self,
+        reference: &ReferenceIndex,
+        windows: I,
+        score: Option<ScoreFn<'_>>,
+        mut on_result: F,
+    ) -> StreamSummary
+    where
+        I: IntoIterator<Item = Vec<f64>>,
+        F: FnMut(StreamResult),
+    {
+        let mut summary = StreamSummary { threads: 1, ..StreamSummary::default() };
+        let mut engine = ExplainEngine::with_config(self.cfg);
+        let mut ident = PreferenceList::identity(0);
+        for (window_id, window) in windows.into_iter().enumerate() {
+            let result =
+                self.process(&mut engine, &mut ident, reference, score, window_id, &window);
+            summary.tally(&result);
+            on_result(StreamResult { window: window_id, result });
+        }
+        summary
+    }
+
+    fn run_parallel<I, F>(
+        &self,
+        reference: &ReferenceIndex,
+        windows: I,
+        score: Option<ScoreFn<'_>>,
+        mut on_result: F,
+        workers: usize,
+    ) -> StreamSummary
+    where
+        I: IntoIterator<Item = Vec<f64>>,
+        I::IntoIter: Send,
+        F: FnMut(StreamResult),
+    {
+        let buffer = self.buffer_bound(workers);
+        let iter = windows.into_iter();
+        let mut summary = StreamSummary { threads: workers, ..StreamSummary::default() };
+
+        // Feeder -> bounded job channel -> workers -> bounded result
+        // channel -> in-order delivery on this thread. Both channels are
+        // bounded, so the stream can run forever in constant memory.
+        let (job_tx, job_rx) = mpsc::sync_channel::<(usize, Vec<f64>)>(buffer);
+        let job_rx = Mutex::new(job_rx);
+        let (result_tx, result_rx) = mpsc::sync_channel::<StreamResult>(buffer.max(workers));
+
+        std::thread::scope(|scope| {
+            scope.spawn(move || {
+                for job in iter.enumerate() {
+                    if job_tx.send(job).is_err() {
+                        break; // receivers are gone; nothing left to feed
+                    }
+                }
+            });
+            for _ in 0..workers {
+                let result_tx = result_tx.clone();
+                let job_rx = &job_rx;
+                scope.spawn(move || {
+                    let mut engine = ExplainEngine::with_config(self.cfg);
+                    let mut ident = PreferenceList::identity(0);
+                    loop {
+                        let job = job_rx.lock().expect("job receiver poisoned").recv();
+                        let Ok((window_id, window)) = job else { break };
+                        let result = self.process(
+                            &mut engine,
+                            &mut ident,
+                            reference,
+                            score,
+                            window_id,
+                            &window,
+                        );
+                        if result_tx.send(StreamResult { window: window_id, result }).is_err() {
+                            break;
+                        }
+                    }
+                });
+            }
+            drop(result_tx); // the workers hold the remaining clones
+
+            // Reorder completed windows into arrival order. A window can
+            // only wait on predecessors still in flight, so `pending` is
+            // bounded by the channel capacities.
+            let mut pending: BTreeMap<usize, StreamResult> = BTreeMap::new();
+            let mut next = 0usize;
+            for result in result_rx.iter() {
+                pending.insert(result.window, result);
+                while let Some(ready) = pending.remove(&next) {
+                    summary.tally(&ready.result);
+                    on_result(ready);
+                    next += 1;
+                }
+            }
+            debug_assert!(pending.is_empty(), "every window must be delivered");
+        });
+        summary
+    }
+}
+
+impl StreamSummary {
+    fn tally(&mut self, result: &Result<WindowReport, MocheError>) {
+        self.windows += 1;
+        match result {
+            Ok(_) => self.explained += 1,
+            Err(MocheError::TestAlreadyPasses { .. }) => self.passing += 1,
+            Err(_) => self.errors += 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::base_vector::SortedReference;
+    use crate::batch::BatchExplainer;
+
+    fn setup(count: usize) -> (Vec<f64>, Vec<Vec<f64>>) {
+        let reference: Vec<f64> = (0..200u32).map(|i| f64::from(i % 10)).collect();
+        let windows: Vec<Vec<f64>> = (0..count)
+            .map(|w| (0..50).map(|i| f64::from(((i + w) % 7) as u32) + 5.0).collect())
+            .collect();
+        (reference, windows)
+    }
+
+    fn collect_stream(
+        streamer: &StreamingBatchExplainer,
+        index: &ReferenceIndex,
+        windows: &[Vec<f64>],
+    ) -> (Vec<StreamResult>, StreamSummary) {
+        let mut out = Vec::new();
+        let summary = streamer.explain_stream(index, windows.to_vec(), None, |r| out.push(r));
+        (out, summary)
+    }
+
+    #[test]
+    fn stream_matches_batch_and_arrives_in_order() {
+        let (r, windows) = setup(24);
+        let index = ReferenceIndex::new(&r).unwrap();
+        let shared = SortedReference::new(&r).unwrap();
+        let batch = BatchExplainer::new(0.05).unwrap().threads(4);
+        let expected = batch.explain_windows(&shared, &windows, None);
+        for threads in [1, 4] {
+            let streamer = StreamingBatchExplainer::new(0.05).unwrap().threads(threads).buffer(3);
+            let (results, summary) = collect_stream(&streamer, &index, &windows);
+            assert_eq!(summary.windows, windows.len());
+            assert_eq!(summary.threads, threads);
+            assert_eq!(results.len(), windows.len());
+            for (i, (res, exp)) in results.iter().zip(&expected).enumerate() {
+                assert_eq!(res.window, i, "results must arrive in window order");
+                match (&res.result, exp) {
+                    (Ok(WindowReport::Explained(a)), Ok(b)) => assert_eq!(a, b),
+                    (Err(a), Err(b)) => assert_eq!(a, b),
+                    other => panic!("divergence at window {i}: {other:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn size_only_matches_full_phase1() {
+        let (r, windows) = setup(10);
+        let index = ReferenceIndex::new(&r).unwrap();
+        let full = StreamingBatchExplainer::new(0.05).unwrap().threads(2).buffer(2);
+        let sized = full.mode(StreamMode::SizeOnly);
+        let (full_results, _) = collect_stream(&full, &index, &windows);
+        let (size_results, summary) = collect_stream(&sized, &index, &windows);
+        assert_eq!(summary.explained, windows.len());
+        for (f, s) in full_results.iter().zip(&size_results) {
+            match (&f.result, &s.result) {
+                (Ok(WindowReport::Explained(e)), Ok(WindowReport::Size(k))) => {
+                    assert_eq!(&e.phase1, k);
+                }
+                other => panic!("divergence: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn passing_and_erroring_windows_are_tallied() {
+        let (r, mut windows) = setup(4);
+        windows.push(r.clone()); // passes the KS test
+        windows.push(vec![]); // EmptyTest error
+        let index = ReferenceIndex::new(&r).unwrap();
+        let streamer = StreamingBatchExplainer::new(0.05).unwrap().threads(2).buffer(2);
+        let (results, summary) = collect_stream(&streamer, &index, &windows);
+        assert_eq!(summary.windows, 6);
+        assert_eq!(summary.explained, 4);
+        assert_eq!(summary.passing, 1);
+        assert_eq!(summary.errors, 1);
+        assert!(matches!(results[4].result, Err(MocheError::TestAlreadyPasses { .. })));
+        assert!(matches!(results[5].result, Err(MocheError::EmptyTest)));
+    }
+
+    #[test]
+    fn score_callback_runs_in_workers() {
+        let (r, windows) = setup(8);
+        let index = ReferenceIndex::new(&r).unwrap();
+        let shared = SortedReference::new(&r).unwrap();
+        let prefs: Vec<PreferenceList> =
+            windows.iter().map(|w| PreferenceList::reversed(w.len())).collect();
+        let expected =
+            BatchExplainer::new(0.05).unwrap().explain_windows(&shared, &windows, Some(&prefs));
+        let streamer = StreamingBatchExplainer::new(0.05).unwrap().threads(3).buffer(2);
+        let mut results = Vec::new();
+        let score: ScoreFn<'_> = &|_, w| Ok(PreferenceList::reversed(w.len()));
+        streamer.explain_stream(&index, windows.clone(), Some(score), |r| results.push(r));
+        for (res, exp) in results.iter().zip(&expected) {
+            match (&res.result, exp) {
+                (Ok(WindowReport::Explained(a)), Ok(b)) => assert_eq!(a, b),
+                other => panic!("divergence: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn empty_stream_is_fine() {
+        let index = ReferenceIndex::new(&[1.0, 2.0]).unwrap();
+        let streamer = StreamingBatchExplainer::new(0.05).unwrap();
+        let summary = streamer.explain_stream(&index, Vec::<Vec<f64>>::new(), None, |_| {
+            panic!("no results expected")
+        });
+        assert_eq!(summary.windows, 0);
+    }
+}

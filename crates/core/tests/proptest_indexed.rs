@@ -1,0 +1,198 @@
+//! Equivalence properties for the indexed-reference paths: on random
+//! instances, base vectors spliced into a [`ReferenceIndex`], the Phase-1
+//! size `k`, the final explanations, and the streaming engine's output
+//! must all be byte-identical to the merged [`BaseVector::build`] path.
+
+use moche_core::base_vector::BaseVector;
+use moche_core::batch::{BatchExplainer, ReferenceMode};
+use moche_core::ks::KsConfig;
+use moche_core::moche::{ConstructionStrategy, Moche};
+use moche_core::preference::PreferenceList;
+use moche_core::{
+    ExplainEngine, ReferenceIndex, SortedReference, StreamMode, StreamingBatchExplainer,
+    WindowReport,
+};
+use proptest::prelude::*;
+
+/// Random samples with duplicates and overlap: integer-valued grids plus a
+/// shift, plus occasional fractional values so shared-and-disjoint value
+/// mixes are both common.
+fn instance() -> impl Strategy<Value = (Vec<f64>, Vec<f64>)> {
+    let r_value = 0i32..12;
+    let t_value = 0i32..12;
+    (
+        proptest::collection::vec(r_value, 6..40),
+        proptest::collection::vec(t_value, 4..16),
+        0i32..8,
+        0i32..2,
+    )
+        .prop_map(|(r, t, shift, halves)| {
+            let scale = if halves == 1 { 0.5 } else { 1.0 };
+            (
+                r.into_iter().map(|v| f64::from(v) * scale).collect(),
+                t.into_iter().map(|v| (f64::from(v + shift)) * scale).collect(),
+            )
+        })
+}
+
+fn alphas() -> impl Strategy<Value = f64> {
+    prop_oneof![Just(0.05), Just(0.1), Just(0.2), Just(0.25)]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 128,
+        max_global_rejects: 8192,
+        ..ProptestConfig::default()
+    })]
+
+    // The tentpole invariant: `build_with_index` is byte-identical to the
+    // merged `build` on any valid input (no KS-failure assumption needed —
+    // this is pure construction).
+    #[test]
+    fn indexed_base_vector_is_byte_identical((r, t) in instance()) {
+        let index = ReferenceIndex::new(&r).unwrap();
+        let merged = BaseVector::build(&r, &t).unwrap();
+        let indexed = BaseVector::build_with_index(&index, &t).unwrap();
+        prop_assert_eq!(&indexed, &merged);
+        // PartialEq on f64 treats -0.0 == 0.0; pin the raw bits too.
+        let bits = |b: &BaseVector| b.values().iter().map(|v| v.to_bits()).collect::<Vec<_>>();
+        prop_assert_eq!(bits(&indexed), bits(&merged));
+        // And the index's rank query agrees with the cumulative counts.
+        for (i, &v) in merged.values().iter().enumerate() {
+            prop_assert_eq!(index.rank(v), merged.c_r(i + 1));
+        }
+    }
+
+    // Phase-1 `k` (and `k_hat`) computed through the index equals the
+    // merged path's.
+    #[test]
+    fn indexed_phase1_size_is_identical((r, t) in instance(), alpha in alphas()) {
+        let cfg = KsConfig::new(alpha).unwrap();
+        let base = BaseVector::build(&r, &t).unwrap();
+        prop_assume!(base.outcome(&cfg).rejected);
+
+        let expected = Moche::new(alpha).unwrap().explanation_size(&r, &t).unwrap();
+        let index = ReferenceIndex::new(&r).unwrap();
+        let mut engine = ExplainEngine::new(alpha).unwrap();
+        let got = engine.size_with_index(&index, &t).unwrap();
+        prop_assert_eq!(got, expected);
+    }
+
+    // Full explanations through the indexed engine path and the Indexed
+    // batch mode equal the paper-faithful Reference construction.
+    #[test]
+    fn indexed_explanations_are_byte_identical(
+        (r, t) in instance(),
+        alpha in alphas(),
+        seed in 0u64..1000,
+    ) {
+        let cfg = KsConfig::new(alpha).unwrap();
+        let base = BaseVector::build(&r, &t).unwrap();
+        prop_assume!(base.outcome(&cfg).rejected);
+
+        let pref = PreferenceList::random(t.len(), seed);
+        let reference = Moche::new(alpha).unwrap().construction(ConstructionStrategy::Reference);
+        let expected = reference.explain(&r, &t, &pref).unwrap();
+
+        let index = ReferenceIndex::new(&r).unwrap();
+        let mut engine = ExplainEngine::new(alpha).unwrap();
+        let got = engine.explain_with_index(&index, &t, &pref).unwrap();
+        prop_assert_eq!(got.indices(), expected.indices());
+        prop_assert_eq!(got.values(), expected.values());
+        prop_assert_eq!(got.phase1, expected.phase1);
+        prop_assert_eq!(&got.outcome_after, &expected.outcome_after);
+
+        let shared = SortedReference::new(&r).unwrap();
+        let windows = [t.clone()];
+        let prefs = [pref];
+        let batch = BatchExplainer::new(alpha)
+            .unwrap()
+            .threads(2)
+            .reference_mode(ReferenceMode::Indexed);
+        let results = batch.explain_windows(&shared, &windows, Some(&prefs));
+        let batched = results[0].as_ref().unwrap();
+        prop_assert_eq!(batched.indices(), expected.indices());
+        prop_assert_eq!(&batched.phase1, &expected.phase1);
+    }
+
+    // The streaming engine delivers, in order, exactly what the batch
+    // engine computes — explanations and sizes alike.
+    #[test]
+    fn streaming_matches_batch(
+        (r, t) in instance(),
+        alpha in alphas(),
+        threads in 1usize..4,
+    ) {
+        let cfg = KsConfig::new(alpha).unwrap();
+        let base = BaseVector::build(&r, &t).unwrap();
+        prop_assume!(base.outcome(&cfg).rejected);
+
+        let mut t2 = t.clone();
+        t2.rotate_left(t.len() / 2);
+        let windows = vec![t.clone(), t2, r.clone(), t.clone()];
+        let shared = SortedReference::new(&r).unwrap();
+        let expected = BatchExplainer::new(alpha).unwrap().explain_windows(&shared, &windows, None);
+
+        let index = ReferenceIndex::new(&r).unwrap();
+        let streamer =
+            StreamingBatchExplainer::new(alpha).unwrap().threads(threads).buffer(2);
+        let mut results = Vec::new();
+        let summary =
+            streamer.explain_stream(&index, windows.clone(), None, |res| results.push(res));
+        prop_assert_eq!(summary.windows, windows.len());
+        for (i, (res, exp)) in results.iter().zip(&expected).enumerate() {
+            prop_assert_eq!(res.window, i);
+            match (&res.result, exp) {
+                (Ok(WindowReport::Explained(a)), Ok(b)) => prop_assert_eq!(a, b),
+                (Err(a), Err(b)) => prop_assert_eq!(a, b),
+                other => prop_assert!(false, "divergence at window {}: {:?}", i, other),
+            }
+        }
+
+        // Size-only agrees with the full explanations' Phase 1.
+        let mut sizes = Vec::new();
+        streamer.mode(StreamMode::SizeOnly).explain_stream(
+            &index,
+            windows.clone(),
+            None,
+            |res| sizes.push(res),
+        );
+        for (res, exp) in sizes.iter().zip(&expected) {
+            match (&res.result, exp) {
+                (Ok(WindowReport::Size(k)), Ok(e)) => prop_assert_eq!(k, &e.phase1),
+                (Err(a), Err(b)) => prop_assert_eq!(a, b),
+                other => prop_assert!(false, "size divergence: {:?}", other),
+            }
+        }
+    }
+}
+
+/// 1000 windows through a tiny buffer bound: the stream must complete, in
+/// order, and agree with the sequential engine — the bounded-memory claim
+/// exercised at length. (Plain `#[test]`: no random shrinking wanted here.)
+#[test]
+fn streaming_1k_windows_with_tiny_buffer() {
+    let reference: Vec<f64> = (0..400u32).map(|i| f64::from(i % 16)).collect();
+    let windows: Vec<Vec<f64>> = (0..1000u32)
+        .map(|w| (0..24).map(|i| f64::from((i + w) % 16) * 0.5 + 8.0 + f64::from(w % 5)).collect())
+        .collect();
+    let index = ReferenceIndex::new(&reference).unwrap();
+
+    let sequential = StreamingBatchExplainer::new(0.05).unwrap().threads(1).buffer(1);
+    let mut expected = Vec::new();
+    sequential.explain_stream(&index, windows.clone(), None, |r| expected.push(r));
+
+    let parallel = StreamingBatchExplainer::new(0.05).unwrap().threads(3).buffer(2);
+    let mut got = Vec::new();
+    let summary = parallel.explain_stream(&index, windows.clone(), None, |r| got.push(r));
+
+    assert_eq!(summary.windows, 1000);
+    assert_eq!(summary.explained + summary.passing + summary.errors, 1000);
+    assert!(summary.explained > 0, "the shifted windows must mostly fail the KS test");
+    assert_eq!(got.len(), expected.len());
+    for (i, (a, b)) in got.iter().zip(&expected).enumerate() {
+        assert_eq!(a.window, i, "window {i} out of order");
+        assert_eq!(a, b, "window {i} diverges from the sequential run");
+    }
+}

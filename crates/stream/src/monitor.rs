@@ -12,7 +12,10 @@
 //! `O(1)` for the decision; explanations are computed only on alarms.
 
 use crate::incremental::{IncrementalKs, ObsId};
-use moche_core::{ExplainEngine, Explanation, KsConfig, KsOutcome, MocheError, PreferenceList};
+use moche_core::{
+    ExplainEngine, Explanation, KsConfig, KsOutcome, MocheError, PreferenceList, ReferenceIndex,
+    SizeSearch,
+};
 use moche_sigproc::SpectralResidual;
 use std::collections::VecDeque;
 
@@ -26,6 +29,11 @@ pub struct MonitorConfig {
     /// Compute a MOCHE explanation on every alarm (using Spectral-Residual
     /// preference over the test window).
     pub explain_on_drift: bool,
+    /// Report only the Phase-1 explanation *size* on alarms — "how bad is
+    /// the drift" — skipping Phase 2 entirely. Overrides
+    /// `explain_on_drift`'s Phase-2 work: when both are set, alarms carry a
+    /// size but no explanation.
+    pub size_only: bool,
     /// After an alarm, drop both windows and refill from scratch (prevents
     /// one drift from alarming `w` times as it traverses the window).
     pub reset_on_drift: bool,
@@ -34,7 +42,7 @@ pub struct MonitorConfig {
 impl MonitorConfig {
     /// A reasonable default: explain and reset on drift.
     pub fn new(window: usize, alpha: f64) -> Self {
-        Self { window, alpha, explain_on_drift: true, reset_on_drift: true }
+        Self { window, alpha, explain_on_drift: true, size_only: false, reset_on_drift: true }
     }
 }
 
@@ -61,6 +69,9 @@ pub enum MonitorEvent {
         /// The most comprehensible counterfactual explanation of the
         /// failure, when enabled and computable.
         explanation: Option<Explanation>,
+        /// The Phase-1 explanation size, when
+        /// [`MonitorConfig::size_only`] is set and computable.
+        size: Option<SizeSearch>,
     },
 }
 
@@ -190,21 +201,27 @@ impl DriftMonitor {
         }
 
         self.alarms += 1;
-        let explanation =
-            if self.cfg.explain_on_drift { self.explain_current(&outcome) } else { None };
+        let (explanation, size) = if self.cfg.size_only {
+            (None, self.size_current())
+        } else if self.cfg.explain_on_drift {
+            (self.explain_current(), None)
+        } else {
+            (None, None)
+        };
         if self.cfg.reset_on_drift {
             self.ref_window.clear();
             self.test_window.clear();
             self.iks = IncrementalKs::new();
         }
-        MonitorEvent::Drift { outcome, explanation }
+        MonitorEvent::Drift { outcome, explanation, size }
     }
 
     /// Explains the currently failing window pair with MOCHE, ranking test
     /// points by Spectral-Residual outlier score. Runs on the monitor's
-    /// [`ExplainEngine`], so repeated alarms share their scratch buffers.
-    fn explain_current(&mut self, _outcome: &KsOutcome) -> Option<Explanation> {
-        let reference = self.reference_window();
+    /// [`ExplainEngine`] through the indexed-reference path
+    /// ([`moche_core::BaseVector::build_with_index`]), so repeated alarms
+    /// share their scratch buffers and skip the per-alarm merge loop.
+    fn explain_current(&mut self) -> Option<Explanation> {
         let test = self.test_window();
         let preference = if test.len() >= 4 {
             let sr = SpectralResidual::default();
@@ -212,7 +229,20 @@ impl DriftMonitor {
         } else {
             PreferenceList::identity(test.len())
         };
-        self.engine.explain(&reference, &test, &preference).ok()
+        let index = self.current_reference_index()?;
+        self.engine.explain_with_index(&index, &test, &preference).ok()
+    }
+
+    /// Phase 1 only on the currently failing window pair: the explanation
+    /// size, without constructing the explanation.
+    fn size_current(&mut self) -> Option<SizeSearch> {
+        let test = self.test_window();
+        let index = self.current_reference_index()?;
+        self.engine.size_with_index(&index, &test).ok()
+    }
+
+    fn current_reference_index(&self) -> Option<ReferenceIndex> {
+        ReferenceIndex::from_vec(self.reference_window()).ok()
     }
 }
 
@@ -251,8 +281,9 @@ mod tests {
         let mut drift_at = None;
         for i in 0..600 {
             let x = if i < 300 { ((i * 13) % 11) as f64 } else { ((i * 13) % 11) as f64 + 20.0 };
-            if let MonitorEvent::Drift { outcome, explanation } = mon.push(x) {
+            if let MonitorEvent::Drift { outcome, explanation, size } = mon.push(x) {
                 assert!(outcome.rejected);
+                assert!(size.is_none(), "size_only is off by default");
                 drift_at = Some(i);
                 let e = explanation.expect("explanation enabled");
                 assert!(e.outcome_after.passes());
@@ -299,6 +330,35 @@ mod tests {
         // Without reset the drift alarms repeatedly while traversing.
         assert!(alarms > 1, "expected repeated alarms, got {alarms}");
         assert_eq!(mon.alarms(), alarms);
+    }
+
+    #[test]
+    fn size_only_reports_k_without_an_explanation() {
+        let mut full_cfg = MonitorConfig::new(60, 0.05);
+        full_cfg.reset_on_drift = false;
+        let mut size_cfg = full_cfg;
+        size_cfg.size_only = true;
+        let mut full = DriftMonitor::new(full_cfg).unwrap();
+        let mut sized = DriftMonitor::new(size_cfg).unwrap();
+        let series: Vec<f64> = (0..600)
+            .map(|i| if i < 300 { ((i * 13) % 11) as f64 } else { ((i * 13) % 11) as f64 + 20.0 })
+            .collect();
+        let mut checked = 0;
+        for &x in &series {
+            let (a, b) = (full.push(x), sized.push(x));
+            if let (
+                MonitorEvent::Drift { explanation: Some(e), .. },
+                MonitorEvent::Drift { explanation, size: Some(k), .. },
+            ) = (a, b)
+            {
+                // Same windows, same alarm: the size-only path must agree
+                // with the full explanation's Phase 1 and skip Phase 2.
+                assert!(explanation.is_none(), "size_only must not build an explanation");
+                assert_eq!(k, e.phase1);
+                checked += 1;
+            }
+        }
+        assert!(checked > 0, "the level shift must alarm both monitors");
     }
 
     #[test]

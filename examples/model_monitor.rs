@@ -46,7 +46,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
         match monitor.push(x) {
             MonitorEvent::Warming { .. } | MonitorEvent::Stable { .. } => {}
-            MonitorEvent::Drift { outcome, explanation } => {
+            MonitorEvent::Drift { outcome, explanation, .. } => {
                 println!(
                     "t = {t:>5} [{regime}]: DRIFT  D = {:.3} (threshold {:.3})",
                     outcome.statistic, outcome.threshold

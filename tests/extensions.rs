@@ -55,7 +55,7 @@ fn monitor_explanations_reverse_their_alarms() {
     let ks = KsConfig::new(0.05).unwrap();
     let mut explained = 0usize;
     for &x in series.values.iter().take(3_000) {
-        if let MonitorEvent::Drift { explanation, outcome } = monitor.push(x) {
+        if let MonitorEvent::Drift { explanation, outcome, .. } = monitor.push(x) {
             assert!(outcome.rejected);
             if let Some(e) = explanation {
                 assert!(e.outcome_after.passes());
