@@ -110,7 +110,7 @@ mod tests {
         let (r, t, _) = contaminated_instance();
         let scores = D3::default().scores(&r, &t);
         let mut order: Vec<usize> = (0..t.len()).collect();
-        order.sort_by(|&a, &b| scores[b].total_cmp(&scores[a]));
+        order.sort_by(|&a, &b| scores[b].total_cmp(&scores[a]).then_with(|| a.cmp(&b)));
         // The top 25 ranked points should be exactly the lump (indices 60+).
         let top_lump = order[..25].iter().filter(|&&i| i >= 60).count();
         assert!(top_lump >= 23, "only {top_lump} of the top 25 are lump points");

@@ -59,7 +59,11 @@ impl Stomp {
         }
         let profile = ab_join(test, reference, q);
         let mut sub_order: Vec<usize> = (0..profile.len()).collect();
-        sub_order.sort_by(|&a, &b| profile[b].total_cmp(&profile[a]));
+        // Index tie-break (as in `PreferenceList::from_scores_desc`):
+        // subsequences with equal profile scores must rank
+        // deterministically, or the derived point order — and with it the
+        // baseline's selections — varies across platforms and sorts.
+        sub_order.sort_by(|&a, &b| profile[b].total_cmp(&profile[a]).then_with(|| a.cmp(&b)));
         let mut listed = vec![false; m];
         let mut order = Vec::with_capacity(m);
         for &s in &sub_order {
@@ -79,6 +83,24 @@ impl Stomp {
             }
         }
         Some(order)
+    }
+}
+
+#[cfg(test)]
+mod determinism_tests {
+    use super::*;
+
+    #[test]
+    fn tied_profile_scores_rank_by_time_order() {
+        // Constant windows: every subsequence has the same distance to the
+        // reference, so the profile is all ties. The index tie-break must
+        // resolve them to time order, deterministically.
+        let stomp = Stomp::default();
+        let r = vec![1.0; 64];
+        let t = vec![1.0; 32];
+        let order = stomp.point_order(&r, &t).expect("windows are long enough");
+        assert_eq!(order, (0..32).collect::<Vec<_>>(), "ties must resolve to time order");
+        assert_eq!(stomp.point_order(&r, &t).unwrap(), order, "ranking must be repeatable");
     }
 }
 

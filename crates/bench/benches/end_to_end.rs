@@ -10,7 +10,10 @@ use moche_baselines::{
     ExplainRequest, Greedy, KsExplainer, MocheExplainer, Series2GraphExplainer, Stomp, D3,
 };
 use moche_bench::runner::spectral_residual_preference;
-use moche_core::{ConstructionStrategy, ExplainEngine, KsConfig, Moche, SortedReference};
+use moche_core::{
+    ConstructionStrategy, ExplainEngine, ExplanationArena, KsConfig, Moche, ReferenceIndex,
+    SortedReference,
+};
 use moche_data::failing_kifer_pair;
 use moche_data::nab::generate_family;
 use moche_data::sliding::{failed_windows, sample_failed};
@@ -98,6 +101,20 @@ fn bench_engine_vs_oneshot(c: &mut Criterion) {
         });
         group.bench_with_input(BenchmarkId::new("engine_shared_ref", w), &w, |b, _| {
             b.iter(|| engine.explain_with_reference(black_box(&shared), &pair.test, &pref).unwrap())
+        });
+        // The fully recycled steady state: indexed reference + output
+        // arena. Zero heap allocations per iteration once warm.
+        let index = ReferenceIndex::from_sorted(&shared);
+        let mut arena = ExplanationArena::new();
+        group.bench_with_input(BenchmarkId::new("engine_indexed_arena", w), &w, |b, _| {
+            b.iter(|| {
+                let e = engine
+                    .explain_with_index_in(black_box(&index), &pair.test, &pref, &mut arena)
+                    .unwrap();
+                let k = e.size();
+                arena.recycle(e);
+                k
+            })
         });
     }
     group.finish();

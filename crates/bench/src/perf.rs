@@ -14,8 +14,8 @@
 
 use moche_core::bounds::{BoundsContext, BoundsWorkspace};
 use moche_core::{
-    BaseVector, BatchExplainer, ConstructionStrategy, ExplainEngine, KsConfig, Moche,
-    PreferenceList, ReferenceIndex, SortedReference, StreamMode, StreamingBatchExplainer,
+    BaseVector, BatchExplainer, ConstructionStrategy, ExplainEngine, ExplanationArena, KsConfig,
+    Moche, PreferenceList, ReferenceIndex, SortedReference, StreamMode, StreamingBatchExplainer,
 };
 use moche_data::dist::normal;
 use moche_data::failing_kifer_pair;
@@ -160,6 +160,24 @@ pub fn evidence_suite(alloc_counter: Option<&dyn Fn() -> u64>) -> Vec<BenchRecor
         },
         alloc_counter,
     ));
+    // The fully recycled steady state: indexed reference + output arena.
+    // Once warm, an explain performs zero heap allocations — the number
+    // this entry gates.
+    let index = ReferenceIndex::from_sorted(&shared);
+    let mut arena = ExplanationArena::new();
+    let warm = engine.explain_with_index_in(&index, &pair.test, &pref, &mut arena).unwrap();
+    arena.recycle(warm);
+    records.push(measure(
+        &format!("end_to_end/engine_indexed_arena/w={w}"),
+        || {
+            let e = engine
+                .explain_with_index_in(black_box(&index), &pair.test, &pref, &mut arena)
+                .unwrap();
+            black_box(e.size());
+            arena.recycle(e);
+        },
+        alloc_counter,
+    ));
 
     // The asymmetric construction workload: one large indexed reference,
     // small windows — the regime where the ReferenceIndex splice beats the
@@ -230,7 +248,6 @@ pub fn evidence_suite(alloc_counter: Option<&dyn Fn() -> u64>) -> Vec<BenchRecor
         });
     }
 
-    let index = ReferenceIndex::from_sorted(&shared);
     for (mode, tag) in [(StreamMode::Explain, "explain"), (StreamMode::SizeOnly, "size_only")] {
         eprintln!("[bench-json] streaming batch ({tag})...");
         let streamer = StreamingBatchExplainer::with_config(cfg).threads(1).buffer(8).mode(mode);
@@ -259,7 +276,87 @@ pub fn evidence_suite(alloc_counter: Option<&dyn Fn() -> u64>) -> Vec<BenchRecor
         });
     }
 
+    eprintln!("[bench-json] streaming steady state (recycled source + arena)...");
+    records.push(measure_streaming_steady_state(
+        &format!("streaming/explain_recycled_steady_state_w{w}/threads=1"),
+        cfg,
+        &index,
+        &windows,
+        alloc_counter,
+    ));
+
     records
+}
+
+/// One single-threaded fully-recycled streaming run over `count` windows
+/// cycled from `windows`: the source copies into recycled buffers and the
+/// arena reclaims every output (see `StreamingBatchExplainer::explain_source`).
+fn streaming_recycled_run(
+    cfg: KsConfig,
+    index: &ReferenceIndex,
+    windows: &[Vec<f64>],
+    count: usize,
+) {
+    let streamer = StreamingBatchExplainer::with_config(cfg).threads(1).buffer(8);
+    let mut i = 0usize;
+    let source = |buf: &mut Vec<f64>| {
+        if i >= count {
+            return false;
+        }
+        buf.clear();
+        buf.extend_from_slice(&windows[i % windows.len()]);
+        i += 1;
+        true
+    };
+    let summary = streamer.explain_source(index, source, None, |r| {
+        assert!(r.result.is_ok());
+    });
+    assert_eq!(summary.windows, count);
+}
+
+/// Measures the *marginal* per-window cost of the recycled streaming path:
+/// the difference between a long and a short run, divided by the extra
+/// windows. Both runs pay the identical warm-up (engine construction,
+/// first-window buffer growth), so it cancels out and the reported
+/// allocs/window is the true steady state — the "0 allocations per window"
+/// claim the perf gate enforces.
+fn measure_streaming_steady_state(
+    name: &str,
+    cfg: KsConfig,
+    index: &ReferenceIndex,
+    windows: &[Vec<f64>],
+    alloc_counter: Option<&dyn Fn() -> u64>,
+) -> BenchRecord {
+    let (short, long) = (16usize, 48usize);
+    let extra = (long - short) as f64;
+    let samples = 5;
+    let mut per_window = Vec::with_capacity(samples);
+    let mut allocs = Vec::with_capacity(samples);
+    let run = |count: usize| {
+        let allocs_before = alloc_counter.map(|c| c());
+        let t = Instant::now();
+        streaming_recycled_run(cfg, index, windows, count);
+        let ns = t.elapsed().as_nanos() as f64;
+        (ns, alloc_counter.map(|c| c() - allocs_before.unwrap_or(0)))
+    };
+    for _ in 0..samples {
+        let (ns_short, allocs_short) = run(short);
+        let (ns_long, allocs_long) = run(long);
+        per_window.push((ns_long - ns_short).max(0.0) / extra);
+        if let (Some(a), Some(b)) = (allocs_short, allocs_long) {
+            allocs.push((b.saturating_sub(a)) as f64 / extra);
+        }
+    }
+    per_window.sort_by(f64::total_cmp);
+    let ns_per_iter = per_window[per_window.len() / 2];
+    allocs.sort_by(f64::total_cmp);
+    let allocs_per_iter = allocs.get(allocs.len() / 2).copied();
+    BenchRecord {
+        name: name.to_string(),
+        ns_per_iter,
+        per_sec: 1.0e9 / ns_per_iter.max(1e-9),
+        allocs_per_iter,
+    }
 }
 
 /// Serializes records as a JSON object `{name: {ns_per_iter, per_sec,

@@ -141,8 +141,18 @@ OPTIONS:
   --threads N   batch: worker threads (default 0 = all cores)
   --window W    monitor window size (required for monitor)
   --no-explain  monitor: raise alarms without computing explanations
-  --stream      batch: bounded-memory streaming ingestion
+  --stream      batch: bounded-memory streaming ingestion (results are
+                printed as they are delivered; memory stays constant
+                however long the windows file is)
   --size-only   batch/monitor: Phase-1 size k only, skip Phase 2
+
+EXIT CODES:
+  0  success
+  1  errors — including batch runs where at least one window failed with
+     a real error and no window was explained (or sized); windows that
+     merely pass the KS test are not errors, but do not count as
+     explained either
+  2  usage errors
 ";
 
 fn parse_alpha(value: Option<&str>) -> Result<f64, CliError> {

@@ -1,36 +1,74 @@
-//! Command implementations: each returns the report it would print, so the
-//! logic is unit-testable without spawning processes.
+//! Command implementations: each writes its report into a caller-supplied
+//! [`Write`] sink (locked stdout in production, a byte buffer in tests), so
+//! the logic is unit-testable without spawning processes — and streaming
+//! commands print results as they are delivered instead of accumulating a
+//! report `String` whose size grows with the stream.
 
 use crate::args::{Command, OutputFormat, PreferenceSource};
 use crate::io::{read_values, read_values_and_scores, read_windows, CliError, WindowStream};
 use moche_core::ks::asymptotic_p_value;
 use moche_core::{
     BatchExplainer, Moche, MocheError, PreferenceList, ReferenceIndex, ReferenceMode,
-    SortedReference, StreamMode, StreamingBatchExplainer, WindowPreferences, WindowReport,
+    SortedReference, StreamMode, StreamResult, StreamingBatchExplainer, WindowPreferences,
+    WindowReport,
 };
 use moche_sigproc::SpectralResidual;
 use moche_stream::{DriftMonitor, MonitorConfig, MonitorEvent};
-use std::fmt::Write as _;
+use std::io::Write;
 use std::time::Instant;
 
-/// Executes a parsed command, returning the text to print.
-pub fn run(command: Command) -> Result<String, CliError> {
+/// What a successfully executed command reports back to `main` beyond its
+/// printed output: enough to fold per-window failures into the process
+/// exit code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RunStatus {
+    /// Windows that failed with a real error (batch modes; passing windows
+    /// are not errors).
+    pub window_errors: usize,
+    /// Windows that produced an explanation or a size.
+    pub windows_explained: usize,
+}
+
+impl RunStatus {
+    /// The process exit code: nonzero when at least one window failed with
+    /// a real error and **no** window produced an explanation (or size) —
+    /// a run whose output would otherwise be indistinguishable from
+    /// success in a pipeline. Windows that merely pass the KS test are not
+    /// errors, but they do not count as explained either: a stream of
+    /// passing windows plus one hard error still reports failure, because
+    /// nothing was produced and something went wrong.
+    pub fn exit_code(&self) -> i32 {
+        i32::from(self.window_errors > 0 && self.windows_explained == 0)
+    }
+}
+
+/// Executes a parsed command, writing the report to `out` (streamed, for
+/// the streaming commands) and returning the run's exit-code summary.
+///
+/// # Errors
+///
+/// Any [`CliError`]: bad usage, unreadable/unparsable input, a library
+/// error, or a failed write to `out`.
+pub fn run(command: Command, out: &mut dyn Write) -> Result<RunStatus, CliError> {
     match command {
-        Command::Help => Ok(crate::args::USAGE.to_string()),
+        Command::Help => {
+            write!(out, "{}", crate::args::USAGE)?;
+            Ok(RunStatus::default())
+        }
         Command::Test { reference, test, alpha } => {
             let r = read_values(&reference)?;
             let t = read_values(&test)?;
-            run_test(&r, &t, alpha)
+            run_test(&r, &t, alpha, out)
         }
         Command::Size { reference, test, alpha } => {
             let r = read_values(&reference)?;
             let t = read_values(&test)?;
-            run_size(&r, &t, alpha)
+            run_size(&r, &t, alpha, out)
         }
         Command::Explain { reference, test, alpha, preference, format } => {
             let r = read_values(&reference)?;
             let (t, scores) = read_values_and_scores(&test)?;
-            run_explain(&r, &t, scores, alpha, &preference, format)
+            run_explain(&r, &t, scores, alpha, &preference, format, out)
         }
         Command::Batch {
             reference,
@@ -43,32 +81,32 @@ pub fn run(command: Command) -> Result<String, CliError> {
             size_only,
         } => {
             let r = read_values(&reference)?;
+            let opts = BatchOptions { alpha, threads, preference: &preference, format };
             if stream || size_only {
-                run_batch_stream(&r, &windows, alpha, threads, &preference, format, size_only)
+                run_batch_stream(&r, &windows, &opts, size_only, out)
             } else {
                 let w = read_windows(&windows)?;
-                run_batch(&r, &w, alpha, threads, &preference, format)
+                run_batch(&r, &w, &opts, out)
             }
         }
         Command::Monitor { series, window, alpha, explain, size_only } => {
             let values = read_values(&series)?;
-            run_monitor(&values, window, alpha, explain, size_only)
+            run_monitor(&values, window, alpha, explain, size_only, out)
         }
     }
 }
 
-fn run_test(r: &[f64], t: &[f64], alpha: f64) -> Result<String, CliError> {
+fn run_test(r: &[f64], t: &[f64], alpha: f64, out: &mut dyn Write) -> Result<RunStatus, CliError> {
     let moche = Moche::new(alpha)?;
     let outcome = moche.test(r, t)?;
     let p = asymptotic_p_value(outcome.statistic, outcome.n, outcome.m);
-    let mut out = String::new();
-    let _ = writeln!(out, "n = {}, m = {}, alpha = {alpha}", outcome.n, outcome.m);
-    let _ = writeln!(
+    writeln!(out, "n = {}, m = {}, alpha = {alpha}", outcome.n, outcome.m)?;
+    writeln!(
         out,
         "D = {:.6}, threshold = {:.6}, asymptotic p-value = {:.4e}",
         outcome.statistic, outcome.threshold, p
-    );
-    let _ = writeln!(
+    )?;
+    writeln!(
         out,
         "verdict: {}",
         if outcome.rejected {
@@ -76,27 +114,26 @@ fn run_test(r: &[f64], t: &[f64], alpha: f64) -> Result<String, CliError> {
         } else {
             "passed (no significant difference)"
         }
-    );
-    Ok(out)
+    )?;
+    Ok(RunStatus::default())
 }
 
-fn run_size(r: &[f64], t: &[f64], alpha: f64) -> Result<String, CliError> {
+fn run_size(r: &[f64], t: &[f64], alpha: f64, out: &mut dyn Write) -> Result<RunStatus, CliError> {
     let moche = Moche::new(alpha)?;
     let s = moche.explanation_size(r, t)?;
-    let mut out = String::new();
-    let _ = writeln!(out, "explanation size k = {}", s.k);
-    let _ = writeln!(
+    writeln!(out, "explanation size k = {}", s.k)?;
+    writeln!(
         out,
         "phase-1 lower bound k_hat = {} (estimation error {})",
         s.k_hat,
         s.estimation_error()
-    );
-    let _ = writeln!(
+    )?;
+    writeln!(
         out,
         "checks: {} binary-search (Theorem 2) + {} exact (Theorem 1)",
         s.theorem2_checks, s.theorem1_checks
-    );
-    Ok(out)
+    )?;
+    Ok(RunStatus::default())
 }
 
 /// Derives one window's preference list from sources that need only the
@@ -170,45 +207,45 @@ fn run_explain(
     alpha: f64,
     source: &PreferenceSource,
     format: OutputFormat,
-) -> Result<String, CliError> {
+    out: &mut dyn Write,
+) -> Result<RunStatus, CliError> {
     let moche = Moche::new(alpha)?;
     let preference = build_preference(t, scores_column, source)?;
     let e = moche.explain(r, t, &preference)?;
 
-    let mut out = String::new();
     match format {
         OutputFormat::Csv => {
-            let _ = writeln!(out, "index,value");
+            writeln!(out, "index,value")?;
             for (&i, &v) in e.indices().iter().zip(e.values()) {
-                let _ = writeln!(out, "{i},{v}");
+                writeln!(out, "{i},{v}")?;
             }
         }
         OutputFormat::Text => {
-            let _ = writeln!(
+            writeln!(
                 out,
                 "failed KS test: D = {:.6} > threshold {:.6} (n = {}, m = {})",
                 e.outcome_before.statistic, e.outcome_before.threshold, e.n, e.m
-            );
-            let _ = writeln!(
+            )?;
+            writeln!(
                 out,
                 "most comprehensible explanation: {} point(s) ({:.2}% of the test set), \
                  k_hat = {}",
                 e.size(),
                 100.0 * e.removed_fraction(),
                 e.k_hat()
-            );
-            let _ = writeln!(
+            )?;
+            writeln!(
                 out,
                 "after removal: D = {:.6} <= threshold {:.6} -> passes",
                 e.outcome_after.statistic, e.outcome_after.threshold
-            );
-            let _ = writeln!(out, "\nindex  value");
+            )?;
+            writeln!(out, "\nindex  value")?;
             for (&i, &v) in e.indices().iter().zip(e.values()) {
-                let _ = writeln!(out, "{i:>5}  {v}");
+                writeln!(out, "{i:>5}  {v}")?;
             }
         }
     }
-    Ok(out)
+    Ok(RunStatus { window_errors: 0, windows_explained: 1 })
 }
 
 /// Renders the requested thread cap for the summary line.
@@ -220,20 +257,27 @@ fn requested_threads(threads: usize) -> String {
     }
 }
 
+/// The shared flags of `moche batch` and `moche batch --stream`.
+struct BatchOptions<'a> {
+    alpha: f64,
+    threads: usize,
+    preference: &'a PreferenceSource,
+    format: OutputFormat,
+}
+
 fn run_batch(
     r: &[f64],
     windows: &[Vec<f64>],
-    alpha: f64,
-    threads: usize,
-    source: &PreferenceSource,
-    format: OutputFormat,
-) -> Result<String, CliError> {
+    opts: &BatchOptions<'_>,
+    out: &mut dyn Write,
+) -> Result<RunStatus, CliError> {
     if windows.is_empty() {
         return Err(CliError::Usage("windows file contains no windows".into()));
     }
     let shared = SortedReference::new(r)?;
-    let explainer =
-        BatchExplainer::new(alpha)?.threads(threads).reference_mode(ReferenceMode::Indexed);
+    let explainer = BatchExplainer::new(opts.alpha)?
+        .threads(opts.threads)
+        .reference_mode(ReferenceMode::Indexed);
     // The requested cap silently shrinks to the core and job counts (a
     // 1 means the batch ran sequentially), so report the effective
     // number, not the flag.
@@ -241,60 +285,60 @@ fn run_batch(
     // Preference scoring (Spectral Residual in particular) runs inside the
     // worker threads, parallelized along with the explanations; a
     // per-window scoring failure lands in that window's result slot.
-    let score = |_: usize, w: &[f64]| window_preference(w, source);
+    let score = |_: usize, w: &[f64]| window_preference(w, opts.preference);
     let started = Instant::now();
     let results =
         explainer.explain_windows_with(&shared, windows, WindowPreferences::Scored(&score));
     let elapsed = started.elapsed();
 
-    let mut out = String::new();
-    match format {
+    let mut explained = 0usize;
+    let mut passing = 0usize;
+    match opts.format {
         OutputFormat::Csv => {
-            let _ = writeln!(out, "window,index,value");
-            let _ = writeln!(out, "# threads: {effective}");
+            writeln!(out, "window,index,value")?;
+            writeln!(out, "# threads: {effective}")?;
             for (w, result) in results.iter().enumerate() {
                 match result {
                     Ok(e) => {
+                        explained += 1;
                         for (&i, &v) in e.indices().iter().zip(e.values()) {
-                            let _ = writeln!(out, "{w},{i},{v}");
+                            writeln!(out, "{w},{i},{v}")?;
                         }
                     }
                     // A passing window legitimately has no rows.
-                    Err(MocheError::TestAlreadyPasses { .. }) => {}
+                    Err(MocheError::TestAlreadyPasses { .. }) => passing += 1,
                     // Any other error must not vanish from the output.
                     Err(e) => {
-                        let _ = writeln!(out, "# window {w}: error: {e}");
+                        writeln!(out, "# window {w}: error: {e}")?;
                     }
                 }
             }
         }
         OutputFormat::Text => {
-            let mut explained = 0usize;
-            let mut passing = 0usize;
             for (w, result) in results.iter().enumerate() {
                 match result {
                     Ok(e) => {
                         explained += 1;
-                        let _ = writeln!(
+                        writeln!(
                             out,
                             "window {w}: k = {} ({:.1}% of {} points), indices {:?}",
                             e.size(),
                             100.0 * e.removed_fraction(),
                             e.m,
                             e.indices()
-                        );
+                        )?;
                     }
                     Err(MocheError::TestAlreadyPasses { .. }) => {
                         passing += 1;
-                        let _ = writeln!(out, "window {w}: passes (nothing to explain)");
+                        writeln!(out, "window {w}: passes (nothing to explain)")?;
                     }
                     Err(e) => {
-                        let _ = writeln!(out, "window {w}: error: {e}");
+                        writeln!(out, "window {w}: error: {e}")?;
                     }
                 }
             }
             let secs = elapsed.as_secs_f64();
-            let _ = writeln!(
+            writeln!(
                 out,
                 "\n{} window(s): {explained} explained, {passing} passing, {} error(s) \
                  in {:.3}s ({:.0} explanations/s) on {effective} worker thread(s) \
@@ -303,93 +347,117 @@ fn run_batch(
                 windows.len() - explained - passing,
                 secs,
                 if secs > 0.0 { explained as f64 / secs } else { 0.0 },
-                requested_threads(threads)
-            );
+                requested_threads(opts.threads)
+            )?;
         }
     }
-    Ok(out)
+    Ok(RunStatus {
+        window_errors: windows.len() - explained - passing,
+        windows_explained: explained,
+    })
 }
 
-/// `moche batch --stream` / `--size-only`: windows are read lazily and fed
-/// through the bounded-memory [`StreamingBatchExplainer`] over an indexed
-/// reference; results are appended in window order as they complete.
+/// Renders one streamed window result (see [`run_batch_stream`]).
+fn write_stream_result(
+    out: &mut dyn Write,
+    format: OutputFormat,
+    res: &StreamResult,
+) -> std::io::Result<()> {
+    let w = res.window;
+    match (format, &res.result) {
+        (OutputFormat::Csv, Ok(WindowReport::Explained(e))) => {
+            for (&i, &v) in e.indices().iter().zip(e.values()) {
+                writeln!(out, "{w},{i},{v}")?;
+            }
+            Ok(())
+        }
+        (OutputFormat::Csv, Ok(WindowReport::Size(s))) => {
+            writeln!(out, "{w},{},{}", s.k, s.k_hat)
+        }
+        (OutputFormat::Text, Ok(WindowReport::Explained(e))) => {
+            writeln!(
+                out,
+                "window {w}: k = {} ({:.1}% of {} points), indices {:?}",
+                e.size(),
+                100.0 * e.removed_fraction(),
+                e.m,
+                e.indices()
+            )
+        }
+        (OutputFormat::Text, Ok(WindowReport::Size(s))) => {
+            writeln!(
+                out,
+                "window {w}: k = {} (k_hat = {}, estimation error {})",
+                s.k,
+                s.k_hat,
+                s.estimation_error()
+            )
+        }
+        (OutputFormat::Csv, Err(MocheError::TestAlreadyPasses { .. })) => Ok(()),
+        (OutputFormat::Text, Err(MocheError::TestAlreadyPasses { .. })) => {
+            writeln!(out, "window {w}: passes (nothing to explain)")
+        }
+        (OutputFormat::Csv, Err(e)) => writeln!(out, "# window {w}: error: {e}"),
+        (OutputFormat::Text, Err(e)) => writeln!(out, "window {w}: error: {e}"),
+    }
+}
+
+/// `moche batch --stream` / `--size-only`: windows are read lazily into
+/// recycled buffers and fed through the bounded-memory
+/// [`StreamingBatchExplainer`] over an indexed reference; each result is
+/// **printed as it is delivered** (in window order) and its output buffers
+/// are reclaimed, so memory stays constant however long the stream is.
 fn run_batch_stream(
     r: &[f64],
     windows: &std::path::Path,
-    alpha: f64,
-    threads: usize,
-    source: &PreferenceSource,
-    format: OutputFormat,
+    opts: &BatchOptions<'_>,
     size_only: bool,
-) -> Result<String, CliError> {
+    out: &mut dyn Write,
+) -> Result<RunStatus, CliError> {
     let index = ReferenceIndex::new(r)?;
     let mode = if size_only { StreamMode::SizeOnly } else { StreamMode::Explain };
-    let streamer = StreamingBatchExplainer::new(alpha)?.threads(threads).mode(mode);
+    let streamer = StreamingBatchExplainer::new(opts.alpha)?.threads(opts.threads).mode(mode);
     let effective = streamer.effective_threads();
-    let (stream, error_slot) = WindowStream::open(windows)?;
-    let score = |_: usize, w: &[f64]| window_preference(w, source);
+    let (mut stream, error_slot) = WindowStream::open(windows)?;
+    let score = |_: usize, w: &[f64]| window_preference(w, opts.preference);
 
-    let mut out = String::new();
-    if format == OutputFormat::Csv {
-        let _ =
-            writeln!(out, "{}", if size_only { "window,k,k_hat" } else { "window,index,value" });
-        let _ = writeln!(out, "# threads: {effective}");
+    if opts.format == OutputFormat::Csv {
+        writeln!(out, "{}", if size_only { "window,k,k_hat" } else { "window,index,value" })?;
+        writeln!(out, "# threads: {effective}")?;
     }
     let started = Instant::now();
-    let summary = streamer.explain_stream(&index, stream, Some(&score), |res| {
-        let w = res.window;
-        match (format, &res.result) {
-            (OutputFormat::Csv, Ok(WindowReport::Explained(e))) => {
-                for (&i, &v) in e.indices().iter().zip(e.values()) {
-                    let _ = writeln!(out, "{w},{i},{v}");
+    // The callback cannot propagate `?`; park the first write error and go
+    // quiet for the rest of the stream.
+    let mut write_error: Option<std::io::Error> = None;
+    let summary = streamer.explain_source(
+        &index,
+        |buf: &mut Vec<f64>| stream.fill(buf),
+        Some(&score),
+        |res: &StreamResult| {
+            if write_error.is_none() {
+                if let Err(e) = write_stream_result(out, opts.format, res) {
+                    write_error = Some(e);
                 }
             }
-            (OutputFormat::Csv, Ok(WindowReport::Size(s))) => {
-                let _ = writeln!(out, "{w},{},{}", s.k, s.k_hat);
-            }
-            (OutputFormat::Text, Ok(WindowReport::Explained(e))) => {
-                let _ = writeln!(
-                    out,
-                    "window {w}: k = {} ({:.1}% of {} points), indices {:?}",
-                    e.size(),
-                    100.0 * e.removed_fraction(),
-                    e.m,
-                    e.indices()
-                );
-            }
-            (OutputFormat::Text, Ok(WindowReport::Size(s))) => {
-                let _ = writeln!(
-                    out,
-                    "window {w}: k = {} (k_hat = {}, estimation error {})",
-                    s.k,
-                    s.k_hat,
-                    s.estimation_error()
-                );
-            }
-            (OutputFormat::Csv, Err(MocheError::TestAlreadyPasses { .. })) => {}
-            (OutputFormat::Text, Err(MocheError::TestAlreadyPasses { .. })) => {
-                let _ = writeln!(out, "window {w}: passes (nothing to explain)");
-            }
-            (OutputFormat::Csv, Err(e)) => {
-                let _ = writeln!(out, "# window {w}: error: {e}");
-            }
-            (OutputFormat::Text, Err(e)) => {
-                let _ = writeln!(out, "window {w}: error: {e}");
-            }
-        }
-    });
+        },
+    );
     let elapsed = started.elapsed();
-    // A malformed line stops the stream; surface it instead of partial
-    // output so consumers never mistake a truncated run for a complete one.
+    if let Some(e) = write_error {
+        return Err(CliError::Write(e));
+    }
+    // A malformed line stops the stream. Results already delivered have
+    // been printed (that is the point of streaming); surfacing the error
+    // exits nonzero, so consumers never mistake a truncated run for a
+    // complete one.
     if let Some(e) = error_slot.lock().expect("window stream error slot poisoned").take() {
         return Err(e);
     }
     if summary.windows == 0 {
         return Err(CliError::Usage("windows file contains no windows".into()));
     }
-    if format == OutputFormat::Text {
+    if opts.format == OutputFormat::Text {
         let secs = elapsed.as_secs_f64();
-        let _ = writeln!(
+        writeln!(
             out,
             "\n{} window(s) streamed: {} {}, {} passing, {} error(s) in {:.3}s \
              ({:.0} windows/s) on {} worker thread(s) (requested {})",
@@ -401,10 +469,10 @@ fn run_batch_stream(
             secs,
             if secs > 0.0 { summary.windows as f64 / secs } else { 0.0 },
             summary.threads,
-            requested_threads(threads)
-        );
+            requested_threads(opts.threads)
+        )?;
     }
-    Ok(out)
+    Ok(RunStatus { window_errors: summary.errors, windows_explained: summary.explained })
 }
 
 fn run_monitor(
@@ -413,44 +481,46 @@ fn run_monitor(
     alpha: f64,
     explain: bool,
     size_only: bool,
-) -> Result<String, CliError> {
+    out: &mut dyn Write,
+) -> Result<RunStatus, CliError> {
     let mut cfg = MonitorConfig::new(window, alpha);
     cfg.explain_on_drift = explain;
     cfg.size_only = size_only;
     let mut monitor = DriftMonitor::new(cfg)?;
-    let mut out = String::new();
-    let _ = writeln!(
+    writeln!(
         out,
         "monitoring {} observations with paired windows of {window} (alpha = {alpha})",
         values.len()
-    );
+    )?;
     for (i, &x) in values.iter().enumerate() {
         if let MonitorEvent::Drift { outcome, explanation, size } = monitor.push(x) {
-            let _ = write!(
+            write!(
                 out,
                 "t = {i}: DRIFT  D = {:.4} (threshold {:.4})",
                 outcome.statistic, outcome.threshold
-            );
+            )?;
             match (explanation, size) {
                 (Some(e), _) => {
-                    let _ = writeln!(
+                    writeln!(
                         out,
                         "  explanation: {} point(s), window offsets {:?}",
                         e.size(),
                         e.indices()
-                    );
+                    )?;
+                    // The next alarm reuses this explanation's buffers.
+                    monitor.recycle(e);
                 }
                 (None, Some(s)) => {
-                    let _ = writeln!(out, "  size: k = {} (k_hat = {})", s.k, s.k_hat);
+                    writeln!(out, "  size: k = {} (k_hat = {})", s.k, s.k_hat)?;
                 }
                 (None, None) => {
-                    let _ = writeln!(out);
+                    writeln!(out)?;
                 }
             }
         }
     }
-    let _ = writeln!(out, "{} alarm(s) in {} observations", monitor.alarms(), monitor.pushes());
-    Ok(out)
+    writeln!(out, "{} alarm(s) in {} observations", monitor.alarms(), monitor.pushes())?;
+    Ok(RunStatus::default())
 }
 
 #[cfg(test)]
@@ -463,20 +533,40 @@ mod tests {
         (r, t)
     }
 
+    /// Runs a command body against a byte buffer, returning the rendered
+    /// report and the run status.
+    fn capture<F>(f: F) -> Result<(String, RunStatus), CliError>
+    where
+        F: FnOnce(&mut dyn Write) -> Result<RunStatus, CliError>,
+    {
+        let mut buf: Vec<u8> = Vec::new();
+        let status = f(&mut buf)?;
+        Ok((String::from_utf8(buf).expect("reports are UTF-8"), status))
+    }
+
+    fn batch_opts<'a>(
+        alpha: f64,
+        threads: usize,
+        preference: &'a PreferenceSource,
+        format: OutputFormat,
+    ) -> BatchOptions<'a> {
+        BatchOptions { alpha, threads, preference, format }
+    }
+
     #[test]
     fn test_command_reports_failure() {
         let (r, t) = shifted_sets();
-        let out = run_test(&r, &t, 0.05).unwrap();
+        let (out, _) = capture(|o| run_test(&r, &t, 0.05, o)).unwrap();
         assert!(out.contains("FAILED"), "{out}");
         assert!(out.contains("p-value"));
-        let out2 = run_test(&r, &r, 0.05).unwrap();
+        let (out2, _) = capture(|o| run_test(&r, &r, 0.05, o)).unwrap();
         assert!(out2.contains("passed"), "{out2}");
     }
 
     #[test]
     fn size_command_reports_k_and_bound() {
         let (r, t) = shifted_sets();
-        let out = run_size(&r, &t, 0.05).unwrap();
+        let (out, _) = capture(|o| run_size(&r, &t, 0.05, o)).unwrap();
         assert!(out.contains("explanation size k = "));
         assert!(out.contains("k_hat"));
     }
@@ -484,13 +574,17 @@ mod tests {
     #[test]
     fn explain_text_and_csv_agree_on_selection() {
         let (r, t) = shifted_sets();
-        let text =
-            run_explain(&r, &t, None, 0.05, &PreferenceSource::ValueDesc, OutputFormat::Text)
-                .unwrap();
-        let csv = run_explain(&r, &t, None, 0.05, &PreferenceSource::ValueDesc, OutputFormat::Csv)
-            .unwrap();
+        let (text, status) = capture(|o| {
+            run_explain(&r, &t, None, 0.05, &PreferenceSource::ValueDesc, OutputFormat::Text, o)
+        })
+        .unwrap();
+        let (csv, _) = capture(|o| {
+            run_explain(&r, &t, None, 0.05, &PreferenceSource::ValueDesc, OutputFormat::Csv, o)
+        })
+        .unwrap();
         assert!(text.contains("passes"));
         assert!(csv.starts_with("index,value"));
+        assert_eq!(status.exit_code(), 0);
         // Same number of selected points in both outputs.
         let text_rows = text.lines().skip_while(|l| !l.starts_with("index")).count() - 1;
         let csv_rows = csv.lines().count() - 1;
@@ -503,14 +597,17 @@ mod tests {
         // Scores that strongly prefer the last test point first.
         let mut scores = vec![0.0f64; t.len()];
         *scores.last_mut().unwrap() = 100.0;
-        let out = run_explain(
-            &r,
-            &t,
-            Some(scores),
-            0.05,
-            &PreferenceSource::ScoreColumn,
-            OutputFormat::Csv,
-        )
+        let (out, _) = capture(|o| {
+            run_explain(
+                &r,
+                &t,
+                Some(scores.clone()),
+                0.05,
+                &PreferenceSource::ScoreColumn,
+                OutputFormat::Csv,
+                o,
+            )
+        })
         .unwrap();
         let first_row = out.lines().nth(1).unwrap();
         assert!(
@@ -522,7 +619,10 @@ mod tests {
     #[test]
     fn explain_missing_score_column_is_usage_error() {
         let (r, t) = shifted_sets();
-        match run_explain(&r, &t, None, 0.05, &PreferenceSource::ScoreColumn, OutputFormat::Text) {
+        let result = capture(|o| {
+            run_explain(&r, &t, None, 0.05, &PreferenceSource::ScoreColumn, OutputFormat::Text, o)
+        });
+        match result {
             Err(CliError::Usage(msg)) => assert!(msg.contains("second column")),
             other => panic!("unexpected {other:?}"),
         }
@@ -531,7 +631,10 @@ mod tests {
     #[test]
     fn explain_passing_test_surfaces_library_error() {
         let (r, _) = shifted_sets();
-        match run_explain(&r, &r, None, 0.05, &PreferenceSource::Identity, OutputFormat::Text) {
+        let result = capture(|o| {
+            run_explain(&r, &r, None, 0.05, &PreferenceSource::Identity, OutputFormat::Text, o)
+        });
+        match result {
             Err(CliError::Moche(moche_core::MocheError::TestAlreadyPasses { .. })) => {}
             other => panic!("unexpected {other:?}"),
         }
@@ -541,19 +644,22 @@ mod tests {
     fn batch_reports_per_window_outcomes() {
         let (r, t) = shifted_sets();
         let windows = vec![t.clone(), r.clone(), t];
-        let out = run_batch(&r, &windows, 0.05, 2, &PreferenceSource::Identity, OutputFormat::Text)
-            .unwrap();
+        let opts = batch_opts(0.05, 2, &PreferenceSource::Identity, OutputFormat::Text);
+        let (out, status) = capture(|o| run_batch(&r, &windows, &opts, o)).unwrap();
         assert!(out.contains("window 0: k = "), "{out}");
         assert!(out.contains("window 1: passes"), "{out}");
         assert!(out.contains("2 explained, 1 passing"), "{out}");
+        assert_eq!(status.windows_explained, 2);
+        assert_eq!(status.window_errors, 0);
+        assert_eq!(status.exit_code(), 0);
     }
 
     #[test]
     fn batch_csv_lists_selected_points_per_window() {
         let (r, t) = shifted_sets();
         let windows = vec![t.clone(), t];
-        let out = run_batch(&r, &windows, 0.05, 0, &PreferenceSource::ValueDesc, OutputFormat::Csv)
-            .unwrap();
+        let opts = batch_opts(0.05, 0, &PreferenceSource::ValueDesc, OutputFormat::Csv);
+        let (out, _) = capture(|o| run_batch(&r, &windows, &opts, o)).unwrap();
         assert!(out.starts_with("window,index,value"));
         assert!(out.lines().any(|l| l.starts_with("0,")));
         assert!(out.lines().any(|l| l.starts_with("1,")));
@@ -571,11 +677,12 @@ mod tests {
     fn batch_matches_sequential_explain() {
         let (r, t) = shifted_sets();
         let windows = vec![t.clone()];
-        let csv = run_batch(&r, &windows, 0.05, 1, &PreferenceSource::Identity, OutputFormat::Csv)
-            .unwrap();
-        let single =
-            run_explain(&r, &t, None, 0.05, &PreferenceSource::Identity, OutputFormat::Csv)
-                .unwrap();
+        let opts = batch_opts(0.05, 1, &PreferenceSource::Identity, OutputFormat::Csv);
+        let (csv, _) = capture(|o| run_batch(&r, &windows, &opts, o)).unwrap();
+        let (single, _) = capture(|o| {
+            run_explain(&r, &t, None, 0.05, &PreferenceSource::Identity, OutputFormat::Csv, o)
+        })
+        .unwrap();
         let batch_rows: Vec<&str> = csv
             .lines()
             .skip(1)
@@ -594,9 +701,12 @@ mod tests {
         // The default SR preference must not panic on the non-finite
         // window; the error surfaces as a CSV comment instead.
         for source in [PreferenceSource::SpectralResidual, PreferenceSource::Identity] {
-            let out = run_batch(&r, &windows, 0.05, 1, &source, OutputFormat::Csv).unwrap();
+            let opts = batch_opts(0.05, 1, &source, OutputFormat::Csv);
+            let (out, status) = capture(|o| run_batch(&r, &windows, &opts, o)).unwrap();
             assert!(out.lines().any(|l| l.starts_with("0,")), "{out}");
             assert!(out.lines().any(|l| l.starts_with("# window 1: error:")), "{out}");
+            assert_eq!(status.window_errors, 1);
+            assert_eq!(status.exit_code(), 0, "one good window keeps the run successful");
         }
     }
 
@@ -608,18 +718,47 @@ mod tests {
         let (r, t) = shifted_sets();
         let bad = vec![f64::NAN, 1.0, 2.0, 3.0, 4.0];
         let windows = vec![t, bad];
-        let out =
-            run_batch(&r, &windows, 0.05, 1, &PreferenceSource::ValueDesc, OutputFormat::Text)
-                .unwrap();
+        let opts = batch_opts(0.05, 1, &PreferenceSource::ValueDesc, OutputFormat::Text);
+        let (out, _) = capture(|o| run_batch(&r, &windows, &opts, o)).unwrap();
         assert!(out.contains("window 0: k = "), "{out}");
         assert!(out.contains("window 1: error: invalid preference"), "{out}");
         assert!(out.contains("1 explained"), "{out}");
     }
 
     #[test]
+    fn batch_all_error_runs_exit_nonzero() {
+        let (r, _) = shifted_sets();
+        let bad = vec![f64::NAN, 1.0, 2.0, 3.0, 4.0];
+        let windows = vec![bad.clone(), bad];
+        let opts = batch_opts(0.05, 1, &PreferenceSource::Identity, OutputFormat::Text);
+        let (out, status) = capture(|o| run_batch(&r, &windows, &opts, o)).unwrap();
+        assert!(out.contains("window 0: error:"), "{out}");
+        assert_eq!(status.window_errors, 2);
+        assert_eq!(status.windows_explained, 0);
+        assert_eq!(status.exit_code(), 1, "all-error batches must not exit 0");
+    }
+
+    #[test]
+    fn batch_passing_windows_do_not_mask_an_all_error_run() {
+        // Passing windows are not errors, but they are not explanations
+        // either: a stream that produced nothing and hit a real error
+        // still reports failure.
+        let (r, _) = shifted_sets();
+        let bad = vec![f64::NAN, 1.0, 2.0, 3.0, 4.0];
+        let windows = vec![r.clone(), bad];
+        let opts = batch_opts(0.05, 1, &PreferenceSource::Identity, OutputFormat::Text);
+        let (out, status) = capture(|o| run_batch(&r, &windows, &opts, o)).unwrap();
+        assert!(out.contains("window 0: passes"), "{out}");
+        assert_eq!(status.window_errors, 1);
+        assert_eq!(status.windows_explained, 0);
+        assert_eq!(status.exit_code(), 1);
+    }
+
+    #[test]
     fn batch_rejects_empty_windows_file() {
         let (r, _) = shifted_sets();
-        match run_batch(&r, &[], 0.05, 0, &PreferenceSource::Identity, OutputFormat::Text) {
+        let opts = batch_opts(0.05, 0, &PreferenceSource::Identity, OutputFormat::Text);
+        match capture(|o| run_batch(&r, &[], &opts, o)) {
             Err(CliError::Usage(msg)) => assert!(msg.contains("no windows")),
             other => panic!("unexpected {other:?}"),
         }
@@ -629,10 +768,11 @@ mod tests {
     fn monitor_detects_shift_in_file_values() {
         let mut series: Vec<f64> = (0..200).map(|i| f64::from(i % 7)).collect();
         series.extend((0..200).map(|i| f64::from(i % 7) + 25.0));
-        let out = run_monitor(&series, 50, 0.05, true, false).unwrap();
+        let (out, _) = capture(|o| run_monitor(&series, 50, 0.05, true, false, o)).unwrap();
         assert!(out.contains("DRIFT"), "{out}");
         assert!(out.contains("explanation"));
-        let quiet = run_monitor(&series[..200], 50, 0.05, false, false).unwrap();
+        let (quiet, _) =
+            capture(|o| run_monitor(&series[..200], 50, 0.05, false, false, o)).unwrap();
         assert!(quiet.contains("0 alarm(s)"), "{quiet}");
     }
 
@@ -640,7 +780,7 @@ mod tests {
     fn monitor_size_only_reports_k_per_alarm() {
         let mut series: Vec<f64> = (0..200).map(|i| f64::from(i % 7)).collect();
         series.extend((0..200).map(|i| f64::from(i % 7) + 25.0));
-        let out = run_monitor(&series, 50, 0.05, true, true).unwrap();
+        let (out, _) = capture(|o| run_monitor(&series, 50, 0.05, true, true, o)).unwrap();
         assert!(out.contains("DRIFT"), "{out}");
         assert!(out.contains("size: k = "), "{out}");
         assert!(!out.contains("explanation:"), "{out}");
@@ -673,24 +813,17 @@ mod tests {
         let (r, t) = shifted_sets();
         let windows = vec![t.clone(), r.clone(), t];
         let file = TempWindows::new("match", &windows);
-        let eager =
-            run_batch(&r, &windows, 0.05, 2, &PreferenceSource::Identity, OutputFormat::Csv)
-                .unwrap();
-        let streamed = run_batch_stream(
-            &r,
-            &file.0,
-            0.05,
-            2,
-            &PreferenceSource::Identity,
-            OutputFormat::Csv,
-            false,
-        )
-        .unwrap();
+        let opts = batch_opts(0.05, 2, &PreferenceSource::Identity, OutputFormat::Csv);
+        let (eager, _) = capture(|o| run_batch(&r, &windows, &opts, o)).unwrap();
+        let (streamed, status) =
+            capture(|o| run_batch_stream(&r, &file.0, &opts, false, o)).unwrap();
         let rows = |s: &str| {
             s.lines().filter(|l| !l.starts_with('#')).map(String::from).collect::<Vec<_>>()
         };
         assert_eq!(rows(&eager), rows(&streamed));
         assert!(streamed.lines().any(|l| l.starts_with("# threads: ")), "{streamed}");
+        assert_eq!(status.windows_explained, 2);
+        assert_eq!(status.exit_code(), 0);
     }
 
     #[test]
@@ -698,16 +831,8 @@ mod tests {
         let (r, t) = shifted_sets();
         let windows = vec![t.clone(), r.clone(), t.clone()];
         let file = TempWindows::new("size", &windows);
-        let csv = run_batch_stream(
-            &r,
-            &file.0,
-            0.05,
-            1,
-            &PreferenceSource::Identity,
-            OutputFormat::Csv,
-            true,
-        )
-        .unwrap();
+        let opts = batch_opts(0.05, 1, &PreferenceSource::Identity, OutputFormat::Csv);
+        let (csv, _) = capture(|o| run_batch_stream(&r, &file.0, &opts, true, o)).unwrap();
         assert!(csv.starts_with("window,k,k_hat"), "{csv}");
         // Windows 0 and 2 are identical: same k rows; window 1 passes.
         let k_rows: Vec<&str> =
@@ -715,21 +840,15 @@ mod tests {
         assert_eq!(k_rows.len(), 2, "{csv}");
         assert_eq!(k_rows[0].split_once(',').unwrap().1, k_rows[1].split_once(',').unwrap().1);
         // The reported k matches the full explanation's size.
-        let full = run_explain(&r, &t, None, 0.05, &PreferenceSource::Identity, OutputFormat::Csv)
-            .unwrap();
+        let (full, _) = capture(|o| {
+            run_explain(&r, &t, None, 0.05, &PreferenceSource::Identity, OutputFormat::Csv, o)
+        })
+        .unwrap();
         let k: usize = k_rows[0].split(',').nth(1).unwrap().parse().unwrap();
         assert_eq!(k, full.lines().count() - 1);
 
-        let text = run_batch_stream(
-            &r,
-            &file.0,
-            0.05,
-            1,
-            &PreferenceSource::Identity,
-            OutputFormat::Text,
-            true,
-        )
-        .unwrap();
+        let text_opts = batch_opts(0.05, 1, &PreferenceSource::Identity, OutputFormat::Text);
+        let (text, _) = capture(|o| run_batch_stream(&r, &file.0, &text_opts, true, o)).unwrap();
         assert!(text.contains("window 0: k = "), "{text}");
         assert!(text.contains("window 1: passes"), "{text}");
         assert!(text.contains("2 sized, 1 passing"), "{text}");
@@ -742,15 +861,8 @@ mod tests {
         let path =
             std::env::temp_dir().join(format!("moche-stream-test-bad-{}.csv", std::process::id()));
         std::fs::write(&path, "1.0,2.0,3.0\nnot-a-number\n").unwrap();
-        let result = run_batch_stream(
-            &r,
-            &path,
-            0.05,
-            1,
-            &PreferenceSource::Identity,
-            OutputFormat::Text,
-            false,
-        );
+        let opts = batch_opts(0.05, 1, &PreferenceSource::Identity, OutputFormat::Text);
+        let result = capture(|o| run_batch_stream(&r, &path, &opts, false, o));
         let _ = std::fs::remove_file(&path);
         match result {
             Err(CliError::Parse { line, .. }) => assert_eq!(line, 2),
@@ -759,21 +871,46 @@ mod tests {
     }
 
     #[test]
+    fn batch_stream_all_error_runs_exit_nonzero() {
+        let (r, _) = shifted_sets();
+        // Every window carries a NaN: the stream completes (NaN parses as a
+        // float) but each window fails with NonFiniteValue.
+        let bad = vec![f64::NAN, 1.0, 2.0, 3.0, 4.0];
+        let windows = vec![bad.clone(), bad];
+        let file = TempWindows::new("all-error", &windows);
+        let opts = batch_opts(0.05, 1, &PreferenceSource::Identity, OutputFormat::Text);
+        let (out, status) = capture(|o| run_batch_stream(&r, &file.0, &opts, false, o)).unwrap();
+        assert!(out.contains("window 0: error:"), "{out}");
+        assert_eq!(status.window_errors, 2);
+        assert_eq!(status.windows_explained, 0);
+        assert_eq!(status.exit_code(), 1, "all-error streams must not exit 0");
+    }
+
+    #[test]
     fn batch_reports_effective_thread_count() {
         let (r, t) = shifted_sets();
         let windows = vec![t.clone(), t];
-        let out = run_batch(&r, &windows, 0.05, 8, &PreferenceSource::Identity, OutputFormat::Text)
-            .unwrap();
+        let opts = batch_opts(0.05, 8, &PreferenceSource::Identity, OutputFormat::Text);
+        let (out, _) = capture(|o| run_batch(&r, &windows, &opts, o)).unwrap();
         // Two jobs cap the pool at two workers regardless of the flag.
         assert!(out.contains("on 2 worker thread(s) (requested 8)"), "{out}");
-        let csv = run_batch(&r, &windows, 0.05, 8, &PreferenceSource::Identity, OutputFormat::Csv)
-            .unwrap();
+        let csv_opts = batch_opts(0.05, 8, &PreferenceSource::Identity, OutputFormat::Csv);
+        let (csv, _) = capture(|o| run_batch(&r, &windows, &csv_opts, o)).unwrap();
         assert!(csv.lines().any(|l| l == "# threads: 2"), "{csv}");
     }
 
     #[test]
     fn run_dispatches_help() {
-        let out = run(Command::Help).unwrap();
+        let (out, status) = capture(|o| run(Command::Help, o)).unwrap();
         assert!(out.contains("USAGE"));
+        assert_eq!(status.exit_code(), 0);
+    }
+
+    #[test]
+    fn exit_code_rules() {
+        assert_eq!(RunStatus::default().exit_code(), 0);
+        assert_eq!(RunStatus { window_errors: 3, windows_explained: 0 }.exit_code(), 1);
+        assert_eq!(RunStatus { window_errors: 3, windows_explained: 1 }.exit_code(), 0);
+        assert_eq!(RunStatus { window_errors: 0, windows_explained: 0 }.exit_code(), 0);
     }
 }

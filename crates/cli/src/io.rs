@@ -28,6 +28,8 @@ pub enum CliError {
     Usage(String),
     /// An algorithmic error from the library.
     Moche(moche_core::MocheError),
+    /// Writing the report failed (e.g. a closed pipe).
+    Write(std::io::Error),
 }
 
 impl fmt::Display for CliError {
@@ -39,6 +41,7 @@ impl fmt::Display for CliError {
             }
             CliError::Usage(msg) => write!(f, "{msg}"),
             CliError::Moche(e) => write!(f, "{e}"),
+            CliError::Write(e) => write!(f, "cannot write output: {e}"),
         }
     }
 }
@@ -48,6 +51,12 @@ impl std::error::Error for CliError {}
 impl From<moche_core::MocheError> for CliError {
     fn from(e: moche_core::MocheError) -> Self {
         CliError::Moche(e)
+    }
+}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        CliError::Write(e)
     }
 }
 
@@ -109,33 +118,41 @@ fn parse_columns(path: &str, content: &str) -> Result<(Vec<f64>, Vec<f64>), CliE
 /// Parses one windows-file line: `None` for comments and blanks, otherwise
 /// the window (comma/whitespace separated values). `line_no` is 1-based.
 fn parse_window_line(path: &str, line_no: usize, raw: &str) -> Option<Result<Vec<f64>, CliError>> {
+    let mut window = Vec::new();
+    parse_window_line_into(path, line_no, raw, &mut window).map(|r| r.map(|()| window))
+}
+
+/// [`parse_window_line`] writing into a caller-recycled buffer (cleared
+/// first) — the zero-allocation producer path of `moche batch --stream`.
+/// On `Some(Err(..))` the buffer holds whatever parsed before the error.
+fn parse_window_line_into(
+    path: &str,
+    line_no: usize,
+    raw: &str,
+    window: &mut Vec<f64>,
+) -> Option<Result<(), CliError>> {
     let line = raw.split('#').next().unwrap_or("").trim();
     if line.is_empty() {
         return None;
     }
-    let window = line
-        .split(|c: char| c == ',' || c.is_whitespace())
-        .filter(|s| !s.is_empty())
-        .map(|tok| {
-            tok.parse::<f64>().map_err(|_| CliError::Parse {
-                path: path.to_string(),
-                line: line_no,
-                content: raw.to_string(),
-            })
-        })
-        .collect::<Result<Vec<f64>, CliError>>();
-    match window {
-        Ok(w) if w.is_empty() => {
-            // A line of nothing but separators: report it here with a
-            // location instead of a locationless "empty test set" later.
-            Some(Err(CliError::Parse {
-                path: path.to_string(),
-                line: line_no,
-                content: raw.to_string(),
-            }))
+    let located_error = || CliError::Parse {
+        path: path.to_string(),
+        line: line_no,
+        content: raw.trim_end_matches(['\n', '\r']).to_string(),
+    };
+    window.clear();
+    for tok in line.split(|c: char| c == ',' || c.is_whitespace()).filter(|s| !s.is_empty()) {
+        match tok.parse::<f64>() {
+            Ok(v) => window.push(v),
+            Err(_) => return Some(Err(located_error())),
         }
-        other => Some(other),
     }
+    if window.is_empty() {
+        // A line of nothing but separators: report it here with a
+        // location instead of a locationless "empty test set" later.
+        return Some(Err(located_error()));
+    }
+    Some(Ok(()))
 }
 
 /// Parses a windows file: each non-comment line is one test window, its
@@ -150,34 +167,40 @@ pub fn parse_windows(path: &str, content: &str) -> Result<Vec<Vec<f64>>, CliErro
     Ok(windows)
 }
 
-/// A lazily-read windows file: one window per [`Iterator::next`] call, so a
-/// stream of any length is processed in bounded memory (see
-/// `moche batch --stream`).
+/// A lazily-read windows file: one window per [`fill`](WindowStream::fill)
+/// call (or per [`Iterator::next`]), so a stream of any length is processed
+/// in bounded memory (see `moche batch --stream`).
 ///
-/// Iteration stops at the first I/O or parse error; the error is parked in
+/// The fill path recycles both the line buffer and the caller's window
+/// buffer, so steady-state reading performs no heap allocations — the
+/// producer side of the streaming engine's constant-memory loop.
+///
+/// The stream stops at the first I/O or parse error; the error is parked in
 /// the slot returned by [`WindowStream::open`] for the caller to check
-/// after the stream is drained (the iterator itself must yield plain
-/// windows to feed the streaming engine from another thread).
+/// after the stream is drained (the source itself must yield plain windows
+/// to feed the streaming engine from another thread).
 pub struct WindowStream {
-    lines: std::io::Lines<std::io::BufReader<std::fs::File>>,
+    reader: std::io::BufReader<std::fs::File>,
+    /// Recycled line buffer.
+    line: String,
     path: String,
     line_no: usize,
     error: std::sync::Arc<std::sync::Mutex<Option<CliError>>>,
 }
 
 impl WindowStream {
-    /// Opens a windows file for lazy iteration. Returns the iterator and
-    /// the shared slot where a mid-stream error is parked.
+    /// Opens a windows file for lazy streaming. Returns the source and the
+    /// shared slot where a mid-stream error is parked.
     #[allow(clippy::type_complexity)]
     pub fn open(
         path: &Path,
     ) -> Result<(Self, std::sync::Arc<std::sync::Mutex<Option<CliError>>>), CliError> {
-        use std::io::BufRead as _;
         let file = std::fs::File::open(path)
             .map_err(|source| CliError::Io { path: path.display().to_string(), source })?;
         let error = std::sync::Arc::new(std::sync::Mutex::new(None));
         let stream = Self {
-            lines: std::io::BufReader::new(file).lines(),
+            reader: std::io::BufReader::new(file),
+            line: String::new(),
             path: path.display().to_string(),
             line_no: 0,
             error: std::sync::Arc::clone(&error),
@@ -188,30 +211,43 @@ impl WindowStream {
     fn park(&self, e: CliError) {
         *self.error.lock().expect("window stream error slot poisoned") = Some(e);
     }
+
+    /// Overwrites `window` with the next window and returns `true`, or
+    /// `false` at end of stream (or on a parked error). This is the
+    /// [`moche_core::WindowSource`] shape — pass
+    /// `|buf: &mut Vec<f64>| stream.fill(buf)` to
+    /// [`moche_core::StreamingBatchExplainer::explain_source`].
+    pub fn fill(&mut self, window: &mut Vec<f64>) -> bool {
+        use std::io::BufRead as _;
+        loop {
+            self.line.clear();
+            match self.reader.read_line(&mut self.line) {
+                Ok(0) => return false, // end of file
+                Ok(_) => {}
+                Err(source) => {
+                    self.park(CliError::Io { path: self.path.clone(), source });
+                    return false;
+                }
+            }
+            self.line_no += 1;
+            match parse_window_line_into(&self.path, self.line_no, &self.line, window) {
+                None => continue, // comment or blank line
+                Some(Ok(())) => return true,
+                Some(Err(e)) => {
+                    self.park(e);
+                    return false;
+                }
+            }
+        }
+    }
 }
 
 impl Iterator for WindowStream {
     type Item = Vec<f64>;
 
     fn next(&mut self) -> Option<Self::Item> {
-        loop {
-            let raw = match self.lines.next()? {
-                Ok(raw) => raw,
-                Err(source) => {
-                    self.park(CliError::Io { path: self.path.clone(), source });
-                    return None;
-                }
-            };
-            self.line_no += 1;
-            match parse_window_line(&self.path, self.line_no, &raw) {
-                None => continue, // comment or blank line
-                Some(Ok(window)) => return Some(window),
-                Some(Err(e)) => {
-                    self.park(e);
-                    return None;
-                }
-            }
-        }
+        let mut window = Vec::new();
+        self.fill(&mut window).then_some(window)
     }
 }
 

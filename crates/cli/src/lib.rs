@@ -12,7 +12,9 @@
 //! ```
 //!
 //! The command logic lives in this library crate ([`commands::run`]) so it
-//! is unit-testable; `main.rs` is a thin shell.
+//! is unit-testable; `main.rs` is a thin shell that hands it one locked,
+//! buffered stdout writer — streaming commands print results as they are
+//! delivered, in constant memory.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -22,5 +24,5 @@ pub mod commands;
 pub mod io;
 
 pub use args::{parse, Command, OutputFormat, PreferenceSource, USAGE};
-pub use commands::run;
+pub use commands::{run, RunStatus};
 pub use io::CliError;

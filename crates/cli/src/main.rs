@@ -1,4 +1,13 @@
-//! The `moche` binary: parse arguments, run the command, print the report.
+//! The `moche` binary: parse arguments, run the command, stream the report
+//! to stdout.
+//!
+//! Output goes through one locked, buffered stdout handle for the whole
+//! run, so streaming commands (`moche batch --stream`) print each result as
+//! it is delivered instead of accumulating a report in memory. Exit codes:
+//! `0` success, `1` for errors (including batch runs where every window
+//! failed and nothing was explained), `2` for usage errors.
+
+use std::io::Write as _;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -10,9 +19,18 @@ fn main() {
             std::process::exit(2);
         }
     };
-    match moche_cli::run(command) {
-        Ok(report) => print!("{report}"),
+    let stdout = std::io::stdout();
+    let mut out = std::io::BufWriter::new(stdout.lock());
+    match moche_cli::run(command, &mut out) {
+        Ok(status) => {
+            if let Err(e) = out.flush() {
+                eprintln!("error: cannot write output: {e}");
+                std::process::exit(1);
+            }
+            std::process::exit(status.exit_code());
+        }
         Err(e) => {
+            let _ = out.flush(); // keep whatever was already streamed
             eprintln!("error: {e}");
             std::process::exit(1);
         }

@@ -177,6 +177,41 @@ fn monitor_size_only_reports_sizes() {
     assert!(stdout.contains("size: k = "), "{stdout}");
 }
 
+/// A windows file where every window errors (NaN parses as a float, then
+/// fails input validation): the run must exit nonzero, for both the eager
+/// and the streaming path.
+#[test]
+fn batch_with_only_erroring_windows_exits_nonzero() {
+    let dir = TempDir::new("batch-all-error");
+    let r = dir.write("ref.txt", &numbers((0..80).map(|i| f64::from(i % 8))));
+    let w = dir.write("wins.csv", "NaN,1,2,3,4\nNaN,5,6,7,8\n");
+    for extra in [&[][..], &["--stream"][..]] {
+        let mut args = vec!["batch", r.to_str().unwrap(), w.to_str().unwrap()];
+        args.extend_from_slice(extra);
+        let out = bin().args(&args).output().unwrap();
+        assert_eq!(out.status.code(), Some(1), "extra = {extra:?}");
+        let stdout = String::from_utf8(out.stdout).unwrap();
+        assert!(stdout.contains("error:"), "per-window errors stay visible: {stdout}");
+    }
+}
+
+/// One healthy window among erroring ones keeps the run successful — the
+/// nonzero exit is reserved for runs that explained nothing at all.
+#[test]
+fn batch_with_some_explained_windows_exits_zero() {
+    let dir = TempDir::new("batch-mixed-error");
+    let r = dir.write("ref.txt", &numbers((0..80).map(|i| f64::from(i % 8))));
+    let good: String =
+        (0..40).map(|i| (f64::from(i % 8) + 4.0).to_string()).collect::<Vec<_>>().join(",");
+    let w = dir.write("wins.csv", &format!("NaN,1,2,3,4\n{good}\n"));
+    for extra in [&[][..], &["--stream"][..]] {
+        let mut args = vec!["batch", r.to_str().unwrap(), w.to_str().unwrap()];
+        args.extend_from_slice(extra);
+        let out = bin().args(&args).output().unwrap();
+        assert_eq!(out.status.code(), Some(0), "extra = {extra:?}");
+    }
+}
+
 #[test]
 fn missing_file_exits_nonzero_with_message() {
     let out = bin().args(["test", "/nonexistent/r.txt", "/nonexistent/t.txt"]).output().unwrap();

@@ -22,6 +22,11 @@
 //!   `O(n + m log m)` — significant when `n >> m`, the common monitoring
 //!   regime.
 //!
+//! The batch API materializes every result, so output buffers cannot be
+//! recycled here; for unbounded runs that consume results one at a time in
+//! constant memory (windows *and* outputs recycled), use
+//! [`crate::streaming::StreamingBatchExplainer::explain_source`].
+//!
 //! Results are returned in job order and are byte-identical to sequential
 //! [`crate::Moche::explain`] calls (enforced by `tests/proptest_engine.rs`).
 //! Failed tests yield `Ok(Explanation)`; windows that pass the test, or

@@ -32,18 +32,39 @@ impl SubsetCounts {
     /// Panics if an index is out of range or listed more times than the test
     /// set contains copies of its value.
     pub fn from_test_indices(base: &BaseVector, indices: &[usize]) -> Self {
-        let mut s = Self::empty(base.q());
+        let mut s = Self::empty(0);
+        s.refill_from_test_indices(base, indices);
+        s
+    }
+
+    /// Resets to the empty subset over a base vector with `q` distinct
+    /// values, reusing the existing storage (no allocation once the buffer
+    /// has grown to the working size).
+    pub fn reset(&mut self, q: usize) {
+        self.counts.clear();
+        self.counts.resize(q + 1, 0);
+        self.total = 0;
+    }
+
+    /// [`from_test_indices`](Self::from_test_indices) rebuilding `self` in
+    /// place — the recycled-scratch path the
+    /// [`crate::engine::ExplainEngine`] runs per explanation.
+    ///
+    /// # Panics
+    ///
+    /// As for [`from_test_indices`](Self::from_test_indices).
+    pub fn refill_from_test_indices(&mut self, base: &BaseVector, indices: &[usize]) {
+        self.reset(base.q());
         for &orig in indices {
             assert!(orig < base.m(), "test index {orig} out of range");
-            s.add(base.test_point_index(orig));
+            self.add(base.test_point_index(orig));
         }
         for i in 1..=base.q() {
             assert!(
-                s.counts[i] <= base.t_mult(i),
+                self.counts[i] <= base.t_mult(i),
                 "subset uses value x_{i} more often than the test set contains it"
             );
         }
-        s
     }
 
     /// Adds one copy of the value at base index `i` (1-based).

@@ -18,12 +18,17 @@
 //!   (one [`BoundsContext`] reconfigured per level).
 //!
 //! In steady state an engine performs no heap allocations besides the
-//! returned [`Explanation`] itself. Results are **byte-identical** to the
-//! one-shot paths — a property enforced by `tests/proptest_engine.rs`.
+//! returned [`Explanation`] itself — and with a caller-owned
+//! [`ExplanationArena`] (the `*_in` method family) not even that: the
+//! output vectors are written into recycled storage the caller hands back
+//! after consuming each explanation. Results are **byte-identical** to the
+//! one-shot paths — a property enforced by `tests/proptest_engine.rs` and
+//! `tests/proptest_indexed.rs`.
 //!
 //! For many `(R, T)` pairs at once, see [`crate::batch`], which runs one
 //! engine per worker thread.
 
+use crate::arena::ExplanationArena;
 use crate::base_vector::{BaseVector, SortedReference};
 use crate::bounds::{BoundsContext, BoundsWorkspace};
 use crate::cumulative::SubsetCounts;
@@ -65,6 +70,10 @@ pub struct ExplainEngine {
     /// [`explain_with_index`](Self::explain_with_index) calls rebuild it in
     /// place instead of reallocating the `O(n + m)` arrays per window.
     base_scratch: Option<BaseVector>,
+    /// Recycled sort buffer for the window side of the indexed splice.
+    sort_scratch: Vec<f64>,
+    /// Recycled per-value removal counts for the after-removal verification.
+    counts_scratch: SubsetCounts,
 }
 
 impl ExplainEngine {
@@ -85,6 +94,8 @@ impl ExplainEngine {
             construction: ConstructionStrategy::default(),
             ws: BoundsWorkspace::new(),
             base_scratch: None,
+            sort_scratch: Vec::new(),
+            counts_scratch: SubsetCounts::empty(0),
         }
     }
 
@@ -123,8 +134,26 @@ impl ExplainEngine {
         test: &[f64],
         preference: &PreferenceList,
     ) -> Result<Explanation, MocheError> {
+        self.explain_in(reference, test, preference, &mut ExplanationArena::new())
+    }
+
+    /// [`explain`](Self::explain) writing the output into storage recycled
+    /// through `arena` (see [`ExplanationArena`]): the returned explanation
+    /// owns the arena's buffers; hand them back with
+    /// [`ExplanationArena::recycle`] once it has been consumed.
+    ///
+    /// # Errors
+    ///
+    /// As for [`explain`](Self::explain).
+    pub fn explain_in(
+        &mut self,
+        reference: &[f64],
+        test: &[f64],
+        preference: &PreferenceList,
+        arena: &mut ExplanationArena,
+    ) -> Result<Explanation, MocheError> {
         let base = BaseVector::build(reference, test)?;
-        self.explain_base(&base, test, preference)
+        self.explain_base_in(&base, test, preference, arena)
     }
 
     /// [`explain`](Self::explain) against a pre-sorted shared reference:
@@ -140,8 +169,24 @@ impl ExplainEngine {
         test: &[f64],
         preference: &PreferenceList,
     ) -> Result<Explanation, MocheError> {
+        self.explain_with_reference_in(reference, test, preference, &mut ExplanationArena::new())
+    }
+
+    /// [`explain_with_reference`](Self::explain_with_reference) writing the
+    /// output into storage recycled through `arena`.
+    ///
+    /// # Errors
+    ///
+    /// As for [`explain`](Self::explain).
+    pub fn explain_with_reference_in(
+        &mut self,
+        reference: &SortedReference,
+        test: &[f64],
+        preference: &PreferenceList,
+        arena: &mut ExplanationArena,
+    ) -> Result<Explanation, MocheError> {
         let base = BaseVector::build_with_reference(reference, test)?;
-        self.explain_base(&base, test, preference)
+        self.explain_base_in(&base, test, preference, arena)
     }
 
     /// [`explain`](Self::explain) against a precomputed [`ReferenceIndex`]:
@@ -158,9 +203,32 @@ impl ExplainEngine {
         test: &[f64],
         preference: &PreferenceList,
     ) -> Result<Explanation, MocheError> {
+        self.explain_with_index_in(index, test, preference, &mut ExplanationArena::new())
+    }
+
+    /// [`explain_with_index`](Self::explain_with_index) writing the output
+    /// into storage recycled through `arena`. This is the fully
+    /// allocation-free steady state: base vector, bounds, sort buffer,
+    /// removal counts *and* the output vectors are all reused, so a warm
+    /// `(engine, arena)` pair explains with zero heap allocations — the
+    /// per-window hot path of [`crate::streaming`].
+    ///
+    /// # Errors
+    ///
+    /// As for [`explain`](Self::explain).
+    pub fn explain_with_index_in(
+        &mut self,
+        index: &ReferenceIndex,
+        test: &[f64],
+        preference: &PreferenceList,
+        arena: &mut ExplanationArena,
+    ) -> Result<Explanation, MocheError> {
         let mut base = self.base_scratch.take().unwrap_or_else(BaseVector::empty);
-        let result = BaseVector::build_with_index_into(index, test, &mut base)
-            .and_then(|()| self.explain_base(&base, test, preference));
+        let mut sort_scratch = std::mem::take(&mut self.sort_scratch);
+        let result =
+            BaseVector::build_with_index_into_using(index, test, &mut base, &mut sort_scratch)
+                .and_then(|()| self.explain_base_in(&base, test, preference, arena));
+        self.sort_scratch = sort_scratch;
         self.base_scratch = Some(base);
         result
     }
@@ -180,8 +248,11 @@ impl ExplainEngine {
         test: &[f64],
     ) -> Result<SizeSearch, MocheError> {
         let mut base = self.base_scratch.take().unwrap_or_else(BaseVector::empty);
-        let result = BaseVector::build_with_index_into(index, test, &mut base)
-            .and_then(|()| self.size_base(&base));
+        let mut sort_scratch = std::mem::take(&mut self.sort_scratch);
+        let result =
+            BaseVector::build_with_index_into_using(index, test, &mut base, &mut sort_scratch)
+                .and_then(|()| self.size_base(&base));
+        self.sort_scratch = sort_scratch;
         self.base_scratch = Some(base);
         result
     }
@@ -212,12 +283,16 @@ impl ExplainEngine {
         }
     }
 
-    /// The core flow over an already-built base vector.
-    pub(crate) fn explain_base(
+    /// The core flow over an already-built base vector, writing the output
+    /// into storage taken from `arena`. On error the storage is returned to
+    /// the arena, so a failed window never degrades later ones back to
+    /// allocating.
+    pub(crate) fn explain_base_in(
         &mut self,
         base: &BaseVector,
         test: &[f64],
         preference: &PreferenceList,
+        arena: &mut ExplanationArena,
     ) -> Result<Explanation, MocheError> {
         if preference.len() != base.m() {
             return Err(MocheError::PreferenceLengthMismatch {
@@ -228,22 +303,38 @@ impl ExplainEngine {
         let outcome_before = base.outcome(&self.cfg);
         let phase1 = self.size_checked(base, &outcome_before)?;
 
-        let (indices, phase2) = match self.construction {
-            ConstructionStrategy::Incremental => phase2::construct_with(
+        let (mut indices, mut values) = arena.take();
+        let constructed = match self.construction {
+            ConstructionStrategy::Incremental => phase2::construct_into(
                 base,
                 &self.cfg,
                 phase1.k,
                 preference.as_order(),
                 &mut self.ws,
-            )?,
+                &mut indices,
+            ),
             ConstructionStrategy::Reference => {
-                phase2::construct_reference(base, &self.cfg, phase1.k, preference.as_order())?
+                phase2::construct_reference(base, &self.cfg, phase1.k, preference.as_order()).map(
+                    |(selected, stats)| {
+                        indices.clear();
+                        indices.extend_from_slice(&selected);
+                        stats
+                    },
+                )
+            }
+        };
+        let phase2 = match constructed {
+            Ok(stats) => stats,
+            Err(e) => {
+                arena.put(indices, values);
+                return Err(e);
             }
         };
 
-        let counts = SubsetCounts::from_test_indices(base, &indices);
-        let outcome_after = base.outcome_after_removal(counts.as_slice(), &self.cfg);
-        let values = indices.iter().map(|&i| test[i]).collect();
+        self.counts_scratch.refill_from_test_indices(base, &indices);
+        let outcome_after = base.outcome_after_removal(self.counts_scratch.as_slice(), &self.cfg);
+        values.reserve(indices.len());
+        values.extend(indices.iter().map(|&i| test[i]));
 
         Ok(Explanation {
             indices,

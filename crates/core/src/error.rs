@@ -73,6 +73,14 @@ pub enum MocheError {
         /// Actual length supplied.
         actual: usize,
     },
+    /// A sliding-window size is too small to form the paired windows a
+    /// streaming consumer needs (see `moche_stream::DriftMonitor`).
+    WindowTooSmall {
+        /// The rejected window size.
+        window: usize,
+        /// The smallest acceptable window size.
+        min: usize,
+    },
     /// Phase 2 could not grow a partial explanation to the target size.
     /// This indicates a numerical inconsistency between the Phase-1 size
     /// certificate and the Phase-2 checks and should not occur in practice;
@@ -139,6 +147,9 @@ impl fmt::Display for MocheError {
                 f,
                 "preference list has length {actual} but the test set has {expected} points"
             ),
+            MocheError::WindowTooSmall { window, min } => {
+                write!(f, "window size {window} is too small (minimum {min})")
+            }
             MocheError::ConstructionIncomplete { built, k } => write!(
                 f,
                 "phase 2 selected only {built} of {k} points; \

@@ -54,6 +54,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod arena;
 pub mod base_vector;
 pub mod batch;
 pub mod bounds;
@@ -70,6 +71,7 @@ pub mod preference;
 pub mod ref_index;
 pub mod streaming;
 
+pub use arena::ExplanationArena;
 pub use base_vector::{BaseVector, SortedReference};
 pub use batch::{BatchExplainer, BatchJob, ReferenceMode, ScoreFn, WindowPreferences};
 pub use bounds::{BoundsContext, BoundsWorkspace};
@@ -83,11 +85,12 @@ pub use phase1::SizeSearch;
 pub use preference::PreferenceList;
 pub use ref_index::ReferenceIndex;
 pub use streaming::{
-    StreamMode, StreamResult, StreamSummary, StreamingBatchExplainer, WindowReport,
+    StreamMode, StreamResult, StreamSummary, StreamingBatchExplainer, WindowReport, WindowSource,
 };
 
 /// Commonly used items, for glob import in examples and downstream crates.
 pub mod prelude {
+    pub use crate::arena::ExplanationArena;
     pub use crate::base_vector::{BaseVector, SortedReference};
     pub use crate::batch::{BatchExplainer, BatchJob};
     pub use crate::bounds::BoundsContext;

@@ -228,6 +228,13 @@ impl Moche {
 }
 
 /// The most comprehensible counterfactual explanation of a failed KS test.
+///
+/// The two owned vectors (indices and values) are the only per-call heap
+/// cost of a warm [`ExplainEngine`]; callers on the streaming hot path
+/// write them into recycled storage instead via the engine's `*_in`
+/// methods and hand them back with
+/// [`ExplanationArena::recycle`](crate::arena::ExplanationArena::recycle)
+/// after consumption.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Explanation {
     pub(crate) indices: Vec<usize>,

@@ -157,7 +157,32 @@ pub fn construct_with(
     order: &[usize],
     ws: &mut BoundsWorkspace,
 ) -> Result<(Vec<usize>, ConstructStats), MocheError> {
+    let mut selected = Vec::new();
+    let stats = construct_into(base, cfg, k, order, ws, &mut selected)?;
+    Ok((selected, stats))
+}
+
+/// [`construct_with`] writing the selection into a caller-owned buffer
+/// (cleared first): together with the workspace this makes steady-state
+/// construction fully allocation-free — the
+/// [`crate::arena::ExplanationArena`] path of the engine.
+///
+/// On error the buffer holds the partial selection built so far.
+///
+/// # Errors
+///
+/// As for [`construct_reference`].
+pub fn construct_into(
+    base: &BaseVector,
+    cfg: &KsConfig,
+    k: usize,
+    order: &[usize],
+    ws: &mut BoundsWorkspace,
+    selected: &mut Vec<usize>,
+) -> Result<ConstructStats, MocheError> {
     debug_assert_eq!(order.len(), base.m());
+    selected.clear();
+    selected.reserve(k);
     let ctx = BoundsContext::new(base, cfg);
     if !ctx.compute_into(k, ws) {
         // No qualified k-subset exists at all; nothing can be constructed.
@@ -188,7 +213,6 @@ pub fn construct_with(
     );
 
     scratch.clear();
-    let mut selected = Vec::with_capacity(k);
     let mut stats = ConstructStats::default();
 
     'candidates: for &orig in order {
@@ -233,7 +257,7 @@ pub fn construct_with(
     }
 
     if selected.len() == k {
-        Ok((selected, stats))
+        Ok(stats)
     } else {
         Err(MocheError::ConstructionIncomplete { built: selected.len(), k })
     }

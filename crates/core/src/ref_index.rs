@@ -180,6 +180,27 @@ impl BaseVector {
         test: &[f64],
         out: &mut Self,
     ) -> Result<(), MocheError> {
+        let mut sort_scratch = Vec::new();
+        Self::build_with_index_into_using(index, test, out, &mut sort_scratch)
+    }
+
+    /// [`build_with_index_into`](Self::build_with_index_into) with a
+    /// caller-owned sort buffer for the window: the only remaining per-call
+    /// allocation of the splice (the sorted copy of `test`) is recycled, so
+    /// a warm caller rebuilds base vectors with **zero** heap allocations.
+    /// `sort_scratch` is an opaque scratch area; its contents are
+    /// overwritten on every call.
+    ///
+    /// # Errors
+    ///
+    /// As for [`build_with_index_into`](Self::build_with_index_into); on
+    /// error `out` is left unchanged.
+    pub fn build_with_index_into_using(
+        index: &ReferenceIndex,
+        test: &[f64],
+        out: &mut Self,
+        sort_scratch: &mut Vec<f64>,
+    ) -> Result<(), MocheError> {
         if test.is_empty() {
             return Err(MocheError::EmptyTest);
         }
@@ -189,8 +210,10 @@ impl BaseVector {
         c_r.clear();
         c_t.clear();
         t_pos.clear();
-        let mut t_sorted = test.to_vec();
-        t_sorted.sort_unstable_by(f64::total_cmp);
+        sort_scratch.clear();
+        sort_scratch.extend_from_slice(test);
+        sort_scratch.sort_unstable_by(f64::total_cmp);
+        let t_sorted: &[f64] = sort_scratch;
 
         let distinct = index.distinct();
         let cum = index.cum();

@@ -8,24 +8,42 @@
 //! generator) and pipelines them through a pool of workers with **bounded
 //! memory**:
 //!
-//! * a feeder thread pulls windows from the iterator into a
+//! * a feeder thread pulls windows from the source into a
 //!   [`sync_channel`](std::sync::mpsc::sync_channel) whose capacity is the
-//!   configured [`buffer`](StreamingBatchExplainer::buffer) — the iterator
+//!   configured [`buffer`](StreamingBatchExplainer::buffer) — the source
 //!   is never driven more than `buffer` windows ahead of the workers;
 //! * each worker owns one [`ExplainEngine`] (scratch buffers and the
 //!   identity preference are recycled across windows) and splices every
 //!   window into the shared [`ReferenceIndex`] — the amortized
 //!   [`crate::BaseVector::build_with_index`] path;
-//! * completed windows pass through a small reorder buffer so results are
-//!   delivered to the caller **in arrival order**, exactly matching the
-//!   sequential output. The reorder buffer is itself bounded (a window can
-//!   only wait on `buffer + threads` predecessors), so total residency is
+//! * completed windows pass through a preallocated reorder ring so results
+//!   are delivered to the caller **in arrival order**, exactly matching the
+//!   sequential output. The ring is bounded (a window can only wait on
+//!   in-flight predecessors), so total residency is
 //!   `O((buffer + threads) · m)` regardless of stream length.
+//!
+//! On top of the bounded *residency*, the [`explain_source`] entry point
+//! makes the steady state allocation-free end to end by recycling every
+//! per-window buffer:
+//!
+//! * windows are *filled* into recycled `Vec<f64>` buffers by a
+//!   [`WindowSource`] instead of being allocated by the producer — drained
+//!   buffers flow back to the feeder through a return channel;
+//! * explanation outputs are written into [`ExplanationArena`] storage, and
+//!   once the caller's callback has consumed a result the output buffers
+//!   flow back to the workers through a second return channel.
+//!
+//! After warm-up a single-threaded [`explain_source`] run performs **zero
+//! heap allocations per window** (gated by the `BENCH_core.json` perf
+//! suite); the parallel path allocates only amortized channel blocks.
 //!
 //! The [`StreamMode::SizeOnly`] mode runs Phase 1 only and reports just the
 //! explanation size `k` per window — "how bad is the drift" at a fraction
 //! of the cost, the common monitoring question.
+//!
+//! [`explain_source`]: StreamingBatchExplainer::explain_source
 
+use crate::arena::ExplanationArena;
 pub use crate::batch::ScoreFn;
 use crate::engine::ExplainEngine;
 use crate::error::MocheError;
@@ -34,7 +52,6 @@ use crate::moche::Explanation;
 use crate::phase1::SizeSearch;
 use crate::preference::PreferenceList;
 use crate::ref_index::ReferenceIndex;
-use std::collections::BTreeMap;
 use std::sync::mpsc;
 use std::sync::Mutex;
 
@@ -47,6 +64,43 @@ pub enum StreamMode {
     /// Phase 1 only, yielding the explanation size ([`SizeSearch`]) —
     /// Phase 2 is skipped entirely.
     SizeOnly,
+}
+
+/// A producer of test windows that fills caller-recycled buffers.
+///
+/// Where an `Iterator<Item = Vec<f64>>` must allocate every window it
+/// yields, a `WindowSource` is handed a recycled buffer to overwrite — the
+/// producer side of the constant-memory streaming loop (see
+/// [`StreamingBatchExplainer::explain_source`]). Any
+/// `FnMut(&mut Vec<f64>) -> bool` closure is a `WindowSource`.
+pub trait WindowSource {
+    /// Overwrites `window` with the next window and returns `true`, or
+    /// returns `false` at the end of the stream (leaving `window` in an
+    /// unspecified state).
+    fn fill(&mut self, window: &mut Vec<f64>) -> bool;
+}
+
+impl<F: FnMut(&mut Vec<f64>) -> bool> WindowSource for F {
+    fn fill(&mut self, window: &mut Vec<f64>) -> bool {
+        self(window)
+    }
+}
+
+/// Adapts an iterator of owned windows to the fill-style interface (the
+/// recycled buffer is simply replaced, so this path allocates exactly what
+/// the iterator does).
+struct IterSource<I>(I);
+
+impl<I: Iterator<Item = Vec<f64>>> WindowSource for IterSource<I> {
+    fn fill(&mut self, window: &mut Vec<f64>) -> bool {
+        match self.0.next() {
+            Some(w) => {
+                *window = w;
+                true
+            }
+            None => false,
+        }
+    }
 }
 
 /// The successful payload of one streamed window.
@@ -72,7 +126,7 @@ pub struct StreamResult {
 /// Aggregate statistics of one streaming run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct StreamSummary {
-    /// Total windows consumed from the iterator.
+    /// Total windows consumed from the source.
     pub windows: usize,
     /// Windows that produced an explanation (or a size, in
     /// [`StreamMode::SizeOnly`]).
@@ -83,6 +137,73 @@ pub struct StreamSummary {
     pub errors: usize,
     /// Worker threads actually used (1 means the run was sequential).
     pub threads: usize,
+}
+
+/// The per-worker recycled state: one engine (internal scratch), the cached
+/// identity preference, and the output arena.
+struct WorkerState {
+    engine: ExplainEngine,
+    ident: PreferenceList,
+    arena: ExplanationArena,
+}
+
+impl WorkerState {
+    fn new(cfg: KsConfig) -> Self {
+        Self {
+            engine: ExplainEngine::with_config(cfg),
+            ident: PreferenceList::identity(0),
+            arena: ExplanationArena::new(),
+        }
+    }
+}
+
+/// Reorders completed windows into arrival order with a preallocated ring —
+/// no per-window allocation, unlike a `BTreeMap`. Capacity is sized to the
+/// maximum number of undelivered windows (every stage of the pipeline is
+/// bounded), with a defensive regrow should that invariant ever break.
+struct ReorderRing {
+    slots: Vec<Option<StreamResult>>,
+    next: usize,
+}
+
+impl ReorderRing {
+    fn new(capacity: usize) -> Self {
+        Self { slots: (0..capacity.max(1)).map(|_| None).collect(), next: 0 }
+    }
+
+    fn insert(&mut self, result: StreamResult) {
+        debug_assert!(result.window >= self.next, "window {} delivered twice", result.window);
+        if result.window - self.next >= self.slots.len()
+            || self.slots[result.window % self.slots.len()].is_some()
+        {
+            self.grow(result.window - self.next + 1);
+        }
+        let idx = result.window % self.slots.len();
+        self.slots[idx] = Some(result);
+    }
+
+    fn pop_ready(&mut self) -> Option<StreamResult> {
+        let idx = self.next % self.slots.len();
+        let result = self.slots[idx].take()?;
+        self.next += 1;
+        Some(result)
+    }
+
+    fn is_empty(&self) -> bool {
+        self.slots.iter().all(Option::is_none)
+    }
+
+    /// Rebuilds at a larger capacity; pending entries keep their logical
+    /// position (`window % capacity` changes, so they are re-placed).
+    fn grow(&mut self, needed: usize) {
+        let capacity = (self.slots.len().max(needed) + 1).next_power_of_two();
+        let old = std::mem::replace(&mut self.slots, (0..capacity).map(|_| None).collect());
+        for result in old.into_iter().flatten() {
+            let idx = result.window % capacity;
+            debug_assert!(self.slots[idx].is_none());
+            self.slots[idx] = Some(result);
+        }
+    }
 }
 
 /// A bounded-memory streaming explainer over an indexed reference.
@@ -193,6 +314,11 @@ impl StreamingBatchExplainer {
     /// ([`StreamMode::SizeOnly`] ignores it — Phase 1 needs no
     /// preference); `None` uses the identity order.
     ///
+    /// The callback takes ownership of each result. For the fully recycled
+    /// constant-memory loop (windows filled into reused buffers, outputs
+    /// borrowed and reclaimed), see
+    /// [`explain_source`](Self::explain_source).
+    ///
     /// Results are byte-identical to [`crate::batch::BatchExplainer`] over
     /// the same windows (enforced by `tests/proptest_indexed.rs`).
     pub fn explain_stream<I, F>(
@@ -200,28 +326,79 @@ impl StreamingBatchExplainer {
         reference: &ReferenceIndex,
         windows: I,
         score: Option<ScoreFn<'_>>,
-        on_result: F,
+        mut on_result: F,
     ) -> StreamSummary
     where
         I: IntoIterator<Item = Vec<f64>>,
         I::IntoIter: Send,
         F: FnMut(StreamResult),
     {
+        self.run(reference, IterSource(windows.into_iter()), score, |result| {
+            on_result(result);
+            None
+        })
+    }
+
+    /// [`explain_stream`](Self::explain_stream) over a fill-style
+    /// [`WindowSource`], with every per-window buffer recycled:
+    ///
+    /// * the source overwrites reused `Vec<f64>` buffers instead of
+    ///   allocating windows — drained buffers are returned to the feeder;
+    /// * results are lent to `on_result` by reference, and consumed
+    ///   explanation outputs are reclaimed into [`ExplanationArena`]s the
+    ///   workers reuse.
+    ///
+    /// After warm-up a single-threaded run performs zero heap allocations
+    /// per window; output is identical to
+    /// [`explain_stream`](Self::explain_stream) over the same windows.
+    pub fn explain_source<S, F>(
+        &self,
+        reference: &ReferenceIndex,
+        source: S,
+        score: Option<ScoreFn<'_>>,
+        mut on_result: F,
+    ) -> StreamSummary
+    where
+        S: WindowSource + Send,
+        F: FnMut(&StreamResult),
+    {
+        self.run(reference, source, score, |result| {
+            on_result(&result);
+            match result.result {
+                Ok(WindowReport::Explained(e)) => Some(e),
+                _ => None,
+            }
+        })
+    }
+
+    /// Shared driver behind both public entry points. The sink consumes
+    /// each in-order result and may hand a consumed explanation back for
+    /// output-buffer recycling.
+    fn run<S, F>(
+        &self,
+        reference: &ReferenceIndex,
+        source: S,
+        score: Option<ScoreFn<'_>>,
+        sink: F,
+    ) -> StreamSummary
+    where
+        S: WindowSource + Send,
+        F: FnMut(StreamResult) -> Option<Explanation>,
+    {
         let workers = self.worker_count();
         if workers <= 1 {
-            self.run_sequential(reference, windows, score, on_result)
+            self.run_sequential(reference, source, score, sink)
         } else {
-            self.run_parallel(reference, windows, score, on_result, workers)
+            self.run_parallel(reference, source, score, sink, workers)
         }
     }
 
-    /// One window's computation, on a worker-owned engine. `ident` caches
-    /// the identity preference across same-length windows so steady-state
-    /// streams build it once.
+    /// One window's computation, on worker-owned state: the engine's
+    /// scratch, the cached identity preference and the output arena are all
+    /// recycled, so steady-state streams allocate nothing here.
     fn process(
         &self,
-        engine: &mut ExplainEngine,
-        ident: &mut PreferenceList,
+        state: &mut WorkerState,
         reference: &ReferenceIndex,
         score: Option<ScoreFn<'_>>,
         window_id: usize,
@@ -229,7 +406,7 @@ impl StreamingBatchExplainer {
     ) -> Result<WindowReport, MocheError> {
         match self.mode {
             StreamMode::SizeOnly => {
-                engine.size_with_index(reference, window).map(WindowReport::Size)
+                state.engine.size_with_index(reference, window).map(WindowReport::Size)
             }
             StreamMode::Explain => {
                 let owned;
@@ -239,89 +416,114 @@ impl StreamingBatchExplainer {
                         &owned
                     }
                     None => {
-                        if ident.len() != window.len() {
-                            *ident = PreferenceList::identity(window.len());
+                        if state.ident.len() != window.len() {
+                            state.ident = PreferenceList::identity(window.len());
                         }
-                        &*ident
+                        &state.ident
                     }
                 };
-                engine.explain_with_index(reference, window, pref).map(WindowReport::Explained)
+                state
+                    .engine
+                    .explain_with_index_in(reference, window, pref, &mut state.arena)
+                    .map(WindowReport::Explained)
             }
         }
     }
 
-    fn run_sequential<I, F>(
+    fn run_sequential<S, F>(
         &self,
         reference: &ReferenceIndex,
-        windows: I,
+        mut source: S,
         score: Option<ScoreFn<'_>>,
-        mut on_result: F,
+        mut sink: F,
     ) -> StreamSummary
     where
-        I: IntoIterator<Item = Vec<f64>>,
-        F: FnMut(StreamResult),
+        S: WindowSource,
+        F: FnMut(StreamResult) -> Option<Explanation>,
     {
         let mut summary = StreamSummary { threads: 1, ..StreamSummary::default() };
-        let mut engine = ExplainEngine::with_config(self.cfg);
-        let mut ident = PreferenceList::identity(0);
-        for (window_id, window) in windows.into_iter().enumerate() {
-            let result =
-                self.process(&mut engine, &mut ident, reference, score, window_id, &window);
+        let mut state = WorkerState::new(self.cfg);
+        let mut window = Vec::new();
+        let mut window_id = 0usize;
+        while source.fill(&mut window) {
+            let result = self.process(&mut state, reference, score, window_id, &window);
             summary.tally(&result);
-            on_result(StreamResult { window: window_id, result });
+            if let Some(explanation) = sink(StreamResult { window: window_id, result }) {
+                state.arena.recycle(explanation);
+            }
+            window_id += 1;
         }
         summary
     }
 
-    fn run_parallel<I, F>(
+    fn run_parallel<S, F>(
         &self,
         reference: &ReferenceIndex,
-        windows: I,
+        source: S,
         score: Option<ScoreFn<'_>>,
-        mut on_result: F,
+        mut sink: F,
         workers: usize,
     ) -> StreamSummary
     where
-        I: IntoIterator<Item = Vec<f64>>,
-        I::IntoIter: Send,
-        F: FnMut(StreamResult),
+        S: WindowSource + Send,
+        F: FnMut(StreamResult) -> Option<Explanation>,
     {
         let buffer = self.buffer_bound(workers);
-        let iter = windows.into_iter();
+        let result_cap = buffer.max(workers);
         let mut summary = StreamSummary { threads: workers, ..StreamSummary::default() };
 
         // Feeder -> bounded job channel -> workers -> bounded result
-        // channel -> in-order delivery on this thread. Both channels are
-        // bounded, so the stream can run forever in constant memory.
+        // channel -> in-order delivery on this thread. Both forward
+        // channels are bounded, so the stream can run forever in constant
+        // memory. Two unbounded *return* channels close the recycling loop
+        // (their population is bounded by the windows in flight): drained
+        // window buffers flow back to the feeder, and consumed explanation
+        // buffers flow back to the workers.
         let (job_tx, job_rx) = mpsc::sync_channel::<(usize, Vec<f64>)>(buffer);
         let job_rx = Mutex::new(job_rx);
-        let (result_tx, result_rx) = mpsc::sync_channel::<StreamResult>(buffer.max(workers));
+        let (result_tx, result_rx) = mpsc::sync_channel::<StreamResult>(result_cap);
+        let (window_return_tx, window_return_rx) = mpsc::channel::<Vec<f64>>();
+        let (arena_return_tx, arena_return_rx) = mpsc::channel::<ExplanationArena>();
+        let arena_return_rx = Mutex::new(arena_return_rx);
 
         std::thread::scope(|scope| {
             scope.spawn(move || {
-                for job in iter.enumerate() {
-                    if job_tx.send(job).is_err() {
+                let mut source = source;
+                let mut window_id = 0usize;
+                loop {
+                    // Prefer a buffer a worker has drained; allocate only
+                    // while the pipeline is still warming up.
+                    let mut window = window_return_rx.try_recv().unwrap_or_default();
+                    if !source.fill(&mut window) {
+                        break;
+                    }
+                    if job_tx.send((window_id, window)).is_err() {
                         break; // receivers are gone; nothing left to feed
                     }
+                    window_id += 1;
                 }
             });
             for _ in 0..workers {
                 let result_tx = result_tx.clone();
+                let window_return_tx = window_return_tx.clone();
                 let job_rx = &job_rx;
+                let arena_return_rx = &arena_return_rx;
                 scope.spawn(move || {
-                    let mut engine = ExplainEngine::with_config(self.cfg);
-                    let mut ident = PreferenceList::identity(0);
+                    let mut state = WorkerState::new(self.cfg);
                     loop {
                         let job = job_rx.lock().expect("job receiver poisoned").recv();
                         let Ok((window_id, window)) = job else { break };
-                        let result = self.process(
-                            &mut engine,
-                            &mut ident,
-                            reference,
-                            score,
-                            window_id,
-                            &window,
-                        );
+                        if !state.arena.has_storage() {
+                            let returned =
+                                arena_return_rx.lock().expect("arena return poisoned").try_recv();
+                            if let Ok(returned) = returned {
+                                state.arena = returned;
+                            }
+                        }
+                        let result = self.process(&mut state, reference, score, window_id, &window);
+                        // Hand the drained window buffer back to the feeder
+                        // (it may already have shut down — that is fine).
+                        let _ = window_return_tx.send(window);
                         if result_tx.send(StreamResult { window: window_id, result }).is_err() {
                             break;
                         }
@@ -329,21 +531,22 @@ impl StreamingBatchExplainer {
                 });
             }
             drop(result_tx); // the workers hold the remaining clones
+            drop(window_return_tx);
 
             // Reorder completed windows into arrival order. A window can
-            // only wait on predecessors still in flight, so `pending` is
-            // bounded by the channel capacities.
-            let mut pending: BTreeMap<usize, StreamResult> = BTreeMap::new();
-            let mut next = 0usize;
+            // only wait on predecessors still in flight, so the ring
+            // capacity covers every pipeline stage.
+            let mut ring = ReorderRing::new(buffer + workers + result_cap + 1);
             for result in result_rx.iter() {
-                pending.insert(result.window, result);
-                while let Some(ready) = pending.remove(&next) {
+                ring.insert(result);
+                while let Some(ready) = ring.pop_ready() {
                     summary.tally(&ready.result);
-                    on_result(ready);
-                    next += 1;
+                    if let Some(explanation) = sink(ready) {
+                        let _ = arena_return_tx.send(ExplanationArena::recycled_from(explanation));
+                    }
                 }
             }
-            debug_assert!(pending.is_empty(), "every window must be delivered");
+            debug_assert!(ring.is_empty(), "every window must be delivered");
         });
         summary
     }
@@ -384,6 +587,19 @@ mod tests {
         (out, summary)
     }
 
+    /// A slice-backed [`WindowSource`] that copies each window into the
+    /// recycled buffer — the zero-allocation producer shape.
+    fn slice_source(windows: &[Vec<f64>]) -> impl WindowSource + Send + '_ {
+        let mut i = 0usize;
+        move |buf: &mut Vec<f64>| {
+            let Some(w) = windows.get(i) else { return false };
+            buf.clear();
+            buf.extend_from_slice(w);
+            i += 1;
+            true
+        }
+    }
+
     #[test]
     fn stream_matches_batch_and_arrives_in_order() {
         let (r, windows) = setup(24);
@@ -405,6 +621,23 @@ mod tests {
                     other => panic!("divergence at window {i}: {other:?}"),
                 }
             }
+        }
+    }
+
+    #[test]
+    fn recycled_source_matches_owned_stream() {
+        let (r, windows) = setup(20);
+        let index = ReferenceIndex::new(&r).unwrap();
+        for threads in [1, 4] {
+            let streamer = StreamingBatchExplainer::new(0.05).unwrap().threads(threads).buffer(2);
+            let (expected, _) = collect_stream(&streamer, &index, &windows);
+            let mut got = Vec::new();
+            let summary = streamer.explain_source(&index, slice_source(&windows), None, |r| {
+                got.push(r.clone());
+            });
+            assert_eq!(summary.windows, windows.len());
+            assert_eq!(summary.explained, windows.len());
+            assert_eq!(got, expected, "threads = {threads}");
         }
     }
 
@@ -443,6 +676,61 @@ mod tests {
         assert!(matches!(results[5].result, Err(MocheError::EmptyTest)));
     }
 
+    /// The satellite coverage for the recycling paths: a stream mixing
+    /// explainable windows, NaN windows (hard errors), passing windows and
+    /// empty windows must deliver in order with correct summary counts —
+    /// and identically at every thread count.
+    #[test]
+    fn mixed_stream_delivers_in_order_with_correct_counts() {
+        let (r, good) = setup(6);
+        let index = ReferenceIndex::new(&r).unwrap();
+        let mut windows: Vec<Vec<f64>> = Vec::new();
+        for (i, w) in good.into_iter().enumerate() {
+            windows.push(w); // explainable
+            match i % 3 {
+                0 => windows.push(vec![f64::NAN, 1.0, 2.0, 3.0]), // NonFiniteValue
+                1 => windows.push(r.clone()),                     // passes
+                _ => windows.push(vec![]),                        // EmptyTest
+            }
+        }
+        let mut reference_run: Option<Vec<StreamResult>> = None;
+        for threads in [1, 3] {
+            let streamer = StreamingBatchExplainer::new(0.05).unwrap().threads(threads).buffer(2);
+            let mut got: Vec<StreamResult> = Vec::new();
+            let summary = streamer.explain_source(&index, slice_source(&windows), None, |r| {
+                got.push(r.clone());
+            });
+            assert_eq!(summary.windows, 12);
+            assert_eq!(summary.explained, 6);
+            assert_eq!(summary.passing, 2);
+            assert_eq!(summary.errors, 4, "2 NaN windows + 2 empty windows");
+            assert_eq!(summary.explained + summary.passing + summary.errors, summary.windows);
+            for (i, res) in got.iter().enumerate() {
+                assert_eq!(res.window, i, "in-order delivery (threads = {threads})");
+            }
+            assert!(matches!(got[1].result, Err(MocheError::NonFiniteValue { .. })));
+            assert!(matches!(got[3].result, Err(MocheError::TestAlreadyPasses { .. })));
+            assert!(matches!(got[5].result, Err(MocheError::EmptyTest)));
+            match &reference_run {
+                None => reference_run = Some(got),
+                Some(expected) => {
+                    // NaN payloads never compare equal, so NonFiniteValue
+                    // errors are matched structurally.
+                    for (x, y) in got.iter().zip(expected) {
+                        assert_eq!(x.window, y.window);
+                        match (&x.result, &y.result) {
+                            (
+                                Err(MocheError::NonFiniteValue { which: w1, index: i1, .. }),
+                                Err(MocheError::NonFiniteValue { which: w2, index: i2, .. }),
+                            ) => assert!(w1 == w2 && i1 == i2),
+                            (a, b) => assert_eq!(a, b, "threads must not change results"),
+                        }
+                    }
+                }
+            }
+        }
+    }
+
     #[test]
     fn score_callback_runs_in_workers() {
         let (r, windows) = setup(8);
@@ -472,5 +760,44 @@ mod tests {
             panic!("no results expected")
         });
         assert_eq!(summary.windows, 0);
+        let summary = streamer.explain_source(
+            &index,
+            |_: &mut Vec<f64>| false,
+            None,
+            |_: &StreamResult| panic!("no results expected"),
+        );
+        assert_eq!(summary.windows, 0);
+    }
+
+    #[test]
+    fn reorder_ring_delivers_any_arrival_order() {
+        let result = |w: usize| StreamResult { window: w, result: Err(MocheError::EmptyTest) };
+        let mut ring = ReorderRing::new(4);
+        let mut delivered = Vec::new();
+        for w in [2usize, 0, 3, 1, 4, 6, 5] {
+            ring.insert(result(w));
+            while let Some(r) = ring.pop_ready() {
+                delivered.push(r.window);
+            }
+        }
+        assert_eq!(delivered, vec![0, 1, 2, 3, 4, 5, 6]);
+        assert!(ring.is_empty());
+    }
+
+    #[test]
+    fn reorder_ring_grows_past_its_capacity() {
+        // Deliberately exceed the declared capacity: the ring must regrow
+        // rather than clobber or panic.
+        let result = |w: usize| StreamResult { window: w, result: Err(MocheError::EmptyTest) };
+        let mut ring = ReorderRing::new(2);
+        let mut delivered = Vec::new();
+        for w in (1..10).chain([0]) {
+            ring.insert(result(w));
+            while let Some(r) = ring.pop_ready() {
+                delivered.push(r.window);
+            }
+        }
+        assert_eq!(delivered, (0..10).collect::<Vec<_>>());
+        assert!(ring.is_empty());
     }
 }

@@ -9,8 +9,8 @@ use moche_core::ks::KsConfig;
 use moche_core::moche::{ConstructionStrategy, Moche};
 use moche_core::preference::PreferenceList;
 use moche_core::{
-    ExplainEngine, ReferenceIndex, SortedReference, StreamMode, StreamingBatchExplainer,
-    WindowReport,
+    ExplainEngine, ExplanationArena, ReferenceIndex, SortedReference, StreamMode,
+    StreamingBatchExplainer, WindowReport,
 };
 use proptest::prelude::*;
 
@@ -114,6 +114,53 @@ proptest! {
         let batched = results[0].as_ref().unwrap();
         prop_assert_eq!(batched.indices(), expected.indices());
         prop_assert_eq!(&batched.phase1, &expected.phase1);
+    }
+
+    // Arena-backed explains (recycled output buffers) are byte-identical
+    // to the allocating path, across every entry point and with the arena
+    // reused across calls.
+    #[test]
+    fn arena_explanations_are_byte_identical(
+        (r, t) in instance(),
+        alpha in alphas(),
+        seed in 0u64..1000,
+    ) {
+        let cfg = KsConfig::new(alpha).unwrap();
+        let base = BaseVector::build(&r, &t).unwrap();
+        prop_assume!(base.outcome(&cfg).rejected);
+
+        let pref = PreferenceList::random(t.len(), seed);
+        let mut allocating = ExplainEngine::new(alpha).unwrap();
+        let expected_direct = allocating.explain(&r, &t, &pref).unwrap();
+        let index = ReferenceIndex::new(&r).unwrap();
+        let expected_indexed = allocating.explain_with_index(&index, &t, &pref).unwrap();
+        let shared = SortedReference::new(&r).unwrap();
+
+        let mut engine = ExplainEngine::new(alpha).unwrap();
+        let mut arena = ExplanationArena::new();
+        // Two rounds: the second one runs entirely on recycled storage.
+        for round in 0..2 {
+            for (entry, expected) in [
+                (engine.explain_in(&r, &t, &pref, &mut arena), &expected_direct),
+                (
+                    engine.explain_with_reference_in(&shared, &t, &pref, &mut arena),
+                    &expected_direct,
+                ),
+                (engine.explain_with_index_in(&index, &t, &pref, &mut arena), &expected_indexed),
+            ] {
+                let got = entry.unwrap();
+                prop_assert_eq!(got.indices(), expected.indices(), "round {}", round);
+                // PartialEq on f64 treats -0.0 == 0.0; pin the raw bits.
+                let bits = |vs: &[f64]| vs.iter().map(|v| v.to_bits()).collect::<Vec<_>>();
+                prop_assert_eq!(bits(got.values()), bits(expected.values()));
+                prop_assert_eq!(&got.phase1, &expected.phase1);
+                prop_assert_eq!(&got.phase2, &expected.phase2);
+                prop_assert_eq!(&got.outcome_before, &expected.outcome_before);
+                prop_assert_eq!(&got.outcome_after, &expected.outcome_after);
+                prop_assert_eq!((got.n, got.m, got.q), (expected.n, expected.m, expected.q));
+                arena.recycle(got);
+            }
+        }
     }
 
     // The streaming engine delivers, in order, exactly what the batch

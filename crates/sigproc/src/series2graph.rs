@@ -194,11 +194,31 @@ mod tests {
         let scores = graph.score_points(&query);
         assert_eq!(scores.len(), query.len());
         let mut ranked: Vec<usize> = (0..query.len()).collect();
-        ranked.sort_by(|&a, &b| scores[b].total_cmp(&scores[a]));
+        // Index tie-break, as in `PreferenceList::from_scores_desc`: equal
+        // scores must rank deterministically across platforms and sorts.
+        ranked.sort_by(|&a, &b| scores[b].total_cmp(&scores[a]).then_with(|| a.cmp(&b)));
         // Some of the top-ranked points must fall inside the anomaly window
         // (smoothing and subsequence extent blur the exact boundary).
         let hits = ranked[..40].iter().filter(|&&i| (130..170).contains(&i)).count();
         assert!(hits >= 10, "only {hits} of the top 40 points overlap the anomaly");
+    }
+
+    #[test]
+    fn tied_scores_rank_deterministically_by_index() {
+        let reference = periodic(300);
+        let graph = Series2Graph::fit(&reference, Series2GraphConfig::default());
+        // The degenerate short query scores every point identically — an
+        // all-ties ranking input.
+        let scores = graph.score_points(&[7.0, 7.0, 7.0, 7.0]);
+        assert!(scores.windows(2).all(|w| w[0] == w[1]), "scores must tie: {scores:?}");
+        let rank = |scores: &[f64]| {
+            let mut ranked: Vec<usize> = (0..scores.len()).collect();
+            ranked.sort_by(|&a, &b| scores[b].total_cmp(&scores[a]).then_with(|| a.cmp(&b)));
+            ranked
+        };
+        assert_eq!(rank(&scores), vec![0, 1, 2, 3], "ties must resolve by ascending index");
+        // Ties embedded among distinct scores break by index too.
+        assert_eq!(rank(&[0.5, 0.9, 0.5, 0.9, 0.1]), vec![1, 3, 0, 2, 4]);
     }
 
     #[test]

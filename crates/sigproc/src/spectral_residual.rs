@@ -138,7 +138,7 @@ mod tests {
         let sr = SpectralResidual::default();
         let scores = sr.scores(&series);
         let mut ranked: Vec<usize> = (0..series.len()).collect();
-        ranked.sort_by(|&a, &b| scores[b].total_cmp(&scores[a]));
+        ranked.sort_by(|&a, &b| scores[b].total_cmp(&scores[a]).then_with(|| a.cmp(&b)));
         let top: Vec<usize> = ranked[..9].to_vec();
         for &spike in &[50usize, 150, 250] {
             assert!(

@@ -13,8 +13,8 @@
 
 use crate::incremental::{IncrementalKs, ObsId};
 use moche_core::{
-    ExplainEngine, Explanation, KsConfig, KsOutcome, MocheError, PreferenceList, ReferenceIndex,
-    SizeSearch,
+    ExplainEngine, Explanation, ExplanationArena, KsConfig, KsOutcome, MocheError, PreferenceList,
+    ReferenceIndex, SizeSearch,
 };
 use moche_sigproc::SpectralResidual;
 use std::collections::VecDeque;
@@ -105,6 +105,10 @@ pub struct DriftMonitor {
     test_window: VecDeque<(f64, ObsId)>,
     /// Scratch-reusing explainer: alarm N reuses the buffers of alarm N-1.
     engine: ExplainEngine,
+    /// Recycled output storage: callers that hand consumed explanations
+    /// back via [`recycle`](Self::recycle) make alarms allocation-free on
+    /// the output side too.
+    arena: ExplanationArena,
     pushes: u64,
     alarms: u64,
 }
@@ -114,10 +118,13 @@ impl DriftMonitor {
     ///
     /// # Errors
     ///
-    /// Returns [`MocheError::InvalidAlpha`] for a bad significance level.
-    /// Panics if `window < 2`.
+    /// Returns [`MocheError::InvalidAlpha`] for a bad significance level
+    /// and [`MocheError::WindowTooSmall`] if `window < 2` (paired sliding
+    /// windows need at least two points each).
     pub fn new(cfg: MonitorConfig) -> Result<Self, MocheError> {
-        assert!(cfg.window >= 2, "window must be at least 2");
+        if cfg.window < 2 {
+            return Err(MocheError::WindowTooSmall { window: cfg.window, min: 2 });
+        }
         let ks_cfg = KsConfig::new(cfg.alpha)?;
         Ok(Self {
             cfg,
@@ -126,6 +133,7 @@ impl DriftMonitor {
             ref_window: VecDeque::with_capacity(cfg.window),
             test_window: VecDeque::with_capacity(cfg.window),
             engine: ExplainEngine::with_config(ks_cfg),
+            arena: ExplanationArena::new(),
             pushes: 0,
             alarms: 0,
         })
@@ -230,7 +238,16 @@ impl DriftMonitor {
             PreferenceList::identity(test.len())
         };
         let index = self.current_reference_index()?;
-        self.engine.explain_with_index(&index, &test, &preference).ok()
+        self.engine.explain_with_index_in(&index, &test, &preference, &mut self.arena).ok()
+    }
+
+    /// Hands a consumed alarm explanation's output buffers back to the
+    /// monitor, so the next alarm writes into recycled storage instead of
+    /// allocating (see [`moche_core::ExplanationArena`]). Entirely
+    /// optional — a dropped explanation simply costs the next alarm two
+    /// allocations.
+    pub fn recycle(&mut self, explanation: Explanation) {
+        self.arena.recycle(explanation);
     }
 
     /// Phase 1 only on the currently failing window pair: the explanation
@@ -359,6 +376,43 @@ mod tests {
             }
         }
         assert!(checked > 0, "the level shift must alarm both monitors");
+    }
+
+    #[test]
+    fn tiny_windows_error_instead_of_panicking() {
+        for window in [0usize, 1] {
+            match DriftMonitor::new(MonitorConfig::new(window, 0.05)) {
+                Err(MocheError::WindowTooSmall { window: w, min: 2 }) => assert_eq!(w, window),
+                other => panic!("expected WindowTooSmall for window {window}, got {other:?}"),
+            }
+        }
+        assert!(DriftMonitor::new(MonitorConfig::new(2, 0.05)).is_ok());
+    }
+
+    #[test]
+    fn recycled_alarms_match_unrecycled_ones() {
+        let mut cfg = MonitorConfig::new(40, 0.05);
+        cfg.reset_on_drift = false;
+        let mut recycling = DriftMonitor::new(cfg).unwrap();
+        let mut plain = DriftMonitor::new(cfg).unwrap();
+        let series: Vec<f64> = (0..400)
+            .map(|i| if i < 200 { ((i * 13) % 11) as f64 } else { ((i * 13) % 11) as f64 + 20.0 })
+            .collect();
+        let mut alarms = 0;
+        for &x in &series {
+            let a = recycling.push(x);
+            let b = plain.push(x);
+            if let (
+                MonitorEvent::Drift { explanation: Some(ea), .. },
+                MonitorEvent::Drift { explanation: Some(eb), .. },
+            ) = (a, b)
+            {
+                assert_eq!(ea, eb, "arena reuse must not change explanations");
+                alarms += 1;
+                recycling.recycle(ea); // alarm N+1 reuses alarm N's buffers
+            }
+        }
+        assert!(alarms > 1, "need repeated alarms to exercise the recycled path");
     }
 
     #[test]
