@@ -1,11 +1,15 @@
-//! Ablation bench for Phase 1 (the paper's MOCHE vs MOCHE_ns comparison,
-//! Section 6.4): the Theorem-2 binary-searched lower bound against the
-//! plain Theorem-1 scan from `h = 1`.
+//! Ablation benches for Phase 1: the paper's MOCHE vs MOCHE_ns comparison
+//! (Section 6.4) — the Theorem-2 binary-searched lower bound against the
+//! plain Theorem-1 scan from `h = 1` — plus the wavefront size search
+//! against the scalar binary search, and the fused multi-probe kernel
+//! against per-probe scalar scans.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use moche_core::base_vector::BaseVector;
 use moche_core::bounds::BoundsContext;
-use moche_core::phase1::{find_size, find_size_no_lower_bound};
+use moche_core::phase1::{
+    find_size, find_size_no_lower_bound, find_size_wavefront, WAVEFRONT_PROBES,
+};
 use moche_core::KsConfig;
 use moche_data::{failing_kifer_pair, DriftPair};
 use std::hint::black_box;
@@ -26,8 +30,40 @@ fn bench_phase1(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("moche_lower_bounded", w), &w, |b, _| {
             b.iter(|| find_size(black_box(&ctx), 0.05).unwrap())
         });
+        group.bench_with_input(BenchmarkId::new("moche_wavefront", w), &w, |b, _| {
+            b.iter(|| find_size_wavefront(black_box(&ctx), 0.05).unwrap())
+        });
         group.bench_with_input(BenchmarkId::new("moche_ns_scan_from_1", w), &w, |b, _| {
             b.iter(|| find_size_no_lower_bound(black_box(&ctx), 0.05).unwrap())
+        });
+    }
+    group.finish();
+
+    // The kernel comparison: WAVEFRONT_PROBES scalar passes vs one fused
+    // pass over the same probe set.
+    let mut group = c.benchmark_group("phase1_probe_kernels");
+    for &w in &[5_000usize, 20_000] {
+        let pair = failing_pair(w);
+        let base = BaseVector::build(&pair.reference, &pair.test).unwrap();
+        let ctx = BoundsContext::new(&base, &cfg);
+        let hs: Vec<usize> =
+            (0..WAVEFRONT_PROBES).map(|j| 1 + j * (w - 2) / WAVEFRONT_PROBES).collect();
+
+        group.bench_with_input(BenchmarkId::new("scalar_probe_sweep", w), &w, |b, _| {
+            b.iter(|| {
+                let mut all = true;
+                for &h in &hs {
+                    all &= ctx.necessary_condition(black_box(h));
+                }
+                all
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("fused_wavefront_pass", w), &w, |b, _| {
+            let mut verdicts = vec![false; hs.len()];
+            b.iter(|| {
+                ctx.necessary_condition_multi(black_box(&hs), &mut verdicts);
+                verdicts[0]
+            })
         });
     }
     group.finish();

@@ -114,12 +114,40 @@ pub fn evidence_suite(alloc_counter: Option<&dyn Fn() -> u64>) -> Vec<BenchRecor
         },
         alloc_counter,
     ));
+    // The Phase-1 kernels: one scalar Theorem-2 verdict versus one fused
+    // pass evaluating WAVEFRONT_PROBES verdicts (the wavefront's per-round
+    // cost; divide by the probe count for per-verdict cost).
+    records.push(measure(
+        &format!("bounds/necessary_condition/w={w}"),
+        || {
+            black_box(ctx.necessary_condition(black_box(h)));
+        },
+        alloc_counter,
+    ));
+    let probes = moche_core::phase1::WAVEFRONT_PROBES;
+    let hs: Vec<usize> = (0..probes).map(|j| 1 + j * (w - 2) / probes).collect();
+    let mut verdicts = vec![false; probes];
+    records.push(measure(
+        &format!("bounds/necessary_condition_multi{probes}/w={w}"),
+        || {
+            ctx.necessary_condition_multi(black_box(&hs), &mut verdicts);
+            black_box(&verdicts);
+        },
+        alloc_counter,
+    ));
 
     eprintln!("[bench-json] phase 1 (w = {w})...");
     records.push(measure(
         &format!("phase1/find_size/w={w}"),
         || {
             black_box(moche_core::phase1::find_size(black_box(&ctx), 0.05).unwrap());
+        },
+        alloc_counter,
+    ));
+    records.push(measure(
+        &format!("phase1/find_size_wavefront/w={w}"),
+        || {
+            black_box(moche_core::phase1::find_size_wavefront(black_box(&ctx), 0.05).unwrap());
         },
         alloc_counter,
     ));

@@ -22,10 +22,19 @@ use crate::ks::{validate_finite, KsConfig, KsOutcome};
 pub struct BaseVector {
     /// Distinct sorted values; `values[i - 1]` is the paper's `x_i`.
     values: Vec<f64>,
-    /// `c_r[i] = |{x in R : x <= x_i}|`, with `c_r[0] = 0`.
-    c_r: Vec<u64>,
-    /// `c_t[i] = |{x in T : x <= x_i}|`, with `c_t[0] = 0`.
-    c_t: Vec<u64>,
+    /// `C_R[i] = |{x in R : x <= x_i}|` (with `C_R[0] = 0`), stored as the
+    /// *f64 plane*: the counts are kept pre-converted to `f64`, because
+    /// every Phase-1 probe evaluates `Γ(i, h) = C_T[i] - scale · C_R[i]` in
+    /// the `f64` domain and would otherwise pay a per-element conversion on
+    /// each of its ~dozen passes. Storing *only* the `f64` form (instead of
+    /// `u64` plus a plane) keeps construction traffic identical to an
+    /// integer representation. This is lossless: counts are bounded by
+    /// `n + m < 2^53`, so every count is exactly representable and the
+    /// integer accessors ([`c_r`](Self::c_r), [`c_t`](Self::c_t)) recover
+    /// the exact `u64` with a cast.
+    c_r_f64: Vec<f64>,
+    /// `C_T` as an `f64` plane; see [`Self::c_r_f64`].
+    c_t_f64: Vec<f64>,
     /// For each original test index, the (1-based) base-vector index of its
     /// value.
     t_pos: Vec<usize>,
@@ -83,6 +92,16 @@ impl SortedReference {
     }
 }
 
+/// The backing buffers of a [`BaseVector`], moved out for in-place rebuilds
+/// (the [`crate::ref_index`] splice path) and handed back via
+/// [`BaseVector::from_raw_parts`].
+pub(crate) struct RecycledBuffers {
+    pub(crate) values: Vec<f64>,
+    pub(crate) c_r_f64: Vec<f64>,
+    pub(crate) c_t_f64: Vec<f64>,
+    pub(crate) t_pos: Vec<usize>,
+}
+
 impl BaseVector {
     /// Builds the base vector and cumulative counts from raw samples.
     ///
@@ -130,12 +149,14 @@ impl BaseVector {
         let mut t_sorted = test.to_vec();
         t_sorted.sort_unstable_by(f64::total_cmp);
 
-        // Merge the two sorted samples into distinct values + counts.
+        // Merge the two sorted samples into distinct values + counts (the
+        // counts go straight into the f64 planes; `i as f64` is exact for
+        // in-memory sample sizes).
         let mut values = Vec::with_capacity(r_sorted.len() + t_sorted.len());
-        let mut c_r = Vec::with_capacity(r_sorted.len() + t_sorted.len() + 1);
-        let mut c_t = Vec::with_capacity(r_sorted.len() + t_sorted.len() + 1);
-        c_r.push(0u64);
-        c_t.push(0u64);
+        let mut c_r_f64 = Vec::with_capacity(r_sorted.len() + t_sorted.len() + 1);
+        let mut c_t_f64 = Vec::with_capacity(r_sorted.len() + t_sorted.len() + 1);
+        c_r_f64.push(0.0f64);
+        c_t_f64.push(0.0f64);
         let (mut i, mut j) = (0usize, 0usize);
         while i < r_sorted.len() || j < t_sorted.len() {
             let x = match (r_sorted.get(i), t_sorted.get(j)) {
@@ -151,8 +172,8 @@ impl BaseVector {
                 j += 1;
             }
             values.push(x);
-            c_r.push(i as u64);
-            c_t.push(j as u64);
+            c_r_f64.push(i as f64);
+            c_t_f64.push(j as f64);
         }
 
         // Map every original test point to its base-vector index.
@@ -167,7 +188,7 @@ impl BaseVector {
             })
             .collect();
 
-        Ok(Self { values, c_r, c_t, t_pos, n: r_sorted.len(), m: test.len() })
+        Ok(Self { values, c_r_f64, c_t_f64, t_pos, n: r_sorted.len(), m: test.len() })
     }
 
     /// An empty placeholder whose only purpose is buffer recycling: pass it
@@ -175,37 +196,38 @@ impl BaseVector {
     /// it in place without reallocating. Every query method reports a
     /// zero-size instance until then.
     pub fn empty() -> Self {
-        Self { values: Vec::new(), c_r: vec![0], c_t: vec![0], t_pos: Vec::new(), n: 0, m: 0 }
+        Self {
+            values: Vec::new(),
+            c_r_f64: vec![0.0],
+            c_t_f64: vec![0.0],
+            t_pos: Vec::new(),
+            n: 0,
+            m: 0,
+        }
     }
 
-    /// Moves the four backing buffers out (for in-place rebuilds), leaving
+    /// Moves the backing buffers out (for in-place rebuilds), leaving
     /// `self` empty.
-    pub(crate) fn take_buffers(&mut self) -> (Vec<f64>, Vec<u64>, Vec<u64>, Vec<usize>) {
+    pub(crate) fn take_buffers(&mut self) -> RecycledBuffers {
         self.n = 0;
         self.m = 0;
-        (
-            std::mem::take(&mut self.values),
-            std::mem::take(&mut self.c_r),
-            std::mem::take(&mut self.c_t),
-            std::mem::take(&mut self.t_pos),
-        )
+        RecycledBuffers {
+            values: std::mem::take(&mut self.values),
+            c_r_f64: std::mem::take(&mut self.c_r_f64),
+            c_t_f64: std::mem::take(&mut self.c_t_f64),
+            t_pos: std::mem::take(&mut self.t_pos),
+        }
     }
 
     /// Assembles a base vector from already-built parts (the
     /// [`crate::ref_index`] splice path). The caller guarantees the arrays
     /// obey this struct's invariants.
-    pub(crate) fn from_raw_parts(
-        values: Vec<f64>,
-        c_r: Vec<u64>,
-        c_t: Vec<u64>,
-        t_pos: Vec<usize>,
-        n: usize,
-        m: usize,
-    ) -> Self {
-        debug_assert_eq!(c_r.len(), values.len() + 1);
-        debug_assert_eq!(c_t.len(), values.len() + 1);
+    pub(crate) fn from_raw_parts(buffers: RecycledBuffers, n: usize, m: usize) -> Self {
+        let RecycledBuffers { values, c_r_f64, c_t_f64, t_pos } = buffers;
+        debug_assert_eq!(c_r_f64.len(), values.len() + 1);
+        debug_assert_eq!(c_t_f64.len(), values.len() + 1);
         debug_assert_eq!(t_pos.len(), m);
-        Self { values, c_r, c_t, t_pos, n, m }
+        Self { values, c_r_f64, c_t_f64, t_pos, n, m }
     }
 
     /// Number of distinct values `q = |set(R ∪ T)|`.
@@ -238,28 +260,45 @@ impl BaseVector {
         &self.values
     }
 
-    /// `C_R[i]` for `0 <= i <= q`.
+    /// `C_R[i]` for `0 <= i <= q`. The cast from the f64 plane is exact
+    /// (counts are integers `< 2^53`).
     #[inline]
     pub fn c_r(&self, i: usize) -> u64 {
-        self.c_r[i]
+        self.c_r_f64[i] as u64
     }
 
     /// `C_T[i]` for `0 <= i <= q`.
     #[inline]
     pub fn c_t(&self, i: usize) -> u64 {
-        self.c_t[i]
+        self.c_t_f64[i] as u64
+    }
+
+    /// `C_R` as an `f64` slice (length `q + 1`, sentinel at index 0): the
+    /// plane the Phase-1 probe kernels stream over. Each element equals
+    /// `c_r(i) as f64` exactly (counts are `< 2^53`).
+    #[inline]
+    pub fn c_r_plane(&self) -> &[f64] {
+        &self.c_r_f64
+    }
+
+    /// `C_T` as an `f64` slice; see [`c_r_plane`](Self::c_r_plane).
+    #[inline]
+    pub fn c_t_plane(&self) -> &[f64] {
+        &self.c_t_f64
     }
 
     /// Multiplicity of `x_i` in the reference set.
     #[inline]
     pub fn r_mult(&self, i: usize) -> u64 {
-        self.c_r[i] - self.c_r[i - 1]
+        // Exact: both counts are integers < 2^53, so the f64 difference is
+        // the exact integer difference.
+        (self.c_r_f64[i] - self.c_r_f64[i - 1]) as u64
     }
 
     /// Multiplicity of `x_i` in the test set.
     #[inline]
     pub fn t_mult(&self, i: usize) -> u64 {
-        self.c_t[i] - self.c_t[i - 1]
+        (self.c_t_f64[i] - self.c_t_f64[i - 1]) as u64
     }
 
     /// The (1-based) base-vector index of the original test point
@@ -274,8 +313,8 @@ impl BaseVector {
     pub fn statistic(&self) -> f64 {
         let (n, m) = (self.n as f64, self.m as f64);
         let mut d = 0.0f64;
-        for i in 1..=self.q() {
-            let diff = (self.c_r[i] as f64 / n - self.c_t[i] as f64 / m).abs();
+        for (&cr, &ct) in self.c_r_f64[1..].iter().zip(&self.c_t_f64[1..]) {
+            let diff = (cr / n - ct / m).abs();
             if diff > d {
                 d = diff;
             }
@@ -315,8 +354,10 @@ impl BaseVector {
         for i in 1..=self.q() {
             debug_assert!(removed[i] <= self.t_mult(i), "removal exceeds multiplicity");
             cum_removed += removed[i];
-            let ft = (self.c_t[i] - cum_removed) as f64 / m_rem;
-            let diff = (self.c_r[i] as f64 / n - ft).abs();
+            // `(C_T[i] - cum_removed) as f64` on integers < 2^53 equals the
+            // f64 subtraction of their exact representations.
+            let ft = (self.c_t_f64[i] - cum_removed as f64) / m_rem;
+            let diff = (self.c_r_f64[i] / n - ft).abs();
             if diff > d {
                 d = diff;
             }
@@ -473,6 +514,19 @@ mod tests {
         assert_eq!(b.values(), &[-3.0, -1.5, 0.0, 2.0]);
         assert_eq!(b.test_point_index(0), 1);
         assert_eq!(b.test_point_index(1), 3);
+    }
+
+    #[test]
+    fn f64_planes_mirror_the_integer_counts() {
+        let r: Vec<f64> = (0..100).map(|i| f64::from(i % 13)).collect();
+        let t: Vec<f64> = (0..57).map(|i| f64::from(i % 7) * 1.5).collect();
+        let b = BaseVector::build(&r, &t).unwrap();
+        assert_eq!(b.c_r_plane().len(), b.q() + 1);
+        assert_eq!(b.c_t_plane().len(), b.q() + 1);
+        for i in 0..=b.q() {
+            assert_eq!(b.c_r_plane()[i], b.c_r(i) as f64);
+            assert_eq!(b.c_t_plane()[i], b.c_t(i) as f64);
+        }
     }
 
     #[test]

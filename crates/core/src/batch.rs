@@ -86,6 +86,15 @@ pub enum ReferenceMode {
 /// [`crate::streaming`]).
 pub type ScoreFn<'a> = &'a (dyn Fn(usize, &[f64]) -> Result<PreferenceList, MocheError> + Sync);
 
+/// The recycled-output scorer shape: `(window index, window, preference
+/// slot)`, overwriting a worker-owned [`PreferenceList`] in place (see
+/// [`PreferenceList::fill_from_scores_desc`]) instead of allocating a fresh
+/// list per window. This is what extends the zero-allocation guarantee to
+/// scored streams ([`WindowPreferences::ScoredInto`] and
+/// [`crate::streaming::StreamingBatchExplainer::explain_source_scored`]).
+pub type ScoreIntoFn<'a> =
+    &'a (dyn Fn(usize, &[f64], &mut PreferenceList) -> Result<(), MocheError> + Sync);
+
 /// How per-window preference lists are supplied to the worker threads.
 #[derive(Clone, Copy)]
 pub enum WindowPreferences<'a> {
@@ -98,6 +107,10 @@ pub enum WindowPreferences<'a> {
     /// (e.g. Spectral Residual) along with the explanation itself. A
     /// returned error is reported in that window's result slot.
     Scored(ScoreFn<'a>),
+    /// [`Scored`](Self::Scored) with the preference written into a
+    /// worker-recycled list instead of allocated per window — the
+    /// steady-state zero-allocation form.
+    ScoredInto(ScoreIntoFn<'a>),
 }
 
 impl std::fmt::Debug for WindowPreferences<'_> {
@@ -108,6 +121,7 @@ impl std::fmt::Debug for WindowPreferences<'_> {
                 f.debug_tuple("PerWindow").field(&lists.len()).finish()
             }
             WindowPreferences::Scored(_) => f.write_str("Scored(..)"),
+            WindowPreferences::ScoredInto(_) => f.write_str("ScoredInto(..)"),
         }
     }
 }
@@ -121,6 +135,20 @@ pub struct BatchJob<'a> {
     pub test: &'a [f64],
     /// Preference order over `T`; `None` means the identity order.
     pub preference: Option<&'a PreferenceList>,
+}
+
+/// Per-worker recycled state: the engine (which owns every internal scratch
+/// buffer) plus a preference list reused by the identity and scored-into
+/// paths, so neither allocates per window in steady state.
+struct WorkerScratch {
+    engine: ExplainEngine,
+    pref: PreferenceList,
+}
+
+impl WorkerScratch {
+    fn new(cfg: KsConfig) -> Self {
+        Self { engine: ExplainEngine::with_config(cfg), pref: PreferenceList::identity(0) }
+    }
 }
 
 /// A parallel explainer over many failed KS tests.
@@ -194,11 +222,11 @@ impl BatchExplainer {
     /// reported in the corresponding slot; one bad job never poisons the
     /// batch.
     pub fn explain_jobs(&self, jobs: &[BatchJob<'_>]) -> Vec<Result<Explanation, MocheError>> {
-        self.run(jobs, |engine, job| match job.preference {
-            Some(pref) => engine.explain(job.reference, job.test, pref),
+        self.run(jobs, |scratch, job| match job.preference {
+            Some(pref) => scratch.engine.explain(job.reference, job.test, pref),
             None => {
-                let pref = PreferenceList::identity(job.test.len());
-                engine.explain(job.reference, job.test, &pref)
+                scratch.pref.fill_identity(job.test.len());
+                scratch.engine.explain(job.reference, job.test, &scratch.pref)
             }
         })
     }
@@ -255,39 +283,44 @@ impl BatchExplainer {
             ReferenceMode::Indexed => Some(ReferenceIndex::from_sorted(reference)),
         };
         let jobs: Vec<usize> = (0..windows.len()).collect();
-        self.run(&jobs, |engine, &i| {
+        self.run(&jobs, |scratch, &i| {
             let window = windows[i].as_ref();
             let owned_pref;
             let pref = match preferences {
                 WindowPreferences::Identity => {
-                    owned_pref = PreferenceList::identity(window.len());
-                    &owned_pref
+                    scratch.pref.fill_identity(window.len());
+                    &scratch.pref
                 }
                 WindowPreferences::PerWindow(prefs) => &prefs[i],
                 WindowPreferences::Scored(score) => {
                     owned_pref = score(i, window)?;
                     &owned_pref
                 }
+                WindowPreferences::ScoredInto(score) => {
+                    score(i, window, &mut scratch.pref)?;
+                    &scratch.pref
+                }
             };
             match &index {
-                Some(index) => engine.explain_with_index(index, window, pref),
-                None => engine.explain_with_reference(reference, window, pref),
+                Some(index) => scratch.engine.explain_with_index(index, window, pref),
+                None => scratch.engine.explain_with_reference(reference, window, pref),
             }
         })
     }
 
-    /// The worker pool: claim-by-atomic-counter over `items`, one engine per
-    /// worker, results collected in item order.
+    /// The worker pool: claim-by-atomic-counter over `items`, one scratch
+    /// set (engine + recycled preference list) per worker, results
+    /// collected in item order.
     fn run<T, F>(&self, items: &[T], f: F) -> Vec<Result<Explanation, MocheError>>
     where
         T: Sync,
-        F: Fn(&mut ExplainEngine, &T) -> Result<Explanation, MocheError> + Sync,
+        F: Fn(&mut WorkerScratch, &T) -> Result<Explanation, MocheError> + Sync,
     {
         let n = items.len();
         let workers = self.worker_count(n);
         if workers <= 1 {
-            let mut engine = ExplainEngine::with_config(self.cfg);
-            return items.iter().map(|item| f(&mut engine, item)).collect();
+            let mut scratch = WorkerScratch::new(self.cfg);
+            return items.iter().map(|item| f(&mut scratch, item)).collect();
         }
 
         let next = AtomicUsize::new(0);
@@ -296,13 +329,13 @@ impl BatchExplainer {
         std::thread::scope(|scope| {
             for _ in 0..workers {
                 scope.spawn(|| {
-                    let mut engine = ExplainEngine::with_config(self.cfg);
+                    let mut scratch = WorkerScratch::new(self.cfg);
                     loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         if i >= n {
                             break;
                         }
-                        let result = f(&mut engine, &items[i]);
+                        let result = f(&mut scratch, &items[i]);
                         *slots[i].lock().expect("result slot poisoned") = Some(result);
                     }
                 });
@@ -414,6 +447,29 @@ mod tests {
             WindowPreferences::Scored(&|_, w| Ok(PreferenceList::reversed(w.len()))),
         );
         for (a, b) in precomputed.iter().zip(&scored) {
+            assert_eq!(a.as_ref().unwrap(), b.as_ref().unwrap());
+        }
+    }
+
+    #[test]
+    fn scored_into_matches_scored() {
+        let (r, windows) = windows_against(10, 8, 40);
+        let shared = SortedReference::new(&r).unwrap();
+        let batch = BatchExplainer::new(0.05).unwrap().threads(3);
+        let owning = batch.explain_windows_with(
+            &shared,
+            &windows,
+            WindowPreferences::Scored(&|_, w| Ok(PreferenceList::reversed(w.len()))),
+        );
+        let recycled = batch.explain_windows_with(
+            &shared,
+            &windows,
+            WindowPreferences::ScoredInto(&|_, w, pref| {
+                let scores: Vec<f64> = (0..w.len()).map(|i| i as f64).collect();
+                pref.fill_from_scores_desc(&scores)
+            }),
+        );
+        for (a, b) in owning.iter().zip(&recycled) {
             assert_eq!(a.as_ref().unwrap(), b.as_ref().unwrap());
         }
     }

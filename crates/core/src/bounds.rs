@@ -52,6 +52,44 @@ pub(crate) fn floor_eps(x: f64, eps: f64) -> i64 {
     (x + eps).floor() as i64
 }
 
+/// Chunk length for the streaming probe kernels. The per-coordinate loops
+/// are written branchless (violations latch into a flag instead of
+/// returning) so they auto-vectorize; the early-exit check is hoisted to
+/// chunk boundaries, costing at most one extra chunk of work over the
+/// per-element exit.
+const PROBE_CHUNK: usize = 256;
+
+/// Maximum number of removal sizes one fused
+/// [`BoundsContext::necessary_condition_multi`] pass can evaluate.
+pub const MAX_WAVEFRONT: usize = 32;
+
+// ### Why the probe kernels may compare in the f64 domain
+//
+// The rounding path (`BoundsContext::compute`) works on i64 bounds via
+// `ceil_eps`/`floor_eps`. The verdict-only kernels below replace those
+// per-element round-and-convert steps with direct f64 comparisons. The two
+// are *exactly* equivalent, not approximately:
+//
+// 1. For any real `y` and integer `h`, `⌈y⌉ > h ⟺ y > h` and
+//    `⌊y⌋ < 0 ⟺ y < 0`. So `ceil_eps(x, ε) > h ⟺ (x - ε) > h` and
+//    `floor_eps(x, ε) < 0 ⟺ (x + ε) < 0`, provided the comparisons use the
+//    *same rounded intermediate* `x ∓ ε` the rounding path computes (the
+//    kernels keep the identical association order). The `as i64` casts
+//    saturate, which preserves both comparisons' verdicts.
+//
+// 2. Where a kernel keeps the l/u recursion (Theorem 1), the bounds are
+//    integer-valued and bounded by ±4(n + m): every candidate — the
+//    ⌈·⌉/⌊·⌋ results, `h - m + C_T[i]`, `C_T[i] - C_T[i-1] + u`, `h` — is
+//    an integer of magnitude ≤ 4(n + m) < 2^53 (the samples live in
+//    memory, so n + m < 2^48), hence exactly representable in f64. f64
+//    max/min/compare on exactly-representable integers agree with their
+//    i64 counterparts, and f64::ceil/floor are exact operations, so
+//    inductively the whole recursion is bit-equivalent to the i64 one.
+//
+// Equivalence is pinned by `compute_into_matches_compute`,
+// `compute_and_exists_qualified_agree` and the `proptest_phase1.rs` suite
+// (signed zeros, duplicates, near-eps boundaries).
+
 /// Per-coordinate lower and upper bounds `l_i^h`, `u_i^h` for the elements of
 /// any qualified `h`-cumulative vector (indices `0..=q`).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -198,7 +236,7 @@ impl<'a> BoundsContext<'a> {
     pub fn gamma(&self, i: usize, h: usize) -> f64 {
         let rem = (self.base.m() - h) as f64;
         let n = self.base.n() as f64;
-        self.base.c_t(i) as f64 - rem / n * self.base.c_r(i) as f64
+        self.base.c_t_plane()[i] - rem / n * self.base.c_r_plane()[i]
     }
 
     /// Computes the full bound vectors for removal size `h`
@@ -221,6 +259,7 @@ impl<'a> BoundsContext<'a> {
         let omega = self.omega(h);
         let h_i = h as i64;
         let m_i = self.base.m() as i64;
+        let ct_plane = self.base.c_t_plane();
         let mut lower = Vec::with_capacity(q + 1);
         let mut upper = Vec::with_capacity(q + 1);
         lower.push(0i64);
@@ -228,8 +267,9 @@ impl<'a> BoundsContext<'a> {
         let mut feasible = true;
         for i in 1..=q {
             let gamma = self.gamma(i, h);
-            let ct = self.base.c_t(i) as i64;
-            let ct_prev = self.base.c_t(i - 1) as i64;
+            // The plane-to-i64 casts are exact: counts are integers < 2^53.
+            let ct = ct_plane[i] as i64;
+            let ct_prev = ct_plane[i - 1] as i64;
             let l = ceil_eps(gamma - omega, self.eps).max(h_i - m_i + ct).max(lower[i - 1]);
             let u = floor_eps(gamma + omega, self.eps).min(ct - ct_prev + upper[i - 1]).min(h_i);
             if l > u {
@@ -251,25 +291,31 @@ impl<'a> BoundsContext<'a> {
         debug_assert!(h >= 1 && h < self.base.m(), "h must be in 1..m");
         let omega = self.omega(h);
         let scale = (self.base.m() - h) as f64 / self.base.n() as f64;
-        let h_i = h as i64;
-        let m_i = self.base.m() as i64;
+        let h_f = h as f64;
+        let hm = h_f - self.base.m() as f64; // h - m, exact (see module note)
+        let eps = self.eps;
+        let ct_plane = &self.base.c_t_plane()[1..];
+        let cr_plane = &self.base.c_r_plane()[1..];
         ws.h = h;
         ws.q = q;
         ws.lu.clear();
         ws.lu.reserve(2 * (q + 1));
         ws.lu.push(0i64); // l_0
         ws.lu.push(0i64); // u_0
-        let (mut l_prev, mut u_prev) = (0i64, 0i64);
-        let mut ct_prev = 0i64;
+                          // The recursion runs on exactly-integer f64 bounds (bit-equivalent
+                          // to the i64 recursion of `compute`, per the f64-domain note above)
+                          // and keeps the ceil_eps/floor_eps rounding path — this method must
+                          // emit the integer bound vectors, not just a verdict.
+        let (mut l_prev, mut u_prev) = (0.0f64, 0.0f64);
+        let mut ct_prev = 0.0f64;
         let mut feasible = true;
-        for i in 1..=q {
-            let ct = self.base.c_t(i) as i64;
-            let gamma = ct as f64 - scale * self.base.c_r(i) as f64;
-            let l = ceil_eps(gamma - omega, self.eps).max(h_i - m_i + ct).max(l_prev);
-            let u = floor_eps(gamma + omega, self.eps).min(ct - ct_prev + u_prev).min(h_i);
+        for (&ct, &cr) in ct_plane.iter().zip(cr_plane) {
+            let gamma = ct - scale * cr;
+            let l = ((gamma - omega) - eps).ceil().max(hm + ct).max(l_prev);
+            let u = ((gamma + omega) + eps).floor().min((ct - ct_prev) + u_prev).min(h_f);
             feasible &= l <= u;
-            ws.lu.push(l);
-            ws.lu.push(u);
+            ws.lu.push(l as i64);
+            ws.lu.push(u as i64);
             l_prev = l;
             u_prev = u;
             ct_prev = ct;
@@ -279,30 +325,43 @@ impl<'a> BoundsContext<'a> {
     }
 
     /// Theorem 1: whether a qualified `h`-cumulative vector (equivalently, a
-    /// qualified `h`-subset) exists. Early-exits on the first violated
-    /// coordinate; `O(n + m)` time, `O(1)` extra space — this streaming path
-    /// never materializes the bound vectors.
+    /// qualified `h`-subset) exists. `O(n + m)` time, `O(1)` extra space —
+    /// this streaming path never materializes the bound vectors. The
+    /// recursion is branchless over the f64 planes (violations latch,
+    /// early exit at chunk boundaries); verdicts are identical to
+    /// [`compute`](Self::compute) per the f64-domain note above.
     pub fn exists_qualified(&self, h: usize) -> bool {
         let q = self.base.q();
         debug_assert!(h >= 1 && h < self.base.m(), "h must be in 1..m");
         let omega = self.omega(h);
         let scale = (self.base.m() - h) as f64 / self.base.n() as f64;
-        let h_i = h as i64;
-        let m_i = self.base.m() as i64;
-        let mut l_prev = 0i64;
-        let mut u_prev = 0i64;
-        let mut ct_prev = 0i64;
-        for i in 1..=q {
-            let ct = self.base.c_t(i) as i64;
-            let gamma = ct as f64 - scale * self.base.c_r(i) as f64;
-            let l = ceil_eps(gamma - omega, self.eps).max(h_i - m_i + ct).max(l_prev);
-            let u = floor_eps(gamma + omega, self.eps).min(ct - ct_prev + u_prev).min(h_i);
-            if l > u {
+        let h_f = h as f64;
+        let hm = h_f - self.base.m() as f64; // h - m, exact
+        let eps = self.eps;
+        let ct_plane = &self.base.c_t_plane()[1..];
+        let cr_plane = &self.base.c_r_plane()[1..];
+        let mut l_prev = 0.0f64;
+        let mut u_prev = 0.0f64;
+        let mut ct_prev = 0.0f64;
+        let mut infeasible = false;
+        let mut start = 0usize;
+        while start < q {
+            let end = (start + PROBE_CHUNK).min(q);
+            for (&ct, &cr) in ct_plane[start..end].iter().zip(&cr_plane[start..end]) {
+                let gamma = ct - scale * cr;
+                let l = ((gamma - omega) - eps).ceil().max(hm + ct).max(l_prev);
+                let u = ((gamma + omega) + eps).floor().min((ct - ct_prev) + u_prev).min(h_f);
+                infeasible |= l > u;
+                l_prev = l;
+                u_prev = u;
+                ct_prev = ct;
+            }
+            // Once some coordinate violated, no later coordinate can clear
+            // it — the scalar early exit, hoisted to the chunk boundary.
+            if infeasible {
                 return false;
             }
-            l_prev = l;
-            u_prev = u;
-            ct_prev = ct;
+            start = end;
         }
         true
     }
@@ -317,30 +376,125 @@ impl<'a> BoundsContext<'a> {
     /// ```
     ///
     /// If `h` satisfies the condition then so does `h + 1` (monotonicity),
-    /// which is what makes the Phase-1 binary search sound.
+    /// which is what makes the Phase-1 binary search and the wavefront
+    /// search ([`crate::phase1::lower_bound_wavefront`]) sound.
+    ///
+    /// The loop is branchless over the f64 planes: since the condition only
+    /// needs a verdict, (5a) and (5b) compare directly in the f64 domain —
+    /// `⌊y⌋ < 0 ⟺ y < 0` and `⌈y⌉ > h ⟺ y > h` — instead of rounding per
+    /// element (see the f64-domain note above for the exact-equivalence
+    /// argument).
     pub fn necessary_condition(&self, h: usize) -> bool {
         let q = self.base.q();
         debug_assert!(h >= 1 && h < self.base.m(), "h must be in 1..m");
         let omega = self.omega(h);
         let scale = (self.base.m() - h) as f64 / self.base.n() as f64;
-        let h_i = h as i64;
+        let h_f = h as f64;
+        let eps = self.eps;
+        let ct_plane = &self.base.c_t_plane()[1..];
+        let cr_plane = &self.base.c_r_plane()[1..];
         let mut m_run = f64::NEG_INFINITY; // M(i, h), running max of Γ
-        for i in 1..=q {
-            let gamma = self.base.c_t(i) as f64 - scale * self.base.c_r(i) as f64;
-            if gamma > m_run {
-                m_run = gamma;
+        let mut fail = false;
+        let mut start = 0usize;
+        while start < q {
+            let end = (start + PROBE_CHUNK).min(q);
+            for (&ct, &cr) in ct_plane[start..end].iter().zip(&cr_plane[start..end]) {
+                let gamma = ct - scale * cr;
+                m_run = if gamma > m_run { gamma } else { m_run };
+                // `ge` and `mo` reproduce the rounding path's intermediates
+                // with the identical association: (Γ + Ω) + ε and M - Ω.
+                let ge = (gamma + omega) + eps;
+                let mo = m_run - omega;
+                fail |= ge < 0.0; // (5a): ⌊Γ + Ω + ε⌋ < 0
+                fail |= mo - eps > h_f; // (5b): ⌈M - Ω - ε⌉ > h
+                fail |= mo > ge; // (5c)
             }
-            if floor_eps(gamma + omega, self.eps) < 0 {
-                return false; // (5a)
+            // A latched failure never clears — the scalar early exit,
+            // hoisted to the chunk boundary.
+            if fail {
+                return false;
             }
-            if ceil_eps(m_run - omega, self.eps) > h_i {
-                return false; // (5b)
-            }
-            if m_run - omega > gamma + omega + self.eps {
-                return false; // (5c)
-            }
+            start = end;
         }
         true
+    }
+
+    /// [`necessary_condition`](Self::necessary_condition) for up to
+    /// [`MAX_WAVEFRONT`] removal sizes in a *single* pass over `C_T`/`C_R`:
+    /// one traversal evaluates every lane's predicate simultaneously, so
+    /// the memory traffic and the per-coordinate loads are amortized across
+    /// all probes and the per-lane arithmetic auto-vectorizes. `ok[j]` is
+    /// set to the exact verdict `necessary_condition(hs[j])` would return.
+    ///
+    /// This is the kernel behind the Phase-1 wavefront size search
+    /// ([`crate::phase1::lower_bound_wavefront`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hs` is empty, longer than [`MAX_WAVEFRONT`], or not the
+    /// same length as `ok`.
+    pub fn necessary_condition_multi(&self, hs: &[usize], ok: &mut [bool]) {
+        assert!(!hs.is_empty() && hs.len() <= MAX_WAVEFRONT, "1..=MAX_WAVEFRONT probes required");
+        assert_eq!(hs.len(), ok.len(), "one verdict slot per probe");
+        // Monomorphic lane widths keep the per-element inner loop a
+        // fixed-trip-count, fully unrollable body at every probe count.
+        match hs.len() {
+            1..=4 => self.necessary_condition_lanes::<4>(hs, ok),
+            5..=8 => self.necessary_condition_lanes::<8>(hs, ok),
+            9..=16 => self.necessary_condition_lanes::<16>(hs, ok),
+            _ => self.necessary_condition_lanes::<32>(hs, ok),
+        }
+    }
+
+    /// The fixed-width wavefront kernel: `B` lanes of the branchless
+    /// [`necessary_condition`](Self::necessary_condition) loop, evaluated
+    /// per coordinate. The lane loop is a fixed trip count over plain
+    /// `f64`/`bool` arrays, which the auto-vectorizer maps onto SIMD lanes;
+    /// small `B` keeps all lane state in registers (large `B` spills — see
+    /// [`crate::phase1::WAVEFRONT_PROBES`]). Unused lanes duplicate the
+    /// last probe; their verdicts are computed and discarded.
+    fn necessary_condition_lanes<const B: usize>(&self, hs: &[usize], ok: &mut [bool]) {
+        let q = self.base.q();
+        let m = self.base.m();
+        let n_f = self.base.n() as f64;
+        let eps = self.eps;
+        let count = hs.len();
+        let mut scale = [0.0f64; B];
+        let mut omega = [0.0f64; B];
+        let mut h_f = [0.0f64; B];
+        for l in 0..B {
+            let h = hs[l.min(count - 1)];
+            debug_assert!(h >= 1 && h < m, "h must be in 1..m");
+            scale[l] = (m - h) as f64 / n_f;
+            omega[l] = self.omega(h);
+            h_f[l] = h as f64;
+        }
+        let ct_plane = &self.base.c_t_plane()[1..];
+        let cr_plane = &self.base.c_r_plane()[1..];
+        let mut m_run = [f64::NEG_INFINITY; B];
+        let mut fail = [false; B];
+        let mut start = 0usize;
+        while start < q {
+            let end = (start + PROBE_CHUNK).min(q);
+            for (&ct, &cr) in ct_plane[start..end].iter().zip(&cr_plane[start..end]) {
+                for l in 0..B {
+                    let gamma = ct - scale[l] * cr;
+                    m_run[l] = if gamma > m_run[l] { gamma } else { m_run[l] };
+                    let ge = (gamma + omega[l]) + eps;
+                    let mo = m_run[l] - omega[l];
+                    fail[l] = fail[l] | (ge < 0.0) | (mo - eps > h_f[l]) | (mo > ge);
+                }
+            }
+            // A latched failure never clears, so once every lane failed the
+            // remaining coordinates cannot change any verdict.
+            if fail.iter().all(|&f| f) {
+                break;
+            }
+            start = end;
+        }
+        for (o, &f) in ok.iter_mut().zip(&fail) {
+            *o = !f;
+        }
     }
 
     /// Constructs *some* qualified `h`-cumulative vector as in the
@@ -506,6 +660,43 @@ mod tests {
         // Example 5: h = 2 satisfies Theorem 2, h = 1 does not.
         assert!(ctx.necessary_condition(2));
         assert!(!ctx.necessary_condition(1));
+    }
+
+    #[test]
+    fn multi_probe_matches_scalar_necessary_condition() {
+        // Instances large enough to cross several PROBE_CHUNK boundaries,
+        // and tiny ones; every lane width (1..=MAX_WAVEFRONT) exercised.
+        let instances: Vec<(Vec<f64>, Vec<f64>)> = vec![
+            (
+                (0..1200).map(|i| f64::from(i % 37)).collect(),
+                (0..900).map(|i| f64::from(i % 19) + 9.0).collect(),
+            ),
+            (vec![14.0, 14.0, 14.0, 14.0, 20.0, 20.0, 20.0, 20.0], vec![13.0, 13.0, 12.0, 20.0]),
+        ];
+        for (r, t) in instances {
+            let base = BaseVector::build(&r, &t).unwrap();
+            let cfg = KsConfig::new(0.1).unwrap();
+            let ctx = BoundsContext::new(&base, &cfg);
+            let m = base.m();
+            for width in 1..=MAX_WAVEFRONT {
+                let hs: Vec<usize> = (0..width).map(|j| 1 + j * (m - 2) / width).collect();
+                let mut ok = vec![false; width];
+                ctx.necessary_condition_multi(&hs, &mut ok);
+                for (&h, &got) in hs.iter().zip(&ok) {
+                    assert_eq!(got, ctx.necessary_condition(h), "width {width}, h = {h}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "one verdict slot per probe")]
+    fn multi_probe_rejects_mismatched_outputs() {
+        let (r, t, cfg) = paper_setup();
+        let base = BaseVector::build(&r, &t).unwrap();
+        let ctx = BoundsContext::new(&base, &cfg);
+        let mut ok = [false; 3];
+        ctx.necessary_condition_multi(&[1, 2], &mut ok);
     }
 
     #[test]

@@ -275,11 +275,19 @@ impl ExplainEngine {
             });
         }
         let ctx = BoundsContext::new(base, &self.cfg);
+        self.find_size_with_strategy(&ctx, self.cfg.alpha())
+    }
+
+    /// Phase 1 under this engine's configured size-search strategy.
+    fn find_size_with_strategy(
+        &self,
+        ctx: &BoundsContext<'_>,
+        alpha: f64,
+    ) -> Result<SizeSearch, MocheError> {
         match self.size_search {
-            SizeSearchStrategy::LowerBounded => phase1::find_size(&ctx, self.cfg.alpha()),
-            SizeSearchStrategy::NoLowerBound => {
-                phase1::find_size_no_lower_bound(&ctx, self.cfg.alpha())
-            }
+            SizeSearchStrategy::Wavefront => phase1::find_size_wavefront(ctx, alpha),
+            SizeSearchStrategy::LowerBounded => phase1::find_size(ctx, alpha),
+            SizeSearchStrategy::NoLowerBound => phase1::find_size_no_lower_bound(ctx, alpha),
         }
     }
 
@@ -385,7 +393,7 @@ impl ExplainEngine {
                 continue;
             }
             ctx.set_config(&cfg);
-            out.push((alpha, phase1::find_size(&ctx, alpha)));
+            out.push((alpha, self.find_size_with_strategy(&ctx, alpha)));
         }
         Ok(out)
     }

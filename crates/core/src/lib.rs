@@ -73,7 +73,7 @@ pub mod streaming;
 
 pub use arena::ExplanationArena;
 pub use base_vector::{BaseVector, SortedReference};
-pub use batch::{BatchExplainer, BatchJob, ReferenceMode, ScoreFn, WindowPreferences};
+pub use batch::{BatchExplainer, BatchJob, ReferenceMode, ScoreFn, ScoreIntoFn, WindowPreferences};
 pub use bounds::{BoundsContext, BoundsWorkspace};
 pub use cumulative::{CumulativeVector, SubsetCounts};
 pub use ecdf::Ecdf;

@@ -26,14 +26,22 @@ pub enum ConstructionStrategy {
     Reference,
 }
 
-/// Whether Phase 1 uses the Theorem-2 lower bound (default) or scans from
-/// `h = 1` (the paper's `MOCHE_ns` ablation).
+/// How Phase 1 finds the explanation size. All strategies return identical
+/// `k` (and, where applicable, `k̂`); they differ in wall clock and in the
+/// reported check counters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum SizeSearchStrategy {
-    /// Binary-search the Theorem-2 lower bound, then scan (default).
+    /// Fused multi-probe wavefront search for the Theorem-2 lower bound
+    /// ([`crate::phase1::lower_bound_wavefront`]), then the Theorem-1 scan
+    /// (default, fastest).
     #[default]
+    Wavefront,
+    /// Adaptive binary search for the Theorem-2 lower bound, then the
+    /// Theorem-1 scan — the paper-faithful scalar reference the wavefront
+    /// is pinned against.
     LowerBounded,
-    /// Scan from `h = 1` with the Theorem-1 check only (`MOCHE_ns`).
+    /// Scan from `h = 1` with the Theorem-1 check only (the paper's
+    /// `MOCHE_ns` ablation).
     NoLowerBound,
 }
 
@@ -142,6 +150,7 @@ impl Moche {
         }
         let ctx = BoundsContext::new(&base, &self.cfg);
         match self.size_search {
+            SizeSearchStrategy::Wavefront => phase1::find_size_wavefront(&ctx, self.cfg.alpha()),
             SizeSearchStrategy::LowerBounded => phase1::find_size(&ctx, self.cfg.alpha()),
             SizeSearchStrategy::NoLowerBound => {
                 phase1::find_size_no_lower_bound(&ctx, self.cfg.alpha())

@@ -47,6 +47,63 @@ impl PreferenceList {
         Self { order: (0..m).collect() }
     }
 
+    /// Rewrites this list into the identity order over `m` points, reusing
+    /// the existing buffer. The recycled counterpart of
+    /// [`identity`](Self::identity): a warm list re-fills with zero heap
+    /// allocations once its buffer has grown to the working size.
+    pub fn fill_identity(&mut self, m: usize) {
+        self.order.clear();
+        self.order.extend(0..m);
+    }
+
+    /// Rewrites this list from *descending* scores, reusing the existing
+    /// buffer — the recycled counterpart (and shared implementation) of
+    /// [`from_scores_desc`](Self::from_scores_desc): zero heap allocations
+    /// when warm. This is the shape streaming `score` callbacks use to
+    /// keep scored streams on the zero-allocation path (see
+    /// [`ScoreIntoFn`](crate::batch::ScoreIntoFn)).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MocheError::InvalidPreference`] if any score is NaN; the
+    /// list is left unchanged.
+    pub fn fill_from_scores_desc(&mut self, scores: &[f64]) -> Result<(), MocheError> {
+        if let Some(pos) = scores.iter().position(|s| s.is_nan()) {
+            return Err(MocheError::InvalidPreference {
+                reason: PreferenceDefect::NonFiniteScore(pos),
+            });
+        }
+        self.order.clear();
+        self.order.extend(0..scores.len());
+        // The index tie-break makes the comparator a strict total order
+        // (no two elements compare equal), so the allocation-free unstable
+        // sort is fully deterministic.
+        self.order
+            .sort_unstable_by(|&a, &b| scores[b].total_cmp(&scores[a]).then_with(|| a.cmp(&b)));
+        Ok(())
+    }
+
+    /// Rewrites this list from *ascending* scores; the recycled counterpart
+    /// of [`from_scores_asc`](Self::from_scores_asc). See
+    /// [`fill_from_scores_desc`](Self::fill_from_scores_desc).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MocheError::InvalidPreference`] if any score is NaN; the
+    /// list is left unchanged.
+    pub fn fill_from_scores_asc(&mut self, scores: &[f64]) -> Result<(), MocheError> {
+        if let Some(pos) = scores.iter().position(|s| s.is_nan()) {
+            return Err(MocheError::InvalidPreference {
+                reason: PreferenceDefect::NonFiniteScore(pos),
+            });
+        }
+        self.order.clear();
+        self.order.extend(0..scores.len());
+        self.order
+            .sort_unstable_by(|&a, &b| scores[a].total_cmp(&scores[b]).then_with(|| a.cmp(&b)));
+        Ok(())
+    }
+
     /// The reverse of the identity order.
     pub fn reversed(m: usize) -> Self {
         Self { order: (0..m).rev().collect() }
@@ -64,14 +121,9 @@ impl PreferenceList {
     ///
     /// Returns [`MocheError::InvalidPreference`] if any score is NaN.
     pub fn from_scores_desc(scores: &[f64]) -> Result<Self, MocheError> {
-        if let Some(pos) = scores.iter().position(|s| s.is_nan()) {
-            return Err(MocheError::InvalidPreference {
-                reason: PreferenceDefect::NonFiniteScore(pos),
-            });
-        }
-        let mut order: Vec<usize> = (0..scores.len()).collect();
-        order.sort_by(|&a, &b| scores[b].total_cmp(&scores[a]).then_with(|| a.cmp(&b)));
-        Ok(Self { order })
+        let mut list = Self { order: Vec::new() };
+        list.fill_from_scores_desc(scores)?;
+        Ok(list)
     }
 
     /// Ranks points by *ascending* score (lowest score = most preferred).
@@ -80,14 +132,9 @@ impl PreferenceList {
     ///
     /// Returns [`MocheError::InvalidPreference`] if any score is NaN.
     pub fn from_scores_asc(scores: &[f64]) -> Result<Self, MocheError> {
-        if let Some(pos) = scores.iter().position(|s| s.is_nan()) {
-            return Err(MocheError::InvalidPreference {
-                reason: PreferenceDefect::NonFiniteScore(pos),
-            });
-        }
-        let mut order: Vec<usize> = (0..scores.len()).collect();
-        order.sort_by(|&a, &b| scores[a].total_cmp(&scores[b]).then_with(|| a.cmp(&b)));
-        Ok(Self { order })
+        let mut list = Self { order: Vec::new() };
+        list.fill_from_scores_asc(scores)?;
+        Ok(list)
     }
 
     /// A uniformly random order drawn with a small embedded SplitMix64-based
@@ -202,6 +249,39 @@ mod tests {
     fn nan_scores_rejected() {
         assert!(PreferenceList::from_scores_desc(&[1.0, f64::NAN]).is_err());
         assert!(PreferenceList::from_scores_asc(&[f64::NAN]).is_err());
+    }
+
+    #[test]
+    fn fill_variants_match_allocating_constructors() {
+        let mut recycled = PreferenceList::identity(0);
+        recycled.fill_identity(5);
+        assert_eq!(recycled, PreferenceList::identity(5));
+        // Ties, negatives, infinities and signed zeros: the unstable sort
+        // with the index tie-break must reproduce the stable sort exactly.
+        let scores = [1.0, -3.5, 1.0, f64::INFINITY, 0.0, -0.0, 1.0, f64::NEG_INFINITY];
+        recycled.fill_from_scores_desc(&scores).unwrap();
+        assert_eq!(recycled, PreferenceList::from_scores_desc(&scores).unwrap());
+        recycled.fill_from_scores_asc(&scores).unwrap();
+        assert_eq!(recycled, PreferenceList::from_scores_asc(&scores).unwrap());
+        // NaN rejection leaves the previous contents untouched.
+        let before = recycled.clone();
+        assert!(recycled.fill_from_scores_desc(&[1.0, f64::NAN]).is_err());
+        assert!(recycled.fill_from_scores_asc(&[f64::NAN]).is_err());
+        assert_eq!(recycled, before);
+    }
+
+    #[test]
+    fn fill_reuses_the_buffer() {
+        let mut recycled = PreferenceList::identity(64);
+        let cap = recycled.order.capacity();
+        for round in 0..4u64 {
+            let scores: Vec<f64> =
+                (0..64).map(|i| f64::from((i * 7 + round as u32) % 13)).collect();
+            recycled.fill_from_scores_desc(&scores).unwrap();
+            recycled.fill_identity(32);
+            recycled.fill_from_scores_asc(&scores[..40]).unwrap();
+        }
+        assert_eq!(recycled.order.capacity(), cap, "warm fills must not reallocate");
     }
 
     #[test]

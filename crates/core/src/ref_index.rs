@@ -49,8 +49,13 @@ use crate::ks::validate_finite;
 pub struct ReferenceIndex {
     /// Distinct reference values, ascending.
     distinct: Vec<f64>,
-    /// `cum[j] = |{x in R : x <= distinct[j - 1]}|`, with `cum[0] = 0`.
-    cum: Vec<u64>,
+    /// `cum_f64[j] = |{x in R : x <= distinct[j - 1]}|` (`cum_f64[0] = 0`),
+    /// stored as `f64` so the splice can fill the [`BaseVector`] f64 plane
+    /// with chunk copies instead of per-element conversions. Lossless:
+    /// counts are integers `< 2^53`, and the integer consumers
+    /// ([`rank`](Self::rank)) recover the exact `u64` with a cast — same
+    /// argument as the `BaseVector` planes.
+    cum_f64: Vec<f64>,
     /// Total reference size `n` (with multiplicities).
     n: usize,
 }
@@ -88,9 +93,20 @@ impl ReferenceIndex {
     }
 
     fn from_sorted_values(sorted: &[f64]) -> Self {
-        let mut distinct = Vec::with_capacity(sorted.len());
-        let mut cum = Vec::with_capacity(sorted.len() + 1);
-        cum.push(0u64);
+        let mut index = Self { distinct: Vec::new(), cum_f64: Vec::new(), n: 0 };
+        index.fill_from_sorted_values(sorted);
+        index
+    }
+
+    /// Clears and refills every buffer from a sorted sample, retaining the
+    /// allocations (the in-place rebuild path behind
+    /// [`rebuild_from`](Self::rebuild_from)).
+    fn fill_from_sorted_values(&mut self, sorted: &[f64]) {
+        self.distinct.clear();
+        self.distinct.reserve(sorted.len());
+        self.cum_f64.clear();
+        self.cum_f64.reserve(sorted.len() + 1);
+        self.cum_f64.push(0.0f64);
         let mut i = 0usize;
         while i < sorted.len() {
             // The representative of a duplicate run is its first element in
@@ -100,11 +116,36 @@ impl ReferenceIndex {
             while j < sorted.len() && sorted[j] <= v {
                 j += 1;
             }
-            distinct.push(v);
-            cum.push(j as u64);
+            self.distinct.push(v);
+            self.cum_f64.push(j as f64);
             i = j;
         }
-        Self { distinct, cum, n: sorted.len() }
+        self.n = sorted.len();
+    }
+
+    /// Rebuilds this index in place from a fresh (unsorted) reference
+    /// sample, reusing every internal buffer plus the caller's sort scratch.
+    /// A warm `(index, scratch)` pair re-indexes with zero heap allocations
+    /// once the buffers have grown to the working size — the alarm path of
+    /// a sliding-window monitor, where the reference changes per alarm.
+    ///
+    /// # Errors
+    ///
+    /// As for [`new`](Self::new); on error the index is left unchanged.
+    pub fn rebuild_from(
+        &mut self,
+        reference: &[f64],
+        sort_scratch: &mut Vec<f64>,
+    ) -> Result<(), MocheError> {
+        if reference.is_empty() {
+            return Err(MocheError::EmptyReference);
+        }
+        validate_finite(SetKind::Reference, reference)?;
+        sort_scratch.clear();
+        sort_scratch.extend_from_slice(reference);
+        sort_scratch.sort_unstable_by(f64::total_cmp);
+        self.fill_from_sorted_values(sort_scratch);
+        Ok(())
     }
 
     /// Total reference size `n` (with multiplicities).
@@ -135,13 +176,14 @@ impl ReferenceIndex {
     /// `O(log q_R)`.
     pub fn rank(&self, v: f64) -> u64 {
         let pos = self.distinct.partition_point(|&u| u <= v);
-        self.cum[pos]
+        self.cum_f64[pos] as u64 // exact: counts are integers < 2^53
     }
 
-    /// The cumulative counts, `cum[j] = |{x in R : x <= distinct[j - 1]}|`.
+    /// The cumulative counts as `f64` (see the field docs) — what the
+    /// splice copies into the [`BaseVector`] `C_R` plane.
     #[inline]
-    pub(crate) fn cum(&self) -> &[u64] {
-        &self.cum
+    pub(crate) fn cum_f64(&self) -> &[f64] {
+        &self.cum_f64
     }
 }
 
@@ -205,10 +247,14 @@ impl BaseVector {
             return Err(MocheError::EmptyTest);
         }
         validate_finite(SetKind::Test, test)?;
-        let (mut values, mut c_r, mut c_t, mut t_pos) = out.take_buffers();
+        let mut buffers = out.take_buffers();
+        let values = &mut buffers.values;
+        let c_r_f64 = &mut buffers.c_r_f64;
+        let c_t_f64 = &mut buffers.c_t_f64;
+        let t_pos = &mut buffers.t_pos;
         values.clear();
-        c_r.clear();
-        c_t.clear();
+        c_r_f64.clear();
+        c_t_f64.clear();
         t_pos.clear();
         sort_scratch.clear();
         sort_scratch.extend_from_slice(test);
@@ -216,12 +262,12 @@ impl BaseVector {
         let t_sorted: &[f64] = sort_scratch;
 
         let distinct = index.distinct();
-        let cum = index.cum();
+        let cum_f64 = index.cum_f64();
         values.reserve(distinct.len() + test.len());
-        c_r.reserve(distinct.len() + test.len() + 1);
-        c_t.reserve(distinct.len() + test.len() + 1);
-        c_r.push(0u64);
-        c_t.push(0u64);
+        c_r_f64.reserve(distinct.len() + test.len() + 1);
+        c_t_f64.reserve(distinct.len() + test.len() + 1);
+        c_r_f64.push(0.0f64);
+        c_t_f64.push(0.0f64);
 
         let mut rpos = 0usize; // next reference-distinct index to emit
         let mut consumed_t = 0u64;
@@ -236,13 +282,13 @@ impl BaseVector {
             }
 
             // Copy the run of reference values strictly below tv as one
-            // chunk: values and c_r are memcpys of the precomputed arrays,
-            // c_t is a constant fill.
+            // chunk: values and the C_R plane are memcpys of the
+            // precomputed arrays, the C_T plane is a constant fill.
             let splice = rpos + distinct[rpos..].partition_point(|&u| u < tv);
             if splice > rpos {
                 values.extend_from_slice(&distinct[rpos..splice]);
-                c_r.extend_from_slice(&cum[rpos + 1..splice + 1]);
-                c_t.resize(c_t.len() + (splice - rpos), consumed_t);
+                c_r_f64.extend_from_slice(&cum_f64[rpos + 1..splice + 1]);
+                c_t_f64.resize(c_t_f64.len() + (splice - rpos), consumed_t as f64);
                 rpos = splice;
             }
 
@@ -255,8 +301,8 @@ impl BaseVector {
             } else {
                 values.push(tv);
             }
-            c_r.push(cum[rpos]);
-            c_t.push(consumed_t);
+            c_r_f64.push(cum_f64[rpos]);
+            c_t_f64.push(consumed_t as f64);
             gi = ge;
         }
 
@@ -264,8 +310,8 @@ impl BaseVector {
         if rpos < distinct.len() {
             let run = distinct.len() - rpos;
             values.extend_from_slice(&distinct[rpos..]);
-            c_r.extend_from_slice(&cum[rpos + 1..]);
-            c_t.resize(c_t.len() + run, consumed_t);
+            c_r_f64.extend_from_slice(&cum_f64[rpos + 1..]);
+            c_t_f64.resize(c_t_f64.len() + run, consumed_t as f64);
         }
 
         t_pos.extend(test.iter().map(|&v| {
@@ -274,7 +320,7 @@ impl BaseVector {
             lt + 1
         }));
 
-        *out = Self::from_raw_parts(values, c_r, c_t, t_pos, index.n(), test.len());
+        *out = Self::from_raw_parts(buffers, index.n(), test.len());
         Ok(())
     }
 }
@@ -376,6 +422,35 @@ mod tests {
         );
         assert!(BaseVector::build_with_index_into(&index, &[f64::NAN], &mut out).is_err());
         assert_eq!(out, before);
+    }
+
+    #[test]
+    fn rebuild_from_matches_fresh_index_and_recycles() {
+        let mut index = ReferenceIndex::new(&[1.0, 2.0]).unwrap();
+        let mut sort_scratch = Vec::new();
+        let references: [&[f64]; 3] =
+            [&[5.0, 1.0, 5.0, 3.0], &[-0.0, 0.0, 2.0], &[7.0, 7.0, 7.0, 7.0, 7.0]];
+        for r in references {
+            index.rebuild_from(r, &mut sort_scratch).unwrap();
+            assert_eq!(index, ReferenceIndex::new(r).unwrap(), "reference {r:?}");
+        }
+        // A warm rebuild of a same-size reference must not grow any buffer.
+        index.rebuild_from(&[9.0, 1.0, 4.0, 4.0, 2.0], &mut sort_scratch).unwrap();
+        let caps = (index.distinct.capacity(), index.cum_f64.capacity());
+        index.rebuild_from(&[8.0, 2.0, 3.0, 3.0, 1.0], &mut sort_scratch).unwrap();
+        assert_eq!(
+            (index.distinct.capacity(), index.cum_f64.capacity()),
+            caps,
+            "warm rebuild must reuse the buffers"
+        );
+        // Errors leave the previous contents untouched.
+        let before = index.clone();
+        assert_eq!(
+            index.rebuild_from(&[], &mut sort_scratch).unwrap_err(),
+            MocheError::EmptyReference
+        );
+        assert!(index.rebuild_from(&[f64::NAN], &mut sort_scratch).is_err());
+        assert_eq!(index, before);
     }
 
     #[test]

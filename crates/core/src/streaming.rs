@@ -28,14 +28,18 @@
 //!
 //! * windows are *filled* into recycled `Vec<f64>` buffers by a
 //!   [`WindowSource`] instead of being allocated by the producer — drained
-//!   buffers flow back to the feeder through a return channel;
-//! * explanation outputs are written into [`ExplanationArena`] storage, and
-//!   once the caller's callback has consumed a result the output buffers
-//!   flow back to the workers through a second return channel.
+//!   buffers flow back to the feeder through a bounded return ring;
+//! * explanation outputs are written into [`ExplanationArena`] storage
+//!   (each worker owns one arena; a fixed per-worker slab), and once the
+//!   caller's callback has consumed a result the output buffers flow back
+//!   to the workers through a second bounded return ring.
 //!
 //! After warm-up a single-threaded [`explain_source`] run performs **zero
 //! heap allocations per window** (gated by the `BENCH_core.json` perf
-//! suite); the parallel path allocates only amortized channel blocks.
+//! suite and the `alloc_count.rs` tests). The parallel path's return rings
+//! are bounded `sync_channel`s whose slot arrays are preallocated, so its
+//! steady state is allocation-free too; scoring callbacks can join via
+//! [`explain_source_scored`](StreamingBatchExplainer::explain_source_scored).
 //!
 //! The [`StreamMode::SizeOnly`] mode runs Phase 1 only and reports just the
 //! explanation size `k` per window — "how bad is the drift" at a fraction
@@ -44,7 +48,7 @@
 //! [`explain_source`]: StreamingBatchExplainer::explain_source
 
 use crate::arena::ExplanationArena;
-pub use crate::batch::ScoreFn;
+pub use crate::batch::{ScoreFn, ScoreIntoFn};
 use crate::engine::ExplainEngine;
 use crate::error::MocheError;
 use crate::ks::KsConfig;
@@ -140,10 +144,13 @@ pub struct StreamSummary {
 }
 
 /// The per-worker recycled state: one engine (internal scratch), the cached
-/// identity preference, and the output arena.
+/// identity preference, the scored-preference slot, and the output arena.
 struct WorkerState {
     engine: ExplainEngine,
     ident: PreferenceList,
+    /// The in-place target of [`ScoreIntoFn`] callbacks, reused across
+    /// windows so scored streams stay on the zero-allocation path.
+    scored: PreferenceList,
     arena: ExplanationArena,
 }
 
@@ -152,9 +159,22 @@ impl WorkerState {
         Self {
             engine: ExplainEngine::with_config(cfg),
             ident: PreferenceList::identity(0),
+            scored: PreferenceList::identity(0),
             arena: ExplanationArena::new(),
         }
     }
+}
+
+/// How the streaming engine derives each window's preference — the
+/// internal union of the public entry points' score arguments.
+#[derive(Clone, Copy)]
+enum ScoreMode<'a> {
+    /// The identity order (cached per worker).
+    Identity,
+    /// A fresh [`PreferenceList`] per window ([`ScoreFn`]).
+    Owned(ScoreFn<'a>),
+    /// The worker-recycled in-place form ([`ScoreIntoFn`]).
+    Recycled(ScoreIntoFn<'a>),
 }
 
 /// Reorders completed windows into arrival order with a preallocated ring —
@@ -333,6 +353,7 @@ impl StreamingBatchExplainer {
         I::IntoIter: Send,
         F: FnMut(StreamResult),
     {
+        let score = score.map_or(ScoreMode::Identity, ScoreMode::Owned);
         self.run(reference, IterSource(windows.into_iter()), score, |result| {
             on_result(result);
             None
@@ -362,6 +383,7 @@ impl StreamingBatchExplainer {
         S: WindowSource + Send,
         F: FnMut(&StreamResult),
     {
+        let score = score.map_or(ScoreMode::Identity, ScoreMode::Owned);
         self.run(reference, source, score, |result| {
             on_result(&result);
             match result.result {
@@ -371,14 +393,44 @@ impl StreamingBatchExplainer {
         })
     }
 
-    /// Shared driver behind both public entry points. The sink consumes
+    /// [`explain_source`](Self::explain_source) with an in-place score
+    /// callback: each window's preference is written into a worker-recycled
+    /// [`PreferenceList`] ([`ScoreIntoFn`], e.g. via
+    /// [`PreferenceList::fill_from_scores_desc`]) instead of being
+    /// allocated per window. With this entry point *scored* streams join
+    /// the zero-allocation steady state previously reserved for
+    /// identity-preference streams (gated by the
+    /// `scored_stream_allocates_nothing_when_warm` test); results are
+    /// identical to [`explain_source`](Self::explain_source) with the
+    /// equivalent owning callback.
+    pub fn explain_source_scored<S, F>(
+        &self,
+        reference: &ReferenceIndex,
+        source: S,
+        score: ScoreIntoFn<'_>,
+        mut on_result: F,
+    ) -> StreamSummary
+    where
+        S: WindowSource + Send,
+        F: FnMut(&StreamResult),
+    {
+        self.run(reference, source, ScoreMode::Recycled(score), |result| {
+            on_result(&result);
+            match result.result {
+                Ok(WindowReport::Explained(e)) => Some(e),
+                _ => None,
+            }
+        })
+    }
+
+    /// Shared driver behind the public entry points. The sink consumes
     /// each in-order result and may hand a consumed explanation back for
     /// output-buffer recycling.
     fn run<S, F>(
         &self,
         reference: &ReferenceIndex,
         source: S,
-        score: Option<ScoreFn<'_>>,
+        score: ScoreMode<'_>,
         sink: F,
     ) -> StreamSummary
     where
@@ -400,7 +452,7 @@ impl StreamingBatchExplainer {
         &self,
         state: &mut WorkerState,
         reference: &ReferenceIndex,
-        score: Option<ScoreFn<'_>>,
+        score: ScoreMode<'_>,
         window_id: usize,
         window: &[f64],
     ) -> Result<WindowReport, MocheError> {
@@ -411,13 +463,17 @@ impl StreamingBatchExplainer {
             StreamMode::Explain => {
                 let owned;
                 let pref = match score {
-                    Some(score) => {
+                    ScoreMode::Owned(score) => {
                         owned = score(window_id, window)?;
                         &owned
                     }
-                    None => {
+                    ScoreMode::Recycled(score) => {
+                        score(window_id, window, &mut state.scored)?;
+                        &state.scored
+                    }
+                    ScoreMode::Identity => {
                         if state.ident.len() != window.len() {
-                            state.ident = PreferenceList::identity(window.len());
+                            state.ident.fill_identity(window.len());
                         }
                         &state.ident
                     }
@@ -434,7 +490,7 @@ impl StreamingBatchExplainer {
         &self,
         reference: &ReferenceIndex,
         mut source: S,
-        score: Option<ScoreFn<'_>>,
+        score: ScoreMode<'_>,
         mut sink: F,
     ) -> StreamSummary
     where
@@ -460,7 +516,7 @@ impl StreamingBatchExplainer {
         &self,
         reference: &ReferenceIndex,
         source: S,
-        score: Option<ScoreFn<'_>>,
+        score: ScoreMode<'_>,
         mut sink: F,
         workers: usize,
     ) -> StreamSummary
@@ -475,15 +531,24 @@ impl StreamingBatchExplainer {
         // Feeder -> bounded job channel -> workers -> bounded result
         // channel -> in-order delivery on this thread. Both forward
         // channels are bounded, so the stream can run forever in constant
-        // memory. Two unbounded *return* channels close the recycling loop
-        // (their population is bounded by the windows in flight): drained
-        // window buffers flow back to the feeder, and consumed explanation
-        // buffers flow back to the workers.
+        // memory. Two *bounded return rings* close the recycling loop:
+        // drained window buffers flow back to the feeder, and consumed
+        // explanation buffers flow back to the workers (which each also own
+        // one arena — a fixed per-worker slab the ring tops up). Bounded
+        // `sync_channel`s preallocate their slot array, so steady-state
+        // sends allocate nothing — unlike the unbounded channels they
+        // replace, which allocated roughly one block per 31 sends. The
+        // capacities cover every buffer that can be in flight at once, so
+        // `try_send` never finds the ring full; if the accounting were ever
+        // wrong the buffer would be dropped and reallocated, never lost.
+        let window_ring_cap = buffer + workers + 2;
+        let arena_ring_cap = result_cap + workers + 2;
         let (job_tx, job_rx) = mpsc::sync_channel::<(usize, Vec<f64>)>(buffer);
         let job_rx = Mutex::new(job_rx);
         let (result_tx, result_rx) = mpsc::sync_channel::<StreamResult>(result_cap);
-        let (window_return_tx, window_return_rx) = mpsc::channel::<Vec<f64>>();
-        let (arena_return_tx, arena_return_rx) = mpsc::channel::<ExplanationArena>();
+        let (window_return_tx, window_return_rx) = mpsc::sync_channel::<Vec<f64>>(window_ring_cap);
+        let (arena_return_tx, arena_return_rx) =
+            mpsc::sync_channel::<ExplanationArena>(arena_ring_cap);
         let arena_return_rx = Mutex::new(arena_return_rx);
 
         std::thread::scope(|scope| {
@@ -522,8 +587,10 @@ impl StreamingBatchExplainer {
                         }
                         let result = self.process(&mut state, reference, score, window_id, &window);
                         // Hand the drained window buffer back to the feeder
-                        // (it may already have shut down — that is fine).
-                        let _ = window_return_tx.send(window);
+                        // (it may already have shut down, or — were the
+                        // ring-capacity accounting ever wrong — the ring
+                        // could be full; both just drop the buffer).
+                        let _ = window_return_tx.try_send(window);
                         if result_tx.send(StreamResult { window: window_id, result }).is_err() {
                             break;
                         }
@@ -542,7 +609,8 @@ impl StreamingBatchExplainer {
                 while let Some(ready) = ring.pop_ready() {
                     summary.tally(&ready.result);
                     if let Some(explanation) = sink(ready) {
-                        let _ = arena_return_tx.send(ExplanationArena::recycled_from(explanation));
+                        let _ =
+                            arena_return_tx.try_send(ExplanationArena::recycled_from(explanation));
                     }
                 }
             }
@@ -750,6 +818,55 @@ mod tests {
                 other => panic!("divergence: {other:?}"),
             }
         }
+    }
+
+    #[test]
+    fn scored_into_matches_owning_score_callback() {
+        let (r, windows) = setup(10);
+        let index = ReferenceIndex::new(&r).unwrap();
+        for threads in [1, 3] {
+            let streamer = StreamingBatchExplainer::new(0.05).unwrap().threads(threads).buffer(2);
+            let mut expected = Vec::new();
+            let owning: ScoreFn<'_> = &|_, w| {
+                let mut scores: Vec<f64> = w.to_vec();
+                scores.iter_mut().for_each(|s| *s = -*s);
+                PreferenceList::from_scores_desc(&scores)
+            };
+            streamer.explain_source(&index, slice_source(&windows), Some(owning), |r| {
+                expected.push(r.clone());
+            });
+            let mut got = Vec::new();
+            let recycled: ScoreIntoFn<'_> = &|_, w, pref| {
+                let scores: Vec<f64> = w.iter().map(|&v| -v).collect();
+                pref.fill_from_scores_desc(&scores)
+            };
+            let summary =
+                streamer.explain_source_scored(&index, slice_source(&windows), recycled, |r| {
+                    got.push(r.clone());
+                });
+            assert_eq!(summary.windows, windows.len());
+            assert_eq!(got, expected, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn scored_into_errors_land_in_the_window_slot() {
+        let (r, windows) = setup(3);
+        let index = ReferenceIndex::new(&r).unwrap();
+        let streamer = StreamingBatchExplainer::new(0.05).unwrap().threads(1);
+        let score: ScoreIntoFn<'_> = &|i, w, pref| {
+            if i == 1 {
+                pref.fill_from_scores_desc(&[f64::NAN])
+            } else {
+                pref.fill_identity(w.len());
+                Ok(())
+            }
+        };
+        let mut got = Vec::new();
+        streamer.explain_source_scored(&index, slice_source(&windows), score, |r| {
+            got.push(r.result.is_ok());
+        });
+        assert_eq!(got, vec![true, false, true]);
     }
 
     #[test]

@@ -1,0 +1,147 @@
+//! Allocation-count gates for the zero-allocation guarantees.
+//!
+//! Each integration-test binary owns its process, so this file installs a
+//! counting global allocator and asserts the *marginal* allocation cost of
+//! the warm paths is exactly zero: a long and a short run pay the identical
+//! warm-up (buffer growth, engine construction), so the difference divided
+//! by the extra iterations is the true steady state.
+//!
+//! The counter is process-global and libtest runs sibling test threads
+//! concurrently (whose harness activity would pollute a measurement
+//! window), so this binary contains exactly ONE #[test]: the three gates
+//! run as sequential phases inside it.
+
+use moche_core::{
+    ExplainEngine, ExplanationArena, PreferenceList, ReferenceIndex, ScoreIntoFn,
+    StreamingBatchExplainer, WindowSource,
+};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+fn failing_setup() -> (Vec<f64>, Vec<Vec<f64>>) {
+    let reference: Vec<f64> = (0..400u32).map(|i| f64::from(i % 10)).collect();
+    let windows: Vec<Vec<f64>> =
+        (0..8).map(|w| (0..120).map(|i| f64::from(((i + w) % 7) as u32) + 5.0).collect()).collect();
+    (reference, windows)
+}
+
+/// A slice-backed cycling [`WindowSource`] that copies into the recycled
+/// buffer — the zero-allocation producer shape.
+fn cycling_source(windows: &[Vec<f64>], count: usize) -> impl WindowSource + Send + '_ {
+    let mut i = 0usize;
+    move |buf: &mut Vec<f64>| {
+        if i >= count {
+            return false;
+        }
+        buf.clear();
+        buf.extend_from_slice(&windows[i % windows.len()]);
+        i += 1;
+        true
+    }
+}
+
+#[test]
+fn zero_allocation_gates_run_sequentially() {
+    warm_indexed_arena_explain_allocates_nothing();
+    scored_stream_allocates_nothing_when_warm();
+    identity_stream_allocates_nothing_when_warm_single_core();
+}
+
+fn warm_indexed_arena_explain_allocates_nothing() {
+    let (reference, windows) = failing_setup();
+    let index = ReferenceIndex::new(&reference).unwrap();
+    let mut engine = ExplainEngine::new(0.05).unwrap();
+    let mut arena = ExplanationArena::new();
+    let pref = PreferenceList::identity(windows[0].len());
+    // Warm every buffer (engine scratch, arena storage, base splice).
+    for w in &windows {
+        let e = engine.explain_with_index_in(&index, w, &pref, &mut arena).unwrap();
+        arena.recycle(e);
+    }
+    let before = allocations();
+    for _ in 0..3 {
+        for w in &windows {
+            let e = engine.explain_with_index_in(&index, w, &pref, &mut arena).unwrap();
+            arena.recycle(e);
+        }
+    }
+    assert_eq!(allocations() - before, 0, "warm explain_with_index_in must not allocate");
+}
+
+fn scored_stream_allocates_nothing_when_warm() {
+    let (reference, windows) = failing_setup();
+    let index = ReferenceIndex::new(&reference).unwrap();
+    let streamer = StreamingBatchExplainer::new(0.05).unwrap().threads(1).buffer(4);
+    // Score each window by its own values: the callback writes into the
+    // worker-recycled PreferenceList and allocates nothing itself.
+    let score: ScoreIntoFn<'_> = &|_, w, pref| pref.fill_from_scores_desc(w);
+    let run = |count: usize| {
+        let before = allocations();
+        let summary =
+            streamer.explain_source_scored(&index, cycling_source(&windows, count), score, |r| {
+                assert!(r.result.is_ok());
+            });
+        assert_eq!(summary.windows, count);
+        allocations() - before
+    };
+    let (short, long) = (12u64, 48u64);
+    run(short as usize); // prime one-time lazy state
+    let allocs_short = run(short as usize);
+    let allocs_long = run(long as usize);
+    assert_eq!(
+        allocs_long.saturating_sub(allocs_short),
+        0,
+        "scored streams must join the zero-allocation steady state \
+         (short run: {allocs_short}, long run: {allocs_long})"
+    );
+}
+
+fn identity_stream_allocates_nothing_when_warm_single_core() {
+    let (reference, windows) = failing_setup();
+    let index = ReferenceIndex::new(&reference).unwrap();
+    let streamer = StreamingBatchExplainer::new(0.05).unwrap().threads(1).buffer(4);
+    let run = |count: usize| {
+        let before = allocations();
+        let summary = streamer.explain_source(&index, cycling_source(&windows, count), None, |r| {
+            assert!(r.result.is_ok());
+        });
+        assert_eq!(summary.windows, count);
+        allocations() - before
+    };
+    run(12);
+    let allocs_short = run(12);
+    let allocs_long = run(48);
+    assert_eq!(
+        allocs_long.saturating_sub(allocs_short),
+        0,
+        "single-core streaming steady state must stay allocation-free \
+         (short run: {allocs_short}, long run: {allocs_long})"
+    );
+}

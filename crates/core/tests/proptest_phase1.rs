@@ -1,0 +1,185 @@
+//! Property tests pinning the vectorized Phase-1 machinery to its scalar
+//! references:
+//!
+//! * the Theorem-2 necessary condition is **monotone in `h`** — the
+//!   soundness premise of both the binary search and the wavefront search;
+//! * the fused multi-probe kernel (`necessary_condition_multi`) returns
+//!   exactly the scalar verdicts;
+//! * the wavefront size search returns identical `k` and `k̂` to the
+//!   scalar binary-search path;
+//! * the branchless f64-domain kernels (`exists_qualified`,
+//!   `compute_into`) return identical verdicts and identical `HBounds`
+//!   vectors to the allocating rounding-path reference (`compute`).
+//!
+//! The instance strategy deliberately includes signed zeros, heavy
+//! duplicate ties and near-integer values that sit within `eps` of the
+//! ceil/floor rounding boundaries — the adversarial cases for the
+//! f64-domain equivalence argued in `bounds.rs`.
+
+use moche_core::base_vector::BaseVector;
+use moche_core::bounds::{BoundsContext, BoundsWorkspace, MAX_WAVEFRONT};
+use moche_core::ks::KsConfig;
+use moche_core::phase1::{find_size, find_size_wavefront, lower_bound, lower_bound_wavefront};
+use proptest::prelude::*;
+
+/// Sample values stressing every equivalence edge: a small integer grid
+/// (ties/duplicates), signed zeros, and values a hair away from integers so
+/// `Γ ± Ω ± ε` lands near rounding boundaries.
+fn adversarial_value() -> impl Strategy<Value = f64> {
+    prop_oneof![
+        (0i32..6).prop_map(f64::from),
+        Just(0.0),
+        Just(-0.0),
+        (0i32..6).prop_map(|v| f64::from(v) + 1e-12),
+        (1i32..6).prop_map(|v| f64::from(v) - 1e-12),
+        (0i32..6).prop_map(|v| f64::from(v) + 0.5),
+    ]
+}
+
+fn instance() -> impl Strategy<Value = (Vec<f64>, Vec<f64>, i32)> {
+    (
+        proptest::collection::vec(adversarial_value(), 6..40),
+        proptest::collection::vec(adversarial_value(), 4..24),
+        0i32..5,
+    )
+}
+
+fn alphas() -> impl Strategy<Value = f64> {
+    prop_oneof![Just(0.05), Just(0.1), Just(0.25)]
+}
+
+/// Shift the test sample so a healthy share of generated instances fail
+/// the KS test instead of starving `prop_assume`.
+fn build(r: &[f64], t: &[f64], shift: i32) -> BaseVector {
+    let t: Vec<f64> = t.iter().map(|&v| v + f64::from(shift)).collect();
+    BaseVector::build(r, &t).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 160,
+        max_global_rejects: 16384,
+        ..ProptestConfig::default()
+    })]
+
+    #[test]
+    fn necessary_condition_is_monotone_in_h(
+        (r, t, shift) in instance(),
+        alpha in alphas(),
+    ) {
+        let base = build(&r, &t, shift);
+        let cfg = KsConfig::new(alpha).unwrap();
+        let ctx = BoundsContext::new(&base, &cfg);
+        let mut seen_true = false;
+        for h in 1..base.m() {
+            let ok = ctx.necessary_condition(h);
+            if seen_true {
+                prop_assert!(ok, "monotonicity violated at h = {}", h);
+            }
+            seen_true |= ok;
+        }
+    }
+
+    #[test]
+    fn multi_probe_kernel_matches_scalar(
+        (r, t, shift) in instance(),
+        alpha in alphas(),
+        width in 1usize..=MAX_WAVEFRONT,
+    ) {
+        let base = build(&r, &t, shift);
+        prop_assume!(base.m() >= 2);
+        let cfg = KsConfig::new(alpha).unwrap();
+        let ctx = BoundsContext::new(&base, &cfg);
+        let hs: Vec<usize> = (0..width).map(|j| 1 + j * (base.m() - 2) / width).collect();
+        let mut ok = vec![false; width];
+        ctx.necessary_condition_multi(&hs, &mut ok);
+        for (&h, &got) in hs.iter().zip(&ok) {
+            prop_assert_eq!(got, ctx.necessary_condition(h), "h = {}", h);
+        }
+    }
+
+    #[test]
+    fn wavefront_lower_bound_matches_scalar(
+        (r, t, shift) in instance(),
+        alpha in alphas(),
+    ) {
+        let base = build(&r, &t, shift);
+        let cfg = KsConfig::new(alpha).unwrap();
+        let ctx = BoundsContext::new(&base, &cfg);
+        let (scalar, _) = lower_bound(&ctx);
+        let (wave, _) = lower_bound_wavefront(&ctx);
+        prop_assert_eq!(wave, scalar);
+    }
+
+    #[test]
+    fn wavefront_find_size_matches_scalar_on_failing_tests(
+        (r, t, shift) in instance(),
+        alpha in alphas(),
+    ) {
+        let base = build(&r, &t, shift);
+        let cfg = KsConfig::new(alpha).unwrap();
+        prop_assume!(base.outcome(&cfg).rejected);
+        let ctx = BoundsContext::new(&base, &cfg);
+        match (find_size(&ctx, alpha), find_size_wavefront(&ctx, alpha)) {
+            (Ok(s), Ok(w)) => {
+                prop_assert_eq!(w.k, s.k);
+                prop_assert_eq!(w.k_hat, s.k_hat);
+                prop_assert_eq!(w.theorem1_checks, s.theorem1_checks);
+            }
+            (Err(_), Err(_)) => {}
+            other => return Err(TestCaseError::fail(format!("divergence: {other:?}"))),
+        }
+    }
+
+    #[test]
+    fn branchless_kernels_match_rounding_path_reference(
+        (r, t, shift) in instance(),
+        alpha in alphas(),
+    ) {
+        let base = build(&r, &t, shift);
+        let cfg = KsConfig::new(alpha).unwrap();
+        let ctx = BoundsContext::new(&base, &cfg);
+        let mut ws = BoundsWorkspace::new();
+        for h in 1..base.m() {
+            // `compute` is the untouched scalar rounding-path reference.
+            let reference = ctx.compute(h);
+            prop_assert_eq!(
+                ctx.exists_qualified(h), reference.feasible,
+                "exists_qualified diverged at h = {}", h
+            );
+            let feasible = ctx.compute_into(h, &mut ws);
+            prop_assert_eq!(feasible, reference.feasible, "h = {}", h);
+            prop_assert_eq!(ws.to_hbounds(), reference, "h = {}", h);
+        }
+    }
+
+    #[test]
+    fn near_eps_boundaries_keep_kernels_in_agreement(
+        (r, t, shift) in instance(),
+        eps_exp in 0u32..4,
+    ) {
+        // Sweep eps through magnitudes that straddle the 1e-12 offsets the
+        // value strategy plants next to integers, so some coordinates flip
+        // between "within tolerance" and "outside tolerance".
+        let eps = [0.0, 1e-13, 1e-11, 1e-9][eps_exp as usize];
+        let base = build(&r, &t, shift);
+        let cfg = KsConfig::new(0.1).unwrap().with_eps(eps);
+        let ctx = BoundsContext::new(&base, &cfg);
+        for h in 1..base.m() {
+            let reference = ctx.compute(h);
+            prop_assert_eq!(ctx.exists_qualified(h), reference.feasible, "h = {}", h);
+            prop_assert_eq!(
+                ctx.necessary_condition(h),
+                {
+                    let mut ok = [false];
+                    ctx.necessary_condition_multi(&[h], &mut ok);
+                    ok[0]
+                },
+                "multi vs scalar at h = {}", h
+            );
+        }
+        let (scalar, _) = lower_bound(&ctx);
+        let (wave, _) = lower_bound_wavefront(&ctx);
+        prop_assert_eq!(wave, scalar, "wavefront vs scalar near eps boundaries");
+    }
+}

@@ -109,6 +109,16 @@ pub struct DriftMonitor {
     /// back via [`recycle`](Self::recycle) make alarms allocation-free on
     /// the output side too.
     arena: ExplanationArena,
+    /// Recycled per-alarm scratch: the flattened test window...
+    test_scratch: Vec<f64>,
+    /// ...the flattened reference window...
+    ref_scratch: Vec<f64>,
+    /// ...the sort buffer behind [`ReferenceIndex::rebuild_from`]...
+    sort_scratch: Vec<f64>,
+    /// ...the reference index rebuilt in place on each alarm...
+    index_scratch: Option<ReferenceIndex>,
+    /// ...and the preference list refilled from the outlier scores.
+    pref_scratch: PreferenceList,
     pushes: u64,
     alarms: u64,
 }
@@ -134,6 +144,11 @@ impl DriftMonitor {
             test_window: VecDeque::with_capacity(cfg.window),
             engine: ExplainEngine::with_config(ks_cfg),
             arena: ExplanationArena::new(),
+            test_scratch: Vec::new(),
+            ref_scratch: Vec::new(),
+            sort_scratch: Vec::new(),
+            index_scratch: None,
+            pref_scratch: PreferenceList::identity(0),
             pushes: 0,
             alarms: 0,
         })
@@ -228,17 +243,21 @@ impl DriftMonitor {
     /// points by Spectral-Residual outlier score. Runs on the monitor's
     /// [`ExplainEngine`] through the indexed-reference path
     /// ([`moche_core::BaseVector::build_with_index`]), so repeated alarms
-    /// share their scratch buffers and skip the per-alarm merge loop.
+    /// share their scratch buffers and skip the per-alarm merge loop; the
+    /// window collections, the reference index and the preference list are
+    /// likewise recycled scratch, refilled in place per alarm.
     fn explain_current(&mut self) -> Option<Explanation> {
-        let test = self.test_window();
-        let preference = if test.len() >= 4 {
+        self.refresh_alarm_scratch()?;
+        if self.test_scratch.len() >= 4 {
             let sr = SpectralResidual::default();
-            PreferenceList::from_scores_desc(&sr.scores(&test)).ok()?
+            self.pref_scratch.fill_from_scores_desc(&sr.scores(&self.test_scratch)).ok()?;
         } else {
-            PreferenceList::identity(test.len())
-        };
-        let index = self.current_reference_index()?;
-        self.engine.explain_with_index_in(&index, &test, &preference, &mut self.arena).ok()
+            self.pref_scratch.fill_identity(self.test_scratch.len());
+        }
+        let index = self.index_scratch.as_ref()?;
+        self.engine
+            .explain_with_index_in(index, &self.test_scratch, &self.pref_scratch, &mut self.arena)
+            .ok()
     }
 
     /// Hands a consumed alarm explanation's output buffers back to the
@@ -253,13 +272,25 @@ impl DriftMonitor {
     /// Phase 1 only on the currently failing window pair: the explanation
     /// size, without constructing the explanation.
     fn size_current(&mut self) -> Option<SizeSearch> {
-        let test = self.test_window();
-        let index = self.current_reference_index()?;
-        self.engine.size_with_index(&index, &test).ok()
+        self.refresh_alarm_scratch()?;
+        let index = self.index_scratch.as_ref()?;
+        self.engine.size_with_index(index, &self.test_scratch).ok()
     }
 
-    fn current_reference_index(&self) -> Option<ReferenceIndex> {
-        ReferenceIndex::from_vec(self.reference_window()).ok()
+    /// Refills the recycled alarm scratch from the current windows: the
+    /// flattened window vectors and the in-place-rebuilt
+    /// [`ReferenceIndex`]. After the first alarm at a given window size
+    /// this allocates nothing (cf. the per-alarm `collect()`s it replaces).
+    fn refresh_alarm_scratch(&mut self) -> Option<()> {
+        self.test_scratch.clear();
+        self.test_scratch.extend(self.test_window.iter().map(|&(v, _)| v));
+        self.ref_scratch.clear();
+        self.ref_scratch.extend(self.ref_window.iter().map(|&(v, _)| v));
+        match &mut self.index_scratch {
+            Some(index) => index.rebuild_from(&self.ref_scratch, &mut self.sort_scratch).ok()?,
+            None => self.index_scratch = Some(ReferenceIndex::new(&self.ref_scratch).ok()?),
+        }
+        Some(())
     }
 }
 
@@ -311,6 +342,31 @@ mod tests {
         }
         let at = drift_at.expect("the level shift must be detected");
         assert!((300..420).contains(&at), "detected at {at}");
+    }
+
+    #[test]
+    fn repeated_alarms_reuse_recycled_scratch() {
+        // Without reset_on_drift one level shift alarms repeatedly as it
+        // traverses the window; every alarm must rebuild the scratch index
+        // and preference in place and still explain correctly.
+        let mut cfg = MonitorConfig::new(40, 0.05);
+        cfg.reset_on_drift = false;
+        let mut mon = DriftMonitor::new(cfg).unwrap();
+        let mut alarms = 0usize;
+        for i in 0..400 {
+            let x = if i < 200 { ((i * 13) % 11) as f64 } else { ((i * 13) % 11) as f64 + 20.0 };
+            if let MonitorEvent::Drift { explanation, .. } = mon.push(x) {
+                let e = explanation.expect("explanations enabled");
+                assert!(e.outcome_after.passes(), "alarm {alarms} must verify");
+                alarms += 1;
+                mon.recycle(e);
+                if alarms >= 5 {
+                    break;
+                }
+            }
+        }
+        assert!(alarms >= 5, "the shift must alarm repeatedly, got {alarms}");
+        assert_eq!(mon.alarms(), alarms as u64);
     }
 
     #[test]
