@@ -15,11 +15,14 @@
 use moche_core::bounds::{BoundsContext, BoundsWorkspace};
 use moche_core::{
     BaseVector, BatchExplainer, ConstructionStrategy, ExplainEngine, ExplanationArena, KsConfig,
-    Moche, PreferenceList, ReferenceIndex, SortedReference, StreamMode, StreamingBatchExplainer,
+    Moche, PreferenceList, ReferenceIndex, SizeSearch, SortedReference, StreamMode,
+    StreamingBatchExplainer,
 };
 use moche_data::dist::normal;
 use moche_data::failing_kifer_pair;
 use moche_data::rng::rng_from_seed;
+use moche_sigproc::SpectralResidual;
+use moche_stream::{DriftMonitor, MonitorConfig};
 use std::hint::black_box;
 use std::time::Instant;
 
@@ -310,6 +313,196 @@ pub fn evidence_suite(alloc_counter: Option<&dyn Fn() -> u64>) -> Vec<BenchRecor
         cfg,
         &index,
         &windows,
+        alloc_counter,
+    ));
+
+    records.extend(monitor_suite(w, alloc_counter));
+
+    records
+}
+
+/// The monitor's benchmark stream: a periodic base plus a tiny
+/// position-keyed jitter, so windows hold ~`w` *distinct* values (a
+/// realistic order-statistic depth, and a reference the old per-alarm sort
+/// cannot shortcut through pdqsort's few-distinct fast path) while the
+/// jitter's period-`w` alignment keeps paired windows distribution-equal —
+/// the stationary stream never false-alarms. Shared with
+/// `benches/monitor_alarm.rs`, so the criterion numbers and the
+/// `BENCH_core.json` evidence measure the identical workload.
+pub fn monitor_observation(i: usize, w: usize, shifted: bool) -> f64 {
+    ((i * 13) % 11) as f64 + (i % w) as f64 * 1e-8 + if shifted { 20.0 } else { 0.0 }
+}
+
+/// A monitor over [`monitor_observation`]'s stream whose windows are full
+/// and failing (reference low, test shifted): every alarm-path call
+/// afterwards explains the drift. Alarm handling is left to the caller
+/// (`explain_on_drift` off); the stream position to continue pushing from
+/// is `2 * w`.
+pub fn alarmed_monitor(w: usize) -> DriftMonitor {
+    let mut cfg = MonitorConfig::new(w, 0.05);
+    cfg.reset_on_drift = false;
+    cfg.explain_on_drift = false;
+    let mut mon = DriftMonitor::new(cfg).unwrap();
+    for i in 0..w {
+        mon.push(monitor_observation(i, w, false));
+    }
+    for i in 0..w {
+        mon.push(monitor_observation(w + i, w, true));
+    }
+    assert!(mon.alarms() > 0, "the shifted window must be failing");
+    mon
+}
+
+/// One measured alarm iteration: slide once (a real alarm always follows
+/// a push, so the index re-materialization is honestly re-done), then
+/// explain and recycle. Every slide promotes one shifted value into the
+/// reference window, so after ~`w` iterations the drift has fully
+/// traversed the pair and the KS test passes again; when that happens the
+/// monitor is re-seeded via [`alarmed_monitor`] — rare enough (once per
+/// ~`w` iterations) that the median is unaffected, and the iteration
+/// count stays unbounded-safe on any harness. Returns the explanation
+/// size.
+pub fn alarm_explain_iteration(mon: &mut DriftMonitor, at: &mut usize, w: usize) -> usize {
+    mon.push(black_box(monitor_observation(*at, w, true)));
+    *at += 1;
+    let e = match mon.explain_current() {
+        Some(e) => e,
+        None => {
+            *mon = alarmed_monitor(w);
+            *at = 2 * w;
+            mon.explain_current().expect("a fresh alarmed monitor is failing")
+        }
+    };
+    let size = e.size();
+    mon.recycle(e);
+    size
+}
+
+/// The size-only counterpart of [`alarm_explain_iteration`].
+pub fn alarm_size_iteration(mon: &mut DriftMonitor, at: &mut usize, w: usize) -> SizeSearch {
+    mon.push(black_box(monitor_observation(*at, w, true)));
+    *at += 1;
+    match mon.size_current() {
+        Some(size) => size,
+        None => {
+            *mon = alarmed_monitor(w);
+            *at = 2 * w;
+            mon.size_current().expect("a fresh alarmed monitor is failing")
+        }
+    }
+}
+
+/// The PR-4-era alarm body — re-flatten both windows, re-sort the
+/// reference into the index (`ReferenceIndex::rebuild_from`), allocating
+/// `SpectralResidual::scores` — kept as a reusable replay so the criterion
+/// bench and the evidence suite measure the identical "before" path.
+pub struct RebuildAlarmReplay {
+    reference: Vec<f64>,
+    test: Vec<f64>,
+    engine: ExplainEngine,
+    arena: ExplanationArena,
+    index: ReferenceIndex,
+    sort_scratch: Vec<f64>,
+    ref_scratch: Vec<f64>,
+    test_scratch: Vec<f64>,
+    pref: PreferenceList,
+    sr: SpectralResidual,
+}
+
+impl RebuildAlarmReplay {
+    /// Snapshots a failing monitor's windows for replay.
+    pub fn new(mon: &DriftMonitor) -> Self {
+        let reference = mon.reference_window();
+        let index = ReferenceIndex::new(&reference).unwrap();
+        Self {
+            reference,
+            test: mon.test_window(),
+            engine: ExplainEngine::with_config(KsConfig::new(0.05).unwrap()),
+            arena: ExplanationArena::new(),
+            index,
+            sort_scratch: Vec::new(),
+            ref_scratch: Vec::new(),
+            test_scratch: Vec::new(),
+            pref: PreferenceList::identity(0),
+            sr: SpectralResidual::default(),
+        }
+    }
+
+    /// One full old-style alarm; returns the explanation size.
+    pub fn alarm_once(&mut self) -> usize {
+        self.ref_scratch.clear();
+        self.ref_scratch.extend_from_slice(black_box(&self.reference));
+        self.test_scratch.clear();
+        self.test_scratch.extend_from_slice(black_box(&self.test));
+        self.index.rebuild_from(&self.ref_scratch, &mut self.sort_scratch).unwrap();
+        self.pref.fill_from_scores_desc(&self.sr.scores(&self.test_scratch)).unwrap();
+        let e = self
+            .engine
+            .explain_with_index_in(&self.index, &self.test_scratch, &self.pref, &mut self.arena)
+            .unwrap();
+        let size = e.size();
+        self.arena.recycle(e);
+        size
+    }
+}
+
+/// The monitor's cost model, measured: the steady-state slide, the
+/// incremental alarm paths (explain and size-only — the "after" entries,
+/// 0 allocs once warm, each iteration sliding once so the index really
+/// re-materializes), and the [`RebuildAlarmReplay`] "before" entry.
+fn monitor_suite(w: usize, alloc_counter: Option<&dyn Fn() -> u64>) -> Vec<BenchRecord> {
+    let mut records = Vec::new();
+
+    eprintln!("[bench-json] monitor steady-state slide (w = {w})...");
+    let mut cfg = MonitorConfig::new(w, 0.05);
+    cfg.reset_on_drift = false;
+    cfg.explain_on_drift = false;
+    let mut mon = DriftMonitor::new(cfg).unwrap();
+    let mut at = 0usize;
+    for _ in 0..2 * w {
+        mon.push(monitor_observation(at, w, false));
+        at += 1;
+    }
+    records.push(measure(
+        &format!("monitor/steady_push/w={w}"),
+        || {
+            // Stationary stream: the slides and the decision, no alarm.
+            let event = mon.push(black_box(monitor_observation(at, w, false)));
+            at += 1;
+            black_box(&event);
+        },
+        alloc_counter,
+    ));
+
+    eprintln!("[bench-json] monitor alarm paths (w = {w})...");
+    let mut mon = alarmed_monitor(w);
+    // Warm the alarm scratch before measuring the steady state.
+    let e = mon.explain_current().expect("windows are failing");
+    mon.recycle(e);
+    let mut at = 2 * w;
+    records.push(measure(
+        &format!("monitor/alarm_explain/w={w}"),
+        || {
+            black_box(alarm_explain_iteration(&mut mon, &mut at, w));
+        },
+        alloc_counter,
+    ));
+    let mut sized = alarmed_monitor(w);
+    let mut at = 2 * w;
+    records.push(measure(
+        &format!("monitor/alarm_size_only/w={w}"),
+        || {
+            black_box(alarm_size_iteration(&mut sized, &mut at, w));
+        },
+        alloc_counter,
+    ));
+
+    let mut replay = RebuildAlarmReplay::new(&mon);
+    records.push(measure(
+        &format!("monitor/alarm_explain_rebuild/w={w}"),
+        || {
+            black_box(replay.alarm_once());
+        },
         alloc_counter,
     ));
 

@@ -492,8 +492,28 @@ fn run_monitor(
         "monitoring {} observations with paired windows of {window} (alpha = {alpha})",
         values.len()
     )?;
+    // `nan`/`inf` parse as valid f64, so a corrupt data file reaches the
+    // monitor as non-finite observations: report each one with its series
+    // index, skip it, and fold the count into the exit code — never panic.
+    let mut skipped = 0usize;
     for (i, &x) in values.iter().enumerate() {
-        if let MonitorEvent::Drift { outcome, explanation, size } = monitor.push(x) {
+        let event = match monitor.try_push(x) {
+            Ok(event) => event,
+            Err(e) => {
+                skipped += 1;
+                // The monitor's error counts accepted observations only;
+                // report the series position `t`, which is what locates
+                // the corrupt value in the input file.
+                match e {
+                    MocheError::NonFiniteObservation { value, .. } => {
+                        writeln!(out, "t = {i}: skipped non-finite observation ({value})")?;
+                    }
+                    other => writeln!(out, "t = {i}: skipped observation: {other}")?,
+                }
+                continue;
+            }
+        };
+        if let MonitorEvent::Drift { outcome, explanation, size } = event {
             write!(
                 out,
                 "t = {i}: DRIFT  D = {:.4} (threshold {:.4})",
@@ -520,7 +540,14 @@ fn run_monitor(
         }
     }
     writeln!(out, "{} alarm(s) in {} observations", monitor.alarms(), monitor.pushes())?;
-    Ok(RunStatus::default())
+    if skipped > 0 {
+        writeln!(out, "{skipped} non-finite observation(s) skipped")?;
+    }
+    // A monitoring run's product is its alarm report, not explanations (a
+    // clean run with zero alarms is a success), so corrupt observations
+    // are counted as errors with nothing on the "explained" side: any
+    // skipped observation makes the run exit nonzero.
+    Ok(RunStatus { window_errors: skipped, windows_explained: 0 })
 }
 
 #[cfg(test)]
@@ -774,6 +801,29 @@ mod tests {
         let (quiet, _) =
             capture(|o| run_monitor(&series[..200], 50, 0.05, false, false, o)).unwrap();
         assert!(quiet.contains("0 alarm(s)"), "{quiet}");
+    }
+
+    #[test]
+    fn monitor_skips_non_finite_observations_and_exits_nonzero() {
+        // A nan/inf mid-stream used to abort the process on the monitor's
+        // finiteness assert; it must now be reported, skipped and folded
+        // into the exit code — while the drift is still detected.
+        let mut series: Vec<f64> = (0..200).map(|i| f64::from(i % 7)).collect();
+        series[50] = f64::NAN;
+        series[90] = f64::INFINITY;
+        series.extend((0..200).map(|i| f64::from(i % 7) + 25.0));
+        let (out, status) = capture(|o| run_monitor(&series, 50, 0.05, true, false, o)).unwrap();
+        assert!(out.contains("t = 50: skipped non-finite observation"), "{out}");
+        assert!(out.contains("t = 90: skipped non-finite observation"), "{out}");
+        assert!(out.contains("DRIFT"), "{out}");
+        assert!(out.contains("2 non-finite observation(s) skipped"), "{out}");
+        assert_eq!(status.window_errors, 2);
+        assert_eq!(status.exit_code(), 1, "corrupt observations must fail the run");
+        // A clean stream still exits 0.
+        let clean: Vec<f64> = (0..200).map(|i| f64::from(i % 7)).collect();
+        let (quiet, status) = capture(|o| run_monitor(&clean, 50, 0.05, true, false, o)).unwrap();
+        assert!(!quiet.contains("skipped"), "{quiet}");
+        assert_eq!(status.exit_code(), 0);
     }
 
     #[test]

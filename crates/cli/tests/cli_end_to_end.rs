@@ -113,6 +113,27 @@ fn monitor_detects_level_shift() {
     assert!(stdout.contains("DRIFT"), "{stdout}");
 }
 
+#[test]
+fn monitor_with_non_finite_observations_exits_nonzero_without_panicking() {
+    // `nan` and `inf` parse as valid f64: a corrupt data file used to trip
+    // the monitor's finiteness assert and abort the process. It must now
+    // report the offending indices, keep monitoring, and exit 1.
+    let dir = TempDir::new("monitor-nan");
+    let mut series: Vec<f64> = (0..200).map(|i| f64::from(i % 7)).collect();
+    series.extend((0..200).map(|i| f64::from(i % 7) + 30.0));
+    let mut content = numbers(series);
+    content.push_str("nan\ninf\n-inf\n");
+    let path = dir.write("series.txt", &content);
+    let out = bin().args(["monitor", path.to_str().unwrap(), "--window", "50"]).output().unwrap();
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert_eq!(out.status.code(), Some(1), "stdout: {stdout}\nstderr: {stderr}");
+    assert!(!stderr.contains("panicked"), "{stderr}");
+    assert!(stdout.contains("t = 400: skipped non-finite observation"), "{stdout}");
+    assert!(stdout.contains("3 non-finite observation(s) skipped"), "{stdout}");
+    assert!(stdout.contains("DRIFT"), "the level shift must still be detected: {stdout}");
+}
+
 fn windows_file(dir: &TempDir) -> (PathBuf, PathBuf) {
     let r = dir.write("ref.txt", &numbers((0..80).map(|i| f64::from(i % 8))));
     let content: String = (0..5)

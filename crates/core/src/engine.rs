@@ -38,6 +38,8 @@ use crate::moche::{ConstructionStrategy, Explanation, SizeProfile, SizeSearchStr
 use crate::phase1::{self, SizeSearch};
 use crate::phase2;
 use crate::preference::PreferenceList;
+use crate::ref_index::RankSource;
+#[cfg(doc)]
 use crate::ref_index::ReferenceIndex;
 
 /// A MOCHE explainer with reusable scratch buffers.
@@ -189,17 +191,19 @@ impl ExplainEngine {
         self.explain_base_in(&base, test, preference, arena)
     }
 
-    /// [`explain`](Self::explain) against a precomputed [`ReferenceIndex`]:
-    /// the per-window base vector is spliced into the index
+    /// [`explain`](Self::explain) against a precomputed [`RankSource`]
+    /// (canonically a [`ReferenceIndex`], or an
+    /// [`crate::ref_index::IncrementalRefIndex`]'s materialized view): the
+    /// per-window base vector is spliced into the source
     /// ([`BaseVector::build_with_index`]) instead of re-merging `R ∪ T`.
     /// This is the amortized path for one `R` against many windows.
     ///
     /// # Errors
     ///
     /// As for [`explain`](Self::explain).
-    pub fn explain_with_index(
+    pub fn explain_with_index<S: RankSource + ?Sized>(
         &mut self,
-        index: &ReferenceIndex,
+        index: &S,
         test: &[f64],
         preference: &PreferenceList,
     ) -> Result<Explanation, MocheError> {
@@ -216,9 +220,9 @@ impl ExplainEngine {
     /// # Errors
     ///
     /// As for [`explain`](Self::explain).
-    pub fn explain_with_index_in(
+    pub fn explain_with_index_in<S: RankSource + ?Sized>(
         &mut self,
-        index: &ReferenceIndex,
+        index: &S,
         test: &[f64],
         preference: &PreferenceList,
         arena: &mut ExplanationArena,
@@ -233,7 +237,7 @@ impl ExplainEngine {
         result
     }
 
-    /// Phase 1 only, against a precomputed [`ReferenceIndex`]: the
+    /// Phase 1 only, against a precomputed [`RankSource`]: the
     /// explanation *size* `k` of the failed test, without constructing the
     /// explanation itself. This is the `size_only` monitoring fast path —
     /// "how bad is the drift" without paying for Phase 2.
@@ -242,9 +246,9 @@ impl ExplainEngine {
     ///
     /// As for [`explain`](Self::explain), except preference errors cannot
     /// occur (no preference is involved).
-    pub fn size_with_index(
+    pub fn size_with_index<S: RankSource + ?Sized>(
         &mut self,
-        index: &ReferenceIndex,
+        index: &S,
         test: &[f64],
     ) -> Result<SizeSearch, MocheError> {
         let mut base = self.base_scratch.take().unwrap_or_else(BaseVector::empty);
@@ -403,6 +407,7 @@ impl ExplainEngine {
 mod tests {
     use super::*;
     use crate::moche::{ConstructionStrategy, Moche};
+    use crate::ref_index::ReferenceIndex;
 
     fn paper_setup() -> (Vec<f64>, Vec<f64>) {
         (vec![14.0, 14.0, 14.0, 14.0, 20.0, 20.0, 20.0, 20.0], vec![13.0, 13.0, 12.0, 20.0])

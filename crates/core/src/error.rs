@@ -36,6 +36,18 @@ pub enum MocheError {
         /// The offending value.
         value: f64,
     },
+    /// A streamed observation is NaN or infinite (rejected by
+    /// `moche_stream::DriftMonitor::try_push` with the monitor state
+    /// untouched). Unlike [`NonFiniteValue`](Self::NonFiniteValue) there
+    /// is no caller-held slice to index into; the position is the
+    /// monitor's accepted-observation count.
+    NonFiniteObservation {
+        /// How many observations had been accepted when this one was
+        /// rejected (its position in the accepted stream).
+        accepted: u64,
+        /// The offending value.
+        value: f64,
+    },
     /// The significance level is outside the open interval `(0, 1)`.
     InvalidAlpha {
         /// The rejected significance level.
@@ -124,6 +136,13 @@ impl fmt::Display for MocheError {
             MocheError::NonFiniteValue { which, index, value } => {
                 write!(f, "{which} contains non-finite value {value} at index {index}")
             }
+            MocheError::NonFiniteObservation { accepted, value } => {
+                write!(
+                    f,
+                    "non-finite observation {value} rejected \
+                     (after {accepted} accepted observations)"
+                )
+            }
             MocheError::InvalidAlpha { alpha } => {
                 write!(f, "significance level {alpha} is outside (0, 1)")
             }
@@ -171,6 +190,14 @@ mod tests {
         let s = e.to_string();
         assert!(s.contains("test set"));
         assert!(s.contains("index 3"));
+    }
+
+    #[test]
+    fn non_finite_observation_names_the_stream_position() {
+        let e = MocheError::NonFiniteObservation { accepted: 5000, value: f64::NAN };
+        let s = e.to_string();
+        assert!(s.contains("non-finite observation NaN"), "{s}");
+        assert!(s.contains("5000 accepted"), "{s}");
     }
 
     #[test]

@@ -80,11 +80,22 @@ fn transform(buf: &mut [Complex], inverse: bool) {
 /// Forward FFT of a real signal, zero-padded to the next power of two.
 /// Returns the full complex spectrum (length `next_pow2(x.len())`).
 pub fn rfft(x: &[f64]) -> Vec<Complex> {
-    let n = next_pow2(x.len());
-    let mut buf: Vec<Complex> = x.iter().map(|&v| Complex::real(v)).collect();
-    buf.resize(n, Complex::ZERO);
-    fft_in_place(&mut buf);
+    let mut buf = Vec::new();
+    rfft_into(x, &mut buf);
     buf
+}
+
+/// [`rfft`] into a caller-owned spectrum buffer: clears `buf`, loads the
+/// real signal, zero-pads to the next power of two and transforms in
+/// place. A warm buffer recomputes with zero heap allocations — the
+/// per-alarm shape of the Spectral Residual transform.
+pub fn rfft_into(x: &[f64], buf: &mut Vec<Complex>) {
+    let n = next_pow2(x.len());
+    buf.clear();
+    buf.reserve(n);
+    buf.extend(x.iter().map(|&v| Complex::real(v)));
+    buf.resize(n, Complex::ZERO);
+    fft_in_place(buf);
 }
 
 /// Inverse FFT returning only real parts, truncated to `out_len` samples.
@@ -214,6 +225,18 @@ mod tests {
         for (a, b) in back.iter().zip(&x) {
             assert!((a - b).abs() < 1e-10);
         }
+    }
+
+    #[test]
+    fn rfft_into_matches_rfft_and_recycles() {
+        let x: Vec<f64> = (0..50).map(|i| (i as f64 * 0.37).sin() * 2.0).collect();
+        let mut buf = Vec::new();
+        rfft_into(&x, &mut buf);
+        assert_eq!(buf, rfft(&x));
+        let cap = buf.capacity();
+        rfft_into(&x[..33], &mut buf); // same padded length (64)
+        assert_eq!(buf, rfft(&x[..33]));
+        assert_eq!(buf.capacity(), cap, "warm rfft_into must reuse the buffer");
     }
 
     #[test]

@@ -32,5 +32,5 @@ pub use embedding::{embed, smoothed_subsequences, Embedding};
 pub use kde::{silverman_bandwidth, Epmf, GaussianKde};
 pub use matrix_profile::ab_join;
 pub use series2graph::{Series2Graph, Series2GraphConfig};
-pub use spectral_residual::SpectralResidual;
+pub use spectral_residual::{SaliencyOverflow, SaliencyScratch, SpectralResidual};
 pub use stats::BoxPlotStats;

@@ -18,8 +18,67 @@
 //!    `score(x) = (S(x) - avg) / avg` against a trailing average.
 
 use crate::complex::Complex;
-use crate::fft::{fft_in_place, ifft_in_place, next_pow2};
-use crate::stats::trailing_average;
+use crate::fft::{ifft_in_place, rfft_into};
+use crate::stats::{moving_average_into, trailing_average_into};
+use std::fmt;
+
+/// Reusable scratch for the Spectral Residual transform: the FFT spectrum,
+/// the log-amplitude and smoothed planes, the rolling-average prefix sums
+/// and the saliency map. One scratch serves any series length; a warm
+/// scratch makes [`SpectralResidual::scores_into`] and
+/// [`SpectralResidual::saliency_into`] perform **zero** heap allocations —
+/// the per-alarm hot path of `moche_stream::DriftMonitor`.
+#[derive(Debug, Clone, Default)]
+pub struct SaliencyScratch {
+    /// The series plus its extrapolated tail.
+    extended: Vec<f64>,
+    /// FFT buffer (forward spectrum, then the residual inverse).
+    spectrum: Vec<Complex>,
+    /// `log A(f)` plane.
+    log_amp: Vec<f64>,
+    /// `h_q * log A(f)` plane.
+    smoothed: Vec<f64>,
+    /// Prefix sums behind the rolling averages.
+    prefix: Vec<f64>,
+    /// Saliency map (scores only; `saliency_into` writes to the caller).
+    saliency: Vec<f64>,
+    /// Trailing average of the saliency map.
+    trailing: Vec<f64>,
+}
+
+impl SaliencyScratch {
+    /// An empty scratch; the first transform through it allocates, later
+    /// ones of the same (or smaller) series length reuse every buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// The Spectral Residual pipeline numerically broke down: the saliency map
+/// contains a non-finite value (FFT overflow on extreme inputs), so the
+/// derived outlying scores would be meaningless.
+///
+/// Returned by [`SpectralResidual::scores_into`]; callers degrade to a
+/// neutral preference (identity order) rather than ranking by garbage.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SaliencyOverflow {
+    /// Position of the first non-finite saliency value.
+    pub index: usize,
+    /// The offending saliency value (`NaN` or infinite).
+    pub saliency: f64,
+}
+
+impl fmt::Display for SaliencyOverflow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "spectral residual overflowed: saliency at position {} is {}",
+            self.index, self.saliency
+        )
+    }
+}
+
+impl std::error::Error for SaliencyOverflow {}
 
 /// Configuration of the Spectral Residual transform.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -51,46 +110,122 @@ impl SpectralResidual {
     /// Panics if the series is shorter than 4 points or contains non-finite
     /// values.
     pub fn saliency(&self, series: &[f64]) -> Vec<f64> {
+        let mut out = Vec::new();
+        self.saliency_into(series, &mut SaliencyScratch::new(), &mut out);
+        out
+    }
+
+    /// [`saliency`](Self::saliency) through caller-owned scratch, writing
+    /// the map into `out`. Results are identical; a warm
+    /// `(scratch, out)` pair recomputes with zero heap allocations.
+    ///
+    /// # Panics
+    ///
+    /// As for [`saliency`](Self::saliency).
+    pub fn saliency_into(&self, series: &[f64], scratch: &mut SaliencyScratch, out: &mut Vec<f64>) {
         assert!(series.len() >= 4, "spectral residual needs at least 4 points");
         assert!(series.iter().all(|v| v.is_finite()), "series must be finite");
 
         // Step 1: extend the tail with the SR paper's gradient extrapolation.
-        let mut extended = series.to_vec();
+        scratch.extended.clear();
+        scratch.extended.reserve(series.len() + self.extension);
+        scratch.extended.extend_from_slice(series);
         if self.extension > 0 {
             let est = self.estimate_next(series);
-            extended.extend(std::iter::repeat_n(est, self.extension));
+            scratch.extended.extend(std::iter::repeat_n(est, self.extension));
         }
 
         // Step 2: FFT (zero-padded to a power of two).
-        let n = extended.len();
-        let padded = next_pow2(n);
-        let mut buf: Vec<Complex> = extended.iter().map(|&v| Complex::real(v)).collect();
-        buf.resize(padded, Complex::ZERO);
-        fft_in_place(&mut buf);
+        rfft_into(&scratch.extended, &mut scratch.spectrum);
 
         // Step 3: log-amplitude residual.
-        let amplitude: Vec<f64> = buf.iter().map(|z| z.abs()).collect();
-        let log_amp: Vec<f64> = amplitude.iter().map(|&a| (a.max(1e-12)).ln()).collect();
-        let smoothed = crate::stats::moving_average(&log_amp, self.filter_window);
+        scratch.log_amp.clear();
+        scratch.log_amp.reserve(scratch.spectrum.len());
+        scratch.log_amp.extend(scratch.spectrum.iter().map(|z| z.abs().max(1e-12).ln()));
+        moving_average_into(
+            &scratch.log_amp,
+            self.filter_window,
+            &mut scratch.prefix,
+            &mut scratch.smoothed,
+        );
         // Step 4: rebuild with residual amplitude and original phase.
-        for (i, z) in buf.iter_mut().enumerate() {
-            let residual = log_amp[i] - smoothed[i];
+        for (i, z) in scratch.spectrum.iter_mut().enumerate() {
+            let residual = scratch.log_amp[i] - scratch.smoothed[i];
             let phase = z.arg();
             *z = Complex::from_polar(residual.exp(), phase);
         }
-        ifft_in_place(&mut buf);
-        let mut sal: Vec<f64> = buf[..n].iter().map(|z| z.abs()).collect();
-        sal.truncate(series.len());
-        sal
+        ifft_in_place(&mut scratch.spectrum);
+        out.clear();
+        out.reserve(series.len());
+        out.extend(scratch.spectrum[..series.len()].iter().map(|z| z.abs()));
     }
 
     /// Computes the per-point outlying score: relative deviation of the
     /// saliency map from its trailing average. Larger scores mean more
     /// anomalous points.
+    ///
+    /// No numerical validation is applied: on pathological inputs (values
+    /// near `f64::MAX`, where the FFT overflows) the scores can silently
+    /// degenerate. Use [`scores_into`](Self::scores_into) to detect that.
     pub fn scores(&self, series: &[f64]) -> Vec<f64> {
-        let sal = self.saliency(series);
-        let avg = trailing_average(&sal, self.score_window);
-        sal.iter().zip(avg).map(|(&s, a)| if a > 1e-12 { (s - a) / a } else { 0.0 }).collect()
+        let mut out = Vec::new();
+        self.scores_raw_into(series, &mut SaliencyScratch::new(), &mut out);
+        out
+    }
+
+    /// [`scores`](Self::scores) through caller-owned scratch, writing the
+    /// scores into `out` — and **validating** them: if the saliency map
+    /// contains a non-finite value (FFT overflow on extreme but finite
+    /// inputs), the transform has numerically broken down and every score
+    /// derived from it is meaningless, so the call is rejected instead of
+    /// returning garbage. On success the scores are identical to
+    /// [`scores`](Self::scores); a warm `(scratch, out)` pair recomputes
+    /// with zero heap allocations.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SaliencyOverflow`] (leaving `out` empty, never partially
+    /// filled) when the saliency map is non-finite.
+    ///
+    /// # Panics
+    ///
+    /// As for [`saliency`](Self::saliency).
+    pub fn scores_into(
+        &self,
+        series: &[f64],
+        scratch: &mut SaliencyScratch,
+        out: &mut Vec<f64>,
+    ) -> Result<(), SaliencyOverflow> {
+        self.scores_raw_into(series, scratch, out);
+        if let Some(index) = scratch.saliency.iter().position(|s| !s.is_finite()) {
+            let saliency = scratch.saliency[index];
+            out.clear();
+            return Err(SaliencyOverflow { index, saliency });
+        }
+        Ok(())
+    }
+
+    /// The unvalidated score pipeline shared by [`scores`](Self::scores)
+    /// and [`scores_into`](Self::scores_into).
+    fn scores_raw_into(&self, series: &[f64], scratch: &mut SaliencyScratch, out: &mut Vec<f64>) {
+        let mut saliency = std::mem::take(&mut scratch.saliency);
+        self.saliency_into(series, scratch, &mut saliency);
+        trailing_average_into(
+            &saliency,
+            self.score_window,
+            &mut scratch.prefix,
+            &mut scratch.trailing,
+        );
+        out.clear();
+        out.reserve(saliency.len());
+        out.extend(saliency.iter().zip(&scratch.trailing).map(|(&s, &a)| {
+            if a > 1e-12 {
+                (s - a) / a
+            } else {
+                0.0
+            }
+        }));
+        scratch.saliency = saliency;
     }
 
     /// The SR paper's estimate of the next point: the last value plus the
@@ -190,6 +325,77 @@ mod tests {
         let sr = SpectralResidual::default();
         let est = sr.estimate_next(&series);
         assert!((est - 40.0).abs() < 1e-9, "est = {est}");
+    }
+
+    #[test]
+    fn into_variants_match_allocating_paths_bit_exactly() {
+        let mut series = smooth_series(150);
+        series[40] += 25.0;
+        series[90] -= 60.0;
+        let sr = SpectralResidual::default();
+        let mut scratch = SaliencyScratch::new();
+        let mut out = Vec::new();
+        for len in [150usize, 64, 17, 4] {
+            sr.saliency_into(&series[..len], &mut scratch, &mut out);
+            let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+            assert_eq!(bits(&out), bits(&sr.saliency(&series[..len])), "saliency len {len}");
+            sr.scores_into(&series[..len], &mut scratch, &mut out).unwrap();
+            assert_eq!(bits(&out), bits(&sr.scores(&series[..len])), "scores len {len}");
+        }
+    }
+
+    #[test]
+    fn warm_scratch_reuses_every_buffer() {
+        let series = smooth_series(100);
+        let sr = SpectralResidual::default();
+        let mut scratch = SaliencyScratch::new();
+        let mut out = Vec::new();
+        sr.scores_into(&series, &mut scratch, &mut out).unwrap();
+        let caps = (
+            scratch.extended.capacity(),
+            scratch.spectrum.capacity(),
+            scratch.log_amp.capacity(),
+            scratch.smoothed.capacity(),
+            scratch.prefix.capacity(),
+            scratch.saliency.capacity(),
+            scratch.trailing.capacity(),
+            out.capacity(),
+        );
+        for _ in 0..5 {
+            sr.scores_into(&series, &mut scratch, &mut out).unwrap();
+        }
+        let after = (
+            scratch.extended.capacity(),
+            scratch.spectrum.capacity(),
+            scratch.log_amp.capacity(),
+            scratch.smoothed.capacity(),
+            scratch.prefix.capacity(),
+            scratch.saliency.capacity(),
+            scratch.trailing.capacity(),
+            out.capacity(),
+        );
+        assert_eq!(caps, after, "warm scores_into must not grow any buffer");
+    }
+
+    #[test]
+    fn overflowing_series_is_rejected_not_garbage() {
+        // Finite inputs near f64::MAX overflow the FFT butterflies: the
+        // saliency map degenerates to non-finite values and every derived
+        // score is meaningless. scores() silently returns them (all-zero
+        // here); scores_into() must reject instead.
+        let huge = vec![1.5e308, 1.5e308, 1.5e308, 1.5e308, 1.5e308, 1.5e308];
+        let sr = SpectralResidual::default();
+        assert!(sr.saliency(&huge).iter().any(|s| !s.is_finite()), "setup: FFT must overflow");
+        let mut scratch = SaliencyScratch::new();
+        let mut out = Vec::new();
+        let err = sr.scores_into(&huge, &mut scratch, &mut out).unwrap_err();
+        assert!(!err.saliency.is_finite());
+        assert!(out.is_empty(), "rejected scores must not leak into out");
+        assert!(err.to_string().contains("overflowed"));
+        // The scratch stays usable for well-behaved series afterwards.
+        let series = smooth_series(64);
+        sr.scores_into(&series, &mut scratch, &mut out).unwrap();
+        assert_eq!(out, sr.scores(&series));
     }
 
     #[test]

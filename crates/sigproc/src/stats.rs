@@ -41,44 +41,76 @@ pub fn z_normalize(xs: &[f64]) -> Vec<f64> {
     xs.iter().map(|x| (x - mu) / sd).collect()
 }
 
-/// Simple moving average with a centered window of `w` points (clamped at
-/// the edges), matching the average filter `h_q(f)` of the Spectral Residual
-/// transform when applied to spectra.
-pub fn moving_average(xs: &[f64], w: usize) -> Vec<f64> {
-    assert!(w >= 1, "window must be positive");
-    let n = xs.len();
-    let half = w / 2;
-    let mut prefix = Vec::with_capacity(n + 1);
+/// Refills `prefix` with the running sums of `xs` (`prefix[0] = 0`),
+/// reusing its allocation — the shared substrate of the rolling-average
+/// `_into` variants.
+fn prefix_sums_into(xs: &[f64], prefix: &mut Vec<f64>) {
+    prefix.clear();
+    prefix.reserve(xs.len() + 1);
     prefix.push(0.0f64);
     for &x in xs {
         prefix.push(prefix.last().unwrap() + x);
     }
-    (0..n)
-        .map(|i| {
-            let lo = i.saturating_sub(half);
-            let hi = (i + half + 1).min(n);
-            (prefix[hi] - prefix[lo]) / (hi - lo) as f64
-        })
-        .collect()
+}
+
+/// Simple moving average with a centered window of `w` points (clamped at
+/// the edges), matching the average filter `h_q(f)` of the Spectral Residual
+/// transform when applied to spectra.
+pub fn moving_average(xs: &[f64], w: usize) -> Vec<f64> {
+    let mut prefix = Vec::new();
+    let mut out = Vec::new();
+    moving_average_into(xs, w, &mut prefix, &mut out);
+    out
+}
+
+/// [`moving_average`] writing into caller-owned buffers: `prefix` is an
+/// opaque scratch area (overwritten every call), `out` receives the
+/// averages. A warm `(prefix, out)` pair recomputes with zero heap
+/// allocations — the per-alarm shape of the Spectral Residual transform.
+///
+/// # Panics
+///
+/// Panics if `w == 0`.
+pub fn moving_average_into(xs: &[f64], w: usize, prefix: &mut Vec<f64>, out: &mut Vec<f64>) {
+    assert!(w >= 1, "window must be positive");
+    let n = xs.len();
+    let half = w / 2;
+    prefix_sums_into(xs, prefix);
+    out.clear();
+    out.reserve(n);
+    out.extend((0..n).map(|i| {
+        let lo = i.saturating_sub(half);
+        let hi = (i + half + 1).min(n);
+        (prefix[hi] - prefix[lo]) / (hi - lo) as f64
+    }));
 }
 
 /// Trailing moving average: position `i` averages the `w` points ending at
 /// `i` (fewer near the start). Used by the Spectral Residual score
 /// normalization.
 pub fn trailing_average(xs: &[f64], w: usize) -> Vec<f64> {
+    let mut prefix = Vec::new();
+    let mut out = Vec::new();
+    trailing_average_into(xs, w, &mut prefix, &mut out);
+    out
+}
+
+/// [`trailing_average`] writing into caller-owned buffers (see
+/// [`moving_average_into`] for the scratch contract).
+///
+/// # Panics
+///
+/// Panics if `w == 0`.
+pub fn trailing_average_into(xs: &[f64], w: usize, prefix: &mut Vec<f64>, out: &mut Vec<f64>) {
     assert!(w >= 1, "window must be positive");
     let n = xs.len();
-    let mut prefix = Vec::with_capacity(n + 1);
-    prefix.push(0.0f64);
-    for &x in xs {
-        prefix.push(prefix.last().unwrap() + x);
-    }
-    (0..n)
-        .map(|i| {
-            let lo = (i + 1).saturating_sub(w);
-            (prefix[i + 1] - prefix[lo]) / (i + 1 - lo) as f64
-        })
-        .collect()
+    prefix_sums_into(xs, prefix);
+    out.clear();
+    out.reserve(n);
+    out.extend((0..n).map(|i| {
+        let lo = (i + 1).saturating_sub(w);
+        (prefix[i + 1] - prefix[lo]) / (i + 1 - lo) as f64
+    }));
 }
 
 /// Rolling mean and standard deviation of every length-`w` window of `xs`
@@ -234,6 +266,24 @@ mod tests {
         let xs = [4.0, 8.0, 0.0, 4.0];
         let ta = trailing_average(&xs, 2);
         assert_eq!(ta, vec![4.0, 6.0, 4.0, 2.0]);
+    }
+
+    #[test]
+    fn into_variants_match_and_recycle() {
+        let xs: Vec<f64> = (0..40).map(|i| ((i * 31) % 13) as f64 * 0.25 - 1.0).collect();
+        let mut prefix = Vec::new();
+        let mut out = Vec::new();
+        for w in [1usize, 2, 3, 7, 40, 100] {
+            moving_average_into(&xs, w, &mut prefix, &mut out);
+            assert_eq!(out, moving_average(&xs, w), "moving w = {w}");
+            trailing_average_into(&xs, w, &mut prefix, &mut out);
+            assert_eq!(out, trailing_average(&xs, w), "trailing w = {w}");
+        }
+        // Warm buffers must not grow on same-shape recomputation.
+        let caps = (prefix.capacity(), out.capacity());
+        moving_average_into(&xs, 5, &mut prefix, &mut out);
+        trailing_average_into(&xs, 5, &mut prefix, &mut out);
+        assert_eq!((prefix.capacity(), out.capacity()), caps, "warm _into must reuse buffers");
     }
 
     #[test]

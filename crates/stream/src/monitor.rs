@@ -8,15 +8,20 @@
 //! alarm, and the monitor answers *which points caused it* with the most
 //! comprehensible counterfactual explanation.
 //!
-//! Steady-state cost per observation is `O(log w)` (two treap slides) plus
-//! `O(1)` for the decision; explanations are computed only on alarms.
+//! Steady-state cost per observation is `O(log w)` (two treap slides for
+//! the KS statistic plus one order-statistic slide for the reference
+//! index) and `O(1)` for the decision; alarms are answered from
+//! incrementally-maintained state — `O(m log w)` plus the explanation
+//! construction itself, with **zero** heap allocations once warm (gated by
+//! `tests/alloc_count.rs`). Bad input never panics the monitor: route
+//! untrusted streams through [`DriftMonitor::try_push`].
 
 use crate::incremental::{IncrementalKs, ObsId};
 use moche_core::{
-    ExplainEngine, Explanation, ExplanationArena, KsConfig, KsOutcome, MocheError, PreferenceList,
-    ReferenceIndex, SizeSearch,
+    ExplainEngine, Explanation, ExplanationArena, IncrementalRefIndex, KsConfig, KsOutcome,
+    MocheError, PreferenceList, SizeSearch,
 };
-use moche_sigproc::SpectralResidual;
+use moche_sigproc::{SaliencyScratch, SpectralResidual};
 use std::collections::VecDeque;
 
 /// Monitor configuration.
@@ -109,18 +114,24 @@ pub struct DriftMonitor {
     /// back via [`recycle`](Self::recycle) make alarms allocation-free on
     /// the output side too.
     arena: ExplanationArena,
+    /// The reference order statistics, maintained **incrementally** across
+    /// window slides (`O(log w)` each) and materialized without sorting at
+    /// alarm time — the index the alarm splice consumes. Always in sync
+    /// with `ref_window`, so no alarm can ever pair a stale index with
+    /// fresh windows (the hazard the old per-alarm rebuild had).
+    ref_index: IncrementalRefIndex,
     /// Recycled per-alarm scratch: the flattened test window...
     test_scratch: Vec<f64>,
-    /// ...the flattened reference window...
-    ref_scratch: Vec<f64>,
-    /// ...the sort buffer behind [`ReferenceIndex::rebuild_from`]...
-    sort_scratch: Vec<f64>,
-    /// ...the reference index rebuilt in place on each alarm...
-    index_scratch: Option<ReferenceIndex>,
-    /// ...and the preference list refilled from the outlier scores.
+    /// ...the Spectral Residual working set (FFT spectrum, saliency
+    /// planes)...
+    sr_scratch: SaliencyScratch,
+    /// ...the outlier scores derived from it...
+    score_scratch: Vec<f64>,
+    /// ...and the preference list refilled from those scores.
     pref_scratch: PreferenceList,
     pushes: u64,
     alarms: u64,
+    degraded_preferences: u64,
 }
 
 impl DriftMonitor {
@@ -144,13 +155,14 @@ impl DriftMonitor {
             test_window: VecDeque::with_capacity(cfg.window),
             engine: ExplainEngine::with_config(ks_cfg),
             arena: ExplanationArena::new(),
+            ref_index: IncrementalRefIndex::with_capacity(cfg.window),
             test_scratch: Vec::new(),
-            ref_scratch: Vec::new(),
-            sort_scratch: Vec::new(),
-            index_scratch: None,
+            sr_scratch: SaliencyScratch::new(),
+            score_scratch: Vec::new(),
             pref_scratch: PreferenceList::identity(0),
             pushes: 0,
             alarms: 0,
+            degraded_preferences: 0,
         })
     }
 
@@ -164,6 +176,17 @@ impl DriftMonitor {
         self.alarms
     }
 
+    /// How many explanations were produced with the identity-preference
+    /// fallback because Spectral-Residual scoring rejected the window
+    /// (numerical breakdown on extreme values). Each counted explanation
+    /// is still valid — just ranked neutrally — and this counter surfaces
+    /// the degradation; calls that produce no explanation at all (e.g. an
+    /// on-demand [`explain_current`](Self::explain_current) while the
+    /// test currently passes) are never counted.
+    pub fn degraded_preferences(&self) -> u64 {
+        self.degraded_preferences
+    }
+
     /// The current reference window contents, oldest first.
     pub fn reference_window(&self) -> Vec<f64> {
         self.ref_window.iter().map(|&(v, _)| v).collect()
@@ -174,53 +197,83 @@ impl DriftMonitor {
         self.test_window.iter().map(|&(v, _)| v).collect()
     }
 
-    /// Feeds one observation and reports what happened.
+    /// Feeds one observation and reports what happened — the thin
+    /// asserting wrapper over [`try_push`](Self::try_push), for trusted
+    /// streams.
     ///
     /// # Panics
     ///
-    /// Panics on non-finite observations (monitor state stays valid).
+    /// Panics on non-finite observations (monitor state stays valid). Use
+    /// [`try_push`](Self::try_push) for untrusted input — a data file fed
+    /// straight into the monitor should degrade to an error report, not
+    /// abort the process.
     pub fn push(&mut self, value: f64) -> MonitorEvent {
-        assert!(value.is_finite(), "observations must be finite");
-        self.pushes += 1;
+        match self.try_push(value) {
+            Ok(event) => event,
+            Err(_) => panic!("observations must be finite (got {value}); see try_push"),
+        }
+    }
+
+    /// Feeds one observation and reports what happened, rejecting bad
+    /// input instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MocheError::NonFiniteObservation`] for a NaN or infinite
+    /// observation; the monitor state is untouched, so the caller can skip
+    /// the observation and keep streaming. The reported position is the
+    /// number of observations accepted so far.
+    pub fn try_push(&mut self, value: f64) -> Result<MonitorEvent, MocheError> {
         let w = self.cfg.window;
+        if !value.is_finite() {
+            return Err(MocheError::NonFiniteObservation { accepted: self.pushes, value });
+        }
+        self.pushes += 1;
 
         if self.ref_window.len() < w {
             let id = self.iks.insert_reference(value);
             self.ref_window.push_back((value, id));
-            return MonitorEvent::Warming {
+            self.ref_index.insert(value);
+            return Ok(MonitorEvent::Warming {
                 seen: self.ref_window.len() + self.test_window.len(),
                 needed: 2 * w,
-            };
+            });
         }
         if self.test_window.len() < w {
             let id = self.iks.insert_test(value);
             self.test_window.push_back((value, id));
             if self.test_window.len() < w {
-                return MonitorEvent::Warming {
+                return Ok(MonitorEvent::Warming {
                     seen: self.ref_window.len() + self.test_window.len(),
                     needed: 2 * w,
-                };
+                });
             }
             // Windows just became full: fall through to the decision.
         } else {
             // Steady state: the oldest test point is promoted to the
             // reference window (replacing its oldest point), and the new
-            // observation enters the test window. Two O(log w) slides.
+            // observation enters the test window. Three O(log w) slides:
+            // two in the KS structure, one in the reference order
+            // statistics.
             let (promoted_value, promoted_id) =
                 self.test_window.pop_front().expect("test window full");
-            let (_, oldest_ref_id) = self.ref_window.pop_front().expect("ref window full");
+            let (oldest_ref_value, oldest_ref_id) =
+                self.ref_window.pop_front().expect("ref window full");
             let new_ref_id = self
                 .iks
                 .slide_reference(oldest_ref_id, promoted_value)
                 .expect("ref handle is live");
             self.ref_window.push_back((promoted_value, new_ref_id));
+            let removed = self.ref_index.remove(oldest_ref_value);
+            debug_assert!(removed, "reference index tracks the reference window");
+            self.ref_index.insert(promoted_value);
             let new_test_id = self.iks.slide_test(promoted_id, value).expect("test handle is live");
             self.test_window.push_back((value, new_test_id));
         }
 
         let outcome = self.iks.outcome(&self.ks_cfg).expect("both windows non-empty");
         if !outcome.rejected {
-            return MonitorEvent::Stable { outcome };
+            return Ok(MonitorEvent::Stable { outcome });
         }
 
         self.alarms += 1;
@@ -234,30 +287,71 @@ impl DriftMonitor {
         if self.cfg.reset_on_drift {
             self.ref_window.clear();
             self.test_window.clear();
+            self.ref_index.clear();
             self.iks = IncrementalKs::new();
         }
-        MonitorEvent::Drift { outcome, explanation, size }
+        Ok(MonitorEvent::Drift { outcome, explanation, size })
     }
 
-    /// Explains the currently failing window pair with MOCHE, ranking test
-    /// points by Spectral-Residual outlier score. Runs on the monitor's
-    /// [`ExplainEngine`] through the indexed-reference path
-    /// ([`moche_core::BaseVector::build_with_index`]), so repeated alarms
-    /// share their scratch buffers and skip the per-alarm merge loop; the
-    /// window collections, the reference index and the preference list are
-    /// likewise recycled scratch, refilled in place per alarm.
-    fn explain_current(&mut self) -> Option<Explanation> {
+    /// Explains the current window pair with MOCHE, ranking test points by
+    /// Spectral-Residual outlier score — the alarm path, public so callers
+    /// can also ask for an explanation *between* alarms (e.g. on demand
+    /// for a dashboard). Returns `None` while the windows are still
+    /// warming, or when the KS test currently passes (nothing to explain).
+    ///
+    /// The reference order statistics are maintained incrementally across
+    /// slides, so no per-alarm sort happens here: materializing the index
+    /// is an `O(q_R)` in-order walk, the base-vector splice is
+    /// `O(m log w)` plus chunk copies, and every buffer — windows, index,
+    /// FFT planes, preference, bounds workspace, and (after
+    /// [`recycle`](Self::recycle)) the output itself — is recycled scratch
+    /// refilled in place: a warm alarm performs **zero** heap allocations.
+    ///
+    /// If Spectral-Residual scoring rejects the window (numerical
+    /// breakdown on extreme values, or fewer than 4 points), the
+    /// explanation falls back to the identity preference instead of being
+    /// dropped, and [`degraded_preferences`](Self::degraded_preferences)
+    /// counts the degradation.
+    pub fn explain_current(&mut self) -> Option<Explanation> {
         self.refresh_alarm_scratch()?;
-        if self.test_scratch.len() >= 4 {
-            let sr = SpectralResidual::default();
-            self.pref_scratch.fill_from_scores_desc(&sr.scores(&self.test_scratch)).ok()?;
-        } else {
-            self.pref_scratch.fill_identity(self.test_scratch.len());
+        if !self.currently_rejected() {
+            // Passing windows have nothing to explain; deciding that here
+            // costs O(1) (the incremental statistic is sitting at the
+            // treap root) instead of paying the SR transform and the
+            // base-vector build just to learn the same from the engine.
+            return None;
         }
-        let index = self.index_scratch.as_ref()?;
-        self.engine
+        let m = self.test_scratch.len();
+        let mut degraded = false;
+        if m >= 4 {
+            let sr = SpectralResidual::default();
+            let scored = sr
+                .scores_into(&self.test_scratch, &mut self.sr_scratch, &mut self.score_scratch)
+                .is_ok()
+                && self.pref_scratch.fill_from_scores_desc(&self.score_scratch).is_ok();
+            if !scored {
+                // A rejected scoring must not silently drop the whole
+                // explanation: degrade to the neutral identity order
+                // (matching the short-window branch).
+                degraded = true;
+                self.pref_scratch.fill_identity(m);
+            }
+        } else {
+            self.pref_scratch.fill_identity(m);
+        }
+        let index = self.ref_index.materialize().ok()?;
+        let explanation = self
+            .engine
             .explain_with_index_in(index, &self.test_scratch, &self.pref_scratch, &mut self.arena)
-            .ok()
+            .ok();
+        // Count the degradation only when an explanation was actually
+        // produced with the fallback ranking — an on-demand poll of a
+        // currently-passing window pair must not register phantom
+        // degraded alarms.
+        if degraded && explanation.is_some() {
+            self.degraded_preferences += 1;
+        }
+        explanation
     }
 
     /// Hands a consumed alarm explanation's output buffers back to the
@@ -269,27 +363,37 @@ impl DriftMonitor {
         self.arena.recycle(explanation);
     }
 
-    /// Phase 1 only on the currently failing window pair: the explanation
-    /// size, without constructing the explanation.
-    fn size_current(&mut self) -> Option<SizeSearch> {
+    /// Phase 1 only on the current window pair: the explanation size,
+    /// without constructing the explanation — the
+    /// [`MonitorConfig::size_only`] alarm path, public like
+    /// [`explain_current`](Self::explain_current). Returns `None` while
+    /// warming or when the test currently passes.
+    pub fn size_current(&mut self) -> Option<SizeSearch> {
         self.refresh_alarm_scratch()?;
-        let index = self.index_scratch.as_ref()?;
+        if !self.currently_rejected() {
+            return None; // see explain_current
+        }
+        let index = self.ref_index.materialize().ok()?;
         self.engine.size_with_index(index, &self.test_scratch).ok()
     }
 
-    /// Refills the recycled alarm scratch from the current windows: the
-    /// flattened window vectors and the in-place-rebuilt
-    /// [`ReferenceIndex`]. After the first alarm at a given window size
-    /// this allocates nothing (cf. the per-alarm `collect()`s it replaces).
+    /// Whether the monitor's KS decision — the same one that raises
+    /// alarms — currently rejects the window pair. `O(1)` in steady state.
+    fn currently_rejected(&mut self) -> bool {
+        matches!(self.iks.outcome(&self.ks_cfg), Ok(outcome) if outcome.rejected)
+    }
+
+    /// Refills the recycled test-window scratch. The reference side needs
+    /// no refresh: its order statistics are maintained incrementally with
+    /// every slide, so the alarm path can never pair a stale reference
+    /// index with fresh windows — any failure below leaves the scratch
+    /// empty (unambiguously invalid), never half-updated.
     fn refresh_alarm_scratch(&mut self) -> Option<()> {
         self.test_scratch.clear();
-        self.test_scratch.extend(self.test_window.iter().map(|&(v, _)| v));
-        self.ref_scratch.clear();
-        self.ref_scratch.extend(self.ref_window.iter().map(|&(v, _)| v));
-        match &mut self.index_scratch {
-            Some(index) => index.rebuild_from(&self.ref_scratch, &mut self.sort_scratch).ok()?,
-            None => self.index_scratch = Some(ReferenceIndex::new(&self.ref_scratch).ok()?),
+        if self.test_window.len() < self.cfg.window || self.ref_index.is_empty() {
+            return None; // still warming (or just reset): nothing to explain
         }
+        self.test_scratch.extend(self.test_window.iter().map(|&(v, _)| v));
         Some(())
     }
 }
@@ -469,6 +573,182 @@ mod tests {
             }
         }
         assert!(alarms > 1, "need repeated alarms to exercise the recycled path");
+    }
+
+    #[test]
+    fn try_push_rejects_non_finite_without_corrupting_state() {
+        let mut cfg = MonitorConfig::new(30, 0.05);
+        cfg.reset_on_drift = false;
+        let mut mon = DriftMonitor::new(cfg).unwrap();
+        let mut clean = DriftMonitor::new(cfg).unwrap();
+        let series: Vec<f64> = (0..300)
+            .map(|i| if i < 150 { (i % 7) as f64 } else { (i % 7) as f64 + 30.0 })
+            .collect();
+        let mut rejected = 0;
+        for (i, &x) in series.iter().enumerate() {
+            // Inject garbage between every real observation: each must be
+            // rejected with the monitor untouched — a regression guard for
+            // the panic `push` used to hit on bad data files.
+            for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+                match mon.try_push(bad) {
+                    Err(MocheError::NonFiniteObservation { accepted, value }) => {
+                        assert_eq!(accepted, i as u64, "position counts accepted observations");
+                        assert_eq!(value.to_bits(), bad.to_bits());
+                        rejected += 1;
+                    }
+                    other => panic!("expected NonFiniteObservation, got {other:?}"),
+                }
+            }
+            let a = format!("{:?}", mon.try_push(x).unwrap());
+            let b = format!("{:?}", clean.push(x));
+            assert_eq!(a, b, "rejected observations must leave no trace (t = {i})");
+        }
+        assert_eq!(rejected, 3 * series.len());
+        assert_eq!(mon.pushes(), clean.pushes());
+        assert_eq!(mon.alarms(), clean.alarms());
+        assert!(mon.alarms() > 0, "the level shift must still alarm");
+    }
+
+    #[test]
+    #[should_panic(expected = "must be finite")]
+    fn push_keeps_the_asserting_contract() {
+        let mut mon = DriftMonitor::new(MonitorConfig::new(10, 0.05)).unwrap();
+        mon.push(f64::NAN);
+    }
+
+    #[test]
+    fn sr_rejection_degrades_to_identity_instead_of_dropping() {
+        // Near-f64::MAX test values overflow the Spectral Residual FFT, so
+        // scoring rejects the window. The alarm must still carry an
+        // explanation (identity-ranked) and count the degradation.
+        let mut cfg = MonitorConfig::new(20, 0.05);
+        cfg.reset_on_drift = false;
+        let mut mon = DriftMonitor::new(cfg).unwrap();
+        let mut degraded_alarms = 0;
+        for i in 0..200 {
+            let x = if i < 100 { (i % 5) as f64 } else { 1.5e308 };
+            if let MonitorEvent::Drift { explanation, .. } = mon.push(x) {
+                let e = explanation
+                    .expect("SR rejection must fall back to identity, not drop the explanation");
+                assert!(e.outcome_after.passes());
+                assert!(e.values().iter().all(|&v| v > 1.0e308), "the huge points explain it");
+                degraded_alarms += 1;
+                mon.recycle(e);
+            }
+        }
+        assert!(degraded_alarms > 0, "the shift to huge values must alarm");
+        assert_eq!(
+            mon.degraded_preferences(),
+            degraded_alarms,
+            "every alarm on the overflowing window degrades its preference"
+        );
+        // A healthy monitor never increments the counter.
+        let mut healthy = DriftMonitor::new(MonitorConfig::new(20, 0.05)).unwrap();
+        for i in 0..200 {
+            let x = if i < 100 { (i % 5) as f64 } else { (i % 5) as f64 + 40.0 };
+            if let MonitorEvent::Drift { explanation: Some(e), .. } = healthy.push(x) {
+                healthy.recycle(e);
+            }
+        }
+        assert!(healthy.alarms() > 0);
+        assert_eq!(healthy.degraded_preferences(), 0);
+    }
+
+    #[test]
+    fn passing_windows_never_count_phantom_degradations() {
+        // Both windows hold the same extreme values: the KS test passes,
+        // SR scoring overflows, and an on-demand explain_current() poll
+        // returns None — without registering a degraded preference, since
+        // no explanation was produced.
+        let mut cfg = MonitorConfig::new(10, 0.05);
+        cfg.reset_on_drift = false;
+        let mut mon = DriftMonitor::new(cfg).unwrap();
+        for i in 0..40 {
+            match mon.push(if i % 2 == 0 { 1.5e308 } else { 1.2e308 }) {
+                MonitorEvent::Drift { .. } => panic!("identical distributions must not alarm"),
+                MonitorEvent::Stable { .. } | MonitorEvent::Warming { .. } => {}
+            }
+        }
+        for _ in 0..5 {
+            assert!(mon.explain_current().is_none(), "passing windows have nothing to explain");
+        }
+        assert_eq!(mon.degraded_preferences(), 0, "no explanation, no degradation");
+    }
+
+    #[test]
+    fn incremental_index_stays_in_sync_with_the_reference_window() {
+        // Slides, alarms, rejected pushes and resets: after every accepted
+        // observation the incrementally-maintained index must equal a
+        // from-scratch sorted build of the reference window — the
+        // structural guarantee that replaced the stale-scratch hazard of
+        // the per-alarm rebuild.
+        use moche_core::ReferenceIndex;
+        for reset in [true, false] {
+            let mut cfg = MonitorConfig::new(15, 0.05);
+            cfg.reset_on_drift = reset;
+            let mut mon = DriftMonitor::new(cfg).unwrap();
+            for i in 0..240u32 {
+                if i % 7 == 0 {
+                    assert!(mon.try_push(f64::NAN).is_err());
+                }
+                let x = f64::from(i % 11) + if (i / 60) % 2 == 0 { 0.0 } else { 25.0 };
+                if let MonitorEvent::Drift { explanation: Some(e), .. } = mon.push(x) {
+                    mon.recycle(e);
+                }
+                let window = mon.reference_window();
+                if window.is_empty() {
+                    assert!(mon.ref_index.is_empty(), "reset must clear the index (i = {i})");
+                } else {
+                    assert_eq!(
+                        mon.ref_index.materialize().unwrap(),
+                        &ReferenceIndex::new(&window).unwrap(),
+                        "i = {i}, reset = {reset}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn explain_current_on_demand_matches_the_alarm_path() {
+        let mut cfg = MonitorConfig::new(40, 0.05);
+        cfg.reset_on_drift = false;
+        cfg.explain_on_drift = false; // alarms carry no explanation...
+        let mut mon = DriftMonitor::new(cfg).unwrap();
+        assert!(mon.explain_current().is_none(), "nothing to explain while warming");
+        assert!(mon.size_current().is_none());
+        let mut checked = 0;
+        for i in 0..400 {
+            let x = if i < 200 { ((i * 13) % 11) as f64 } else { ((i * 13) % 11) as f64 + 20.0 };
+            match mon.push(x) {
+                MonitorEvent::Drift { explanation, .. } => {
+                    assert!(explanation.is_none());
+                    // ...but the public method explains the same windows on
+                    // demand, matching a one-shot MOCHE run exactly.
+                    let e = mon.explain_current().expect("failing windows must explain");
+                    let moche = moche_core::Moche::new(0.05).unwrap();
+                    let pref = {
+                        let t = mon.test_window();
+                        let sr = SpectralResidual::default();
+                        PreferenceList::from_scores_desc(&sr.scores(&t)).unwrap()
+                    };
+                    let expected =
+                        moche.explain(&mon.reference_window(), &mon.test_window(), &pref).unwrap();
+                    assert_eq!(e, expected, "i = {i}");
+                    assert_eq!(mon.size_current().unwrap(), e.phase1);
+                    mon.recycle(e);
+                    checked += 1;
+                    if checked >= 3 {
+                        return;
+                    }
+                }
+                MonitorEvent::Stable { .. } => {
+                    assert!(mon.explain_current().is_none(), "passing windows have no explanation");
+                }
+                MonitorEvent::Warming { .. } => {}
+            }
+        }
+        assert!(checked > 0, "the level shift must alarm");
     }
 
     #[test]
