@@ -75,5 +75,21 @@ fn bench_alarm_paths(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_steady_state_slides, bench_alarm_paths);
+fn bench_checkpoint_write(c: &mut Criterion) {
+    let mut group = c.benchmark_group("monitor_checkpoint");
+    for &w in &[1_000usize, 10_000] {
+        // The cost of one `--checkpoint` firing: snapshot the full state,
+        // encode + CRC it, write atomically (temp + fsync + rename). Sets
+        // the floor for a sensible `--checkpoint-every` cadence.
+        let mon = alarmed_monitor(w);
+        let path = std::env::temp_dir().join(format!("moche-crit-checkpoint-{w}.snap"));
+        group.bench_with_input(BenchmarkId::new("write_atomic", w), &w, |b, _| {
+            b.iter(|| mon.checkpoint(black_box(&path)).expect("checkpoint write"))
+        });
+        let _ = std::fs::remove_file(&path);
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_steady_state_slides, bench_alarm_paths, bench_checkpoint_write);
 criterion_main!(benches);

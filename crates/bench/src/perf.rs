@@ -506,6 +506,22 @@ fn monitor_suite(w: usize, alloc_counter: Option<&dyn Fn() -> u64>) -> Vec<Bench
         alloc_counter,
     ));
 
+    eprintln!("[bench-json] monitor checkpoint write (w = {w})...");
+    // The operational cost of `moche monitor --checkpoint`: capture the
+    // full monitor state, encode + checksum it, and persist atomically
+    // (temp file + fsync + rename). This is what a `--checkpoint-every`
+    // cadence buys per firing — the between-checkpoints cost is pinned at
+    // zero by the allocation gates.
+    let path = std::env::temp_dir().join(format!("moche-bench-checkpoint-{w}.snap"));
+    records.push(measure(
+        &format!("monitor/checkpoint_write/w={w}"),
+        || {
+            mon.checkpoint(black_box(&path)).expect("checkpoint write");
+        },
+        alloc_counter,
+    ));
+    let _ = std::fs::remove_file(&path);
+
     records
 }
 

@@ -91,18 +91,28 @@ pub enum Command {
         size_only: bool,
     },
     /// `moche monitor SERIES --window W [--alpha A] [--no-explain]
-    /// [--size-only]`
+    /// [--size-only] [--checkpoint PATH [--checkpoint-every N]]
+    /// [--resume PATH]`
     Monitor {
         /// Series data file.
         series: PathBuf,
-        /// Window size.
-        window: usize,
+        /// Window size (`None` only when resuming — the snapshot carries
+        /// it).
+        window: Option<usize>,
         /// Significance level.
         alpha: f64,
         /// Disable explanations on alarms.
         explain: bool,
         /// Report only the Phase-1 explanation size per alarm.
         size_only: bool,
+        /// Write crash-safe snapshots to this path.
+        checkpoint: Option<PathBuf>,
+        /// Checkpoint cadence in accepted observations (default: the
+        /// window size).
+        checkpoint_every: Option<u64>,
+        /// Restore monitor state from this snapshot before feeding the
+        /// series.
+        resume: Option<PathBuf>,
     },
     /// `moche help` or `--help`.
     Help,
@@ -130,7 +140,11 @@ USAGE:
       engine; --size-only reports each window's explanation size k
       (Phase 1 only) without constructing the explanation.
   moche monitor <SERIES> --window W [--alpha A] [--no-explain] [--size-only]
+                [--checkpoint PATH [--checkpoint-every N]] [--resume PATH]
       Stream a series through paired sliding windows; explain each alarm.
+      --checkpoint writes crash-safe snapshots; --resume restores one and
+      continues the run exactly where it left off (alarms are identical
+      to an uninterrupted run over the same observations).
 
 Data files: one number per line; '#' starts a comment; for 'explain
 --preference scores' each line may be 'value,score'.
@@ -145,6 +159,18 @@ OPTIONS:
                 printed as they are delivered; memory stays constant
                 however long the windows file is)
   --size-only   batch/monitor: Phase-1 size k only, skip Phase 2
+  --checkpoint PATH
+                monitor: write a checksummed snapshot of the monitor state
+                to PATH every N accepted observations and once at the end
+                of the run; each write is atomic (temp file + fsync +
+                rename), so PATH always holds a complete snapshot
+  --checkpoint-every N
+                monitor: checkpoint cadence in accepted observations
+                (default: the window size); requires --checkpoint
+  --resume PATH monitor: restore state from a snapshot before feeding the
+                series; the snapshot's configuration (window, alpha,
+                explain mode) takes precedence, and a --window given
+                alongside must match the snapshot's
 
 EXIT CODES:
   0  success
@@ -153,6 +179,9 @@ EXIT CODES:
      merely pass the KS test are not errors, but do not count as
      explained either
   2  usage errors
+  3  snapshot errors — a --resume file that is missing, truncated,
+     corrupt, or from an unsupported version, or a --checkpoint write
+     that failed
 ";
 
 fn parse_alpha(value: Option<&str>) -> Result<f64, CliError> {
@@ -185,6 +214,9 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
     let mut explain = true;
     let mut stream = false;
     let mut size_only = false;
+    let mut checkpoint: Option<PathBuf> = None;
+    let mut checkpoint_every: Option<u64> = None;
+    let mut resume: Option<PathBuf> = None;
     while let Some(arg) = it.next() {
         match arg {
             "--alpha" => alpha = parse_alpha(it.next())?,
@@ -220,6 +252,28 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
             "--no-explain" => explain = false,
             "--stream" => stream = true,
             "--size-only" => size_only = true,
+            "--checkpoint" => {
+                let raw =
+                    it.next().ok_or_else(|| CliError::Usage("--checkpoint needs a path".into()))?;
+                checkpoint = Some(PathBuf::from(raw));
+            }
+            "--checkpoint-every" => {
+                let raw = it
+                    .next()
+                    .ok_or_else(|| CliError::Usage("--checkpoint-every needs a value".into()))?;
+                let every: u64 = raw
+                    .parse()
+                    .map_err(|_| CliError::Usage(format!("invalid --checkpoint-every '{raw}'")))?;
+                if every == 0 {
+                    return Err(CliError::Usage("--checkpoint-every must be at least 1".into()));
+                }
+                checkpoint_every = Some(every);
+            }
+            "--resume" => {
+                let raw =
+                    it.next().ok_or_else(|| CliError::Usage("--resume needs a path".into()))?;
+                resume = Some(PathBuf::from(raw));
+            }
             "--preference" => {
                 let raw = it
                     .next()
@@ -294,14 +348,21 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
             if positionals.len() != 1 {
                 return Err(CliError::Usage("monitor expects one <SERIES> file".into()));
             }
-            let window =
-                window.ok_or_else(|| CliError::Usage("monitor requires --window W".into()))?;
+            if window.is_none() && resume.is_none() {
+                return Err(CliError::Usage("monitor requires --window W (or --resume)".into()));
+            }
+            if checkpoint_every.is_some() && checkpoint.is_none() {
+                return Err(CliError::Usage("--checkpoint-every requires --checkpoint".into()));
+            }
             Ok(Command::Monitor {
                 series: PathBuf::from(positionals[0]),
                 window,
                 alpha,
                 explain,
                 size_only,
+                checkpoint,
+                checkpoint_every,
+                resume,
             })
         }
         other => Err(CliError::Usage(format!("unknown command '{other}' (try 'moche help')"))),
@@ -367,9 +428,9 @@ mod tests {
     #[test]
     fn parses_monitor() {
         match parse_ok(&["monitor", "s.txt", "--window", "200", "--no-explain"]) {
-            Command::Monitor { series, window, alpha, explain, size_only } => {
+            Command::Monitor { series, window, alpha, explain, size_only, .. } => {
                 assert_eq!(series, PathBuf::from("s.txt"));
-                assert_eq!(window, 200);
+                assert_eq!(window, Some(200));
                 assert_eq!(alpha, 0.05);
                 assert!(!explain);
                 assert!(!size_only);
@@ -382,6 +443,58 @@ mod tests {
         }
         assert!(matches!(parse_err(&["monitor", "s.txt"]), CliError::Usage(_)));
         assert!(matches!(parse_err(&["monitor", "s.txt", "--window", "1"]), CliError::Usage(_)));
+    }
+
+    #[test]
+    fn parses_monitor_checkpoint_flags() {
+        match parse_ok(&[
+            "monitor",
+            "s.txt",
+            "--window",
+            "50",
+            "--checkpoint",
+            "state.snap",
+            "--checkpoint-every",
+            "500",
+        ]) {
+            Command::Monitor { checkpoint, checkpoint_every, resume, .. } => {
+                assert_eq!(checkpoint, Some(PathBuf::from("state.snap")));
+                assert_eq!(checkpoint_every, Some(500));
+                assert_eq!(resume, None);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // --resume carries the configuration, so --window becomes optional.
+        match parse_ok(&["monitor", "s.txt", "--resume", "state.snap"]) {
+            Command::Monitor { window, resume, .. } => {
+                assert_eq!(window, None);
+                assert_eq!(resume, Some(PathBuf::from("state.snap")));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Cadence without a destination is meaningless.
+        assert!(matches!(
+            parse_err(&["monitor", "s.txt", "--window", "50", "--checkpoint-every", "10"]),
+            CliError::Usage(_)
+        ));
+        assert!(matches!(
+            parse_err(&[
+                "monitor",
+                "s.txt",
+                "--window",
+                "50",
+                "--checkpoint",
+                "p",
+                "--checkpoint-every",
+                "0"
+            ]),
+            CliError::Usage(_)
+        ));
+        assert!(matches!(
+            parse_err(&["monitor", "s.txt", "--window", "50", "--checkpoint"]),
+            CliError::Usage(_)
+        ));
+        assert!(matches!(parse_err(&["monitor", "s.txt", "--resume"]), CliError::Usage(_)));
     }
 
     #[test]

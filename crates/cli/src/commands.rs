@@ -13,9 +13,47 @@ use moche_core::{
     WindowReport,
 };
 use moche_sigproc::SpectralResidual;
-use moche_stream::{DriftMonitor, MonitorConfig, MonitorEvent};
+use moche_stream::{DriftMonitor, MonitorConfig, MonitorEvent, MonitorSnapshot};
 use std::io::Write;
+use std::path::Path;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
+
+/// Fault-tolerance bookkeeping for one run: everything that went wrong but
+/// was survived, plus the crash-safety work done. Surfaced in the text
+/// summaries and as a `# health:` comment in CSV output, so an operator
+/// can tell a pristine run from one that limped through.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct HealthReport {
+    /// Windows whose worker panicked (caught; only that window was lost).
+    pub worker_panics: usize,
+    /// Observations the monitor rejected and skipped (e.g. non-finite).
+    pub skipped_observations: usize,
+    /// Windows/alarms explained under a degraded (identity) preference
+    /// because scoring was not possible.
+    pub degraded_preferences: usize,
+    /// Snapshots written by `--checkpoint`.
+    pub checkpoints_written: usize,
+}
+
+impl HealthReport {
+    fn is_clean(&self) -> bool {
+        self.worker_panics == 0 && self.skipped_observations == 0 && self.degraded_preferences == 0
+    }
+
+    /// The one-line text rendering (also used, `#`-prefixed, in CSV).
+    fn summary(&self) -> String {
+        format!(
+            "health: {} worker panic(s), {} skipped observation(s), \
+             {} degraded preference(s), {} checkpoint(s) written{}",
+            self.worker_panics,
+            self.skipped_observations,
+            self.degraded_preferences,
+            self.checkpoints_written,
+            if self.is_clean() { "" } else { " [DEGRADED]" }
+        )
+    }
+}
 
 /// What a successfully executed command reports back to `main` beyond its
 /// printed output: enough to fold per-window failures into the process
@@ -27,6 +65,9 @@ pub struct RunStatus {
     pub window_errors: usize,
     /// Windows that produced an explanation or a size.
     pub windows_explained: usize,
+    /// Fault-tolerance bookkeeping (panics survived, observations skipped,
+    /// checkpoints written).
+    pub health: HealthReport,
 }
 
 impl RunStatus {
@@ -89,9 +130,27 @@ pub fn run(command: Command, out: &mut dyn Write) -> Result<RunStatus, CliError>
                 run_batch(&r, &w, &opts, out)
             }
         }
-        Command::Monitor { series, window, alpha, explain, size_only } => {
+        Command::Monitor {
+            series,
+            window,
+            alpha,
+            explain,
+            size_only,
+            checkpoint,
+            checkpoint_every,
+            resume,
+        } => {
             let values = read_values(&series)?;
-            run_monitor(&values, window, alpha, explain, size_only, out)
+            let opts = MonitorOptions {
+                window,
+                alpha,
+                explain,
+                size_only,
+                checkpoint: checkpoint.as_deref(),
+                checkpoint_every,
+                resume: resume.as_deref(),
+            };
+            run_monitor(&values, &opts, out)
         }
     }
 }
@@ -144,7 +203,11 @@ fn run_size(r: &[f64], t: &[f64], alpha: f64, out: &mut dyn Write) -> Result<Run
 ///
 /// Panics on the file-backed sources, which the batch argument parser
 /// rejects up front.
-fn window_preference(t: &[f64], source: &PreferenceSource) -> Result<PreferenceList, MocheError> {
+fn window_preference(
+    t: &[f64],
+    source: &PreferenceSource,
+    degraded: &AtomicUsize,
+) -> Result<PreferenceList, MocheError> {
     match source {
         PreferenceSource::SpectralResidual => {
             // SR panics on non-finite input; fall back to identity and let
@@ -153,6 +216,7 @@ fn window_preference(t: &[f64], source: &PreferenceSource) -> Result<PreferenceL
                 let sr = SpectralResidual::default();
                 PreferenceList::from_scores_desc(&sr.scores(t))
             } else {
+                degraded.fetch_add(1, Ordering::Relaxed);
                 Ok(PreferenceList::identity(t.len()))
             }
         }
@@ -174,7 +238,7 @@ fn build_preference(
         PreferenceSource::SpectralResidual
         | PreferenceSource::ValueDesc
         | PreferenceSource::ValueAsc
-        | PreferenceSource::Identity => window_preference(t, source)?,
+        | PreferenceSource::Identity => window_preference(t, source, &AtomicUsize::new(0))?,
         PreferenceSource::ScoreColumn => {
             let scores = scores_column.ok_or_else(|| {
                 CliError::Usage(
@@ -245,7 +309,7 @@ fn run_explain(
             }
         }
     }
-    Ok(RunStatus { window_errors: 0, windows_explained: 1 })
+    Ok(RunStatus { window_errors: 0, windows_explained: 1, ..RunStatus::default() })
 }
 
 /// Renders the requested thread cap for the summary line.
@@ -285,7 +349,8 @@ fn run_batch(
     // Preference scoring (Spectral Residual in particular) runs inside the
     // worker threads, parallelized along with the explanations; a
     // per-window scoring failure lands in that window's result slot.
-    let score = |_: usize, w: &[f64]| window_preference(w, opts.preference);
+    let degraded = AtomicUsize::new(0);
+    let score = |_: usize, w: &[f64]| window_preference(w, opts.preference, &degraded);
     let started = Instant::now();
     let results =
         explainer.explain_windows_with(&shared, windows, WindowPreferences::Scored(&score));
@@ -293,6 +358,13 @@ fn run_batch(
 
     let mut explained = 0usize;
     let mut passing = 0usize;
+    let worker_panics =
+        results.iter().filter(|r| matches!(r, Err(MocheError::WorkerPanicked { .. }))).count();
+    let health = HealthReport {
+        worker_panics,
+        degraded_preferences: degraded.load(Ordering::Relaxed),
+        ..HealthReport::default()
+    };
     match opts.format {
         OutputFormat::Csv => {
             writeln!(out, "window,index,value")?;
@@ -313,6 +385,7 @@ fn run_batch(
                     }
                 }
             }
+            writeln!(out, "# {}", health.summary())?;
         }
         OutputFormat::Text => {
             for (w, result) in results.iter().enumerate() {
@@ -349,11 +422,13 @@ fn run_batch(
                 if secs > 0.0 { explained as f64 / secs } else { 0.0 },
                 requested_threads(opts.threads)
             )?;
+            writeln!(out, "{}", health.summary())?;
         }
     }
     Ok(RunStatus {
         window_errors: windows.len() - explained - passing,
         windows_explained: explained,
+        health,
     })
 }
 
@@ -419,7 +494,8 @@ fn run_batch_stream(
     let streamer = StreamingBatchExplainer::new(opts.alpha)?.threads(opts.threads).mode(mode);
     let effective = streamer.effective_threads();
     let (mut stream, error_slot) = WindowStream::open(windows)?;
-    let score = |_: usize, w: &[f64]| window_preference(w, opts.preference);
+    let degraded = AtomicUsize::new(0);
+    let score = |_: usize, w: &[f64]| window_preference(w, opts.preference, &degraded);
 
     if opts.format == OutputFormat::Csv {
         writeln!(out, "{}", if size_only { "window,k,k_hat" } else { "window,index,value" })?;
@@ -448,12 +524,22 @@ fn run_batch_stream(
     // A malformed line stops the stream. Results already delivered have
     // been printed (that is the point of streaming); surfacing the error
     // exits nonzero, so consumers never mistake a truncated run for a
-    // complete one.
-    if let Some(e) = error_slot.lock().expect("window stream error slot poisoned").take() {
+    // complete one. The slot is a plain Option swap, so a poisoned lock
+    // carries no torn state — recover it rather than panic in reporting.
+    let parked = error_slot.lock().unwrap_or_else(std::sync::PoisonError::into_inner).take();
+    if let Some(e) = parked {
         return Err(e);
     }
     if summary.windows == 0 {
         return Err(CliError::Usage("windows file contains no windows".into()));
+    }
+    let health = HealthReport {
+        worker_panics: summary.panics,
+        degraded_preferences: degraded.load(Ordering::Relaxed),
+        ..HealthReport::default()
+    };
+    if opts.format == OutputFormat::Csv {
+        writeln!(out, "# {}", health.summary())?;
     }
     if opts.format == OutputFormat::Text {
         let secs = elapsed.as_secs_f64();
@@ -471,22 +557,63 @@ fn run_batch_stream(
             summary.threads,
             requested_threads(opts.threads)
         )?;
+        writeln!(out, "{}", health.summary())?;
     }
-    Ok(RunStatus { window_errors: summary.errors, windows_explained: summary.explained })
+    Ok(RunStatus { window_errors: summary.errors, windows_explained: summary.explained, health })
+}
+
+/// The flags of `moche monitor` (see [`crate::args::Command::Monitor`]).
+struct MonitorOptions<'a> {
+    window: Option<usize>,
+    alpha: f64,
+    explain: bool,
+    size_only: bool,
+    checkpoint: Option<&'a Path>,
+    checkpoint_every: Option<u64>,
+    resume: Option<&'a Path>,
 }
 
 fn run_monitor(
     values: &[f64],
-    window: usize,
-    alpha: f64,
-    explain: bool,
-    size_only: bool,
+    opts: &MonitorOptions<'_>,
     out: &mut dyn Write,
 ) -> Result<RunStatus, CliError> {
-    let mut cfg = MonitorConfig::new(window, alpha);
-    cfg.explain_on_drift = explain;
-    cfg.size_only = size_only;
-    let mut monitor = DriftMonitor::new(cfg)?;
+    // `--resume` restores the full monitor state — configuration included —
+    // from the snapshot; a `--window` given alongside is cross-checked so a
+    // supervisor restart with a drifted flag fails loudly instead of
+    // silently monitoring at the wrong scale.
+    let (mut monitor, window, alpha) = match opts.resume {
+        Some(path) => {
+            let snapshot = MonitorSnapshot::read_from(path)?;
+            if let Some(w) = opts.window {
+                if w != snapshot.window {
+                    return Err(CliError::Usage(format!(
+                        "--window {w} does not match the resumed snapshot's window {}",
+                        snapshot.window
+                    )));
+                }
+            }
+            let monitor = DriftMonitor::restore(&snapshot)?;
+            writeln!(
+                out,
+                "resumed from {}: {} observation(s) already seen, {} alarm(s)",
+                path.display(),
+                snapshot.pushes,
+                snapshot.alarms
+            )?;
+            (monitor, snapshot.window, snapshot.alpha)
+        }
+        None => {
+            let window =
+                opts.window.ok_or_else(|| CliError::Usage("monitor requires --window W".into()))?;
+            let mut cfg = MonitorConfig::new(window, opts.alpha);
+            cfg.explain_on_drift = opts.explain;
+            cfg.size_only = opts.size_only;
+            (DriftMonitor::new(cfg)?, window, opts.alpha)
+        }
+    };
+    let checkpoint_every = opts.checkpoint_every.unwrap_or(window as u64);
+    let mut checkpoints = 0usize;
     writeln!(
         out,
         "monitoring {} observations with paired windows of {window} (alpha = {alpha})",
@@ -538,16 +665,35 @@ fn run_monitor(
                 }
             }
         }
+        if let Some(path) = opts.checkpoint {
+            if monitor.pushes().is_multiple_of(checkpoint_every) {
+                monitor.checkpoint(path)?;
+                checkpoints += 1;
+            }
+        }
+    }
+    if let Some(path) = opts.checkpoint {
+        // One final snapshot regardless of cadence, so `--resume` picks up
+        // exactly where this run ended.
+        monitor.checkpoint(path)?;
+        checkpoints += 1;
     }
     writeln!(out, "{} alarm(s) in {} observations", monitor.alarms(), monitor.pushes())?;
     if skipped > 0 {
         writeln!(out, "{skipped} non-finite observation(s) skipped")?;
     }
+    let health = HealthReport {
+        skipped_observations: skipped,
+        degraded_preferences: usize::try_from(monitor.degraded_preferences()).unwrap_or(usize::MAX),
+        checkpoints_written: checkpoints,
+        ..HealthReport::default()
+    };
+    writeln!(out, "{}", health.summary())?;
     // A monitoring run's product is its alarm report, not explanations (a
     // clean run with zero alarms is a success), so corrupt observations
     // are counted as errors with nothing on the "explained" side: any
     // skipped observation makes the run exit nonzero.
-    Ok(RunStatus { window_errors: skipped, windows_explained: 0 })
+    Ok(RunStatus { window_errors: skipped, windows_explained: 0, health })
 }
 
 #[cfg(test)]
@@ -578,6 +724,23 @@ mod tests {
         format: OutputFormat,
     ) -> BatchOptions<'a> {
         BatchOptions { alpha, threads, preference, format }
+    }
+
+    fn monitor_opts(
+        window: usize,
+        alpha: f64,
+        explain: bool,
+        size_only: bool,
+    ) -> MonitorOptions<'static> {
+        MonitorOptions {
+            window: Some(window),
+            alpha,
+            explain,
+            size_only,
+            checkpoint: None,
+            checkpoint_every: None,
+            resume: None,
+        }
     }
 
     #[test]
@@ -782,6 +945,44 @@ mod tests {
     }
 
     #[test]
+    fn batch_health_counts_degraded_preferences() {
+        let (r, t) = shifted_sets();
+        // The NaN window cannot be SR-scored: the preference degrades to
+        // identity (counted in health) and the window itself then fails
+        // input validation.
+        let bad = vec![f64::NAN, 1.0, 2.0, 3.0, 4.0];
+        let windows = vec![t, bad];
+        let opts = batch_opts(0.05, 1, &PreferenceSource::SpectralResidual, OutputFormat::Csv);
+        let (out, status) = capture(|o| run_batch(&r, &windows, &opts, o)).unwrap();
+        assert!(out.lines().any(|l| l.starts_with("# health:")), "{out}");
+        assert_eq!(status.health.degraded_preferences, 1);
+        assert_eq!(status.health.worker_panics, 0);
+        assert!(out.contains("1 degraded preference(s)"), "{out}");
+        assert!(out.contains("[DEGRADED]"), "{out}");
+        // A clean batch reports clean health, without the degraded marker.
+        let (r2, t2) = shifted_sets();
+        let clean_opts = batch_opts(0.05, 1, &PreferenceSource::Identity, OutputFormat::Text);
+        let (clean, clean_status) = capture(|o| run_batch(&r2, &[t2], &clean_opts, o)).unwrap();
+        assert!(clean.contains("health: 0 worker panic(s)"), "{clean}");
+        assert!(!clean.contains("[DEGRADED]"), "{clean}");
+        assert_eq!(clean_status.health, HealthReport::default());
+    }
+
+    #[test]
+    fn batch_stream_surfaces_health_in_both_formats() {
+        let (r, t) = shifted_sets();
+        let windows = vec![t.clone(), t];
+        let file = TempWindows::new("health", &windows);
+        let opts = batch_opts(0.05, 1, &PreferenceSource::Identity, OutputFormat::Csv);
+        let (csv, status) = capture(|o| run_batch_stream(&r, &file.0, &opts, false, o)).unwrap();
+        assert!(csv.lines().any(|l| l.starts_with("# health:")), "{csv}");
+        assert_eq!(status.health.worker_panics, 0);
+        let text_opts = batch_opts(0.05, 1, &PreferenceSource::Identity, OutputFormat::Text);
+        let (text, _) = capture(|o| run_batch_stream(&r, &file.0, &text_opts, false, o)).unwrap();
+        assert!(text.contains("health: 0 worker panic(s)"), "{text}");
+    }
+
+    #[test]
     fn batch_rejects_empty_windows_file() {
         let (r, _) = shifted_sets();
         let opts = batch_opts(0.05, 0, &PreferenceSource::Identity, OutputFormat::Text);
@@ -795,11 +996,13 @@ mod tests {
     fn monitor_detects_shift_in_file_values() {
         let mut series: Vec<f64> = (0..200).map(|i| f64::from(i % 7)).collect();
         series.extend((0..200).map(|i| f64::from(i % 7) + 25.0));
-        let (out, _) = capture(|o| run_monitor(&series, 50, 0.05, true, false, o)).unwrap();
+        let (out, _) =
+            capture(|o| run_monitor(&series, &monitor_opts(50, 0.05, true, false), o)).unwrap();
         assert!(out.contains("DRIFT"), "{out}");
         assert!(out.contains("explanation"));
         let (quiet, _) =
-            capture(|o| run_monitor(&series[..200], 50, 0.05, false, false, o)).unwrap();
+            capture(|o| run_monitor(&series[..200], &monitor_opts(50, 0.05, false, false), o))
+                .unwrap();
         assert!(quiet.contains("0 alarm(s)"), "{quiet}");
     }
 
@@ -812,17 +1015,23 @@ mod tests {
         series[50] = f64::NAN;
         series[90] = f64::INFINITY;
         series.extend((0..200).map(|i| f64::from(i % 7) + 25.0));
-        let (out, status) = capture(|o| run_monitor(&series, 50, 0.05, true, false, o)).unwrap();
+        let (out, status) =
+            capture(|o| run_monitor(&series, &monitor_opts(50, 0.05, true, false), o)).unwrap();
         assert!(out.contains("t = 50: skipped non-finite observation"), "{out}");
         assert!(out.contains("t = 90: skipped non-finite observation"), "{out}");
         assert!(out.contains("DRIFT"), "{out}");
         assert!(out.contains("2 non-finite observation(s) skipped"), "{out}");
         assert_eq!(status.window_errors, 2);
+        assert_eq!(status.health.skipped_observations, 2);
+        assert!(out.contains("2 skipped observation(s)"), "{out}");
+        assert!(out.contains("[DEGRADED]"), "{out}");
         assert_eq!(status.exit_code(), 1, "corrupt observations must fail the run");
         // A clean stream still exits 0.
         let clean: Vec<f64> = (0..200).map(|i| f64::from(i % 7)).collect();
-        let (quiet, status) = capture(|o| run_monitor(&clean, 50, 0.05, true, false, o)).unwrap();
-        assert!(!quiet.contains("skipped"), "{quiet}");
+        let (quiet, status) =
+            capture(|o| run_monitor(&clean, &monitor_opts(50, 0.05, true, false), o)).unwrap();
+        assert!(quiet.contains("0 skipped observation(s)"), "{quiet}");
+        assert!(!quiet.contains("[DEGRADED]"), "{quiet}");
         assert_eq!(status.exit_code(), 0);
     }
 
@@ -830,7 +1039,8 @@ mod tests {
     fn monitor_size_only_reports_k_per_alarm() {
         let mut series: Vec<f64> = (0..200).map(|i| f64::from(i % 7)).collect();
         series.extend((0..200).map(|i| f64::from(i % 7) + 25.0));
-        let (out, _) = capture(|o| run_monitor(&series, 50, 0.05, true, true, o)).unwrap();
+        let (out, _) =
+            capture(|o| run_monitor(&series, &monitor_opts(50, 0.05, true, true), o)).unwrap();
         assert!(out.contains("DRIFT"), "{out}");
         assert!(out.contains("size: k = "), "{out}");
         assert!(!out.contains("explanation:"), "{out}");
@@ -958,9 +1168,137 @@ mod tests {
 
     #[test]
     fn exit_code_rules() {
+        let status = |window_errors: usize, windows_explained: usize| RunStatus {
+            window_errors,
+            windows_explained,
+            ..RunStatus::default()
+        };
         assert_eq!(RunStatus::default().exit_code(), 0);
-        assert_eq!(RunStatus { window_errors: 3, windows_explained: 0 }.exit_code(), 1);
-        assert_eq!(RunStatus { window_errors: 3, windows_explained: 1 }.exit_code(), 0);
-        assert_eq!(RunStatus { window_errors: 0, windows_explained: 0 }.exit_code(), 0);
+        assert_eq!(status(3, 0).exit_code(), 1);
+        assert_eq!(status(3, 1).exit_code(), 0);
+        assert_eq!(status(0, 0).exit_code(), 0);
+    }
+
+    #[test]
+    fn snapshot_errors_map_to_exit_code_3() {
+        let e = CliError::Snapshot(moche_stream::SnapshotError::Truncated);
+        assert_eq!(e.exit_code(), 3);
+        assert!(e.to_string().starts_with("snapshot:"), "{e}");
+        assert_eq!(CliError::Usage("x".into()).exit_code(), 1, "run-phase usage errors stay 1");
+    }
+
+    /// A temp file path cleaned up on drop.
+    struct TempPath(std::path::PathBuf);
+
+    impl TempPath {
+        fn new(tag: &str) -> Self {
+            Self(std::env::temp_dir().join(format!("moche-cmd-test-{tag}-{}", std::process::id())))
+        }
+    }
+
+    impl Drop for TempPath {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_file(&self.0);
+        }
+    }
+
+    fn drifting_series() -> Vec<f64> {
+        let mut series: Vec<f64> = (0..200).map(|i| f64::from(i % 7)).collect();
+        series.extend((0..200).map(|i| f64::from(i % 7) + 25.0));
+        series
+    }
+
+    /// The resumed half of an interrupted run must report exactly the
+    /// alarms the uninterrupted run reports over the same observations
+    /// (modulo the per-invocation `t = i` positions).
+    #[test]
+    fn monitor_checkpoint_then_resume_matches_uninterrupted_alarms() {
+        let series = drifting_series();
+        let cut = 230;
+        let snap = TempPath::new("resume");
+
+        let (full, _) =
+            capture(|o| run_monitor(&series, &monitor_opts(50, 0.05, true, false), o)).unwrap();
+
+        let mut first_opts = monitor_opts(50, 0.05, true, false);
+        first_opts.checkpoint = Some(&snap.0);
+        let (_, first_status) = capture(|o| run_monitor(&series[..cut], &first_opts, o)).unwrap();
+        assert!(first_status.health.checkpoints_written > 0);
+
+        let resume_opts = MonitorOptions {
+            window: None,
+            alpha: 0.05,
+            explain: true,
+            size_only: false,
+            checkpoint: None,
+            checkpoint_every: None,
+            resume: Some(&snap.0),
+        };
+        let (resumed, _) = capture(|o| run_monitor(&series[cut..], &resume_opts, o)).unwrap();
+        assert!(resumed.contains("resumed from"), "{resumed}");
+
+        // Strip the per-invocation `t = N: ` prefixes and compare the
+        // resumed run's alarm reports with the uninterrupted run's alarms
+        // after the cut.
+        let alarm_bodies = |s: &str| {
+            s.lines()
+                .filter(|l| l.contains("DRIFT"))
+                .map(|l| l.split_once(": ").unwrap().1.to_string())
+                .collect::<Vec<_>>()
+        };
+        let full_alarms = alarm_bodies(&full);
+        let resumed_alarms = alarm_bodies(&resumed);
+        let full_pre_cut = alarm_bodies(
+            &capture(|o| run_monitor(&series[..cut], &monitor_opts(50, 0.05, true, false), o))
+                .unwrap()
+                .0,
+        );
+        assert_eq!(
+            resumed_alarms,
+            full_alarms[full_pre_cut.len()..],
+            "resumed alarms must match the uninterrupted run's post-cut alarms"
+        );
+    }
+
+    #[test]
+    fn monitor_resume_rejects_mismatched_window_and_corrupt_snapshots() {
+        let series = drifting_series();
+        let snap = TempPath::new("reject");
+        let mut opts = monitor_opts(50, 0.05, true, false);
+        opts.checkpoint = Some(&snap.0);
+        capture(|o| run_monitor(&series[..100], &opts, o)).unwrap();
+
+        // A --window flag that contradicts the snapshot fails loudly.
+        let mut mismatched = monitor_opts(60, 0.05, true, false);
+        mismatched.resume = Some(&snap.0);
+        match capture(|o| run_monitor(&series[100..], &mismatched, o)) {
+            Err(CliError::Usage(msg)) => assert!(msg.contains("does not match"), "{msg}"),
+            other => panic!("unexpected {other:?}"),
+        }
+
+        // A truncated snapshot is a Snapshot error (exit code 3).
+        let bytes = std::fs::read(&snap.0).unwrap();
+        std::fs::write(&snap.0, &bytes[..bytes.len() / 2]).unwrap();
+        let mut resume = monitor_opts(50, 0.05, true, false);
+        resume.window = None;
+        resume.resume = Some(&snap.0);
+        match capture(|o| run_monitor(&series[100..], &resume, o)) {
+            Err(e @ CliError::Snapshot(_)) => assert_eq!(e.exit_code(), 3),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn monitor_checkpoint_cadence_counts_writes() {
+        let series: Vec<f64> = (0..120).map(|i| f64::from(i % 7)).collect();
+        let snap = TempPath::new("cadence");
+        let mut opts = monitor_opts(20, 0.05, true, false);
+        opts.checkpoint = Some(&snap.0);
+        opts.checkpoint_every = Some(50);
+        let (out, status) = capture(|o| run_monitor(&series, &opts, o)).unwrap();
+        // 120 pushes at cadence 50 → t=50, t=100, plus the final snapshot.
+        assert_eq!(status.health.checkpoints_written, 3);
+        assert!(out.contains("3 checkpoint(s) written"), "{out}");
+        assert!(snap.0.exists());
     }
 }

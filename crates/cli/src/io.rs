@@ -30,6 +30,23 @@ pub enum CliError {
     Moche(moche_core::MocheError),
     /// Writing the report failed (e.g. a closed pipe).
     Write(std::io::Error),
+    /// A monitor snapshot failed to read, verify, or write
+    /// (`--resume` / `--checkpoint`).
+    Snapshot(moche_stream::SnapshotError),
+}
+
+impl CliError {
+    /// The process exit code for a command that failed with this error.
+    /// Snapshot failures get their own code (3) so a supervisor restarting
+    /// a crashed monitor can distinguish "the checkpoint is corrupt —
+    /// escalate" from ordinary run failures; usage errors are reported as 2
+    /// by `main` before a command ever runs, and everything else is 1.
+    pub fn exit_code(&self) -> i32 {
+        match self {
+            CliError::Snapshot(_) => 3,
+            _ => 1,
+        }
+    }
 }
 
 impl fmt::Display for CliError {
@@ -42,6 +59,7 @@ impl fmt::Display for CliError {
             CliError::Usage(msg) => write!(f, "{msg}"),
             CliError::Moche(e) => write!(f, "{e}"),
             CliError::Write(e) => write!(f, "cannot write output: {e}"),
+            CliError::Snapshot(e) => write!(f, "snapshot: {e}"),
         }
     }
 }
@@ -57,6 +75,12 @@ impl From<moche_core::MocheError> for CliError {
 impl From<std::io::Error> for CliError {
     fn from(e: std::io::Error) -> Self {
         CliError::Write(e)
+    }
+}
+
+impl From<moche_stream::SnapshotError> for CliError {
+    fn from(e: moche_stream::SnapshotError) -> Self {
+        CliError::Snapshot(e)
     }
 }
 
@@ -209,7 +233,10 @@ impl WindowStream {
     }
 
     fn park(&self, e: CliError) {
-        *self.error.lock().expect("window stream error slot poisoned") = Some(e);
+        // The slot only ever holds an Option swap — a panic elsewhere
+        // cannot leave it torn, so recover the poison instead of
+        // cascading a second panic out of error reporting.
+        *self.error.lock().unwrap_or_else(std::sync::PoisonError::into_inner) = Some(e);
     }
 
     /// Overwrites `window` with the next window and returns `true`, or

@@ -24,5 +24,5 @@ pub mod commands;
 pub mod io;
 
 pub use args::{parse, Command, OutputFormat, PreferenceSource, USAGE};
-pub use commands::{run, RunStatus};
+pub use commands::{run, HealthReport, RunStatus};
 pub use io::CliError;

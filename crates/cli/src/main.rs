@@ -5,7 +5,9 @@
 //! run, so streaming commands (`moche batch --stream`) print each result as
 //! it is delivered instead of accumulating a report in memory. Exit codes:
 //! `0` success, `1` for errors (including batch runs where every window
-//! failed and nothing was explained), `2` for usage errors.
+//! failed and nothing was explained), `2` for usage errors, `3` for
+//! snapshot errors (a corrupt `--resume` file or a failed `--checkpoint`
+//! write).
 
 use std::io::Write as _;
 
@@ -32,7 +34,7 @@ fn main() {
         Err(e) => {
             let _ = out.flush(); // keep whatever was already streamed
             eprintln!("error: {e}");
-            std::process::exit(1);
+            std::process::exit(e.exit_code());
         }
     }
 }

@@ -285,3 +285,127 @@ fn comments_and_score_columns_are_accepted() {
     // Highest score = earliest index, so index 0 should appear first.
     assert!(stdout.lines().nth(1).unwrap().starts_with("0,"), "{stdout}");
 }
+
+#[test]
+fn monitor_checkpoint_resume_round_trip_matches_full_run() {
+    let dir = TempDir::new("checkpoint");
+    let mut series: Vec<f64> = (0..200).map(|i| f64::from(i % 7)).collect();
+    series.extend((0..200).map(|i| f64::from(i % 7) + 30.0));
+    let cut = 230;
+    let full = dir.write("full.txt", &numbers(series.clone()));
+    let head = dir.write("head.txt", &numbers(series[..cut].iter().copied()));
+    let tail = dir.write("tail.txt", &numbers(series[cut..].iter().copied()));
+    let snap = dir.0.join("state.snap");
+
+    let full_out =
+        bin().args(["monitor", full.to_str().unwrap(), "--window", "50"]).output().unwrap();
+    assert!(full_out.status.success());
+    let full_stdout = String::from_utf8(full_out.stdout).unwrap();
+
+    let head_out = bin()
+        .args([
+            "monitor",
+            head.to_str().unwrap(),
+            "--window",
+            "50",
+            "--checkpoint",
+            snap.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(head_out.status.success());
+    let head_stdout = String::from_utf8(head_out.stdout).unwrap();
+    assert!(head_stdout.contains("checkpoint(s) written"), "{head_stdout}");
+    assert!(snap.exists(), "the checkpoint file must exist after the run");
+
+    let tail_out = bin()
+        .args(["monitor", tail.to_str().unwrap(), "--resume", snap.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(tail_out.status.success(), "stderr: {}", String::from_utf8_lossy(&tail_out.stderr));
+    let tail_stdout = String::from_utf8(tail_out.stdout).unwrap();
+    assert!(tail_stdout.contains("resumed from"), "{tail_stdout}");
+
+    // The resumed run's alarms (minus the per-invocation `t = N` positions)
+    // must be exactly the uninterrupted run's alarms after the cut.
+    let alarms = |s: &str| {
+        s.lines()
+            .filter(|l| l.contains("DRIFT"))
+            .map(|l| l.split_once(": ").unwrap().1.to_string())
+            .collect::<Vec<_>>()
+    };
+    let head_plain =
+        bin().args(["monitor", head.to_str().unwrap(), "--window", "50"]).output().unwrap();
+    let pre_cut = alarms(&String::from_utf8(head_plain.stdout).unwrap()).len();
+    assert_eq!(
+        alarms(&tail_stdout),
+        alarms(&full_stdout)[pre_cut..],
+        "resume must replay the uninterrupted run's remaining alarms"
+    );
+}
+
+#[test]
+fn monitor_resume_failures_exit_with_code_3() {
+    let dir = TempDir::new("resume-fail");
+    let series = dir.write("series.txt", &numbers((0..100).map(|i| f64::from(i % 7))));
+
+    // Missing snapshot file.
+    let missing = dir.0.join("nope.snap");
+    let out = bin()
+        .args(["monitor", series.to_str().unwrap(), "--resume", missing.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(3));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("snapshot"));
+
+    // Corrupt (truncated) snapshot file.
+    let snap = dir.0.join("state.snap");
+    let write = bin()
+        .args([
+            "monitor",
+            series.to_str().unwrap(),
+            "--window",
+            "20",
+            "--checkpoint",
+            snap.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(write.status.success());
+    let bytes = std::fs::read(&snap).unwrap();
+    std::fs::write(&snap, &bytes[..bytes.len() - 5]).unwrap();
+    let out = bin()
+        .args(["monitor", series.to_str().unwrap(), "--resume", snap.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(3), "{}", String::from_utf8_lossy(&out.stderr));
+}
+
+#[test]
+fn monitor_checkpoint_usage_errors_exit_with_code_2() {
+    let dir = TempDir::new("checkpoint-usage");
+    let series = dir.write("series.txt", &numbers((0..50).map(f64::from)));
+    // --checkpoint-every without --checkpoint is rejected at parse time.
+    let out = bin()
+        .args(["monitor", series.to_str().unwrap(), "--window", "20", "--checkpoint-every", "10"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--checkpoint"));
+}
+
+#[test]
+fn batch_reports_health_line() {
+    let dir = TempDir::new("health");
+    let (r, w) = windows_file(&dir);
+    let out = bin().args(["batch", r.to_str().unwrap(), w.to_str().unwrap()]).output().unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("health: 0 worker panic(s)"), "{stdout}");
+    let csv = bin()
+        .args(["batch", r.to_str().unwrap(), w.to_str().unwrap(), "--format", "csv", "--stream"])
+        .output()
+        .unwrap();
+    let csv_stdout = String::from_utf8(csv.stdout).unwrap();
+    assert!(csv_stdout.lines().any(|l| l.starts_with("# health:")), "{csv_stdout}");
+}

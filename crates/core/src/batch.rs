@@ -64,7 +64,7 @@ use crate::moche::Explanation;
 use crate::preference::PreferenceList;
 use crate::ref_index::ReferenceIndex;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, PoisonError};
 
 /// How the shared reference is prepared for per-window base-vector builds.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -238,10 +238,12 @@ impl BatchExplainer {
     /// `preferences`, when given, supplies one list per window (in order);
     /// `None` explains every window under the identity order.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `preferences` is `Some` but its length differs from
-    /// `windows`' — that is a caller bug, not a per-job condition.
+    /// If `preferences` is `Some` but its length differs from `windows`',
+    /// no window/preference pairing exists and every result slot carries
+    /// [`MocheError::PreferenceCountMismatch`]. (With zero windows the
+    /// result is empty either way — there are no slots to report into.)
     pub fn explain_windows<W: AsRef<[f64]> + Sync>(
         &self,
         reference: &SortedReference,
@@ -264,11 +266,13 @@ impl BatchExplainer {
     /// from `reference` (an `O(n)` pass over the already-sorted values) and
     /// every window is spliced into it.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if [`WindowPreferences::PerWindow`] supplies a different
-    /// number of lists than `windows` — that is a caller bug, not a
-    /// per-job condition.
+    /// If [`WindowPreferences::PerWindow`] supplies a different number of
+    /// lists than `windows`, every result slot carries
+    /// [`MocheError::PreferenceCountMismatch`] — the inputs are unusable as
+    /// a whole, but the one-result-per-window shape is preserved for
+    /// callers that tally per-window outcomes.
     pub fn explain_windows_with<W: AsRef<[f64]> + Sync>(
         &self,
         reference: &SortedReference,
@@ -276,7 +280,13 @@ impl BatchExplainer {
         preferences: WindowPreferences<'_>,
     ) -> Vec<Result<Explanation, MocheError>> {
         if let WindowPreferences::PerWindow(prefs) = preferences {
-            assert_eq!(prefs.len(), windows.len(), "one preference list per window is required");
+            if prefs.len() != windows.len() {
+                let err = MocheError::PreferenceCountMismatch {
+                    windows: windows.len(),
+                    preferences: prefs.len(),
+                };
+                return windows.iter().map(|_| Err(err.clone())).collect();
+            }
         }
         let index = match self.reference_mode {
             ReferenceMode::Merged => None,
@@ -311,6 +321,12 @@ impl BatchExplainer {
     /// The worker pool: claim-by-atomic-counter over `items`, one scratch
     /// set (engine + recycled preference list) per worker, results
     /// collected in item order.
+    ///
+    /// Every job runs under [`run_one`](Self::run_one)'s `catch_unwind`, so
+    /// a panicking job (a buggy score callback, an injected fault) yields
+    /// [`MocheError::WorkerPanicked`] in its own slot and nothing else: the
+    /// worker rebuilds its scratch and keeps claiming jobs, and sibling
+    /// workers never observe the panic.
     fn run<T, F>(&self, items: &[T], f: F) -> Vec<Result<Explanation, MocheError>>
     where
         T: Sync,
@@ -319,8 +335,10 @@ impl BatchExplainer {
         let n = items.len();
         let workers = self.worker_count(n);
         if workers <= 1 {
+            // The sequential fast path (single core, or one job) must give
+            // the same isolation guarantee as the pool.
             let mut scratch = WorkerScratch::new(self.cfg);
-            return items.iter().map(|item| f(&mut scratch, item)).collect();
+            return (0..n).map(|i| self.run_one(&mut scratch, &f, items, i)).collect();
         }
 
         let next = AtomicUsize::new(0);
@@ -335,20 +353,61 @@ impl BatchExplainer {
                         if i >= n {
                             break;
                         }
-                        let result = f(&mut scratch, &items[i]);
-                        *slots[i].lock().expect("result slot poisoned") = Some(result);
+                        let result = self.run_one(&mut scratch, &f, items, i);
+                        // Each slot is written by exactly one claimant and
+                        // read only after the scope joins; a poisoned flag
+                        // can only be the residue of an already-reported
+                        // panic, so recover the value rather than cascade.
+                        *slots[i].lock().unwrap_or_else(PoisonError::into_inner) = Some(result);
                     }
                 });
             }
         });
         slots
             .into_iter()
-            .map(|slot| {
-                slot.into_inner()
-                    .expect("result slot poisoned")
-                    .expect("every slot is filled before the scope ends")
+            .enumerate()
+            .map(|(i, slot)| {
+                slot.into_inner().unwrap_or_else(PoisonError::into_inner).unwrap_or_else(|| {
+                    // Unreachable while claiming is exhaustive; reported as
+                    // a per-window error rather than trusted with a panic.
+                    Err(MocheError::WorkerPanicked {
+                        window: i,
+                        message: "result slot was never filled".to_string(),
+                    })
+                })
             })
             .collect()
+    }
+
+    /// Runs one job under `catch_unwind`. On a caught panic the scratch
+    /// (engine buffers, preference list) may be mid-mutation, so it is
+    /// rebuilt before the worker continues; the panic itself becomes
+    /// [`MocheError::WorkerPanicked`] carrying the payload's message.
+    fn run_one<T, F>(
+        &self,
+        scratch: &mut WorkerScratch,
+        f: &F,
+        items: &[T],
+        i: usize,
+    ) -> Result<Explanation, MocheError>
+    where
+        T: Sync,
+        F: Fn(&mut WorkerScratch, &T) -> Result<Explanation, MocheError> + Sync,
+    {
+        let attempt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            crate::fault::failpoint("batch.worker");
+            f(scratch, &items[i])
+        }));
+        match attempt {
+            Ok(result) => result,
+            Err(payload) => {
+                *scratch = WorkerScratch::new(self.cfg);
+                Err(MocheError::WorkerPanicked {
+                    window: i,
+                    message: crate::fault::panic_message(payload.as_ref()),
+                })
+            }
+        }
     }
 }
 
@@ -523,12 +582,80 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "one preference list per window")]
-    fn mismatched_preference_count_panics() {
+    fn mismatched_preference_count_is_a_structured_error() {
         let (r, windows) = windows_against(10, 3, 40);
         let shared = SortedReference::new(&r).unwrap();
         let prefs = vec![PreferenceList::identity(40)];
-        let _ = BatchExplainer::new(0.05).unwrap().explain_windows(&shared, &windows, Some(&prefs));
+        let results =
+            BatchExplainer::new(0.05).unwrap().explain_windows(&shared, &windows, Some(&prefs));
+        assert_eq!(results.len(), windows.len(), "the per-window shape is preserved");
+        for result in &results {
+            assert_eq!(
+                result.as_ref().unwrap_err(),
+                &MocheError::PreferenceCountMismatch { windows: 3, preferences: 1 }
+            );
+        }
+    }
+
+    #[test]
+    fn panicking_scorer_is_isolated_to_its_window() {
+        let (r, windows) = windows_against(10, 5, 40);
+        let shared = SortedReference::new(&r).unwrap();
+        for threads in [1, 4] {
+            let batch = BatchExplainer::new(0.05).unwrap().threads(threads);
+            let results = batch.explain_windows_with(
+                &shared,
+                &windows,
+                WindowPreferences::Scored(&|i, w| {
+                    if i == 2 {
+                        panic!("scorer bug at window {i}");
+                    }
+                    Ok(PreferenceList::identity(w.len()))
+                }),
+            );
+            for (i, result) in results.iter().enumerate() {
+                if i == 2 {
+                    match result {
+                        Err(MocheError::WorkerPanicked { window, message }) => {
+                            assert_eq!(*window, 2);
+                            assert!(message.contains("scorer bug"), "{message}");
+                        }
+                        other => panic!("expected WorkerPanicked, got {other:?}"),
+                    }
+                } else {
+                    assert!(result.is_ok(), "window {i} must be unaffected ({threads} threads)");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn worker_recovers_after_a_caught_panic() {
+        // The same worker that caught a panic keeps explaining later
+        // windows correctly: force a single thread so every window after
+        // the panicking one exercises the rebuilt scratch.
+        let (r, windows) = windows_against(10, 6, 40);
+        let shared = SortedReference::new(&r).unwrap();
+        let batch = BatchExplainer::new(0.05).unwrap().threads(1);
+        let clean = batch.explain_windows(&shared, &windows, None);
+        let faulted = batch.explain_windows_with(
+            &shared,
+            &windows,
+            WindowPreferences::Scored(&|i, w| {
+                if i == 0 {
+                    panic!("first window panics");
+                }
+                Ok(PreferenceList::identity(w.len()))
+            }),
+        );
+        assert!(matches!(faulted[0], Err(MocheError::WorkerPanicked { .. })));
+        for i in 1..windows.len() {
+            assert_eq!(
+                faulted[i].as_ref().unwrap(),
+                clean[i].as_ref().unwrap(),
+                "window {i} must match the clean run exactly"
+            );
+        }
     }
 
     #[test]

@@ -93,6 +93,27 @@ pub enum MocheError {
         /// The smallest acceptable window size.
         min: usize,
     },
+    /// A batch call supplied a different number of preference lists than
+    /// windows, so no window/preference pairing exists. Every result slot
+    /// of that call carries this error (the inputs are unusable as a
+    /// whole, but the `Vec<Result<..>>` shape is preserved for callers
+    /// that tally per-window outcomes).
+    PreferenceCountMismatch {
+        /// Number of windows submitted.
+        windows: usize,
+        /// Number of preference lists supplied.
+        preferences: usize,
+    },
+    /// A worker thread (or the sequential fallback path) panicked while
+    /// explaining one window. The panic is caught and isolated: only this
+    /// window's result carries the error, every other window in the run is
+    /// unaffected, and the worker's scratch state is rebuilt.
+    WorkerPanicked {
+        /// Index of the window whose job panicked.
+        window: usize,
+        /// The panic payload's message, when it was a string.
+        message: String,
+    },
     /// Phase 2 could not grow a partial explanation to the target size.
     /// This indicates a numerical inconsistency between the Phase-1 size
     /// certificate and the Phase-2 checks and should not occur in practice;
@@ -166,6 +187,14 @@ impl fmt::Display for MocheError {
                 f,
                 "preference list has length {actual} but the test set has {expected} points"
             ),
+            MocheError::PreferenceCountMismatch { windows, preferences } => write!(
+                f,
+                "{preferences} preference lists supplied for {windows} windows; \
+                 one preference list per window is required"
+            ),
+            MocheError::WorkerPanicked { window, message } => {
+                write!(f, "worker panicked while explaining window {window}: {message}")
+            }
             MocheError::WindowTooSmall { window, min } => {
                 write!(f, "window size {window} is too small (minimum {min})")
             }
@@ -211,6 +240,22 @@ mod tests {
         assert!(PreferenceDefect::DuplicateIndex(7).to_string().contains('7'));
         assert!(PreferenceDefect::OutOfRange(9).to_string().contains('9'));
         assert!(PreferenceDefect::NonFiniteScore(1).to_string().contains("finite"));
+    }
+
+    #[test]
+    fn worker_panicked_names_window_and_message() {
+        let e = MocheError::WorkerPanicked { window: 7, message: "boom".to_string() };
+        let s = e.to_string();
+        assert!(s.contains("window 7"), "{s}");
+        assert!(s.contains("boom"), "{s}");
+    }
+
+    #[test]
+    fn preference_count_mismatch_names_both_counts() {
+        let e = MocheError::PreferenceCountMismatch { windows: 4, preferences: 2 };
+        let s = e.to_string();
+        assert!(s.contains("2 preference lists"), "{s}");
+        assert!(s.contains("4 windows"), "{s}");
     }
 
     #[test]

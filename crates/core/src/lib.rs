@@ -63,6 +63,7 @@ pub mod cumulative;
 pub mod ecdf;
 pub mod engine;
 pub mod error;
+pub mod fault;
 pub mod ks;
 pub mod moche;
 pub mod phase1;

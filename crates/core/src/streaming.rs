@@ -57,7 +57,7 @@ use crate::phase1::SizeSearch;
 use crate::preference::PreferenceList;
 use crate::ref_index::ReferenceIndex;
 use std::sync::mpsc;
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex, PoisonError};
 
 /// What the streaming engine computes per window.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -139,6 +139,11 @@ pub struct StreamSummary {
     pub passing: usize,
     /// Windows that failed with any other error.
     pub errors: usize,
+    /// Windows whose computation panicked (caught and reported as
+    /// [`MocheError::WorkerPanicked`]; also counted in
+    /// [`errors`](Self::errors)). The panic was isolated to that window —
+    /// the run itself completed.
+    pub panics: usize,
     /// Worker threads actually used (1 means the run was sequential).
     pub threads: usize,
 }
@@ -445,6 +450,35 @@ impl StreamingBatchExplainer {
         }
     }
 
+    /// [`process`](Self::process) under `catch_unwind`: a panicking window
+    /// (a buggy score callback, an injected fault) is isolated to its own
+    /// result as [`MocheError::WorkerPanicked`]. The worker state may be
+    /// mid-mutation when the panic lands, so it is rebuilt before the next
+    /// window — correctness over the rare-path allocation.
+    fn process_caught(
+        &self,
+        state: &mut WorkerState,
+        reference: &ReferenceIndex,
+        score: ScoreMode<'_>,
+        window_id: usize,
+        window: &[f64],
+    ) -> Result<WindowReport, MocheError> {
+        let attempt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            crate::fault::failpoint("stream.worker");
+            self.process(state, reference, score, window_id, window)
+        }));
+        match attempt {
+            Ok(result) => result,
+            Err(payload) => {
+                *state = WorkerState::new(self.cfg);
+                Err(MocheError::WorkerPanicked {
+                    window: window_id,
+                    message: crate::fault::panic_message(payload.as_ref()),
+                })
+            }
+        }
+    }
+
     /// One window's computation, on worker-owned state: the engine's
     /// scratch, the cached identity preference and the output arena are all
     /// recycled, so steady-state streams allocate nothing here.
@@ -501,8 +535,15 @@ impl StreamingBatchExplainer {
         let mut state = WorkerState::new(self.cfg);
         let mut window = Vec::new();
         let mut window_id = 0usize;
-        while source.fill(&mut window) {
-            let result = self.process(&mut state, reference, score, window_id, &window);
+        loop {
+            if matches!(crate::fault::failpoint("stream.feeder"), Some(crate::fault::Fault::Error))
+            {
+                break; // injected source failure: the stream just ends
+            }
+            if !source.fill(&mut window) {
+                break;
+            }
+            let result = self.process_caught(&mut state, reference, score, window_id, &window);
             summary.tally(&result);
             if let Some(explanation) = sink(StreamResult { window: window_id, result }) {
                 state.arena.recycle(explanation);
@@ -544,55 +585,84 @@ impl StreamingBatchExplainer {
         let window_ring_cap = buffer + workers + 2;
         let arena_ring_cap = result_cap + workers + 2;
         let (job_tx, job_rx) = mpsc::sync_channel::<(usize, Vec<f64>)>(buffer);
-        let job_rx = Mutex::new(job_rx);
+        // The job receiver is shared by reference-count rather than scope
+        // borrow so the delivery thread can *close* the channel (drop its
+        // handle after the last worker exits) even on the panic-unwind
+        // path — otherwise a feeder blocked on a full job buffer would
+        // never observe the shutdown and the scope join would deadlock.
+        let job_rx = Arc::new(Mutex::new(job_rx));
         let (result_tx, result_rx) = mpsc::sync_channel::<StreamResult>(result_cap);
         let (window_return_tx, window_return_rx) = mpsc::sync_channel::<Vec<f64>>(window_ring_cap);
         let (arena_return_tx, arena_return_rx) =
             mpsc::sync_channel::<ExplanationArena>(arena_ring_cap);
         let arena_return_rx = Mutex::new(arena_return_rx);
 
+        // A panic in the caller's sink must not vanish (it is the caller's
+        // own bug surfacing) but also must not strand the pipeline: it is
+        // caught, the channels are shut down so every thread drains and
+        // stops, and the payload is re-raised after the scope has joined.
+        let mut sink_panic: Option<Box<dyn std::any::Any + Send>> = None;
+
         std::thread::scope(|scope| {
             scope.spawn(move || {
                 let mut source = source;
                 let mut window_id = 0usize;
-                loop {
-                    // Prefer a buffer a worker has drained; allocate only
-                    // while the pipeline is still warming up.
-                    let mut window = window_return_rx.try_recv().unwrap_or_default();
-                    if !source.fill(&mut window) {
-                        break;
+                // A panicking source (or an injected feeder fault) is
+                // contained here as end-of-stream: the job sender drops,
+                // workers drain what was fed and the run ends in order.
+                let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    loop {
+                        if matches!(
+                            crate::fault::failpoint("stream.feeder"),
+                            Some(crate::fault::Fault::Error)
+                        ) {
+                            break;
+                        }
+                        // Prefer a buffer a worker has drained; allocate only
+                        // while the pipeline is still warming up.
+                        let mut window = window_return_rx.try_recv().unwrap_or_default();
+                        if !source.fill(&mut window) {
+                            break;
+                        }
+                        if job_tx.send((window_id, window)).is_err() {
+                            break; // receivers are gone; nothing left to feed
+                        }
+                        window_id += 1;
                     }
-                    if job_tx.send((window_id, window)).is_err() {
-                        break; // receivers are gone; nothing left to feed
-                    }
-                    window_id += 1;
-                }
+                }));
             });
             for _ in 0..workers {
                 let result_tx = result_tx.clone();
                 let window_return_tx = window_return_tx.clone();
-                let job_rx = &job_rx;
+                let job_rx = Arc::clone(&job_rx);
                 let arena_return_rx = &arena_return_rx;
                 scope.spawn(move || {
                     let mut state = WorkerState::new(self.cfg);
                     loop {
-                        let job = job_rx.lock().expect("job receiver poisoned").recv();
+                        // Sibling panics are caught inside `process_caught`
+                        // and can never poison these locks mid-update; a
+                        // poisoned flag carries no torn state, so recover
+                        // the guard rather than cascade the panic.
+                        let job = job_rx.lock().unwrap_or_else(PoisonError::into_inner).recv();
                         let Ok((window_id, window)) = job else { break };
                         if !state.arena.has_storage() {
-                            let returned =
-                                arena_return_rx.lock().expect("arena return poisoned").try_recv();
+                            let returned = arena_return_rx
+                                .lock()
+                                .unwrap_or_else(PoisonError::into_inner)
+                                .try_recv();
                             if let Ok(returned) = returned {
                                 state.arena = returned;
                             }
                         }
-                        let result = self.process(&mut state, reference, score, window_id, &window);
+                        let result =
+                            self.process_caught(&mut state, reference, score, window_id, &window);
                         // Hand the drained window buffer back to the feeder
                         // (it may already have shut down, or — were the
                         // ring-capacity accounting ever wrong — the ring
                         // could be full; both just drop the buffer).
                         let _ = window_return_tx.try_send(window);
                         if result_tx.send(StreamResult { window: window_id, result }).is_err() {
-                            break;
+                            break; // the delivery side is gone: drain-and-stop
                         }
                     }
                 });
@@ -603,19 +673,40 @@ impl StreamingBatchExplainer {
             // Reorder completed windows into arrival order. A window can
             // only wait on predecessors still in flight, so the ring
             // capacity covers every pipeline stage.
-            let mut ring = ReorderRing::new(buffer + workers + result_cap + 1);
-            for result in result_rx.iter() {
-                ring.insert(result);
-                while let Some(ready) = ring.pop_ready() {
-                    summary.tally(&ready.result);
-                    if let Some(explanation) = sink(ready) {
-                        let _ =
-                            arena_return_tx.try_send(ExplanationArena::recycled_from(explanation));
+            let delivery = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                let mut ring = ReorderRing::new(buffer + workers + result_cap + 1);
+                for result in result_rx.iter() {
+                    crate::fault::failpoint("stream.reorder");
+                    ring.insert(result);
+                    while let Some(ready) = ring.pop_ready() {
+                        summary.tally(&ready.result);
+                        if let Some(explanation) = sink(ready) {
+                            if matches!(
+                                crate::fault::failpoint("stream.arena_return"),
+                                Some(crate::fault::Fault::Error)
+                            ) {
+                                continue; // injected loss: drop, don't return
+                            }
+                            let _ = arena_return_tx
+                                .try_send(ExplanationArena::recycled_from(explanation));
+                        }
                     }
                 }
+                debug_assert!(ring.is_empty(), "every window must be delivered");
+            }));
+            if let Err(payload) = delivery {
+                sink_panic = Some(payload);
             }
-            debug_assert!(ring.is_empty(), "every window must be delivered");
+            // Shut the pipeline down (idempotent on the normal path, where
+            // every thread has already exited): without a result receiver
+            // workers stop at their next send, and dropping the last job
+            // receiver handle unblocks a feeder waiting on a full buffer.
+            drop(result_rx);
+            drop(job_rx);
         });
+        if let Some(payload) = sink_panic {
+            std::panic::resume_unwind(payload);
+        }
         summary
     }
 }
@@ -626,6 +717,10 @@ impl StreamSummary {
         match result {
             Ok(_) => self.explained += 1,
             Err(MocheError::TestAlreadyPasses { .. }) => self.passing += 1,
+            Err(MocheError::WorkerPanicked { .. }) => {
+                self.errors += 1;
+                self.panics += 1;
+            }
             Err(_) => self.errors += 1,
         }
     }
@@ -867,6 +962,93 @@ mod tests {
             got.push(r.result.is_ok());
         });
         assert_eq!(got, vec![true, false, true]);
+    }
+
+    #[test]
+    fn panicking_score_is_isolated_to_its_window() {
+        let (r, windows) = setup(8);
+        let index = ReferenceIndex::new(&r).unwrap();
+        let score: ScoreFn<'_> = &|i, w| {
+            if i == 3 {
+                panic!("score bug at window {i}");
+            }
+            Ok(PreferenceList::identity(w.len()))
+        };
+        for threads in [1, 3] {
+            let streamer = StreamingBatchExplainer::new(0.05).unwrap().threads(threads).buffer(2);
+            let mut got = Vec::new();
+            let summary = streamer.explain_stream(&index, windows.clone(), Some(score), |r| {
+                got.push(r);
+            });
+            assert_eq!(summary.windows, windows.len(), "threads = {threads}");
+            assert_eq!(summary.panics, 1);
+            assert_eq!(summary.errors, 1);
+            assert_eq!(summary.explained, windows.len() - 1);
+            for (i, res) in got.iter().enumerate() {
+                assert_eq!(res.window, i, "in-order delivery survives the panic");
+                if i == 3 {
+                    match &res.result {
+                        Err(MocheError::WorkerPanicked { window, message }) => {
+                            assert_eq!(*window, 3);
+                            assert!(message.contains("score bug"), "{message}");
+                        }
+                        other => panic!("expected WorkerPanicked, got {other:?}"),
+                    }
+                } else {
+                    assert!(res.result.is_ok(), "window {i} must be unaffected");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sink_panic_shuts_the_pipeline_down_and_resurfaces() {
+        // A panicking result callback must neither deadlock the pipeline
+        // (workers blocked on a full result channel, feeder on a full job
+        // buffer) nor be swallowed: the run winds down and the panic
+        // reaches the caller.
+        let (r, windows) = setup(40);
+        let index = ReferenceIndex::new(&r).unwrap();
+        for threads in [1, 3] {
+            let streamer = StreamingBatchExplainer::new(0.05).unwrap().threads(threads).buffer(2);
+            let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                streamer.explain_stream(&index, windows.clone(), None, |r| {
+                    if r.window == 5 {
+                        panic!("sink bug");
+                    }
+                });
+            }));
+            let payload = caught.expect_err("the sink panic must reach the caller");
+            let message = crate::fault::panic_message(payload.as_ref());
+            assert!(message.contains("sink bug"), "{message} (threads = {threads})");
+        }
+    }
+
+    #[test]
+    fn panicking_source_ends_a_parallel_stream_early() {
+        // In parallel mode the source runs on the feeder thread; a panic
+        // there is contained as end-of-stream so the windows already fed
+        // are still explained and delivered in order.
+        let (r, windows) = setup(6);
+        let index = ReferenceIndex::new(&r).unwrap();
+        let mut fed = 0usize;
+        let source = |buf: &mut Vec<f64>| {
+            if fed == 3 {
+                panic!("source bug after 3 windows");
+            }
+            buf.clear();
+            buf.extend_from_slice(&windows[fed]);
+            fed += 1;
+            true
+        };
+        let streamer = StreamingBatchExplainer::new(0.05).unwrap().threads(3).buffer(2);
+        let mut got = Vec::new();
+        let summary = streamer.explain_source(&index, source, None, |r| {
+            got.push(r.window);
+        });
+        assert_eq!(summary.windows, 3, "exactly the windows fed before the panic");
+        assert_eq!(summary.explained, 3);
+        assert_eq!(got, vec![0, 1, 2]);
     }
 
     #[test]

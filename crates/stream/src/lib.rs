@@ -20,8 +20,10 @@
 
 pub mod incremental;
 pub mod monitor;
+pub mod snapshot;
 pub mod treap;
 
 pub use incremental::{IncrementalKs, ObsId};
 pub use monitor::{DriftMonitor, MonitorConfig, MonitorEvent};
+pub use snapshot::{MonitorSnapshot, SnapshotError};
 pub use treap::WeightedTreap;

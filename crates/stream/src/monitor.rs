@@ -383,6 +383,70 @@ impl DriftMonitor {
         matches!(self.iks.outcome(&self.ks_cfg), Ok(outcome) if outcome.rejected)
     }
 
+    /// Captures the monitor's restorable state: configuration, both
+    /// window contents, and the alarm/degradation counters. Derived
+    /// structures (the KS treap, the reference order-statistics index,
+    /// engine scratch) are rebuilt on [`restore`](Self::restore), so the
+    /// snapshot stays small and format-stable. See
+    /// [`crate::snapshot::MonitorSnapshot`] for the serialized form and
+    /// the byte-identity guarantee.
+    pub fn snapshot(&self) -> crate::snapshot::MonitorSnapshot {
+        crate::snapshot::MonitorSnapshot {
+            window: self.cfg.window,
+            alpha: self.cfg.alpha,
+            explain_on_drift: self.cfg.explain_on_drift,
+            size_only: self.cfg.size_only,
+            reset_on_drift: self.cfg.reset_on_drift,
+            pushes: self.pushes,
+            alarms: self.alarms,
+            degraded_preferences: self.degraded_preferences,
+            reference: self.reference_window(),
+            test: self.test_window(),
+        }
+    }
+
+    /// Rebuilds a monitor from a snapshot. The window values are
+    /// re-inserted through the same incremental structures `try_push`
+    /// maintains, so the restored monitor's future behaviour is
+    /// observably identical to the captured one's — including
+    /// byte-identical alarm explanations (the KS decision is exact
+    /// integer arithmetic over the window multisets, independent of
+    /// internal insertion history; pinned by `tests/snapshot_roundtrip.rs`).
+    ///
+    /// # Errors
+    ///
+    /// [`crate::snapshot::SnapshotError::Invalid`] if the snapshot
+    /// violates the monitor's structural invariants (window lengths,
+    /// warm-up order, finite values) and
+    /// [`crate::snapshot::SnapshotError::Moche`] if the embedded
+    /// configuration is itself invalid.
+    pub fn restore(
+        snapshot: &crate::snapshot::MonitorSnapshot,
+    ) -> Result<Self, crate::snapshot::SnapshotError> {
+        snapshot.validate()?;
+        let cfg = MonitorConfig {
+            window: snapshot.window,
+            alpha: snapshot.alpha,
+            explain_on_drift: snapshot.explain_on_drift,
+            size_only: snapshot.size_only,
+            reset_on_drift: snapshot.reset_on_drift,
+        };
+        let mut monitor = Self::new(cfg)?;
+        for &value in &snapshot.reference {
+            let id = monitor.iks.insert_reference(value);
+            monitor.ref_window.push_back((value, id));
+            monitor.ref_index.insert(value);
+        }
+        for &value in &snapshot.test {
+            let id = monitor.iks.insert_test(value);
+            monitor.test_window.push_back((value, id));
+        }
+        monitor.pushes = snapshot.pushes;
+        monitor.alarms = snapshot.alarms;
+        monitor.degraded_preferences = snapshot.degraded_preferences;
+        Ok(monitor)
+    }
+
     /// Refills the recycled test-window scratch. The reference side needs
     /// no refresh: its order statistics are maintained incrementally with
     /// every slide, so the alarm path can never pair a stale reference

@@ -82,6 +82,7 @@ fn run_cycles(mon: &mut DriftMonitor, start: &mut usize, cycles: usize) -> usize
 fn warm_monitor_alarm_gates_run_sequentially() {
     warm_explain_alarms_allocate_nothing();
     warm_size_only_alarms_allocate_nothing();
+    warm_alarms_with_checkpointing_configured_allocate_nothing();
 }
 
 /// The explain-on-drift steady state: slides, KS decisions, SR scoring,
@@ -105,6 +106,56 @@ fn warm_explain_alarms_allocate_nothing() {
     assert_eq!(
         allocated, 0,
         "warm monitor explain alarms must be allocation-free \
+         ({alarms} alarms allocated {allocated} times)"
+    );
+}
+
+/// The fault-tolerant deployment shape: a checkpoint cadence is configured
+/// (the per-push `pushes() % every` decision runs, exactly as the CLI's
+/// checkpoint loop runs it) but no checkpoint falls due inside the measured
+/// window. Writing a snapshot allocates by design — fresh window vectors
+/// plus the encoded byte buffer — so the guarantee is precisely scoped:
+/// checkpointing costs nothing *between* checkpoints, even through alarms.
+fn warm_alarms_with_checkpointing_configured_allocate_nothing() {
+    let mut cfg = MonitorConfig::new(W, 0.05);
+    cfg.reset_on_drift = false;
+    let mut mon = DriftMonitor::new(cfg).unwrap();
+    let mut at = 0usize;
+    let warm_alarms = run_cycles(&mut mon, &mut at, 3);
+    assert!(warm_alarms > 0, "the shifting stream must alarm during warm-up");
+
+    // Prove the checkpoint path itself works for this monitor (outside the
+    // measured window), then pick a cadence that cannot fall due during
+    // the two measured cycles.
+    let path = std::env::temp_dir().join("moche-alloc-gate.snap");
+    mon.checkpoint(&path).expect("warm-up checkpoint");
+    let every: u64 = mon.pushes() + 100 * CYCLE as u64;
+
+    let before = allocations();
+    let mut alarms = 0usize;
+    let mut checkpoints = 0usize;
+    for _ in 0..2 * CYCLE {
+        match mon.push(observation(at)) {
+            MonitorEvent::Drift { explanation: Some(e), .. } => {
+                mon.recycle(e);
+                alarms += 1;
+            }
+            MonitorEvent::Drift { .. } => alarms += 1,
+            MonitorEvent::Stable { .. } | MonitorEvent::Warming { .. } => {}
+        }
+        if mon.pushes().is_multiple_of(every) {
+            mon.checkpoint(&path).expect("cadence checkpoint");
+            checkpoints += 1;
+        }
+        at += 1;
+    }
+    let allocated = allocations() - before;
+    let _ = std::fs::remove_file(&path);
+    assert!(alarms > 0, "the measured window must contain alarms");
+    assert_eq!(checkpoints, 0, "the cadence must not fall due while measuring");
+    assert_eq!(
+        allocated, 0,
+        "warm alarms with checkpointing configured must be allocation-free \
          ({alarms} alarms allocated {allocated} times)"
     );
 }

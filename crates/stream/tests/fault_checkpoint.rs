@@ -1,0 +1,125 @@
+//! Failpoint-driven crash scenarios for the checkpoint writer.
+//!
+//! Compiled only under `--features fault-injection`. The `checkpoint.write`
+//! failpoint turns [`MonitorSnapshot::write_atomic`] into the two failures
+//! the atomic protocol exists to survive:
+//!
+//! * `Fault::Error` — the write fails outright, and a previously written
+//!   checkpoint at the same path must stay intact and resumable;
+//! * `Fault::TruncateWrite(n)` — a torn write lands `n` bytes at the final
+//!   path (the crash-without-rename case), and resume must *reject* the
+//!   file rather than restore a half-monitor.
+//!
+//! The failpoint registry is process-global, so all scenarios run as
+//! sequential phases of one `#[test]`.
+
+#![cfg(feature = "fault-injection")]
+
+use std::path::PathBuf;
+
+use moche_core::fault::{self, Fault};
+use moche_stream::{DriftMonitor, MonitorConfig, SnapshotError};
+
+fn tmp_dir() -> PathBuf {
+    let dir = std::env::temp_dir().join("moche-fault-checkpoint");
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+/// A monitor with full windows and a few counters worth preserving.
+fn warm_monitor() -> DriftMonitor {
+    let mut monitor = DriftMonitor::new(MonitorConfig::new(8, 0.05)).unwrap();
+    for i in 0..20 {
+        let value = f64::from(i % 5) + if i >= 12 { 30.0 } else { 0.0 };
+        monitor.push(value);
+    }
+    monitor
+}
+
+#[test]
+fn checkpoint_write_faults_are_contained() {
+    let monitor = warm_monitor();
+
+    failed_write_reports_io_and_preserves_the_previous_checkpoint(&monitor);
+    torn_writes_are_rejected_on_resume(&monitor);
+    torn_write_after_a_good_checkpoint_is_detected_not_restored(&monitor);
+}
+
+fn failed_write_reports_io_and_preserves_the_previous_checkpoint(monitor: &DriftMonitor) {
+    let path = tmp_dir().join("failed-write.snap");
+    let _ = std::fs::remove_file(&path);
+
+    // First failure mode: no checkpoint has ever been written. The write
+    // must error and must not leave a file behind.
+    fault::arm("checkpoint.write", Fault::Error, 0, 1);
+    let err = monitor.checkpoint(&path).expect_err("injected write failure");
+    assert!(matches!(err, SnapshotError::Io(_)), "got {err:?}");
+    assert!(!path.exists(), "a failed write must not create the checkpoint");
+
+    // Second failure mode: a good checkpoint already exists. The failed
+    // overwrite must leave it byte-for-byte intact and resumable.
+    monitor.checkpoint(&path).expect("clean write");
+    let good_bytes = std::fs::read(&path).unwrap();
+    fault::arm("checkpoint.write", Fault::Error, 0, 1);
+    monitor.checkpoint(&path).expect_err("injected write failure");
+    fault::disarm("checkpoint.write");
+    assert_eq!(std::fs::read(&path).unwrap(), good_bytes);
+    let resumed = DriftMonitor::resume_from(&path).expect("previous checkpoint must survive");
+    assert_eq!(resumed.pushes(), monitor.pushes());
+    let _ = std::fs::remove_file(&path);
+}
+
+fn torn_writes_are_rejected_on_resume(monitor: &DriftMonitor) {
+    let path = tmp_dir().join("torn-write.snap");
+    let full_len = monitor.snapshot().to_bytes().len();
+
+    // Every proper prefix of the snapshot simulates a crash at that byte;
+    // none may restore. Short prefixes die on the magic/header checks,
+    // longer ones on the missing checksum.
+    for keep in [0, 1, 7, 8, 19, 20, full_len / 2, full_len - 4, full_len - 1] {
+        fault::arm("checkpoint.write", Fault::TruncateWrite(keep), 0, 1);
+        monitor.checkpoint(&path).expect("a torn write reports success — that is the point");
+        fault::disarm("checkpoint.write");
+        assert_eq!(std::fs::read(&path).unwrap().len(), keep);
+
+        let err = DriftMonitor::resume_from(&path)
+            .expect_err(&format!("a {keep}-byte torn file must not restore"));
+        assert!(
+            matches!(
+                err,
+                SnapshotError::Truncated
+                    | SnapshotError::BadMagic
+                    | SnapshotError::ChecksumMismatch
+            ),
+            "keep = {keep}: got {err:?}"
+        );
+    }
+    let _ = std::fs::remove_file(&path);
+}
+
+/// The end-to-end crash story: checkpoint, keep pushing, crash mid-write
+/// of the *next* checkpoint. The torn file is detected, and the operator
+/// falls back to the preserved earlier checkpoint.
+fn torn_write_after_a_good_checkpoint_is_detected_not_restored(monitor: &DriftMonitor) {
+    let dir = tmp_dir();
+    let good = dir.join("rotation-good.snap");
+    let torn = dir.join("rotation-torn.snap");
+
+    monitor.checkpoint(&good).expect("clean write");
+
+    let mut later = DriftMonitor::resume_from(&good).expect("resume the good checkpoint");
+    for i in 0..5 {
+        later.push(f64::from(i));
+    }
+    fault::arm("checkpoint.write", Fault::TruncateWrite(13), 0, 1);
+    later.checkpoint(&torn).expect("torn write reports success");
+    fault::disarm("checkpoint.write");
+
+    assert!(DriftMonitor::resume_from(&torn).is_err(), "the torn checkpoint must be rejected");
+    let fallback = DriftMonitor::resume_from(&good).expect("the older checkpoint still restores");
+    assert_eq!(fallback.pushes(), monitor.pushes());
+    assert_eq!(fallback.snapshot(), monitor.snapshot());
+
+    let _ = std::fs::remove_file(&good);
+    let _ = std::fs::remove_file(&torn);
+}
