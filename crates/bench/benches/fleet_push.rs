@@ -1,0 +1,62 @@
+//! Fleet benchmarks: the `moche serve` ingest path at daemon scale.
+//!
+//! Round-robin pushes across 1k and 100k independent series (every push
+//! hits a different shard and a cold per-series state — the cache
+//! behaviour a multiplexing daemon actually sees, unlike the hot
+//! single-monitor loop in `monitor_alarm.rs`), plus the crash-recovery
+//! path: per-shard checkpoint write and `resume_from_dir`. The fleet
+//! construction and stream shape are shared with the `BENCH_core.json`
+//! evidence suite (`moche_bench::perf::warmed_fleet`), so the criterion
+//! numbers and the perf-gate evidence can never drift apart.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use moche_bench::perf::{monitor_observation, warmed_fleet};
+use moche_stream::MonitorFleet;
+use std::hint::black_box;
+
+fn bench_fleet_push(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fleet_push");
+    for &(series, w) in &[(1_000u64, 64usize), (100_000, 8)] {
+        let (mut fleet, mut round) = warmed_fleet(series, w, 4);
+        let mut id = 0u64;
+        group.bench_with_input(BenchmarkId::new("steady", series), &series, |b, _| {
+            b.iter(|| {
+                let event = fleet
+                    .push(black_box(id), black_box(monitor_observation(round, w, false)))
+                    .expect("finite");
+                black_box(&event);
+                id += 1;
+                if id == series {
+                    id = 0;
+                    round += 1;
+                }
+            })
+        });
+        assert_eq!(fleet.stats().view().alarms, 0, "the stationary fleet must never alarm");
+    }
+    group.finish();
+}
+
+fn bench_fleet_recovery(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fleet_recovery");
+    group.sample_size(10);
+    let (fleet, _) = warmed_fleet(1_000, 64, 4);
+    let cfg = *fleet.config();
+    let dir = std::env::temp_dir().join("moche-criterion-fleet-resume");
+    let _ = std::fs::remove_dir_all(&dir);
+    group.bench_with_input(BenchmarkId::new("checkpoint", 1_000u64), &1_000u64, |b, _| {
+        b.iter(|| fleet.checkpoint_dir(black_box(&dir)).expect("checkpoint"))
+    });
+    group.bench_with_input(BenchmarkId::new("resume", 1_000u64), &1_000u64, |b, _| {
+        b.iter(|| {
+            let resumed = MonitorFleet::resume_from_dir(cfg, black_box(&dir)).expect("resume");
+            assert_eq!(resumed.series_count(), 1_000);
+            black_box(resumed)
+        })
+    });
+    let _ = std::fs::remove_dir_all(&dir);
+    group.finish();
+}
+
+criterion_group!(benches, bench_fleet_push, bench_fleet_recovery);
+criterion_main!(benches);

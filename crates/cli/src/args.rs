@@ -114,6 +114,12 @@ pub enum Command {
         /// series.
         resume: Option<PathBuf>,
     },
+    /// `moche serve --listen ADDR | --unix PATH [--window W] [--alpha A]
+    /// [--workers N] [--no-explain] [--size-only] [--explain-queue N]
+    /// [--ring N] [--max-series N] [--checkpoint-dir DIR
+    /// [--checkpoint-every N]] [--resume] [--sr-filter-window Q]
+    /// [--sr-score-window Z]`
+    Serve(crate::serve::ServeOptions),
     /// `moche help` or `--help`.
     Help,
 }
@@ -145,6 +151,20 @@ USAGE:
       --checkpoint writes crash-safe snapshots; --resume restores one and
       continues the run exactly where it left off (alarms are identical
       to an uninterrupted run over the same observations).
+  moche serve   --listen HOST:PORT | --unix PATH --window W [--alpha A]
+                [--workers N] [--no-explain] [--size-only]
+                [--explain-queue N] [--ring N] [--max-series N]
+                [--checkpoint-dir DIR [--checkpoint-every N]] [--resume]
+                [--sr-filter-window Q] [--sr-score-window Z]
+      Run the monitor-fleet daemon: many independent series multiplexed
+      over a small worker pool, ingested over a length-prefixed binary
+      (or newline-JSON) protocol. Alarms are logged to stdout; explains
+      run on a bounded deferred queue so they never block ingestion.
+      With --checkpoint-dir each worker checkpoints its shard
+      atomically; --resume reloads every shard file at startup, so a
+      kill -9'd daemon continues with zero lost alarms once its clients
+      replay from the per-series 'pushes' offsets (query them with the
+      SERIES request). A SHUTDOWN request exits gracefully.
 
 Data files: one number per line; '#' starts a comment; for 'explain
 --preference scores' each line may be 'value,score'.
@@ -171,6 +191,29 @@ OPTIONS:
                 series; the snapshot's configuration (window, alpha,
                 explain mode) takes precedence, and a --window given
                 alongside must match the snapshot's
+  --listen HOST:PORT
+                serve: bind a TCP listener (port 0 picks a free port; the
+                bound address is printed on the startup line)
+  --unix PATH   serve: bind a unix-domain socket instead of TCP
+  --workers N   serve: shard/worker count (default 0 = one per core,
+                capped at 8); series are hash-sharded across workers
+  --explain-queue N
+                serve: per-shard bound on the deferred alarm-explain
+                queue (default 64); a full queue sheds explanation work,
+                never alarms
+  --ring N      serve: per-shard ingest ring capacity (default 1024); a
+                full ring applies backpressure to the client
+  --max-series N
+                serve: reject new series beyond N (default 0 = unbounded)
+  --checkpoint-dir DIR
+                serve: write per-shard checkpoint files (shard-NNNN.snap)
+                to DIR on the --checkpoint-every cadence and at shutdown;
+                with serve, --resume is a flag that reloads DIR
+  --sr-filter-window Q, --sr-score-window Z
+                serve: Spectral-Residual preference parameters applied to
+                every series (defaults 3 and 21, the SR paper's values);
+                carried in checkpoints, so a resumed fleet ranks
+                identically
 
 EXIT CODES:
   0  success
@@ -183,6 +226,11 @@ EXIT CODES:
      corrupt, or from an unsupported version, or a --checkpoint write
      that failed
 ";
+
+fn parse_count(value: Option<&str>, flag: &str) -> Result<usize, CliError> {
+    let raw = value.ok_or_else(|| CliError::Usage(format!("{flag} needs a value")))?;
+    raw.parse().map_err(|_| CliError::Usage(format!("invalid {flag} '{raw}'")))
+}
 
 fn parse_alpha(value: Option<&str>) -> Result<f64, CliError> {
     let raw = value.ok_or_else(|| CliError::Usage("--alpha needs a value".into()))?;
@@ -217,6 +265,16 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
     let mut checkpoint: Option<PathBuf> = None;
     let mut checkpoint_every: Option<u64> = None;
     let mut resume: Option<PathBuf> = None;
+    let mut listen: Option<String> = None;
+    let mut unix: Option<PathBuf> = None;
+    let mut workers = 0usize;
+    let mut explain_queue = 64usize;
+    let mut ring = 1024usize;
+    let mut max_series = 0usize;
+    let mut checkpoint_dir: Option<PathBuf> = None;
+    let mut serve_resume = false;
+    let mut sr_filter_window: Option<usize> = None;
+    let mut sr_score_window: Option<usize> = None;
     while let Some(arg) = it.next() {
         match arg {
             "--alpha" => alpha = parse_alpha(it.next())?,
@@ -270,9 +328,58 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 checkpoint_every = Some(every);
             }
             "--resume" => {
+                // serve's --resume is a flag (the source is
+                // --checkpoint-dir); monitor's takes a snapshot path.
+                if sub == "serve" {
+                    serve_resume = true;
+                } else {
+                    let raw =
+                        it.next().ok_or_else(|| CliError::Usage("--resume needs a path".into()))?;
+                    resume = Some(PathBuf::from(raw));
+                }
+            }
+            "--listen" => {
                 let raw =
-                    it.next().ok_or_else(|| CliError::Usage("--resume needs a path".into()))?;
-                resume = Some(PathBuf::from(raw));
+                    it.next().ok_or_else(|| CliError::Usage("--listen needs HOST:PORT".into()))?;
+                listen = Some(raw.to_string());
+            }
+            "--unix" => {
+                let raw = it.next().ok_or_else(|| CliError::Usage("--unix needs a path".into()))?;
+                unix = Some(PathBuf::from(raw));
+            }
+            "--workers" => workers = parse_count(it.next(), "--workers")?,
+            "--explain-queue" => {
+                explain_queue = parse_count(it.next(), "--explain-queue")?;
+                if explain_queue == 0 {
+                    return Err(CliError::Usage("--explain-queue must be at least 1".into()));
+                }
+            }
+            "--ring" => {
+                ring = parse_count(it.next(), "--ring")?;
+                if ring == 0 {
+                    return Err(CliError::Usage("--ring must be at least 1".into()));
+                }
+            }
+            "--max-series" => max_series = parse_count(it.next(), "--max-series")?,
+            "--checkpoint-dir" => {
+                let raw = it
+                    .next()
+                    .ok_or_else(|| CliError::Usage("--checkpoint-dir needs a path".into()))?;
+                checkpoint_dir = Some(PathBuf::from(raw));
+            }
+            "--sr-filter-window" => {
+                let q = parse_count(it.next(), "--sr-filter-window")?;
+                if q == 0 {
+                    return Err(CliError::Usage("--sr-filter-window must be at least 1".into()));
+                }
+                sr_filter_window = Some(q);
+            }
+            "--sr-score-window" => {
+                let z = parse_count(it.next(), "--sr-score-window")?;
+                if z == 0 {
+                    return Err(CliError::Usage("--sr-score-window must be at least 1".into()));
+                }
+                sr_score_window = Some(z);
             }
             "--preference" => {
                 let raw = it
@@ -364,6 +471,50 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 checkpoint_every,
                 resume,
             })
+        }
+        "serve" => {
+            if !positionals.is_empty() {
+                return Err(CliError::Usage("serve takes no positional arguments".into()));
+            }
+            let listen = match (listen, unix) {
+                (Some(addr), None) => crate::serve::Listen::Tcp(addr),
+                (None, Some(path)) => crate::serve::Listen::Unix(path),
+                (None, None) => {
+                    return Err(CliError::Usage(
+                        "serve requires --listen HOST:PORT or --unix PATH".into(),
+                    ))
+                }
+                (Some(_), Some(_)) => {
+                    return Err(CliError::Usage(
+                        "--listen and --unix are mutually exclusive".into(),
+                    ))
+                }
+            };
+            let Some(window) = window else {
+                return Err(CliError::Usage("serve requires --window W".into()));
+            };
+            if checkpoint_every.is_some() && checkpoint_dir.is_none() {
+                return Err(CliError::Usage("--checkpoint-every requires --checkpoint-dir".into()));
+            }
+            if serve_resume && checkpoint_dir.is_none() {
+                return Err(CliError::Usage("serve --resume requires --checkpoint-dir".into()));
+            }
+            Ok(Command::Serve(crate::serve::ServeOptions {
+                listen,
+                window,
+                alpha,
+                workers,
+                explain,
+                size_only,
+                explain_queue,
+                ring,
+                max_series,
+                checkpoint_dir,
+                checkpoint_every,
+                resume: serve_resume,
+                sr_filter_window,
+                sr_score_window,
+            }))
         }
         other => Err(CliError::Usage(format!("unknown command '{other}' (try 'moche help')"))),
     }
@@ -534,6 +685,92 @@ mod tests {
             CliError::Usage(_)
         ));
         assert!(matches!(parse_err(&["batch", "r", "w", "--threads", "many"]), CliError::Usage(_)));
+    }
+
+    #[test]
+    fn parses_serve() {
+        match parse_ok(&[
+            "serve",
+            "--listen",
+            "127.0.0.1:0",
+            "--window",
+            "64",
+            "--workers",
+            "4",
+            "--checkpoint-dir",
+            "ckpt",
+            "--checkpoint-every",
+            "500",
+            "--resume",
+            "--explain-queue",
+            "32",
+            "--ring",
+            "2048",
+            "--max-series",
+            "100000",
+            "--sr-filter-window",
+            "5",
+            "--sr-score-window",
+            "9",
+        ]) {
+            Command::Serve(opts) => {
+                assert_eq!(opts.listen, crate::serve::Listen::Tcp("127.0.0.1:0".into()));
+                assert_eq!(opts.window, 64);
+                assert_eq!(opts.workers, 4);
+                assert_eq!(opts.checkpoint_dir, Some(PathBuf::from("ckpt")));
+                assert_eq!(opts.checkpoint_every, Some(500));
+                assert!(opts.resume);
+                assert_eq!(opts.explain_queue, 32);
+                assert_eq!(opts.ring, 2048);
+                assert_eq!(opts.max_series, 100_000);
+                assert_eq!(opts.sr_filter_window, Some(5));
+                assert_eq!(opts.sr_score_window, Some(9));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match parse_ok(&["serve", "--unix", "/tmp/moche.sock", "--window", "8"]) {
+            Command::Serve(opts) => {
+                assert_eq!(
+                    opts.listen,
+                    crate::serve::Listen::Unix(PathBuf::from("/tmp/moche.sock"))
+                );
+                assert_eq!(opts.workers, 0, "default = auto");
+                assert!(!opts.resume);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn serve_usage_errors() {
+        // No listener, no window, both listeners, cadence/resume without
+        // a checkpoint dir, zero-size knobs: all usage errors.
+        assert!(matches!(parse_err(&["serve", "--window", "8"]), CliError::Usage(_)));
+        assert!(matches!(parse_err(&["serve", "--listen", "h:1"]), CliError::Usage(_)));
+        assert!(matches!(
+            parse_err(&["serve", "--listen", "h:1", "--unix", "p", "--window", "8"]),
+            CliError::Usage(_)
+        ));
+        assert!(matches!(
+            parse_err(&["serve", "--listen", "h:1", "--window", "8", "--checkpoint-every", "5"]),
+            CliError::Usage(_)
+        ));
+        assert!(matches!(
+            parse_err(&["serve", "--listen", "h:1", "--window", "8", "--resume"]),
+            CliError::Usage(_)
+        ));
+        assert!(matches!(
+            parse_err(&["serve", "--listen", "h:1", "--window", "8", "--ring", "0"]),
+            CliError::Usage(_)
+        ));
+        assert!(matches!(
+            parse_err(&["serve", "--listen", "h:1", "--window", "8", "--sr-filter-window", "0"]),
+            CliError::Usage(_)
+        ));
+        assert!(matches!(
+            parse_err(&["serve", "--listen", "h:1", "--window", "8", "extra"]),
+            CliError::Usage(_)
+        ));
     }
 
     #[test]

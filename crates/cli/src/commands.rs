@@ -37,12 +37,12 @@ pub struct HealthReport {
 }
 
 impl HealthReport {
-    fn is_clean(&self) -> bool {
+    pub(crate) fn is_clean(&self) -> bool {
         self.worker_panics == 0 && self.skipped_observations == 0 && self.degraded_preferences == 0
     }
 
     /// The one-line text rendering (also used, `#`-prefixed, in CSV).
-    fn summary(&self) -> String {
+    pub(crate) fn summary(&self) -> String {
         format!(
             "health: {} worker panic(s), {} skipped observation(s), \
              {} degraded preference(s), {} checkpoint(s) written{}",
@@ -152,6 +152,7 @@ pub fn run(command: Command, out: &mut dyn Write) -> Result<RunStatus, CliError>
             };
             run_monitor(&values, &opts, out)
         }
+        Command::Serve(opts) => crate::serve::run_serve(&opts, out),
     }
 }
 

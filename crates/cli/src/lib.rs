@@ -22,7 +22,10 @@
 pub mod args;
 pub mod commands;
 pub mod io;
+pub mod protocol;
+pub mod serve;
 
 pub use args::{parse, Command, OutputFormat, PreferenceSource, USAGE};
 pub use commands::{run, HealthReport, RunStatus};
 pub use io::CliError;
+pub use serve::{Listen, ServeOptions};

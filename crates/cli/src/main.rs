@@ -2,11 +2,12 @@
 //! to stdout.
 //!
 //! Output goes through one locked, buffered stdout handle for the whole
-//! run, so streaming commands (`moche batch --stream`) print each result as
-//! it is delivered instead of accumulating a report in memory. Exit codes:
-//! `0` success, `1` for errors (including batch runs where every window
-//! failed and nothing was explained), `2` for usage errors, `3` for
-//! snapshot errors (a corrupt `--resume` file or a failed `--checkpoint`
+//! run, so streaming commands (`moche batch --stream`) and the `moche
+//! serve` daemon's alarm log print each result as it is delivered instead
+//! of accumulating a report in memory. Exit codes: `0` success, `1` for
+//! errors (including batch runs where every window failed and nothing was
+//! explained), `2` for usage errors, `3` for snapshot errors (a corrupt
+//! `--resume` file or shard checkpoint, or a failed `--checkpoint`
 //! write).
 
 use std::io::Write as _;

@@ -1,0 +1,488 @@
+//! The `moche serve` wire protocol: length-prefixed binary frames, with a
+//! newline-JSON fallback for shells and scripting.
+//!
+//! ## Binary framing
+//!
+//! Every frame is a little-endian `u32` payload length followed by that
+//! many payload bytes; the first payload byte is the opcode. Requests:
+//!
+//! | Opcode | Name | Payload after the opcode | Reply |
+//! |---|---|---|---|
+//! | `0x01` | `OBS` | `u64` series id + `f64` value (both LE; 17 bytes total) | none |
+//! | `0x02` | `STATUS` | none | `0x82` + JSON stats object |
+//! | `0x03` | `SERIES` | `u64` series id (9 bytes total) | `0x83` + JSON per-series object |
+//! | `0x04` | `SHUTDOWN` | none | `0x84` + JSON stats object, then a graceful daemon exit |
+//!
+//! Replies reuse the same framing with the high bit of the request opcode
+//! set. `OBS` is fire-and-forget — the common path pays no round trip; a
+//! client that needs a write barrier sends `STATUS` (connections are
+//! handled in order, so the reply proves every earlier `OBS` on that
+//! connection was routed).
+//!
+//! ## Newline-JSON mode
+//!
+//! A connection whose first byte is `{` speaks JSON instead: one object
+//! per `\n`-terminated line — `{"series":7,"value":1.5}`,
+//! `{"cmd":"status"}`, `{"cmd":"series","series":7}`,
+//! `{"cmd":"shutdown"}` — with one JSON object line per reply. The mode is
+//! fixed for the connection's lifetime (binary frames never start with
+//! `0x7b` because the length prefix of any sane frame is small).
+
+use std::io::{self, Read, Write};
+
+/// Cap on accepted frame payloads. The largest legitimate request is an
+/// `OBS` frame (17 bytes); anything bigger than this is a corrupt stream
+/// or a hostile client, and is rejected before any allocation.
+pub const MAX_FRAME_LEN: u32 = 4096;
+
+/// Request opcodes.
+pub mod op {
+    /// One observation: series id + value.
+    pub const OBS: u8 = 0x01;
+    /// Fleet-wide stats request.
+    pub const STATUS: u8 = 0x02;
+    /// Per-series stats request.
+    pub const SERIES: u8 = 0x03;
+    /// Graceful shutdown request.
+    pub const SHUTDOWN: u8 = 0x04;
+    /// Reply bit: a reply's opcode is its request's opcode with this set.
+    pub const REPLY: u8 = 0x80;
+}
+
+/// A decoded request, either wire mode.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Feed one observation to a series.
+    Obs {
+        /// Series id.
+        series: u64,
+        /// Observed value.
+        value: f64,
+    },
+    /// Fleet-wide stats.
+    Status,
+    /// Per-series stats.
+    Series {
+        /// Series id.
+        series: u64,
+    },
+    /// Graceful shutdown.
+    Shutdown,
+}
+
+/// Why a request could not be decoded.
+#[derive(Debug)]
+pub enum ProtocolError {
+    /// The underlying transport failed.
+    Io(io::Error),
+    /// The peer closed the connection cleanly (between frames/lines).
+    Closed,
+    /// The bytes are not a valid frame or JSON line.
+    Malformed(String),
+}
+
+impl std::fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtocolError::Io(e) => write!(f, "transport error: {e}"),
+            ProtocolError::Closed => f.write_str("connection closed"),
+            ProtocolError::Malformed(why) => write!(f, "malformed request: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+impl From<io::Error> for ProtocolError {
+    fn from(e: io::Error) -> Self {
+        if e.kind() == io::ErrorKind::UnexpectedEof {
+            ProtocolError::Closed
+        } else {
+            ProtocolError::Io(e)
+        }
+    }
+}
+
+/// Encodes an `OBS` frame (the client side of the hot path).
+pub fn encode_obs(series: u64, value: f64) -> [u8; 21] {
+    let mut frame = [0u8; 21];
+    frame[..4].copy_from_slice(&17u32.to_le_bytes());
+    frame[4] = op::OBS;
+    frame[5..13].copy_from_slice(&series.to_le_bytes());
+    frame[13..21].copy_from_slice(&value.to_le_bytes());
+    frame
+}
+
+/// Encodes a payload-free request frame (`STATUS` / `SHUTDOWN`).
+pub fn encode_op(opcode: u8) -> [u8; 5] {
+    let mut frame = [0u8; 5];
+    frame[..4].copy_from_slice(&1u32.to_le_bytes());
+    frame[4] = opcode;
+    frame
+}
+
+/// Encodes a `SERIES` request frame.
+pub fn encode_series(series: u64) -> [u8; 13] {
+    let mut frame = [0u8; 13];
+    frame[..4].copy_from_slice(&9u32.to_le_bytes());
+    frame[4] = op::SERIES;
+    frame[5..13].copy_from_slice(&series.to_le_bytes());
+    frame
+}
+
+/// Writes a reply frame: `request_opcode | REPLY`, then the JSON body.
+///
+/// # Errors
+///
+/// Any transport write failure.
+pub fn write_reply(w: &mut dyn Write, request_opcode: u8, json: &str) -> io::Result<()> {
+    let len = 1 + json.len();
+    let len = u32::try_from(len).map_err(|_| io::Error::other("reply too large"))?;
+    w.write_all(&len.to_le_bytes())?;
+    w.write_all(&[request_opcode | op::REPLY])?;
+    w.write_all(json.as_bytes())?;
+    w.flush()
+}
+
+/// Reads one reply frame, returning `(opcode, body)` — the client side of
+/// `STATUS`/`SERIES`/`SHUTDOWN` round trips (used by the soak harness).
+///
+/// # Errors
+///
+/// Transport failures, a clean close, or an oversized/invalid frame.
+pub fn read_reply(r: &mut dyn Read) -> Result<(u8, Vec<u8>), ProtocolError> {
+    let mut len = [0u8; 4];
+    r.read_exact(&mut len)?;
+    let len = u32::from_le_bytes(len);
+    if len == 0 || len > MAX_FRAME_LEN {
+        return Err(ProtocolError::Malformed(format!("reply frame length {len}")));
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    let opcode = payload[0];
+    payload.remove(0);
+    Ok((opcode, payload))
+}
+
+/// Reads and decodes one binary request frame.
+///
+/// # Errors
+///
+/// [`ProtocolError::Closed`] on a clean close between frames, `Io` on
+/// transport failure, `Malformed` on an invalid length, opcode, or
+/// payload shape (the connection should be dropped: framing is lost).
+pub fn read_request(r: &mut dyn Read) -> Result<Request, ProtocolError> {
+    let mut len = [0u8; 4];
+    if let Err(e) = r.read_exact(&mut len) {
+        // A clean EOF on the very first byte of a frame is a normal
+        // disconnect, not a protocol violation.
+        return Err(ProtocolError::from(e));
+    }
+    let len = u32::from_le_bytes(len);
+    if len == 0 || len > MAX_FRAME_LEN {
+        return Err(ProtocolError::Malformed(format!("frame length {len}")));
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    decode_request(&payload)
+}
+
+/// Decodes a binary request payload (opcode + body).
+///
+/// # Errors
+///
+/// [`ProtocolError::Malformed`] for unknown opcodes or wrong body sizes.
+pub fn decode_request(payload: &[u8]) -> Result<Request, ProtocolError> {
+    match payload {
+        [o, rest @ ..] if *o == op::OBS => {
+            if rest.len() != 16 {
+                return Err(ProtocolError::Malformed(format!(
+                    "OBS payload must be 16 bytes, got {}",
+                    rest.len()
+                )));
+            }
+            let series = u64::from_le_bytes(rest[..8].try_into().expect("8 bytes"));
+            let value = f64::from_le_bytes(rest[8..].try_into().expect("8 bytes"));
+            Ok(Request::Obs { series, value })
+        }
+        [o] if *o == op::STATUS => Ok(Request::Status),
+        [o, rest @ ..] if *o == op::SERIES => {
+            if rest.len() != 8 {
+                return Err(ProtocolError::Malformed(format!(
+                    "SERIES payload must be 8 bytes, got {}",
+                    rest.len()
+                )));
+            }
+            Ok(Request::Series { series: u64::from_le_bytes(rest.try_into().expect("8 bytes")) })
+        }
+        [o] if *o == op::SHUTDOWN => Ok(Request::Shutdown),
+        [o, ..] => Err(ProtocolError::Malformed(format!("unknown opcode {o:#04x}"))),
+        [] => Err(ProtocolError::Malformed("empty payload".into())),
+    }
+}
+
+/// Decodes one newline-JSON request line.
+///
+/// This is not a general JSON parser — it accepts exactly the four
+/// request shapes the protocol defines, with any key order and
+/// insignificant whitespace, and rejects everything else loudly.
+///
+/// # Errors
+///
+/// [`ProtocolError::Malformed`] with a description of what was wrong.
+pub fn parse_json_request(line: &str) -> Result<Request, ProtocolError> {
+    let line = line.trim();
+    if !(line.starts_with('{') && line.ends_with('}')) {
+        return Err(ProtocolError::Malformed("expected a JSON object line".into()));
+    }
+    if let Some(cmd) = json_string_field(line, "cmd") {
+        return match cmd.as_str() {
+            "obs" => parse_json_obs(line),
+            "status" => Ok(Request::Status),
+            "shutdown" => Ok(Request::Shutdown),
+            "series" => {
+                let series = json_u64_field(line, "series").ok_or_else(|| {
+                    ProtocolError::Malformed("series command needs a \"series\" id".into())
+                })?;
+                Ok(Request::Series { series })
+            }
+            other => Err(ProtocolError::Malformed(format!("unknown cmd \"{other}\""))),
+        };
+    }
+    parse_json_obs(line)
+}
+
+/// An observation line: `{"cmd":"obs","series":N,"value":X}` — the `cmd`
+/// field is optional for this (and only this) request, so high-rate
+/// producers can drop the constant field.
+fn parse_json_obs(line: &str) -> Result<Request, ProtocolError> {
+    let series = json_u64_field(line, "series")
+        .ok_or_else(|| ProtocolError::Malformed("observation needs a \"series\" id".into()))?;
+    let value = json_f64_field(line, "value")
+        .ok_or_else(|| ProtocolError::Malformed("observation needs a \"value\"".into()))?;
+    Ok(Request::Obs { series, value })
+}
+
+/// Finds `"key"` used as a key (followed by `:`) and returns the rest of
+/// the line after the colon — skipping occurrences of the same text as a
+/// string *value* (`{"cmd":"series"}` must not satisfy a "series" key
+/// lookup).
+fn json_after_key<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let needle = format!("\"{key}\"");
+    let mut search = line;
+    loop {
+        let at = search.find(&needle)?;
+        let rest = search[at + needle.len()..].trim_start();
+        if let Some(after_colon) = rest.strip_prefix(':') {
+            return Some(after_colon.trim_start());
+        }
+        search = &search[at + needle.len()..];
+    }
+}
+
+/// Extracts `"key": <number token>` from a flat JSON object line.
+fn json_raw_number(line: &str, key: &str) -> Option<String> {
+    let rest = json_after_key(line, key)?;
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || matches!(c, '-' | '+' | '.' | 'e' | 'E')))
+        .unwrap_or(rest.len());
+    if end == 0 {
+        return None;
+    }
+    Some(rest[..end].to_string())
+}
+
+fn json_u64_field(line: &str, key: &str) -> Option<u64> {
+    json_raw_number(line, key)?.parse().ok()
+}
+
+fn json_f64_field(line: &str, key: &str) -> Option<f64> {
+    json_raw_number(line, key)?.parse().ok()
+}
+
+/// Extracts `"key": "value"` from a flat JSON object line (no escape
+/// handling — the protocol's strings are bare command words).
+fn json_string_field(line: &str, key: &str) -> Option<String> {
+    let rest = json_after_key(line, key)?;
+    let rest = rest.strip_prefix('"')?;
+    let end = rest.find('"')?;
+    Some(rest[..end].to_string())
+}
+
+/// A minimal JSON object builder for the reply bodies (numbers, booleans
+/// and pre-quoted strings only — everything the status endpoint needs).
+#[derive(Debug, Default)]
+pub struct JsonObject {
+    body: String,
+}
+
+impl JsonObject {
+    /// An empty object.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn push_key(&mut self, key: &str) {
+        if !self.body.is_empty() {
+            self.body.push(',');
+        }
+        self.body.push('"');
+        self.body.push_str(key);
+        self.body.push_str("\":");
+    }
+
+    /// Adds an unsigned-integer field.
+    #[must_use]
+    pub fn field_u64(mut self, key: &str, value: u64) -> Self {
+        self.push_key(key);
+        self.body.push_str(&value.to_string());
+        self
+    }
+
+    /// Adds a float field (JSON `null` for non-finite values).
+    #[must_use]
+    pub fn field_f64(mut self, key: &str, value: f64) -> Self {
+        self.push_key(key);
+        if value.is_finite() {
+            self.body.push_str(&format!("{value}"));
+        } else {
+            self.body.push_str("null");
+        }
+        self
+    }
+
+    /// Adds a boolean field.
+    #[must_use]
+    pub fn field_bool(mut self, key: &str, value: bool) -> Self {
+        self.push_key(key);
+        self.body.push_str(if value { "true" } else { "false" });
+        self
+    }
+
+    /// Adds a string field (the value must not need escaping).
+    #[must_use]
+    pub fn field_str(mut self, key: &str, value: &str) -> Self {
+        debug_assert!(!value.contains(['"', '\\']), "JsonObject does not escape");
+        self.push_key(key);
+        self.body.push('"');
+        self.body.push_str(value);
+        self.body.push('"');
+        self
+    }
+
+    /// Finishes the object.
+    #[must_use]
+    pub fn build(self) -> String {
+        format!("{{{}}}", self.body)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binary_obs_round_trips() {
+        let frame = encode_obs(42, -1.5);
+        let mut cursor = &frame[..];
+        assert_eq!(read_request(&mut cursor).unwrap(), Request::Obs { series: 42, value: -1.5 });
+        assert!(cursor.is_empty(), "the frame must be consumed exactly");
+    }
+
+    #[test]
+    fn binary_control_frames_round_trip() {
+        let mut cursor = &encode_op(op::STATUS)[..];
+        assert_eq!(read_request(&mut cursor).unwrap(), Request::Status);
+        let mut cursor = &encode_op(op::SHUTDOWN)[..];
+        assert_eq!(read_request(&mut cursor).unwrap(), Request::Shutdown);
+        let mut cursor = &encode_series(7)[..];
+        assert_eq!(read_request(&mut cursor).unwrap(), Request::Series { series: 7 });
+    }
+
+    #[test]
+    fn oversized_and_empty_frames_are_rejected() {
+        let mut zero = &[0u8, 0, 0, 0][..];
+        assert!(matches!(read_request(&mut zero), Err(ProtocolError::Malformed(_))));
+        let huge = (MAX_FRAME_LEN + 1).to_le_bytes();
+        let mut huge = &huge[..];
+        assert!(matches!(read_request(&mut huge), Err(ProtocolError::Malformed(_))));
+    }
+
+    #[test]
+    fn clean_eof_between_frames_is_closed_not_error() {
+        let mut empty = &[][..];
+        assert!(matches!(read_request(&mut empty), Err(ProtocolError::Closed)));
+        // EOF *inside* a frame is also surfaced as Closed (torn stream).
+        let mut torn = &encode_obs(1, 1.0)[..10];
+        assert!(matches!(read_request(&mut torn), Err(ProtocolError::Closed)));
+    }
+
+    #[test]
+    fn wrong_payload_sizes_are_rejected() {
+        for payload in [&[op::OBS, 0u8][..], &[op::SERIES][..], &[0x7f][..], &[][..]] {
+            assert!(matches!(decode_request(payload), Err(ProtocolError::Malformed(_))));
+        }
+    }
+
+    #[test]
+    fn json_requests_parse() {
+        assert_eq!(
+            parse_json_request("{\"series\": 3, \"value\": -2.25}").unwrap(),
+            Request::Obs { series: 3, value: -2.25 }
+        );
+        assert_eq!(
+            parse_json_request("{\"value\":1e3,\"series\":12}").unwrap(),
+            Request::Obs { series: 12, value: 1000.0 }
+        );
+        assert_eq!(
+            parse_json_request("{\"cmd\":\"obs\",\"series\":4,\"value\":0.5}").unwrap(),
+            Request::Obs { series: 4, value: 0.5 }
+        );
+        assert_eq!(parse_json_request("{\"cmd\":\"status\"}").unwrap(), Request::Status);
+        assert_eq!(parse_json_request("{\"cmd\":\"shutdown\"}").unwrap(), Request::Shutdown);
+        assert_eq!(
+            parse_json_request("{\"cmd\":\"series\",\"series\":9}").unwrap(),
+            Request::Series { series: 9 }
+        );
+    }
+
+    #[test]
+    fn malformed_json_is_rejected_with_a_reason() {
+        for bad in [
+            "not json",
+            "{}",
+            "{\"cmd\":\"frobnicate\"}",
+            "{\"series\":1}",
+            "{\"value\":1.0}",
+            "{\"cmd\":\"series\"}",
+            "{\"series\":\"nope\",\"value\":1}",
+        ] {
+            assert!(
+                matches!(parse_json_request(bad), Err(ProtocolError::Malformed(_))),
+                "{bad} must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn reply_framing_round_trips() {
+        let mut buf = Vec::new();
+        write_reply(&mut buf, op::STATUS, "{\"ok\":true}").unwrap();
+        let mut cursor = &buf[..];
+        let (opcode, body) = read_reply(&mut cursor).unwrap();
+        assert_eq!(opcode, op::STATUS | op::REPLY);
+        assert_eq!(body, b"{\"ok\":true}");
+    }
+
+    #[test]
+    fn json_builder_emits_valid_objects() {
+        let json = JsonObject::new()
+            .field_u64("series", 5)
+            .field_f64("alpha", 0.05)
+            .field_bool("clean", true)
+            .field_str("mode", "binary")
+            .build();
+        assert_eq!(json, "{\"series\":5,\"alpha\":0.05,\"clean\":true,\"mode\":\"binary\"}");
+        assert_eq!(JsonObject::new().build(), "{}");
+    }
+}

@@ -1,0 +1,810 @@
+//! `moche serve`: the monitor-fleet daemon. A thin I/O shell — listener,
+//! wire protocol, worker threads, checkpoint cadence — around
+//! [`moche_stream::MonitorFleet`], which owns all the actual monitoring.
+//!
+//! ## Thread topology
+//!
+//! ```text
+//!              accept loop ── one handler thread per connection
+//!                                   │ routes by shard_of(series)
+//!                     bounded sync_channel rings (backpressure)
+//!                                   ▼
+//!   shard worker 0..N  — each owns one FleetShard outright:
+//!     push (never blocks on explains) → bounded explain queue →
+//!     drained when the ring is idle → periodic atomic checkpoints
+//!                                   │ log lines (unbounded mpsc)
+//!                                   ▼
+//!              the calling thread: single writer pumping the log
+//! ```
+//!
+//! Backpressure is the ring: a handler's `send` blocks when a shard's
+//! ring is full, which in turn stalls that client's TCP stream — an
+//! accepted observation is never dropped (property-tested in
+//! `moche-stream`). Slow explains shed *explanation work*, never alarms
+//! and never pushes.
+//!
+//! ## Crash safety
+//!
+//! Each worker checkpoints its shard every `--checkpoint-every` accepted
+//! observations (atomic write: stage + fsync + rename), and once more on
+//! graceful shutdown. After a `kill -9`, restarting with `--resume` loads
+//! every shard file and replays from the per-series `pushes` counters —
+//! the fleet raises exactly the alarms an uninterrupted run would have
+//! (see the `fleet-soak` CI job). Worker panics are caught and isolated
+//! to the one series being pushed; the daemon keeps serving.
+
+use crate::commands::{HealthReport, RunStatus};
+use crate::io::CliError;
+use crate::protocol::{self, op, JsonObject, ProtocolError, Request};
+use moche_stream::{
+    shard_of, ExplainedAlarm, FleetConfig, FleetPush, FleetShard, FleetStats, MonitorConfig,
+    MonitorFleet, SeriesStats,
+};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{TcpListener, TcpStream};
+#[cfg(unix)]
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{self, Receiver, RecvTimeoutError, SyncSender};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Where the daemon listens.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Listen {
+    /// A TCP address (`host:port`; port `0` picks a free port, printed on
+    /// the startup line).
+    Tcp(String),
+    /// A unix-domain socket path (removed and re-created at startup).
+    Unix(PathBuf),
+}
+
+/// Parsed `moche serve` options.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeOptions {
+    /// Listen address.
+    pub listen: Listen,
+    /// Per-series window size `w`.
+    pub window: usize,
+    /// KS significance level.
+    pub alpha: f64,
+    /// Worker (= shard) count; `0` means one per available core, capped
+    /// at 8.
+    pub workers: usize,
+    /// Compute explanations on alarms (deferred, off the push path).
+    pub explain: bool,
+    /// Phase-1 size only on alarms.
+    pub size_only: bool,
+    /// Per-shard bound on the deferred explain queue.
+    pub explain_queue: usize,
+    /// Per-shard ingest ring capacity (the backpressure bound).
+    pub ring: usize,
+    /// Fleet-wide cap on tracked series (`0` = unbounded).
+    pub max_series: usize,
+    /// Directory for per-shard checkpoint files.
+    pub checkpoint_dir: Option<PathBuf>,
+    /// Checkpoint cadence in accepted observations per shard (`None` =
+    /// the window size).
+    pub checkpoint_every: Option<u64>,
+    /// Load shard checkpoints from `checkpoint_dir` before serving.
+    pub resume: bool,
+    /// Spectral-Residual filter window override.
+    pub sr_filter_window: Option<usize>,
+    /// Spectral-Residual score window override.
+    pub sr_score_window: Option<usize>,
+}
+
+/// What a shard worker can be asked to do. Observations and queries share
+/// one ring so a query replies only after every earlier observation from
+/// the same connection was applied — the write barrier the soak harness
+/// relies on to read exact per-series offsets.
+enum WorkerMsg {
+    Obs { series: u64, value: f64 },
+    Query { series: u64, reply: mpsc::Sender<Option<SeriesStats>> },
+}
+
+/// Immutable run context shared by the connection handlers.
+struct ServeContext {
+    stats: Arc<FleetStats>,
+    shutdown: AtomicBool,
+    cfg: FleetConfig,
+    workers: usize,
+}
+
+fn default_workers() -> usize {
+    std::thread::available_parallelism().map_or(2, |n| n.get().min(8))
+}
+
+/// Runs the daemon until a `SHUTDOWN` request, writing the startup line,
+/// alarm log, and final summary to `out`.
+///
+/// # Errors
+///
+/// Bind/config/resume failures. Once serving, connection-level errors are
+/// logged and survived; only a failure to write the log stream itself
+/// ends the run early.
+pub fn run_serve(opts: &ServeOptions, out: &mut dyn Write) -> Result<RunStatus, CliError> {
+    arm_faults_from_env(out)?;
+
+    let mut monitor = MonitorConfig::new(opts.window, opts.alpha);
+    monitor.explain_on_drift = opts.explain;
+    monitor.size_only = opts.size_only;
+    if let Some(q) = opts.sr_filter_window {
+        monitor.sr_filter_window = q;
+    }
+    if let Some(z) = opts.sr_score_window {
+        monitor.sr_score_window = z;
+    }
+    let workers = if opts.workers == 0 { default_workers() } else { opts.workers };
+    let mut fleet_cfg = FleetConfig::new(workers, monitor);
+    fleet_cfg.explain_queue = opts.explain_queue;
+    fleet_cfg.max_series = if opts.max_series == 0 { usize::MAX } else { opts.max_series };
+
+    let fleet = match (&opts.checkpoint_dir, opts.resume) {
+        (Some(dir), true) if dir.is_dir() => {
+            let fleet = MonitorFleet::resume_from_dir(fleet_cfg, dir)?;
+            writeln!(
+                out,
+                "moche serve: resumed {} series from {}",
+                fleet.series_count(),
+                dir.display()
+            )?;
+            fleet
+        }
+        (None, true) => {
+            return Err(CliError::Usage("--resume requires --checkpoint-dir".into()));
+        }
+        _ => MonitorFleet::new(fleet_cfg)?,
+    };
+    let checkpoint_every = opts.checkpoint_every.unwrap_or(opts.window as u64).max(1);
+    if let Some(dir) = &opts.checkpoint_dir {
+        std::fs::create_dir_all(dir)
+            .map_err(|source| CliError::Io { path: dir.display().to_string(), source })?;
+    }
+
+    let listener = Listener::bind(&opts.listen)?;
+    writeln!(out, "moche serve: listening on {}", listener.describe())?;
+    writeln!(
+        out,
+        "moche serve: {} worker(s), window {}, alpha {}, explain queue {}, ring {}",
+        workers, opts.window, opts.alpha, opts.explain_queue, opts.ring
+    )?;
+    out.flush()?;
+
+    let (cfg, shards, stats) = fleet.into_shards();
+    let ctx = ServeContext { stats, shutdown: AtomicBool::new(false), cfg, workers };
+    let (log_tx, log_rx) = mpsc::channel::<String>();
+
+    std::thread::scope(|s| -> Result<(), CliError> {
+        let mut senders: Vec<SyncSender<WorkerMsg>> = Vec::with_capacity(workers);
+        for shard in shards {
+            let (tx, rx) = mpsc::sync_channel::<WorkerMsg>(opts.ring.max(1));
+            senders.push(tx);
+            let log = log_tx.clone();
+            let dir = opts.checkpoint_dir.clone();
+            s.spawn(move || worker_loop(shard, rx, dir.as_deref(), checkpoint_every, &log));
+        }
+        {
+            let ctx = &ctx;
+            let listener = &listener;
+            let log = log_tx.clone();
+            s.spawn(move || accept_loop(s, listener, senders, ctx, &log));
+        }
+        drop(log_tx);
+
+        // This thread is the single log writer: everything the workers
+        // and handlers report lands here, in one ordered stream.
+        let mut write_error: Option<std::io::Error> = None;
+        for line in log_rx {
+            if write_error.is_none() {
+                if let Err(e) = writeln!(out, "{line}").and_then(|()| out.flush()) {
+                    // Keep draining so the threads can finish; report the
+                    // first write failure afterwards.
+                    write_error = Some(e);
+                }
+            }
+        }
+        match write_error {
+            Some(e) => Err(CliError::Write(e)),
+            None => Ok(()),
+        }
+    })?;
+    listener.cleanup();
+
+    let view = ctx.stats.view();
+    let health = HealthReport {
+        worker_panics: view.worker_panics as usize,
+        skipped_observations: view.skipped_observations as usize,
+        degraded_preferences: view.degraded_preferences as usize,
+        checkpoints_written: view.checkpoints_written as usize,
+    };
+    writeln!(
+        out,
+        "moche serve: shutdown complete — {} series, {} accepted, {} alarm(s), \
+         {} explained, {} shed",
+        view.series, view.accepted, view.alarms, view.explained, view.explain_dropped
+    )?;
+    writeln!(out, "{}", health.summary())?;
+    out.flush()?;
+    Ok(RunStatus { window_errors: 0, windows_explained: view.explained as usize, health })
+}
+
+/// One shard worker: drain the ring, answer queries in arrival order,
+/// explain when idle, checkpoint on cadence and once at the end.
+fn worker_loop(
+    mut shard: FleetShard,
+    rx: Receiver<WorkerMsg>,
+    dir: Option<&Path>,
+    every: u64,
+    log: &mpsc::Sender<String>,
+) {
+    let mut last_checkpoint = shard.accepted();
+    loop {
+        match rx.recv_timeout(Duration::from_millis(25)) {
+            Ok(WorkerMsg::Obs { series, value }) => {
+                apply_obs(&mut shard, series, value, log);
+                if dir.is_some() && shard.accepted() - last_checkpoint >= every {
+                    checkpoint_now(&shard, dir, log);
+                    last_checkpoint = shard.accepted();
+                }
+            }
+            Ok(WorkerMsg::Query { series, reply }) => {
+                let _ = reply.send(shard.series_stats(series));
+            }
+            Err(RecvTimeoutError::Timeout) => {
+                // Idle: answer a few deferred alarms without ever keeping
+                // the ring waiting long.
+                shard.drain_explains(8, |alarm| log_explained(alarm, log));
+            }
+            Err(RecvTimeoutError::Disconnected) => break,
+        }
+    }
+    // Shutdown: answer everything still queued, then persist the shard.
+    while shard.drain_explains(64, |alarm| log_explained(alarm, log)) > 0 {}
+    if dir.is_some() {
+        checkpoint_now(&shard, dir, log);
+    }
+    let _ = log.send(format!(
+        "worker {}: exiting with {} series, {} accepted",
+        shard.id(),
+        shard.series_count(),
+        shard.accepted()
+    ));
+}
+
+fn apply_obs(shard: &mut FleetShard, series: u64, value: f64, log: &mpsc::Sender<String>) {
+    match shard.push(series, value) {
+        Ok(FleetPush::Warming | FleetPush::Stable) => {}
+        Ok(FleetPush::Alarm { outcome, at_push, explain_queued }) => {
+            let _ = log.send(format!(
+                "ALARM series={series} push={at_push} stat={:.6} threshold={:.6}{}",
+                outcome.statistic,
+                outcome.threshold,
+                if explain_queued { "" } else { " explain=shed" }
+            ));
+        }
+        Ok(FleetPush::Quarantined) => {
+            let _ =
+                log.send(format!("PANIC series={series}: worker panic caught, series quarantined"));
+        }
+        Ok(FleetPush::AtCapacity) => {
+            let _ = log.send(format!("REJECT series={series}: fleet at --max-series capacity"));
+        }
+        Err(e) => {
+            let _ = log.send(format!("SKIP series={series}: {e}"));
+        }
+    }
+}
+
+fn log_explained(alarm: &ExplainedAlarm<'_>, log: &mpsc::Sender<String>) {
+    let mut line = format!("EXPLAIN series={} push={}", alarm.series, alarm.at_push);
+    if let Some(e) = alarm.explanation {
+        line.push_str(&format!(" k={} after={:.6}", e.indices().len(), e.outcome_after.statistic));
+    }
+    if let Some(s) = alarm.size {
+        line.push_str(&format!(" k={} k_hat={}", s.k, s.k_hat));
+    }
+    if alarm.degraded {
+        line.push_str(" degraded=identity");
+    }
+    let _ = log.send(line);
+}
+
+fn checkpoint_now(shard: &FleetShard, dir: Option<&Path>, log: &mpsc::Sender<String>) {
+    let Some(dir) = dir else { return };
+    match shard.checkpoint(dir) {
+        Ok(()) => {
+            let _ = log.send(format!(
+                "CHECKPOINT shard={} series={} accepted={}",
+                shard.id(),
+                shard.series_count(),
+                shard.accepted()
+            ));
+        }
+        Err(e) => {
+            let _ = log.send(format!("CHECKPOINT shard={} FAILED: {e}", shard.id()));
+        }
+    }
+}
+
+/// Accepts connections until shutdown, spawning one handler per
+/// connection on the same scope. The `serve.accept` failpoint injects a
+/// simulated accept failure (logged, then the loop keeps listening).
+fn accept_loop<'scope>(
+    s: &'scope std::thread::Scope<'scope, '_>,
+    listener: &'scope Listener,
+    senders: Vec<SyncSender<WorkerMsg>>,
+    ctx: &'scope ServeContext,
+    log: &mpsc::Sender<String>,
+) {
+    while !ctx.shutdown.load(Ordering::SeqCst) {
+        if let Some(moche_core::fault::Fault::Error) = moche_core::fault::failpoint("serve.accept")
+        {
+            let _ = log.send("ACCEPT failed (injected): retrying".to_string());
+            continue;
+        }
+        let conn = match listener.accept() {
+            Ok(conn) => conn,
+            Err(e) => {
+                let _ = log.send(format!("ACCEPT failed: {e}"));
+                continue;
+            }
+        };
+        if ctx.shutdown.load(Ordering::SeqCst) {
+            break; // the shutdown self-connect, or a straggler
+        }
+        let senders = senders.clone();
+        let log = log.clone();
+        s.spawn(move || {
+            if let Err(e) = handle_connection(conn, &senders, ctx, listener, &log) {
+                let _ = log.send(format!("CONNECTION error: {e}"));
+            }
+        });
+    }
+    // Dropping `senders` (the last clones once handlers finish) lets the
+    // workers drain their rings and exit.
+}
+
+/// Serves one connection in whichever wire mode its first byte selects.
+fn handle_connection(
+    conn: Conn,
+    senders: &[SyncSender<WorkerMsg>],
+    ctx: &ServeContext,
+    listener: &Listener,
+    log: &mpsc::Sender<String>,
+) -> Result<(), ProtocolError> {
+    let mut reader = BufReader::new(conn);
+    let first = match reader.fill_buf() {
+        Ok([]) => return Ok(()), // connected and left
+        Ok(buf) => buf[0],
+        Err(e) => return Err(ProtocolError::from(e)),
+    };
+    let json_mode = first == b'{';
+    let mut line = String::new();
+    loop {
+        let request = if json_mode {
+            line.clear();
+            match reader.read_line(&mut line) {
+                Ok(0) => return Ok(()),
+                Ok(_) => protocol::parse_json_request(&line)?,
+                Err(e) => return Err(ProtocolError::from(e)),
+            }
+        } else {
+            match protocol::read_request(&mut reader) {
+                Ok(request) => request,
+                Err(ProtocolError::Closed) => return Ok(()),
+                Err(e) => return Err(e),
+            }
+        };
+        match request {
+            Request::Obs { series, value } => {
+                let shard = shard_of(series, senders.len());
+                // A full ring blocks here: backpressure reaches the
+                // client through its stalled stream.
+                if senders[shard].send(WorkerMsg::Obs { series, value }).is_err() {
+                    return Ok(()); // shutting down
+                }
+            }
+            Request::Status => {
+                let body = status_json(ctx);
+                respond(&mut reader, json_mode, op::STATUS, &body)?;
+            }
+            Request::Series { series } => {
+                let body = series_json(series, senders, ctx);
+                respond(&mut reader, json_mode, op::SERIES, &body)?;
+            }
+            Request::Shutdown => {
+                let body = status_json(ctx);
+                respond(&mut reader, json_mode, op::SHUTDOWN, &body)?;
+                let _ = log.send("SHUTDOWN requested".to_string());
+                ctx.shutdown.store(true, Ordering::SeqCst);
+                listener.unblock_accept();
+                return Ok(());
+            }
+        }
+    }
+}
+
+/// Writes one reply in the connection's wire mode.
+fn respond(
+    reader: &mut BufReader<Conn>,
+    json_mode: bool,
+    opcode: u8,
+    body: &str,
+) -> Result<(), ProtocolError> {
+    let conn = reader.get_mut();
+    if json_mode {
+        conn.write_all(body.as_bytes())?;
+        conn.write_all(b"\n")?;
+        conn.flush()?;
+    } else {
+        protocol::write_reply(conn, opcode, body)?;
+    }
+    Ok(())
+}
+
+/// The status endpoint body: every fleet counter plus the run
+/// configuration (documented in the README "Fleet service" section).
+fn status_json(ctx: &ServeContext) -> String {
+    let view = ctx.stats.view();
+    JsonObject::new()
+        .field_u64("series", view.series)
+        .field_u64("accepted", view.accepted)
+        .field_u64("skipped_observations", view.skipped_observations)
+        .field_u64("alarms", view.alarms)
+        .field_u64("explained", view.explained)
+        .field_u64("explain_dropped", view.explain_dropped)
+        .field_u64("degraded_preferences", view.degraded_preferences)
+        .field_u64("worker_panics", view.worker_panics)
+        .field_u64("quarantined_series", view.quarantined_series)
+        .field_u64("rejected_at_capacity", view.rejected_at_capacity)
+        .field_u64("checkpoints_written", view.checkpoints_written)
+        .field_u64("checkpoint_failures", view.checkpoint_failures)
+        .field_bool("clean", view.is_clean())
+        .field_u64("workers", ctx.workers as u64)
+        .field_u64("window", ctx.cfg.monitor.window as u64)
+        .field_f64("alpha", ctx.cfg.monitor.alpha)
+        .build()
+}
+
+fn series_json(series: u64, senders: &[SyncSender<WorkerMsg>], ctx: &ServeContext) -> String {
+    let shard = shard_of(series, senders.len());
+    let (reply_tx, reply_rx) = mpsc::channel();
+    let stats = if ctx.shutdown.load(Ordering::SeqCst) {
+        None
+    } else if senders[shard].send(WorkerMsg::Query { series, reply: reply_tx }).is_ok() {
+        reply_rx.recv().ok().flatten()
+    } else {
+        None
+    };
+    match stats {
+        Some(stats) => JsonObject::new()
+            .field_u64("series", series)
+            .field_bool("found", true)
+            .field_u64("shard", stats.shard as u64)
+            .field_u64("pushes", stats.pushes)
+            .field_u64("alarms", stats.alarms)
+            .field_u64("degraded_preferences", stats.degraded_preferences)
+            .build(),
+        None => JsonObject::new().field_u64("series", series).field_bool("found", false).build(),
+    }
+}
+
+/// The daemon's listening socket, TCP or unix-domain.
+enum Listener {
+    Tcp(TcpListener, std::net::SocketAddr),
+    #[cfg(unix)]
+    Unix(UnixListener, PathBuf),
+}
+
+impl Listener {
+    fn bind(listen: &Listen) -> Result<Self, CliError> {
+        match listen {
+            Listen::Tcp(addr) => {
+                let listener = TcpListener::bind(addr)
+                    .map_err(|source| CliError::Io { path: addr.clone(), source })?;
+                let local = listener
+                    .local_addr()
+                    .map_err(|source| CliError::Io { path: addr.clone(), source })?;
+                Ok(Listener::Tcp(listener, local))
+            }
+            #[cfg(unix)]
+            Listen::Unix(path) => {
+                let _ = std::fs::remove_file(path); // a previous run's socket
+                let listener = UnixListener::bind(path)
+                    .map_err(|source| CliError::Io { path: path.display().to_string(), source })?;
+                Ok(Listener::Unix(listener, path.clone()))
+            }
+            #[cfg(not(unix))]
+            Listen::Unix(path) => Err(CliError::Usage(format!(
+                "--unix {} is not supported on this platform",
+                path.display()
+            ))),
+        }
+    }
+
+    fn describe(&self) -> String {
+        match self {
+            Listener::Tcp(_, local) => local.to_string(),
+            #[cfg(unix)]
+            Listener::Unix(_, path) => path.display().to_string(),
+        }
+    }
+
+    fn accept(&self) -> std::io::Result<Conn> {
+        match self {
+            Listener::Tcp(listener, _) => listener.accept().map(|(s, _)| Conn::Tcp(s)),
+            #[cfg(unix)]
+            Listener::Unix(listener, _) => listener.accept().map(|(s, _)| Conn::Unix(s)),
+        }
+    }
+
+    /// Wakes a blocked `accept` after the shutdown flag is set, by
+    /// connecting to ourselves. Failure is harmless — the accept loop
+    /// also re-checks the flag on every real connection.
+    fn unblock_accept(&self) {
+        match self {
+            Listener::Tcp(_, local) => {
+                let _ = TcpStream::connect_timeout(local, Duration::from_millis(250));
+            }
+            #[cfg(unix)]
+            Listener::Unix(_, path) => {
+                let _ = UnixStream::connect(path);
+            }
+        }
+    }
+
+    fn cleanup(&self) {
+        #[cfg(unix)]
+        if let Listener::Unix(_, path) = self {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+}
+
+/// One accepted connection.
+enum Conn {
+    Tcp(TcpStream),
+    #[cfg(unix)]
+    Unix(UnixStream),
+}
+
+impl Read for Conn {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self {
+            Conn::Tcp(s) => s.read(buf),
+            #[cfg(unix)]
+            Conn::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Conn {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match self {
+            Conn::Tcp(s) => s.write(buf),
+            #[cfg(unix)]
+            Conn::Unix(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        match self {
+            Conn::Tcp(s) => s.flush(),
+            #[cfg(unix)]
+            Conn::Unix(s) => s.flush(),
+        }
+    }
+}
+
+/// Arms failpoints from the `MOCHE_FAULTS` environment variable so the
+/// CI soak job can drive the daemon's seams from outside the process.
+/// Format: comma-separated `name=fault[:skip[:times]]` with `fault` one
+/// of `panic`, `error`, or `truncateN` (N = bytes kept). Only honoured
+/// under the `fault-injection` feature; otherwise a set variable gets a
+/// loud warning instead of silently testing nothing.
+fn arm_faults_from_env(out: &mut dyn Write) -> Result<(), CliError> {
+    let Ok(spec) = std::env::var("MOCHE_FAULTS") else { return Ok(()) };
+    if spec.trim().is_empty() {
+        return Ok(());
+    }
+    #[cfg(feature = "fault-injection")]
+    {
+        for part in spec.split(',').map(str::trim).filter(|p| !p.is_empty()) {
+            let (name, rest) = part.split_once('=').ok_or_else(|| {
+                CliError::Usage(format!("MOCHE_FAULTS entry '{part}' is not name=fault"))
+            })?;
+            let mut fields = rest.split(':');
+            let fault = fields.next().unwrap_or_default();
+            let fault = if fault == "panic" {
+                moche_core::fault::Fault::Panic
+            } else if fault == "error" {
+                moche_core::fault::Fault::Error
+            } else if let Some(n) = fault.strip_prefix("truncate") {
+                let n = n.parse().map_err(|_| {
+                    CliError::Usage(format!("MOCHE_FAULTS truncate length '{n}' is not a number"))
+                })?;
+                moche_core::fault::Fault::TruncateWrite(n)
+            } else {
+                return Err(CliError::Usage(format!("MOCHE_FAULTS unknown fault '{fault}'")));
+            };
+            let parse_count = |field: Option<&str>, what: &str| -> Result<usize, CliError> {
+                match field {
+                    None => Ok(if what == "times" { 1 } else { 0 }),
+                    Some(raw) => raw.parse().map_err(|_| {
+                        CliError::Usage(format!("MOCHE_FAULTS {what} '{raw}' is not a number"))
+                    }),
+                }
+            };
+            let skip = parse_count(fields.next(), "skip")?;
+            let times = parse_count(fields.next(), "times")?;
+            moche_core::fault::arm(name, fault, skip, times);
+            writeln!(out, "moche serve: armed failpoint {name} ({rest})")?;
+        }
+        Ok(())
+    }
+    #[cfg(not(feature = "fault-injection"))]
+    {
+        writeln!(
+            out,
+            "moche serve: WARNING: MOCHE_FAULTS is set but this build has no \
+             fault-injection feature; nothing armed"
+        )?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn options(listen: Listen) -> ServeOptions {
+        ServeOptions {
+            listen,
+            window: 16,
+            alpha: 0.05,
+            workers: 2,
+            explain: true,
+            size_only: false,
+            explain_queue: 64,
+            ring: 128,
+            max_series: 0,
+            checkpoint_dir: None,
+            checkpoint_every: None,
+            resume: false,
+            sr_filter_window: None,
+            sr_score_window: None,
+        }
+    }
+
+    /// End-to-end over a real TCP socket, in-process: push a drifting
+    /// series in binary mode, check status and per-series replies, shut
+    /// down gracefully, and verify the final RunStatus health.
+    #[test]
+    fn serve_round_trip_over_tcp() {
+        let opts = options(Listen::Tcp("127.0.0.1:0".into()));
+        let mut out = Vec::new();
+        let (addr_tx, addr_rx) = mpsc::channel::<String>();
+        let server = std::thread::spawn(move || {
+            // A pipe-like writer that forwards the first line (with the
+            // bound address) as soon as it is flushed.
+            struct FirstLine {
+                buf: Vec<u8>,
+                sent: bool,
+                tx: mpsc::Sender<String>,
+            }
+            impl Write for FirstLine {
+                fn write(&mut self, b: &[u8]) -> std::io::Result<usize> {
+                    self.buf.extend_from_slice(b);
+                    Ok(b.len())
+                }
+                fn flush(&mut self) -> std::io::Result<()> {
+                    if !self.sent {
+                        if let Some(pos) = self.buf.iter().position(|&b| b == b'\n') {
+                            let line = String::from_utf8_lossy(&self.buf[..pos]).into_owned();
+                            let addr = line.rsplit(' ').next().unwrap_or_default().to_string();
+                            self.sent = true;
+                            let _ = self.tx.send(addr);
+                        }
+                    }
+                    Ok(())
+                }
+            }
+            let mut first = FirstLine { buf: Vec::new(), sent: false, tx: addr_tx };
+            let status = run_serve(&opts, &mut first).expect("serve runs");
+            (status, first.buf)
+        });
+        let addr = addr_rx.recv_timeout(Duration::from_secs(10)).expect("startup line");
+        let mut conn = TcpStream::connect(&addr).expect("connect");
+        // A level shift after 200 stationary observations must alarm.
+        for i in 0..400u64 {
+            let value = ((i * 13) % 11) as f64 + if i < 200 { 0.0 } else { 30.0 };
+            conn.write_all(&protocol::encode_obs(9, value)).unwrap();
+        }
+        conn.write_all(&protocol::encode_series(9)).unwrap();
+        conn.flush().unwrap();
+        let (opcode, body) = protocol::read_reply(&mut conn).unwrap();
+        assert_eq!(opcode, op::SERIES | op::REPLY);
+        let body = String::from_utf8(body).unwrap();
+        assert!(body.contains("\"found\":true"), "series must exist: {body}");
+        assert!(body.contains("\"pushes\":400"), "all pushes must be applied: {body}");
+        conn.write_all(&protocol::encode_op(op::STATUS)).unwrap();
+        let (opcode, body) = protocol::read_reply(&mut conn).unwrap();
+        assert_eq!(opcode, op::STATUS | op::REPLY);
+        let body = String::from_utf8(body).unwrap();
+        assert!(body.contains("\"accepted\":400"), "status: {body}");
+        assert!(body.contains("\"worker_panics\":0"), "status: {body}");
+        conn.write_all(&protocol::encode_op(op::SHUTDOWN)).unwrap();
+        let (opcode, _) = protocol::read_reply(&mut conn).unwrap();
+        assert_eq!(opcode, op::SHUTDOWN | op::REPLY);
+        drop(conn);
+        let (status, log) = server.join().expect("server thread");
+        out.extend_from_slice(&log);
+        let log = String::from_utf8_lossy(&out);
+        assert!(log.contains("ALARM series=9"), "the shift must alarm:\n{log}");
+        assert!(log.contains("shutdown complete"), "graceful exit line:\n{log}");
+        assert_eq!(status.exit_code(), 0);
+        assert_eq!(status.health.worker_panics, 0);
+    }
+
+    /// The JSON wire mode speaks the same protocol.
+    #[test]
+    fn serve_round_trip_over_json_lines() {
+        let opts = options(Listen::Tcp("127.0.0.1:0".into()));
+        let (addr_tx, addr_rx) = mpsc::channel::<String>();
+        let server = std::thread::spawn(move || {
+            struct Tap {
+                tx: Option<mpsc::Sender<String>>,
+                buf: Vec<u8>,
+            }
+            impl Write for Tap {
+                fn write(&mut self, b: &[u8]) -> std::io::Result<usize> {
+                    self.buf.extend_from_slice(b);
+                    Ok(b.len())
+                }
+                fn flush(&mut self) -> std::io::Result<()> {
+                    if self.tx.is_some() && self.buf.contains(&b'\n') {
+                        let line = self.buf.split(|&b| b == b'\n').next().unwrap_or_default();
+                        let line = String::from_utf8_lossy(line);
+                        let addr = line.rsplit(' ').next().unwrap_or_default().to_string();
+                        if let Some(tx) = self.tx.take() {
+                            let _ = tx.send(addr);
+                        }
+                    }
+                    Ok(())
+                }
+            }
+            let mut tap = Tap { tx: Some(addr_tx), buf: Vec::new() };
+            run_serve(&opts, &mut tap).expect("serve runs")
+        });
+        let addr = addr_rx.recv_timeout(Duration::from_secs(10)).expect("startup line");
+        let conn = TcpStream::connect(&addr).expect("connect");
+        let mut writer = conn.try_clone().expect("clone");
+        let mut reader = BufReader::new(conn);
+        for i in 0..50 {
+            writeln!(writer, "{{\"series\":1,\"value\":{}.0}}", i % 7).unwrap();
+        }
+        writeln!(writer, "{{\"cmd\":\"series\",\"series\":1}}").unwrap();
+        writer.flush().unwrap();
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        assert!(line.contains("\"pushes\":50"), "JSON reply: {line}");
+        writeln!(writer, "{{\"cmd\":\"shutdown\"}}").unwrap();
+        writer.flush().unwrap();
+        line.clear();
+        reader.read_line(&mut line).unwrap();
+        assert!(line.contains("\"accepted\":50"), "shutdown reply: {line}");
+        drop((writer, reader));
+        let status = server.join().expect("server thread");
+        assert_eq!(status.exit_code(), 0);
+    }
+
+    #[test]
+    fn resume_without_dir_is_a_usage_error() {
+        let mut opts = options(Listen::Tcp("127.0.0.1:0".into()));
+        opts.resume = true;
+        let mut out = Vec::new();
+        assert!(matches!(run_serve(&opts, &mut out), Err(CliError::Usage(_))));
+    }
+}

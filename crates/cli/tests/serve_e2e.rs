@@ -1,0 +1,292 @@
+//! End-to-end soak of the `moche serve` daemon: the real binary, a real
+//! TCP socket, a real `kill -9`, a checkpoint resume — and an
+//! uninterrupted in-process reference fleet to prove **zero lost
+//! alarms**.
+//!
+//! The harness is the CI `fleet-soak` lane:
+//!
+//! 1. start the daemon with per-shard checkpointing, push the first part
+//!    of a deterministic multi-series script over the binary protocol;
+//! 2. `SIGKILL` it mid-stream — no flush, no goodbye;
+//! 3. restart with `--resume`, ask each series for its durable offset
+//!    (`SERIES` doubles as a write barrier), replay the script from
+//!    exactly there, and finish the load;
+//! 4. compare per-series alarm counts against a reference fleet that ran
+//!    the same script with no crash, and require a clean shutdown
+//!    health line.
+//!
+//! Everything the run produces — both daemon logs, the checkpoint files,
+//! and a machine-readable stats summary — lands in `target/fleet-soak/`
+//! for CI to upload as artifacts.
+
+use moche_cli::protocol::{self, op, JsonObject};
+use moche_stream::{FleetConfig, MonitorConfig, MonitorFleet};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+
+/// Series in the scripted load.
+const SERIES_N: u64 = 12;
+/// Observations per series over the whole script.
+const LEN: usize = 240;
+/// Observations per series delivered before the `kill -9`.
+const CUT: usize = 150;
+/// `--window` for the daemon and the reference fleet.
+const WINDOW: usize = 8;
+/// `--alpha` for both.
+const ALPHA: f64 = 0.05;
+
+/// The deterministic script: a small repeating pattern per series, with a
+/// large mean shift at the halfway point (before the kill) and a second
+/// one near the end (after the resume) — so alarm parity is checked on
+/// both sides of the crash.
+fn value(id: u64, i: usize) -> f64 {
+    let base = ((i as u64 * 13 + id * 7) % 11) as f64 * 0.5;
+    if i >= 200 {
+        base + 90.0
+    } else if i >= LEN / 2 {
+        base + 40.0
+    } else {
+        base
+    }
+}
+
+/// `target/fleet-soak/`, derived from the test binary's own location so
+/// it works under any `CARGO_TARGET_DIR`.
+fn soak_dir() -> PathBuf {
+    Path::new(env!("CARGO_BIN_EXE_moche"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("binary lives under target/<profile>/")
+        .join("fleet-soak")
+}
+
+struct Daemon {
+    child: Child,
+    addr: String,
+    pump: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Daemon {
+    /// Spawns the real `moche serve`, tees its stdout to `log_path`, and
+    /// blocks until the startup line reveals the bound address.
+    fn spawn(checkpoint_dir: &Path, resume: bool, log_path: &Path, faults: Option<&str>) -> Self {
+        let mut cmd = Command::new(env!("CARGO_BIN_EXE_moche"));
+        cmd.args(["serve", "--listen", "127.0.0.1:0", "--window"])
+            .arg(WINDOW.to_string())
+            .args(["--alpha"])
+            .arg(ALPHA.to_string())
+            .args(["--workers", "2", "--checkpoint-every", "16"])
+            .arg("--checkpoint-dir")
+            .arg(checkpoint_dir);
+        if resume {
+            cmd.arg("--resume");
+        }
+        match faults {
+            Some(spec) => {
+                cmd.env("MOCHE_FAULTS", spec);
+            }
+            None => {
+                cmd.env_remove("MOCHE_FAULTS");
+            }
+        }
+        cmd.stdout(Stdio::piped()).stderr(Stdio::null());
+        let mut child = cmd.spawn().expect("spawn moche serve");
+        let stdout = child.stdout.take().expect("stdout is piped");
+        let mut lines = BufReader::new(stdout).lines();
+        let mut log = std::fs::File::create(log_path).expect("create daemon log");
+        let mut addr = None;
+        for line in lines.by_ref() {
+            let line = line.expect("read daemon stdout");
+            writeln!(log, "{line}").expect("write daemon log");
+            if let Some(rest) = line.strip_prefix("moche serve: listening on ") {
+                addr = Some(rest.trim().to_string());
+                break;
+            }
+        }
+        let addr = addr.expect("daemon printed its listen address before closing stdout");
+        // Keep draining stdout so the daemon's log writes never block on a
+        // full pipe; the log file doubles as the CI artifact.
+        let pump = std::thread::spawn(move || {
+            for line in lines.map_while(Result::ok) {
+                let _ = writeln!(log, "{line}");
+            }
+            let _ = log.flush();
+        });
+        Daemon { child, addr, pump: Some(pump) }
+    }
+
+    /// `kill -9`: the whole point — no signal handler gets to run.
+    fn kill_dash_nine(&mut self) {
+        self.child.kill().expect("SIGKILL the daemon");
+        let status = self.child.wait().expect("reap the daemon");
+        assert!(!status.success(), "SIGKILL must not look like a clean exit");
+        self.join_pump();
+    }
+
+    fn wait_clean_exit(&mut self) {
+        let status = self.child.wait().expect("reap the daemon");
+        assert!(status.success(), "clean shutdown must exit 0, got {status}");
+        self.join_pump();
+    }
+
+    fn join_pump(&mut self) {
+        if let Some(pump) = self.pump.take() {
+            pump.join().expect("stdout pump");
+        }
+    }
+}
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+        self.join_pump();
+    }
+}
+
+fn json_u64(json: &str, key: &str) -> u64 {
+    let pat = format!("\"{key}\":");
+    let at = json.find(&pat).unwrap_or_else(|| panic!("no {key:?} in {json}")) + pat.len();
+    json[at..]
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect::<String>()
+        .parse()
+        .expect("u64 field")
+}
+
+fn json_bool(json: &str, key: &str) -> bool {
+    let pat = format!("\"{key}\":");
+    let at = json.find(&pat).unwrap_or_else(|| panic!("no {key:?} in {json}")) + pat.len();
+    json[at..].starts_with("true")
+}
+
+/// Sends a `SERIES` query and decodes the reply. Because queries ride the
+/// same per-shard ring as observations, the answer is also proof that
+/// every earlier observation for this series on this connection landed.
+fn query_series(conn: &mut TcpStream, id: u64) -> (bool, u64, u64) {
+    conn.write_all(&protocol::encode_series(id)).expect("send SERIES");
+    let (opcode, payload) = protocol::read_reply(conn).expect("SERIES reply");
+    assert_eq!(opcode, op::SERIES | op::REPLY);
+    let json = String::from_utf8(payload).expect("JSON reply");
+    if json_bool(&json, "found") {
+        (true, json_u64(&json, "pushes"), json_u64(&json, "alarms"))
+    } else {
+        (false, 0, 0)
+    }
+}
+
+fn query(conn: &mut TcpStream, opcode: u8) -> String {
+    conn.write_all(&protocol::encode_op(opcode)).expect("send op");
+    let (reply, payload) = protocol::read_reply(conn).expect("op reply");
+    assert_eq!(reply, opcode | op::REPLY);
+    String::from_utf8(payload).expect("JSON reply")
+}
+
+#[test]
+fn kill_dash_nine_soak_loses_no_alarms() {
+    let dir = soak_dir();
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create soak dir");
+    let ckpt = dir.join("checkpoints");
+
+    // The uninterrupted truth: the same script through an in-process
+    // fleet with the daemon's exact monitor configuration.
+    let mut monitor = MonitorConfig::new(WINDOW, ALPHA);
+    monitor.explain_on_drift = true;
+    let mut reference = MonitorFleet::new(FleetConfig::new(2, monitor)).expect("reference config");
+    for i in 0..LEN {
+        for id in 0..SERIES_N {
+            reference.push(id, value(id, i)).expect("finite");
+        }
+    }
+    let expected: Vec<u64> =
+        (0..SERIES_N).map(|id| reference.series_stats(id).expect("tracked").alarms).collect();
+    assert!(expected.iter().sum::<u64>() > 0, "the script must actually provoke alarms");
+
+    // Phase 1: load the daemon, then kill it without ceremony. Under the
+    // fault-injection feature the first accept also fails (injected) to
+    // prove the MOCHE_FAULTS env wiring end to end.
+    let faults =
+        if cfg!(feature = "fault-injection") { Some("serve.accept=error:0:1") } else { None };
+    let phase1_log = dir.join("daemon-phase1.log");
+    let mut daemon = Daemon::spawn(&ckpt, false, &phase1_log, faults);
+    {
+        let mut conn = TcpStream::connect(&daemon.addr).expect("connect");
+        for i in 0..CUT {
+            for id in 0..SERIES_N {
+                conn.write_all(&protocol::encode_obs(id, value(id, i))).expect("send OBS");
+            }
+        }
+        for id in 0..SERIES_N {
+            let (found, pushes, _) = query_series(&mut conn, id);
+            assert!(found && pushes == CUT as u64, "series {id}: barrier saw {pushes}/{CUT}");
+        }
+    }
+    let shard_files = std::fs::read_dir(&ckpt)
+        .expect("checkpoint dir exists")
+        .filter_map(|e| e.ok())
+        .filter(|e| e.file_name().to_string_lossy().ends_with(".snap"))
+        .count();
+    assert!(shard_files > 0, "at least one shard checkpointed before the kill");
+    daemon.kill_dash_nine();
+
+    // Phase 2: resume, replay each series from its durable offset, and
+    // settle the books.
+    let phase2_log = dir.join("daemon-phase2.log");
+    let mut daemon = Daemon::spawn(&ckpt, true, &phase2_log, None);
+    let status;
+    {
+        let mut conn = TcpStream::connect(&daemon.addr).expect("reconnect");
+        for id in 0..SERIES_N {
+            let (found, pushes, _) = query_series(&mut conn, id);
+            let from = if found { pushes as usize } else { 0 };
+            assert!(from <= CUT, "series {id}: resumed past what was ever sent ({from})");
+            for i in from..LEN {
+                conn.write_all(&protocol::encode_obs(id, value(id, i))).expect("send OBS");
+            }
+        }
+        let mut summary = JsonObject::new();
+        for id in 0..SERIES_N {
+            let (found, pushes, alarms) = query_series(&mut conn, id);
+            assert!(found, "series {id} must survive the crash");
+            assert_eq!(pushes, LEN as u64, "series {id}: observations lost or duplicated");
+            assert_eq!(
+                alarms, expected[id as usize],
+                "series {id}: alarms lost (or invented) across kill -9 + resume"
+            );
+            summary = summary.field_u64(&format!("series_{id}_alarms"), alarms);
+        }
+        status = query(&mut conn, op::STATUS);
+        assert_eq!(json_u64(&status, "worker_panics"), 0);
+        assert_eq!(json_u64(&status, "skipped_observations"), 0);
+        let total: u64 = expected.iter().sum();
+        let stats = summary
+            .field_u64("total_alarms", total)
+            .field_u64("series", SERIES_N)
+            .field_u64("script_len", LEN as u64)
+            .field_u64("killed_after", CUT as u64)
+            .build();
+        std::fs::write(dir.join("soak-stats.json"), format!("{stats}\n{status}\n"))
+            .expect("write stats artifact");
+        let shutdown = query(&mut conn, op::SHUTDOWN);
+        assert!(json_bool(&shutdown, "clean"), "shutdown status must be clean: {shutdown}");
+    }
+    daemon.wait_clean_exit();
+
+    let log = std::fs::read_to_string(&phase2_log).expect("phase-2 log");
+    assert!(
+        log.contains("health: 0 worker panic(s), 0 skipped observation(s)"),
+        "resumed run must end healthy:\n{log}"
+    );
+    assert!(!log.contains("[DEGRADED]"), "resumed run must not be degraded:\n{log}");
+    if cfg!(feature = "fault-injection") {
+        let log1 = std::fs::read_to_string(&phase1_log).expect("phase-1 log");
+        assert!(
+            log1.contains("ACCEPT failed (injected): retrying"),
+            "MOCHE_FAULTS wiring must reach the accept seam:\n{log1}"
+        );
+    }
+}

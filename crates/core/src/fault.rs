@@ -24,6 +24,9 @@
 //! | `stream.reorder` | in-order delivery loop, before ring insertion | `Panic` |
 //! | `stream.arena_return` | delivery loop, before returning a consumed arena | `Error` (drop instead of return) |
 //! | `checkpoint.write` | `moche_stream` snapshot writer | `Error` (fail the write), `TruncateWrite` (torn file) |
+//! | `serve.accept` | `moche serve` connection accept loop | `Error` (simulated accept failure; the daemon logs and keeps listening) |
+//! | `serve.shard_worker` | fleet shard push path (`moche_stream` `FleetShard::push`) | `Panic` (caught; the series is quarantined, the shard survives) |
+//! | `serve.checkpoint` | fleet shard checkpoint writer | `Error` (fail the write), `TruncateWrite` (torn shard file at the final path) |
 //!
 //! Arming is deterministic: a spec fires on specific *hit counts* of its
 //! point (`skip` hits pass through first, then `times` hits fire), so a

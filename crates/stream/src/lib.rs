@@ -18,12 +18,19 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod fleet;
 pub mod incremental;
 pub mod monitor;
 pub mod snapshot;
 pub mod treap;
 
+pub use fleet::{
+    shard_of, ExplainedAlarm, FleetConfig, FleetPush, FleetShard, FleetShardSnapshot, FleetStats,
+    FleetStatsView, MonitorFleet, SeriesStats,
+};
 pub use incremental::{IncrementalKs, ObsId};
-pub use monitor::{DriftMonitor, MonitorConfig, MonitorEvent};
+pub use monitor::{
+    DriftMonitor, MonitorConfig, MonitorEvent, MonitorScratch, MonitorState, WindowCapture,
+};
 pub use snapshot::{MonitorSnapshot, SnapshotError};
 pub use treap::WeightedTreap;

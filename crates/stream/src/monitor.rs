@@ -15,6 +15,21 @@
 //! construction itself, with **zero** heap allocations once warm (gated by
 //! `tests/alloc_count.rs`). Bad input never panics the monitor: route
 //! untrusted streams through [`DriftMonitor::try_push`].
+//!
+//! ## One series vs. a fleet
+//!
+//! [`DriftMonitor`] is the single-series convenience: it owns both halves
+//! of the machinery. Internally those halves are separate types so a
+//! multi-series deployment ([`crate::MonitorFleet`]) can pool the
+//! expensive one:
+//!
+//! * [`MonitorState`] — the per-series sliding windows, incremental KS
+//!   treaps, and counters. This is the part that *must* exist once per
+//!   series (`O(w)` memory each).
+//! * [`MonitorScratch`] — the explain engine, arena, Spectral-Residual
+//!   FFT planes, and preference buffers. This part is only touched while
+//!   answering an alarm, so one scratch can serve thousands of series on
+//!   a worker (`O(w)` memory once per worker, not per series).
 
 use crate::incremental::{IncrementalKs, ObsId};
 use moche_core::{
@@ -42,12 +57,38 @@ pub struct MonitorConfig {
     /// After an alarm, drop both windows and refill from scratch (prevents
     /// one drift from alarming `w` times as it traverses the window).
     pub reset_on_drift: bool,
+    /// Spectral-Residual average-filter size (`q` in the SR paper) used
+    /// when ranking test points for explanations. Must be ≥ 1.
+    pub sr_filter_window: usize,
+    /// Spectral-Residual trailing-average window (`z` in the SR paper)
+    /// used to turn saliency into outlier scores. Must be ≥ 1.
+    pub sr_score_window: usize,
 }
 
 impl MonitorConfig {
-    /// A reasonable default: explain and reset on drift.
+    /// A reasonable default: explain and reset on drift, with the SR
+    /// paper's reference preference parameters (`q = 3`, `z = 21`).
     pub fn new(window: usize, alpha: f64) -> Self {
-        Self { window, alpha, explain_on_drift: true, size_only: false, reset_on_drift: true }
+        let sr = SpectralResidual::default();
+        Self {
+            window,
+            alpha,
+            explain_on_drift: true,
+            size_only: false,
+            reset_on_drift: true,
+            sr_filter_window: sr.filter_window,
+            sr_score_window: sr.score_window,
+        }
+    }
+
+    /// The Spectral-Residual transform this configuration ranks test
+    /// points with (extension parameters stay at the SR paper's defaults).
+    pub fn spectral_residual(&self) -> SpectralResidual {
+        SpectralResidual {
+            filter_window: self.sr_filter_window,
+            score_window: self.sr_score_window,
+            ..SpectralResidual::default()
+        }
     }
 }
 
@@ -80,46 +121,20 @@ pub enum MonitorEvent {
     },
 }
 
-/// The push-based drift monitor.
-///
-/// # Examples
-///
-/// ```
-/// use moche_stream::{DriftMonitor, MonitorConfig, MonitorEvent};
-///
-/// let mut monitor = DriftMonitor::new(MonitorConfig::new(40, 0.05)).unwrap();
-/// let mut drifted = false;
-/// for i in 0..400 {
-///     // Level shift at t = 200.
-///     let x = f64::from(i % 8) + if i < 200 { 0.0 } else { 25.0 };
-///     if let MonitorEvent::Drift { explanation, .. } = monitor.push(x) {
-///         let e = explanation.expect("explanations enabled by default");
-///         assert!(e.outcome_after.passes());
-///         drifted = true;
-///         break;
-///     }
-/// }
-/// assert!(drifted);
-/// ```
+/// The alarm-answering working set, separate from per-series state so a
+/// fleet worker can share one across all the series it owns: the explain
+/// engine (bounds workspace, base-vector splice buffers), the recycled
+/// explanation arena, the Spectral-Residual FFT planes, and the
+/// score/preference buffers. Only touched while explaining, never while
+/// pushing, so sharing it costs nothing on the fast path.
 #[derive(Debug, Clone)]
-pub struct DriftMonitor {
-    cfg: MonitorConfig,
-    ks_cfg: KsConfig,
-    iks: IncrementalKs,
-    ref_window: VecDeque<(f64, ObsId)>,
-    test_window: VecDeque<(f64, ObsId)>,
+pub struct MonitorScratch {
     /// Scratch-reusing explainer: alarm N reuses the buffers of alarm N-1.
     engine: ExplainEngine,
     /// Recycled output storage: callers that hand consumed explanations
     /// back via [`recycle`](Self::recycle) make alarms allocation-free on
     /// the output side too.
     arena: ExplanationArena,
-    /// The reference order statistics, maintained **incrementally** across
-    /// window slides (`O(log w)` each) and materialized without sorting at
-    /// alarm time — the index the alarm splice consumes. Always in sync
-    /// with `ref_window`, so no alarm can ever pair a stale index with
-    /// fresh windows (the hazard the old per-alarm rebuild had).
-    ref_index: IncrementalRefIndex,
     /// Recycled per-alarm scratch: the flattened test window...
     test_scratch: Vec<f64>,
     /// ...the Spectral Residual working set (FFT spectrum, saliency
@@ -129,22 +144,164 @@ pub struct DriftMonitor {
     score_scratch: Vec<f64>,
     /// ...and the preference list refilled from those scores.
     pref_scratch: PreferenceList,
+}
+
+impl MonitorScratch {
+    /// An empty scratch bound to a KS configuration (the engine's `α`).
+    /// All series sharing a scratch must use the same significance level.
+    pub fn with_config(ks_cfg: KsConfig) -> Self {
+        Self {
+            engine: ExplainEngine::with_config(ks_cfg),
+            arena: ExplanationArena::new(),
+            test_scratch: Vec::new(),
+            sr_scratch: SaliencyScratch::new(),
+            score_scratch: Vec::new(),
+            pref_scratch: PreferenceList::identity(0),
+        }
+    }
+
+    /// An empty scratch for significance level `alpha`.
+    ///
+    /// # Errors
+    ///
+    /// [`MocheError::InvalidAlpha`] outside `(0, 1)`.
+    pub fn new(alpha: f64) -> Result<Self, MocheError> {
+        Ok(Self::with_config(KsConfig::new(alpha)?))
+    }
+
+    /// Hands a consumed explanation's output buffers back for reuse (see
+    /// [`moche_core::ExplanationArena`]).
+    pub fn recycle(&mut self, explanation: Explanation) {
+        self.arena.recycle(explanation);
+    }
+
+    /// Explains a captured alarm window pair through this scratch: ranks
+    /// `test` with `sr` (identity fallback on breakdown), splices against
+    /// `index`, and constructs the explanation into the arena. Returns the
+    /// explanation and whether the preference degraded — the fleet's
+    /// deferred-queue twin of [`MonitorState::explain_in`], producing
+    /// identical explanations for identical windows.
+    pub(crate) fn explain_deferred(
+        &mut self,
+        sr: &SpectralResidual,
+        index: &moche_core::ReferenceIndex,
+        test: &[f64],
+    ) -> (Option<Explanation>, bool) {
+        let degraded = self.fill_preference(sr, test);
+        let explanation = self
+            .engine
+            .explain_with_index_in(index, test, &self.pref_scratch, &mut self.arena)
+            .ok();
+        let counted = degraded && explanation.is_some();
+        (explanation, counted)
+    }
+
+    /// Phase 1 only over a captured window pair — the deferred twin of
+    /// [`MonitorState::size_in`].
+    pub(crate) fn size_deferred(
+        &mut self,
+        index: &moche_core::ReferenceIndex,
+        test: &[f64],
+    ) -> Option<SizeSearch> {
+        self.engine.size_with_index(index, test).ok()
+    }
+
+    /// Fills the preference scratch for `test` by Spectral-Residual score
+    /// (falling back to the identity order on numerical breakdown or short
+    /// windows) and reports whether it degraded. Shared by the inline and
+    /// deferred alarm paths so both rank points identically.
+    pub(crate) fn fill_preference(&mut self, sr: &SpectralResidual, test: &[f64]) -> bool {
+        let m = test.len();
+        if m >= 4 {
+            let scored =
+                sr.scores_into(test, &mut self.sr_scratch, &mut self.score_scratch).is_ok()
+                    && self.pref_scratch.fill_from_scores_desc(&self.score_scratch).is_ok();
+            if scored {
+                return false;
+            }
+            // A rejected scoring must not silently drop the whole
+            // explanation: degrade to the neutral identity order
+            // (matching the short-window branch).
+            self.pref_scratch.fill_identity(m);
+            return true;
+        }
+        self.pref_scratch.fill_identity(m);
+        false
+    }
+}
+
+/// Recycled buffers holding a point-in-time copy of both windows, taken at
+/// alarm time by [`MonitorState::try_push_deferred`] so the explanation
+/// can be computed later (possibly after the windows have slid on or been
+/// reset) without blocking the push path. A warm capture of the same
+/// window size refills without allocating.
+#[derive(Debug, Clone, Default)]
+pub struct WindowCapture {
+    /// Reference window contents at alarm time, oldest first.
+    pub reference: Vec<f64>,
+    /// Test window contents at alarm time, oldest first.
+    pub test: Vec<f64>,
+}
+
+impl WindowCapture {
+    /// An empty capture; the first alarm through it allocates, later ones
+    /// of the same (or smaller) window size reuse both buffers.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// How alarm-time explanation work is handled by a push.
+enum AlarmWork<'a> {
+    /// Compute inline through the given scratch (the [`DriftMonitor`]
+    /// behaviour: the push call returns the finished explanation).
+    Inline(&'a mut MonitorScratch),
+    /// Copy the windows into recycled capture buffers and return
+    /// immediately; the caller explains later (the fleet's alarm queue).
+    Defer(&'a mut WindowCapture),
+}
+
+/// The per-series half of a drift monitor: sliding windows, incremental KS
+/// treaps, the reference order-statistics index, and counters — everything
+/// that must exist once per monitored series. All alarm-answering buffers
+/// live in a separate [`MonitorScratch`] passed into the methods, so a
+/// fleet worker can own one scratch and thousands of states.
+#[derive(Debug, Clone)]
+pub struct MonitorState {
+    cfg: MonitorConfig,
+    ks_cfg: KsConfig,
+    iks: IncrementalKs,
+    ref_window: VecDeque<(f64, ObsId)>,
+    test_window: VecDeque<(f64, ObsId)>,
+    /// The reference order statistics, maintained **incrementally** across
+    /// window slides (`O(log w)` each) and materialized without sorting at
+    /// alarm time — the index the alarm splice consumes. Always in sync
+    /// with `ref_window`, so no alarm can ever pair a stale index with
+    /// fresh windows (the hazard the old per-alarm rebuild had).
+    ref_index: IncrementalRefIndex,
     pushes: u64,
     alarms: u64,
     degraded_preferences: u64,
 }
 
-impl DriftMonitor {
-    /// Creates a monitor.
+impl MonitorState {
+    /// Creates the per-series state.
     ///
     /// # Errors
     ///
     /// Returns [`MocheError::InvalidAlpha`] for a bad significance level
     /// and [`MocheError::WindowTooSmall`] if `window < 2` (paired sliding
-    /// windows need at least two points each).
+    /// windows need at least two points each) or either Spectral-Residual
+    /// window is zero.
     pub fn new(cfg: MonitorConfig) -> Result<Self, MocheError> {
         if cfg.window < 2 {
             return Err(MocheError::WindowTooSmall { window: cfg.window, min: 2 });
+        }
+        if cfg.sr_filter_window < 1 {
+            return Err(MocheError::WindowTooSmall { window: cfg.sr_filter_window, min: 1 });
+        }
+        if cfg.sr_score_window < 1 {
+            return Err(MocheError::WindowTooSmall { window: cfg.sr_score_window, min: 1 });
         }
         let ks_cfg = KsConfig::new(cfg.alpha)?;
         Ok(Self {
@@ -153,17 +310,16 @@ impl DriftMonitor {
             iks: IncrementalKs::new(),
             ref_window: VecDeque::with_capacity(cfg.window),
             test_window: VecDeque::with_capacity(cfg.window),
-            engine: ExplainEngine::with_config(ks_cfg),
-            arena: ExplanationArena::new(),
             ref_index: IncrementalRefIndex::with_capacity(cfg.window),
-            test_scratch: Vec::new(),
-            sr_scratch: SaliencyScratch::new(),
-            score_scratch: Vec::new(),
-            pref_scratch: PreferenceList::identity(0),
             pushes: 0,
             alarms: 0,
             degraded_preferences: 0,
         })
+    }
+
+    /// The configuration this state was built with.
+    pub fn config(&self) -> &MonitorConfig {
+        &self.cfg
     }
 
     /// Total observations pushed.
@@ -176,15 +332,16 @@ impl DriftMonitor {
         self.alarms
     }
 
-    /// How many explanations were produced with the identity-preference
-    /// fallback because Spectral-Residual scoring rejected the window
-    /// (numerical breakdown on extreme values). Each counted explanation
-    /// is still valid — just ranked neutrally — and this counter surfaces
-    /// the degradation; calls that produce no explanation at all (e.g. an
-    /// on-demand [`explain_current`](Self::explain_current) while the
-    /// test currently passes) are never counted.
+    /// Identity-fallback explanations produced (see
+    /// [`DriftMonitor::degraded_preferences`]).
     pub fn degraded_preferences(&self) -> u64 {
         self.degraded_preferences
+    }
+
+    /// Counts a degraded preference produced outside the inline path (the
+    /// fleet's deferred explain queue ranks with the same fallback).
+    pub(crate) fn note_degraded(&mut self) {
+        self.degraded_preferences += 1;
     }
 
     /// The current reference window contents, oldest first.
@@ -197,33 +354,44 @@ impl DriftMonitor {
         self.test_window.iter().map(|&(v, _)| v).collect()
     }
 
-    /// Feeds one observation and reports what happened — the thin
-    /// asserting wrapper over [`try_push`](Self::try_push), for trusted
-    /// streams.
-    ///
-    /// # Panics
-    ///
-    /// Panics on non-finite observations (monitor state stays valid). Use
-    /// [`try_push`](Self::try_push) for untrusted input — a data file fed
-    /// straight into the monitor should degrade to an error report, not
-    /// abort the process.
-    pub fn push(&mut self, value: f64) -> MonitorEvent {
-        match self.try_push(value) {
-            Ok(event) => event,
-            Err(_) => panic!("observations must be finite (got {value}); see try_push"),
-        }
-    }
-
-    /// Feeds one observation and reports what happened, rejecting bad
-    /// input instead of panicking.
+    /// Feeds one observation, answering alarms inline through `scratch` —
+    /// see [`DriftMonitor::try_push`] for the event contract.
     ///
     /// # Errors
     ///
-    /// Returns [`MocheError::NonFiniteObservation`] for a NaN or infinite
-    /// observation; the monitor state is untouched, so the caller can skip
-    /// the observation and keep streaming. The reported position is the
-    /// number of observations accepted so far.
-    pub fn try_push(&mut self, value: f64) -> Result<MonitorEvent, MocheError> {
+    /// [`MocheError::NonFiniteObservation`] for NaN or infinite input; the
+    /// state is untouched.
+    pub fn try_push(
+        &mut self,
+        value: f64,
+        scratch: &mut MonitorScratch,
+    ) -> Result<MonitorEvent, MocheError> {
+        self.try_push_impl(value, AlarmWork::Inline(scratch))
+    }
+
+    /// Feeds one observation with alarm explanation **deferred**: on drift
+    /// the windows are copied into `capture` (recycled buffers, no
+    /// allocation when warm) and the event carries no explanation or size.
+    /// The caller explains later from the capture — the fleet's
+    /// alarm-queue path, where a slow explain must never block the next
+    /// push.
+    ///
+    /// # Errors
+    ///
+    /// As for [`try_push`](Self::try_push).
+    pub fn try_push_deferred(
+        &mut self,
+        value: f64,
+        capture: &mut WindowCapture,
+    ) -> Result<MonitorEvent, MocheError> {
+        self.try_push_impl(value, AlarmWork::Defer(capture))
+    }
+
+    fn try_push_impl(
+        &mut self,
+        value: f64,
+        work: AlarmWork<'_>,
+    ) -> Result<MonitorEvent, MocheError> {
         let w = self.cfg.window;
         if !value.is_finite() {
             return Err(MocheError::NonFiniteObservation { accepted: self.pushes, value });
@@ -277,12 +445,23 @@ impl DriftMonitor {
         }
 
         self.alarms += 1;
-        let (explanation, size) = if self.cfg.size_only {
-            (None, self.size_current())
-        } else if self.cfg.explain_on_drift {
-            (self.explain_current(), None)
-        } else {
-            (None, None)
+        let (explanation, size) = match work {
+            AlarmWork::Inline(scratch) => {
+                if self.cfg.size_only {
+                    (None, self.size_in(scratch))
+                } else if self.cfg.explain_on_drift {
+                    (self.explain_in(scratch), None)
+                } else {
+                    (None, None)
+                }
+            }
+            AlarmWork::Defer(capture) => {
+                capture.reference.clear();
+                capture.reference.extend(self.ref_window.iter().map(|&(v, _)| v));
+                capture.test.clear();
+                capture.test.extend(self.test_window.iter().map(|&(v, _)| v));
+                (None, None)
+            }
         };
         if self.cfg.reset_on_drift {
             self.ref_window.clear();
@@ -291,6 +470,225 @@ impl DriftMonitor {
             self.iks = IncrementalKs::new();
         }
         Ok(MonitorEvent::Drift { outcome, explanation, size })
+    }
+
+    /// Explains the current window pair through `scratch` — see
+    /// [`DriftMonitor::explain_current`] for the full contract.
+    pub fn explain_in(&mut self, scratch: &mut MonitorScratch) -> Option<Explanation> {
+        self.refresh_alarm_scratch(scratch)?;
+        if !self.currently_rejected() {
+            // Passing windows have nothing to explain; deciding that here
+            // costs O(1) (the incremental statistic is sitting at the
+            // treap root) instead of paying the SR transform and the
+            // base-vector build just to learn the same from the engine.
+            return None;
+        }
+        let sr = self.cfg.spectral_residual();
+        let test = std::mem::take(&mut scratch.test_scratch);
+        let degraded = scratch.fill_preference(&sr, &test);
+        let index = self.ref_index.materialize().ok();
+        let explanation = index.and_then(|index| {
+            scratch
+                .engine
+                .explain_with_index_in(index, &test, &scratch.pref_scratch, &mut scratch.arena)
+                .ok()
+        });
+        scratch.test_scratch = test;
+        // Count the degradation only when an explanation was actually
+        // produced with the fallback ranking — an on-demand poll of a
+        // currently-passing window pair must not register phantom
+        // degraded alarms.
+        if degraded && explanation.is_some() {
+            self.degraded_preferences += 1;
+        }
+        explanation
+    }
+
+    /// Phase 1 only through `scratch` — see [`DriftMonitor::size_current`].
+    pub fn size_in(&mut self, scratch: &mut MonitorScratch) -> Option<SizeSearch> {
+        self.refresh_alarm_scratch(scratch)?;
+        if !self.currently_rejected() {
+            return None; // see explain_in
+        }
+        let index = self.ref_index.materialize().ok()?;
+        scratch.engine.size_with_index(index, &scratch.test_scratch).ok()
+    }
+
+    /// Whether the monitor's KS decision — the same one that raises
+    /// alarms — currently rejects the window pair. `O(1)` in steady state.
+    fn currently_rejected(&mut self) -> bool {
+        matches!(self.iks.outcome(&self.ks_cfg), Ok(outcome) if outcome.rejected)
+    }
+
+    /// Captures the restorable state — see [`DriftMonitor::snapshot`].
+    pub fn snapshot(&self) -> crate::snapshot::MonitorSnapshot {
+        crate::snapshot::MonitorSnapshot {
+            window: self.cfg.window,
+            alpha: self.cfg.alpha,
+            explain_on_drift: self.cfg.explain_on_drift,
+            size_only: self.cfg.size_only,
+            reset_on_drift: self.cfg.reset_on_drift,
+            sr_filter_window: self.cfg.sr_filter_window,
+            sr_score_window: self.cfg.sr_score_window,
+            pushes: self.pushes,
+            alarms: self.alarms,
+            degraded_preferences: self.degraded_preferences,
+            reference: self.reference_window(),
+            test: self.test_window(),
+        }
+    }
+
+    /// Rebuilds per-series state from a snapshot — see
+    /// [`DriftMonitor::restore`] for the equivalence guarantee.
+    ///
+    /// # Errors
+    ///
+    /// As for [`DriftMonitor::restore`].
+    pub fn restore(
+        snapshot: &crate::snapshot::MonitorSnapshot,
+    ) -> Result<Self, crate::snapshot::SnapshotError> {
+        snapshot.validate()?;
+        let cfg = MonitorConfig {
+            window: snapshot.window,
+            alpha: snapshot.alpha,
+            explain_on_drift: snapshot.explain_on_drift,
+            size_only: snapshot.size_only,
+            reset_on_drift: snapshot.reset_on_drift,
+            sr_filter_window: snapshot.sr_filter_window,
+            sr_score_window: snapshot.sr_score_window,
+        };
+        let mut state = Self::new(cfg)?;
+        for &value in &snapshot.reference {
+            let id = state.iks.insert_reference(value);
+            state.ref_window.push_back((value, id));
+            state.ref_index.insert(value);
+        }
+        for &value in &snapshot.test {
+            let id = state.iks.insert_test(value);
+            state.test_window.push_back((value, id));
+        }
+        state.pushes = snapshot.pushes;
+        state.alarms = snapshot.alarms;
+        state.degraded_preferences = snapshot.degraded_preferences;
+        Ok(state)
+    }
+
+    /// Refills the recycled test-window scratch. The reference side needs
+    /// no refresh: its order statistics are maintained incrementally with
+    /// every slide, so the alarm path can never pair a stale reference
+    /// index with fresh windows — any failure below leaves the scratch
+    /// empty (unambiguously invalid), never half-updated.
+    fn refresh_alarm_scratch(&mut self, scratch: &mut MonitorScratch) -> Option<()> {
+        scratch.test_scratch.clear();
+        if self.test_window.len() < self.cfg.window || self.ref_index.is_empty() {
+            return None; // still warming (or just reset): nothing to explain
+        }
+        scratch.test_scratch.extend(self.test_window.iter().map(|&(v, _)| v));
+        Some(())
+    }
+}
+
+/// The push-based drift monitor.
+///
+/// # Examples
+///
+/// ```
+/// use moche_stream::{DriftMonitor, MonitorConfig, MonitorEvent};
+///
+/// let mut monitor = DriftMonitor::new(MonitorConfig::new(40, 0.05)).unwrap();
+/// let mut drifted = false;
+/// for i in 0..400 {
+///     // Level shift at t = 200.
+///     let x = f64::from(i % 8) + if i < 200 { 0.0 } else { 25.0 };
+///     if let MonitorEvent::Drift { explanation, .. } = monitor.push(x) {
+///         let e = explanation.expect("explanations enabled by default");
+///         assert!(e.outcome_after.passes());
+///         drifted = true;
+///         break;
+///     }
+/// }
+/// assert!(drifted);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DriftMonitor {
+    state: MonitorState,
+    scratch: MonitorScratch,
+}
+
+impl DriftMonitor {
+    /// Creates a monitor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MocheError::InvalidAlpha`] for a bad significance level
+    /// and [`MocheError::WindowTooSmall`] if `window < 2` (paired sliding
+    /// windows need at least two points each) or either Spectral-Residual
+    /// window is zero.
+    pub fn new(cfg: MonitorConfig) -> Result<Self, MocheError> {
+        let state = MonitorState::new(cfg)?;
+        let scratch = MonitorScratch::with_config(state.ks_cfg);
+        Ok(Self { state, scratch })
+    }
+
+    /// Total observations pushed.
+    pub fn pushes(&self) -> u64 {
+        self.state.pushes()
+    }
+
+    /// Total drift alarms raised.
+    pub fn alarms(&self) -> u64 {
+        self.state.alarms()
+    }
+
+    /// How many explanations were produced with the identity-preference
+    /// fallback because Spectral-Residual scoring rejected the window
+    /// (numerical breakdown on extreme values). Each counted explanation
+    /// is still valid — just ranked neutrally — and this counter surfaces
+    /// the degradation; calls that produce no explanation at all (e.g. an
+    /// on-demand [`explain_current`](Self::explain_current) while the
+    /// test currently passes) are never counted.
+    pub fn degraded_preferences(&self) -> u64 {
+        self.state.degraded_preferences()
+    }
+
+    /// The current reference window contents, oldest first.
+    pub fn reference_window(&self) -> Vec<f64> {
+        self.state.reference_window()
+    }
+
+    /// The current test window contents, oldest first.
+    pub fn test_window(&self) -> Vec<f64> {
+        self.state.test_window()
+    }
+
+    /// Feeds one observation and reports what happened — the thin
+    /// asserting wrapper over [`try_push`](Self::try_push), for trusted
+    /// streams.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-finite observations (monitor state stays valid). Use
+    /// [`try_push`](Self::try_push) for untrusted input — a data file fed
+    /// straight into the monitor should degrade to an error report, not
+    /// abort the process.
+    pub fn push(&mut self, value: f64) -> MonitorEvent {
+        match self.try_push(value) {
+            Ok(event) => event,
+            Err(_) => panic!("observations must be finite (got {value}); see try_push"),
+        }
+    }
+
+    /// Feeds one observation and reports what happened, rejecting bad
+    /// input instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MocheError::NonFiniteObservation`] for a NaN or infinite
+    /// observation; the monitor state is untouched, so the caller can skip
+    /// the observation and keep streaming. The reported position is the
+    /// number of observations accepted so far.
+    pub fn try_push(&mut self, value: f64) -> Result<MonitorEvent, MocheError> {
+        self.state.try_push(value, &mut self.scratch)
     }
 
     /// Explains the current window pair with MOCHE, ranking test points by
@@ -311,47 +709,11 @@ impl DriftMonitor {
     /// breakdown on extreme values, or fewer than 4 points), the
     /// explanation falls back to the identity preference instead of being
     /// dropped, and [`degraded_preferences`](Self::degraded_preferences)
-    /// counts the degradation.
+    /// counts the degradation. The transform itself is configurable via
+    /// [`MonitorConfig::sr_filter_window`] and
+    /// [`MonitorConfig::sr_score_window`].
     pub fn explain_current(&mut self) -> Option<Explanation> {
-        self.refresh_alarm_scratch()?;
-        if !self.currently_rejected() {
-            // Passing windows have nothing to explain; deciding that here
-            // costs O(1) (the incremental statistic is sitting at the
-            // treap root) instead of paying the SR transform and the
-            // base-vector build just to learn the same from the engine.
-            return None;
-        }
-        let m = self.test_scratch.len();
-        let mut degraded = false;
-        if m >= 4 {
-            let sr = SpectralResidual::default();
-            let scored = sr
-                .scores_into(&self.test_scratch, &mut self.sr_scratch, &mut self.score_scratch)
-                .is_ok()
-                && self.pref_scratch.fill_from_scores_desc(&self.score_scratch).is_ok();
-            if !scored {
-                // A rejected scoring must not silently drop the whole
-                // explanation: degrade to the neutral identity order
-                // (matching the short-window branch).
-                degraded = true;
-                self.pref_scratch.fill_identity(m);
-            }
-        } else {
-            self.pref_scratch.fill_identity(m);
-        }
-        let index = self.ref_index.materialize().ok()?;
-        let explanation = self
-            .engine
-            .explain_with_index_in(index, &self.test_scratch, &self.pref_scratch, &mut self.arena)
-            .ok();
-        // Count the degradation only when an explanation was actually
-        // produced with the fallback ranking — an on-demand poll of a
-        // currently-passing window pair must not register phantom
-        // degraded alarms.
-        if degraded && explanation.is_some() {
-            self.degraded_preferences += 1;
-        }
-        explanation
+        self.state.explain_in(&mut self.scratch)
     }
 
     /// Hands a consumed alarm explanation's output buffers back to the
@@ -360,7 +722,7 @@ impl DriftMonitor {
     /// optional — a dropped explanation simply costs the next alarm two
     /// allocations.
     pub fn recycle(&mut self, explanation: Explanation) {
-        self.arena.recycle(explanation);
+        self.scratch.recycle(explanation);
     }
 
     /// Phase 1 only on the current window pair: the explanation size,
@@ -369,18 +731,7 @@ impl DriftMonitor {
     /// [`explain_current`](Self::explain_current). Returns `None` while
     /// warming or when the test currently passes.
     pub fn size_current(&mut self) -> Option<SizeSearch> {
-        self.refresh_alarm_scratch()?;
-        if !self.currently_rejected() {
-            return None; // see explain_current
-        }
-        let index = self.ref_index.materialize().ok()?;
-        self.engine.size_with_index(index, &self.test_scratch).ok()
-    }
-
-    /// Whether the monitor's KS decision — the same one that raises
-    /// alarms — currently rejects the window pair. `O(1)` in steady state.
-    fn currently_rejected(&mut self) -> bool {
-        matches!(self.iks.outcome(&self.ks_cfg), Ok(outcome) if outcome.rejected)
+        self.state.size_in(&mut self.scratch)
     }
 
     /// Captures the monitor's restorable state: configuration, both
@@ -391,18 +742,7 @@ impl DriftMonitor {
     /// [`crate::snapshot::MonitorSnapshot`] for the serialized form and
     /// the byte-identity guarantee.
     pub fn snapshot(&self) -> crate::snapshot::MonitorSnapshot {
-        crate::snapshot::MonitorSnapshot {
-            window: self.cfg.window,
-            alpha: self.cfg.alpha,
-            explain_on_drift: self.cfg.explain_on_drift,
-            size_only: self.cfg.size_only,
-            reset_on_drift: self.cfg.reset_on_drift,
-            pushes: self.pushes,
-            alarms: self.alarms,
-            degraded_preferences: self.degraded_preferences,
-            reference: self.reference_window(),
-            test: self.test_window(),
-        }
+        self.state.snapshot()
     }
 
     /// Rebuilds a monitor from a snapshot. The window values are
@@ -423,42 +763,9 @@ impl DriftMonitor {
     pub fn restore(
         snapshot: &crate::snapshot::MonitorSnapshot,
     ) -> Result<Self, crate::snapshot::SnapshotError> {
-        snapshot.validate()?;
-        let cfg = MonitorConfig {
-            window: snapshot.window,
-            alpha: snapshot.alpha,
-            explain_on_drift: snapshot.explain_on_drift,
-            size_only: snapshot.size_only,
-            reset_on_drift: snapshot.reset_on_drift,
-        };
-        let mut monitor = Self::new(cfg)?;
-        for &value in &snapshot.reference {
-            let id = monitor.iks.insert_reference(value);
-            monitor.ref_window.push_back((value, id));
-            monitor.ref_index.insert(value);
-        }
-        for &value in &snapshot.test {
-            let id = monitor.iks.insert_test(value);
-            monitor.test_window.push_back((value, id));
-        }
-        monitor.pushes = snapshot.pushes;
-        monitor.alarms = snapshot.alarms;
-        monitor.degraded_preferences = snapshot.degraded_preferences;
-        Ok(monitor)
-    }
-
-    /// Refills the recycled test-window scratch. The reference side needs
-    /// no refresh: its order statistics are maintained incrementally with
-    /// every slide, so the alarm path can never pair a stale reference
-    /// index with fresh windows — any failure below leaves the scratch
-    /// empty (unambiguously invalid), never half-updated.
-    fn refresh_alarm_scratch(&mut self) -> Option<()> {
-        self.test_scratch.clear();
-        if self.test_window.len() < self.cfg.window || self.ref_index.is_empty() {
-            return None; // still warming (or just reset): nothing to explain
-        }
-        self.test_scratch.extend(self.test_window.iter().map(|&(v, _)| v));
-        Some(())
+        let state = MonitorState::restore(snapshot)?;
+        let scratch = MonitorScratch::with_config(state.ks_cfg);
+        Ok(Self { state, scratch })
     }
 }
 
@@ -614,6 +921,104 @@ mod tests {
     }
 
     #[test]
+    fn zero_sr_windows_error_instead_of_panicking() {
+        let mut cfg = MonitorConfig::new(20, 0.05);
+        cfg.sr_filter_window = 0;
+        assert!(matches!(
+            DriftMonitor::new(cfg),
+            Err(MocheError::WindowTooSmall { window: 0, min: 1 })
+        ));
+        let mut cfg = MonitorConfig::new(20, 0.05);
+        cfg.sr_score_window = 0;
+        assert!(matches!(
+            DriftMonitor::new(cfg),
+            Err(MocheError::WindowTooSmall { window: 0, min: 1 })
+        ));
+    }
+
+    #[test]
+    fn custom_sr_config_changes_the_ranking_it_is_told_to() {
+        // The configurable SR transform must actually reach the alarm
+        // path: explanations under a custom (filter_window, score_window)
+        // must equal a one-shot MOCHE run ranked by that same transform.
+        let mut cfg = MonitorConfig::new(40, 0.05);
+        cfg.reset_on_drift = false;
+        cfg.sr_filter_window = 5;
+        cfg.sr_score_window = 9;
+        let mut mon = DriftMonitor::new(cfg).unwrap();
+        let mut checked = 0;
+        for i in 0..400 {
+            let x = if i < 200 { ((i * 13) % 11) as f64 } else { ((i * 13) % 11) as f64 + 20.0 };
+            if let MonitorEvent::Drift { explanation: Some(e), .. } = mon.push(x) {
+                let sr = SpectralResidual {
+                    filter_window: 5,
+                    score_window: 9,
+                    ..SpectralResidual::default()
+                };
+                let pref =
+                    PreferenceList::from_scores_desc(&sr.scores(&mon.test_window())).unwrap();
+                let moche = moche_core::Moche::new(0.05).unwrap();
+                let expected =
+                    moche.explain(&mon.reference_window(), &mon.test_window(), &pref).unwrap();
+                assert_eq!(e, expected, "i = {i}");
+                mon.recycle(e);
+                checked += 1;
+                if checked >= 3 {
+                    break;
+                }
+            }
+        }
+        assert!(checked > 0, "the level shift must alarm");
+        assert_eq!(mon.snapshot().sr_filter_window, 5);
+        assert_eq!(mon.snapshot().sr_score_window, 9);
+    }
+
+    #[test]
+    fn deferred_push_captures_the_alarm_windows() {
+        // try_push_deferred must alarm at the same pushes as the inline
+        // path, capture exactly the windows the inline path explained,
+        // and (with reset_on_drift) still reset afterwards.
+        let cfg = MonitorConfig::new(30, 0.05);
+        let w = cfg.window;
+        let mut inline = DriftMonitor::new(cfg).unwrap();
+        let mut deferred = MonitorState::new(cfg).unwrap();
+        let mut capture = WindowCapture::new();
+        // Shadow model: the values accepted since the last reset — the
+        // decision windows are always its last 2w entries.
+        let mut since_reset: Vec<f64> = Vec::new();
+        let mut alarms = 0;
+        for i in 0..400 {
+            let x = if i % 120 < 60 { (i % 5) as f64 } else { (i % 5) as f64 + 25.0 };
+            since_reset.push(x);
+            let a = inline.push(x);
+            let b = deferred.try_push_deferred(x, &mut capture).unwrap();
+            match (a, b) {
+                (
+                    MonitorEvent::Drift { outcome: oa, explanation, .. },
+                    MonitorEvent::Drift { outcome: ob, explanation: none, size },
+                ) => {
+                    assert!(none.is_none() && size.is_none(), "deferred pushes never explain");
+                    assert_eq!(oa.statistic.to_bits(), ob.statistic.to_bits());
+                    let n = since_reset.len();
+                    assert!(n >= 2 * w, "drift before the windows were full");
+                    assert_eq!(capture.reference, since_reset[n - 2 * w..n - w]);
+                    assert_eq!(capture.test, since_reset[n - w..]);
+                    since_reset.clear(); // reset_on_drift is on
+                    if let Some(e) = explanation {
+                        inline.recycle(e);
+                    }
+                    alarms += 1;
+                }
+                (MonitorEvent::Warming { .. }, MonitorEvent::Warming { .. })
+                | (MonitorEvent::Stable { .. }, MonitorEvent::Stable { .. }) => {}
+                (a, b) => panic!("event divergence at i = {i}: {a:?} vs {b:?}"),
+            }
+        }
+        assert!(alarms > 0, "the alternating shift must alarm");
+        assert_eq!(inline.alarms(), deferred.alarms());
+    }
+
+    #[test]
     fn recycled_alarms_match_unrecycled_ones() {
         let mut cfg = MonitorConfig::new(40, 0.05);
         cfg.reset_on_drift = false;
@@ -761,10 +1166,10 @@ mod tests {
                 }
                 let window = mon.reference_window();
                 if window.is_empty() {
-                    assert!(mon.ref_index.is_empty(), "reset must clear the index (i = {i})");
+                    assert!(mon.state.ref_index.is_empty(), "reset must clear the index (i = {i})");
                 } else {
                     assert_eq!(
-                        mon.ref_index.materialize().unwrap(),
+                        mon.state.ref_index.materialize().unwrap(),
                         &ReferenceIndex::new(&window).unwrap(),
                         "i = {i}, reset = {reset}"
                     );

@@ -25,18 +25,23 @@
 //! the window values therefore reconstructs an observably equivalent
 //! monitor.
 //!
-//! ## On-disk format (version 1)
+//! ## On-disk format (version 2)
 //!
 //! All integers little-endian; `f64` as IEEE-754 bits (signed zeros and
 //! subnormals round-trip exactly; non-finite values are rejected).
 //!
 //! ```text
 //! magic     8 B   "MOCHESNP"
-//! version   4 B   u32 = 1
+//! version   4 B   u32 = 2
 //! length    8 B   u64 payload byte count
-//! payload   ...   window, alpha, flags, counters, both windows
+//! payload   ...   window, alpha, flags, SR windows, counters, both windows
 //! crc32     4 B   CRC-32 (IEEE) of the payload bytes
 //! ```
+//!
+//! Version 2 added the two Spectral-Residual preference parameters
+//! (`sr_filter_window`, `sr_score_window`) right after the flags byte.
+//! Version-1 files (which predate configurable SR) are still read; their
+//! SR parameters decode to the defaults every version-1 monitor used.
 //!
 //! The CRC detects every single-bit flip and all burst errors up to 32
 //! bits; [`MonitorSnapshot::from_bytes`] rejects torn files (truncation
@@ -59,8 +64,9 @@ use std::path::Path;
 
 /// Leading bytes identifying a MOCHE monitor snapshot file.
 pub const SNAPSHOT_MAGIC: [u8; 8] = *b"MOCHESNP";
-/// The format version this build writes and the only one it reads.
-pub const SNAPSHOT_VERSION: u32 = 1;
+/// The format version this build writes. Version 1 (no Spectral-Residual
+/// parameters) is still read.
+pub const SNAPSHOT_VERSION: u32 = 2;
 
 const HEADER_LEN: usize = 8 + 4 + 8;
 const FLAG_EXPLAIN_ON_DRIFT: u8 = 1;
@@ -149,6 +155,11 @@ pub struct MonitorSnapshot {
     pub size_only: bool,
     /// [`crate::MonitorConfig::reset_on_drift`].
     pub reset_on_drift: bool,
+    /// [`crate::MonitorConfig::sr_filter_window`] (format version ≥ 2;
+    /// version-1 files decode to the default every v1 monitor used).
+    pub sr_filter_window: usize,
+    /// [`crate::MonitorConfig::sr_score_window`] (format version ≥ 2).
+    pub sr_score_window: usize,
     /// Total observations accepted when the snapshot was taken.
     pub pushes: u64,
     /// Total alarms raised when the snapshot was taken.
@@ -163,10 +174,11 @@ pub struct MonitorSnapshot {
 }
 
 impl MonitorSnapshot {
-    /// Serializes to the version-1 binary format (header, payload, CRC).
+    /// Serializes to the version-2 binary format (header, payload, CRC).
     pub fn to_bytes(&self) -> Vec<u8> {
         let payload_len = 8 * 6 // window, alpha, three counters, two lengths packed below
             + 1 // flags
+            + 8 * 2 // the SR preference parameters (format version 2)
             + 8 // second length field
             + 8 * (self.reference.len() + self.test.len());
         let mut bytes = Vec::with_capacity(HEADER_LEN + payload_len + 4);
@@ -188,6 +200,8 @@ impl MonitorSnapshot {
             flags |= FLAG_RESET_ON_DRIFT;
         }
         bytes.push(flags);
+        bytes.extend_from_slice(&(self.sr_filter_window as u64).to_le_bytes());
+        bytes.extend_from_slice(&(self.sr_score_window as u64).to_le_bytes());
         bytes.extend_from_slice(&self.pushes.to_le_bytes());
         bytes.extend_from_slice(&self.alarms.to_le_bytes());
         bytes.extend_from_slice(&self.degraded_preferences.to_le_bytes());
@@ -227,7 +241,7 @@ impl MonitorSnapshot {
             return Err(SnapshotError::Truncated);
         }
         let version = u32::from_le_bytes(bytes[8..12].try_into().expect("4-byte slice"));
-        if version != SNAPSHOT_VERSION {
+        if version == 0 || version > SNAPSHOT_VERSION {
             return Err(SnapshotError::UnsupportedVersion(version));
         }
         let payload_len = u64::from_le_bytes(bytes[12..HEADER_LEN].try_into().expect("8 bytes"));
@@ -257,6 +271,17 @@ impl MonitorSnapshot {
         if flags & !(FLAG_EXPLAIN_ON_DRIFT | FLAG_SIZE_ONLY | FLAG_RESET_ON_DRIFT) != 0 {
             return Err(SnapshotError::Invalid("unknown flag bits set"));
         }
+        let (sr_filter_window, sr_score_window) = if version >= 2 {
+            let filter = usize::try_from(cursor.u64()?)
+                .map_err(|_| SnapshotError::Invalid("SR filter window overflows this platform"))?;
+            let score = usize::try_from(cursor.u64()?)
+                .map_err(|_| SnapshotError::Invalid("SR score window overflows this platform"))?;
+            (filter, score)
+        } else {
+            // Version-1 monitors always ranked with the SR defaults.
+            let sr = moche_sigproc::SpectralResidual::default();
+            (sr.filter_window, sr.score_window)
+        };
         let pushes = cursor.u64()?;
         let alarms = cursor.u64()?;
         let degraded_preferences = cursor.u64()?;
@@ -271,6 +296,8 @@ impl MonitorSnapshot {
             explain_on_drift: flags & FLAG_EXPLAIN_ON_DRIFT != 0,
             size_only: flags & FLAG_SIZE_ONLY != 0,
             reset_on_drift: flags & FLAG_RESET_ON_DRIFT != 0,
+            sr_filter_window,
+            sr_score_window,
             pushes,
             alarms,
             degraded_preferences,
@@ -307,26 +334,7 @@ impl MonitorSnapshot {
             }
             _ => {}
         }
-        let tmp = sibling_tmp_path(path);
-        let result = (|| -> Result<(), SnapshotError> {
-            let mut file = File::create(&tmp)?;
-            file.write_all(&bytes)?;
-            file.sync_all()?;
-            drop(file);
-            std::fs::rename(&tmp, path)?;
-            // Make the rename itself durable where the platform allows;
-            // the data is already safe, so failures here are non-fatal.
-            if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
-                if let Ok(dir) = File::open(dir) {
-                    let _ = dir.sync_all();
-                }
-            }
-            Ok(())
-        })();
-        if result.is_err() {
-            let _ = std::fs::remove_file(&tmp);
-        }
-        result
+        write_bytes_atomic(path, &bytes)
     }
 
     /// Reads and verifies a snapshot from `path` (see
@@ -366,6 +374,9 @@ impl MonitorSnapshot {
         }
         if self.pushes < (self.reference.len() + self.test.len()) as u64 {
             return Err(SnapshotError::Invalid("push counter below the held window contents"));
+        }
+        if self.sr_filter_window < 1 || self.sr_score_window < 1 {
+            return Err(SnapshotError::Invalid("Spectral-Residual windows must be >= 1"));
         }
         Ok(())
     }
@@ -412,6 +423,33 @@ impl Cursor<'_> {
     }
 }
 
+/// The stage-`fsync`-rename protocol shared by monitor snapshots and the
+/// fleet's per-shard checkpoint files: a crash at any point leaves `path`
+/// holding either its previous complete contents or `bytes` — never a torn
+/// write.
+pub(crate) fn write_bytes_atomic(path: &Path, bytes: &[u8]) -> Result<(), SnapshotError> {
+    let tmp = sibling_tmp_path(path);
+    let result = (|| -> Result<(), SnapshotError> {
+        let mut file = File::create(&tmp)?;
+        file.write_all(bytes)?;
+        file.sync_all()?;
+        drop(file);
+        std::fs::rename(&tmp, path)?;
+        // Make the rename itself durable where the platform allows;
+        // the data is already safe, so failures here are non-fatal.
+        if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+            if let Ok(dir) = File::open(dir) {
+                let _ = dir.sync_all();
+            }
+        }
+        Ok(())
+    })();
+    if result.is_err() {
+        let _ = std::fs::remove_file(&tmp);
+    }
+    result
+}
+
 fn sibling_tmp_path(path: &Path) -> std::path::PathBuf {
     let mut name = path.file_name().map_or_else(Default::default, |n| n.to_os_string());
     name.push(".tmp");
@@ -420,8 +458,9 @@ fn sibling_tmp_path(path: &Path) -> std::path::PathBuf {
 
 /// CRC-32 (IEEE 802.3, reflected polynomial `0xEDB88320`) — the classic
 /// bitwise form. Snapshot payloads are `O(w)` small, so a lookup table
-/// would buy nothing worth its footprint.
-fn crc32(bytes: &[u8]) -> u32 {
+/// would buy nothing worth its footprint. Shared with the fleet's shard
+/// checkpoint container.
+pub(crate) fn crc32(bytes: &[u8]) -> u32 {
     let mut crc = 0xFFFF_FFFFu32;
     for &byte in bytes {
         crc ^= u32::from(byte);
@@ -470,6 +509,8 @@ mod tests {
             explain_on_drift: true,
             size_only: false,
             reset_on_drift: true,
+            sr_filter_window: 5, // deliberately non-default: pins the v2 fields
+            sr_score_window: 9,
             pushes: 11,
             alarms: 2,
             degraded_preferences: 1,
@@ -515,15 +556,80 @@ mod tests {
 
     #[test]
     fn wrong_version_and_magic_are_rejected() {
-        let mut bytes = sample().to_bytes();
-        bytes[8..12].copy_from_slice(&2u32.to_le_bytes());
-        assert!(matches!(
-            MonitorSnapshot::from_bytes(&bytes),
-            Err(SnapshotError::UnsupportedVersion(2))
-        ));
+        for bad_version in [0u32, 3, 99] {
+            let mut bytes = sample().to_bytes();
+            bytes[8..12].copy_from_slice(&bad_version.to_le_bytes());
+            assert!(
+                matches!(
+                    MonitorSnapshot::from_bytes(&bytes),
+                    Err(SnapshotError::UnsupportedVersion(v)) if v == bad_version
+                ),
+                "version {bad_version} must be rejected"
+            );
+        }
         let mut bytes = sample().to_bytes();
         bytes[0] = b'X';
         assert!(matches!(MonitorSnapshot::from_bytes(&bytes), Err(SnapshotError::BadMagic)));
+    }
+
+    /// Serializes the version-1 layout (no SR parameters) the way the
+    /// previous release did, so the compatibility path stays honest.
+    fn v1_bytes(snap: &MonitorSnapshot) -> Vec<u8> {
+        let payload_len = 8 * 6 + 1 + 8 + 8 * (snap.reference.len() + snap.test.len());
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&SNAPSHOT_MAGIC);
+        bytes.extend_from_slice(&1u32.to_le_bytes());
+        bytes.extend_from_slice(&(payload_len as u64).to_le_bytes());
+        let payload_start = bytes.len();
+        bytes.extend_from_slice(&(snap.window as u64).to_le_bytes());
+        bytes.extend_from_slice(&snap.alpha.to_bits().to_le_bytes());
+        let mut flags = 0u8;
+        if snap.explain_on_drift {
+            flags |= FLAG_EXPLAIN_ON_DRIFT;
+        }
+        if snap.size_only {
+            flags |= FLAG_SIZE_ONLY;
+        }
+        if snap.reset_on_drift {
+            flags |= FLAG_RESET_ON_DRIFT;
+        }
+        bytes.push(flags);
+        bytes.extend_from_slice(&snap.pushes.to_le_bytes());
+        bytes.extend_from_slice(&snap.alarms.to_le_bytes());
+        bytes.extend_from_slice(&snap.degraded_preferences.to_le_bytes());
+        bytes.extend_from_slice(&(snap.reference.len() as u64).to_le_bytes());
+        for &v in &snap.reference {
+            bytes.extend_from_slice(&v.to_bits().to_le_bytes());
+        }
+        bytes.extend_from_slice(&(snap.test.len() as u64).to_le_bytes());
+        for &v in &snap.test {
+            bytes.extend_from_slice(&v.to_bits().to_le_bytes());
+        }
+        let crc = crc32(&bytes[payload_start..]);
+        bytes.extend_from_slice(&crc.to_le_bytes());
+        bytes
+    }
+
+    #[test]
+    fn version_1_files_decode_with_default_sr_parameters() {
+        let expected = {
+            let mut s = sample();
+            let sr = moche_sigproc::SpectralResidual::default();
+            s.sr_filter_window = sr.filter_window;
+            s.sr_score_window = sr.score_window;
+            s
+        };
+        let decoded = MonitorSnapshot::from_bytes(&v1_bytes(&sample())).unwrap();
+        assert_eq!(decoded, expected, "v1 files gain the defaults every v1 monitor used");
+        // The old format keeps its full rejection surface too.
+        let bytes = v1_bytes(&sample());
+        for len in 0..bytes.len() {
+            assert!(MonitorSnapshot::from_bytes(&bytes[..len]).is_err(), "prefix {len}");
+        }
+        let mut corrupt = v1_bytes(&sample());
+        let last = corrupt.len() - 10;
+        corrupt[last] ^= 1;
+        assert!(MonitorSnapshot::from_bytes(&corrupt).is_err());
     }
 
     #[test]
@@ -549,6 +655,14 @@ mod tests {
 
         let mut snap = sample();
         snap.pushes = 3; // fewer pushes than held observations
+        assert!(matches!(snap.validate(), Err(SnapshotError::Invalid(_))));
+
+        let mut snap = sample();
+        snap.sr_filter_window = 0; // would panic the SR moving average
+        assert!(matches!(snap.validate(), Err(SnapshotError::Invalid(_))));
+
+        let mut snap = sample();
+        snap.sr_score_window = 0;
         assert!(matches!(snap.validate(), Err(SnapshotError::Invalid(_))));
 
         assert!(sample().validate().is_ok());

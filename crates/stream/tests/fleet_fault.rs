@@ -1,0 +1,138 @@
+//! Failpoint-driven failure scenarios at the fleet's daemon seams.
+//!
+//! Compiled only under `--features fault-injection`. Three seams:
+//!
+//! * `serve.shard_worker` + `Fault::Panic` — a panic mid-push is caught,
+//!   the one poisoned series is quarantined, and the shard keeps serving
+//!   every other series;
+//! * `serve.checkpoint` + `Fault::Error` — a failed shard checkpoint is
+//!   reported and counted, and the previous checkpoint file stays
+//!   resumable;
+//! * `serve.checkpoint` + `Fault::TruncateWrite` — a torn shard file at
+//!   the final path is *rejected* on resume, never half-restored.
+//!
+//! The failpoint registry is process-global, so the scenarios run as
+//! sequential phases of one `#[test]`.
+
+#![cfg(feature = "fault-injection")]
+
+use moche_core::fault::{self, Fault};
+use moche_stream::{FleetConfig, FleetPush, MonitorConfig, MonitorFleet, SnapshotError};
+use std::path::PathBuf;
+
+fn tmp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("moche-fleet-fault-{name}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+fn fleet(shards: usize) -> MonitorFleet {
+    let mut monitor = MonitorConfig::new(6, 0.05);
+    monitor.reset_on_drift = false;
+    MonitorFleet::new(FleetConfig::new(shards, monitor)).expect("valid config")
+}
+
+#[test]
+fn fleet_seam_faults_are_contained() {
+    worker_panic_quarantines_one_series_only();
+    checkpoint_error_keeps_the_previous_file();
+    torn_shard_checkpoints_are_rejected_on_resume();
+}
+
+fn worker_panic_quarantines_one_series_only() {
+    let mut fleet = fleet(2);
+    for i in 0..30u64 {
+        for id in 0..6u64 {
+            fleet.push(id, ((i * 13 + id) % 7) as f64).expect("finite");
+        }
+    }
+    let victim = 3u64;
+    let before = fleet.series_stats(victim).expect("exists");
+
+    // Arm: the next push through any shard panics mid-update.
+    fault::arm("serve.shard_worker", Fault::Panic, 0, 1);
+    let outcome = fleet.push(victim, 1.0).expect("panic is caught, not surfaced");
+    fault::disarm("serve.shard_worker");
+    assert!(matches!(outcome, FleetPush::Quarantined), "got {outcome:?}");
+
+    // The victim is gone; everything else kept its state and keeps
+    // accepting observations.
+    assert!(fleet.series_stats(victim).is_none(), "quarantined series must be removed");
+    assert_eq!(fleet.series_count(), 5);
+    for id in (0..6u64).filter(|&id| id != victim) {
+        let stats = fleet.series_stats(id).expect("survivors keep their state");
+        assert_eq!(stats.pushes, before.pushes, "survivors were not touched");
+        fleet.push(id, 2.0).expect("survivors keep accepting");
+    }
+    // A new observation for the quarantined id starts a fresh series.
+    assert!(matches!(fleet.push(victim, 1.0).expect("finite"), FleetPush::Warming));
+    let view = fleet.stats().view();
+    assert_eq!(view.worker_panics, 1);
+    assert_eq!(view.quarantined_series, 1);
+    assert!(!view.is_clean());
+}
+
+fn checkpoint_error_keeps_the_previous_file() {
+    let dir = tmp_dir("error");
+    let mut fleet = fleet(1);
+    for i in 0..30u64 {
+        fleet.push(1, (i % 7) as f64).expect("finite");
+    }
+    fleet.checkpoint_dir(&dir).expect("first checkpoint succeeds");
+    let good = std::fs::read(dir.join("shard-0000.snap")).expect("file exists");
+
+    for i in 0..10u64 {
+        fleet.push(1, (i % 7) as f64).expect("finite");
+    }
+    fault::arm("serve.checkpoint", Fault::Error, 0, 1);
+    let result = fleet.checkpoint_dir(&dir);
+    fault::disarm("serve.checkpoint");
+    assert!(matches!(result, Err(SnapshotError::Io(_))), "got {result:?}");
+
+    // The failed attempt never touched the durable file: resuming yields
+    // the 30-push state, not a torn or half-new one.
+    assert_eq!(std::fs::read(dir.join("shard-0000.snap")).expect("still there"), good);
+    let resumed =
+        MonitorFleet::resume_from_dir(*fleet.config(), &dir).expect("previous file resumes");
+    assert_eq!(resumed.series_stats(1).expect("exists").pushes, 30);
+    let view = fleet.stats().view();
+    assert_eq!(view.checkpoint_failures, 1);
+    assert_eq!(view.checkpoints_written, 1);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+fn torn_shard_checkpoints_are_rejected_on_resume() {
+    let dir = tmp_dir("torn");
+    let mut fleet = fleet(1);
+    for i in 0..30u64 {
+        fleet.push(1, (i % 7) as f64).expect("finite");
+    }
+    // Tear the write at every interesting prefix length: resume must
+    // reject each torn file, never construct a fleet from it.
+    let full = {
+        fleet.checkpoint_dir(&dir).expect("baseline write");
+        std::fs::read(dir.join("shard-0000.snap")).expect("read back").len()
+    };
+    for keep in [0, 7, 8, 12, 20, full / 2, full - 1] {
+        fault::arm("serve.checkpoint", Fault::TruncateWrite(keep), 0, 1);
+        fleet.checkpoint_dir(&dir).expect("a torn write reports success — that is the point");
+        fault::disarm("serve.checkpoint");
+        let result = MonitorFleet::resume_from_dir(*fleet.config(), &dir);
+        assert!(
+            matches!(
+                result,
+                Err(SnapshotError::Truncated
+                    | SnapshotError::BadMagic
+                    | SnapshotError::ChecksumMismatch
+                    | SnapshotError::Invalid(_))
+            ),
+            "torn at {keep}/{full} bytes must be rejected, got {result:?}"
+        );
+    }
+    // An intact rewrite recovers.
+    fleet.checkpoint_dir(&dir).expect("clean write");
+    let resumed = MonitorFleet::resume_from_dir(*fleet.config(), &dir).expect("clean resume");
+    assert_eq!(resumed.series_stats(1).expect("exists").pushes, 30);
+    let _ = std::fs::remove_dir_all(&dir);
+}
