@@ -1,0 +1,49 @@
+//! Criterion twins of the `ks2d/*` and `explain2d/*` evidence entries:
+//! the rank-space Fasano-Franceschini statistic against the naive rescan,
+//! and the warm [`Explain2dEngine`] + [`Explanation2dArena`] pair against
+//! the allocating naive impact descent — over the identical
+//! [`contaminated2d`] workload `BENCH_core.json` gates.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use moche_bench::perf::contaminated2d;
+use moche_multidim::{
+    ks2d_statistic, ks2d_statistic_indexed, Explain2dEngine, Explanation2dArena, GreedyImpact2d,
+    Ks2dConfig, RankIndex2d, Scratch2d,
+};
+use std::hint::black_box;
+
+fn bench_explain2d(c: &mut Criterion) {
+    let (reference, window) = contaminated2d();
+    let cfg = Ks2dConfig::new(0.05).unwrap();
+    let index = RankIndex2d::new(&reference).unwrap();
+
+    let mut group = c.benchmark_group("ks2d");
+    group.bench_function(BenchmarkId::new("statistic_naive", "n120_m85"), |b| {
+        b.iter(|| ks2d_statistic(black_box(&reference), &window).unwrap());
+    });
+    let mut scratch = Scratch2d::new();
+    group.bench_function(BenchmarkId::new("statistic_indexed", "n120_m85"), |b| {
+        b.iter(|| ks2d_statistic_indexed(black_box(&index), &window, &mut scratch).unwrap());
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("explain2d");
+    group.sample_size(20);
+    group.bench_function(BenchmarkId::new("naive_impact", "n120_m85"), |b| {
+        b.iter(|| GreedyImpact2d.explain(black_box(&reference), &window, &cfg, None).unwrap());
+    });
+    let mut engine = Explain2dEngine::with_config(cfg);
+    let mut arena = Explanation2dArena::new();
+    group.bench_function(BenchmarkId::new("engine_arena", "n120_m85"), |b| {
+        b.iter(|| {
+            let e = engine.explain_in(black_box(&index), &window, None, &mut arena).unwrap();
+            let k = e.size();
+            arena.recycle(e);
+            k
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_explain2d);
+criterion_main!(benches);

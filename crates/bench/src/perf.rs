@@ -21,6 +21,10 @@ use moche_core::{
 use moche_data::dist::normal;
 use moche_data::failing_kifer_pair;
 use moche_data::rng::rng_from_seed;
+use moche_multidim::{
+    ks2d_statistic, ks2d_statistic_indexed, Explain2dEngine, Explanation2dArena, GreedyImpact2d,
+    Ks2dConfig, Point2, RankIndex2d, Scratch2d,
+};
 use moche_sigproc::SpectralResidual;
 use moche_stream::{DriftMonitor, FleetConfig, MonitorConfig, MonitorFleet};
 use std::hint::black_box;
@@ -316,8 +320,82 @@ pub fn evidence_suite(alloc_counter: Option<&dyn Fn() -> u64>) -> Vec<BenchRecor
         alloc_counter,
     ));
 
+    records.extend(ks2d_suite(alloc_counter));
     records.extend(monitor_suite(w, alloc_counter));
     records.extend(fleet_suite(alloc_counter));
+
+    records
+}
+
+/// The 2-D evidence fixture: a dense lattice reference and a window whose
+/// tail is a far-off contaminating cluster, so the Fasano-Franceschini test
+/// fails and the explanation is the cluster. Sizes are modest because the
+/// naive impact explainer is the quadratic "before" entry. Shared with
+/// `benches/explain2d.rs`, so the criterion numbers and the
+/// `BENCH_core.json` evidence measure the identical workload.
+pub fn contaminated2d() -> (Vec<Point2>, Vec<Point2>) {
+    let grid = |n: usize, ox: f64, oy: f64| -> Vec<Point2> {
+        (0..n)
+            .map(|i| {
+                Point2::new(((i * 7) % 13) as f64 * 0.31 + ox, ((i * 11) % 17) as f64 * 0.23 + oy)
+            })
+            .collect()
+    };
+    let reference = grid(120, 0.0, 0.0);
+    let mut window = grid(60, 0.01, 0.02);
+    window.extend(grid(25, 50.0, 50.0));
+    (reference, window)
+}
+
+/// The 2-D engine-treatment evidence: the rank-space statistic against the
+/// per-call rescan, and the warm engine + arena pair (0 allocs once warm)
+/// against the allocating naive impact descent.
+fn ks2d_suite(alloc_counter: Option<&dyn Fn() -> u64>) -> Vec<BenchRecord> {
+    let mut records = Vec::new();
+    let (reference, window) = contaminated2d();
+    let (n, m) = (reference.len(), window.len());
+    let cfg = Ks2dConfig::new(0.05).unwrap();
+    let index = RankIndex2d::new(&reference).unwrap();
+
+    eprintln!("[bench-json] 2-D KS statistic (n = {n}, m = {m})...");
+    records.push(measure(
+        &format!("ks2d/statistic_naive/n={n},m={m}"),
+        || {
+            black_box(ks2d_statistic(black_box(&reference), &window).unwrap());
+        },
+        alloc_counter,
+    ));
+    let mut scratch = Scratch2d::new();
+    ks2d_statistic_indexed(&index, &window, &mut scratch).unwrap(); // warm the sweep buffers
+    records.push(measure(
+        &format!("ks2d/statistic_indexed/n={n},m={m}"),
+        || {
+            black_box(ks2d_statistic_indexed(black_box(&index), &window, &mut scratch).unwrap());
+        },
+        alloc_counter,
+    ));
+
+    eprintln!("[bench-json] 2-D explanation (n = {n}, m = {m})...");
+    records.push(measure(
+        &format!("explain2d/naive_impact/n={n},m={m}"),
+        || {
+            black_box(GreedyImpact2d.explain(black_box(&reference), &window, &cfg, None).unwrap());
+        },
+        alloc_counter,
+    ));
+    let mut engine = Explain2dEngine::with_config(cfg);
+    let mut arena = Explanation2dArena::new();
+    let warm = engine.explain_in(&index, &window, None, &mut arena).unwrap();
+    arena.recycle(warm);
+    records.push(measure(
+        &format!("explain2d/engine_arena/n={n},m={m}"),
+        || {
+            let e = engine.explain_in(black_box(&index), &window, None, &mut arena).unwrap();
+            black_box(e.size());
+            arena.recycle(e);
+        },
+        alloc_counter,
+    ));
 
     records
 }

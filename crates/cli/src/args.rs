@@ -90,6 +90,25 @@ pub enum Command {
         /// constructing the explanation.
         size_only: bool,
     },
+    /// `moche batch2d REF WINDOWS [--alpha A] [--threads N] [--format F]
+    /// [--stream]`
+    Batch2d {
+        /// Reference point file (shared by every window): one `x y` (or
+        /// `x,y`) pair per line.
+        reference: PathBuf,
+        /// Windows file: one window per line as a flat coordinate list
+        /// `x1 y1 x2 y2 ...`.
+        windows: PathBuf,
+        /// Significance level.
+        alpha: f64,
+        /// Worker threads (0 = all cores).
+        threads: usize,
+        /// Output format.
+        format: OutputFormat,
+        /// Stream windows through the bounded-memory 2-D engine instead of
+        /// loading the file up front.
+        stream: bool,
+    },
     /// `moche monitor SERIES --window W [--alpha A] [--no-explain]
     /// [--size-only] [--checkpoint PATH [--checkpoint-every N]]
     /// [--resume PATH]`
@@ -145,6 +164,17 @@ USAGE:
       --stream reads windows lazily through the bounded-memory streaming
       engine; --size-only reports each window's explanation size k
       (Phase 1 only) without constructing the explanation.
+  moche batch2d <REF> <WINDOWS> [--alpha A] [--threads N] [--format text|csv]
+                [--stream]
+      Explain many failed 2-D (Fasano-Franceschini) KS tests against one
+      shared reference of points. REF holds one 'x y' (or 'x,y') point per
+      line; WINDOWS holds one window per line as a flat coordinate list
+      'x1 y1 x2 y2 ...' (an odd coordinate count is a parse error).
+      Explanations are reported as 0-based point offsets into the window
+      (csv rows are 'window,index'). Points have no scalar order, so the
+      preference is input order; --preference identity is the only
+      accepted source. --stream reads windows lazily through the
+      bounded-memory 2-D streaming engine.
   moche monitor <SERIES> --window W [--alpha A] [--no-explain] [--size-only]
                 [--checkpoint PATH [--checkpoint-every N]] [--resume PATH]
       Stream a series through paired sliding windows; explain each alarm.
@@ -256,6 +286,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
     let mut positionals: Vec<&str> = Vec::new();
     let mut alpha = 0.05f64;
     let mut preference = PreferenceSource::default();
+    let mut preference_set = false;
     let mut format = OutputFormat::default();
     let mut window: Option<usize> = None;
     let mut threads = 0usize;
@@ -385,6 +416,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 let raw = it
                     .next()
                     .ok_or_else(|| CliError::Usage("--preference needs a value".into()))?;
+                preference_set = true;
                 preference = match raw {
                     "sr" => PreferenceSource::SpectralResidual,
                     "scores" => PreferenceSource::ScoreColumn,
@@ -449,6 +481,34 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 format,
                 stream,
                 size_only,
+            })
+        }
+        "batch2d" => {
+            if positionals.len() != 2 {
+                return Err(CliError::Usage(format!(
+                    "expected <REF> <WINDOWS>, got {} positional argument(s)",
+                    positionals.len()
+                )));
+            }
+            // 2-D points carry no scalar order, so the only preference is
+            // the window's input order; anything else would silently rank
+            // points by a meaning they do not have.
+            if preference_set && preference != PreferenceSource::Identity {
+                return Err(CliError::Usage(
+                    "batch2d supports --preference identity only (points have no scalar order)"
+                        .into(),
+                ));
+            }
+            if size_only {
+                return Err(CliError::Usage("batch2d does not support --size-only".into()));
+            }
+            Ok(Command::Batch2d {
+                reference: PathBuf::from(positionals[0]),
+                windows: PathBuf::from(positionals[1]),
+                alpha,
+                threads,
+                format,
+                stream,
             })
         }
         "monitor" => {
@@ -685,6 +745,44 @@ mod tests {
             CliError::Usage(_)
         ));
         assert!(matches!(parse_err(&["batch", "r", "w", "--threads", "many"]), CliError::Usage(_)));
+    }
+
+    #[test]
+    fn parses_batch2d() {
+        match parse_ok(&["batch2d", "r.txt", "w.csv", "--threads", "4", "--alpha", "0.1"]) {
+            Command::Batch2d { reference, windows, alpha, threads, format, stream } => {
+                assert_eq!(reference, PathBuf::from("r.txt"));
+                assert_eq!(windows, PathBuf::from("w.csv"));
+                assert_eq!(alpha, 0.1);
+                assert_eq!(threads, 4);
+                assert_eq!(format, OutputFormat::Text);
+                assert!(!stream);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match parse_ok(&["batch2d", "r", "w", "--stream", "--format", "csv"]) {
+            Command::Batch2d { stream, format, .. } => {
+                assert!(stream);
+                assert_eq!(format, OutputFormat::Csv);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Input order is the only meaningful 2-D preference: saying so
+        // explicitly is allowed, any other source is a usage error.
+        match parse_ok(&["batch2d", "r", "w", "--preference", "identity"]) {
+            Command::Batch2d { .. } => {}
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(matches!(
+            parse_err(&["batch2d", "r", "w", "--preference", "sr"]),
+            CliError::Usage(_)
+        ));
+        assert!(matches!(
+            parse_err(&["batch2d", "r", "w", "--preference", "value-desc"]),
+            CliError::Usage(_)
+        ));
+        assert!(matches!(parse_err(&["batch2d", "r", "w", "--size-only"]), CliError::Usage(_)));
+        assert!(matches!(parse_err(&["batch2d", "r"]), CliError::Usage(_)));
     }
 
     #[test]

@@ -5,12 +5,18 @@
 //! report `String` whose size grows with the stream.
 
 use crate::args::{Command, OutputFormat, PreferenceSource};
-use crate::io::{read_values, read_values_and_scores, read_windows, CliError, WindowStream};
+use crate::io::{
+    read_point_windows, read_points, read_values, read_values_and_scores, read_windows, CliError,
+    PointWindowStream, WindowStream,
+};
 use moche_core::ks::asymptotic_p_value;
 use moche_core::{
     BatchExplainer, Moche, MocheError, PreferenceList, ReferenceIndex, ReferenceMode,
     SortedReference, StreamMode, StreamResult, StreamingBatchExplainer, WindowPreferences,
     WindowReport,
+};
+use moche_multidim::{
+    Batch2dExplainer, Explanation2d, Point2, RankIndex2d, Stream2dExplainer, Stream2dResult,
 };
 use moche_sigproc::SpectralResidual;
 use moche_stream::{DriftMonitor, MonitorConfig, MonitorEvent, MonitorSnapshot};
@@ -128,6 +134,15 @@ pub fn run(command: Command, out: &mut dyn Write) -> Result<RunStatus, CliError>
             } else {
                 let w = read_windows(&windows)?;
                 run_batch(&r, &w, &opts, out)
+            }
+        }
+        Command::Batch2d { reference, windows, alpha, threads, format, stream } => {
+            let r = read_points(&reference)?;
+            if stream {
+                run_batch2d_stream(&r, &windows, alpha, threads, format, out)
+            } else {
+                let w = read_point_windows(&windows)?;
+                run_batch2d(&r, &w, alpha, threads, format, out)
             }
         }
         Command::Monitor {
@@ -563,6 +578,184 @@ fn run_batch_stream(
     Ok(RunStatus { window_errors: summary.errors, windows_explained: summary.explained, health })
 }
 
+/// Renders one 2-D window result, shared by the eager and streaming paths.
+/// Explanations carry window-relative point offsets (a 2-D window line is a
+/// flat coordinate list, so the offset — not a coordinate echo — is the
+/// stable way to address a point); csv rows are `window,index`.
+fn write_batch2d_result(
+    out: &mut dyn Write,
+    format: OutputFormat,
+    w: usize,
+    result: &Result<Explanation2d, MocheError>,
+) -> std::io::Result<()> {
+    match (format, result) {
+        (OutputFormat::Csv, Ok(e)) => {
+            for &i in &e.indices {
+                writeln!(out, "{w},{i}")?;
+            }
+            Ok(())
+        }
+        (OutputFormat::Text, Ok(e)) => {
+            let m = e.outcome_before.m;
+            writeln!(
+                out,
+                "window {w}: k = {} ({:.1}% of {} points), indices {:?}",
+                e.size(),
+                100.0 * e.size() as f64 / m as f64,
+                m,
+                e.indices
+            )
+        }
+        // A passing window legitimately has no rows.
+        (OutputFormat::Csv, Err(MocheError::TestAlreadyPasses { .. })) => Ok(()),
+        (OutputFormat::Text, Err(MocheError::TestAlreadyPasses { .. })) => {
+            writeln!(out, "window {w}: passes (nothing to explain)")
+        }
+        // Any other error must not vanish from the output.
+        (OutputFormat::Csv, Err(e)) => writeln!(out, "# window {w}: error: {e}"),
+        (OutputFormat::Text, Err(e)) => writeln!(out, "window {w}: error: {e}"),
+    }
+}
+
+/// `moche batch2d`: every window explained in parallel against one shared
+/// [`RankIndex2d`], mirroring [`run_batch`]'s report, health, and exit-code
+/// contract on 2-D (Fasano-Franceschini) tests.
+fn run_batch2d(
+    r: &[Point2],
+    windows: &[Vec<Point2>],
+    alpha: f64,
+    threads: usize,
+    format: OutputFormat,
+    out: &mut dyn Write,
+) -> Result<RunStatus, CliError> {
+    if windows.is_empty() {
+        return Err(CliError::Usage("windows file contains no windows".into()));
+    }
+    let index = RankIndex2d::new(r)?;
+    let explainer = Batch2dExplainer::new(alpha)?.threads(threads);
+    let effective = explainer.effective_threads(windows.len());
+    let started = Instant::now();
+    let results = explainer.explain_windows(&index, windows, None);
+    let elapsed = started.elapsed();
+
+    let mut explained = 0usize;
+    let mut passing = 0usize;
+    let worker_panics =
+        results.iter().filter(|r| matches!(r, Err(MocheError::WorkerPanicked { .. }))).count();
+    let health = HealthReport { worker_panics, ..HealthReport::default() };
+    if format == OutputFormat::Csv {
+        writeln!(out, "window,index")?;
+        writeln!(out, "# threads: {effective}")?;
+    }
+    for (w, result) in results.iter().enumerate() {
+        match result {
+            Ok(_) => explained += 1,
+            Err(MocheError::TestAlreadyPasses { .. }) => passing += 1,
+            Err(_) => {}
+        }
+        write_batch2d_result(out, format, w, result)?;
+    }
+    match format {
+        OutputFormat::Csv => writeln!(out, "# {}", health.summary())?,
+        OutputFormat::Text => {
+            let secs = elapsed.as_secs_f64();
+            writeln!(
+                out,
+                "\n{} window(s): {explained} explained, {passing} passing, {} error(s) \
+                 in {:.3}s ({:.0} explanations/s) on {effective} worker thread(s) \
+                 (requested {})",
+                windows.len(),
+                windows.len() - explained - passing,
+                secs,
+                if secs > 0.0 { explained as f64 / secs } else { 0.0 },
+                requested_threads(threads)
+            )?;
+            writeln!(out, "{}", health.summary())?;
+        }
+    }
+    Ok(RunStatus {
+        window_errors: windows.len() - explained - passing,
+        windows_explained: explained,
+        health,
+    })
+}
+
+/// `moche batch2d --stream`: point windows are read lazily into recycled
+/// buffers and fed through the bounded-memory [`Stream2dExplainer`]; each
+/// result is printed as it is delivered (in window order), so memory stays
+/// constant however long the stream is.
+fn run_batch2d_stream(
+    r: &[Point2],
+    windows: &std::path::Path,
+    alpha: f64,
+    threads: usize,
+    format: OutputFormat,
+    out: &mut dyn Write,
+) -> Result<RunStatus, CliError> {
+    let index = RankIndex2d::new(r)?;
+    let streamer = Stream2dExplainer::new(alpha)?.threads(threads);
+    let effective = streamer.effective_threads();
+    let (mut stream, error_slot) = PointWindowStream::open(windows)?;
+
+    if format == OutputFormat::Csv {
+        writeln!(out, "window,index")?;
+        writeln!(out, "# threads: {effective}")?;
+    }
+    let started = Instant::now();
+    // The callback cannot propagate `?`; park the first write error and go
+    // quiet for the rest of the stream.
+    let mut write_error: Option<std::io::Error> = None;
+    let summary = streamer.explain_source(
+        &index,
+        |buf: &mut Vec<Point2>| stream.fill(buf),
+        None,
+        |res: &Stream2dResult| {
+            if write_error.is_none() {
+                if let Err(e) = write_batch2d_result(out, format, res.window, &res.result) {
+                    write_error = Some(e);
+                }
+            }
+        },
+    );
+    let elapsed = started.elapsed();
+    if let Some(e) = write_error {
+        return Err(CliError::Write(e));
+    }
+    // A malformed line stops the stream; surfacing the parked error exits
+    // nonzero, so consumers never mistake a truncated run for a complete
+    // one (results already delivered have been printed — that is the point
+    // of streaming).
+    let parked = error_slot.lock().unwrap_or_else(std::sync::PoisonError::into_inner).take();
+    if let Some(e) = parked {
+        return Err(e);
+    }
+    if summary.windows == 0 {
+        return Err(CliError::Usage("windows file contains no windows".into()));
+    }
+    let health = HealthReport { worker_panics: summary.panics, ..HealthReport::default() };
+    if format == OutputFormat::Csv {
+        writeln!(out, "# {}", health.summary())?;
+    }
+    if format == OutputFormat::Text {
+        let secs = elapsed.as_secs_f64();
+        writeln!(
+            out,
+            "\n{} window(s) streamed: {} explained, {} passing, {} error(s) in {:.3}s \
+             ({:.0} windows/s) on {} worker thread(s) (requested {})",
+            summary.windows,
+            summary.explained,
+            summary.passing,
+            summary.errors,
+            secs,
+            if secs > 0.0 { summary.windows as f64 / secs } else { 0.0 },
+            summary.threads,
+            requested_threads(threads)
+        )?;
+        writeln!(out, "{}", health.summary())?;
+    }
+    Ok(RunStatus { window_errors: summary.errors, windows_explained: summary.explained, health })
+}
+
 /// The flags of `moche monitor` (see [`crate::args::Command::Monitor`]).
 struct MonitorOptions<'a> {
     window: Option<usize>,
@@ -989,6 +1182,122 @@ mod tests {
         let opts = batch_opts(0.05, 0, &PreferenceSource::Identity, OutputFormat::Text);
         match capture(|o| run_batch(&r, &[], &opts, o)) {
             Err(CliError::Usage(msg)) => assert!(msg.contains("no windows")),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    /// A 2-D reference and a window that fails the Fasano-Franceschini
+    /// test against it (a shifted cluster far off the reference lattice).
+    fn shifted_point_sets() -> (Vec<Point2>, Vec<Point2>) {
+        let r: Vec<Point2> =
+            (0..80).map(|i| Point2::new(f64::from(i % 9), f64::from(i % 7))).collect();
+        let mut t: Vec<Point2> = r.iter().take(40).copied().collect();
+        t.extend((0..25).map(|i| Point2::new(f64::from(i) + 60.0, 60.0)));
+        (r, t)
+    }
+
+    /// Flattens point windows to the `x1 y1 x2 y2 ...` on-disk line format.
+    fn flat(windows: &[Vec<Point2>]) -> Vec<Vec<f64>> {
+        windows.iter().map(|w| w.iter().flat_map(|p| [p.x, p.y]).collect()).collect()
+    }
+
+    #[test]
+    fn batch2d_reports_per_window_outcomes() {
+        let (r, t) = shifted_point_sets();
+        let windows = vec![t.clone(), r.clone(), t];
+        let (out, status) =
+            capture(|o| run_batch2d(&r, &windows, 0.05, 2, OutputFormat::Text, o)).unwrap();
+        assert!(out.contains("window 0: k = "), "{out}");
+        assert!(out.contains("window 1: passes"), "{out}");
+        assert!(out.contains("2 explained, 1 passing"), "{out}");
+        assert!(out.contains("health: 0 worker panic(s)"), "{out}");
+        assert_eq!(status.windows_explained, 2);
+        assert_eq!(status.window_errors, 0);
+        assert_eq!(status.exit_code(), 0);
+    }
+
+    #[test]
+    fn batch2d_csv_lists_point_offsets_per_window() {
+        let (r, t) = shifted_point_sets();
+        let windows = vec![t.clone(), t];
+        let (out, _) =
+            capture(|o| run_batch2d(&r, &windows, 0.05, 1, OutputFormat::Csv, o)).unwrap();
+        assert!(out.starts_with("window,index"), "{out}");
+        assert!(out.lines().any(|l| l.starts_with("0,")), "{out}");
+        assert!(out.lines().any(|l| l.starts_with("# health:")), "{out}");
+        // Identical windows select identical offsets.
+        let rows = |w: &str| {
+            out.lines()
+                .filter(|l| l.starts_with(w))
+                .map(|l| l.split_once(',').unwrap().1.to_string())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(rows("0,"), rows("1,"));
+    }
+
+    #[test]
+    fn batch2d_errors_are_isolated_and_all_error_runs_exit_nonzero() {
+        let (r, t) = shifted_point_sets();
+        let bad = vec![Point2::new(f64::NAN, 0.0); 5];
+        let mixed = vec![t, bad.clone()];
+        let (out, status) =
+            capture(|o| run_batch2d(&r, &mixed, 0.05, 1, OutputFormat::Text, o)).unwrap();
+        assert!(out.contains("window 0: k = "), "{out}");
+        assert!(out.contains("window 1: error:"), "{out}");
+        assert_eq!(status.window_errors, 1);
+        assert_eq!(status.exit_code(), 0, "one good window keeps the run successful");
+
+        let all_bad = vec![bad.clone(), bad];
+        let (_, status) =
+            capture(|o| run_batch2d(&r, &all_bad, 0.05, 1, OutputFormat::Text, o)).unwrap();
+        assert_eq!(status.window_errors, 2);
+        assert_eq!(status.windows_explained, 0);
+        assert_eq!(status.exit_code(), 1, "all-error 2-D batches must not exit 0");
+    }
+
+    #[test]
+    fn batch2d_rejects_empty_windows_file() {
+        let (r, _) = shifted_point_sets();
+        match capture(|o| run_batch2d(&r, &[], 0.05, 0, OutputFormat::Text, o)) {
+            Err(CliError::Usage(msg)) => assert!(msg.contains("no windows")),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn batch2d_stream_matches_eager_csv() {
+        let (r, t) = shifted_point_sets();
+        let windows = vec![t.clone(), r.clone(), t];
+        let file = TempWindows::new("match2d", &flat(&windows));
+        let (eager, _) =
+            capture(|o| run_batch2d(&r, &windows, 0.05, 2, OutputFormat::Csv, o)).unwrap();
+        let (streamed, status) =
+            capture(|o| run_batch2d_stream(&r, &file.0, 0.05, 2, OutputFormat::Csv, o)).unwrap();
+        let rows = |s: &str| {
+            s.lines().filter(|l| !l.starts_with('#')).map(String::from).collect::<Vec<_>>()
+        };
+        assert_eq!(rows(&eager), rows(&streamed));
+        assert!(streamed.lines().any(|l| l.starts_with("# threads: ")), "{streamed}");
+        assert_eq!(status.windows_explained, 2);
+        assert_eq!(status.exit_code(), 0);
+
+        let (text, _) =
+            capture(|o| run_batch2d_stream(&r, &file.0, 0.05, 1, OutputFormat::Text, o)).unwrap();
+        assert!(text.contains("window 0: k = "), "{text}");
+        assert!(text.contains("window 1: passes"), "{text}");
+        assert!(text.contains("2 explained, 1 passing"), "{text}");
+    }
+
+    #[test]
+    fn batch2d_stream_surfaces_odd_coordinate_counts() {
+        let (r, _) = shifted_point_sets();
+        let path = std::env::temp_dir()
+            .join(format!("moche-stream-test-odd2d-{}.csv", std::process::id()));
+        std::fs::write(&path, "1 2 3 4\n5 6 7\n").unwrap();
+        let result = capture(|o| run_batch2d_stream(&r, &path, 0.05, 1, OutputFormat::Text, o));
+        let _ = std::fs::remove_file(&path);
+        match result {
+            Err(CliError::Parse { line, .. }) => assert_eq!(line, 2),
             other => panic!("unexpected {other:?}"),
         }
     }

@@ -2,6 +2,7 @@
 //! blank lines ignored. Lines may optionally be `value,score` pairs for
 //! score-annotated inputs.
 
+use moche_multidim::Point2;
 use std::fmt;
 use std::path::Path;
 
@@ -23,6 +24,11 @@ pub enum CliError {
         line: usize,
         /// Offending content.
         content: String,
+        /// What the line was supposed to hold (e.g. "a number", "an even
+        /// coordinate list") — an odd 2-D coordinate count is made of
+        /// perfectly good numbers, so the message must name the real
+        /// expectation.
+        expected: &'static str,
     },
     /// Invalid command-line usage.
     Usage(String),
@@ -53,8 +59,8 @@ impl fmt::Display for CliError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CliError::Io { path, source } => write!(f, "cannot read {path}: {source}"),
-            CliError::Parse { path, line, content } => {
-                write!(f, "{path}:{line}: cannot parse '{content}' as a number")
+            CliError::Parse { path, line, content, expected } => {
+                write!(f, "{path}:{line}: cannot parse '{content}' as {expected}")
             }
             CliError::Usage(msg) => write!(f, "{msg}"),
             CliError::Moche(e) => write!(f, "{e}"),
@@ -120,11 +126,13 @@ fn parse_columns(path: &str, content: &str) -> Result<(Vec<f64>, Vec<f64>), CliE
             path: path.to_string(),
             line: i + 1,
             content: raw.to_string(),
+            expected: "a number",
         })?;
         let value: f64 = first.parse().map_err(|_| CliError::Parse {
             path: path.to_string(),
             line: i + 1,
             content: raw.to_string(),
+            expected: "a number",
         })?;
         values.push(value);
         if let Some(second) = parts.next() {
@@ -132,6 +140,7 @@ fn parse_columns(path: &str, content: &str) -> Result<(Vec<f64>, Vec<f64>), CliE
                 path: path.to_string(),
                 line: i + 1,
                 content: raw.to_string(),
+                expected: "a number",
             })?;
             scores.push(score);
         }
@@ -163,6 +172,7 @@ fn parse_window_line_into(
         path: path.to_string(),
         line: line_no,
         content: raw.trim_end_matches(['\n', '\r']).to_string(),
+        expected: "a number",
     };
     window.clear();
     for tok in line.split(|c: char| c == ',' || c.is_whitespace()).filter(|s| !s.is_empty()) {
@@ -278,6 +288,169 @@ impl Iterator for WindowStream {
     }
 }
 
+/// Parses a 2-D point file: one point per non-comment line, its `x` and
+/// `y` coordinates separated by a comma and/or whitespace. A line with any
+/// other number of columns is a located parse error.
+pub fn parse_points(path: &str, content: &str) -> Result<Vec<Point2>, CliError> {
+    let mut points = Vec::new();
+    for (i, raw) in content.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let located_error = || CliError::Parse {
+            path: path.to_string(),
+            line: i + 1,
+            content: raw.to_string(),
+            expected: "a point (exactly two numbers: x y)",
+        };
+        let mut parts =
+            line.split(|c: char| c == ',' || c.is_whitespace()).filter(|s| !s.is_empty());
+        let x: f64 =
+            parts.next().ok_or_else(located_error)?.parse().map_err(|_| located_error())?;
+        let y: f64 =
+            parts.next().ok_or_else(located_error)?.parse().map_err(|_| located_error())?;
+        if parts.next().is_some() {
+            return Err(located_error());
+        }
+        points.push(Point2::new(x, y));
+    }
+    Ok(points)
+}
+
+/// Parses one point-windows line into a caller-recycled buffer (cleared
+/// first): `None` for comments and blanks, otherwise the window read as a
+/// flat coordinate list `x1 y1 x2 y2 ...` paired up in order. An odd
+/// coordinate count (a dangling `x`) and a separator-only line are located
+/// parse errors. This is the zero-allocation producer path of
+/// `moche batch2d --stream`.
+fn parse_point_window_line_into(
+    path: &str,
+    line_no: usize,
+    raw: &str,
+    window: &mut Vec<Point2>,
+) -> Option<Result<(), CliError>> {
+    let line = raw.split('#').next().unwrap_or("").trim();
+    if line.is_empty() {
+        return None;
+    }
+    let located_error = || CliError::Parse {
+        path: path.to_string(),
+        line: line_no,
+        content: raw.trim_end_matches(['\n', '\r']).to_string(),
+        expected: "an even coordinate list (x1 y1 x2 y2 ...)",
+    };
+    window.clear();
+    let mut pending_x: Option<f64> = None;
+    for tok in line.split(|c: char| c == ',' || c.is_whitespace()).filter(|s| !s.is_empty()) {
+        let v: f64 = match tok.parse() {
+            Ok(v) => v,
+            Err(_) => return Some(Err(located_error())),
+        };
+        match pending_x.take() {
+            None => pending_x = Some(v),
+            Some(x) => window.push(Point2::new(x, v)),
+        }
+    }
+    if pending_x.is_some() || window.is_empty() {
+        return Some(Err(located_error()));
+    }
+    Some(Ok(()))
+}
+
+/// Parses a 2-D windows file: each non-comment line is one test window of
+/// points, read as a flat coordinate list — an odd coordinate count (a
+/// dangling `x` with no `y`) is a located parse error.
+pub fn parse_point_windows(path: &str, content: &str) -> Result<Vec<Vec<Point2>>, CliError> {
+    let mut windows = Vec::new();
+    for (i, raw) in content.lines().enumerate() {
+        let mut window = Vec::new();
+        if let Some(parsed) = parse_point_window_line_into(path, i + 1, raw, &mut window) {
+            parsed?;
+            windows.push(window);
+        }
+    }
+    Ok(windows)
+}
+
+/// A lazily-read 2-D windows file — [`WindowStream`]'s point-valued twin,
+/// with the same recycled-buffer fill contract and the same parked-error
+/// slot (the shape [`moche_multidim::Window2dSource`] expects).
+pub struct PointWindowStream {
+    reader: std::io::BufReader<std::fs::File>,
+    /// Recycled line buffer.
+    line: String,
+    path: String,
+    line_no: usize,
+    error: std::sync::Arc<std::sync::Mutex<Option<CliError>>>,
+}
+
+impl PointWindowStream {
+    /// Opens a 2-D windows file for lazy streaming. Returns the source and
+    /// the shared slot where a mid-stream error is parked.
+    #[allow(clippy::type_complexity)]
+    pub fn open(
+        path: &Path,
+    ) -> Result<(Self, std::sync::Arc<std::sync::Mutex<Option<CliError>>>), CliError> {
+        let file = std::fs::File::open(path)
+            .map_err(|source| CliError::Io { path: path.display().to_string(), source })?;
+        let error = std::sync::Arc::new(std::sync::Mutex::new(None));
+        let stream = Self {
+            reader: std::io::BufReader::new(file),
+            line: String::new(),
+            path: path.display().to_string(),
+            line_no: 0,
+            error: std::sync::Arc::clone(&error),
+        };
+        Ok((stream, error))
+    }
+
+    fn park(&self, e: CliError) {
+        *self.error.lock().unwrap_or_else(std::sync::PoisonError::into_inner) = Some(e);
+    }
+
+    /// Overwrites `window` with the next window's points and returns
+    /// `true`, or `false` at end of stream (or on a parked error).
+    pub fn fill(&mut self, window: &mut Vec<Point2>) -> bool {
+        use std::io::BufRead as _;
+        loop {
+            self.line.clear();
+            match self.reader.read_line(&mut self.line) {
+                Ok(0) => return false, // end of file
+                Ok(_) => {}
+                Err(source) => {
+                    self.park(CliError::Io { path: self.path.clone(), source });
+                    return false;
+                }
+            }
+            self.line_no += 1;
+            match parse_point_window_line_into(&self.path, self.line_no, &self.line, window) {
+                None => continue, // comment or blank line
+                Some(Ok(())) => return true,
+                Some(Err(e)) => {
+                    self.park(e);
+                    return false;
+                }
+            }
+        }
+    }
+}
+
+/// Reads and parses a 2-D point file from disk (see [`parse_points`]).
+pub fn read_points(path: &Path) -> Result<Vec<Point2>, CliError> {
+    let content = std::fs::read_to_string(path)
+        .map_err(|source| CliError::Io { path: path.display().to_string(), source })?;
+    parse_points(&path.display().to_string(), &content)
+}
+
+/// Reads and parses a 2-D windows file from disk (see
+/// [`parse_point_windows`]).
+pub fn read_point_windows(path: &Path) -> Result<Vec<Vec<Point2>>, CliError> {
+    let content = std::fs::read_to_string(path)
+        .map_err(|source| CliError::Io { path: path.display().to_string(), source })?;
+    parse_point_windows(&path.display().to_string(), &content)
+}
+
 /// Reads and parses a windows file from disk (see [`parse_windows`]).
 pub fn read_windows(path: &Path) -> Result<Vec<Vec<f64>>, CliError> {
     let content = std::fs::read_to_string(path)
@@ -382,10 +555,58 @@ mod tests {
     }
 
     #[test]
+    fn parses_points_one_per_line() {
+        let content = "# header\n1.0, 2.0\n-3 4.5 # trailing\n";
+        let p = parse_points("f", content).unwrap();
+        assert_eq!(p, vec![Point2::new(1.0, 2.0), Point2::new(-3.0, 4.5)]);
+    }
+
+    #[test]
+    fn point_arity_errors_carry_location() {
+        for bad in ["1.0\n", "1 2 3\n", "1,oops\n"] {
+            match parse_points("p.txt", bad) {
+                Err(CliError::Parse { path, line, .. }) => {
+                    assert_eq!(path, "p.txt");
+                    assert_eq!(line, 1, "input {bad:?}");
+                }
+                other => panic!("input {bad:?}: unexpected {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn parses_point_windows_as_flat_coordinate_lists() {
+        let content = "# two windows\n1 2, 3 4\n5,6\n";
+        let w = parse_point_windows("f", content).unwrap();
+        assert_eq!(
+            w,
+            vec![vec![Point2::new(1.0, 2.0), Point2::new(3.0, 4.0)], vec![Point2::new(5.0, 6.0)],]
+        );
+    }
+
+    #[test]
+    fn odd_coordinate_count_is_a_located_error() {
+        match parse_point_windows("w.csv", "1 2\n3 4 5\n") {
+            Err(CliError::Parse { line: 2, .. }) => {}
+            other => panic!("unexpected {other:?}"),
+        }
+        match parse_point_windows("w.csv", "1 2\n, ,\n") {
+            Err(CliError::Parse { line: 2, .. }) => {}
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
     fn error_display_is_informative() {
         let e = CliError::Usage("bad flag".into());
         assert_eq!(e.to_string(), "bad flag");
-        let e = CliError::Parse { path: "p".into(), line: 3, content: "x".into() };
+        let e = CliError::Parse {
+            path: "p".into(),
+            line: 3,
+            content: "x".into(),
+            expected: "a number",
+        };
         assert!(e.to_string().contains("p:3"));
+        assert!(e.to_string().contains("as a number"));
     }
 }

@@ -409,3 +409,86 @@ fn batch_reports_health_line() {
     let csv_stdout = String::from_utf8(csv.stdout).unwrap();
     assert!(csv_stdout.lines().any(|l| l.starts_with("# health:")), "{csv_stdout}");
 }
+
+/// A 2-D reference file plus a windows file of two failing windows (a
+/// shifted cluster) and one passing window (the reference's own points).
+fn point_files(dir: &TempDir) -> (PathBuf, PathBuf) {
+    let point_lines: String = (0..80).map(|i| format!("{} {}\n", i % 9, i % 7)).collect();
+    let r = dir.write("ref2d.txt", &point_lines);
+    let failing: String = (0..80)
+        .map(|i| {
+            if i < 40 {
+                format!("{} {}", i % 9, i % 7)
+            } else if i < 65 {
+                format!("{} 60", i - 40 + 60)
+            } else {
+                String::new()
+            }
+        })
+        .filter(|s| !s.is_empty())
+        .collect::<Vec<_>>()
+        .join(" ");
+    let passing: String =
+        (0..80).map(|i| format!("{} {}", i % 9, i % 7)).collect::<Vec<_>>().join(" ");
+    let w = dir.write("windows2d.txt", &format!("{failing}\n{passing}\n{failing}\n"));
+    (r, w)
+}
+
+#[test]
+fn batch2d_stream_matches_eager_batch2d() {
+    let dir = TempDir::new("batch2d");
+    let (r, w) = point_files(&dir);
+    let mut outputs = Vec::new();
+    for extra in [&[][..], &["--stream"][..]] {
+        let mut args = vec!["batch2d", r.to_str().unwrap(), w.to_str().unwrap(), "--format", "csv"];
+        args.extend_from_slice(extra);
+        let out = bin().args(&args).output().unwrap();
+        assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+        let stdout = String::from_utf8(out.stdout).unwrap();
+        assert!(stdout.starts_with("window,index"), "{stdout}");
+        assert!(stdout.lines().any(|l| l.starts_with("# health:")), "{stdout}");
+        outputs.push(
+            stdout.lines().filter(|l| !l.starts_with('#')).map(String::from).collect::<Vec<_>>(),
+        );
+    }
+    assert_eq!(outputs[0], outputs[1], "streamed rows must match the eager run");
+    // Windows 0 and 2 are identical; both must select the same offsets,
+    // and the passing window 1 contributes no rows.
+    assert!(outputs[0].iter().skip(1).all(|l| !l.starts_with("1,")));
+    let rows = |w: &str| {
+        outputs[0].iter().filter(|l| l.starts_with(w)).map(|l| &l[2..]).collect::<Vec<_>>()
+    };
+    assert_eq!(rows("0,"), rows("2,"));
+    assert!(!rows("0,").is_empty());
+}
+
+#[test]
+fn batch2d_text_reports_summary_and_health() {
+    let dir = TempDir::new("batch2d-text");
+    let (r, w) = point_files(&dir);
+    let out = bin().args(["batch2d", r.to_str().unwrap(), w.to_str().unwrap()]).output().unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("window 0: k = "), "{stdout}");
+    assert!(stdout.contains("window 1: passes"), "{stdout}");
+    assert!(stdout.contains("2 explained, 1 passing"), "{stdout}");
+    assert!(stdout.contains("health: 0 worker panic(s)"), "{stdout}");
+}
+
+#[test]
+fn batch2d_usage_and_parse_errors_have_distinct_exit_codes() {
+    let dir = TempDir::new("batch2d-errors");
+    let (r, w) = point_files(&dir);
+    // A non-identity preference is rejected at parse time (exit 2).
+    let out = bin()
+        .args(["batch2d", r.to_str().unwrap(), w.to_str().unwrap(), "--preference", "sr"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("identity"));
+    // An odd coordinate count is a located parse error (exit 1).
+    let odd = dir.write("odd.txt", "1 2 3\n");
+    let out = bin().args(["batch2d", r.to_str().unwrap(), odd.to_str().unwrap()]).output().unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains(":1"), "location in stderr");
+}

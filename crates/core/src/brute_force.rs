@@ -113,12 +113,7 @@ pub fn brute_force_explain(
     limits: BruteForceLimits,
 ) -> Result<BruteForceResult, MocheError> {
     let base = BaseVector::build(reference, test)?;
-    if preference.len() != base.m() {
-        return Err(MocheError::PreferenceLengthMismatch {
-            expected: base.m(),
-            actual: preference.len(),
-        });
-    }
+    preference.check_length(base.m())?;
     let before = base.outcome(cfg);
     if before.passes() {
         return Err(MocheError::TestAlreadyPasses {

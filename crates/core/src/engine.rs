@@ -306,12 +306,7 @@ impl ExplainEngine {
         preference: &PreferenceList,
         arena: &mut ExplanationArena,
     ) -> Result<Explanation, MocheError> {
-        if preference.len() != base.m() {
-            return Err(MocheError::PreferenceLengthMismatch {
-                expected: base.m(),
-                actual: preference.len(),
-            });
-        }
+        preference.check_length(base.m())?;
         let outcome_before = base.outcome(&self.cfg);
         let phase1 = self.size_checked(base, &outcome_before)?;
 

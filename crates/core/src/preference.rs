@@ -179,11 +179,36 @@ impl PreferenceList {
 
     /// The rank of each original index: `ranks()[index] = rank`.
     pub fn ranks(&self) -> Vec<usize> {
-        let mut ranks = vec![0usize; self.order.len()];
-        for (rank, &idx) in self.order.iter().enumerate() {
-            ranks[idx] = rank;
-        }
+        let mut ranks = Vec::new();
+        self.ranks_into(&mut ranks);
         ranks
+    }
+
+    /// Fills `out` with the rank of each original index (`out[index] =
+    /// rank`), reusing its buffer — the recycled counterpart of
+    /// [`ranks`](Self::ranks). A warm buffer of the working size is
+    /// rewritten with zero heap allocations.
+    pub fn ranks_into(&self, out: &mut Vec<usize>) {
+        out.clear();
+        out.resize(self.order.len(), 0);
+        for (rank, &idx) in self.order.iter().enumerate() {
+            out[idx] = rank;
+        }
+    }
+
+    /// Checks that this list orders exactly `expected` points — the shared
+    /// boundary validation of every explain path (the 1-D engine, the
+    /// brute-force oracle, and the 2-D explainers in `moche-multidim`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MocheError::PreferenceLengthMismatch`] when the lengths
+    /// differ.
+    pub fn check_length(&self, expected: usize) -> Result<(), MocheError> {
+        if self.len() != expected {
+            return Err(MocheError::PreferenceLengthMismatch { expected, actual: self.len() });
+        }
+        Ok(())
     }
 
     /// Compares two explanations (as sets of original indices) in the
@@ -301,6 +326,26 @@ mod tests {
     fn ranks_invert_order() {
         let l = PreferenceList::new(vec![2, 0, 1]).unwrap();
         assert_eq!(l.ranks(), vec![1, 2, 0]);
+    }
+
+    #[test]
+    fn ranks_into_matches_ranks_and_reuses_the_buffer() {
+        let l = PreferenceList::new(vec![2, 0, 1]).unwrap();
+        let mut out = vec![9usize; 64];
+        let cap = out.capacity();
+        l.ranks_into(&mut out);
+        assert_eq!(out, l.ranks());
+        assert_eq!(out.capacity(), cap, "warm fills must not reallocate");
+    }
+
+    #[test]
+    fn check_length_reports_both_lengths() {
+        let l = PreferenceList::identity(3);
+        assert!(l.check_length(3).is_ok());
+        match l.check_length(5) {
+            Err(MocheError::PreferenceLengthMismatch { expected: 5, actual: 3 }) => {}
+            other => panic!("unexpected {other:?}"),
+        }
     }
 
     #[test]

@@ -20,6 +20,7 @@
 
 use crate::ks2d::{
     ks2d_p_value, ks2d_test, pearson_r, statistic_after_removal, Ks2dConfig, Ks2dOutcome,
+    RemovalScratch,
 };
 use crate::point2::Point2;
 use moche_core::{MocheError, PreferenceList};
@@ -42,15 +43,21 @@ impl Explanation2d {
     }
 }
 
+/// One removal evaluation of the naive path: statistic plus significance
+/// over the kept subset. `ref_r` is `pearson_r(reference)` hoisted by the
+/// caller (it never changes across a descent), and `scratch` recycles the
+/// keep mask and kept buffer across the `O(m²)` candidate scans.
 fn outcome_of_removal(
     reference: &[Point2],
     test: &[Point2],
     removed: &[usize],
     cfg: &Ks2dConfig,
+    ref_r: f64,
+    scratch: &mut RemovalScratch,
 ) -> Ks2dOutcome {
-    let (d, kept) = statistic_after_removal(reference, test, removed);
-    let p_value =
-        ks2d_p_value(d, reference.len(), kept.len(), pearson_r(reference), pearson_r(&kept));
+    let d = statistic_after_removal(reference, test, removed, scratch);
+    let kept = scratch.kept();
+    let p_value = ks2d_p_value(d, reference.len(), kept.len(), ref_r, pearson_r(kept));
     Ks2dOutcome {
         statistic: d,
         p_value,
@@ -67,12 +74,7 @@ fn prepare(
     preference: Option<&PreferenceList>,
 ) -> Result<(Ks2dOutcome, PreferenceList), MocheError> {
     if let Some(p) = preference {
-        if p.len() != test.len() {
-            return Err(MocheError::PreferenceLengthMismatch {
-                expected: test.len(),
-                actual: p.len(),
-            });
-        }
+        p.check_length(test.len())?;
     }
     let before = ks2d_test(reference, test, cfg)?;
     if before.passes() {
@@ -107,13 +109,15 @@ impl GreedyPrefix2d {
         preference: Option<&PreferenceList>,
     ) -> Result<Explanation2d, MocheError> {
         let (before, pref) = prepare(reference, test, cfg, preference)?;
+        let ref_r = pearson_r(reference);
+        let mut scratch = RemovalScratch::default();
         let mut removed: Vec<usize> = Vec::new();
         for &idx in pref.as_order() {
             if removed.len() + 1 >= test.len() {
                 break;
             }
             removed.push(idx);
-            let outcome = outcome_of_removal(reference, test, &removed, cfg);
+            let outcome = outcome_of_removal(reference, test, &removed, cfg, ref_r, &mut scratch);
             if outcome.passes() {
                 return Ok(Explanation2d {
                     indices: removed,
@@ -145,6 +149,8 @@ impl GreedyImpact2d {
         preference: Option<&PreferenceList>,
     ) -> Result<Explanation2d, MocheError> {
         let (before, pref) = prepare(reference, test, cfg, preference)?;
+        let ref_r = pearson_r(reference);
+        let mut scratch = RemovalScratch::default();
         let ranks = pref.ranks();
         let m = test.len();
         let mut removed: Vec<usize> = Vec::new();
@@ -152,7 +158,7 @@ impl GreedyImpact2d {
 
         // Greedy descent on the statistic.
         while removed.len() + 1 < m {
-            let outcome = outcome_of_removal(reference, test, &removed, cfg);
+            let outcome = outcome_of_removal(reference, test, &removed, cfg, ref_r, &mut scratch);
             if outcome.passes() {
                 break;
             }
@@ -161,7 +167,7 @@ impl GreedyImpact2d {
             let mut best: Option<(f64, usize, usize)> = None; // (stat, rank, idx)
             for (pos, &idx) in live.iter().enumerate() {
                 removed.push(idx);
-                let (d, _) = statistic_after_removal(reference, test, &removed);
+                let d = statistic_after_removal(reference, test, &removed, &mut scratch);
                 removed.pop();
                 let candidate = (d, ranks[idx], pos);
                 if best.is_none_or(|b| candidate < b) {
@@ -172,7 +178,7 @@ impl GreedyImpact2d {
             removed.push(live.swap_remove(pos));
         }
 
-        let outcome = outcome_of_removal(reference, test, &removed, cfg);
+        let outcome = outcome_of_removal(reference, test, &removed, cfg, ref_r, &mut scratch);
         if !outcome.passes() {
             return Err(MocheError::NoExplanation { alpha: cfg.alpha });
         }
@@ -186,14 +192,14 @@ impl GreedyImpact2d {
             if trimmed.is_empty() {
                 continue;
             }
-            if outcome_of_removal(reference, test, &trimmed, cfg).passes() {
+            if outcome_of_removal(reference, test, &trimmed, cfg, ref_r, &mut scratch).passes() {
                 removed = trimmed;
             }
         }
 
         let mut indices = removed;
         indices.sort_by_key(|&i| ranks[i]);
-        let outcome_after = outcome_of_removal(reference, test, &indices, cfg);
+        let outcome_after = outcome_of_removal(reference, test, &indices, cfg, ref_r, &mut scratch);
         debug_assert!(outcome_after.passes());
         Ok(Explanation2d { indices, outcome_before: before, outcome_after })
     }
@@ -257,7 +263,14 @@ mod tests {
                 .enumerate()
                 .filter_map(|(j, &i)| (j != drop).then_some(i))
                 .collect();
-            let o = outcome_of_removal(&r, &t, &trimmed, &cfg);
+            let o = outcome_of_removal(
+                &r,
+                &t,
+                &trimmed,
+                &cfg,
+                pearson_r(&r),
+                &mut RemovalScratch::default(),
+            );
             assert!(o.rejected, "dropping {drop} still passes -> not irreducible");
         }
     }

@@ -22,8 +22,10 @@
 //! p-value ≈ Q_KS( D √N / (1 + √(1 - r²) (0.25 - 0.75/√N)) )
 //! ```
 //!
-//! accurate for `N ≳ 20`. Computation is the direct `O((n+m)·(n+m))`
-//! quadrant count; adequate for the window sizes this workspace targets.
+//! accurate for `N ≳ 20`. This module keeps the direct `O((n+m)·(n+m))`
+//! quadrant count as the reference implementation; the production path is
+//! the rank-space index of [`crate::rank_index`], pinned bit-identical to
+//! it by the property suite.
 
 use crate::point2::{validate_points, Point2};
 use moche_core::ks::kolmogorov_q;
@@ -201,21 +203,40 @@ pub fn ks2d_test(
     })
 }
 
+/// Reusable buffers for the naive explainers' removal evaluations: the
+/// keep mask and the materialized kept subset are recycled across the
+/// `O(m²)` candidate scans instead of being reallocated per candidate.
+#[derive(Debug, Default, Clone)]
+pub(crate) struct RemovalScratch {
+    keep: Vec<bool>,
+    kept: Vec<Point2>,
+}
+
+impl RemovalScratch {
+    /// The kept subset materialized by the last
+    /// [`statistic_after_removal`] call.
+    pub(crate) fn kept(&self) -> &[Point2] {
+        &self.kept
+    }
+}
+
 /// The statistic after removing the test points at `removed` (sorted or
-/// not; indices into `test`). Used by the explainers; `O((n+m)²)` like the
-/// full statistic.
+/// not; indices into `test`). Used by the naive explainers; `O((n+m)²)`
+/// like the full statistic, but allocation-free once the scratch is warm.
 pub(crate) fn statistic_after_removal(
     reference: &[Point2],
     test: &[Point2],
     removed: &[usize],
-) -> (f64, Vec<Point2>) {
-    let mut keep = vec![true; test.len()];
+    scratch: &mut RemovalScratch,
+) -> f64 {
+    scratch.keep.clear();
+    scratch.keep.resize(test.len(), true);
     for &i in removed {
-        keep[i] = false;
+        scratch.keep[i] = false;
     }
-    let kept: Vec<Point2> = test.iter().zip(&keep).filter_map(|(&p, &k)| k.then_some(p)).collect();
-    let d = ks2d_statistic(reference, &kept).unwrap_or(0.0);
-    (d, kept)
+    scratch.kept.clear();
+    scratch.kept.extend(test.iter().zip(&scratch.keep).filter_map(|(&p, &k)| k.then_some(p)));
+    ks2d_statistic(reference, &scratch.kept).unwrap_or(0.0)
 }
 
 #[cfg(test)]
@@ -324,8 +345,13 @@ mod tests {
     fn statistic_after_removal_removes_exactly() {
         let r = grid(20, 0.0);
         let t = grid(20, 5.0);
-        let (_, kept) = statistic_after_removal(&r, &t, &[0, 5, 19]);
-        assert_eq!(kept.len(), 17);
+        let mut scratch = RemovalScratch::default();
+        let d = statistic_after_removal(&r, &t, &[0, 5, 19], &mut scratch);
+        assert_eq!(scratch.kept().len(), 17);
+        let kept = scratch.kept();
         assert!(!kept.contains(&t[0]) || t.iter().filter(|&&p| p == t[0]).count() > 1);
+        // A second call with the same scratch reuses the buffers and agrees.
+        let again = statistic_after_removal(&r, &t, &[0, 5, 19], &mut scratch);
+        assert_eq!(d.to_bits(), again.to_bits());
     }
 }

@@ -13,14 +13,34 @@
 //!   guarantee *soundness* (the returned set always reverses the test) and
 //!   *irreducibility* (for [`GreedyImpact2d`]) but not minimality — the
 //!   open problem the paper leaves behind.
+//! * [`rank_index`] — the production statistic path: [`RankIndex2d`] caches
+//!   per-origin quadrant counts of the reference, and [`Scratch2d`]
+//!   maintains the test-side counts incrementally under removals, making
+//!   each greedy candidate evaluation `O(n + m)` instead of `O((n + m)²)`
+//!   while staying bit-identical to the naive statistic.
+//! * [`engine2d`] — [`Explain2dEngine`] + [`Explanation2dArena`], the 2-D
+//!   analogue of `moche_core::MocheEngine` + `ExplanationArena`: a warm
+//!   engine/arena pair explains a window with zero marginal heap
+//!   allocations and byte-identical output to [`GreedyImpact2d`].
+//! * [`batch2d`] / [`stream2d`] — worker-pool batch and bounded-memory
+//!   streaming drivers over shared indexes, with the same per-window error
+//!   isolation and in-order delivery contracts as the 1-D pipeline.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch2d;
+pub mod engine2d;
 pub mod explain2d;
 pub mod ks2d;
 pub mod point2;
+pub mod rank_index;
+pub mod stream2d;
 
+pub use batch2d::Batch2dExplainer;
+pub use engine2d::{Explain2dEngine, Explanation2dArena};
 pub use explain2d::{Explanation2d, GreedyImpact2d, GreedyPrefix2d};
-pub use ks2d::{ks2d_statistic, ks2d_test, Ks2dConfig, Ks2dOutcome};
+pub use ks2d::{ks2d_statistic, ks2d_test, pearson_r, Ks2dConfig, Ks2dOutcome};
 pub use point2::{points_from_xy, Point2};
+pub use rank_index::{ks2d_statistic_indexed, RankIndex2d, Scratch2d};
+pub use stream2d::{Score2dFn, Stream2dExplainer, Stream2dResult, Stream2dSummary, Window2dSource};

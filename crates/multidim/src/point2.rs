@@ -36,6 +36,29 @@ pub fn points_from_xy(pairs: &[(f64, f64)]) -> Vec<Point2> {
     pairs.iter().map(|&(x, y)| Point2::new(x, y)).collect()
 }
 
+/// Validates one sample for the 2-D KS test: non-empty, finite. The shared
+/// boundary check of every 2-D entry point — the naive test, the rank
+/// index (reference side, at construction) and the engine (test side, per
+/// window).
+pub(crate) fn validate_sample(sample: &[Point2], which: SetKind) -> Result<(), MocheError> {
+    if sample.is_empty() {
+        return Err(match which {
+            SetKind::Reference => MocheError::EmptyReference,
+            SetKind::Test => MocheError::EmptyTest,
+        });
+    }
+    for (index, p) in sample.iter().enumerate() {
+        if !p.is_finite() {
+            return Err(MocheError::NonFiniteValue {
+                which,
+                index,
+                value: if p.x.is_finite() { p.y } else { p.x },
+            });
+        }
+    }
+    Ok(())
+}
+
 /// Validates two samples for the 2-D KS test: non-empty, finite.
 pub fn validate_points(reference: &[Point2], test: &[Point2]) -> Result<(), MocheError> {
     if reference.is_empty() {
@@ -44,18 +67,8 @@ pub fn validate_points(reference: &[Point2], test: &[Point2]) -> Result<(), Moch
     if test.is_empty() {
         return Err(MocheError::EmptyTest);
     }
-    for (which, sample) in [(SetKind::Reference, reference), (SetKind::Test, test)] {
-        for (index, p) in sample.iter().enumerate() {
-            if !p.is_finite() {
-                return Err(MocheError::NonFiniteValue {
-                    which,
-                    index,
-                    value: if p.x.is_finite() { p.y } else { p.x },
-                });
-            }
-        }
-    }
-    Ok(())
+    validate_sample(reference, SetKind::Reference)?;
+    validate_sample(test, SetKind::Test)
 }
 
 #[cfg(test)]

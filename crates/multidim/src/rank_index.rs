@@ -1,0 +1,530 @@
+//! Rank-space acceleration of the Fasano-Franceschini statistic.
+//!
+//! The naive [`ks2d_statistic`](crate::ks2d::ks2d_statistic) rescans every
+//! point of both samples for every origin — `O((n+m)²)` per evaluation —
+//! and the greedy explainer calls it once per *candidate*, `O(m)` times per
+//! descent round. This module replaces the rescans with cached per-origin
+//! quadrant **counts**:
+//!
+//! * [`RankIndex2d`] is built once per reference sample `R`. It caches the
+//!   quadrant counts of `R` around each of its own points (invariant under
+//!   any test-set removal) and the hoisted Pearson correlation of `R`.
+//! * [`Scratch2d`] binds the index to one test window `T`: three rank-space
+//!   sweeps (`O((n+m) log (n+m))` total) produce the reference counts
+//!   around the test origins and the live-test counts around *every*
+//!   origin. Removing or restoring one test point patches those counts in
+//!   `O(n + m)`; evaluating "the statistic if point `j` were also removed"
+//!   is a read-only `O(n + m)` pass ([`Scratch2d::statistic_excluding`]).
+//!
+//! All counts are integers, so every statistic produced here divides the
+//! **same integers by the same sample sizes** as the naive path and is
+//! bit-identical to it — pinned by `tests/proptest_multidim.rs`.
+
+use crate::ks2d::pearson_r;
+use crate::point2::{validate_sample, Point2};
+use moche_core::error::SetKind;
+use moche_core::MocheError;
+
+/// Quadrant of `p` around `origin` under the FF convention (`None` when the
+/// point shares a coordinate with the origin and is excluded). The indices
+/// match [`crate::ks2d`]: 0 = NE, 1 = NW, 2 = SW, 3 = SE.
+#[inline]
+pub(crate) fn quadrant_of(origin: Point2, p: Point2) -> Option<usize> {
+    let dx = p.x - origin.x;
+    let dy = p.y - origin.y;
+    if dx == 0.0 || dy == 0.0 {
+        return None;
+    }
+    Some(match (dx > 0.0, dy > 0.0) {
+        (true, true) => 0,
+        (false, true) => 1,
+        (false, false) => 2,
+        (true, false) => 3,
+    })
+}
+
+/// Reusable buffers for the batched quadrant-count sweeps.
+#[derive(Debug, Default, Clone)]
+pub(crate) struct QuadrantSweep {
+    sample_order: Vec<usize>,
+    origin_order: Vec<usize>,
+    ys: Vec<f64>,
+    bit: Vec<u32>,
+}
+
+impl QuadrantSweep {
+    fn sort_by_x(order: &mut Vec<usize>, pts: &[Point2]) {
+        order.clear();
+        order.extend(0..pts.len());
+        order.sort_unstable_by(|&a, &b| pts[a].x.total_cmp(&pts[b].x).then_with(|| a.cmp(&b)));
+    }
+
+    fn bit_add(bit: &mut [u32], idx: usize) {
+        let mut i = idx + 1;
+        while i < bit.len() {
+            bit[i] += 1;
+            i += i & i.wrapping_neg();
+        }
+    }
+
+    fn bit_prefix(bit: &[u32], idx: usize) -> u32 {
+        let mut i = idx;
+        let mut sum = 0u32;
+        while i > 0 {
+            sum += bit[i];
+            i -= i & i.wrapping_neg();
+        }
+        sum
+    }
+
+    /// Counts, for every origin, how many sample points fall strictly
+    /// inside each of its four quadrants (the FF convention: points sharing
+    /// an x or y coordinate with the origin are excluded).
+    ///
+    /// Two x-sweeps with a Fenwick tree over the sample's y-ranks: the
+    /// ascending sweep has inserted exactly the points with `x < origin.x`
+    /// when an origin is answered, so rank prefix sums yield its SW and NW
+    /// counts; the descending sweep mirrors this for SE and NE. Total cost
+    /// `O((s + o) log s)` against the naive rescan's `O(s · o)`. Duplicates
+    /// and signed zeros are handled by the strict numeric comparisons,
+    /// which agree with the total order used for sorting everywhere except
+    /// `-0.0`/`0.0` — adjacent in the total order and numerically equal, so
+    /// both partition points remain valid.
+    pub(crate) fn count_into(
+        &mut self,
+        sample: &[Point2],
+        origins: &[Point2],
+        out: &mut Vec<[u32; 4]>,
+    ) {
+        Self::sort_by_x(&mut self.sample_order, sample);
+        Self::sort_by_x(&mut self.origin_order, origins);
+        self.ys.clear();
+        self.ys.extend(sample.iter().map(|p| p.y));
+        self.ys.sort_unstable_by(f64::total_cmp);
+        out.clear();
+        out.resize(origins.len(), [0u32; 4]);
+
+        self.bit.clear();
+        self.bit.resize(sample.len() + 1, 0);
+        let mut si = 0usize;
+        let mut inserted = 0u32;
+        for &oi in &self.origin_order {
+            let o = origins[oi];
+            while si < self.sample_order.len() && sample[self.sample_order[si]].x < o.x {
+                let rank = self.ys.partition_point(|&y| y < sample[self.sample_order[si]].y);
+                Self::bit_add(&mut self.bit, rank);
+                inserted += 1;
+                si += 1;
+            }
+            let below = Self::bit_prefix(&self.bit, self.ys.partition_point(|&y| y < o.y));
+            let at_or_below = Self::bit_prefix(&self.bit, self.ys.partition_point(|&y| y <= o.y));
+            out[oi][2] = below; // SW: x < o.x, y < o.y
+            out[oi][1] = inserted - at_or_below; // NW: x < o.x, y > o.y
+        }
+
+        self.bit.clear();
+        self.bit.resize(sample.len() + 1, 0);
+        let mut si = self.sample_order.len();
+        let mut inserted = 0u32;
+        for &oi in self.origin_order.iter().rev() {
+            let o = origins[oi];
+            while si > 0 && sample[self.sample_order[si - 1]].x > o.x {
+                si -= 1;
+                let rank = self.ys.partition_point(|&y| y < sample[self.sample_order[si]].y);
+                Self::bit_add(&mut self.bit, rank);
+                inserted += 1;
+            }
+            let below = Self::bit_prefix(&self.bit, self.ys.partition_point(|&y| y < o.y));
+            let at_or_below = Self::bit_prefix(&self.bit, self.ys.partition_point(|&y| y <= o.y));
+            out[oi][3] = below; // SE: x > o.x, y < o.y
+            out[oi][0] = inserted - at_or_below; // NE: x > o.x, y > o.y
+        }
+    }
+}
+
+/// A per-reference rank structure for the 2-D KS statistic: built once per
+/// `R`, shared read-only by every window explained against it (the 2-D
+/// analogue of `moche_core::ReferenceIndex`).
+#[derive(Debug, Clone)]
+pub struct RankIndex2d {
+    reference: Vec<Point2>,
+    /// Quadrant counts of the reference around each of its own points —
+    /// invariant under test-set removals.
+    pub(crate) self_counts: Vec<[u32; 4]>,
+    ref_pearson: f64,
+}
+
+impl RankIndex2d {
+    /// Builds the index over `reference`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MocheError::EmptyReference`] or
+    /// [`MocheError::NonFiniteValue`] for invalid samples.
+    pub fn new(reference: &[Point2]) -> Result<Self, MocheError> {
+        validate_sample(reference, SetKind::Reference)?;
+        let mut sweep = QuadrantSweep::default();
+        let mut self_counts = Vec::new();
+        sweep.count_into(reference, reference, &mut self_counts);
+        Ok(Self { reference: reference.to_vec(), self_counts, ref_pearson: pearson_r(reference) })
+    }
+
+    /// `|R|`.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.reference.len()
+    }
+
+    /// The indexed reference sample.
+    #[inline]
+    pub fn reference(&self) -> &[Point2] {
+        &self.reference
+    }
+
+    /// The Pearson correlation of the reference's coordinates, hoisted here
+    /// so the p-value path never recomputes it per evaluation.
+    #[inline]
+    pub fn reference_pearson(&self) -> f64 {
+        self.ref_pearson
+    }
+}
+
+/// Per-window count state over a [`RankIndex2d`]: every buffer is reused
+/// across windows, so a warm scratch binds and evaluates with zero marginal
+/// heap allocations.
+#[derive(Debug, Default, Clone)]
+pub struct Scratch2d {
+    sweep: QuadrantSweep,
+    /// Reference points around each test origin (invariant under removals).
+    ref_at_test: Vec<[u32; 4]>,
+    /// Live test points around each reference origin.
+    test_at_ref: Vec<[u32; 4]>,
+    /// Live test points around each test origin.
+    test_at_test: Vec<[u32; 4]>,
+    removed: Vec<bool>,
+    live: usize,
+}
+
+impl Scratch2d {
+    /// An empty scratch; the first [`bind`](Self::bind) sizes its buffers.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Binds this scratch to one `(index, test)` window, rebuilding every
+    /// per-origin quadrant count with no points removed. `O((n+m) log
+    /// (n+m))` via three rank-space sweeps.
+    pub fn bind(&mut self, index: &RankIndex2d, test: &[Point2]) {
+        self.sweep.count_into(index.reference(), test, &mut self.ref_at_test);
+        self.sweep.count_into(test, index.reference(), &mut self.test_at_ref);
+        self.sweep.count_into(test, test, &mut self.test_at_test);
+        self.removed.clear();
+        self.removed.resize(test.len(), false);
+        self.live = test.len();
+    }
+
+    /// Number of test points not currently removed.
+    #[inline]
+    pub fn live_count(&self) -> usize {
+        self.live
+    }
+
+    /// Whether test point `j` is currently removed.
+    #[inline]
+    pub fn is_removed(&self, j: usize) -> bool {
+        self.removed[j]
+    }
+
+    /// Removes test point `j`: patches the live-test counts around every
+    /// origin in `O(n + m)`.
+    pub fn remove(&mut self, index: &RankIndex2d, test: &[Point2], j: usize) {
+        debug_assert!(!self.removed[j], "removing an already-removed point");
+        self.patch(index, test, j, false);
+        self.removed[j] = true;
+        self.live -= 1;
+    }
+
+    /// Restores a removed test point `j` (the prune phase's re-admission).
+    pub fn restore(&mut self, index: &RankIndex2d, test: &[Point2], j: usize) {
+        debug_assert!(self.removed[j], "restoring a point that is not removed");
+        self.removed[j] = false;
+        self.live += 1;
+        self.patch(index, test, j, true);
+    }
+
+    fn patch(&mut self, index: &RankIndex2d, test: &[Point2], j: usize, add: bool) {
+        let p = test[j];
+        let delta = if add { 1u32 } else { 1u32.wrapping_neg() };
+        for (i, &origin) in index.reference().iter().enumerate() {
+            if let Some(q) = quadrant_of(origin, p) {
+                self.test_at_ref[i][q] = self.test_at_ref[i][q].wrapping_add(delta);
+            }
+        }
+        for (t, &origin) in test.iter().enumerate() {
+            if let Some(q) = quadrant_of(origin, p) {
+                self.test_at_test[t][q] = self.test_at_test[t][q].wrapping_add(delta);
+            }
+        }
+    }
+
+    /// The FF statistic of `(R, live test points)` — bit-identical to the
+    /// naive statistic on the materialized kept subset: identical integer
+    /// counts divided by identical sample sizes, maximized over the same
+    /// multiset of quadrant discrepancies.
+    pub fn statistic(&self, index: &RankIndex2d) -> f64 {
+        if self.live == 0 {
+            // The naive path reports an empty kept subset as statistic 0.
+            return 0.0;
+        }
+        let nf = index.n() as f64;
+        let mf = self.live as f64;
+        let mut d = 0.0f64;
+        for (rc, tc) in index.self_counts.iter().zip(&self.test_at_ref) {
+            for q in 0..4 {
+                let diff = (rc[q] as f64 / nf - tc[q] as f64 / mf).abs();
+                if diff > d {
+                    d = diff;
+                }
+            }
+        }
+        for (t, removed) in self.removed.iter().enumerate() {
+            if *removed {
+                continue;
+            }
+            let rc = &self.ref_at_test[t];
+            let tc = &self.test_at_test[t];
+            for q in 0..4 {
+                let diff = (rc[q] as f64 / nf - tc[q] as f64 / mf).abs();
+                if diff > d {
+                    d = diff;
+                }
+            }
+        }
+        d
+    }
+
+    /// The statistic if live test point `j` were *also* removed — the
+    /// greedy descent's candidate evaluation, a read-only `O(n + m)` pass
+    /// instead of the naive rescan's `O((n + m)²)`.
+    pub fn statistic_excluding(&self, index: &RankIndex2d, test: &[Point2], j: usize) -> f64 {
+        debug_assert!(!self.removed[j], "candidate must be live");
+        if self.live <= 1 {
+            return 0.0;
+        }
+        let nf = index.n() as f64;
+        let mf = (self.live - 1) as f64;
+        let p = test[j];
+        let mut d = 0.0f64;
+        for (i, &origin) in index.reference().iter().enumerate() {
+            let cq = quadrant_of(origin, p);
+            let rc = &index.self_counts[i];
+            let tc = &self.test_at_ref[i];
+            for q in 0..4 {
+                let count = tc[q] - u32::from(cq == Some(q));
+                let diff = (rc[q] as f64 / nf - count as f64 / mf).abs();
+                if diff > d {
+                    d = diff;
+                }
+            }
+        }
+        for (t, &origin) in test.iter().enumerate() {
+            if self.removed[t] || t == j {
+                continue;
+            }
+            let cq = quadrant_of(origin, p);
+            let rc = &self.ref_at_test[t];
+            let tc = &self.test_at_test[t];
+            for q in 0..4 {
+                let count = tc[q] - u32::from(cq == Some(q));
+                let diff = (rc[q] as f64 / nf - count as f64 / mf).abs();
+                if diff > d {
+                    d = diff;
+                }
+            }
+        }
+        d
+    }
+
+    /// Pearson correlation of the live test points, iterated in original
+    /// index order — the same value sequence (and therefore the same bits)
+    /// as [`pearson_r`] over the materialized kept subset.
+    pub fn pearson_live(&self, test: &[Point2]) -> f64 {
+        let n = self.live as f64;
+        if self.live < 2 {
+            return 0.0;
+        }
+        let mut sum_x = 0.0f64;
+        for (t, p) in test.iter().enumerate() {
+            if !self.removed[t] {
+                sum_x += p.x;
+            }
+        }
+        let mx = sum_x / n;
+        let mut sum_y = 0.0f64;
+        for (t, p) in test.iter().enumerate() {
+            if !self.removed[t] {
+                sum_y += p.y;
+            }
+        }
+        let my = sum_y / n;
+        let mut sxy = 0.0;
+        let mut sxx = 0.0;
+        let mut syy = 0.0;
+        for (t, p) in test.iter().enumerate() {
+            if self.removed[t] {
+                continue;
+            }
+            let dx = p.x - mx;
+            let dy = p.y - my;
+            sxy += dx * dy;
+            sxx += dx * dx;
+            syy += dy * dy;
+        }
+        if sxx <= 0.0 || syy <= 0.0 {
+            return 0.0;
+        }
+        (sxy / (sxx * syy).sqrt()).clamp(-1.0, 1.0)
+    }
+}
+
+/// The FF statistic computed through the rank-space index: `O((n+m) log
+/// (n+m))` instead of the naive `O((n+m)²)`, bit-identical to
+/// [`crate::ks2d::ks2d_statistic`].
+///
+/// # Errors
+///
+/// Returns an error for empty or non-finite test samples (the reference was
+/// validated when the index was built).
+pub fn ks2d_statistic_indexed(
+    index: &RankIndex2d,
+    test: &[Point2],
+    scratch: &mut Scratch2d,
+) -> Result<f64, MocheError> {
+    validate_sample(test, SetKind::Test)?;
+    scratch.bind(index, test);
+    Ok(scratch.statistic(index))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ks2d::ks2d_statistic;
+
+    fn grid(n: usize, ox: f64, oy: f64) -> Vec<Point2> {
+        (0..n)
+            .map(|i| {
+                Point2::new(((i * 7) % 13) as f64 * 0.31 + ox, ((i * 11) % 17) as f64 * 0.23 + oy)
+            })
+            .collect()
+    }
+
+    /// The naive quadrant counter the sweep must reproduce exactly.
+    fn naive_counts(sample: &[Point2], origins: &[Point2]) -> Vec<[u32; 4]> {
+        origins
+            .iter()
+            .map(|&o| {
+                let mut counts = [0u32; 4];
+                for &p in sample {
+                    if let Some(q) = quadrant_of(o, p) {
+                        counts[q] += 1;
+                    }
+                }
+                counts
+            })
+            .collect()
+    }
+
+    #[test]
+    fn sweep_matches_naive_counts_with_duplicates_and_signed_zeros() {
+        let mut sample = grid(40, 0.0, 0.0);
+        sample.push(sample[3]); // exact duplicate
+        sample.push(Point2::new(-0.0, 0.62));
+        sample.push(Point2::new(0.0, -0.0));
+        let mut origins = grid(25, 0.31, -0.23);
+        origins.push(Point2::new(0.0, 0.0));
+        origins.push(sample[7]); // origin coincides with a sample point
+        let mut sweep = QuadrantSweep::default();
+        let mut out = Vec::new();
+        sweep.count_into(&sample, &origins, &mut out);
+        assert_eq!(out, naive_counts(&sample, &origins));
+    }
+
+    #[test]
+    fn indexed_statistic_is_bit_identical_to_naive() {
+        let r = grid(60, 0.0, 0.0);
+        let t = grid(35, 0.4, 0.3);
+        let index = RankIndex2d::new(&r).unwrap();
+        let mut scratch = Scratch2d::new();
+        let indexed = ks2d_statistic_indexed(&index, &t, &mut scratch).unwrap();
+        let naive = ks2d_statistic(&r, &t).unwrap();
+        assert_eq!(indexed.to_bits(), naive.to_bits());
+    }
+
+    #[test]
+    fn removal_patches_match_a_fresh_bind() {
+        let r = grid(50, 0.0, 0.0);
+        let t = grid(30, 0.5, 0.2);
+        let index = RankIndex2d::new(&r).unwrap();
+        let mut scratch = Scratch2d::new();
+        scratch.bind(&index, &t);
+        for &j in &[3usize, 17, 8] {
+            scratch.remove(&index, &t, j);
+        }
+        // The incrementally patched statistic must equal the naive
+        // statistic over the materialized kept subset, bit for bit.
+        let kept: Vec<Point2> = t
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &p)| (![3usize, 17, 8].contains(&i)).then_some(p))
+            .collect();
+        let naive = ks2d_statistic(&r, &kept).unwrap();
+        assert_eq!(scratch.statistic(&index).to_bits(), naive.to_bits());
+        // Restore returns to the full-window statistic.
+        for &j in &[3usize, 17, 8] {
+            scratch.restore(&index, &t, j);
+        }
+        let full = ks2d_statistic(&r, &t).unwrap();
+        assert_eq!(scratch.statistic(&index).to_bits(), full.to_bits());
+    }
+
+    #[test]
+    fn statistic_excluding_matches_remove_then_statistic() {
+        let r = grid(40, 0.0, 0.0);
+        let t = grid(25, 0.7, 0.4);
+        let index = RankIndex2d::new(&r).unwrap();
+        let mut scratch = Scratch2d::new();
+        scratch.bind(&index, &t);
+        scratch.remove(&index, &t, 5);
+        for j in 0..t.len() {
+            if scratch.is_removed(j) {
+                continue;
+            }
+            let candidate = scratch.statistic_excluding(&index, &t, j);
+            scratch.remove(&index, &t, j);
+            let actual = scratch.statistic(&index);
+            scratch.restore(&index, &t, j);
+            assert_eq!(candidate.to_bits(), actual.to_bits(), "candidate {j}");
+        }
+    }
+
+    #[test]
+    fn pearson_live_matches_materialized_subset() {
+        let r = grid(20, 0.0, 0.0);
+        let t = grid(18, 0.3, 0.9);
+        let index = RankIndex2d::new(&r).unwrap();
+        let mut scratch = Scratch2d::new();
+        scratch.bind(&index, &t);
+        scratch.remove(&index, &t, 2);
+        scratch.remove(&index, &t, 11);
+        let kept: Vec<Point2> =
+            t.iter().enumerate().filter_map(|(i, &p)| (i != 2 && i != 11).then_some(p)).collect();
+        assert_eq!(scratch.pearson_live(&t).to_bits(), pearson_r(&kept).to_bits());
+    }
+
+    #[test]
+    fn index_rejects_invalid_references() {
+        assert!(matches!(RankIndex2d::new(&[]), Err(MocheError::EmptyReference)));
+        let bad = vec![Point2::new(0.0, f64::INFINITY)];
+        assert!(matches!(RankIndex2d::new(&bad), Err(MocheError::NonFiniteValue { .. })));
+    }
+}

@@ -1,0 +1,467 @@
+//! Streaming 2-D explanation — bounded-memory window processing with
+//! in-order delivery, mirroring `moche_core::StreamingBatchExplainer`.
+//!
+//! A feeder thread (the caller) pulls windows from a [`Window2dSource`]
+//! and hands them to a scoped worker pool over a recycled buffer pool, so
+//! only `O(workers + buffer)` windows are in memory at a time regardless of
+//! stream length. Results are re-ordered and delivered to the sink in
+//! window order; worker panics are isolated per window exactly as in
+//! [`Batch2dExplainer`](crate::batch2d::Batch2dExplainer).
+//!
+//! ```
+//! use moche_multidim::{Point2, RankIndex2d, Stream2dExplainer};
+//!
+//! let reference: Vec<Point2> =
+//!     (0..80).map(|i| Point2::new(f64::from(i % 9), f64::from(i % 7))).collect();
+//! let index = RankIndex2d::new(&reference).unwrap();
+//! let mut remaining = 3usize;
+//! let source = |window: &mut Vec<Point2>| {
+//!     if remaining == 0 {
+//!         return false;
+//!     }
+//!     remaining -= 1;
+//!     window.extend(reference.iter().take(40));
+//!     window.extend((0..25).map(|i| Point2::new(f64::from(i) + 60.0, 60.0)));
+//!     true
+//! };
+//! let summary = Stream2dExplainer::new(0.05).unwrap().threads(1).explain_source(
+//!     &index,
+//!     source,
+//!     None,
+//!     |result| assert!(result.result.is_ok()),
+//! );
+//! assert_eq!(summary.windows, 3);
+//! assert_eq!(summary.explained, 3);
+//! ```
+
+use crate::engine2d::Explain2dEngine;
+use crate::explain2d::Explanation2d;
+use crate::ks2d::Ks2dConfig;
+use crate::point2::Point2;
+use crate::rank_index::RankIndex2d;
+use moche_core::fault::{self, Fault};
+use moche_core::{MocheError, PreferenceList};
+use std::collections::BTreeMap;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex, PoisonError};
+
+/// A pull source of 2-D windows: fill the (cleared) buffer and return
+/// `true`, or return `false` to end the stream.
+pub trait Window2dSource {
+    /// Fills `window` with the next window's points. The buffer arrives
+    /// empty (possibly with recycled capacity).
+    fn fill(&mut self, window: &mut Vec<Point2>) -> bool;
+}
+
+impl<F: FnMut(&mut Vec<Point2>) -> bool> Window2dSource for F {
+    fn fill(&mut self, window: &mut Vec<Point2>) -> bool {
+        self(window)
+    }
+}
+
+/// A per-window preference scorer for the streaming path: window ordinal
+/// and points in, preference out.
+pub type Score2dFn<'a> =
+    &'a (dyn Fn(usize, &[Point2]) -> Result<PreferenceList, MocheError> + Sync);
+
+/// One delivered streaming result.
+#[derive(Debug)]
+pub struct Stream2dResult {
+    /// The window's ordinal in the stream (0-based).
+    pub window: usize,
+    /// The window's explanation or per-window failure.
+    pub result: Result<Explanation2d, MocheError>,
+}
+
+/// Aggregate accounting of a streaming run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Stream2dSummary {
+    /// Windows pulled from the source.
+    pub windows: usize,
+    /// Windows that produced an explanation.
+    pub explained: usize,
+    /// Windows that already passed the test (nothing to explain).
+    pub passing: usize,
+    /// Windows that failed, including panics.
+    pub errors: usize,
+    /// The subset of `errors` caused by isolated worker panics.
+    pub panics: usize,
+    /// Worker threads used.
+    pub threads: usize,
+}
+
+impl Stream2dSummary {
+    fn tally(&mut self, result: &Result<Explanation2d, MocheError>) {
+        self.windows += 1;
+        match result {
+            Ok(_) => self.explained += 1,
+            Err(MocheError::TestAlreadyPasses { .. }) => self.passing += 1,
+            Err(MocheError::WorkerPanicked { .. }) => {
+                self.errors += 1;
+                self.panics += 1;
+            }
+            Err(_) => self.errors += 1,
+        }
+    }
+}
+
+/// A streaming explainer for unbounded sequences of 2-D windows against one
+/// shared reference index.
+#[derive(Debug, Clone)]
+pub struct Stream2dExplainer {
+    cfg: Ks2dConfig,
+    threads: usize,
+    buffer: usize,
+}
+
+impl Stream2dExplainer {
+    /// Creates a streaming explainer at significance level `alpha`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MocheError::InvalidAlpha`] unless `0 < alpha < 1`.
+    pub fn new(alpha: f64) -> Result<Self, MocheError> {
+        Ok(Self::with_config(Ks2dConfig::new(alpha)?))
+    }
+
+    /// Creates a streaming explainer from an existing configuration.
+    pub fn with_config(cfg: Ks2dConfig) -> Self {
+        Self { cfg, threads: 0, buffer: 0 }
+    }
+
+    /// Caps the worker count (0 = use all available cores).
+    #[must_use]
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Caps the number of windows in flight (0 = `2 × workers`).
+    #[must_use]
+    pub fn buffer(mut self, buffer: usize) -> Self {
+        self.buffer = buffer;
+        self
+    }
+
+    /// The worker count a run would use.
+    pub fn effective_threads(&self) -> usize {
+        let hw = std::thread::available_parallelism().map_or(1, |n| n.get());
+        let cap = if self.threads == 0 { hw } else { self.threads };
+        cap.max(1)
+    }
+
+    /// Drains `source`, delivering every window's result to `sink` in
+    /// window order, and returns the aggregate summary. A panicking source
+    /// ends the stream early (windows already dispatched still complete and
+    /// are delivered); a panicking sink propagates after the pool shuts
+    /// down cleanly.
+    pub fn explain_source<S: Window2dSource>(
+        &self,
+        index: &RankIndex2d,
+        mut source: S,
+        preferences: Option<Score2dFn<'_>>,
+        mut sink: impl FnMut(&Stream2dResult),
+    ) -> Stream2dSummary {
+        let workers = self.effective_threads();
+        let mut summary = Stream2dSummary { threads: workers, ..Default::default() };
+
+        if workers <= 1 {
+            let mut engine = Explain2dEngine::with_config(self.cfg);
+            let mut window: Vec<Point2> = Vec::new();
+            let mut w = 0usize;
+            loop {
+                window.clear();
+                let filled = catch_unwind(AssertUnwindSafe(|| {
+                    if fault::failpoint("stream2d.feeder") == Some(Fault::Error) {
+                        return false;
+                    }
+                    source.fill(&mut window)
+                }));
+                if !matches!(filled, Ok(true)) {
+                    break;
+                }
+                let result = run_one(&self.cfg, &mut engine, index, &window, w, preferences);
+                summary.tally(&result);
+                sink(&Stream2dResult { window: w, result });
+                w += 1;
+            }
+            return summary;
+        }
+
+        let in_flight_cap = if self.buffer == 0 { 2 * workers } else { self.buffer.max(1) };
+        let (job_tx, job_rx) = mpsc::channel::<(usize, Vec<Point2>)>();
+        let job_rx = Arc::new(Mutex::new(job_rx));
+        let (result_tx, result_rx) =
+            mpsc::channel::<(usize, Vec<Point2>, Result<Explanation2d, MocheError>)>();
+
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                let job_rx = Arc::clone(&job_rx);
+                let result_tx = result_tx.clone();
+                scope.spawn(move || {
+                    let mut engine = Explain2dEngine::with_config(self.cfg);
+                    loop {
+                        let job = job_rx.lock().unwrap_or_else(PoisonError::into_inner).recv();
+                        let (w, window) = match job {
+                            Ok(job) => job,
+                            Err(_) => break, // feeder hung up: drain complete
+                        };
+                        let result =
+                            run_one(&self.cfg, &mut engine, index, &window, w, preferences);
+                        if result_tx.send((w, window, result)).is_err() {
+                            break; // collector is gone (sink panic unwinding)
+                        }
+                    }
+                });
+            }
+            drop(result_tx); // workers hold the only remaining senders
+
+            // Feed and collect on this thread. A sink panic must not abandon
+            // the scope (that would deadlock on workers blocked in recv), so
+            // the loop is caught, the job channel is closed to stop the
+            // pool, and the payload is re-thrown after the scope joins.
+            let deliver = catch_unwind(AssertUnwindSafe(|| {
+                let mut free: Vec<Vec<Point2>> = Vec::new();
+                let mut pending: BTreeMap<usize, Result<Explanation2d, MocheError>> =
+                    BTreeMap::new();
+                let mut next_window = 0usize;
+                let mut next_delivery = 0usize;
+                let mut in_flight = 0usize;
+                let mut exhausted = false;
+                loop {
+                    while !exhausted && in_flight < in_flight_cap {
+                        let mut window = free.pop().unwrap_or_default();
+                        window.clear();
+                        let filled = catch_unwind(AssertUnwindSafe(|| {
+                            if fault::failpoint("stream2d.feeder") == Some(Fault::Error) {
+                                return false;
+                            }
+                            source.fill(&mut window)
+                        }));
+                        if !matches!(filled, Ok(true)) {
+                            exhausted = true;
+                            break;
+                        }
+                        if job_tx.send((next_window, window)).is_err() {
+                            exhausted = true;
+                            break;
+                        }
+                        next_window += 1;
+                        in_flight += 1;
+                    }
+                    if in_flight == 0 {
+                        break;
+                    }
+                    let (w, window, result) = match result_rx.recv() {
+                        Ok(delivered) => delivered,
+                        Err(_) => break,
+                    };
+                    free.push(window);
+                    in_flight -= 1;
+                    pending.insert(w, result);
+                    while let Some(result) = pending.remove(&next_delivery) {
+                        summary.tally(&result);
+                        sink(&Stream2dResult { window: next_delivery, result });
+                        next_delivery += 1;
+                    }
+                }
+            }));
+            drop(job_tx);
+            if let Err(payload) = deliver {
+                // Workers exit on the closed channel; scope join is safe.
+                resume_unwind(payload);
+            }
+        });
+        summary
+    }
+}
+
+/// Executes one window with panic isolation and optional scoring; shared by
+/// the sequential and pooled paths.
+fn run_one(
+    cfg: &Ks2dConfig,
+    engine: &mut Explain2dEngine,
+    index: &RankIndex2d,
+    window: &[Point2],
+    w: usize,
+    preferences: Option<Score2dFn<'_>>,
+) -> Result<Explanation2d, MocheError> {
+    let attempt = catch_unwind(AssertUnwindSafe(|| {
+        fault::failpoint("stream2d.worker");
+        let stored;
+        let preference = match preferences {
+            Some(score) => {
+                stored = score(w, window)?;
+                Some(&stored)
+            }
+            None => None,
+        };
+        engine.explain(index, window, preference)
+    }));
+    match attempt {
+        Ok(result) => result,
+        Err(payload) => {
+            *engine = Explain2dEngine::with_config(*cfg);
+            Err(MocheError::WorkerPanicked {
+                window: w,
+                message: fault::panic_message(payload.as_ref()),
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::explain2d::GreedyImpact2d;
+
+    fn grid(n: usize, ox: f64, oy: f64) -> Vec<Point2> {
+        (0..n)
+            .map(|i| {
+                Point2::new(((i * 7) % 13) as f64 * 0.31 + ox, ((i * 11) % 17) as f64 * 0.23 + oy)
+            })
+            .collect()
+    }
+
+    fn windows(count: usize) -> Vec<Vec<Point2>> {
+        (0..count)
+            .map(|w| {
+                let mut t = grid(60, 0.01 * (w as f64 + 1.0), 0.02);
+                t.extend(grid(18 + (w % 5), 50.0, 50.0));
+                t
+            })
+            .collect()
+    }
+
+    fn vec_source(mut queue: std::vec::IntoIter<Vec<Point2>>) -> impl Window2dSource {
+        move |out: &mut Vec<Point2>| match queue.next() {
+            Some(points) => {
+                out.extend(points);
+                true
+            }
+            None => false,
+        }
+    }
+
+    #[test]
+    fn stream_delivers_in_order_and_matches_naive() {
+        let r = grid(120, 0.0, 0.0);
+        let cfg = Ks2dConfig::new(0.05).unwrap();
+        let index = RankIndex2d::new(&r).unwrap();
+        let all = windows(8);
+        for threads in [1usize, 4] {
+            let mut seen: Vec<usize> = Vec::new();
+            let mut outputs: Vec<Vec<usize>> = Vec::new();
+            let summary = Stream2dExplainer::with_config(cfg)
+                .threads(threads)
+                .buffer(3)
+                .explain_source(&index, vec_source(all.clone().into_iter()), None, |delivered| {
+                    seen.push(delivered.window);
+                    outputs.push(delivered.result.as_ref().unwrap().indices.clone());
+                });
+            assert_eq!(summary.windows, all.len(), "threads={threads}");
+            assert_eq!(summary.explained, all.len());
+            assert_eq!(summary.threads, threads);
+            assert_eq!(seen, (0..all.len()).collect::<Vec<_>>(), "in-order delivery");
+            for (w, indices) in outputs.iter().enumerate() {
+                let naive = GreedyImpact2d.explain(&r, &all[w], &cfg, None).unwrap();
+                assert_eq!(indices, &naive.indices, "window {w}");
+            }
+        }
+    }
+
+    #[test]
+    fn per_window_failures_are_tallied_not_fatal() {
+        let r = grid(120, 0.0, 0.0);
+        let cfg = Ks2dConfig::new(0.05).unwrap();
+        let index = RankIndex2d::new(&r).unwrap();
+        let mut all = windows(5);
+        all[1] = r.clone(); // passes
+        all[3] = vec![Point2::new(f64::NAN, 0.0)];
+        for threads in [1usize, 3] {
+            let mut failed: Vec<usize> = Vec::new();
+            let summary = Stream2dExplainer::with_config(cfg).threads(threads).explain_source(
+                &index,
+                vec_source(all.clone().into_iter()),
+                None,
+                |delivered| {
+                    if delivered.result.is_err() {
+                        failed.push(delivered.window);
+                    }
+                },
+            );
+            assert_eq!(summary.windows, 5);
+            assert_eq!(summary.explained, 3);
+            assert_eq!(summary.passing, 1);
+            assert_eq!(summary.errors, 1);
+            assert_eq!(summary.panics, 0);
+            assert_eq!(failed, vec![1, 3]);
+        }
+    }
+
+    #[test]
+    fn scored_preferences_flow_into_the_engine() {
+        let r = grid(120, 0.0, 0.0);
+        let cfg = Ks2dConfig::new(0.05).unwrap();
+        let index = RankIndex2d::new(&r).unwrap();
+        let all = windows(3);
+        let score: Score2dFn<'_> = &|_, points| {
+            let scores: Vec<f64> = points.iter().map(|p| p.x + p.y).collect();
+            PreferenceList::from_scores_desc(&scores)
+        };
+        let mut outputs: Vec<Vec<usize>> = Vec::new();
+        let summary = Stream2dExplainer::with_config(cfg).threads(2).explain_source(
+            &index,
+            vec_source(all.clone().into_iter()),
+            Some(score),
+            |delivered| outputs.push(delivered.result.as_ref().unwrap().indices.clone()),
+        );
+        assert_eq!(summary.explained, 3);
+        for (w, indices) in outputs.iter().enumerate() {
+            let scores: Vec<f64> = all[w].iter().map(|p| p.x + p.y).collect();
+            let pref = PreferenceList::from_scores_desc(&scores).unwrap();
+            let naive = GreedyImpact2d.explain(&r, &all[w], &cfg, Some(&pref)).unwrap();
+            assert_eq!(indices, &naive.indices, "window {w}");
+        }
+    }
+
+    #[test]
+    fn empty_stream_is_a_clean_summary() {
+        let r = grid(40, 0.0, 0.0);
+        let index = RankIndex2d::new(&r).unwrap();
+        let summary = Stream2dExplainer::new(0.05).unwrap().threads(2).explain_source(
+            &index,
+            |_: &mut Vec<Point2>| false,
+            None,
+            |_| panic!("no windows, no deliveries"),
+        );
+        assert_eq!(summary, Stream2dSummary { threads: 2, ..Default::default() });
+    }
+
+    #[test]
+    fn panicking_source_ends_the_stream_early() {
+        let r = grid(120, 0.0, 0.0);
+        let index = RankIndex2d::new(&r).unwrap();
+        let all = windows(4);
+        let mut queue = all.into_iter();
+        let mut fed = 0usize;
+        let source = move |out: &mut Vec<Point2>| {
+            if fed == 2 {
+                panic!("source failed mid-stream");
+            }
+            fed += 1;
+            out.extend(queue.next().unwrap());
+            true
+        };
+        let mut delivered = 0usize;
+        let summary = Stream2dExplainer::new(0.05).unwrap().threads(2).explain_source(
+            &index,
+            source,
+            None,
+            |_| delivered += 1,
+        );
+        assert_eq!(summary.windows, 2, "the two windows fed before the panic");
+        assert_eq!(delivered, 2);
+    }
+}
