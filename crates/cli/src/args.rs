@@ -184,17 +184,25 @@ USAGE:
   moche serve   --listen HOST:PORT | --unix PATH --window W [--alpha A]
                 [--workers N] [--no-explain] [--size-only]
                 [--explain-queue N] [--ring N] [--max-series N]
+                [--max-connections N] [--idle-timeout S] [--io-timeout S]
+                [--error-budget N]
                 [--checkpoint-dir DIR [--checkpoint-every N]] [--resume]
                 [--sr-filter-window Q] [--sr-score-window Z]
       Run the monitor-fleet daemon: many independent series multiplexed
       over a small worker pool, ingested over a length-prefixed binary
       (or newline-JSON) protocol. Alarms are logged to stdout; explains
       run on a bounded deferred queue so they never block ingestion.
+      Connections are supervised: idle peers, mid-frame stalls, and
+      clients that stop reading replies are evicted on deadline, excess
+      connections past --max-connections get a BUSY reply, and malformed
+      frames get structured errors until --error-budget is spent.
       With --checkpoint-dir each worker checkpoints its shard
       atomically; --resume reloads every shard file at startup, so a
       kill -9'd daemon continues with zero lost alarms once its clients
       replay from the per-series 'pushes' offsets (query them with the
-      SERIES request). A SHUTDOWN request exits gracefully.
+      SERIES request). A SHUTDOWN request, SIGTERM, or SIGINT drains
+      gracefully: stop accepting, finish in-flight work, write final
+      checkpoints, exit 0.
 
 Data files: one number per line; '#' starts a comment; for 'explain
 --preference scores' each line may be 'value,score'.
@@ -235,6 +243,21 @@ OPTIONS:
                 full ring applies backpressure to the client
   --max-series N
                 serve: reject new series beyond N (default 0 = unbounded)
+  --max-connections N
+                serve: cap on concurrently served connections (default
+                1024; 0 = unbounded); a connection past the cap gets one
+                BUSY reply with a retry_after_ms hint, then a close
+  --idle-timeout S
+                serve: evict a connection with no complete request for S
+                seconds (default 300; 0 = never) — slow-loris peers and
+                half-open sockets are disconnected and counted
+  --io-timeout S
+                serve: evict a connection whose frame stalls mid-wire for
+                S seconds, and time out reply writes the same way when
+                the peer stops reading (default 30; 0 = never)
+  --error-budget N
+                serve: malformed frames/lines answered with a structured
+                ERR reply before the connection is closed (default 3)
   --checkpoint-dir DIR
                 serve: write per-shard checkpoint files (shard-NNNN.snap)
                 to DIR on the --checkpoint-every cadence and at shutdown;
@@ -302,6 +325,10 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
     let mut explain_queue = 64usize;
     let mut ring = 1024usize;
     let mut max_series = 0usize;
+    let mut max_connections = 1024usize;
+    let mut idle_timeout = 300u64;
+    let mut io_timeout = 30u64;
+    let mut error_budget = 3u32;
     let mut checkpoint_dir: Option<PathBuf> = None;
     let mut serve_resume = false;
     let mut sr_filter_window: Option<usize> = None;
@@ -392,6 +419,33 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 }
             }
             "--max-series" => max_series = parse_count(it.next(), "--max-series")?,
+            "--max-connections" => {
+                max_connections = parse_count(it.next(), "--max-connections")?;
+            }
+            "--idle-timeout" => {
+                let raw = it
+                    .next()
+                    .ok_or_else(|| CliError::Usage("--idle-timeout needs seconds".into()))?;
+                idle_timeout = raw
+                    .parse()
+                    .map_err(|_| CliError::Usage(format!("invalid --idle-timeout '{raw}'")))?;
+            }
+            "--io-timeout" => {
+                let raw = it
+                    .next()
+                    .ok_or_else(|| CliError::Usage("--io-timeout needs seconds".into()))?;
+                io_timeout = raw
+                    .parse()
+                    .map_err(|_| CliError::Usage(format!("invalid --io-timeout '{raw}'")))?;
+            }
+            "--error-budget" => {
+                let raw = it
+                    .next()
+                    .ok_or_else(|| CliError::Usage("--error-budget needs a value".into()))?;
+                error_budget = raw
+                    .parse()
+                    .map_err(|_| CliError::Usage(format!("invalid --error-budget '{raw}'")))?;
+            }
             "--checkpoint-dir" => {
                 let raw = it
                     .next()
@@ -569,6 +623,11 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 explain_queue,
                 ring,
                 max_series,
+                max_connections,
+                idle_timeout,
+                io_timeout,
+                error_budget,
+                handle_signals: true,
                 checkpoint_dir,
                 checkpoint_every,
                 resume: serve_resume,
@@ -806,6 +865,14 @@ mod tests {
             "2048",
             "--max-series",
             "100000",
+            "--max-connections",
+            "64",
+            "--idle-timeout",
+            "120",
+            "--io-timeout",
+            "5",
+            "--error-budget",
+            "10",
             "--sr-filter-window",
             "5",
             "--sr-score-window",
@@ -821,6 +888,11 @@ mod tests {
                 assert_eq!(opts.explain_queue, 32);
                 assert_eq!(opts.ring, 2048);
                 assert_eq!(opts.max_series, 100_000);
+                assert_eq!(opts.max_connections, 64);
+                assert_eq!(opts.idle_timeout, 120);
+                assert_eq!(opts.io_timeout, 5);
+                assert_eq!(opts.error_budget, 10);
+                assert!(opts.handle_signals, "the CLI always installs signal drain");
                 assert_eq!(opts.sr_filter_window, Some(5));
                 assert_eq!(opts.sr_score_window, Some(9));
             }
@@ -834,6 +906,10 @@ mod tests {
                 );
                 assert_eq!(opts.workers, 0, "default = auto");
                 assert!(!opts.resume);
+                assert_eq!(opts.max_connections, 1024, "default cap");
+                assert_eq!(opts.idle_timeout, 300, "default idle budget");
+                assert_eq!(opts.io_timeout, 30, "default I/O budget");
+                assert_eq!(opts.error_budget, 3, "default error budget");
             }
             other => panic!("unexpected {other:?}"),
         }
@@ -869,6 +945,22 @@ mod tests {
             parse_err(&["serve", "--listen", "h:1", "--window", "8", "extra"]),
             CliError::Usage(_)
         ));
+        for flag in ["--max-connections", "--idle-timeout", "--io-timeout", "--error-budget"] {
+            assert!(
+                matches!(
+                    parse_err(&["serve", "--listen", "h:1", "--window", "8", flag, "nope"]),
+                    CliError::Usage(_)
+                ),
+                "{flag} must reject non-numeric values"
+            );
+            assert!(
+                matches!(
+                    parse_err(&["serve", "--listen", "h:1", "--window", "8", flag]),
+                    CliError::Usage(_)
+                ),
+                "{flag} must require a value"
+            );
+        }
     }
 
     #[test]

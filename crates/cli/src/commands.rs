@@ -40,24 +40,44 @@ pub struct HealthReport {
     pub degraded_preferences: usize,
     /// Snapshots written by `--checkpoint`.
     pub checkpoints_written: usize,
+    /// Connections the serve daemon evicted for cause (idle timeout,
+    /// mid-frame stall, unread replies, or a spent error budget). Always
+    /// zero outside `moche serve`.
+    pub evicted_connections: usize,
+    /// Connections the serve daemon turned away with a `BUSY` reply at
+    /// `--max-connections`. Always zero outside `moche serve`.
+    pub busy_rejections: usize,
 }
 
 impl HealthReport {
     pub(crate) fn is_clean(&self) -> bool {
+        // Evictions and busy rejections are deliberately absent here: a
+        // daemon defending itself from misbehaving clients is healthy.
         self.worker_panics == 0 && self.skipped_observations == 0 && self.degraded_preferences == 0
     }
 
-    /// The one-line text rendering (also used, `#`-prefixed, in CSV).
+    /// The one-line text rendering (also used, `#`-prefixed, in CSV). The
+    /// connection counters are appended only when the run had any, so the
+    /// non-daemon commands keep their familiar four-field line.
     pub(crate) fn summary(&self) -> String {
-        format!(
+        let mut line = format!(
             "health: {} worker panic(s), {} skipped observation(s), \
-             {} degraded preference(s), {} checkpoint(s) written{}",
+             {} degraded preference(s), {} checkpoint(s) written",
             self.worker_panics,
             self.skipped_observations,
             self.degraded_preferences,
             self.checkpoints_written,
-            if self.is_clean() { "" } else { " [DEGRADED]" }
-        )
+        );
+        if self.evicted_connections > 0 || self.busy_rejections > 0 {
+            line.push_str(&format!(
+                ", {} evicted connection(s), {} busy rejection(s)",
+                self.evicted_connections, self.busy_rejections
+            ));
+        }
+        if !self.is_clean() {
+            line.push_str(" [DEGRADED]");
+        }
+        line
     }
 }
 

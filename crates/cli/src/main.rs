@@ -8,7 +8,11 @@
 //! errors (including batch runs where every window failed and nothing was
 //! explained), `2` for usage errors, `3` for snapshot errors (a corrupt
 //! `--resume` file or shard checkpoint, or a failed `--checkpoint`
-//! write).
+//! write). SIGTERM/SIGINT against `moche serve` are not exits at all:
+//! the daemon installs a handler (`moche-signal`) that drains
+//! gracefully — final checkpoints, `health:` line — and then returns
+//! through the normal success path, so a supervisor's stop reads as
+//! exit 0.
 
 use std::io::Write as _;
 

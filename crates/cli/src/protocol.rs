@@ -19,6 +19,20 @@
 //! handled in order, so the reply proves every earlier `OBS` on that
 //! connection was routed).
 //!
+//! Two opcodes are **server-initiated** and appear only with the reply
+//! bit set (there is no request form):
+//!
+//! | Opcode | Name | When | Body |
+//! |---|---|---|---|
+//! | `0x85` | `BUSY` | the daemon is at `--max-connections` | `{"busy":true,"retry_after_ms":…,"max_connections":…}` |
+//! | `0x86` | `ERR` | a malformed frame/line, or an eviction notice | `{"error":…,"budget_remaining":…}` or `{"error":…,"fatal":true}` |
+//!
+//! A `BUSY` reply is always binary-framed — it is written before the
+//! first client byte arrives, so the connection's wire mode is still
+//! unknown. `ERR` uses the connection's negotiated mode; `"fatal":true`
+//! means framing can no longer be trusted and the connection closes right
+//! after the reply.
+//!
 //! ## Newline-JSON mode
 //!
 //! A connection whose first byte is `{` speaks JSON instead: one object
@@ -45,6 +59,12 @@ pub mod op {
     pub const SERIES: u8 = 0x03;
     /// Graceful shutdown request.
     pub const SHUTDOWN: u8 = 0x04;
+    /// Server-initiated: the daemon is at `--max-connections` (sent with
+    /// [`REPLY`] set, then the connection closes).
+    pub const BUSY: u8 = 0x05;
+    /// Server-initiated: a structured protocol error or eviction notice
+    /// (sent with [`REPLY`] set).
+    pub const ERR: u8 = 0x06;
     /// Reply bit: a reply's opcode is its request's opcode with this set.
     pub const REPLY: u8 = 0x80;
 }
@@ -205,7 +225,15 @@ pub fn decode_request(payload: &[u8]) -> Result<Request, ProtocolError> {
             let value = f64::from_le_bytes(rest[8..].try_into().expect("8 bytes"));
             Ok(Request::Obs { series, value })
         }
-        [o] if *o == op::STATUS => Ok(Request::Status),
+        [o, rest @ ..] if *o == op::STATUS => {
+            if !rest.is_empty() {
+                return Err(ProtocolError::Malformed(format!(
+                    "STATUS payload must be empty, got {} byte(s)",
+                    rest.len()
+                )));
+            }
+            Ok(Request::Status)
+        }
         [o, rest @ ..] if *o == op::SERIES => {
             if rest.len() != 8 {
                 return Err(ProtocolError::Malformed(format!(
@@ -215,9 +243,168 @@ pub fn decode_request(payload: &[u8]) -> Result<Request, ProtocolError> {
             }
             Ok(Request::Series { series: u64::from_le_bytes(rest.try_into().expect("8 bytes")) })
         }
-        [o] if *o == op::SHUTDOWN => Ok(Request::Shutdown),
+        [o, rest @ ..] if *o == op::SHUTDOWN => {
+            if !rest.is_empty() {
+                return Err(ProtocolError::Malformed(format!(
+                    "SHUTDOWN payload must be empty, got {} byte(s)",
+                    rest.len()
+                )));
+            }
+            Ok(Request::Shutdown)
+        }
         [o, ..] => Err(ProtocolError::Malformed(format!("unknown opcode {o:#04x}"))),
         [] => Err(ProtocolError::Malformed("empty payload".into())),
+    }
+}
+
+/// The wire mode a connection's first byte selected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireMode {
+    /// Length-prefixed binary frames.
+    Binary,
+    /// One JSON object per newline-terminated line.
+    JsonLines,
+}
+
+/// One step of [`FrameAssembler::next_frame`].
+#[derive(Debug)]
+pub enum Assembled {
+    /// A complete, valid request was consumed from the buffer.
+    Request(Request),
+    /// A complete frame/line was consumed but could not be decoded.
+    /// Framing is intact — the connection may answer with a structured
+    /// error and keep going (subject to its error budget).
+    Malformed(String),
+    /// The byte stream itself can no longer be framed (an out-of-range
+    /// binary length prefix, or a JSON line past the length bound with no
+    /// terminator in sight). Nothing was consumed; the connection must
+    /// close after a best-effort error reply.
+    Fatal(String),
+    /// No complete frame is buffered yet; read more bytes.
+    NeedMore,
+}
+
+/// Incremental, timeout-tolerant request framing for the daemon.
+///
+/// The supervised read loop runs the socket with a short `read_timeout`
+/// tick so it can check deadlines and the shutdown flag; that rules out
+/// `read_exact` (a timeout mid-`read_exact` loses the bytes already
+/// read). This assembler owns the partial-input state instead: feed every
+/// chunk to [`extend`](Self::extend), then drain complete requests with
+/// [`next_frame`](Self::next_frame). The connection's wire mode is fixed by its first
+/// byte (`{` selects JSON lines), exactly like the blocking path.
+///
+/// Both modes are bounded by [`MAX_FRAME_LEN`]: binary length prefixes
+/// outside `1..=MAX_FRAME_LEN` and JSON lines longer than `MAX_FRAME_LEN`
+/// bytes are [`Assembled::Fatal`] — buffer growth is capped no matter
+/// what the peer sends.
+#[derive(Debug, Default)]
+pub struct FrameAssembler {
+    buf: Vec<u8>,
+    /// Consumed prefix of `buf` (compacted away between calls).
+    start: usize,
+    mode: Option<WireMode>,
+}
+
+impl FrameAssembler {
+    /// An empty assembler; the mode locks on the first byte received.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The connection's wire mode, once at least one byte has arrived.
+    pub fn mode(&self) -> Option<WireMode> {
+        self.mode
+    }
+
+    /// Appends freshly read bytes.
+    pub fn extend(&mut self, bytes: &[u8]) {
+        if self.mode.is_none() {
+            if let Some(&first) = bytes.first() {
+                self.mode =
+                    Some(if first == b'{' { WireMode::JsonLines } else { WireMode::Binary });
+            }
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Whether unconsumed bytes are buffered — a partial frame in flight.
+    /// The supervisor's mid-frame stall deadline keys off this.
+    pub fn is_mid_frame(&self) -> bool {
+        self.start < self.buf.len()
+    }
+
+    /// Consumes and returns the next complete request, if any.
+    pub fn next_frame(&mut self) -> Assembled {
+        let step = match self.mode {
+            None => Assembled::NeedMore,
+            Some(WireMode::Binary) => self.next_binary(),
+            Some(WireMode::JsonLines) => self.next_json(),
+        };
+        // Compact eagerly when fully drained, lazily otherwise: the hot
+        // path (one frame per read) hits the cheap `start == len` case.
+        if self.start >= self.buf.len() {
+            self.buf.clear();
+            self.start = 0;
+        } else if self.start > 4 * MAX_FRAME_LEN as usize {
+            self.buf.drain(..self.start);
+            self.start = 0;
+        }
+        step
+    }
+
+    fn next_binary(&mut self) -> Assembled {
+        let avail = &self.buf[self.start..];
+        let Some(prefix) = avail.get(..4) else { return Assembled::NeedMore };
+        let len = u32::from_le_bytes(prefix.try_into().expect("4 bytes"));
+        if len == 0 || len > MAX_FRAME_LEN {
+            return Assembled::Fatal(format!(
+                "frame length {len} outside 1..={MAX_FRAME_LEN}; framing lost"
+            ));
+        }
+        let total = 4 + len as usize;
+        if avail.len() < total {
+            return Assembled::NeedMore;
+        }
+        let decoded = decode_request(&avail[4..total]);
+        self.start += total;
+        match decoded {
+            Ok(request) => Assembled::Request(request),
+            Err(e) => Assembled::Malformed(malformed_reason(e)),
+        }
+    }
+
+    fn next_json(&mut self) -> Assembled {
+        let avail = &self.buf[self.start..];
+        let Some(newline) = avail.iter().position(|&b| b == b'\n') else {
+            if avail.len() > MAX_FRAME_LEN as usize {
+                return Assembled::Fatal(format!(
+                    "JSON line exceeds {MAX_FRAME_LEN} bytes with no terminator"
+                ));
+            }
+            return Assembled::NeedMore;
+        };
+        if newline > MAX_FRAME_LEN as usize {
+            return Assembled::Fatal(format!("JSON line exceeds {MAX_FRAME_LEN} bytes"));
+        }
+        let parsed = match std::str::from_utf8(&avail[..newline]) {
+            Ok(line) => parse_json_request(line),
+            Err(_) => Err(ProtocolError::Malformed("line is not UTF-8".into())),
+        };
+        self.start += newline + 1;
+        match parsed {
+            Ok(request) => Assembled::Request(request),
+            Err(e) => Assembled::Malformed(malformed_reason(e)),
+        }
+    }
+}
+
+/// The bare reason out of a decode error (the only kind the pure decoders
+/// produce) — what goes verbatim into an `ERR` reply's `"error"` field.
+fn malformed_reason(e: ProtocolError) -> String {
+    match e {
+        ProtocolError::Malformed(why) => why,
+        other => other.to_string(),
     }
 }
 
@@ -472,6 +659,105 @@ mod tests {
         let (opcode, body) = read_reply(&mut cursor).unwrap();
         assert_eq!(opcode, op::STATUS | op::REPLY);
         assert_eq!(body, b"{\"ok\":true}");
+    }
+
+    /// A frame with the given opcode and a deliberately wrong payload
+    /// length.
+    fn bad_frame(opcode: u8, body_len: usize) -> Vec<u8> {
+        let mut frame = Vec::new();
+        frame.extend_from_slice(&u32::try_from(1 + body_len).unwrap().to_le_bytes());
+        frame.push(opcode);
+        frame.extend(std::iter::repeat_n(0u8, body_len));
+        frame
+    }
+
+    /// Satellite coverage: every op with a wrong payload length decodes to
+    /// a *specific* structured message (these exact strings are what the
+    /// daemon's `ERR` replies carry, so they are pinned here).
+    #[test]
+    fn every_op_with_a_wrong_length_names_the_problem() {
+        let cases: [(u8, usize, &str); 5] = [
+            (op::OBS, 3, "OBS payload must be 16 bytes, got 3"),
+            (op::STATUS, 2, "STATUS payload must be empty, got 2 byte(s)"),
+            (op::SERIES, 11, "SERIES payload must be 8 bytes, got 11"),
+            (op::SHUTDOWN, 1, "SHUTDOWN payload must be empty, got 1 byte(s)"),
+            (0x7f, 0, "unknown opcode 0x7f"),
+        ];
+        for (opcode, body_len, expected) in cases {
+            let mut asm = FrameAssembler::new();
+            asm.extend(&bad_frame(opcode, body_len));
+            match asm.next_frame() {
+                Assembled::Malformed(why) => assert_eq!(why, expected),
+                other => panic!("opcode {opcode:#04x}: expected Malformed, got {other:?}"),
+            }
+            // Framing is intact: a valid frame right after still decodes.
+            asm.extend(&encode_obs(1, 2.0));
+            assert!(matches!(asm.next_frame(), Assembled::Request(Request::Obs { series: 1, .. })));
+        }
+    }
+
+    #[test]
+    fn assembler_reassembles_split_binary_frames() {
+        let mut asm = FrameAssembler::new();
+        let frame = encode_obs(42, -1.5);
+        // One byte at a time: every prefix is NeedMore, the last byte
+        // completes the request.
+        for &byte in &frame[..frame.len() - 1] {
+            asm.extend(&[byte]);
+            assert!(matches!(asm.next_frame(), Assembled::NeedMore));
+            assert!(asm.is_mid_frame());
+        }
+        asm.extend(&frame[frame.len() - 1..]);
+        match asm.next_frame() {
+            Assembled::Request(Request::Obs { series, value }) => {
+                assert_eq!((series, value), (42, -1.5));
+            }
+            other => panic!("expected the completed OBS, got {other:?}"),
+        }
+        assert!(!asm.is_mid_frame(), "the frame must be fully consumed");
+        // Two frames in one chunk drain back-to-back.
+        asm.extend(&encode_series(7));
+        asm.extend(&encode_op(op::STATUS));
+        assert!(matches!(asm.next_frame(), Assembled::Request(Request::Series { series: 7 })));
+        assert!(matches!(asm.next_frame(), Assembled::Request(Request::Status)));
+        assert!(matches!(asm.next_frame(), Assembled::NeedMore));
+    }
+
+    #[test]
+    fn assembler_out_of_range_lengths_are_fatal() {
+        for len in [0u32, MAX_FRAME_LEN + 1] {
+            let mut asm = FrameAssembler::new();
+            asm.extend(&len.to_le_bytes());
+            assert!(matches!(asm.next_frame(), Assembled::Fatal(_)), "length {len} must be fatal");
+        }
+    }
+
+    #[test]
+    fn assembler_selects_json_mode_and_bounds_lines() {
+        let mut asm = FrameAssembler::new();
+        asm.extend(b"{\"series\":3,\"value\":1.5}\n{\"cmd\":\"status\"}\n");
+        assert_eq!(asm.mode(), Some(WireMode::JsonLines));
+        assert!(matches!(asm.next_frame(), Assembled::Request(Request::Obs { series: 3, .. })));
+        assert!(matches!(asm.next_frame(), Assembled::Request(Request::Status)));
+        // A malformed line is recoverable (framing resyncs at newline)...
+        asm.extend(b"{\"cmd\":\"frobnicate\"}\n{\"cmd\":\"status\"}\n");
+        assert!(matches!(asm.next_frame(), Assembled::Malformed(_)));
+        assert!(matches!(asm.next_frame(), Assembled::Request(Request::Status)));
+        // ...but an unterminated line past MAX_FRAME_LEN is fatal: the
+        // buffer must not grow without bound (the satellite case).
+        let mut asm = FrameAssembler::new();
+        let oversized = vec![b'{'; MAX_FRAME_LEN as usize + 2];
+        asm.extend(&oversized);
+        match asm.next_frame() {
+            Assembled::Fatal(why) => assert!(why.contains("no terminator"), "{why}"),
+            other => panic!("unbounded line must be fatal, got {other:?}"),
+        }
+        // A terminated-but-oversized line is fatal too (same bound).
+        let mut asm = FrameAssembler::new();
+        let mut line = vec![b'{'; MAX_FRAME_LEN as usize + 2];
+        line.push(b'\n');
+        asm.extend(&line);
+        assert!(matches!(asm.next_frame(), Assembled::Fatal(_)));
     }
 
     #[test]

@@ -23,6 +23,39 @@
 //! `moche-stream`). Slow explains shed *explanation work*, never alarms
 //! and never pushes.
 //!
+//! ## Connection supervision
+//!
+//! Every accepted socket runs with a short read-timeout tick so its
+//! handler can enforce deadlines and observe the shutdown flag without
+//! ever blocking indefinitely on a peer:
+//!
+//! - **Idle budget** (`--idle-timeout`): a connection with no complete
+//!   request for that long is evicted (a slow-loris peer or a half-open
+//!   socket left by a crashed client).
+//! - **Mid-frame stall budget** (`--io-timeout`): a frame whose first
+//!   byte arrived but which has not completed within the budget is a
+//!   stall — trickling one byte per tick does not reset it. The same
+//!   budget is armed as the socket write timeout, so a client that never
+//!   reads its replies (write-side backpressure) is evicted too.
+//! - **Admission cap** (`--max-connections`): past the cap a new
+//!   connection gets one binary-framed `BUSY` reply with a retry hint,
+//!   then a close — the daemon never silently hangs a client.
+//! - **Error budget** (`--error-budget`): a malformed frame or line gets
+//!   a structured `ERR` reply naming the defect; a connection that spends
+//!   its budget is closed. Unframeable byte streams (a corrupt length
+//!   prefix, an unterminated oversized JSON line) close immediately.
+//!
+//! Every eviction and rejection is counted in [`FleetStats`], visible in
+//! `STATUS` replies and in the final `health:` line.
+//!
+//! ## Graceful drain
+//!
+//! `SIGTERM`/`SIGINT` (and the wire `SHUTDOWN` request) flip the shutdown
+//! flag and wake the accept loop by self-connecting: the daemon stops
+//! accepting, lets in-flight handlers finish their current request or hit
+//! their deadlines, drains the ingest rings, writes a final per-shard
+//! checkpoint, prints the `health:` line, and exits 0.
+//!
 //! ## Crash safety
 //!
 //! Each worker checkpoints its shard every `--checkpoint-every` accepted
@@ -35,20 +68,28 @@
 
 use crate::commands::{HealthReport, RunStatus};
 use crate::io::CliError;
-use crate::protocol::{self, op, JsonObject, ProtocolError, Request};
+use crate::protocol::{self, op, Assembled, FrameAssembler, JsonObject, Request, WireMode};
 use moche_stream::{
     shard_of, ExplainedAlarm, FleetConfig, FleetPush, FleetShard, FleetStats, MonitorConfig,
     MonitorFleet, SeriesStats,
 };
-use std::io::{BufRead, BufReader, Read, Write};
-use std::net::{TcpListener, TcpStream};
+use std::io::{self, ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
 #[cfg(unix)]
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicI32, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{self, Receiver, RecvTimeoutError, SyncSender};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
+
+/// The supervised read tick: how long a handler blocks in one socket read
+/// before re-checking deadlines and the shutdown flag. Deadline precision
+/// and drain latency are both within one tick.
+const READ_TICK: Duration = Duration::from_millis(100);
+
+/// The retry hint carried by a `BUSY` reply.
+const BUSY_RETRY_MS: u64 = 1000;
 
 /// Where the daemon listens.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -82,6 +123,23 @@ pub struct ServeOptions {
     pub ring: usize,
     /// Fleet-wide cap on tracked series (`0` = unbounded).
     pub max_series: usize,
+    /// Cap on concurrently served connections (`0` = unbounded); excess
+    /// connections get a `BUSY` reply and a close.
+    pub max_connections: usize,
+    /// Seconds a connection may sit with no complete request before it is
+    /// evicted (`0` = no idle eviction).
+    pub idle_timeout: u64,
+    /// Seconds a started frame may stall mid-wire — and the socket write
+    /// timeout for replies — before the connection is evicted (`0` = no
+    /// I/O deadline).
+    pub io_timeout: u64,
+    /// Malformed frames/lines a connection may send (each answered with a
+    /// structured error) before it is closed.
+    pub error_budget: u32,
+    /// Install SIGTERM/SIGINT handlers for graceful drain (the CLI always
+    /// sets this; in-process tests leave it off — signal dispositions are
+    /// process-global).
+    pub handle_signals: bool,
     /// Directory for per-shard checkpoint files.
     pub checkpoint_dir: Option<PathBuf>,
     /// Checkpoint cadence in accepted observations per shard (`None` =
@@ -93,6 +151,15 @@ pub struct ServeOptions {
     pub sr_filter_window: Option<usize>,
     /// Spectral-Residual score window override.
     pub sr_score_window: Option<usize>,
+}
+
+/// The supervision limits, resolved from [`ServeOptions`] once at startup.
+#[derive(Debug, Clone, Copy)]
+struct Limits {
+    max_connections: usize,
+    idle: Option<Duration>,
+    io: Option<Duration>,
+    error_budget: u32,
 }
 
 /// What a shard worker can be asked to do. Observations and queries share
@@ -107,17 +174,49 @@ enum WorkerMsg {
 /// Immutable run context shared by the connection handlers.
 struct ServeContext {
     stats: Arc<FleetStats>,
-    shutdown: AtomicBool,
+    /// Shared with the signal callback, which outlives the serve scope.
+    shutdown: Arc<AtomicBool>,
     cfg: FleetConfig,
     workers: usize,
+    limits: Limits,
+    /// Gauge of currently served connections (the admission cap input).
+    active: AtomicUsize,
+    /// Connection id allocator for the `CLOSE conn=N` log lines.
+    conn_seq: AtomicU64,
+    /// The signal number that triggered shutdown, if any (for the drain
+    /// log line; written by the signal callback).
+    signal_seen: Arc<AtomicI32>,
+}
+
+/// Why a connection handler returned. Transport/protocol causes carry the
+/// detail their log line or counter needs.
+enum CloseReason {
+    /// Clean close by the peer; nothing to count.
+    PeerClosed,
+    /// This connection requested `SHUTDOWN`; the drain is its doing.
+    ShutdownRequested,
+    /// Closed by the graceful drain of somebody else's shutdown.
+    Drained,
+    /// No complete request within the idle budget.
+    IdleTimeout(Duration),
+    /// A frame started but stalled past the I/O budget.
+    ReadStalled(Duration),
+    /// The peer stopped reading replies (socket write timeout).
+    WriteStalled,
+    /// The malformed-frame budget was spent.
+    ErrorBudget(u32),
+    /// The byte stream could no longer be framed.
+    ProtocolFatal(String),
+    /// The transport failed outright.
+    Transport(io::Error),
 }
 
 fn default_workers() -> usize {
     std::thread::available_parallelism().map_or(2, |n| n.get().min(8))
 }
 
-/// Runs the daemon until a `SHUTDOWN` request, writing the startup line,
-/// alarm log, and final summary to `out`.
+/// Runs the daemon until a `SHUTDOWN` request or a termination signal,
+/// writing the startup line, alarm log, and final summary to `out`.
 ///
 /// # Errors
 ///
@@ -140,6 +239,12 @@ pub fn run_serve(opts: &ServeOptions, out: &mut dyn Write) -> Result<RunStatus, 
     let mut fleet_cfg = FleetConfig::new(workers, monitor);
     fleet_cfg.explain_queue = opts.explain_queue;
     fleet_cfg.max_series = if opts.max_series == 0 { usize::MAX } else { opts.max_series };
+    let limits = Limits {
+        max_connections: opts.max_connections,
+        idle: (opts.idle_timeout > 0).then(|| Duration::from_secs(opts.idle_timeout)),
+        io: (opts.io_timeout > 0).then(|| Duration::from_secs(opts.io_timeout)),
+        error_budget: opts.error_budget,
+    };
 
     let fleet = match (&opts.checkpoint_dir, opts.resume) {
         (Some(dir), true) if dir.is_dir() => {
@@ -170,10 +275,50 @@ pub fn run_serve(opts: &ServeOptions, out: &mut dyn Write) -> Result<RunStatus, 
         "moche serve: {} worker(s), window {}, alpha {}, explain queue {}, ring {}",
         workers, opts.window, opts.alpha, opts.explain_queue, opts.ring
     )?;
+    writeln!(
+        out,
+        "moche serve: limits — max-connections {}, idle-timeout {}s, io-timeout {}s, \
+         error-budget {} (0 = unbounded)",
+        limits.max_connections, opts.idle_timeout, opts.io_timeout, limits.error_budget
+    )?;
     out.flush()?;
 
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let signal_seen = Arc::new(AtomicI32::new(0));
+    if opts.handle_signals {
+        let shutdown = Arc::clone(&shutdown);
+        let signal_seen = Arc::clone(&signal_seen);
+        let waker = listener.waker();
+        let installed = moche_signal::on_termination(move |signal| {
+            signal_seen.store(signal, Ordering::SeqCst);
+            shutdown.store(true, Ordering::SeqCst);
+            if let Err(why) = waker.wake() {
+                // The log channel may already be gone during teardown;
+                // stderr is the only safe sink from this thread.
+                eprintln!("moche serve: signal drain: {why}");
+            }
+        });
+        if let Err(e) = installed {
+            writeln!(
+                out,
+                "moche serve: WARNING: signal handling unavailable ({e}); \
+                 SIGTERM will not drain gracefully"
+            )?;
+            out.flush()?;
+        }
+    }
+
     let (cfg, shards, stats) = fleet.into_shards();
-    let ctx = ServeContext { stats, shutdown: AtomicBool::new(false), cfg, workers };
+    let ctx = ServeContext {
+        stats,
+        shutdown,
+        cfg,
+        workers,
+        limits,
+        active: AtomicUsize::new(0),
+        conn_seq: AtomicU64::new(1),
+        signal_seen,
+    };
     let (log_tx, log_rx) = mpsc::channel::<String>();
 
     std::thread::scope(|s| -> Result<(), CliError> {
@@ -218,6 +363,8 @@ pub fn run_serve(opts: &ServeOptions, out: &mut dyn Write) -> Result<RunStatus, 
         skipped_observations: view.skipped_observations as usize,
         degraded_preferences: view.degraded_preferences as usize,
         checkpoints_written: view.checkpoints_written as usize,
+        evicted_connections: view.evicted_connections() as usize,
+        busy_rejections: view.busy_rejections as usize,
     };
     writeln!(
         out,
@@ -328,9 +475,11 @@ fn checkpoint_now(shard: &FleetShard, dir: Option<&Path>, log: &mpsc::Sender<Str
     }
 }
 
-/// Accepts connections until shutdown, spawning one handler per
-/// connection on the same scope. The `serve.accept` failpoint injects a
-/// simulated accept failure (logged, then the loop keeps listening).
+/// Accepts connections until shutdown, spawning one supervised handler
+/// per admitted connection on the same scope. Past `--max-connections`
+/// a connection gets a `BUSY` reply instead of a handler. The
+/// `serve.accept` failpoint injects a simulated accept failure (logged,
+/// then the loop keeps listening).
 fn accept_loop<'scope>(
     s: &'scope std::thread::Scope<'scope, '_>,
     listener: &'scope Listener,
@@ -354,94 +503,303 @@ fn accept_loop<'scope>(
         if ctx.shutdown.load(Ordering::SeqCst) {
             break; // the shutdown self-connect, or a straggler
         }
+        let cap = ctx.limits.max_connections;
+        let active = ctx.active.load(Ordering::SeqCst);
+        if cap > 0 && active >= cap {
+            ctx.stats.busy_rejections.fetch_add(1, Ordering::Relaxed);
+            let _ = log.send(format!(
+                "BUSY rejecting connection: {active} active >= --max-connections {cap}"
+            ));
+            reject_busy(conn, ctx);
+            continue;
+        }
+        ctx.active.fetch_add(1, Ordering::SeqCst);
+        ctx.stats.connections_opened.fetch_add(1, Ordering::Relaxed);
+        let id = ctx.conn_seq.fetch_add(1, Ordering::Relaxed);
         let senders = senders.clone();
         let log = log.clone();
         s.spawn(move || {
-            if let Err(e) = handle_connection(conn, &senders, ctx, listener, &log) {
-                let _ = log.send(format!("CONNECTION error: {e}"));
-            }
+            let reason = handle_connection(id, conn, &senders, ctx, listener, &log);
+            note_close(id, reason, ctx, &log);
+            ctx.active.fetch_sub(1, Ordering::SeqCst);
         });
+    }
+    let signal = ctx.signal_seen.swap(0, Ordering::SeqCst);
+    if signal != 0 {
+        let _ = log.send(format!(
+            "SIGNAL {}: graceful drain — no longer accepting, \
+             waiting for in-flight handlers",
+            moche_signal::signal_name(signal)
+        ));
     }
     // Dropping `senders` (the last clones once handlers finish) lets the
     // workers drain their rings and exit.
 }
 
-/// Serves one connection in whichever wire mode its first byte selects.
+/// Turns a connection away at the admission cap: one binary-framed `BUSY`
+/// reply with a retry hint, then the close. Best-effort with a short
+/// write timeout — a rejected client gets no second chance to stall us.
+fn reject_busy(mut conn: Conn, ctx: &ServeContext) {
+    let _ = conn.set_write_timeout(Some(Duration::from_secs(1)));
+    let body = JsonObject::new()
+        .field_bool("busy", true)
+        .field_u64("retry_after_ms", BUSY_RETRY_MS)
+        .field_u64("max_connections", ctx.limits.max_connections as u64)
+        .field_u64("active_connections", ctx.active.load(Ordering::SeqCst) as u64)
+        .build();
+    let _ = protocol::write_reply(&mut conn, op::BUSY, &body);
+}
+
+/// Serves one connection under supervision: a [`FrameAssembler`] owns the
+/// partial-input state while the socket runs on a [`READ_TICK`] read
+/// timeout, so every tick can check the idle budget, the mid-frame stall
+/// budget, and the shutdown flag. Returns why the connection ended; the
+/// caller counts and logs it.
 fn handle_connection(
-    conn: Conn,
+    id: u64,
+    mut conn: Conn,
     senders: &[SyncSender<WorkerMsg>],
     ctx: &ServeContext,
     listener: &Listener,
     log: &mpsc::Sender<String>,
-) -> Result<(), ProtocolError> {
-    let mut reader = BufReader::new(conn);
-    let first = match reader.fill_buf() {
-        Ok([]) => return Ok(()), // connected and left
-        Ok(buf) => buf[0],
-        Err(e) => return Err(ProtocolError::from(e)),
-    };
-    let json_mode = first == b'{';
-    let mut line = String::new();
+) -> CloseReason {
+    if let Err(e) = conn.set_read_timeout(Some(READ_TICK)) {
+        return CloseReason::Transport(e);
+    }
+    if let Err(e) = conn.set_write_timeout(ctx.limits.io) {
+        return CloseReason::Transport(e);
+    }
+    let mut asm = FrameAssembler::new();
+    let mut read_buf = [0u8; 4096];
+    let mut malformed: u32 = 0;
+    let mut last_activity = Instant::now();
+    // The first byte of the frame currently on the wire — the mid-frame
+    // stall clock. Reset whenever a frame completes, so a pipelining
+    // client is never mistaken for a trickling one.
+    let mut frame_start: Option<Instant> = None;
     loop {
-        let request = if json_mode {
-            line.clear();
-            match reader.read_line(&mut line) {
-                Ok(0) => return Ok(()),
-                Ok(_) => protocol::parse_json_request(&line)?,
-                Err(e) => return Err(ProtocolError::from(e)),
+        // Drain every complete request already buffered.
+        let mut consumed_any = false;
+        loop {
+            match asm.next_frame() {
+                Assembled::Request(request) => {
+                    consumed_any = true;
+                    last_activity = Instant::now();
+                    match apply_request(request, asm.mode(), &mut conn, senders, ctx, listener, log)
+                    {
+                        Ok(Flow::Continue) => {}
+                        Ok(Flow::Close(reason)) => return reason,
+                        Err(e) => return write_failure_reason(e),
+                    }
+                }
+                Assembled::Malformed(why) => {
+                    consumed_any = true;
+                    last_activity = Instant::now();
+                    ctx.stats.malformed_frames.fetch_add(1, Ordering::Relaxed);
+                    malformed += 1;
+                    if malformed > ctx.limits.error_budget {
+                        // Budget spent: one final (fatal) reply, then out.
+                        let _ = respond(&mut conn, asm.mode(), op::ERR, &error_json(&why, None));
+                        return CloseReason::ErrorBudget(malformed);
+                    }
+                    let remaining = ctx.limits.error_budget - malformed;
+                    let body = error_json(&why, Some(remaining));
+                    if let Err(e) = respond(&mut conn, asm.mode(), op::ERR, &body) {
+                        return write_failure_reason(e);
+                    }
+                }
+                Assembled::Fatal(why) => {
+                    ctx.stats.malformed_frames.fetch_add(1, Ordering::Relaxed);
+                    let _ = respond(&mut conn, asm.mode(), op::ERR, &error_json(&why, None));
+                    return CloseReason::ProtocolFatal(why);
+                }
+                Assembled::NeedMore => break,
             }
-        } else {
-            match protocol::read_request(&mut reader) {
-                Ok(request) => request,
-                Err(ProtocolError::Closed) => return Ok(()),
-                Err(e) => return Err(e),
+            if ctx.shutdown.load(Ordering::SeqCst) {
+                return drain_close(id, &mut conn, asm.mode(), log);
             }
-        };
-        match request {
-            Request::Obs { series, value } => {
-                let shard = shard_of(series, senders.len());
-                // A full ring blocks here: backpressure reaches the
-                // client through its stalled stream.
-                if senders[shard].send(WorkerMsg::Obs { series, value }).is_err() {
-                    return Ok(()); // shutting down
+        }
+        if !asm.is_mid_frame() {
+            frame_start = None;
+        } else if consumed_any || frame_start.is_none() {
+            frame_start = Some(Instant::now());
+        }
+        if let Some(moche_core::fault::Fault::Error) = moche_core::fault::failpoint("serve.read") {
+            // Deterministic stand-in for a real mid-frame stall: evicted
+            // and counted exactly like one, without waiting out a clock.
+            let why = "injected read stall (serve.read); connection evicted";
+            let _ = respond(&mut conn, asm.mode(), op::ERR, &error_json(why, None));
+            return CloseReason::ReadStalled(Duration::ZERO);
+        }
+        match conn.read(&mut read_buf) {
+            Ok(0) => return CloseReason::PeerClosed,
+            Ok(n) => asm.extend(&read_buf[..n]),
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                // One supervision tick: nothing arrived within READ_TICK.
+                if ctx.shutdown.load(Ordering::SeqCst) {
+                    return drain_close(id, &mut conn, asm.mode(), log);
+                }
+                let now = Instant::now();
+                if let (Some(io_budget), Some(started)) = (ctx.limits.io, frame_start) {
+                    let stalled = now.duration_since(started);
+                    if asm.is_mid_frame() && stalled >= io_budget {
+                        let why = "mid-frame stall exceeded --io-timeout; connection evicted";
+                        let _ = respond(&mut conn, asm.mode(), op::ERR, &error_json(why, None));
+                        return CloseReason::ReadStalled(stalled);
+                    }
+                }
+                if let Some(idle_budget) = ctx.limits.idle {
+                    let idle = now.duration_since(last_activity);
+                    if !asm.is_mid_frame() && idle >= idle_budget {
+                        let why = "idle timeout; connection evicted";
+                        let _ = respond(&mut conn, asm.mode(), op::ERR, &error_json(why, None));
+                        return CloseReason::IdleTimeout(idle);
+                    }
                 }
             }
-            Request::Status => {
-                let body = status_json(ctx);
-                respond(&mut reader, json_mode, op::STATUS, &body)?;
-            }
-            Request::Series { series } => {
-                let body = series_json(series, senders, ctx);
-                respond(&mut reader, json_mode, op::SERIES, &body)?;
-            }
-            Request::Shutdown => {
-                let body = status_json(ctx);
-                respond(&mut reader, json_mode, op::SHUTDOWN, &body)?;
-                let _ = log.send("SHUTDOWN requested".to_string());
-                ctx.shutdown.store(true, Ordering::SeqCst);
-                listener.unblock_accept();
-                return Ok(());
-            }
+            Err(e) => return CloseReason::Transport(e),
         }
     }
 }
 
-/// Writes one reply in the connection's wire mode.
-fn respond(
-    reader: &mut BufReader<Conn>,
-    json_mode: bool,
-    opcode: u8,
-    body: &str,
-) -> Result<(), ProtocolError> {
-    let conn = reader.get_mut();
-    if json_mode {
-        conn.write_all(body.as_bytes())?;
-        conn.write_all(b"\n")?;
-        conn.flush()?;
-    } else {
-        protocol::write_reply(conn, opcode, body)?;
+/// What [`apply_request`] tells the supervision loop to do next.
+enum Flow {
+    Continue,
+    Close(CloseReason),
+}
+
+/// Executes one decoded request on an admitted connection.
+fn apply_request(
+    request: Request,
+    mode: Option<WireMode>,
+    conn: &mut Conn,
+    senders: &[SyncSender<WorkerMsg>],
+    ctx: &ServeContext,
+    listener: &Listener,
+    log: &mpsc::Sender<String>,
+) -> io::Result<Flow> {
+    match request {
+        Request::Obs { series, value } => {
+            let shard = shard_of(series, senders.len());
+            // A full ring blocks here: backpressure reaches the client
+            // through its stalled stream.
+            if senders[shard].send(WorkerMsg::Obs { series, value }).is_err() {
+                return Ok(Flow::Close(CloseReason::ShutdownRequested));
+            }
+        }
+        Request::Status => respond(conn, mode, op::STATUS, &status_json(ctx))?,
+        Request::Series { series } => {
+            respond(conn, mode, op::SERIES, &series_json(series, senders, ctx))?;
+        }
+        Request::Shutdown => {
+            respond(conn, mode, op::SHUTDOWN, &status_json(ctx))?;
+            let _ = log.send("SHUTDOWN requested".to_string());
+            ctx.shutdown.store(true, Ordering::SeqCst);
+            if let Err(why) = listener.waker().wake() {
+                let _ = log.send(format!("SHUTDOWN: {why}"));
+            }
+            return Ok(Flow::Close(CloseReason::ShutdownRequested));
+        }
     }
-    Ok(())
+    Ok(Flow::Continue)
+}
+
+/// Closes one surviving connection during a graceful drain: a courtesy
+/// notice, then the close. The `serve.drain` failpoint proves chaos tests
+/// drive this exact path.
+fn drain_close(
+    id: u64,
+    conn: &mut Conn,
+    mode: Option<WireMode>,
+    log: &mpsc::Sender<String>,
+) -> CloseReason {
+    if let Some(moche_core::fault::Fault::Error) = moche_core::fault::failpoint("serve.drain") {
+        let _ = log.send(format!("DRAIN failpoint conn={id}: injected close error (ignored)"));
+    }
+    let _ = respond(conn, mode, op::ERR, &error_json("daemon draining for shutdown", None));
+    CloseReason::Drained
+}
+
+/// Counts and logs a finished connection. Clean closes are silent; every
+/// eviction gets a `CLOSE conn=N reason=...` line and a counter.
+fn note_close(id: u64, reason: CloseReason, ctx: &ServeContext, log: &mpsc::Sender<String>) {
+    let stats = &ctx.stats;
+    match reason {
+        CloseReason::PeerClosed | CloseReason::ShutdownRequested => {}
+        CloseReason::Drained => {
+            stats.drained_connections.fetch_add(1, Ordering::Relaxed);
+            let _ = log.send(format!("CLOSE conn={id} reason=drained"));
+        }
+        CloseReason::IdleTimeout(idle) => {
+            stats.idle_timeouts.fetch_add(1, Ordering::Relaxed);
+            let _ = log
+                .send(format!("CLOSE conn={id} reason=idle-timeout idle_ms={}", idle.as_millis()));
+        }
+        CloseReason::ReadStalled(stalled) => {
+            stats.stalled_reads.fetch_add(1, Ordering::Relaxed);
+            let _ = log.send(format!(
+                "CLOSE conn={id} reason=read-stall stalled_ms={}",
+                stalled.as_millis()
+            ));
+        }
+        CloseReason::WriteStalled => {
+            stats.stalled_writes.fetch_add(1, Ordering::Relaxed);
+            let _ = log.send(format!("CLOSE conn={id} reason=write-stall (peer not reading)"));
+        }
+        CloseReason::ErrorBudget(count) => {
+            stats.error_budget_closes.fetch_add(1, Ordering::Relaxed);
+            let _ = log.send(format!("CLOSE conn={id} reason=error-budget malformed={count}"));
+        }
+        CloseReason::ProtocolFatal(why) => {
+            stats.error_budget_closes.fetch_add(1, Ordering::Relaxed);
+            let _ = log.send(format!("CLOSE conn={id} reason=protocol-fatal: {why}"));
+        }
+        CloseReason::Transport(e) => {
+            let _ = log.send(format!("CONNECTION error: {e}"));
+        }
+    }
+}
+
+/// Classifies a failed reply write: a timeout means the peer stopped
+/// reading (eviction), anything else is a transport failure.
+fn write_failure_reason(e: io::Error) -> CloseReason {
+    if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) {
+        CloseReason::WriteStalled
+    } else {
+        CloseReason::Transport(e)
+    }
+}
+
+/// Writes one reply in the connection's wire mode (binary before the mode
+/// is known — only server-initiated notices are sent that early). The
+/// `serve.write` failpoint injects a deterministic write stall.
+fn respond(conn: &mut Conn, mode: Option<WireMode>, opcode: u8, body: &str) -> io::Result<()> {
+    if let Some(moche_core::fault::Fault::Error) = moche_core::fault::failpoint("serve.write") {
+        return Err(io::Error::new(ErrorKind::WouldBlock, "injected write stall (serve.write)"));
+    }
+    match mode {
+        Some(WireMode::JsonLines) => {
+            conn.write_all(body.as_bytes())?;
+            conn.write_all(b"\n")?;
+            conn.flush()
+        }
+        _ => protocol::write_reply(conn, opcode, body),
+    }
+}
+
+/// An `ERR` reply body. `budget_remaining` is how many more malformed
+/// frames the connection may send; `None` marks the error fatal (the
+/// connection closes right after).
+fn error_json(why: &str, budget_remaining: Option<u32>) -> String {
+    // JsonObject does not escape; the reasons are our own text, but
+    // malformed JSON echoes could smuggle a quote through `unknown cmd`.
+    let why = why.replace(['"', '\\'], "'");
+    let obj = JsonObject::new().field_str("error", &why);
+    match budget_remaining {
+        Some(r) => obj.field_u64("budget_remaining", u64::from(r)).build(),
+        None => obj.field_bool("fatal", true).build(),
+    }
 }
 
 /// The status endpoint body: every fleet counter plus the run
@@ -461,10 +819,23 @@ fn status_json(ctx: &ServeContext) -> String {
         .field_u64("rejected_at_capacity", view.rejected_at_capacity)
         .field_u64("checkpoints_written", view.checkpoints_written)
         .field_u64("checkpoint_failures", view.checkpoint_failures)
+        .field_u64("connections_opened", view.connections_opened)
+        .field_u64("active_connections", ctx.active.load(Ordering::SeqCst) as u64)
+        .field_u64("busy_rejections", view.busy_rejections)
+        .field_u64("idle_timeouts", view.idle_timeouts)
+        .field_u64("stalled_reads", view.stalled_reads)
+        .field_u64("stalled_writes", view.stalled_writes)
+        .field_u64("malformed_frames", view.malformed_frames)
+        .field_u64("error_budget_closes", view.error_budget_closes)
+        .field_u64("drained_connections", view.drained_connections)
         .field_bool("clean", view.is_clean())
         .field_u64("workers", ctx.workers as u64)
         .field_u64("window", ctx.cfg.monitor.window as u64)
         .field_f64("alpha", ctx.cfg.monitor.alpha)
+        .field_u64("max_connections", ctx.limits.max_connections as u64)
+        .field_u64("idle_timeout_secs", ctx.limits.idle.map_or(0, |d| d.as_secs()))
+        .field_u64("io_timeout_secs", ctx.limits.io.map_or(0, |d| d.as_secs()))
+        .field_u64("error_budget", u64::from(ctx.limits.error_budget))
         .build()
 }
 
@@ -493,7 +864,7 @@ fn series_json(series: u64, senders: &[SyncSender<WorkerMsg>], ctx: &ServeContex
 
 /// The daemon's listening socket, TCP or unix-domain.
 enum Listener {
-    Tcp(TcpListener, std::net::SocketAddr),
+    Tcp(TcpListener, SocketAddr),
     #[cfg(unix)]
     Unix(UnixListener, PathBuf),
 }
@@ -532,7 +903,7 @@ impl Listener {
         }
     }
 
-    fn accept(&self) -> std::io::Result<Conn> {
+    fn accept(&self) -> io::Result<Conn> {
         match self {
             Listener::Tcp(listener, _) => listener.accept().map(|(s, _)| Conn::Tcp(s)),
             #[cfg(unix)]
@@ -540,18 +911,14 @@ impl Listener {
         }
     }
 
-    /// Wakes a blocked `accept` after the shutdown flag is set, by
-    /// connecting to ourselves. Failure is harmless — the accept loop
-    /// also re-checks the flag on every real connection.
-    fn unblock_accept(&self) {
+    /// A handle that can wake a blocked `accept` from any thread (the
+    /// signal callback outlives the serve scope, so it cannot borrow the
+    /// listener itself).
+    fn waker(&self) -> AcceptWaker {
         match self {
-            Listener::Tcp(_, local) => {
-                let _ = TcpStream::connect_timeout(local, Duration::from_millis(250));
-            }
+            Listener::Tcp(_, local) => AcceptWaker::Tcp(*local),
             #[cfg(unix)]
-            Listener::Unix(_, path) => {
-                let _ = UnixStream::connect(path);
-            }
+            Listener::Unix(_, path) => AcceptWaker::Unix(path.clone()),
         }
     }
 
@@ -563,6 +930,42 @@ impl Listener {
     }
 }
 
+/// Wakes a blocked `accept` after the shutdown flag is set, by connecting
+/// to ourselves. `signal(2)` installs `SA_RESTART` handlers on glibc, so
+/// a termination signal alone never interrupts `accept` — this
+/// self-connect *is* the wake mechanism, and its failure is worth a log
+/// line, not a shrug.
+#[derive(Clone)]
+enum AcceptWaker {
+    Tcp(SocketAddr),
+    #[cfg(unix)]
+    Unix(PathBuf),
+}
+
+impl AcceptWaker {
+    fn wake(&self) -> Result<(), String> {
+        let mut last = String::new();
+        for attempt in 1..=3u32 {
+            let result = match self {
+                AcceptWaker::Tcp(addr) => {
+                    TcpStream::connect_timeout(addr, Duration::from_millis(250)).map(drop)
+                }
+                #[cfg(unix)]
+                AcceptWaker::Unix(path) => UnixStream::connect(path).map(drop),
+            };
+            match result {
+                Ok(()) => return Ok(()),
+                Err(e) => last = format!("attempt {attempt}: {e}"),
+            }
+            std::thread::sleep(Duration::from_millis(50));
+        }
+        Err(format!(
+            "could not wake the accept loop after 3 self-connect attempts ({last}); \
+             it will notice shutdown on its next accepted connection"
+        ))
+    }
+}
+
 /// One accepted connection.
 enum Conn {
     Tcp(TcpStream),
@@ -570,8 +973,26 @@ enum Conn {
     Unix(UnixStream),
 }
 
+impl Conn {
+    fn set_read_timeout(&self, timeout: Option<Duration>) -> io::Result<()> {
+        match self {
+            Conn::Tcp(s) => s.set_read_timeout(timeout),
+            #[cfg(unix)]
+            Conn::Unix(s) => s.set_read_timeout(timeout),
+        }
+    }
+
+    fn set_write_timeout(&self, timeout: Option<Duration>) -> io::Result<()> {
+        match self {
+            Conn::Tcp(s) => s.set_write_timeout(timeout),
+            #[cfg(unix)]
+            Conn::Unix(s) => s.set_write_timeout(timeout),
+        }
+    }
+}
+
 impl Read for Conn {
-    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
         match self {
             Conn::Tcp(s) => s.read(buf),
             #[cfg(unix)]
@@ -581,7 +1002,7 @@ impl Read for Conn {
 }
 
 impl Write for Conn {
-    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
         match self {
             Conn::Tcp(s) => s.write(buf),
             #[cfg(unix)]
@@ -589,7 +1010,7 @@ impl Write for Conn {
         }
     }
 
-    fn flush(&mut self) -> std::io::Result<()> {
+    fn flush(&mut self) -> io::Result<()> {
         match self {
             Conn::Tcp(s) => s.flush(),
             #[cfg(unix)]
@@ -658,6 +1079,8 @@ fn arm_faults_from_env(out: &mut dyn Write) -> Result<(), CliError> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::protocol::MAX_FRAME_LEN;
+    use std::io::{BufRead, BufReader};
 
     fn options(listen: Listen) -> ServeOptions {
         ServeOptions {
@@ -670,6 +1093,11 @@ mod tests {
             explain_queue: 64,
             ring: 128,
             max_series: 0,
+            max_connections: 32,
+            idle_timeout: 30,
+            io_timeout: 30,
+            error_budget: 3,
+            handle_signals: false,
             checkpoint_dir: None,
             checkpoint_every: None,
             resume: false,
@@ -678,44 +1106,91 @@ mod tests {
         }
     }
 
+    /// A pipe-like writer that forwards the bound address from the
+    /// "listening on" startup line as soon as it is flushed.
+    struct FirstLine {
+        buf: Vec<u8>,
+        tx: Option<mpsc::Sender<String>>,
+    }
+
+    impl Write for FirstLine {
+        fn write(&mut self, b: &[u8]) -> io::Result<usize> {
+            self.buf.extend_from_slice(b);
+            Ok(b.len())
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            if self.tx.is_some() {
+                let addr = self
+                    .buf
+                    .split(|&b| b == b'\n')
+                    .filter_map(|line| std::str::from_utf8(line).ok())
+                    .find(|line| line.contains("listening on"))
+                    .map(|line| line.rsplit(' ').next().unwrap_or_default().to_string());
+                if let (Some(addr), Some(tx)) = (addr, self.tx.take()) {
+                    let _ = tx.send(addr);
+                }
+            }
+            Ok(())
+        }
+    }
+
+    /// Runs the daemon on a background thread and returns its join handle
+    /// plus the bound address.
+    #[allow(clippy::type_complexity)]
+    fn spawn_server(opts: ServeOptions) -> (std::thread::JoinHandle<(RunStatus, Vec<u8>)>, String) {
+        let (addr_tx, addr_rx) = mpsc::channel::<String>();
+        let server = std::thread::spawn(move || {
+            let mut out = FirstLine { buf: Vec::new(), tx: Some(addr_tx) };
+            let status = run_serve(&opts, &mut out).expect("serve runs");
+            (status, out.buf)
+        });
+        let addr = addr_rx.recv_timeout(Duration::from_secs(10)).expect("startup line");
+        (server, addr)
+    }
+
+    /// Asks the daemon to shut down over a fresh connection.
+    fn request_shutdown(addr: &str) {
+        let mut conn = TcpStream::connect(addr).expect("connect for shutdown");
+        conn.write_all(&protocol::encode_op(op::SHUTDOWN)).unwrap();
+        let _ = protocol::read_reply(&mut conn);
+    }
+
+    /// Extracts `"key":N` from a flat JSON body.
+    fn json_counter(body: &str, key: &str) -> u64 {
+        let needle = format!("\"{key}\":");
+        let at = body.find(&needle).unwrap_or_else(|| panic!("{key} in {body}"));
+        body[at + needle.len()..]
+            .chars()
+            .take_while(char::is_ascii_digit)
+            .collect::<String>()
+            .parse()
+            .unwrap_or_else(|_| panic!("{key} is numeric in {body}"))
+    }
+
+    /// Polls STATUS on fresh connections until `key` reaches `at_least`
+    /// (counters for a closing connection land just *after* its socket
+    /// closes, so an immediate read can race them).
+    fn wait_for_counter(addr: &str, key: &str, at_least: u64) -> String {
+        let mut body = String::new();
+        for _ in 0..250 {
+            let mut conn = TcpStream::connect(addr).expect("connect for status");
+            conn.write_all(&protocol::encode_op(op::STATUS)).unwrap();
+            let (_, reply) = protocol::read_reply(&mut conn).expect("status reply");
+            body = String::from_utf8(reply).unwrap();
+            if json_counter(&body, key) >= at_least {
+                return body;
+            }
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        panic!("STATUS {key} never reached {at_least}: {body}");
+    }
+
     /// End-to-end over a real TCP socket, in-process: push a drifting
     /// series in binary mode, check status and per-series replies, shut
     /// down gracefully, and verify the final RunStatus health.
     #[test]
     fn serve_round_trip_over_tcp() {
-        let opts = options(Listen::Tcp("127.0.0.1:0".into()));
-        let mut out = Vec::new();
-        let (addr_tx, addr_rx) = mpsc::channel::<String>();
-        let server = std::thread::spawn(move || {
-            // A pipe-like writer that forwards the first line (with the
-            // bound address) as soon as it is flushed.
-            struct FirstLine {
-                buf: Vec<u8>,
-                sent: bool,
-                tx: mpsc::Sender<String>,
-            }
-            impl Write for FirstLine {
-                fn write(&mut self, b: &[u8]) -> std::io::Result<usize> {
-                    self.buf.extend_from_slice(b);
-                    Ok(b.len())
-                }
-                fn flush(&mut self) -> std::io::Result<()> {
-                    if !self.sent {
-                        if let Some(pos) = self.buf.iter().position(|&b| b == b'\n') {
-                            let line = String::from_utf8_lossy(&self.buf[..pos]).into_owned();
-                            let addr = line.rsplit(' ').next().unwrap_or_default().to_string();
-                            self.sent = true;
-                            let _ = self.tx.send(addr);
-                        }
-                    }
-                    Ok(())
-                }
-            }
-            let mut first = FirstLine { buf: Vec::new(), sent: false, tx: addr_tx };
-            let status = run_serve(&opts, &mut first).expect("serve runs");
-            (status, first.buf)
-        });
-        let addr = addr_rx.recv_timeout(Duration::from_secs(10)).expect("startup line");
+        let (server, addr) = spawn_server(options(Listen::Tcp("127.0.0.1:0".into())));
         let mut conn = TcpStream::connect(&addr).expect("connect");
         // A level shift after 200 stationary observations must alarm.
         for i in 0..400u64 {
@@ -735,50 +1210,26 @@ mod tests {
         let body = String::from_utf8(body).unwrap();
         assert!(body.contains("\"accepted\":400"), "status: {body}");
         assert!(body.contains("\"worker_panics\":0"), "status: {body}");
+        assert!(body.contains("\"connections_opened\":1"), "status: {body}");
+        assert!(body.contains("\"active_connections\":1"), "status: {body}");
+        assert!(body.contains("\"max_connections\":32"), "status: {body}");
         conn.write_all(&protocol::encode_op(op::SHUTDOWN)).unwrap();
         let (opcode, _) = protocol::read_reply(&mut conn).unwrap();
         assert_eq!(opcode, op::SHUTDOWN | op::REPLY);
         drop(conn);
         let (status, log) = server.join().expect("server thread");
-        out.extend_from_slice(&log);
-        let log = String::from_utf8_lossy(&out);
+        let log = String::from_utf8_lossy(&log);
         assert!(log.contains("ALARM series=9"), "the shift must alarm:\n{log}");
         assert!(log.contains("shutdown complete"), "graceful exit line:\n{log}");
         assert_eq!(status.exit_code(), 0);
         assert_eq!(status.health.worker_panics, 0);
+        assert_eq!(status.health.evicted_connections, 0);
     }
 
     /// The JSON wire mode speaks the same protocol.
     #[test]
     fn serve_round_trip_over_json_lines() {
-        let opts = options(Listen::Tcp("127.0.0.1:0".into()));
-        let (addr_tx, addr_rx) = mpsc::channel::<String>();
-        let server = std::thread::spawn(move || {
-            struct Tap {
-                tx: Option<mpsc::Sender<String>>,
-                buf: Vec<u8>,
-            }
-            impl Write for Tap {
-                fn write(&mut self, b: &[u8]) -> std::io::Result<usize> {
-                    self.buf.extend_from_slice(b);
-                    Ok(b.len())
-                }
-                fn flush(&mut self) -> std::io::Result<()> {
-                    if self.tx.is_some() && self.buf.contains(&b'\n') {
-                        let line = self.buf.split(|&b| b == b'\n').next().unwrap_or_default();
-                        let line = String::from_utf8_lossy(line);
-                        let addr = line.rsplit(' ').next().unwrap_or_default().to_string();
-                        if let Some(tx) = self.tx.take() {
-                            let _ = tx.send(addr);
-                        }
-                    }
-                    Ok(())
-                }
-            }
-            let mut tap = Tap { tx: Some(addr_tx), buf: Vec::new() };
-            run_serve(&opts, &mut tap).expect("serve runs")
-        });
-        let addr = addr_rx.recv_timeout(Duration::from_secs(10)).expect("startup line");
+        let (server, addr) = spawn_server(options(Listen::Tcp("127.0.0.1:0".into())));
         let conn = TcpStream::connect(&addr).expect("connect");
         let mut writer = conn.try_clone().expect("clone");
         let mut reader = BufReader::new(conn);
@@ -796,8 +1247,158 @@ mod tests {
         reader.read_line(&mut line).unwrap();
         assert!(line.contains("\"accepted\":50"), "shutdown reply: {line}");
         drop((writer, reader));
-        let status = server.join().expect("server thread");
+        let (status, _) = server.join().expect("server thread");
         assert_eq!(status.exit_code(), 0);
+    }
+
+    /// The per-connection error budget: each malformed binary frame gets
+    /// a structured `ERR` reply with the budget countdown (the exact JSON
+    /// is pinned), valid traffic still works in between, and the frame
+    /// past the budget closes the connection — all of it counted.
+    #[test]
+    fn malformed_frames_spend_the_error_budget_then_close() {
+        let mut opts = options(Listen::Tcp("127.0.0.1:0".into()));
+        opts.error_budget = 2;
+        let (server, addr) = spawn_server(opts);
+        let mut conn = TcpStream::connect(&addr).expect("connect");
+        // An OBS frame with a 3-byte body instead of 16.
+        let mut bad = Vec::new();
+        bad.extend_from_slice(&4u32.to_le_bytes());
+        bad.extend_from_slice(&[op::OBS, 1, 2, 3]);
+
+        conn.write_all(&bad).unwrap();
+        let (opcode, body) = protocol::read_reply(&mut conn).unwrap();
+        assert_eq!(opcode, op::ERR | op::REPLY);
+        assert_eq!(
+            String::from_utf8(body).unwrap(),
+            "{\"error\":\"OBS payload must be 16 bytes, got 3\",\"budget_remaining\":1}"
+        );
+        // Framing is intact: a good OBS plus a SERIES barrier still work.
+        conn.write_all(&protocol::encode_obs(5, 1.0)).unwrap();
+        conn.write_all(&protocol::encode_series(5)).unwrap();
+        let (opcode, body) = protocol::read_reply(&mut conn).unwrap();
+        assert_eq!(opcode, op::SERIES | op::REPLY);
+        let body = String::from_utf8(body).unwrap();
+        assert!(body.contains("\"pushes\":1"), "the good OBS landed: {body}");
+
+        conn.write_all(&bad).unwrap();
+        let (opcode, body) = protocol::read_reply(&mut conn).unwrap();
+        assert_eq!(opcode, op::ERR | op::REPLY);
+        assert!(String::from_utf8(body).unwrap().contains("\"budget_remaining\":0"));
+
+        // The third malformed frame exceeds the budget of 2: one final
+        // fatal reply, then the close.
+        conn.write_all(&bad).unwrap();
+        let (opcode, body) = protocol::read_reply(&mut conn).unwrap();
+        assert_eq!(opcode, op::ERR | op::REPLY);
+        assert!(String::from_utf8(body).unwrap().contains("\"fatal\":true"));
+        let mut one = [0u8; 1];
+        assert_eq!(conn.read(&mut one).unwrap(), 0, "connection must be closed");
+
+        let status_body = wait_for_counter(&addr, "error_budget_closes", 1);
+        assert_eq!(json_counter(&status_body, "malformed_frames"), 3, "{status_body}");
+        request_shutdown(&addr);
+        let (status, log) = server.join().expect("server thread");
+        assert_eq!(status.exit_code(), 0);
+        assert!(
+            String::from_utf8_lossy(&log).contains("reason=error-budget malformed=3"),
+            "close must be logged"
+        );
+        assert_eq!(status.health.evicted_connections, 1);
+    }
+
+    /// Admission control: past `--max-connections` a connection gets one
+    /// binary `BUSY` reply with a retry hint, then a close — while the
+    /// admitted connection keeps working.
+    #[test]
+    fn admission_cap_rejects_with_busy() {
+        let mut opts = options(Listen::Tcp("127.0.0.1:0".into()));
+        opts.max_connections = 1;
+        let (server, addr) = spawn_server(opts);
+        let mut first = TcpStream::connect(&addr).expect("connect");
+        // The STATUS barrier proves the first connection is admitted
+        // (active = 1) before the second one arrives.
+        first.write_all(&protocol::encode_op(op::STATUS)).unwrap();
+        let (opcode, _) = protocol::read_reply(&mut first).unwrap();
+        assert_eq!(opcode, op::STATUS | op::REPLY);
+
+        let mut second = TcpStream::connect(&addr).expect("connect");
+        second.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+        let (opcode, body) = protocol::read_reply(&mut second).unwrap();
+        assert_eq!(opcode, op::BUSY | op::REPLY);
+        let body = String::from_utf8(body).unwrap();
+        assert!(body.contains("\"busy\":true"), "{body}");
+        assert!(body.contains("\"retry_after_ms\":1000"), "{body}");
+        assert!(body.contains("\"max_connections\":1"), "{body}");
+        let mut one = [0u8; 1];
+        assert_eq!(second.read(&mut one).unwrap(), 0, "rejected connection must close");
+        drop(second);
+
+        // The admitted connection is unaffected and can shut us down.
+        first.write_all(&protocol::encode_op(op::SHUTDOWN)).unwrap();
+        let (opcode, _) = protocol::read_reply(&mut first).unwrap();
+        assert_eq!(opcode, op::SHUTDOWN | op::REPLY);
+        drop(first);
+        let (status, log) = server.join().expect("server thread");
+        assert_eq!(status.exit_code(), 0);
+        assert_eq!(status.health.busy_rejections, 1);
+        let log = String::from_utf8_lossy(&log);
+        assert!(log.contains("BUSY rejecting connection"), "{log}");
+        assert!(log.contains("1 busy rejection(s)"), "health line must count it:\n{log}");
+    }
+
+    /// The idle budget: a connection that goes quiet is evicted with a
+    /// courtesy notice, counted, and the daemon keeps serving others.
+    #[test]
+    fn idle_connections_are_evicted() {
+        let mut opts = options(Listen::Tcp("127.0.0.1:0".into()));
+        opts.idle_timeout = 1;
+        let (server, addr) = spawn_server(opts);
+        let mut idle = TcpStream::connect(&addr).expect("connect");
+        idle.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+        // One complete frame locks binary mode; then silence.
+        idle.write_all(&protocol::encode_obs(1, 1.0)).unwrap();
+        let (opcode, body) = protocol::read_reply(&mut idle).expect("eviction notice");
+        assert_eq!(opcode, op::ERR | op::REPLY);
+        let body = String::from_utf8(body).unwrap();
+        assert!(body.contains("idle timeout"), "{body}");
+        assert!(body.contains("\"fatal\":true"), "{body}");
+        let mut one = [0u8; 1];
+        assert_eq!(idle.read(&mut one).unwrap(), 0, "evicted connection must close");
+
+        let status_body = wait_for_counter(&addr, "idle_timeouts", 1);
+        assert_eq!(json_counter(&status_body, "idle_timeout_secs"), 1, "{status_body}");
+        request_shutdown(&addr);
+        let (status, log) = server.join().expect("server thread");
+        assert_eq!(status.exit_code(), 0);
+        assert_eq!(status.health.evicted_connections, 1);
+        assert!(String::from_utf8_lossy(&log).contains("reason=idle-timeout"), "close logged");
+    }
+
+    /// The newline-JSON length bound (the satellite case): a line past
+    /// MAX_FRAME_LEN with no terminator is fatal — one structured error
+    /// line, then the close, instead of unbounded buffering.
+    #[test]
+    fn unterminated_oversized_json_line_is_fatal() {
+        let (server, addr) = spawn_server(options(Listen::Tcp("127.0.0.1:0".into())));
+        let conn = TcpStream::connect(&addr).expect("connect");
+        let mut writer = conn.try_clone().expect("clone");
+        let mut reader = BufReader::new(conn);
+        writer.write_all(&vec![b'{'; MAX_FRAME_LEN as usize + 2]).unwrap();
+        writer.flush().unwrap();
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("fatal error line");
+        assert!(line.contains("no terminator"), "{line}");
+        assert!(line.contains("\"fatal\":true"), "{line}");
+        line.clear();
+        assert_eq!(reader.read_line(&mut line).unwrap(), 0, "connection must close");
+
+        let status_body = wait_for_counter(&addr, "error_budget_closes", 1);
+        assert!(json_counter(&status_body, "malformed_frames") >= 1, "{status_body}");
+        request_shutdown(&addr);
+        let (status, log) = server.join().expect("server thread");
+        assert_eq!(status.exit_code(), 0);
+        assert!(String::from_utf8_lossy(&log).contains("reason=protocol-fatal"), "close logged");
     }
 
     #[test]

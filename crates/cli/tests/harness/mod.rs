@@ -1,0 +1,155 @@
+//! Shared daemon harness for the `moche serve` end-to-end suites
+//! (`serve_e2e`, `serve_chaos`): spawn the real binary, tee its stdout to
+//! an artifact log, talk the binary protocol, and reap it — cleanly or
+//! not, depending on what the test is trying to prove.
+
+#![allow(dead_code)] // each test binary uses its own subset
+
+use moche_cli::protocol::{self, op};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+
+/// `target/<name>/`, derived from the test binary's own location so it
+/// works under any `CARGO_TARGET_DIR`. Wiped and re-created.
+pub fn artifact_dir(name: &str) -> PathBuf {
+    let dir = Path::new(env!("CARGO_BIN_EXE_moche"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("binary lives under target/<profile>/")
+        .join(name);
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create artifact dir");
+    dir
+}
+
+pub struct Daemon {
+    pub child: Child,
+    pub addr: String,
+    pump: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Daemon {
+    /// Spawns the real `moche serve --listen 127.0.0.1:0` plus
+    /// `extra_args`, tees its stdout to `log_path`, and blocks until the
+    /// startup line reveals the bound address. `faults` sets (or clears)
+    /// the `MOCHE_FAULTS` failpoint spec for the child.
+    pub fn spawn(log_path: &Path, extra_args: &[&str], faults: Option<&str>) -> Self {
+        let mut cmd = Command::new(env!("CARGO_BIN_EXE_moche"));
+        cmd.args(["serve", "--listen", "127.0.0.1:0"]).args(extra_args);
+        match faults {
+            Some(spec) => {
+                cmd.env("MOCHE_FAULTS", spec);
+            }
+            None => {
+                cmd.env_remove("MOCHE_FAULTS");
+            }
+        }
+        cmd.stdout(Stdio::piped()).stderr(Stdio::null());
+        let mut child = cmd.spawn().expect("spawn moche serve");
+        let stdout = child.stdout.take().expect("stdout is piped");
+        let mut lines = BufReader::new(stdout).lines();
+        let mut log = std::fs::File::create(log_path).expect("create daemon log");
+        let mut addr = None;
+        for line in lines.by_ref() {
+            let line = line.expect("read daemon stdout");
+            writeln!(log, "{line}").expect("write daemon log");
+            if let Some(rest) = line.strip_prefix("moche serve: listening on ") {
+                addr = Some(rest.trim().to_string());
+                break;
+            }
+        }
+        let addr = addr.expect("daemon printed its listen address before closing stdout");
+        // Keep draining stdout so the daemon's log writes never block on a
+        // full pipe; the log file doubles as the CI artifact.
+        let pump = std::thread::spawn(move || {
+            for line in lines.map_while(Result::ok) {
+                let _ = writeln!(log, "{line}");
+            }
+            let _ = log.flush();
+        });
+        Daemon { child, addr, pump: Some(pump) }
+    }
+
+    /// `kill -9`: no signal handler gets to run.
+    pub fn kill_dash_nine(&mut self) {
+        self.child.kill().expect("SIGKILL the daemon");
+        let status = self.child.wait().expect("reap the daemon");
+        assert!(!status.success(), "SIGKILL must not look like a clean exit");
+        self.join_pump();
+    }
+
+    /// Sends a named signal (`"TERM"`, `"INT"`) — the graceful-drain
+    /// entry points, unlike [`kill_dash_nine`](Self::kill_dash_nine).
+    #[cfg(unix)]
+    pub fn signal(&self, sig: &str) {
+        let status = Command::new("kill")
+            .arg(format!("-{sig}"))
+            .arg(self.child.id().to_string())
+            .status()
+            .expect("run kill");
+        assert!(status.success(), "kill -{sig} must be delivered");
+    }
+
+    pub fn wait_clean_exit(&mut self) {
+        let status = self.child.wait().expect("reap the daemon");
+        assert!(status.success(), "clean shutdown must exit 0, got {status}");
+        self.join_pump();
+    }
+
+    fn join_pump(&mut self) {
+        if let Some(pump) = self.pump.take() {
+            pump.join().expect("stdout pump");
+        }
+    }
+}
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+        self.join_pump();
+    }
+}
+
+pub fn json_u64(json: &str, key: &str) -> u64 {
+    let pat = format!("\"{key}\":");
+    let at = json.find(&pat).unwrap_or_else(|| panic!("no {key:?} in {json}")) + pat.len();
+    json[at..]
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect::<String>()
+        .parse()
+        .expect("u64 field")
+}
+
+pub fn json_bool(json: &str, key: &str) -> bool {
+    let pat = format!("\"{key}\":");
+    let at = json.find(&pat).unwrap_or_else(|| panic!("no {key:?} in {json}")) + pat.len();
+    json[at..].starts_with("true")
+}
+
+/// Sends a `SERIES` query and decodes the reply. Because queries ride the
+/// same per-shard ring as observations, the answer is also proof that
+/// every earlier observation for this series on this connection landed.
+pub fn query_series(conn: &mut TcpStream, id: u64) -> (bool, u64, u64) {
+    conn.write_all(&protocol::encode_series(id)).expect("send SERIES");
+    let (opcode, payload) = protocol::read_reply(conn).expect("SERIES reply");
+    assert_eq!(opcode, op::SERIES | op::REPLY);
+    let json = String::from_utf8(payload).expect("JSON reply");
+    if json_bool(&json, "found") {
+        (true, json_u64(&json, "pushes"), json_u64(&json, "alarms"))
+    } else {
+        (false, 0, 0)
+    }
+}
+
+/// Sends a payload-free request (`STATUS` / `SHUTDOWN`) and returns the
+/// reply body.
+pub fn query(conn: &mut TcpStream, opcode: u8) -> String {
+    conn.write_all(&protocol::encode_op(opcode)).expect("send op");
+    let (reply, payload) = protocol::read_reply(conn).expect("op reply");
+    assert_eq!(reply, opcode | op::REPLY);
+    String::from_utf8(payload).expect("JSON reply")
+}

@@ -1,0 +1,354 @@
+//! Client-chaos suite for the `moche serve` connection supervisor: the
+//! real binary, real sockets, deliberately hostile clients. Each test
+//! drives one defense end to end and asserts the daemon's counters,
+//! structured replies, and log lines — while well-behaved traffic keeps
+//! flowing.
+//!
+//! Covered chaos, one test per row (the CI `serve-chaos` lane):
+//!
+//! | Client behaviour | Defense under test |
+//! |---|---|
+//! | garbage frames, corrupt length prefix | error budget, fatal framing close |
+//! | mid-frame stall (slow loris) | `--io-timeout` eviction, others unaffected |
+//! | never reads replies | write-stall eviction (`serve.write` failpoint) |
+//! | connection flood | `--max-connections` admission + `BUSY` replies |
+//! | SIGTERM mid-load | graceful drain, final checkpoints, alarm parity |
+//!
+//! Daemon logs and final STATUS bodies land under `target/serve-chaos/`
+//! for CI to upload as artifacts.
+
+mod harness;
+
+use harness::{artifact_dir, json_bool, json_u64, query, query_series, Daemon};
+use moche_cli::protocol::{self, op};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// Polls STATUS over fresh connections until `key` reaches `at_least`
+/// (eviction counters land just after the evicted socket closes).
+fn wait_for_counter(addr: &str, key: &str, at_least: u64) -> String {
+    let mut body = String::new();
+    for _ in 0..250 {
+        let mut conn = TcpStream::connect(addr).expect("connect for status");
+        body = query(&mut conn, op::STATUS);
+        if json_u64(&body, key) >= at_least {
+            return body;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    panic!("STATUS {key} never reached {at_least}: {body}");
+}
+
+fn request_shutdown(addr: &str) {
+    let mut conn = TcpStream::connect(addr).expect("connect for shutdown");
+    let body = query(&mut conn, op::SHUTDOWN);
+    assert!(json_bool(&body, "clean"), "shutdown status must be clean: {body}");
+}
+
+/// An `OBS` frame whose body is 3 bytes instead of 16 — decodable frame,
+/// undecodable request.
+fn short_obs_frame() -> Vec<u8> {
+    let mut frame = Vec::new();
+    frame.extend_from_slice(&4u32.to_le_bytes());
+    frame.extend_from_slice(&[op::OBS, 1, 2, 3]);
+    frame
+}
+
+/// Garbage frames burn the error budget one structured `ERR` reply at a
+/// time; the frame past the budget closes the connection, and a corrupt
+/// length prefix closes it immediately — both counted.
+#[test]
+fn garbage_frames_spend_the_error_budget() {
+    let dir = artifact_dir("serve-chaos/error-budget");
+    let mut daemon =
+        Daemon::spawn(&dir.join("daemon.log"), &["--window", "8", "--workers", "2"], None);
+
+    // Default --error-budget is 3: three countdown replies, then fatal.
+    let mut conn = TcpStream::connect(&daemon.addr).expect("connect");
+    conn.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    for remaining in [2u64, 1, 0] {
+        conn.write_all(&short_obs_frame()).expect("send garbage");
+        let (opcode, body) = protocol::read_reply(&mut conn).expect("ERR reply");
+        assert_eq!(opcode, op::ERR | op::REPLY);
+        let body = String::from_utf8(body).unwrap();
+        assert!(body.contains("OBS payload must be 16 bytes, got 3"), "{body}");
+        assert_eq!(json_u64(&body, "budget_remaining"), remaining, "{body}");
+    }
+    conn.write_all(&short_obs_frame()).expect("send the frame past the budget");
+    let (opcode, body) = protocol::read_reply(&mut conn).expect("final fatal reply");
+    assert_eq!(opcode, op::ERR | op::REPLY);
+    assert!(json_bool(&String::from_utf8(body).unwrap(), "fatal"));
+    let mut one = [0u8; 1];
+    assert_eq!(conn.read(&mut one).unwrap(), 0, "budget-spent connection must close");
+
+    // A corrupt length prefix loses framing: immediate fatal reply+close.
+    let mut conn = TcpStream::connect(&daemon.addr).expect("connect");
+    conn.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    conn.write_all(&u32::MAX.to_le_bytes()).expect("send corrupt prefix");
+    let (opcode, body) = protocol::read_reply(&mut conn).expect("fatal reply");
+    assert_eq!(opcode, op::ERR | op::REPLY);
+    let body = String::from_utf8(body).unwrap();
+    assert!(body.contains("framing lost"), "{body}");
+    assert!(json_bool(&body, "fatal"), "{body}");
+    assert_eq!(conn.read(&mut one).unwrap(), 0, "unframeable connection must close");
+
+    let status = wait_for_counter(&daemon.addr, "error_budget_closes", 2);
+    assert_eq!(json_u64(&status, "malformed_frames"), 5, "{status}");
+    std::fs::write(dir.join("final-status.json"), &status).expect("write status artifact");
+    request_shutdown(&daemon.addr);
+    daemon.wait_clean_exit();
+    let log = std::fs::read_to_string(dir.join("daemon.log")).expect("daemon log");
+    assert!(log.contains("reason=error-budget malformed=4"), "budget close logged:\n{log}");
+    assert!(log.contains("reason=protocol-fatal"), "framing close logged:\n{log}");
+}
+
+/// A slow-loris client stalls mid-frame and is evicted on `--io-timeout`,
+/// while a second connection keeps ingesting through the whole episode.
+#[test]
+fn mid_frame_stall_is_evicted_while_others_ingest() {
+    let dir = artifact_dir("serve-chaos/mid-frame-stall");
+    let mut daemon = Daemon::spawn(
+        &dir.join("daemon.log"),
+        &["--window", "8", "--workers", "2", "--io-timeout", "1"],
+        None,
+    );
+
+    let mut good = TcpStream::connect(&daemon.addr).expect("connect good client");
+    for i in 0..250u64 {
+        good.write_all(&protocol::encode_obs(7, (i % 5) as f64)).expect("send OBS");
+    }
+    let (found, pushes, _) = query_series(&mut good, 7);
+    assert!(found && pushes == 250, "barrier before the stall: {pushes}");
+
+    // The staller: 10 of an OBS frame's 21 bytes, then silence.
+    let mut stall = TcpStream::connect(&daemon.addr).expect("connect staller");
+    stall.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    stall.write_all(&protocol::encode_obs(8, 1.0)[..10]).expect("send partial frame");
+    let (opcode, body) = protocol::read_reply(&mut stall).expect("eviction notice");
+    assert_eq!(opcode, op::ERR | op::REPLY);
+    let body = String::from_utf8(body).unwrap();
+    assert!(body.contains("mid-frame stall"), "{body}");
+    let mut one = [0u8; 1];
+    assert_eq!(stall.read(&mut one).unwrap(), 0, "stalled connection must close");
+
+    // The good client never noticed: it keeps pushing and every
+    // observation lands.
+    for i in 0..250u64 {
+        good.write_all(&protocol::encode_obs(7, (i % 5) as f64)).expect("send OBS");
+    }
+    let (found, pushes, _) = query_series(&mut good, 7);
+    assert!(found && pushes == 500, "barrier after the stall: {pushes}");
+    let status = wait_for_counter(&daemon.addr, "stalled_reads", 1);
+    assert_eq!(json_u64(&status, "accepted"), 500, "{status}");
+    std::fs::write(dir.join("final-status.json"), &status).expect("write status artifact");
+    drop(good);
+    request_shutdown(&daemon.addr);
+    daemon.wait_clean_exit();
+    let log = std::fs::read_to_string(dir.join("daemon.log")).expect("daemon log");
+    assert!(log.contains("reason=read-stall"), "stall eviction logged:\n{log}");
+}
+
+/// A client that never drains its replies stalls the daemon's write side;
+/// the `serve.write` failpoint makes that deterministic (no waiting on a
+/// real TCP send buffer to fill), and the eviction is counted the same.
+#[cfg(feature = "fault-injection")]
+#[test]
+fn unread_reply_backpressure_evicts() {
+    let dir = artifact_dir("serve-chaos/write-stall");
+    let mut daemon = Daemon::spawn(
+        &dir.join("daemon.log"),
+        &["--window", "8", "--workers", "2"],
+        Some("serve.write=error:0:1"),
+    );
+
+    // The first reply write in the process fails as if the peer's buffer
+    // never drained: no reply arrives, the connection just closes.
+    let mut conn = TcpStream::connect(&daemon.addr).expect("connect");
+    conn.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    conn.write_all(&protocol::encode_op(op::STATUS)).expect("send STATUS");
+    let mut buf = [0u8; 16];
+    assert_eq!(conn.read(&mut buf).unwrap(), 0, "write-stalled connection must close unreplied");
+
+    let status = wait_for_counter(&daemon.addr, "stalled_writes", 1);
+    std::fs::write(dir.join("final-status.json"), &status).expect("write status artifact");
+    request_shutdown(&daemon.addr);
+    daemon.wait_clean_exit();
+    let log = std::fs::read_to_string(dir.join("daemon.log")).expect("daemon log");
+    assert!(log.contains("reason=write-stall"), "write stall logged:\n{log}");
+}
+
+/// A connection flood past `--max-connections`: every excess connection
+/// gets one structured `BUSY` reply and a close, while the admitted
+/// connections keep working.
+#[test]
+fn connection_flood_gets_busy_replies() {
+    let dir = artifact_dir("serve-chaos/flood");
+    let mut daemon = Daemon::spawn(
+        &dir.join("daemon.log"),
+        &["--window", "8", "--workers", "2", "--max-connections", "2"],
+        None,
+    );
+
+    let mut first = TcpStream::connect(&daemon.addr).expect("connect");
+    query(&mut first, op::STATUS); // admission barrier
+    let mut second = TcpStream::connect(&daemon.addr).expect("connect");
+    query(&mut second, op::STATUS);
+
+    for flood in 0..4 {
+        let mut extra = TcpStream::connect(&daemon.addr).expect("flood connect");
+        extra.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+        let (opcode, body) = protocol::read_reply(&mut extra).expect("BUSY reply");
+        assert_eq!(opcode, op::BUSY | op::REPLY, "flood connection {flood}");
+        let body = String::from_utf8(body).unwrap();
+        assert!(json_bool(&body, "busy"), "{body}");
+        assert_eq!(json_u64(&body, "retry_after_ms"), 1000, "{body}");
+        assert_eq!(json_u64(&body, "max_connections"), 2, "{body}");
+        let mut one = [0u8; 1];
+        assert_eq!(extra.read(&mut one).unwrap(), 0, "rejected connection must close");
+    }
+
+    // The admitted connections were never disturbed.
+    first.write_all(&protocol::encode_obs(1, 1.0)).expect("send OBS");
+    let (found, pushes, _) = query_series(&mut first, 1);
+    assert!(found && pushes == 1);
+    let status = query(&mut second, op::STATUS);
+    assert_eq!(json_u64(&status, "busy_rejections"), 4, "{status}");
+    assert_eq!(json_u64(&status, "active_connections"), 2, "{status}");
+    std::fs::write(dir.join("final-status.json"), &status).expect("write status artifact");
+    drop(second);
+    let body = query(&mut first, op::SHUTDOWN);
+    assert!(json_bool(&body, "clean"), "{body}");
+    drop(first);
+    daemon.wait_clean_exit();
+    let log = std::fs::read_to_string(dir.join("daemon.log")).expect("daemon log");
+    assert!(log.contains("BUSY rejecting connection"), "rejections logged:\n{log}");
+    assert!(log.contains("4 busy rejection(s)"), "health line counts them:\n{log}");
+}
+
+/// SIGTERM mid-load: the daemon drains gracefully — open connections get
+/// a drain notice, workers write final checkpoints, the process exits 0 —
+/// and a resumed fleet finishes the script with per-series alarms
+/// identical to an uninterrupted reference fleet.
+#[cfg(unix)]
+#[test]
+fn sigterm_drains_with_alarm_parity() {
+    use moche_stream::{FleetConfig, MonitorConfig, MonitorFleet};
+
+    const SERIES_N: u64 = 8;
+    const LEN: usize = 160;
+    const CUT: usize = 100;
+    const WINDOW: usize = 8;
+    /// A level pattern with shifts on both sides of the signal.
+    fn value(id: u64, i: usize) -> f64 {
+        let base = ((i as u64 * 13 + id * 7) % 11) as f64 * 0.5;
+        if i >= 140 {
+            base + 90.0
+        } else if i >= LEN / 2 {
+            base + 40.0
+        } else {
+            base
+        }
+    }
+
+    let dir = artifact_dir("serve-chaos/sigterm-drain");
+    let ckpt = dir.join("checkpoints");
+    let ckpt_s = ckpt.to_str().expect("utf-8 path").to_string();
+
+    // The uninterrupted truth.
+    let mut monitor = MonitorConfig::new(WINDOW, 0.05);
+    monitor.explain_on_drift = true;
+    let mut reference = MonitorFleet::new(FleetConfig::new(2, monitor)).expect("reference");
+    for i in 0..LEN {
+        for id in 0..SERIES_N {
+            reference.push(id, value(id, i)).expect("finite");
+        }
+    }
+    let expected: Vec<u64> =
+        (0..SERIES_N).map(|id| reference.series_stats(id).expect("tracked").alarms).collect();
+    assert!(expected.iter().sum::<u64>() > 0, "the script must provoke alarms");
+
+    // Phase 1: load, then SIGTERM with a witness connection still open.
+    // Under fault injection the drain seam also fires once, proving the
+    // test exercises the real drain path.
+    let faults =
+        if cfg!(feature = "fault-injection") { Some("serve.drain=error:0:1") } else { None };
+    let args = [
+        "--window",
+        "8",
+        "--workers",
+        "2",
+        "--checkpoint-every",
+        "16",
+        "--checkpoint-dir",
+        ckpt_s.as_str(),
+    ];
+    let mut daemon = Daemon::spawn(&dir.join("daemon-phase1.log"), &args, faults);
+    {
+        let mut conn = TcpStream::connect(&daemon.addr).expect("connect");
+        for i in 0..CUT {
+            for id in 0..SERIES_N {
+                conn.write_all(&protocol::encode_obs(id, value(id, i))).expect("send OBS");
+            }
+        }
+        for id in 0..SERIES_N {
+            let (found, pushes, _) = query_series(&mut conn, id);
+            assert!(found && pushes == CUT as u64, "series {id}: barrier saw {pushes}/{CUT}");
+        }
+    }
+    // The witness rides out the signal on a series the parity check
+    // ignores; it must receive the structured drain notice, not a RST.
+    let mut witness = TcpStream::connect(&daemon.addr).expect("connect witness");
+    witness.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    witness.write_all(&protocol::encode_obs(999, 1.0)).expect("send OBS");
+    let (found, pushes, _) = query_series(&mut witness, 999);
+    assert!(found && pushes == 1, "witness barrier");
+
+    daemon.signal("TERM");
+    let (opcode, body) = protocol::read_reply(&mut witness).expect("drain notice");
+    assert_eq!(opcode, op::ERR | op::REPLY);
+    let body = String::from_utf8(body).unwrap();
+    assert!(body.contains("daemon draining"), "{body}");
+    let mut one = [0u8; 1];
+    assert_eq!(witness.read(&mut one).unwrap(), 0, "drained connection must close");
+    daemon.wait_clean_exit();
+
+    let log = std::fs::read_to_string(dir.join("daemon-phase1.log")).expect("phase-1 log");
+    assert!(log.contains("SIGNAL SIGTERM: graceful drain"), "signal logged:\n{log}");
+    assert!(log.contains("reason=drained"), "witness drain counted:\n{log}");
+    assert!(log.contains("CHECKPOINT shard="), "final checkpoints written:\n{log}");
+    assert!(log.contains("shutdown complete"), "graceful exit line:\n{log}");
+    assert!(log.contains("health: 0 worker panic(s)"), "healthy drain:\n{log}");
+    if cfg!(feature = "fault-injection") {
+        assert!(log.contains("DRAIN failpoint"), "drain seam must fire:\n{log}");
+    }
+
+    // Phase 2: resume, replay from the durable offsets, require parity.
+    let mut resume_args = args.to_vec();
+    resume_args.push("--resume");
+    let mut daemon = Daemon::spawn(&dir.join("daemon-phase2.log"), &resume_args, None);
+    {
+        let mut conn = TcpStream::connect(&daemon.addr).expect("reconnect");
+        for id in 0..SERIES_N {
+            let (found, pushes, _) = query_series(&mut conn, id);
+            assert!(found, "series {id} must survive the drain");
+            assert_eq!(pushes, CUT as u64, "series {id}: drained checkpoint offset");
+            for i in CUT..LEN {
+                conn.write_all(&protocol::encode_obs(id, value(id, i))).expect("send OBS");
+            }
+        }
+        for id in 0..SERIES_N {
+            let (_, pushes, alarms) = query_series(&mut conn, id);
+            assert_eq!(pushes, LEN as u64, "series {id}: observations lost or duplicated");
+            assert_eq!(
+                alarms, expected[id as usize],
+                "series {id}: alarms lost (or invented) across SIGTERM + resume"
+            );
+        }
+        let status = query(&mut conn, op::STATUS);
+        std::fs::write(dir.join("final-status.json"), &status).expect("write status artifact");
+        let shutdown = query(&mut conn, op::SHUTDOWN);
+        assert!(json_bool(&shutdown, "clean"), "{shutdown}");
+    }
+    daemon.wait_clean_exit();
+}

@@ -19,12 +19,14 @@
 //! and a machine-readable stats summary — lands in `target/fleet-soak/`
 //! for CI to upload as artifacts.
 
+mod harness;
+
+use harness::{artifact_dir, json_bool, json_u64, query, query_series, Daemon};
 use moche_cli::protocol::{self, op, JsonObject};
 use moche_stream::{FleetConfig, MonitorConfig, MonitorFleet};
-use std::io::{BufRead, BufReader, Write};
+use std::io::Write;
 use std::net::TcpStream;
-use std::path::{Path, PathBuf};
-use std::process::{Child, Command, Stdio};
+use std::path::Path;
 
 /// Series in the scripted load.
 const SERIES_N: u64 = 12;
@@ -34,8 +36,6 @@ const LEN: usize = 240;
 const CUT: usize = 150;
 /// `--window` for the daemon and the reference fleet.
 const WINDOW: usize = 8;
-/// `--alpha` for both.
-const ALPHA: f64 = 0.05;
 
 /// The deterministic script: a small repeating pattern per series, with a
 /// large mean shift at the halfway point (before the kill) and a second
@@ -52,149 +52,36 @@ fn value(id: u64, i: usize) -> f64 {
     }
 }
 
-/// `target/fleet-soak/`, derived from the test binary's own location so
-/// it works under any `CARGO_TARGET_DIR`.
-fn soak_dir() -> PathBuf {
-    Path::new(env!("CARGO_BIN_EXE_moche"))
-        .parent()
-        .and_then(Path::parent)
-        .expect("binary lives under target/<profile>/")
-        .join("fleet-soak")
-}
-
-struct Daemon {
-    child: Child,
-    addr: String,
-    pump: Option<std::thread::JoinHandle<()>>,
-}
-
-impl Daemon {
-    /// Spawns the real `moche serve`, tees its stdout to `log_path`, and
-    /// blocks until the startup line reveals the bound address.
-    fn spawn(checkpoint_dir: &Path, resume: bool, log_path: &Path, faults: Option<&str>) -> Self {
-        let mut cmd = Command::new(env!("CARGO_BIN_EXE_moche"));
-        cmd.args(["serve", "--listen", "127.0.0.1:0", "--window"])
-            .arg(WINDOW.to_string())
-            .args(["--alpha"])
-            .arg(ALPHA.to_string())
-            .args(["--workers", "2", "--checkpoint-every", "16"])
-            .arg("--checkpoint-dir")
-            .arg(checkpoint_dir);
-        if resume {
-            cmd.arg("--resume");
-        }
-        match faults {
-            Some(spec) => {
-                cmd.env("MOCHE_FAULTS", spec);
-            }
-            None => {
-                cmd.env_remove("MOCHE_FAULTS");
-            }
-        }
-        cmd.stdout(Stdio::piped()).stderr(Stdio::null());
-        let mut child = cmd.spawn().expect("spawn moche serve");
-        let stdout = child.stdout.take().expect("stdout is piped");
-        let mut lines = BufReader::new(stdout).lines();
-        let mut log = std::fs::File::create(log_path).expect("create daemon log");
-        let mut addr = None;
-        for line in lines.by_ref() {
-            let line = line.expect("read daemon stdout");
-            writeln!(log, "{line}").expect("write daemon log");
-            if let Some(rest) = line.strip_prefix("moche serve: listening on ") {
-                addr = Some(rest.trim().to_string());
-                break;
-            }
-        }
-        let addr = addr.expect("daemon printed its listen address before closing stdout");
-        // Keep draining stdout so the daemon's log writes never block on a
-        // full pipe; the log file doubles as the CI artifact.
-        let pump = std::thread::spawn(move || {
-            for line in lines.map_while(Result::ok) {
-                let _ = writeln!(log, "{line}");
-            }
-            let _ = log.flush();
-        });
-        Daemon { child, addr, pump: Some(pump) }
+/// Spawns the soak daemon with this suite's fixed monitor configuration.
+fn spawn_daemon(ckpt: &Path, resume: bool, log_path: &Path, faults: Option<&str>) -> Daemon {
+    let window = WINDOW.to_string();
+    let ckpt = ckpt.to_str().expect("utf-8 checkpoint path");
+    let mut args = vec![
+        "--window",
+        window.as_str(),
+        "--alpha",
+        "0.05",
+        "--workers",
+        "2",
+        "--checkpoint-every",
+        "16",
+        "--checkpoint-dir",
+        ckpt,
+    ];
+    if resume {
+        args.push("--resume");
     }
-
-    /// `kill -9`: the whole point — no signal handler gets to run.
-    fn kill_dash_nine(&mut self) {
-        self.child.kill().expect("SIGKILL the daemon");
-        let status = self.child.wait().expect("reap the daemon");
-        assert!(!status.success(), "SIGKILL must not look like a clean exit");
-        self.join_pump();
-    }
-
-    fn wait_clean_exit(&mut self) {
-        let status = self.child.wait().expect("reap the daemon");
-        assert!(status.success(), "clean shutdown must exit 0, got {status}");
-        self.join_pump();
-    }
-
-    fn join_pump(&mut self) {
-        if let Some(pump) = self.pump.take() {
-            pump.join().expect("stdout pump");
-        }
-    }
-}
-
-impl Drop for Daemon {
-    fn drop(&mut self) {
-        let _ = self.child.kill();
-        let _ = self.child.wait();
-        self.join_pump();
-    }
-}
-
-fn json_u64(json: &str, key: &str) -> u64 {
-    let pat = format!("\"{key}\":");
-    let at = json.find(&pat).unwrap_or_else(|| panic!("no {key:?} in {json}")) + pat.len();
-    json[at..]
-        .chars()
-        .take_while(char::is_ascii_digit)
-        .collect::<String>()
-        .parse()
-        .expect("u64 field")
-}
-
-fn json_bool(json: &str, key: &str) -> bool {
-    let pat = format!("\"{key}\":");
-    let at = json.find(&pat).unwrap_or_else(|| panic!("no {key:?} in {json}")) + pat.len();
-    json[at..].starts_with("true")
-}
-
-/// Sends a `SERIES` query and decodes the reply. Because queries ride the
-/// same per-shard ring as observations, the answer is also proof that
-/// every earlier observation for this series on this connection landed.
-fn query_series(conn: &mut TcpStream, id: u64) -> (bool, u64, u64) {
-    conn.write_all(&protocol::encode_series(id)).expect("send SERIES");
-    let (opcode, payload) = protocol::read_reply(conn).expect("SERIES reply");
-    assert_eq!(opcode, op::SERIES | op::REPLY);
-    let json = String::from_utf8(payload).expect("JSON reply");
-    if json_bool(&json, "found") {
-        (true, json_u64(&json, "pushes"), json_u64(&json, "alarms"))
-    } else {
-        (false, 0, 0)
-    }
-}
-
-fn query(conn: &mut TcpStream, opcode: u8) -> String {
-    conn.write_all(&protocol::encode_op(opcode)).expect("send op");
-    let (reply, payload) = protocol::read_reply(conn).expect("op reply");
-    assert_eq!(reply, opcode | op::REPLY);
-    String::from_utf8(payload).expect("JSON reply")
+    Daemon::spawn(log_path, &args, faults)
 }
 
 #[test]
 fn kill_dash_nine_soak_loses_no_alarms() {
-    let dir = soak_dir();
-    let _ = std::fs::remove_dir_all(&dir);
-    std::fs::create_dir_all(&dir).expect("create soak dir");
+    let dir = artifact_dir("fleet-soak");
     let ckpt = dir.join("checkpoints");
 
     // The uninterrupted truth: the same script through an in-process
     // fleet with the daemon's exact monitor configuration.
-    let mut monitor = MonitorConfig::new(WINDOW, ALPHA);
+    let mut monitor = MonitorConfig::new(WINDOW, 0.05);
     monitor.explain_on_drift = true;
     let mut reference = MonitorFleet::new(FleetConfig::new(2, monitor)).expect("reference config");
     for i in 0..LEN {
@@ -212,7 +99,7 @@ fn kill_dash_nine_soak_loses_no_alarms() {
     let faults =
         if cfg!(feature = "fault-injection") { Some("serve.accept=error:0:1") } else { None };
     let phase1_log = dir.join("daemon-phase1.log");
-    let mut daemon = Daemon::spawn(&ckpt, false, &phase1_log, faults);
+    let mut daemon = spawn_daemon(&ckpt, false, &phase1_log, faults);
     {
         let mut conn = TcpStream::connect(&daemon.addr).expect("connect");
         for i in 0..CUT {
@@ -236,7 +123,7 @@ fn kill_dash_nine_soak_loses_no_alarms() {
     // Phase 2: resume, replay each series from its durable offset, and
     // settle the books.
     let phase2_log = dir.join("daemon-phase2.log");
-    let mut daemon = Daemon::spawn(&ckpt, true, &phase2_log, None);
+    let mut daemon = spawn_daemon(&ckpt, true, &phase2_log, None);
     let status;
     {
         let mut conn = TcpStream::connect(&daemon.addr).expect("reconnect");

@@ -30,6 +30,9 @@
 //! | `serve.accept` | `moche serve` connection accept loop | `Error` (simulated accept failure; the daemon logs and keeps listening) |
 //! | `serve.shard_worker` | fleet shard push path (`moche_stream` `FleetShard::push`) | `Panic` (caught; the series is quarantined, the shard survives) |
 //! | `serve.checkpoint` | fleet shard checkpoint writer | `Error` (fail the write), `TruncateWrite` (torn shard file at the final path) |
+//! | `serve.read` | `moche serve` supervised connection read loop, before each socket read | `Error` (treated as a mid-frame stall: the connection is evicted and counted as a stalled read, deterministically, without waiting out a real deadline) |
+//! | `serve.write` | `moche serve` reply writer, before each reply | `Error` (treated as a stalled write: the connection is evicted and counted, as if the peer never drained its receive buffer) |
+//! | `serve.drain` | `moche serve` graceful-drain close of each surviving connection | `Error` (logged `DRAIN failpoint` marker; the drain proceeds — proves chaos tests exercise the real drain path) |
 //!
 //! Arming is deterministic: a spec fires on specific *hit counts* of its
 //! point (`skip` hits pass through first, then `times` hits fire), so a

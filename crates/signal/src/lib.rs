@@ -1,0 +1,218 @@
+//! Async-signal-safe SIGTERM/SIGINT delivery for the `moche serve` daemon.
+//!
+//! Every other crate in this workspace is `forbid(unsafe_code)`; installing
+//! a process signal handler is irreducibly unsafe (an `extern "C"` callback
+//! that may only touch async-signal-safe state), so that one responsibility
+//! lives here, alone, behind a safe API.
+//!
+//! The mechanism is the classic **self-pipe trick**: the handler — which
+//! must not lock, allocate, or call into Rust runtime machinery — records
+//! the signal number in an atomic and writes a single byte to a pipe
+//! (`write(2)` is async-signal-safe). A dedicated watcher thread blocks on
+//! the read end and, back in ordinary thread context, invokes the callbacks
+//! registered through [`on_termination`]. Handlers are installed once per
+//! process, on first registration; later registrations just add callbacks.
+//!
+//! This deliberately supports exactly the daemon's need — "run this closure
+//! when the process is asked to terminate" — and nothing else: no signal
+//! masks, no handler chaining, no `sigaction` flags. On non-unix targets
+//! [`on_termination`] reports [`SignalError::Unsupported`] and the caller
+//! degrades to whatever in-band shutdown it already has.
+
+#![warn(missing_docs)]
+
+/// `SIGINT` (interactive interrupt, Ctrl-C).
+pub const SIGINT: i32 = 2;
+/// `SIGTERM` (polite termination request; what orchestrators send first).
+pub const SIGTERM: i32 = 15;
+
+/// Why termination callbacks could not be registered.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SignalError {
+    /// `pipe(2)` or `signal(2)` failed, or the watcher thread could not be
+    /// spawned. The payload names the failing step.
+    Install(String),
+    /// The target platform has no unix signals.
+    Unsupported,
+}
+
+impl std::fmt::Display for SignalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SignalError::Install(what) => write!(f, "signal handler install failed: {what}"),
+            SignalError::Unsupported => f.write_str("signals are not supported on this platform"),
+        }
+    }
+}
+
+impl std::error::Error for SignalError {}
+
+/// The human name of a termination signal this crate handles.
+pub fn signal_name(signal: i32) -> &'static str {
+    match signal {
+        SIGINT => "SIGINT",
+        SIGTERM => "SIGTERM",
+        _ => "signal",
+    }
+}
+
+/// Registers `callback` to run (on a watcher thread, not in the handler)
+/// when the process receives `SIGTERM` or `SIGINT`. The first call installs
+/// the handlers and spawns the watcher; every call appends its callback.
+/// Callbacks run in registration order, once per delivered signal, and must
+/// be idempotent — a second Ctrl-C runs them again.
+///
+/// # Errors
+///
+/// [`SignalError::Install`] if the pipe, handler installation, or watcher
+/// thread fails; [`SignalError::Unsupported`] on non-unix targets. Either
+/// way the process's default signal disposition is unchanged on failure.
+pub fn on_termination<F>(callback: F) -> Result<(), SignalError>
+where
+    F: FnMut(i32) + Send + 'static,
+{
+    imp::on_termination(Box::new(callback))
+}
+
+#[cfg(unix)]
+mod imp {
+    use super::SignalError;
+    use std::sync::atomic::{AtomicI32, Ordering};
+    use std::sync::{Mutex, OnceLock, PoisonError};
+
+    // The libc surface this crate needs, declared directly: the workspace
+    // vendors its dependencies and has no libc crate, and std links libc on
+    // every unix target anyway.
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+        fn pipe(fds: *mut i32) -> i32;
+        fn read(fd: i32, buf: *mut u8, count: usize) -> isize;
+        fn write(fd: i32, buf: *const u8, count: usize) -> isize;
+    }
+
+    /// `SIG_ERR`, the error return of `signal(2)`: `(void *)-1`.
+    const SIG_ERR: usize = usize::MAX;
+
+    /// Write end of the self-pipe (`-1` until installed).
+    static WRITE_FD: AtomicI32 = AtomicI32::new(-1);
+    /// The most recent signal number, for the watcher to report.
+    static LAST_SIGNAL: AtomicI32 = AtomicI32::new(0);
+
+    /// The handler proper. Async-signal-safe by construction: one atomic
+    /// store and one `write(2)` of one byte, nothing else.
+    extern "C" fn on_signal(signum: i32) {
+        LAST_SIGNAL.store(signum, Ordering::SeqCst);
+        let fd = WRITE_FD.load(Ordering::SeqCst);
+        if fd >= 0 {
+            let byte = 1u8;
+            unsafe {
+                let _ = write(fd, &byte, 1);
+            }
+        }
+    }
+
+    type Callback = Box<dyn FnMut(i32) + Send>;
+
+    fn callbacks() -> &'static Mutex<Vec<Callback>> {
+        static CALLBACKS: OnceLock<Mutex<Vec<Callback>>> = OnceLock::new();
+        CALLBACKS.get_or_init(|| Mutex::new(Vec::new()))
+    }
+
+    /// One-shot install of pipe + handlers + watcher thread. The result is
+    /// latched: a failed install stays failed for the process lifetime
+    /// (handlers are process-global; retrying cannot un-wedge a failed
+    /// `signal(2)`).
+    fn install() -> Result<(), SignalError> {
+        static INSTALLED: OnceLock<Result<(), SignalError>> = OnceLock::new();
+        INSTALLED
+            .get_or_init(|| {
+                let mut fds = [-1i32; 2];
+                if unsafe { pipe(fds.as_mut_ptr()) } != 0 {
+                    return Err(SignalError::Install("pipe(2)".into()));
+                }
+                let (read_fd, write_fd) = (fds[0], fds[1]);
+                WRITE_FD.store(write_fd, Ordering::SeqCst);
+                for signum in [super::SIGTERM, super::SIGINT] {
+                    if unsafe { signal(signum, on_signal) } == SIG_ERR {
+                        return Err(SignalError::Install(format!("signal({signum})")));
+                    }
+                }
+                std::thread::Builder::new()
+                    .name("moche-signal".into())
+                    .spawn(move || watcher(read_fd))
+                    .map(drop)
+                    .map_err(|e| SignalError::Install(format!("watcher thread: {e}")))
+            })
+            .clone()
+    }
+
+    /// Blocks on the pipe forever (the process exit reaps this thread); one
+    /// byte in the pipe means one delivered signal.
+    fn watcher(read_fd: i32) {
+        loop {
+            let mut byte = 0u8;
+            let n = unsafe { read(read_fd, &mut byte, 1) };
+            if n == 1 {
+                let signum = LAST_SIGNAL.load(Ordering::SeqCst);
+                let mut callbacks = callbacks().lock().unwrap_or_else(PoisonError::into_inner);
+                for callback in callbacks.iter_mut() {
+                    callback(signum);
+                }
+            } else if n == 0 {
+                return; // write end closed: cannot happen, but don't spin
+            }
+            // n < 0 is EINTR or a transient error: retry the read.
+        }
+    }
+
+    pub fn on_termination(callback: Callback) -> Result<(), SignalError> {
+        // Register before installing so a signal that lands immediately
+        // after install still sees this callback.
+        callbacks().lock().unwrap_or_else(PoisonError::into_inner).push(callback);
+        install()
+    }
+}
+
+#[cfg(not(unix))]
+mod imp {
+    use super::SignalError;
+
+    pub fn on_termination(_callback: Box<dyn FnMut(i32) + Send>) -> Result<(), SignalError> {
+        Err(SignalError::Unsupported)
+    }
+}
+
+#[cfg(all(test, unix))]
+mod tests {
+    use std::sync::atomic::{AtomicI32, Ordering};
+    use std::sync::Arc;
+    use std::time::{Duration, Instant};
+
+    extern "C" {
+        fn raise(signum: i32) -> i32;
+    }
+
+    /// One test only: handlers and the watcher are process-global, so the
+    /// full install → raise → callback path is exercised exactly once per
+    /// test process (additional `#[test]` fns would race on delivery
+    /// ordering, not add coverage).
+    #[test]
+    fn raised_sigterm_reaches_the_callback() {
+        let seen = Arc::new(AtomicI32::new(0));
+        let seen_cb = Arc::clone(&seen);
+        super::on_termination(move |signum| {
+            seen_cb.store(signum, Ordering::SeqCst);
+        })
+        .expect("install handlers");
+        // With the handler replaced, raise(SIGTERM) no longer kills us.
+        assert_eq!(unsafe { raise(super::SIGTERM) }, 0);
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while seen.load(Ordering::SeqCst) == 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert_eq!(seen.load(Ordering::SeqCst), super::SIGTERM, "callback saw the signal");
+        assert_eq!(super::signal_name(super::SIGTERM), "SIGTERM");
+        assert_eq!(super::signal_name(super::SIGINT), "SIGINT");
+        assert_eq!(super::signal_name(99), "signal");
+    }
+}

@@ -139,6 +139,29 @@ pub struct FleetStats {
     pub checkpoint_failures: AtomicU64,
     /// Currently tracked series (gauge).
     pub series: AtomicU64,
+    // Serving-edge counters, maintained by the daemon's connection
+    // supervisor (`moche serve`): the fleet itself never touches them, but
+    // they live here so one `Arc<FleetStats>` carries every number the
+    // STATUS endpoint and the final health line report. None of them
+    // affects `is_clean()` — a misbehaving *client* is not a degraded
+    // *daemon*.
+    /// Connections admitted by the accept loop.
+    pub connections_opened: AtomicU64,
+    /// Connections rejected with a `BUSY` reply at `--max-connections`.
+    pub busy_rejections: AtomicU64,
+    /// Connections evicted for sending nothing within the idle budget.
+    pub idle_timeouts: AtomicU64,
+    /// Connections evicted for stalling mid-frame past the I/O deadline.
+    pub stalled_reads: AtomicU64,
+    /// Connections evicted because a reply write stalled (a peer that
+    /// never reads) past the I/O deadline.
+    pub stalled_writes: AtomicU64,
+    /// Malformed frames / JSON lines answered with a structured error.
+    pub malformed_frames: AtomicU64,
+    /// Connections closed after spending their malformed-frame budget.
+    pub error_budget_closes: AtomicU64,
+    /// Connections closed by a graceful drain (signal or SHUTDOWN).
+    pub drained_connections: AtomicU64,
 }
 
 impl FleetStats {
@@ -158,6 +181,14 @@ impl FleetStats {
             checkpoints_written: self.checkpoints_written.load(Ordering::Relaxed),
             checkpoint_failures: self.checkpoint_failures.load(Ordering::Relaxed),
             series: self.series.load(Ordering::Relaxed),
+            connections_opened: self.connections_opened.load(Ordering::Relaxed),
+            busy_rejections: self.busy_rejections.load(Ordering::Relaxed),
+            idle_timeouts: self.idle_timeouts.load(Ordering::Relaxed),
+            stalled_reads: self.stalled_reads.load(Ordering::Relaxed),
+            stalled_writes: self.stalled_writes.load(Ordering::Relaxed),
+            malformed_frames: self.malformed_frames.load(Ordering::Relaxed),
+            error_budget_closes: self.error_budget_closes.load(Ordering::Relaxed),
+            drained_connections: self.drained_connections.load(Ordering::Relaxed),
         }
     }
 }
@@ -178,11 +209,28 @@ pub struct FleetStatsView {
     pub checkpoints_written: u64,
     pub checkpoint_failures: u64,
     pub series: u64,
+    pub connections_opened: u64,
+    pub busy_rejections: u64,
+    pub idle_timeouts: u64,
+    pub stalled_reads: u64,
+    pub stalled_writes: u64,
+    pub malformed_frames: u64,
+    pub error_budget_closes: u64,
+    pub drained_connections: u64,
 }
 
 impl FleetStatsView {
+    /// Total connections the supervisor evicted for cause (idle, stalled
+    /// read/write, or a spent error budget). Busy rejections and graceful
+    /// drains are counted separately — those connections did nothing wrong.
+    pub fn evicted_connections(&self) -> u64 {
+        self.idle_timeouts + self.stalled_reads + self.stalled_writes + self.error_budget_closes
+    }
+
     /// Whether the fleet ran degradation-free: no panics, no quarantines,
-    /// no shed explanations, no failed checkpoints.
+    /// no shed explanations, no failed checkpoints. Connection-supervision
+    /// counters do not factor in: evicting a hostile client is the daemon
+    /// working, not the daemon degrading.
     pub fn is_clean(&self) -> bool {
         self.worker_panics == 0
             && self.quarantined_series == 0
