@@ -252,6 +252,7 @@ fn window_preference(
                 let sr = SpectralResidual::default();
                 PreferenceList::from_scores_desc(&sr.scores(t))
             } else {
+                // lint:allow(relaxed): monotonic stats counter; no cross-thread handoff rides on it
                 degraded.fetch_add(1, Ordering::Relaxed);
                 Ok(PreferenceList::identity(t.len()))
             }
@@ -260,6 +261,9 @@ fn window_preference(
         PreferenceSource::ValueAsc => PreferenceList::from_scores_asc(t),
         PreferenceSource::Identity => Ok(PreferenceList::identity(t.len())),
         PreferenceSource::ScoreColumn | PreferenceSource::ScoreFile(_) => {
+            // lint:allow(panic): parse() maps these sources to per-window
+            // score columns/files before any command runs; reaching here is
+            // a parser bug, not an input condition.
             unreachable!("the batch parser rejects file-backed preference sources")
         }
     }
@@ -398,6 +402,7 @@ fn run_batch(
         results.iter().filter(|r| matches!(r, Err(MocheError::WorkerPanicked { .. }))).count();
     let health = HealthReport {
         worker_panics,
+        // lint:allow(relaxed): monotonic stats counter; no cross-thread handoff rides on it
         degraded_preferences: degraded.load(Ordering::Relaxed),
         ..HealthReport::default()
     };
@@ -571,6 +576,7 @@ fn run_batch_stream(
     }
     let health = HealthReport {
         worker_panics: summary.panics,
+        // lint:allow(relaxed): monotonic stats counter; no cross-thread handoff rides on it
         degraded_preferences: degraded.load(Ordering::Relaxed),
         ..HealthReport::default()
     };

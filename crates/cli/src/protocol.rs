@@ -221,7 +221,9 @@ pub fn decode_request(payload: &[u8]) -> Result<Request, ProtocolError> {
                     rest.len()
                 )));
             }
+            // lint:allow(panic): infallible — `rest.len() == 16` was checked
             let series = u64::from_le_bytes(rest[..8].try_into().expect("8 bytes"));
+            // lint:allow(panic): infallible — `rest.len() == 16` was checked
             let value = f64::from_le_bytes(rest[8..].try_into().expect("8 bytes"));
             Ok(Request::Obs { series, value })
         }
@@ -241,6 +243,7 @@ pub fn decode_request(payload: &[u8]) -> Result<Request, ProtocolError> {
                     rest.len()
                 )));
             }
+            // lint:allow(panic): infallible — `rest.len() == 8` was checked
             Ok(Request::Series { series: u64::from_le_bytes(rest.try_into().expect("8 bytes")) })
         }
         [o, rest @ ..] if *o == op::SHUTDOWN => {
@@ -356,6 +359,7 @@ impl FrameAssembler {
     fn next_binary(&mut self) -> Assembled {
         let avail = &self.buf[self.start..];
         let Some(prefix) = avail.get(..4) else { return Assembled::NeedMore };
+        // lint:allow(panic): infallible — `prefix` is `.get(..4)` of the buffer
         let len = u32::from_le_bytes(prefix.try_into().expect("4 bytes"));
         if len == 0 || len > MAX_FRAME_LEN {
             return Assembled::Fatal(format!(

@@ -372,6 +372,22 @@ pub fn run_serve(opts: &ServeOptions, out: &mut dyn Write) -> Result<RunStatus, 
          {} explained, {} shed",
         view.series, view.accepted, view.alarms, view.explained, view.explain_dropped
     )?;
+    // The serving-edge / fleet-hygiene counters that are not part of the
+    // health: line proper. Every FleetStats counter must surface here or in
+    // the health: line — the moche-lint counter-plumbing pass enforces it —
+    // so an operator reading a shutdown tail sees the whole story without
+    // having to have issued a STATUS in time.
+    writeln!(
+        out,
+        "moche serve: connections — {} opened, {} drained, {} malformed frame(s); \
+         fleet — {} quarantined, {} rejected at capacity, {} checkpoint failure(s)",
+        view.connections_opened,
+        view.drained_connections,
+        view.malformed_frames,
+        view.quarantined_series,
+        view.rejected_at_capacity,
+        view.checkpoint_failures
+    )?;
     writeln!(out, "{}", health.summary())?;
     out.flush()?;
     Ok(RunStatus { window_errors: 0, windows_explained: view.explained as usize, health })
@@ -506,6 +522,7 @@ fn accept_loop<'scope>(
         let cap = ctx.limits.max_connections;
         let active = ctx.active.load(Ordering::SeqCst);
         if cap > 0 && active >= cap {
+            // lint:allow(relaxed): monotonic stats counter; no cross-thread handoff rides on it
             ctx.stats.busy_rejections.fetch_add(1, Ordering::Relaxed);
             let _ = log.send(format!(
                 "BUSY rejecting connection: {active} active >= --max-connections {cap}"
@@ -514,7 +531,11 @@ fn accept_loop<'scope>(
             continue;
         }
         ctx.active.fetch_add(1, Ordering::SeqCst);
+        // lint:allow(relaxed): monotonic stats counter; no cross-thread handoff rides on it
         ctx.stats.connections_opened.fetch_add(1, Ordering::Relaxed);
+        // lint:allow(relaxed): connection-id allocator — only the RMW's
+        // atomicity matters (ids must be unique, not ordered with anything).
+        // lint:allow(relaxed): monotonic stats counter; no cross-thread handoff rides on it
         let id = ctx.conn_seq.fetch_add(1, Ordering::Relaxed);
         let senders = senders.clone();
         let log = log.clone();
@@ -595,6 +616,7 @@ fn handle_connection(
                 Assembled::Malformed(why) => {
                     consumed_any = true;
                     last_activity = Instant::now();
+                    // lint:allow(relaxed): monotonic stats counter; no cross-thread handoff rides on it
                     ctx.stats.malformed_frames.fetch_add(1, Ordering::Relaxed);
                     malformed += 1;
                     if malformed > ctx.limits.error_budget {
@@ -609,6 +631,7 @@ fn handle_connection(
                     }
                 }
                 Assembled::Fatal(why) => {
+                    // lint:allow(relaxed): monotonic stats counter; no cross-thread handoff rides on it
                     ctx.stats.malformed_frames.fetch_add(1, Ordering::Relaxed);
                     let _ = respond(&mut conn, asm.mode(), op::ERR, &error_json(&why, None));
                     return CloseReason::ProtocolFatal(why);
@@ -728,15 +751,18 @@ fn note_close(id: u64, reason: CloseReason, ctx: &ServeContext, log: &mpsc::Send
     match reason {
         CloseReason::PeerClosed | CloseReason::ShutdownRequested => {}
         CloseReason::Drained => {
+            // lint:allow(relaxed): monotonic stats counter; no cross-thread handoff rides on it
             stats.drained_connections.fetch_add(1, Ordering::Relaxed);
             let _ = log.send(format!("CLOSE conn={id} reason=drained"));
         }
         CloseReason::IdleTimeout(idle) => {
+            // lint:allow(relaxed): monotonic stats counter; no cross-thread handoff rides on it
             stats.idle_timeouts.fetch_add(1, Ordering::Relaxed);
             let _ = log
                 .send(format!("CLOSE conn={id} reason=idle-timeout idle_ms={}", idle.as_millis()));
         }
         CloseReason::ReadStalled(stalled) => {
+            // lint:allow(relaxed): monotonic stats counter; no cross-thread handoff rides on it
             stats.stalled_reads.fetch_add(1, Ordering::Relaxed);
             let _ = log.send(format!(
                 "CLOSE conn={id} reason=read-stall stalled_ms={}",
@@ -744,14 +770,17 @@ fn note_close(id: u64, reason: CloseReason, ctx: &ServeContext, log: &mpsc::Send
             ));
         }
         CloseReason::WriteStalled => {
+            // lint:allow(relaxed): monotonic stats counter; no cross-thread handoff rides on it
             stats.stalled_writes.fetch_add(1, Ordering::Relaxed);
             let _ = log.send(format!("CLOSE conn={id} reason=write-stall (peer not reading)"));
         }
         CloseReason::ErrorBudget(count) => {
+            // lint:allow(relaxed): monotonic stats counter; no cross-thread handoff rides on it
             stats.error_budget_closes.fetch_add(1, Ordering::Relaxed);
             let _ = log.send(format!("CLOSE conn={id} reason=error-budget malformed={count}"));
         }
         CloseReason::ProtocolFatal(why) => {
+            // lint:allow(relaxed): monotonic stats counter; no cross-thread handoff rides on it
             stats.error_budget_closes.fetch_add(1, Ordering::Relaxed);
             let _ = log.send(format!("CLOSE conn={id} reason=protocol-fatal: {why}"));
         }

@@ -11,6 +11,7 @@
 //! | garbage frames, corrupt length prefix | error budget, fatal framing close |
 //! | mid-frame stall (slow loris) | `--io-timeout` eviction, others unaffected |
 //! | never reads replies | write-stall eviction (`serve.write` failpoint) |
+//! | injected read fault | read-stall eviction (`serve.read` failpoint) |
 //! | connection flood | `--max-connections` admission + `BUSY` replies |
 //! | SIGTERM mid-load | graceful drain, final checkpoints, alarm parity |
 //!
@@ -176,6 +177,40 @@ fn unread_reply_backpressure_evicts() {
     daemon.wait_clean_exit();
     let log = std::fs::read_to_string(dir.join("daemon.log")).expect("daemon log");
     assert!(log.contains("reason=write-stall"), "write stall logged:\n{log}");
+}
+
+/// The `serve.read` failpoint injects a deterministic mid-frame stall at
+/// the supervised read loop: the connection is evicted with a structured
+/// notice and counted as a stalled read without waiting out a real
+/// deadline — the same seam the slow-loris test above exercises with a
+/// wall clock.
+#[cfg(feature = "fault-injection")]
+#[test]
+fn injected_read_stall_evicts_and_counts() {
+    let dir = artifact_dir("serve-chaos/read-stall-injected");
+    let mut daemon = Daemon::spawn(
+        &dir.join("daemon.log"),
+        &["--window", "8", "--workers", "2"],
+        Some("serve.read=error:0:1"),
+    );
+
+    // The armed failpoint fires on this connection's first read tick: the
+    // eviction notice arrives although the client sent nothing at all.
+    let mut conn = TcpStream::connect(&daemon.addr).expect("connect");
+    conn.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    let (opcode, body) = protocol::read_reply(&mut conn).expect("eviction notice");
+    assert_eq!(opcode, op::ERR | op::REPLY);
+    let body = String::from_utf8(body).unwrap();
+    assert!(body.contains("injected read stall"), "{body}");
+    let mut one = [0u8; 1];
+    assert_eq!(conn.read(&mut one).unwrap(), 0, "read-stalled connection must close");
+
+    let status = wait_for_counter(&daemon.addr, "stalled_reads", 1);
+    std::fs::write(dir.join("final-status.json"), &status).expect("write status artifact");
+    request_shutdown(&daemon.addr);
+    daemon.wait_clean_exit();
+    let log = std::fs::read_to_string(dir.join("daemon.log")).expect("daemon log");
+    assert!(log.contains("reason=read-stall"), "injected stall logged:\n{log}");
 }
 
 /// A connection flood past `--max-connections`: every excess connection

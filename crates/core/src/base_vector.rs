@@ -163,6 +163,8 @@ impl BaseVector {
                 (Some(&a), Some(&b)) => a.min(b),
                 (Some(&a), None) => a,
                 (None, Some(&b)) => b,
+                // lint:allow(panic): the loop condition guarantees one side
+                // still has elements
                 (None, None) => unreachable!(),
             };
             while i < r_sorted.len() && r_sorted[i] <= x {

@@ -349,6 +349,10 @@ impl BatchExplainer {
                 scope.spawn(|| {
                     let mut scratch = WorkerScratch::new(self.cfg);
                     loop {
+                        // lint:allow(relaxed): work-claim index — the RMW's
+                        // atomicity alone partitions jobs; job inputs are
+                        // published by the scoped-thread spawn, not this add.
+                        // lint:allow(relaxed): monotonic stats counter; no cross-thread handoff rides on it
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         if i >= n {
                             break;

@@ -158,6 +158,7 @@ impl CumulativeVector {
     /// Size of the represented subset, `C_S[q]`.
     #[inline]
     pub fn subset_size(&self) -> u64 {
+        // lint:allow(panic): `c` always holds q+1 >= 1 entries by construction
         *self.c.last().unwrap()
     }
 

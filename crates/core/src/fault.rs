@@ -136,6 +136,8 @@ mod registry {
         let fault = armed.fault;
         drop(map); // never panic while holding the registry lock
         if fault == Fault::Panic {
+            // lint:allow(panic): panicking *is* the armed fault — test-only
+            // (the registry only compiles under `fault-injection`)
             panic!("injected panic at failpoint '{name}'");
         }
         Some(fault)

@@ -207,6 +207,8 @@ pub(crate) fn ks_statistic_sorted(r: &[f64], t: &[f64]) -> f64 {
             (Some(&a), Some(&b)) => a.min(b),
             (Some(&a), None) => a,
             (None, Some(&b)) => b,
+            // lint:allow(panic): the loop condition guarantees one side
+            // still has elements
             (None, None) => unreachable!(),
         };
         while i < r.len() && r[i] <= x {

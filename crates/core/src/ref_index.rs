@@ -797,6 +797,8 @@ impl IncrementalRefIndex {
                 stack.push(cur);
                 cur = nodes[cur as usize].left;
             }
+            // lint:allow(panic): the outer loop condition (`cur != NIL ||
+            // !stack.is_empty()`) plus the descent loop guarantee a frame
             let node = &nodes[stack.pop().expect("stack non-empty") as usize];
             total += u64::from(node.count);
             match cache.distinct.last() {
@@ -805,6 +807,8 @@ impl IncrementalRefIndex {
                 // representative is the first key — exactly the merge
                 // rule of `ReferenceIndex::new`.
                 Some(&last) if last == node.value => {
+                    // lint:allow(panic): `distinct.last()` just matched Some,
+                    // and `cum_f64` grows in lockstep with `distinct`
                     *cache.cum_f64.last_mut().expect("cum non-empty") = total as f64;
                 }
                 _ => {

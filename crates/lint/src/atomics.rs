@@ -1,0 +1,39 @@
+//! Pass 2 — atomics-ordering.
+//!
+//! Every `Ordering::Relaxed` in production code must carry a
+//! `// lint:allow(relaxed): <reason>` annotation. The workspace's rule:
+//! cross-thread *flags* (shutdown, drain, accept-waker) use
+//! Acquire/Release or SeqCst so the data they publish is visible to the
+//! observer; only monotonic *counters* — where readers tolerate a stale
+//! value and no other memory hangs off the load — stay Relaxed, and the
+//! annotation is the whitelist. A new Relaxed site therefore cannot land
+//! without a reviewer-visible claim that it is a counter, not a flag.
+
+use crate::{Diagnostic, Workspace};
+
+const PASS: &str = "atomics-ordering";
+
+pub fn check(ws: &Workspace, diags: &mut Vec<Diagnostic>) {
+    for src in &ws.sources {
+        if !Workspace::in_checked_crate(&src.rel_path) {
+            continue;
+        }
+        for at in src.find_token("Ordering::Relaxed") {
+            if src.is_test_offset(at) {
+                continue;
+            }
+            let line = src.line_of(at);
+            if src.is_allowed("relaxed", line, at) {
+                continue;
+            }
+            diags.push(Diagnostic::new(
+                PASS,
+                &src.rel_path,
+                line,
+                "`Ordering::Relaxed` without justification; counters get \
+                 `// lint:allow(relaxed): <reason>`, cross-thread flags get Acquire/Release"
+                    .to_string(),
+            ));
+        }
+    }
+}

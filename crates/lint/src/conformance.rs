@@ -1,0 +1,241 @@
+//! Pass 4 — wire/exit-code conformance.
+//!
+//! The README is the protocol's contract for people writing clients, and
+//! the exit-code paragraphs are the contract for supervisors. Both are
+//! markdown, so nothing stops them drifting from `protocol.rs` and
+//! `CliError::exit_code()` — except this pass, which parses them.
+//!
+//! Wire: every `pub const NAME: u8 = 0x..;` in `protocol.rs`'s `op`
+//! module (except the `REPLY` bit) must appear as a README table row
+//! `` | `0xNN` NAME | ... | `` with the same code, and every such row must
+//! name a real constant. `REPLY` is prose, not a row: the README must
+//! mention `0x80`.
+//!
+//! Exit codes: the set is derived from code — `0` (success), the arms of
+//! `CliError::exit_code()` in `io.rs`, and `2` if `main.rs` exits with it
+//! on usage errors. Every README paragraph starting a sentence with
+//! "Exit codes" must mention exactly that set in backticks.
+
+use std::collections::BTreeMap;
+
+use crate::{Diagnostic, Workspace};
+
+const PASS: &str = "wire-conformance";
+const PROTOCOL_RS: &str = "crates/cli/src/protocol.rs";
+const IO_RS: &str = "crates/cli/src/io.rs";
+const MAIN_RS: &str = "crates/cli/src/main.rs";
+
+pub fn check(ws: &Workspace, diags: &mut Vec<Diagnostic>) {
+    check_wire(ws, diags);
+    check_exit_codes(ws, diags);
+}
+
+fn check_wire(ws: &Workspace, diags: &mut Vec<Diagnostic>) {
+    let Some(proto) = ws.source(PROTOCOL_RS) else {
+        diags.push(Diagnostic::new(
+            PASS,
+            PROTOCOL_RS,
+            1,
+            "missing file: cannot check opcodes".into(),
+        ));
+        return;
+    };
+    // `pub const NAME: u8 = 0xNN;` inside `pub mod op { .. }`.
+    let mut consts: BTreeMap<String, (u8, usize)> = BTreeMap::new();
+    let Some(mod_at) = proto.find_token("mod op").first().copied() else {
+        diags.push(Diagnostic::new(PASS, PROTOCOL_RS, 1, "no `mod op` found".into()));
+        return;
+    };
+    for (idx, line) in proto.raw.lines().enumerate() {
+        if idx < proto.line_of(mod_at) {
+            continue;
+        }
+        let t = line.trim_start();
+        if t.starts_with('}') && line.starts_with('}') {
+            break;
+        }
+        let Some(rest) = t.strip_prefix("pub const ") else { continue };
+        let Some((name, value)) = rest.split_once(": u8 = ") else { continue };
+        let Some(code) = parse_hex_u8(value.trim_end_matches(';').trim()) else { continue };
+        consts.insert(name.trim().to_string(), (code, idx + 1));
+    }
+    if consts.is_empty() {
+        diags.push(Diagnostic::new(
+            PASS,
+            PROTOCOL_RS,
+            proto.line_of(mod_at),
+            "no opcode constants parsed from `mod op`".into(),
+        ));
+        return;
+    }
+
+    let Some(readme) = &ws.readme else {
+        diags.push(Diagnostic::new(PASS, "README.md", 1, "missing README.md".into()));
+        return;
+    };
+    // README rows: `| `0xNN` NAME | payload | meaning |`.
+    let mut rows: BTreeMap<String, (u8, usize)> = BTreeMap::new();
+    for (idx, line) in readme.lines().enumerate() {
+        let t = line.trim_start();
+        let Some(rest) = t.strip_prefix("| `0x") else { continue };
+        let Some((hex, after)) = rest.split_once('`') else { continue };
+        let Some(code) = parse_hex_u8(&format!("0x{hex}")) else { continue };
+        let name: String =
+            after.trim_start().chars().take_while(|c| c.is_ascii_uppercase()).collect();
+        if !name.is_empty() {
+            rows.insert(name, (code, idx + 1));
+        }
+    }
+
+    for (name, (code, line)) in &consts {
+        if name == "REPLY" {
+            if !readme.contains("0x80") {
+                diags.push(Diagnostic::new(
+                    PASS,
+                    PROTOCOL_RS,
+                    *line,
+                    "the `REPLY` bit (0x80) is not mentioned in README.md".into(),
+                ));
+            }
+            continue;
+        }
+        match rows.get(name) {
+            None => diags.push(Diagnostic::new(
+                PASS,
+                PROTOCOL_RS,
+                *line,
+                format!("opcode `{name}` (0x{code:02x}) has no row in the README wire table"),
+            )),
+            Some((row_code, row_line)) if row_code != code => diags.push(Diagnostic::new(
+                PASS,
+                "README.md",
+                *row_line,
+                format!("wire table says `{name}` is 0x{row_code:02x}, but protocol.rs says 0x{code:02x}"),
+            )),
+            Some(_) => {}
+        }
+    }
+    for (name, (code, row_line)) in &rows {
+        if !consts.contains_key(name) {
+            diags.push(Diagnostic::new(
+                PASS,
+                "README.md",
+                *row_line,
+                format!("wire table row `{name}` (0x{code:02x}) matches no constant in protocol.rs `mod op`"),
+            ));
+        }
+    }
+}
+
+fn check_exit_codes(ws: &Workspace, diags: &mut Vec<Diagnostic>) {
+    let Some(io) = ws.source(IO_RS) else {
+        diags.push(Diagnostic::new(PASS, IO_RS, 1, "missing file: cannot check exit codes".into()));
+        return;
+    };
+    let mut derived = vec![0i64];
+    match io.fn_body("exit_code") {
+        Some((open, end)) => {
+            let body = &io.scrubbed[open..end];
+            let mut from = 0;
+            while let Some(pos) = body[from..].find("=> ") {
+                let at = from + pos + 3;
+                from = at;
+                let digits: String =
+                    body[at..].chars().take_while(|c| c.is_ascii_digit()).collect();
+                if let Ok(code) = digits.parse::<i64>() {
+                    derived.push(code);
+                }
+            }
+        }
+        None => {
+            diags.push(Diagnostic::new(PASS, IO_RS, 1, "no `fn exit_code` found".into()));
+            return;
+        }
+    }
+    if let Some(main) = ws.source(MAIN_RS) {
+        if main.scrubbed.contains("exit(2)") {
+            derived.push(2);
+        }
+    }
+    derived.sort_unstable();
+    derived.dedup();
+
+    let Some(readme) = &ws.readme else {
+        return; // already reported by the wire check
+    };
+    let mut paragraphs: Vec<(usize, String)> = Vec::new();
+    let mut current_start = 0usize;
+    let mut current = String::new();
+    for (idx, line) in readme.lines().enumerate() {
+        if line.trim().is_empty() {
+            if !current.is_empty() {
+                paragraphs.push((current_start, std::mem::take(&mut current)));
+            }
+        } else {
+            if current.is_empty() {
+                current_start = idx + 1;
+            }
+            current.push_str(line);
+            current.push('\n');
+        }
+    }
+    if !current.is_empty() {
+        paragraphs.push((current_start, current));
+    }
+
+    let mut saw_paragraph = false;
+    for (line, text) in &paragraphs {
+        if !text.contains("Exit codes") {
+            continue;
+        }
+        saw_paragraph = true;
+        let mentioned = backticked_digits(text);
+        for code in &derived {
+            if !mentioned.contains(code) {
+                diags.push(Diagnostic::new(
+                    PASS,
+                    "README.md",
+                    *line,
+                    format!("exit-code paragraph does not mention code `{code}` (derived from {IO_RS}/{MAIN_RS})"),
+                ));
+            }
+        }
+        for code in &mentioned {
+            if !derived.contains(code) {
+                diags.push(Diagnostic::new(
+                    PASS,
+                    "README.md",
+                    *line,
+                    format!("exit-code paragraph mentions `{code}`, which no code path produces"),
+                ));
+            }
+        }
+    }
+    if !saw_paragraph {
+        diags.push(Diagnostic::new(
+            PASS,
+            "README.md",
+            1,
+            "no paragraph documenting \"Exit codes\" found".into(),
+        ));
+    }
+}
+
+fn parse_hex_u8(s: &str) -> Option<u8> {
+    u8::from_str_radix(s.strip_prefix("0x")?, 16).ok()
+}
+
+/// Single digits in backticks: `` `0` `` → 0. Longer backticked numbers
+/// (`0x85`, timeouts) are not exit codes and are ignored.
+fn backticked_digits(text: &str) -> Vec<i64> {
+    let bytes = text.as_bytes();
+    let mut out = Vec::new();
+    for i in 0..bytes.len().saturating_sub(2) {
+        if bytes[i] == b'`' && bytes[i + 1].is_ascii_digit() && bytes[i + 2] == b'`' {
+            out.push((bytes[i + 1] - b'0') as i64);
+        }
+    }
+    out.sort_unstable();
+    out.dedup();
+    out
+}

@@ -1,0 +1,170 @@
+//! Pass 5 — counter-plumbing.
+//!
+//! A `FleetStats` counter that is incremented but never reported is worse
+//! than no counter: the operator reads STATUS, sees nothing, and trusts
+//! it. Every `AtomicU64` field of `FleetStats` must therefore flow
+//! through all three reporting surfaces:
+//!
+//! 1. `FleetStats::view()` — the consistent snapshot everything reads;
+//! 2. the STATUS serializer (`status_json` in `serve.rs`) — the wire view;
+//! 3. the shutdown `health:`/summary block in `run_serve` — the operator's
+//!    last line, either directly as `view.<counter>` or via the
+//!    `evicted_connections()` aggregate.
+
+use crate::{Diagnostic, Workspace};
+
+const PASS: &str = "counter-plumbing";
+const FLEET_RS: &str = "crates/stream/src/fleet.rs";
+const SERVE_RS: &str = "crates/cli/src/serve.rs";
+
+pub fn check(ws: &Workspace, diags: &mut Vec<Diagnostic>) {
+    let Some(fleet) = ws.source(FLEET_RS) else {
+        diags.push(Diagnostic::new(
+            PASS,
+            FLEET_RS,
+            1,
+            "missing file: cannot check counters".into(),
+        ));
+        return;
+    };
+    let Some(serve) = ws.source(SERVE_RS) else {
+        diags.push(Diagnostic::new(
+            PASS,
+            SERVE_RS,
+            1,
+            "missing file: cannot check counters".into(),
+        ));
+        return;
+    };
+
+    // Field list: `pub <name>: AtomicU64,` inside `struct FleetStats`.
+    let Some(struct_at) = fleet.find_token("struct FleetStats").first().copied() else {
+        diags.push(Diagnostic::new(PASS, FLEET_RS, 1, "no `struct FleetStats` found".into()));
+        return;
+    };
+    let Some(open) = fleet.scrubbed[struct_at..].find('{').map(|p| struct_at + p) else {
+        return;
+    };
+    let body_end = match_depth(&fleet.scrubbed, open);
+    let mut counters: Vec<(String, usize)> = Vec::new();
+    let start_line = fleet.line_of(open);
+    let end_line = fleet.line_of(body_end.saturating_sub(1));
+    for line_no in start_line..=end_line {
+        let t = fleet.scrubbed_line(line_no).trim();
+        let Some(rest) = t.strip_prefix("pub ") else { continue };
+        let Some((name, ty)) = rest.split_once(':') else { continue };
+        if ty.trim().trim_end_matches(',') == "AtomicU64" {
+            counters.push((name.trim().to_string(), line_no));
+        }
+    }
+    if counters.is_empty() {
+        diags.push(Diagnostic::new(
+            PASS,
+            FLEET_RS,
+            fleet.line_of(struct_at),
+            "no `pub <name>: AtomicU64` fields parsed from `struct FleetStats`".into(),
+        ));
+        return;
+    }
+
+    let view_body = fleet.fn_body("view").map(|(s, e)| &fleet.scrubbed[s..e]);
+    let status_body = serve.fn_body("status_json").map(|(s, e)| &serve.raw[s..e]);
+    let run_serve_body = serve.fn_body("run_serve").map(|(s, e)| &serve.raw[s..e]);
+    let evicted: Vec<String> = fleet
+        .fn_body("evicted_connections")
+        .map(|(s, e)| {
+            counters
+                .iter()
+                .filter(|(name, _)| contains_token(&fleet.scrubbed[s..e], name))
+                .map(|(name, _)| name.clone())
+                .collect()
+        })
+        .unwrap_or_default();
+
+    for (name, line) in &counters {
+        match view_body {
+            Some(body) if contains_token(body, name) => {}
+            Some(_) => diags.push(Diagnostic::new(
+                PASS,
+                FLEET_RS,
+                *line,
+                format!("counter `{name}` is not loaded by `FleetStats::view()`"),
+            )),
+            None => {
+                diags.push(Diagnostic::new(PASS, FLEET_RS, 1, "no `fn view` found".into()));
+                return;
+            }
+        }
+        match status_body {
+            Some(body) if body.contains(&format!("\"{name}\"")) => {}
+            Some(_) => diags.push(Diagnostic::new(
+                PASS,
+                FLEET_RS,
+                *line,
+                format!("counter `{name}` is not serialized by `status_json` in {SERVE_RS}"),
+            )),
+            None => {
+                diags.push(Diagnostic::new(PASS, SERVE_RS, 1, "no `fn status_json` found".into()));
+                return;
+            }
+        }
+        match run_serve_body {
+            Some(body)
+                if contains_token(body, &format!("view.{name}"))
+                    || (evicted.contains(name) && body.contains("evicted_connections")) => {}
+            Some(_) => diags.push(Diagnostic::new(
+                PASS,
+                FLEET_RS,
+                *line,
+                format!(
+                    "counter `{name}` does not reach the shutdown health/summary block in \
+                     `run_serve` ({SERVE_RS}), directly or via `evicted_connections()`"
+                ),
+            )),
+            None => {
+                diags.push(Diagnostic::new(PASS, SERVE_RS, 1, "no `fn run_serve` found".into()));
+                return;
+            }
+        }
+    }
+}
+
+/// `needle` occurs in `text` with non-identifier bytes on both sides.
+fn contains_token(text: &str, needle: &str) -> bool {
+    let bytes = text.as_bytes();
+    let mut from = 0;
+    while let Some(pos) = text[from..].find(needle) {
+        let at = from + pos;
+        let left_ok = at == 0 || !is_ident(bytes[at - 1]);
+        let right = at + needle.len();
+        let right_ok = right >= bytes.len() || !is_ident(bytes[right]);
+        if left_ok && right_ok {
+            return true;
+        }
+        from = at + needle.len();
+    }
+    false
+}
+
+fn is_ident(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Offset just past the `}` matching `text[open] == '{'` (or EOF).
+fn match_depth(text: &str, open: usize) -> usize {
+    let bytes = text.as_bytes();
+    let mut depth = 0usize;
+    for (i, b) in bytes.iter().enumerate().skip(open) {
+        match b {
+            b'{' => depth += 1,
+            b'}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return i + 1;
+                }
+            }
+            _ => {}
+        }
+    }
+    text.len()
+}

@@ -1,0 +1,198 @@
+//! Pass 3 — failpoint-registry.
+//!
+//! The fault seams live in four places that must agree: the registry doc
+//! table in `crates/core/src/fault.rs` ("Injection points"), the
+//! `failpoint("...")` call sites compiled into the pipelines, the README
+//! `MOCHE_FAULTS` documentation, and at least one test that arms the seam.
+//! No orphans in any direction: an undocumented call site is an invisible
+//! chaos knob, a documented-but-uncalled seam is a fault-tolerance claim
+//! nothing exercises, and a test arming an unregistered name silently
+//! tests nothing.
+
+use std::collections::BTreeMap;
+
+use crate::{Diagnostic, Workspace};
+
+const PASS: &str = "failpoint-registry";
+const FAULT_RS: &str = "crates/core/src/fault.rs";
+
+pub fn check(ws: &Workspace, diags: &mut Vec<Diagnostic>) {
+    let Some(fault) = ws.source(FAULT_RS) else {
+        diags.push(Diagnostic::new(
+            PASS,
+            FAULT_RS,
+            1,
+            "missing file: cannot check registry".into(),
+        ));
+        return;
+    };
+
+    // Registry = the doc table rows: `//! | `name` | location | faults |`.
+    let mut registry: BTreeMap<String, usize> = BTreeMap::new();
+    for (idx, line) in fault.raw.lines().enumerate() {
+        let t = line.trim_start();
+        let Some(rest) = t.strip_prefix("//! | `") else { continue };
+        let Some(name) = rest.split('`').next() else { continue };
+        if is_seam_name(name) {
+            registry.insert(name.to_string(), idx + 1);
+        }
+    }
+    if registry.is_empty() {
+        diags.push(Diagnostic::new(
+            PASS,
+            FAULT_RS,
+            1,
+            "no registry rows found (expected `//! | \\`name\\` | ...` doc-table rows)".into(),
+        ));
+        return;
+    }
+
+    // Call sites: `failpoint("name")` string literals in production spans
+    // of every scanned crate except the registry module itself.
+    let mut call_sites: BTreeMap<String, (String, usize)> = BTreeMap::new();
+    for src in &ws.sources {
+        if src.rel_path == FAULT_RS {
+            continue;
+        }
+        for at in src.find_token("failpoint(") {
+            if src.is_test_offset(at) {
+                continue;
+            }
+            let Some(name) = literal_arg(&src.raw, at + "failpoint(".len()) else { continue };
+            let line = src.line_of(at);
+            if !registry.contains_key(&name) {
+                diags.push(Diagnostic::new(
+                    PASS,
+                    &src.rel_path,
+                    line,
+                    format!("failpoint `{name}` is not in the registry table in {FAULT_RS}"),
+                ));
+            }
+            call_sites.entry(name).or_insert_with(|| (src.rel_path.clone(), line));
+        }
+    }
+    for (name, row_line) in &registry {
+        if !call_sites.contains_key(name) {
+            diags.push(Diagnostic::new(
+                PASS,
+                FAULT_RS,
+                *row_line,
+                format!("registered failpoint `{name}` has no production call site"),
+            ));
+        }
+    }
+
+    // README: every seam must be documented for MOCHE_FAULTS users.
+    match &ws.readme {
+        Some(readme) => {
+            for (name, row_line) in &registry {
+                if !readme.contains(name) {
+                    diags.push(Diagnostic::new(
+                        PASS,
+                        FAULT_RS,
+                        *row_line,
+                        format!("registered failpoint `{name}` is not documented in README.md"),
+                    ));
+                }
+            }
+        }
+        None => {
+            diags.push(Diagnostic::new(PASS, "README.md", 1, "missing README.md".into()));
+        }
+    }
+
+    // Tests: every seam is armed (or named in a MOCHE_FAULTS spec) by at
+    // least one integration test, and no test arms an unregistered name.
+    for (name, row_line) in &registry {
+        let covered = ws.test_files.iter().any(|(_, raw)| raw.contains(name.as_str()));
+        if !covered {
+            diags.push(Diagnostic::new(
+                PASS,
+                FAULT_RS,
+                *row_line,
+                format!("registered failpoint `{name}` is armed by no test under crates/*/tests"),
+            ));
+        }
+    }
+    for (rel, raw) in &ws.test_files {
+        for (name, line) in armed_names(raw) {
+            if !registry.contains_key(&name) {
+                diags.push(Diagnostic::new(
+                    PASS,
+                    rel,
+                    line,
+                    format!("test arms failpoint `{name}`, which is not in the registry table"),
+                ));
+            }
+        }
+    }
+}
+
+/// Seam names are dotted lowercase identifiers: `serve.read`, not prose.
+fn is_seam_name(name: &str) -> bool {
+    name.contains('.')
+        && !name.is_empty()
+        && name
+            .bytes()
+            .all(|b| b.is_ascii_lowercase() || b.is_ascii_digit() || b == b'.' || b == b'_')
+}
+
+/// If `raw[from..]` (after optional whitespace) starts a string literal,
+/// return its contents up to the closing quote.
+fn literal_arg(raw: &str, from: usize) -> Option<String> {
+    let bytes = raw.as_bytes();
+    let mut i = from;
+    while i < bytes.len() && bytes[i].is_ascii_whitespace() {
+        i += 1;
+    }
+    if bytes.get(i) != Some(&b'"') {
+        return None;
+    }
+    i += 1;
+    let end = raw[i..].find('"')?;
+    Some(raw[i..i + end].to_string())
+}
+
+/// Failpoint names a test file arms: `arm("name", ...)` calls plus
+/// `name=fault` pairs inside `MOCHE_FAULTS`-style spec strings.
+fn armed_names(raw: &str) -> Vec<(String, usize)> {
+    let mut names = Vec::new();
+    let mut from = 0;
+    while let Some(pos) = raw[from..].find("arm(") {
+        let at = from + pos;
+        from = at + 4;
+        // Token boundary: reject `disarm(`.
+        if at > 0
+            && (raw.as_bytes()[at - 1].is_ascii_alphanumeric() || raw.as_bytes()[at - 1] == b'_')
+        {
+            continue;
+        }
+        if let Some(name) = literal_arg(raw, at + 4) {
+            if is_seam_name(&name) {
+                names.push((name, line_at(raw, at)));
+            }
+        }
+    }
+    for fault_kind in ["=panic", "=error", "=truncate"] {
+        let mut from = 0;
+        while let Some(pos) = raw[from..].find(fault_kind) {
+            let at = from + pos;
+            from = at + fault_kind.len();
+            let head = &raw[..at];
+            let start = head
+                .rfind(|c: char| {
+                    !(c.is_ascii_lowercase() || c.is_ascii_digit() || c == '.' || c == '_')
+                })
+                .map_or(0, |p| p + 1);
+            let name = &head[start..];
+            if is_seam_name(name) {
+                names.push((name.to_string(), line_at(raw, at)));
+            }
+        }
+    }
+    names
+}
+
+fn line_at(raw: &str, offset: usize) -> usize {
+    raw[..offset].bytes().filter(|b| *b == b'\n').count() + 1
+}

@@ -1,0 +1,669 @@
+//! A deliberately small Rust "lexer": just enough structure to scan source
+//! for invariant violations without false positives from prose.
+//!
+//! The passes never need a real parse tree. They need three things:
+//!
+//! 1. **Scrubbed text** — the source with every comment and every string /
+//!    char literal interior blanked to spaces (newlines preserved), so byte
+//!    offsets and line numbers in the scrubbed text match the original file
+//!    exactly. Searching the scrubbed text for `panic!` or
+//!    `Ordering::Relaxed` cannot hit doc-comment prose or log messages.
+//! 2. **Test spans** — the byte ranges of `#[cfg(test)]` `mod`/`fn` items,
+//!    found by brace matching on the scrubbed text (comments and strings are
+//!    blank, so every remaining brace is structural).
+//! 3. **Annotations** — `// lint:allow(<pass>): <reason>` comments, captured
+//!    during scrubbing (they are comments, so they vanish from the scrubbed
+//!    text) together with the line they sit on.
+//!
+//! The scrubber understands line comments, nested block comments, string
+//! literals with escapes, byte strings, raw (byte) strings with `#` fences,
+//! and the char-literal-vs-lifetime ambiguity. That is the entire Rust
+//! grammar surface these passes depend on.
+
+/// One `// lint:allow(...)` annotation, parsed out of a comment.
+#[derive(Debug, Clone)]
+pub struct Annotation {
+    /// 1-based line of the comment.
+    pub line: usize,
+    /// The pass being silenced: `panic`, `relaxed`, ...
+    pub pass: String,
+    /// `lint:allow(<pass>, fn)` — applies to the whole body of the next `fn`.
+    pub fn_scope: bool,
+    /// Free-text justification (required to be non-empty).
+    pub reason: String,
+}
+
+/// A parse failure in an annotation: the comment mentions `lint:allow` but
+/// does not follow the grammar. Surfaced as a diagnostic so a typo cannot
+/// silently fail to silence (or silently silence) a pass.
+#[derive(Debug, Clone)]
+pub struct AnnotationError {
+    pub line: usize,
+    pub message: String,
+}
+
+/// A source file plus everything the passes need to scan it.
+pub struct SourceFile {
+    /// Path relative to the workspace root, `/`-separated.
+    pub rel_path: String,
+    /// Original text.
+    pub raw: String,
+    /// Comment/string-blanked text; same length and line structure as `raw`.
+    pub scrubbed: String,
+    /// Byte offset of the start of each line (index 0 = line 1).
+    pub line_starts: Vec<usize>,
+    /// Byte ranges covered by `#[cfg(test)]` items.
+    pub test_spans: Vec<(usize, usize)>,
+    /// Byte ranges whitelisted per pass by `fn`-scoped annotations.
+    pub fn_allow_spans: Vec<(String, usize, usize)>,
+    pub annotations: Vec<Annotation>,
+    pub annotation_errors: Vec<AnnotationError>,
+}
+
+impl SourceFile {
+    pub fn parse(rel_path: String, raw: String) -> SourceFile {
+        let (scrubbed, comments) = scrub(&raw);
+        let line_starts = line_starts(&raw);
+        let mut annotations = Vec::new();
+        let mut annotation_errors = Vec::new();
+        for (line, text) in &comments {
+            match parse_annotation(*line, text) {
+                Some(Ok(a)) => annotations.push(a),
+                Some(Err(message)) => {
+                    annotation_errors.push(AnnotationError { line: *line, message })
+                }
+                None => {}
+            }
+        }
+        let test_spans = test_spans(&scrubbed);
+        let mut file = SourceFile {
+            rel_path,
+            raw,
+            scrubbed,
+            line_starts,
+            test_spans,
+            fn_allow_spans: Vec::new(),
+            annotations,
+            annotation_errors,
+        };
+        file.fn_allow_spans = file.compute_fn_allow_spans();
+        file
+    }
+
+    /// 1-based line number of a byte offset.
+    pub fn line_of(&self, offset: usize) -> usize {
+        match self.line_starts.binary_search(&offset) {
+            Ok(i) => i + 1,
+            Err(i) => i, // offset sits inside line i (1-based)
+        }
+    }
+
+    /// Byte offset of the start of a 1-based line (clamped to EOF).
+    pub fn line_start(&self, line: usize) -> usize {
+        self.line_starts.get(line - 1).copied().unwrap_or(self.raw.len())
+    }
+
+    /// The scrubbed text of a 1-based line, without the trailing newline.
+    pub fn scrubbed_line(&self, line: usize) -> &str {
+        let start = self.line_start(line);
+        let end = self.line_starts.get(line).map_or(self.scrubbed.len(), |e| *e);
+        self.scrubbed[start..end].trim_end_matches('\n')
+    }
+
+    /// The raw text of a 1-based line, without the trailing newline.
+    pub fn raw_line(&self, line: usize) -> &str {
+        let start = self.line_start(line);
+        let end = self.line_starts.get(line).map_or(self.raw.len(), |e| *e);
+        self.raw[start..end].trim_end_matches('\n')
+    }
+
+    pub fn is_test_offset(&self, offset: usize) -> bool {
+        self.test_spans.iter().any(|&(s, e)| offset >= s && offset < e)
+    }
+
+    /// Is a site at `line` (1-based, byte `offset`) whitelisted for `pass`?
+    ///
+    /// Three annotation placements count: the same line, anywhere in the
+    /// contiguous `//` comment block directly above the line (so a wrapped
+    /// annotation still applies to the statement it precedes), or an
+    /// `fn`-scoped annotation whose function body contains the offset.
+    pub fn is_allowed(&self, pass: &str, line: usize, offset: usize) -> bool {
+        if self.fn_allow_spans.iter().any(|(p, s, e)| p == pass && offset >= *s && offset < *e) {
+            return true;
+        }
+        let on = |l: usize| {
+            self.annotations.iter().any(|a| !a.fn_scope && a.pass == pass && a.line == l)
+        };
+        if on(line) {
+            return true;
+        }
+        let mut l = line;
+        while l > 1 {
+            l -= 1;
+            if !self.raw_line(l).trim_start().starts_with("//") {
+                return false;
+            }
+            if on(l) {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Resolve each `fn`-scoped annotation to the body of the next `fn`.
+    fn compute_fn_allow_spans(&self) -> Vec<(String, usize, usize)> {
+        let mut spans = Vec::new();
+        for a in &self.annotations {
+            if !a.fn_scope {
+                continue;
+            }
+            let from = self.line_start(a.line + 1);
+            if let Some((start, end)) = next_fn_body(&self.scrubbed, from) {
+                spans.push((a.pass.clone(), start, end));
+            }
+        }
+        spans
+    }
+
+    /// Find the body `{ ... }` of `fn <name>` (first match), as byte range.
+    pub fn fn_body(&self, name: &str) -> Option<(usize, usize)> {
+        let needle = format!("fn {name}");
+        let mut from = 0;
+        while let Some(pos) = self.scrubbed[from..].find(&needle) {
+            let at = from + pos;
+            let after = self.scrubbed.as_bytes().get(at + needle.len()).copied();
+            let before_ok = at == 0 || !is_ident_byte(self.scrubbed.as_bytes()[at - 1]);
+            let after_ok = matches!(after, Some(b'(') | Some(b'<'));
+            if before_ok && after_ok {
+                if let Some(open) = find_body_open(&self.scrubbed, at + needle.len()) {
+                    let end = match_brace(&self.scrubbed, open)?;
+                    return Some((open, end));
+                }
+            }
+            from = at + needle.len();
+        }
+        None
+    }
+
+    /// Every occurrence of `needle` in the scrubbed text at a token
+    /// boundary on the left: when the needle starts with an identifier
+    /// character, the byte before must not be `[A-Za-z0-9_]` (so `panic!`
+    /// does not match `some_panic!`); needles starting with punctuation
+    /// (`.unwrap()`) match anywhere.
+    pub fn find_token(&self, needle: &str) -> Vec<usize> {
+        let mut hits = Vec::new();
+        let bytes = self.scrubbed.as_bytes();
+        let ident_start = needle.as_bytes().first().is_some_and(|b| is_ident_byte(*b));
+        let mut from = 0;
+        while let Some(pos) = self.scrubbed[from..].find(needle) {
+            let at = from + pos;
+            if !ident_start || at == 0 || !is_ident_byte(bytes[at - 1]) {
+                hits.push(at);
+            }
+            from = at + needle.len();
+        }
+        hits
+    }
+}
+
+fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+fn line_starts(text: &str) -> Vec<usize> {
+    let mut starts = vec![0];
+    for (i, b) in text.bytes().enumerate() {
+        if b == b'\n' {
+            starts.push(i + 1);
+        }
+    }
+    starts
+}
+
+/// Blank comments and literal interiors; collect `//` comments by line.
+///
+/// The output has the same byte length as the input, with the same bytes at
+/// every position that is not inside a comment or a literal; blanked bytes
+/// become spaces except newlines, which are preserved.
+fn scrub(raw: &str) -> (String, Vec<(usize, String)>) {
+    let bytes = raw.as_bytes();
+    let mut out: Vec<u8> = Vec::with_capacity(bytes.len());
+    let mut comments: Vec<(usize, String)> = Vec::new();
+    let mut line = 1usize;
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let b = bytes[i];
+        // Line comment. Captured verbatim for annotation parsing.
+        if b == b'/' && bytes.get(i + 1) == Some(&b'/') {
+            let start = i;
+            while i < bytes.len() && bytes[i] != b'\n' {
+                out.push(b' ');
+                i += 1;
+            }
+            comments.push((line, String::from_utf8_lossy(&bytes[start..i]).into_owned()));
+            continue;
+        }
+        // Block comment, possibly nested.
+        if b == b'/' && bytes.get(i + 1) == Some(&b'*') {
+            let mut depth = 1usize;
+            out.extend_from_slice(b"  ");
+            i += 2;
+            while i < bytes.len() && depth > 0 {
+                if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                    depth += 1;
+                    out.extend_from_slice(b"  ");
+                    i += 2;
+                } else if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                    depth -= 1;
+                    out.extend_from_slice(b"  ");
+                    i += 2;
+                } else {
+                    push_blanked(&mut out, bytes[i], &mut line);
+                    i += 1;
+                }
+            }
+            continue;
+        }
+        // Raw strings and byte strings: r"..", r#".."#, b"..", br#".."#.
+        if (b == b'r' || b == b'b') && (i == 0 || !is_ident_byte(bytes[i - 1])) {
+            let mut j = i + 1;
+            let mut raw_marker = b == b'r';
+            if b == b'b' && bytes.get(j) == Some(&b'r') {
+                raw_marker = true;
+                j += 1;
+            }
+            if raw_marker {
+                let mut hashes = 0usize;
+                while bytes.get(j) == Some(&b'#') {
+                    hashes += 1;
+                    j += 1;
+                }
+                if bytes.get(j) == Some(&b'"') {
+                    // Raw string: no escapes; ends at `"` + `hashes` hashes.
+                    out.extend(std::iter::repeat_n(b' ', j - i));
+                    out.push(b'"');
+                    i = j + 1;
+                    'raw: while i < bytes.len() {
+                        if bytes[i] == b'"' {
+                            let mut k = 0;
+                            while k < hashes && bytes.get(i + 1 + k) == Some(&b'#') {
+                                k += 1;
+                            }
+                            if k == hashes {
+                                out.push(b'"');
+                                out.extend(std::iter::repeat_n(b' ', hashes));
+                                i += 1 + hashes;
+                                break 'raw;
+                            }
+                        }
+                        push_blanked(&mut out, bytes[i], &mut line);
+                        i += 1;
+                    }
+                    continue;
+                }
+            } else if bytes.get(j) == Some(&b'"') {
+                // b"..": cooked byte string; falls through to the string
+                // scanner below after blanking the prefix.
+                out.push(b' ');
+                i = j;
+                scan_cooked_string(bytes, &mut i, &mut out, &mut line);
+                continue;
+            } else if bytes.get(j) == Some(&b'\'') {
+                // b'..': byte char literal.
+                out.push(b' ');
+                i = j;
+                scan_char_literal(bytes, &mut i, &mut out, &mut line);
+                continue;
+            }
+            // Plain identifier starting with r/b.
+            out.push(b);
+            i += 1;
+            continue;
+        }
+        if b == b'"' {
+            scan_cooked_string(bytes, &mut i, &mut out, &mut line);
+            continue;
+        }
+        if b == b'\'' {
+            if is_char_literal(bytes, i) {
+                scan_char_literal(bytes, &mut i, &mut out, &mut line);
+            } else {
+                out.push(b'\''); // lifetime tick
+                i += 1;
+            }
+            continue;
+        }
+        push_blanked_keep(&mut out, b, &mut line);
+        i += 1;
+    }
+    (String::from_utf8_lossy(&out).into_owned(), comments)
+}
+
+/// Push a byte inside a blanked region: newline preserved, others → space.
+fn push_blanked(out: &mut Vec<u8>, b: u8, line: &mut usize) {
+    if b == b'\n' {
+        *line += 1;
+        out.push(b'\n');
+    } else {
+        out.push(b' ');
+    }
+}
+
+/// Push a byte outside any blanked region, tracking line numbers.
+fn push_blanked_keep(out: &mut Vec<u8>, b: u8, line: &mut usize) {
+    if b == b'\n' {
+        *line += 1;
+    }
+    out.push(b);
+}
+
+/// Consume a `"..."` literal starting at `bytes[*i] == b'"'`.
+fn scan_cooked_string(bytes: &[u8], i: &mut usize, out: &mut Vec<u8>, line: &mut usize) {
+    out.push(b'"');
+    *i += 1;
+    while *i < bytes.len() {
+        match bytes[*i] {
+            b'\\' => {
+                out.push(b' ');
+                *i += 1;
+                if *i < bytes.len() {
+                    push_blanked(out, bytes[*i], line);
+                    *i += 1;
+                }
+            }
+            b'"' => {
+                out.push(b'"');
+                *i += 1;
+                return;
+            }
+            other => {
+                push_blanked(out, other, line);
+                *i += 1;
+            }
+        }
+    }
+}
+
+/// Consume a `'.'` char literal starting at `bytes[*i] == b'\''`.
+fn scan_char_literal(bytes: &[u8], i: &mut usize, out: &mut Vec<u8>, line: &mut usize) {
+    out.push(b'\'');
+    *i += 1;
+    if *i < bytes.len() && bytes[*i] == b'\\' {
+        out.push(b' ');
+        *i += 1;
+        if *i < bytes.len() {
+            out.push(b' ');
+            *i += 1;
+        }
+    }
+    while *i < bytes.len() && bytes[*i] != b'\'' {
+        push_blanked(out, bytes[*i], line);
+        *i += 1;
+    }
+    if *i < bytes.len() {
+        out.push(b'\'');
+        *i += 1;
+    }
+}
+
+/// Char literal vs lifetime: a literal closes its quote within a few bytes
+/// on the same line (`'x'`, `'\n'`, `'é'`); a lifetime never closes.
+fn is_char_literal(bytes: &[u8], at: usize) -> bool {
+    if bytes.get(at + 1) == Some(&b'\\') {
+        return true;
+    }
+    for k in 2..=5 {
+        match bytes.get(at + k) {
+            Some(b'\'') => return k == 2 || bytes[at + 1] >= 0x80,
+            Some(b'\n') | None => return false,
+            _ => {}
+        }
+    }
+    false
+}
+
+/// Parse one comment for a `lint:allow` annotation.
+fn parse_annotation(line: usize, text: &str) -> Option<Result<Annotation, String>> {
+    const MARK: &str = "lint:allow";
+    let at = text.find(MARK)?;
+    let rest = &text[at + MARK.len()..];
+    let Some(rest) = rest.strip_prefix('(') else {
+        return Some(Err(format!("malformed annotation: expected `(` after `{MARK}`")));
+    };
+    let Some(close) = rest.find(')') else {
+        return Some(Err("malformed annotation: missing `)`".to_string()));
+    };
+    let inside = &rest[..close];
+    let mut parts = inside.split(',').map(str::trim);
+    let pass = parts.next().unwrap_or("").to_string();
+    let scope = parts.next();
+    if parts.next().is_some() {
+        return Some(Err(format!("malformed annotation: too many arguments in `({inside})`")));
+    }
+    let fn_scope = match scope {
+        None => false,
+        Some("fn") => true,
+        Some(other) => {
+            return Some(Err(format!("malformed annotation: unknown scope `{other}` (only `fn`)")))
+        }
+    };
+    if !matches!(pass.as_str(), "panic" | "relaxed") {
+        return Some(Err(format!("malformed annotation: unknown pass `{pass}` (panic|relaxed)")));
+    }
+    let after = rest[close + 1..].trim_start();
+    let reason = match after.strip_prefix(':') {
+        Some(r) => r.trim(),
+        None => return Some(Err("malformed annotation: expected `): <reason>`".to_string())),
+    };
+    if reason.is_empty() {
+        return Some(Err("annotation without a reason: add `: <why this is safe>`".to_string()));
+    }
+    Some(Ok(Annotation { line, pass, fn_scope, reason: reason.to_string() }))
+}
+
+/// Byte ranges of `#[cfg(test)] mod { .. }` / `#[cfg(test)] fn .. { .. }`.
+fn test_spans(scrubbed: &str) -> Vec<(usize, usize)> {
+    const ATTR: &str = "#[cfg(test)]";
+    let mut spans = Vec::new();
+    let mut from = 0;
+    while let Some(pos) = scrubbed[from..].find(ATTR) {
+        let attr_at = from + pos;
+        from = attr_at + ATTR.len();
+        let mut j = attr_at + ATTR.len();
+        let bytes = scrubbed.as_bytes();
+        // Skip whitespace and any further attributes between cfg and item.
+        loop {
+            while j < bytes.len() && bytes[j].is_ascii_whitespace() {
+                j += 1;
+            }
+            if scrubbed[j..].starts_with("#[") {
+                let mut depth = 0usize;
+                while j < bytes.len() {
+                    match bytes[j] {
+                        b'[' => depth += 1,
+                        b']' => {
+                            depth -= 1;
+                            if depth == 0 {
+                                j += 1;
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    j += 1;
+                }
+            } else {
+                break;
+            }
+        }
+        // Skip visibility / `unsafe` / `extern` modifiers up to mod/fn.
+        let mut guard = 0;
+        while guard < 6 {
+            guard += 1;
+            while j < bytes.len() && bytes[j].is_ascii_whitespace() {
+                j += 1;
+            }
+            if scrubbed[j..].starts_with("pub") {
+                j += 3;
+                while j < bytes.len() && bytes[j].is_ascii_whitespace() {
+                    j += 1;
+                }
+                if bytes.get(j) == Some(&b'(') {
+                    while j < bytes.len() && bytes[j] != b')' {
+                        j += 1;
+                    }
+                    j += 1;
+                }
+                continue;
+            }
+            break;
+        }
+        let is_item = scrubbed[j..].starts_with("mod") || scrubbed[j..].starts_with("fn");
+        if !is_item {
+            continue;
+        }
+        // Find the item body; a `mod name;` declaration has no body here.
+        let mut k = j;
+        while k < bytes.len() && bytes[k] != b'{' && bytes[k] != b';' {
+            k += 1;
+        }
+        if k < bytes.len() && bytes[k] == b'{' {
+            if let Some(end) = match_brace(scrubbed, k) {
+                spans.push((attr_at, end));
+            }
+        }
+    }
+    spans
+}
+
+/// Given `scrubbed[open] == '{'`, return the offset just past the matching
+/// `}`. Comments/strings are blank, so depth counting is exact.
+fn match_brace(scrubbed: &str, open: usize) -> Option<usize> {
+    let bytes = scrubbed.as_bytes();
+    let mut depth = 0usize;
+    let mut i = open;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'{' => depth += 1,
+            b'}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(i + 1);
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    None
+}
+
+/// From a position inside a `fn` signature, find the body's opening brace.
+/// Stops at `;` (trait method declarations have no body).
+fn find_body_open(scrubbed: &str, from: usize) -> Option<usize> {
+    let bytes = scrubbed.as_bytes();
+    let mut i = from;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'{' => return Some(i),
+            b';' => return None,
+            _ => i += 1,
+        }
+    }
+    None
+}
+
+/// Find the first `fn` keyword at/after `from` and return its body range.
+fn next_fn_body(scrubbed: &str, from: usize) -> Option<(usize, usize)> {
+    let bytes = scrubbed.as_bytes();
+    let mut i = from;
+    while i + 2 < bytes.len() {
+        if &scrubbed[i..i + 2] == "fn"
+            && (i == 0 || !is_ident_byte(bytes[i - 1]))
+            && !is_ident_byte(bytes[i + 2])
+        {
+            let open = find_body_open(scrubbed, i + 2)?;
+            let end = match_brace(scrubbed, open)?;
+            return Some((open, end));
+        }
+        i += 1;
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn file(src: &str) -> SourceFile {
+        SourceFile::parse("test.rs".to_string(), src.to_string())
+    }
+
+    #[test]
+    fn scrub_blanks_comments_and_strings() {
+        let f = file("let x = \"panic!\"; // panic!\nlet y = 1;\n");
+        assert!(!f.scrubbed.contains("panic!"));
+        assert_eq!(f.scrubbed.len(), f.raw.len());
+        assert!(f.scrubbed.contains("let y = 1;"));
+    }
+
+    #[test]
+    fn scrub_handles_raw_strings_and_chars() {
+        let f =
+            file("let s = r#\"unwrap() \"inner\" \"#; let c = 'x'; let l: &'static str = \"\";");
+        assert!(!f.scrubbed.contains("unwrap"));
+        assert!(f.scrubbed.contains("'static"));
+        let f2 = file("let q = '\\''; let b = b\"expect(\"; let nl = '\\n';");
+        assert!(!f2.scrubbed.contains("expect"));
+    }
+
+    #[test]
+    fn test_spans_cover_cfg_test_mod() {
+        let src =
+            "fn prod() { x.unwrap(); }\n#[cfg(test)]\nmod tests {\n    fn t() { y.unwrap(); }\n}\n";
+        let f = file(src);
+        let prod_at = f.scrubbed.find(".unwrap").unwrap();
+        let test_at = f.scrubbed.rfind(".unwrap").unwrap();
+        assert!(!f.is_test_offset(prod_at));
+        assert!(f.is_test_offset(test_at));
+    }
+
+    #[test]
+    fn annotations_parse_and_apply() {
+        let src = "// lint:allow(panic): invariant\nlet x = v.last().unwrap();\n\
+                   let y = v.first().unwrap();\n";
+        let f = file(src);
+        assert_eq!(f.annotations.len(), 1);
+        assert!(f.is_allowed("panic", 2, 0));
+        assert!(!f.is_allowed("panic", 3, usize::MAX - 1));
+        assert!(!f.is_allowed("relaxed", 2, 0));
+    }
+
+    #[test]
+    fn fn_scoped_annotation_covers_body() {
+        let src = "// lint:allow(relaxed, fn): stats counters\n\
+                   fn view(&self) -> V {\n    self.a.load(Ordering::Relaxed)\n}\n\
+                   fn other() {\n    self.b.load(Ordering::Relaxed);\n}\n";
+        let f = file(src);
+        let first = f.scrubbed.find("Ordering::Relaxed").unwrap();
+        let second = f.scrubbed.rfind("Ordering::Relaxed").unwrap();
+        assert!(f.is_allowed("relaxed", f.line_of(first), first));
+        assert!(!f.is_allowed("relaxed", f.line_of(second), second));
+    }
+
+    #[test]
+    fn malformed_annotation_is_an_error() {
+        let f = file("// lint:allow(panic)\nlet x = 1;\n");
+        assert_eq!(f.annotation_errors.len(), 1);
+        let f2 = file("// lint:allow(bogus): reason\n");
+        assert_eq!(f2.annotation_errors.len(), 1);
+    }
+
+    #[test]
+    fn fn_body_finds_named_function() {
+        let src = "impl S {\n    pub fn view(&self) -> u64 {\n        self.x\n    }\n}\n";
+        let f = file(src);
+        let (open, end) = f.fn_body("view").unwrap();
+        assert!(f.scrubbed[open..end].contains("self.x"));
+    }
+}

@@ -1,0 +1,226 @@
+//! `moche-lint`: the workspace's in-tree invariant analyzer.
+//!
+//! The repo's headline guarantee — explanations bit-identical to the
+//! paper's exact KS construction under every optimization — rests on
+//! invariants that a compiler cannot see: no panics in production worker
+//! seams, justified atomics orderings, failpoint names that exist in
+//! exactly one registry, README wire/exit-code tables that match the code,
+//! and `FleetStats` counters that actually reach the operator. This crate
+//! checks them mechanically. Zero external dependencies; run as
+//! `cargo run -p moche-lint -- --check`.
+//!
+//! Five passes (see README "Static analysis" for the operator view):
+//!
+//! | pass                 | invariant |
+//! |----------------------|-----------|
+//! | `panic-safety`       | no `unwrap()`/`expect()`/`panic!`/`unreachable!` in production code of core/stream/cli/sigproc/multidim without `// lint:allow(panic): <reason>` |
+//! | `atomics-ordering`   | every `Ordering::Relaxed` carries `// lint:allow(relaxed): <reason>` |
+//! | `failpoint-registry` | fault seams agree across registry ⇄ call sites ⇄ README ⇄ tests |
+//! | `wire-conformance`   | README opcode table == `protocol.rs` `op` consts; README exit codes == `CliError::exit_code()` + `main.rs` |
+//! | `counter-plumbing`   | every `FleetStats` counter reaches `view()`, the STATUS serializer, and the shutdown `health:`/summary block |
+//!
+//! Annotation grammar: `// lint:allow(<pass>): <reason>` on the offending
+//! line or the line directly above; `// lint:allow(<pass>, fn): <reason>`
+//! directly above a `fn` whitelists its whole body. Malformed annotations
+//! are themselves diagnostics — a typo can neither silently silence a pass
+//! nor silently fail to.
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+mod atomics;
+mod conformance;
+mod counters;
+mod failpoints;
+mod lexer;
+mod panic_safety;
+
+pub use lexer::SourceFile;
+
+/// One violation. Ordered and formatted stably so the machine-readable
+/// report can be diffed across runs.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Diagnostic {
+    /// Pass name: `panic-safety`, `atomics-ordering`, `failpoint-registry`,
+    /// `wire-conformance`, `counter-plumbing`, or `annotation-grammar`.
+    pub pass: String,
+    /// Workspace-relative path, `/`-separated.
+    pub file: String,
+    /// 1-based line.
+    pub line: usize,
+    pub message: String,
+}
+
+impl Diagnostic {
+    pub fn new(pass: &str, file: &str, line: usize, message: String) -> Diagnostic {
+        Diagnostic { pass: pass.to_string(), file: file.to_string(), line, message }
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: [{}] {}", self.file, self.line, self.pass, self.message)
+    }
+}
+
+/// The crates whose production code is held to the panic/atomics bar.
+pub const CHECKED_CRATES: [&str; 5] = ["core", "stream", "cli", "sigproc", "multidim"];
+
+/// The loaded workspace: parsed production sources, raw test sources, and
+/// the README. Missing files are reported by the passes that need them.
+pub struct Workspace {
+    pub root: PathBuf,
+    /// `src/**/*.rs` of the checked crates plus `signal` (signal is scanned
+    /// for failpoints but exempt from the panic/atomics passes).
+    pub sources: Vec<SourceFile>,
+    /// `crates/*/tests/**/*.rs`, raw text keyed by relative path.
+    pub test_files: Vec<(String, String)>,
+    pub readme: Option<String>,
+}
+
+impl Workspace {
+    pub fn load(root: &Path) -> std::io::Result<Workspace> {
+        let mut sources = Vec::new();
+        for krate in CHECKED_CRATES.iter().chain(std::iter::once(&"signal")) {
+            let src_dir = root.join("crates").join(krate).join("src");
+            for path in rs_files(&src_dir) {
+                let rel = rel_path(root, &path);
+                let raw = std::fs::read_to_string(&path)?;
+                sources.push(SourceFile::parse(rel, raw));
+            }
+        }
+        let mut test_files = Vec::new();
+        let crates_dir = root.join("crates");
+        if crates_dir.is_dir() {
+            let mut crate_dirs: Vec<PathBuf> = std::fs::read_dir(&crates_dir)?
+                .filter_map(|e| e.ok().map(|e| e.path()))
+                .filter(|p| p.is_dir())
+                .collect();
+            crate_dirs.sort();
+            for dir in crate_dirs {
+                // The analyzer's own tests carry seeded-violation fixtures;
+                // mistaking them for workspace tests would manufacture
+                // failpoint "coverage" (and orphan arms) out of thin air.
+                if dir.file_name().is_some_and(|n| n == "lint") {
+                    continue;
+                }
+                for path in rs_files(&dir.join("tests")) {
+                    let rel = rel_path(root, &path);
+                    let raw = std::fs::read_to_string(&path)?;
+                    test_files.push((rel, raw));
+                }
+            }
+        }
+        let readme = std::fs::read_to_string(root.join("README.md")).ok();
+        Ok(Workspace { root: root.to_path_buf(), sources, test_files, readme })
+    }
+
+    pub fn source(&self, rel_path: &str) -> Option<&SourceFile> {
+        self.sources.iter().find(|s| s.rel_path == rel_path)
+    }
+
+    /// Does `rel_path` belong to one of the panic/atomics-checked crates?
+    fn in_checked_crate(rel_path: &str) -> bool {
+        CHECKED_CRATES.iter().any(|c| {
+            rel_path
+                .strip_prefix("crates/")
+                .and_then(|r| r.strip_prefix(c))
+                .is_some_and(|r| r.starts_with('/'))
+        })
+    }
+}
+
+/// Run every pass; the returned list is sorted (pass, file, line, message).
+pub fn run_checks(root: &Path) -> std::io::Result<Vec<Diagnostic>> {
+    let ws = Workspace::load(root)?;
+    let mut diags = Vec::new();
+    for src in &ws.sources {
+        for err in &src.annotation_errors {
+            diags.push(Diagnostic::new(
+                "annotation-grammar",
+                &src.rel_path,
+                err.line,
+                err.message.clone(),
+            ));
+        }
+    }
+    panic_safety::check(&ws, &mut diags);
+    atomics::check(&ws, &mut diags);
+    failpoints::check(&ws, &mut diags);
+    conformance::check(&ws, &mut diags);
+    counters::check(&ws, &mut diags);
+    diags.sort();
+    diags.dedup();
+    Ok(diags)
+}
+
+/// Render the stable machine-readable report (JSON, sorted, no deps).
+pub fn json_report(diags: &[Diagnostic]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"violations\": {},\n", diags.len()));
+    out.push_str("  \"diagnostics\": [");
+    for (i, d) in diags.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n    {");
+        out.push_str(&format!(
+            "\"pass\": \"{}\", \"file\": \"{}\", \"line\": {}, \"message\": \"{}\"",
+            json_escape(&d.pass),
+            json_escape(&d.file),
+            d.line,
+            json_escape(&d.message)
+        ));
+        out.push('}');
+    }
+    if !diags.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("]\n}\n");
+    out
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// All `.rs` files under `dir`, recursively, sorted for determinism.
+/// A missing directory yields an empty list.
+fn rs_files(dir: &Path) -> Vec<PathBuf> {
+    let mut files = Vec::new();
+    let mut stack = vec![dir.to_path_buf()];
+    while let Some(d) = stack.pop() {
+        let Ok(entries) = std::fs::read_dir(&d) else { continue };
+        for entry in entries.flatten() {
+            let path = entry.path();
+            if path.is_dir() {
+                stack.push(path);
+            } else if path.extension().is_some_and(|e| e == "rs") {
+                files.push(path);
+            }
+        }
+    }
+    files.sort();
+    files
+}
+
+fn rel_path(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}

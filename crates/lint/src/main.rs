@@ -1,0 +1,95 @@
+//! `moche-lint` binary: run the invariant passes and report.
+//!
+//! ```text
+//! cargo run -p moche-lint -- --check                 # CI mode: exit 1 on violations
+//! cargo run -p moche-lint -- --check --report r.json # also write the JSON report
+//! cargo run -p moche-lint -- --root path/to/tree     # lint another tree (fixtures)
+//! ```
+//!
+//! Without `--check` the scan still runs and prints, but always exits 0 —
+//! useful while annotating a tree incrementally. Exit codes: 0 clean (or
+//! no `--check`), 1 violations found, 2 usage error, 3 I/O failure.
+
+use std::io::Write as _;
+use std::path::PathBuf;
+
+fn main() {
+    match run() {
+        Ok(code) => std::process::exit(code),
+        Err(e) => {
+            eprintln!("moche-lint: error: {e}");
+            std::process::exit(3);
+        }
+    }
+}
+
+fn run() -> std::io::Result<i32> {
+    let mut check = false;
+    let mut report: Option<PathBuf> = None;
+    let mut root: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--check" => check = true,
+            "--report" => match args.next() {
+                Some(p) => report = Some(PathBuf::from(p)),
+                None => return usage("--report needs a path"),
+            },
+            "--root" => match args.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => return usage("--root needs a path"),
+            },
+            "--help" | "-h" => {
+                let stdout = std::io::stdout();
+                writeln!(
+                    stdout.lock(),
+                    "usage: moche-lint [--check] [--report <path>] [--root <path>]\n\
+                     runs the workspace invariant passes; --check exits 1 on violations"
+                )?;
+                return Ok(0);
+            }
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+    }
+    let root = match root {
+        Some(r) => r,
+        None => find_workspace_root()?,
+    };
+
+    let diags = moche_lint::run_checks(&root)?;
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    for d in &diags {
+        writeln!(out, "{d}")?;
+    }
+    writeln!(out, "moche-lint: {} violation(s) in {}", diags.len(), root.display())?;
+    if let Some(path) = report {
+        std::fs::write(&path, moche_lint::json_report(&diags))?;
+        writeln!(out, "moche-lint: report written to {}", path.display())?;
+    }
+    Ok(if check && !diags.is_empty() { 1 } else { 0 })
+}
+
+fn usage(msg: &str) -> std::io::Result<i32> {
+    eprintln!("moche-lint: {msg}");
+    eprintln!("usage: moche-lint [--check] [--report <path>] [--root <path>]");
+    Ok(2)
+}
+
+/// Walk up from the current directory to the workspace root (the first
+/// ancestor holding both `Cargo.toml` and a `crates/` directory). With
+/// `cargo run -p moche-lint` the current directory already is the root.
+fn find_workspace_root() -> std::io::Result<PathBuf> {
+    let mut dir = std::env::current_dir()?;
+    loop {
+        if dir.join("Cargo.toml").is_file() && dir.join("crates").is_dir() {
+            return Ok(dir);
+        }
+        if !dir.pop() {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::NotFound,
+                "no workspace root found (want a dir with Cargo.toml and crates/); use --root",
+            ));
+        }
+    }
+}

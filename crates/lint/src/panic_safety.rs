@@ -1,0 +1,59 @@
+//! Pass 1 — panic-safety.
+//!
+//! Production code (everything outside `#[cfg(test)]` spans) in the
+//! checked crates must not call `.unwrap()` / `.expect(..)` or expand
+//! `panic!` / `unreachable!` unless the site carries
+//! `// lint:allow(panic): <reason>`. Worker seams catch panics with
+//! `catch_unwind`, but an unjustified panic in a seam still costs an
+//! alarm's explanation — every intentional one must say why it cannot
+//! fire (invariant) or why firing is the contract (failpoints, documented
+//! input rejection).
+//!
+//! The scrubbed text makes this robust: `panic!` in doc comments, log
+//! strings, and test modules never match. `unwrap_or`/`unwrap_or_else`
+//! never match because the needle requires the closing paren / opening
+//! paren directly after the method name.
+
+use crate::{Diagnostic, Workspace};
+
+const PASS: &str = "panic-safety";
+
+/// (needle, display name) — needle shapes chosen so near-miss identifiers
+/// (`unwrap_or`, `expected`, `some_panic!`) cannot match.
+const FORBIDDEN: [(&str, &str); 4] = [
+    (".unwrap()", "unwrap()"),
+    (".expect(", "expect()"),
+    ("panic!", "panic!"),
+    ("unreachable!", "unreachable!"),
+];
+
+pub fn check(ws: &Workspace, diags: &mut Vec<Diagnostic>) {
+    for src in &ws.sources {
+        if !Workspace::in_checked_crate(&src.rel_path) {
+            continue;
+        }
+        for (needle, name) in FORBIDDEN {
+            for at in src.find_token(needle) {
+                if src.is_test_offset(at) {
+                    continue;
+                }
+                // `debug_assert!`-style bangs: `panic!` needle never matches
+                // them, but `unreachable!` could appear as a path
+                // (`std::unreachable!`) — same macro, still flagged.
+                let line = src.line_of(at);
+                if src.is_allowed("panic", line, at) {
+                    continue;
+                }
+                diags.push(Diagnostic::new(
+                    PASS,
+                    &src.rel_path,
+                    line,
+                    format!(
+                        "`{name}` in production code; fix it or annotate with \
+                         `// lint:allow(panic): <reason>`"
+                    ),
+                ));
+            }
+        }
+    }
+}

@@ -1,0 +1,19 @@
+//! Fixture error type with supervisor-facing exit codes.
+
+/// Everything the fixture CLI can fail with.
+pub enum CliError {
+    /// Snapshot write failed.
+    Snapshot(String),
+    /// Anything else.
+    Other(String),
+}
+
+impl CliError {
+    /// The process exit code a supervisor sees for this error.
+    pub fn exit_code(&self) -> i32 {
+        match self {
+            CliError::Snapshot(_) => 3,
+            CliError::Other(_) => 1,
+        }
+    }
+}

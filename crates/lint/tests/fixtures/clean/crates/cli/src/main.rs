@@ -1,0 +1,12 @@
+//! Fixture entry point: usage errors exit `2`.
+
+mod io;
+mod protocol;
+mod serve;
+
+fn main() {
+    if std::env::args().len() > 1 {
+        eprintln!("usage: fixture");
+        std::process::exit(2);
+    }
+}

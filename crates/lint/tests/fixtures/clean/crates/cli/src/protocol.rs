@@ -1,0 +1,11 @@
+//! Fixture wire protocol.
+
+/// Frame opcodes.
+pub mod op {
+    /// One observation.
+    pub const OBS: u8 = 0x01;
+    /// Counters snapshot.
+    pub const STATUS: u8 = 0x02;
+    /// OR-ed onto the request opcode in replies.
+    pub const REPLY: u8 = 0x80;
+}

@@ -1,0 +1,45 @@
+//! Fixture daemon: STATUS serializer and shutdown summary, the two
+//! reporting surfaces the counter-plumbing pass checks.
+
+/// Serialize a snapshot for the STATUS reply.
+pub fn status_json(connections_opened: u64, stalled_reads: u64) -> String {
+    let mut out = String::from("{");
+    field(&mut out, "connections_opened", connections_opened);
+    out.push(',');
+    field(&mut out, "stalled_reads", stalled_reads);
+    out.push('}');
+    out
+}
+
+fn field(out: &mut String, key: &str, value: u64) {
+    out.push('"');
+    out.push_str(key);
+    out.push_str("\": ");
+    out.push_str(&value.to_string());
+}
+
+/// Run the fixture daemon to completion and print the operator summary.
+pub fn run_serve() -> String {
+    let view = fixture_view();
+    format!(
+        "health: {} opened, {} evicted ({} stalled reads)",
+        view.connections_opened,
+        view.evicted_connections(),
+        view.stalled_reads
+    )
+}
+
+struct View {
+    connections_opened: u64,
+    stalled_reads: u64,
+}
+
+impl View {
+    fn evicted_connections(&self) -> u64 {
+        self.stalled_reads
+    }
+}
+
+fn fixture_view() -> View {
+    View { connections_opened: 0, stalled_reads: 0 }
+}

@@ -1,0 +1,13 @@
+//! Fixture failpoint registry.
+//!
+//! # Injection points
+//!
+//! | name | location | faults |
+//! |---|---|---|
+//! | `demo.seam` | the demo pipeline | error |
+
+/// Fixture failpoint hook: a no-op, like the real one without the
+/// `fault-injection` feature.
+pub fn failpoint(_name: &str) -> Option<()> {
+    None
+}

@@ -1,0 +1,18 @@
+//! Fixture core crate: one failpoint call site, one annotated panic site,
+//! one annotated relaxed load — the clean baseline every pass accepts.
+
+pub mod fault;
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// How many times [`step`] ran.
+pub static STEPS: AtomicU64 = AtomicU64::new(0);
+
+/// One unit of fixture work.
+pub fn step(values: &[f64]) -> f64 {
+    fault::failpoint("demo.seam");
+    // lint:allow(relaxed): monotonic fixture counter; nothing synchronizes on it
+    STEPS.fetch_add(1, Ordering::Relaxed);
+    // lint:allow(panic): the fixture always passes a non-empty slice
+    *values.last().unwrap()
+}

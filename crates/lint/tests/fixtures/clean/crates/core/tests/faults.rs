@@ -1,0 +1,7 @@
+//! Fixture integration test: arms the one registered seam so the
+//! failpoint-registry pass sees test coverage.
+
+#[test]
+fn demo_seam_is_armed() {
+    std::env::set_var("MOCHE_FAULTS", "demo.seam=error:0:1");
+}

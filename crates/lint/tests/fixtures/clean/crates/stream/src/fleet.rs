@@ -1,0 +1,36 @@
+//! Fixture fleet counters.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Shared counters the fixture daemon reports.
+pub struct FleetStats {
+    /// Connections accepted.
+    pub connections_opened: AtomicU64,
+    /// Reads evicted for stalling.
+    pub stalled_reads: AtomicU64,
+}
+
+/// A consistent snapshot of [`FleetStats`].
+pub struct FleetView {
+    /// Connections accepted.
+    pub connections_opened: u64,
+    /// Reads evicted for stalling.
+    pub stalled_reads: u64,
+}
+
+impl FleetStats {
+    /// Snapshot every counter.
+    pub fn view(&self) -> FleetView {
+        FleetView {
+            connections_opened: self.connections_opened.load(Ordering::SeqCst),
+            stalled_reads: self.stalled_reads.load(Ordering::SeqCst),
+        }
+    }
+}
+
+impl FleetView {
+    /// Total evictions, all causes.
+    pub fn evicted_connections(&self) -> u64 {
+        self.stalled_reads
+    }
+}

@@ -1,0 +1,19 @@
+//! Overlay: an annotation lost its reason — annotation-grammar must fire
+//! (and the site it no longer covers trips panic-safety too: a typo can
+//! neither silently silence a pass nor silently fail to).
+
+pub mod fault;
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// How many times [`step`] ran.
+pub static STEPS: AtomicU64 = AtomicU64::new(0);
+
+/// One unit of fixture work.
+pub fn step(values: &[f64]) -> f64 {
+    fault::failpoint("demo.seam");
+    // lint:allow(relaxed): monotonic fixture counter; nothing synchronizes on it
+    STEPS.fetch_add(1, Ordering::Relaxed);
+    // lint:allow(panic)
+    *values.last().unwrap()
+}

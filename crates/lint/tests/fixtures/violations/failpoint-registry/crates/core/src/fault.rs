@@ -1,0 +1,15 @@
+//! Overlay: the registry documents a seam no code calls, no README
+//! section explains, and no test arms — failpoint-registry must fire.
+//!
+//! # Injection points
+//!
+//! | name | location | faults |
+//! |---|---|---|
+//! | `demo.seam` | the demo pipeline | error |
+//! | `ghost.seam` | nowhere at all | error |
+
+/// Fixture failpoint hook: a no-op, like the real one without the
+/// `fault-injection` feature.
+pub fn failpoint(_name: &str) -> Option<()> {
+    None
+}

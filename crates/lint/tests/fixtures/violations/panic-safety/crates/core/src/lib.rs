@@ -1,0 +1,16 @@
+//! Overlay: the unwrap lost its annotation — panic-safety must fire.
+
+pub mod fault;
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// How many times [`step`] ran.
+pub static STEPS: AtomicU64 = AtomicU64::new(0);
+
+/// One unit of fixture work.
+pub fn step(values: &[f64]) -> f64 {
+    fault::failpoint("demo.seam");
+    // lint:allow(relaxed): monotonic fixture counter; nothing synchronizes on it
+    STEPS.fetch_add(1, Ordering::Relaxed);
+    *values.last().unwrap()
+}

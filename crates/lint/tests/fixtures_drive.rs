@@ -1,0 +1,183 @@
+//! Self-test of `moche-lint` against seeded-violation fixtures.
+//!
+//! Every pass gets one overlay under `fixtures/violations/<pass>/` that
+//! replaces exactly one file of the clean fixture tree. Each test merges
+//! clean + overlay into a temp workspace, drives the *real binary*
+//! (`--check --root`), and pins both the exit code and the exact
+//! diagnostic line — so a refactor that silently stops a pass from
+//! firing, or reshuffles the `file:line:` format CI greps for, fails
+//! here first. The final test holds the analyzer to its own standard:
+//! the actual repository must lint clean.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn fixtures_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
+
+/// Recursively copy `src` over `dst` (files overwrite; dirs merge).
+fn copy_tree(src: &Path, dst: &Path) {
+    std::fs::create_dir_all(dst).expect("create fixture dir");
+    for entry in std::fs::read_dir(src).expect("read fixture dir") {
+        let entry = entry.expect("fixture dir entry");
+        let from = entry.path();
+        let to = dst.join(entry.file_name());
+        if from.is_dir() {
+            copy_tree(&from, &to);
+        } else {
+            std::fs::copy(&from, &to).expect("copy fixture file");
+        }
+    }
+}
+
+/// Fresh temp workspace: the clean tree, plus `overlay` on top if given.
+fn fixture_workspace(name: &str, overlay: Option<&str>) -> PathBuf {
+    let root = Path::new(env!("CARGO_TARGET_TMPDIR")).join("lint-fixtures").join(name);
+    if root.exists() {
+        std::fs::remove_dir_all(&root).expect("clear stale fixture workspace");
+    }
+    copy_tree(&fixtures_dir().join("clean"), &root);
+    if let Some(overlay) = overlay {
+        copy_tree(&fixtures_dir().join("violations").join(overlay), &root);
+    }
+    root
+}
+
+/// Run `moche-lint --check --root <root> --report <root>/report.json`.
+fn run_lint(root: &Path) -> (i32, String, String) {
+    let report = root.join("report.json");
+    let output = Command::new(env!("CARGO_BIN_EXE_moche-lint"))
+        .args(["--check", "--root"])
+        .arg(root)
+        .arg("--report")
+        .arg(&report)
+        .output()
+        .expect("run moche-lint");
+    let stdout = String::from_utf8(output.stdout).expect("utf-8 stdout");
+    let report = std::fs::read_to_string(&report).expect("report written");
+    (output.status.code().expect("exit code"), stdout, report)
+}
+
+/// One seeded violation, end to end: nonzero exit, the pinned diagnostic
+/// on stdout, and the pass name in the JSON report.
+fn assert_overlay_fires(overlay: &str, pinned: &str) {
+    let root = fixture_workspace(overlay, Some(overlay));
+    let (code, stdout, report) = run_lint(&root);
+    assert_eq!(code, 1, "overlay `{overlay}` must fail --check; stdout:\n{stdout}");
+    assert!(stdout.contains(pinned), "missing pinned diagnostic `{pinned}` in:\n{stdout}");
+    assert!(
+        report.contains(&format!("\"pass\": \"{overlay}\"")),
+        "report must attribute a violation to `{overlay}`:\n{report}"
+    );
+}
+
+#[test]
+fn clean_fixture_lints_clean() {
+    let root = fixture_workspace("clean", None);
+    let (code, stdout, report) = run_lint(&root);
+    assert_eq!(code, 0, "clean fixture must pass --check; stdout:\n{stdout}");
+    assert!(stdout.contains("moche-lint: 0 violation(s)"), "{stdout}");
+    assert!(report.contains("\"violations\": 0"), "{report}");
+}
+
+#[test]
+fn seeded_unannotated_unwrap_fires_panic_safety() {
+    assert_overlay_fires(
+        "panic-safety",
+        "crates/core/src/lib.rs:15: [panic-safety] `unwrap()` in production code; \
+         fix it or annotate with `// lint:allow(panic): <reason>`",
+    );
+}
+
+#[test]
+fn seeded_unjustified_relaxed_fires_atomics_ordering() {
+    assert_overlay_fires(
+        "atomics-ordering",
+        "crates/core/src/lib.rs:14: [atomics-ordering] `Ordering::Relaxed` without \
+         justification; counters get `// lint:allow(relaxed): <reason>`, cross-thread \
+         flags get Acquire/Release",
+    );
+}
+
+#[test]
+fn seeded_orphan_seam_fires_failpoint_registry() {
+    let overlay = "failpoint-registry";
+    let root = fixture_workspace(overlay, Some(overlay));
+    let (code, stdout, _) = run_lint(&root);
+    assert_eq!(code, 1, "{stdout}");
+    // An orphan registry row is wrong three ways at once; all three land
+    // on the row's own line.
+    for pinned in [
+        "crates/core/src/fault.rs:9: [failpoint-registry] registered failpoint \
+         `ghost.seam` has no production call site",
+        "crates/core/src/fault.rs:9: [failpoint-registry] registered failpoint \
+         `ghost.seam` is not documented in README.md",
+        "crates/core/src/fault.rs:9: [failpoint-registry] registered failpoint \
+         `ghost.seam` is armed by no test under crates/*/tests",
+    ] {
+        assert!(stdout.contains(pinned), "missing `{pinned}` in:\n{stdout}");
+    }
+}
+
+#[test]
+fn seeded_opcode_drift_fires_wire_conformance() {
+    assert_overlay_fires(
+        "wire-conformance",
+        "README.md:14: [wire-conformance] wire table says `OBS` is 0x09, \
+         but protocol.rs says 0x01",
+    );
+}
+
+#[test]
+fn seeded_unplumbed_counter_fires_counter_plumbing() {
+    let overlay = "counter-plumbing";
+    let root = fixture_workspace(overlay, Some(overlay));
+    let (code, stdout, _) = run_lint(&root);
+    assert_eq!(code, 1, "{stdout}");
+    // A counter plumbed nowhere misses all three reporting surfaces.
+    for pinned in [
+        "crates/stream/src/fleet.rs:13: [counter-plumbing] counter `lost_updates` \
+         is not loaded by `FleetStats::view()`",
+        "crates/stream/src/fleet.rs:13: [counter-plumbing] counter `lost_updates` \
+         is not serialized by `status_json` in crates/cli/src/serve.rs",
+        "crates/stream/src/fleet.rs:13: [counter-plumbing] counter `lost_updates` \
+         does not reach the shutdown health/summary block",
+    ] {
+        assert!(stdout.contains(pinned), "missing `{pinned}` in:\n{stdout}");
+    }
+}
+
+#[test]
+fn seeded_reasonless_annotation_fires_annotation_grammar() {
+    let overlay = "annotation-grammar";
+    let root = fixture_workspace(overlay, Some(overlay));
+    let (code, stdout, _) = run_lint(&root);
+    assert_eq!(code, 1, "{stdout}");
+    assert!(
+        stdout.contains(
+            "crates/core/src/lib.rs:17: [annotation-grammar] malformed annotation: \
+             expected `): <reason>`"
+        ),
+        "{stdout}"
+    );
+    // The malformed annotation covers nothing: the site below it must
+    // trip panic-safety as well.
+    assert!(stdout.contains("crates/core/src/lib.rs:18: [panic-safety]"), "{stdout}");
+}
+
+/// The analyzer's own standard applies to this repository: the real tree
+/// lints clean, via the library entry point CI's binary wraps.
+#[test]
+fn real_workspace_lints_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("workspace root");
+    let diags = moche_lint::run_checks(root).expect("scan workspace");
+    assert!(
+        diags.is_empty(),
+        "workspace has lint violations:\n{}",
+        diags.iter().map(|d| d.to_string()).collect::<Vec<_>>().join("\n")
+    );
+}

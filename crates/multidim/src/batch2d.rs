@@ -127,6 +127,10 @@ impl Batch2dExplainer {
                 scope.spawn(|| {
                     let mut engine = Explain2dEngine::with_config(self.cfg);
                     loop {
+                        // lint:allow(relaxed): work-claim index — the RMW's
+                        // atomicity alone partitions jobs; job inputs are
+                        // published by the scoped-thread spawn, not this add.
+                        // lint:allow(relaxed): monotonic stats counter; no cross-thread handoff rides on it
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         if i >= jobs {
                             break;

@@ -204,6 +204,8 @@ impl Explain2dEngine {
                     best = Some(candidate);
                 }
             }
+            // lint:allow(panic): the descent loop only runs while
+            // `self.live` is non-empty, so a best candidate always exists
             let (_, _, pos) = best.expect("live points remain");
             let idx = self.live.swap_remove(pos);
             self.scratch.remove(index, test, idx);
@@ -234,6 +236,8 @@ impl Explain2dEngine {
                     .removed_order
                     .iter()
                     .position(|&i| i == idx)
+                    // lint:allow(panic): `prune_order` is a copy of
+                    // `removed_order`, so every pruned idx is present
                     .expect("pruned point is in the removed set");
                 self.removed_order.remove(pos);
             } else {

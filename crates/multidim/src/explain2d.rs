@@ -174,6 +174,8 @@ impl GreedyImpact2d {
                     best = Some(candidate);
                 }
             }
+            // lint:allow(panic): the descent loop only runs while `live` is
+            // non-empty, so a best candidate always exists
             let (_, _, pos) = best.expect("live points remain");
             removed.push(live.swap_remove(pos));
         }

@@ -105,6 +105,9 @@ mod imp {
         let fd = WRITE_FD.load(Ordering::SeqCst);
         if fd >= 0 {
             let byte = 1u8;
+            // SAFETY: `fd` is the write end of a pipe this process opened
+            // and never closes; the buffer is a live 1-byte stack slot.
+            // `write(2)` is on the async-signal-safe list.
             unsafe {
                 let _ = write(fd, &byte, 1);
             }
@@ -127,12 +130,17 @@ mod imp {
         INSTALLED
             .get_or_init(|| {
                 let mut fds = [-1i32; 2];
+                // SAFETY: `fds` is a live, writable array of exactly the
+                // two `int`s `pipe(2)` fills in.
                 if unsafe { pipe(fds.as_mut_ptr()) } != 0 {
                     return Err(SignalError::Install("pipe(2)".into()));
                 }
                 let (read_fd, write_fd) = (fds[0], fds[1]);
                 WRITE_FD.store(write_fd, Ordering::SeqCst);
                 for signum in [super::SIGTERM, super::SIGINT] {
+                    // SAFETY: `on_signal` is `extern "C"`, lives for the
+                    // whole process, and touches only async-signal-safe
+                    // state; `signum` is a valid catchable signal.
                     if unsafe { signal(signum, on_signal) } == SIG_ERR {
                         return Err(SignalError::Install(format!("signal({signum})")));
                     }
@@ -151,6 +159,9 @@ mod imp {
     fn watcher(read_fd: i32) {
         loop {
             let mut byte = 0u8;
+            // SAFETY: `read_fd` is the read end of the install-time pipe,
+            // owned by this thread alone; the buffer is a live 1-byte
+            // stack slot.
             let n = unsafe { read(read_fd, &mut byte, 1) };
             if n == 1 {
                 let signum = LAST_SIGNAL.load(Ordering::SeqCst);
@@ -205,6 +216,8 @@ mod tests {
         })
         .expect("install handlers");
         // With the handler replaced, raise(SIGTERM) no longer kills us.
+        // SAFETY: plain FFI call; `SIGTERM` is a valid signal number and
+        // the handler installed above is async-signal-safe.
         assert_eq!(unsafe { raise(super::SIGTERM) }, 0);
         let deadline = Instant::now() + Duration::from_secs(10);
         while seen.load(Ordering::SeqCst) == 0 && Instant::now() < deadline {

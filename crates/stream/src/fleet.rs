@@ -167,6 +167,10 @@ pub struct FleetStats {
 impl FleetStats {
     /// A consistent-enough copy for reporting (each counter is read
     /// atomically; the set is not a global snapshot).
+    // lint:allow(relaxed, fn): pure monotonic counters (plus the series
+    // gauge) — readers tolerate staleness and no memory is published
+    // through these loads; cross-thread handoff in the fleet goes through
+    // channels and mutexes, never through FleetStats.
     pub fn view(&self) -> FleetStatsView {
         FleetStatsView {
             accepted: self.accepted.load(Ordering::Relaxed),
@@ -396,7 +400,12 @@ impl FleetShard {
         let slot = match self.by_id.get(&series) {
             Some(&slot) => slot,
             None => {
+                // lint:allow(relaxed): approximate capacity check against the
+                // series gauge; each shard only admits its own series, so the
+                // load observes every increment this thread made.
+                // lint:allow(relaxed): monotonic stats counter; no cross-thread handoff rides on it
                 if self.stats.series.load(Ordering::Relaxed) >= self.cfg.max_series as u64 {
+                    // lint:allow(relaxed): monotonic stats counter; no cross-thread handoff rides on it
                     self.stats.rejected_at_capacity.fetch_add(1, Ordering::Relaxed);
                     return Ok(FleetPush::AtCapacity);
                 }
@@ -405,6 +414,7 @@ impl FleetShard {
                 self.slab.push(state);
                 self.ids.push(series);
                 self.by_id.insert(series, slot);
+                // lint:allow(relaxed): monotonic stats counter; no cross-thread handoff rides on it
                 self.stats.series.fetch_add(1, Ordering::Relaxed);
                 slot
             }
@@ -414,6 +424,8 @@ impl FleetShard {
         let state = &mut self.slab[slot];
         let outcome = catch_unwind(AssertUnwindSafe(|| {
             if let Some(Fault::Panic) = fault::failpoint("serve.shard_worker") {
+                // lint:allow(panic): the armed fault *is* a panic; caught by
+                // this catch_unwind and accounted as a worker panic
                 panic!("injected shard worker panic (serve.shard_worker)");
             }
             state.try_push_deferred(value, &mut capture)
@@ -423,6 +435,7 @@ impl FleetShard {
             Ok(Ok(event)) => event,
             Ok(Err(err)) => {
                 // Bad input: the state is untouched by contract.
+                // lint:allow(relaxed): monotonic stats counter; no cross-thread handoff rides on it
                 self.stats.skipped_observations.fetch_add(1, Ordering::Relaxed);
                 self.capture_pool_return(capture);
                 return Err(err);
@@ -432,6 +445,7 @@ impl FleetShard {
                 // half-slid, so quarantine it. One poisoned series must
                 // not take down the shard.
                 let message = fault::panic_message(payload.as_ref());
+                // lint:allow(relaxed): monotonic stats counter; no cross-thread handoff rides on it
                 self.stats.worker_panics.fetch_add(1, Ordering::Relaxed);
                 self.quarantine(series);
                 self.capture_pool_return(capture);
@@ -441,6 +455,7 @@ impl FleetShard {
         };
 
         self.accepted += 1;
+        // lint:allow(relaxed): monotonic stats counter; no cross-thread handoff rides on it
         self.stats.accepted.fetch_add(1, Ordering::Relaxed);
         Ok(match event {
             MonitorEvent::Warming { .. } => {
@@ -452,6 +467,7 @@ impl FleetShard {
                 FleetPush::Stable
             }
             MonitorEvent::Drift { outcome, .. } => {
+                // lint:allow(relaxed): monotonic stats counter; no cross-thread handoff rides on it
                 self.stats.alarms.fetch_add(1, Ordering::Relaxed);
                 let at_push = self.slab[slot].pushes();
                 let wants_explain = self.cfg.monitor.explain_on_drift || self.cfg.monitor.size_only;
@@ -463,6 +479,7 @@ impl FleetShard {
                     if wants_explain {
                         // Queue full: shed the explanation work, never the
                         // alarm or the push path.
+                        // lint:allow(relaxed): monotonic stats counter; no cross-thread handoff rides on it
                         self.stats.explain_dropped.fetch_add(1, Ordering::Relaxed);
                     }
                     self.capture_pool_return(capture);
@@ -501,6 +518,8 @@ impl FleetShard {
             let (explanation, size, degraded) = if !index_ok {
                 (None, None, false)
             } else {
+                // lint:allow(panic): `index_ok` is only true after the branch
+                // above stored `Some(index)`
                 let index = self.ref_index.as_ref().expect("just built");
                 if self.cfg.monitor.size_only {
                     (None, self.scratch.size_deferred(index, &capture.test), false)
@@ -514,11 +533,13 @@ impl FleetShard {
                 }
             };
             if degraded {
+                // lint:allow(relaxed): monotonic stats counter; no cross-thread handoff rides on it
                 self.stats.degraded_preferences.fetch_add(1, Ordering::Relaxed);
                 if let Some(&slot) = self.by_id.get(&series) {
                     self.slab[slot].note_degraded();
                 }
             }
+            // lint:allow(relaxed): monotonic stats counter; no cross-thread handoff rides on it
             self.stats.explained.fetch_add(1, Ordering::Relaxed);
             sink(&ExplainedAlarm {
                 series,
@@ -563,9 +584,11 @@ impl FleetShard {
         })();
         match &result {
             Ok(()) => {
+                // lint:allow(relaxed): monotonic stats counter; no cross-thread handoff rides on it
                 self.stats.checkpoints_written.fetch_add(1, Ordering::Relaxed);
             }
             Err(_) => {
+                // lint:allow(relaxed): monotonic stats counter; no cross-thread handoff rides on it
                 self.stats.checkpoint_failures.fetch_add(1, Ordering::Relaxed);
             }
         }
@@ -611,7 +634,9 @@ impl FleetShard {
             // The former tail moved into the vacated slot.
             self.by_id.insert(self.ids[slot], slot);
         }
+        // lint:allow(relaxed): monotonic stats counter; no cross-thread handoff rides on it
         self.stats.quarantined_series.fetch_add(1, Ordering::Relaxed);
+        // lint:allow(relaxed): monotonic stats counter; no cross-thread handoff rides on it
         self.stats.series.fetch_sub(1, Ordering::Relaxed);
     }
 
@@ -623,6 +648,7 @@ impl FleetShard {
         self.slab.push(state);
         self.ids.push(series);
         self.by_id.insert(series, slot);
+        // lint:allow(relaxed): monotonic stats counter; no cross-thread handoff rides on it
         self.stats.series.fetch_add(1, Ordering::Relaxed);
         Ok(())
     }
@@ -659,11 +685,14 @@ impl FleetShardSnapshot {
         if bytes.len() < SHARD_HEADER_LEN {
             return Err(SnapshotError::Truncated);
         }
+        // lint:allow(panic): infallible — fixed-width slices of a buffer
+        // whose length was checked against SHARD_HEADER_LEN above
         let version = u32::from_le_bytes(bytes[8..12].try_into().expect("4-byte slice"));
         if version != FLEET_SHARD_VERSION {
             return Err(SnapshotError::UnsupportedVersion(version));
         }
         let payload_len =
+            // lint:allow(panic): infallible — same header-length guard
             u64::from_le_bytes(bytes[12..SHARD_HEADER_LEN].try_into().expect("8 bytes"));
         let payload_len = usize::try_from(payload_len)
             .map_err(|_| SnapshotError::Invalid("payload length overflows this platform"))?;
@@ -678,6 +707,7 @@ impl FleetShardSnapshot {
             return Err(SnapshotError::Invalid("trailing bytes after the checksum"));
         }
         let payload = &bytes[SHARD_HEADER_LEN..SHARD_HEADER_LEN + payload_len];
+        // lint:allow(panic): infallible — `bytes.len() == total` was checked
         let stored_crc = u32::from_le_bytes(bytes[total - 4..].try_into().expect("4-byte slice"));
         if crc32(payload) != stored_crc {
             return Err(SnapshotError::ChecksumMismatch);
@@ -692,8 +722,11 @@ impl FleetShardSnapshot {
             rest = tail;
             Ok(head)
         };
+        // lint:allow(panic): infallible — `take(n)` returns exactly n bytes
         let shard = u32::from_le_bytes(take(4)?.try_into().expect("4 bytes"));
+        // lint:allow(panic): infallible — `take(n)` returns exactly n bytes
         let shards = u32::from_le_bytes(take(4)?.try_into().expect("4 bytes"));
+        // lint:allow(panic): infallible — `take(n)` returns exactly n bytes
         let count = u64::from_le_bytes(take(8)?.try_into().expect("8 bytes"));
         let count = usize::try_from(count)
             .map_err(|_| SnapshotError::Invalid("series count overflows this platform"))?;
@@ -702,7 +735,9 @@ impl FleetShardSnapshot {
         }
         let mut series = Vec::with_capacity(count.min(payload_len / 16 + 1));
         for _ in 0..count {
+            // lint:allow(panic): infallible — `take(n)` returns exactly n bytes
             let id = u64::from_le_bytes(take(8)?.try_into().expect("8 bytes"));
+            // lint:allow(panic): infallible — `take(n)` returns exactly n bytes
             let len = u64::from_le_bytes(take(8)?.try_into().expect("8 bytes"));
             let len = usize::try_from(len)
                 .map_err(|_| SnapshotError::Invalid("snapshot length overflows this platform"))?;

@@ -424,21 +424,29 @@ impl MonitorState {
             // two in the KS structure, one in the reference order
             // statistics.
             let (promoted_value, promoted_id) =
+                // lint:allow(panic): steady state means both windows are at
+                // capacity w >= 1 — an empty pop is a state-machine bug
                 self.test_window.pop_front().expect("test window full");
             let (oldest_ref_value, oldest_ref_id) =
+                // lint:allow(panic): same steady-state invariant
                 self.ref_window.pop_front().expect("ref window full");
             let new_ref_id = self
                 .iks
                 .slide_reference(oldest_ref_id, promoted_value)
+                // lint:allow(panic): the id was just popped from the window
+                // that owns it, so the KS structure still tracks it
                 .expect("ref handle is live");
             self.ref_window.push_back((promoted_value, new_ref_id));
             let removed = self.ref_index.remove(oldest_ref_value);
             debug_assert!(removed, "reference index tracks the reference window");
             self.ref_index.insert(promoted_value);
+            // lint:allow(panic): the id was just popped from the test window
             let new_test_id = self.iks.slide_test(promoted_id, value).expect("test handle is live");
             self.test_window.push_back((value, new_test_id));
         }
 
+        // lint:allow(panic): reached only in steady state, where both
+        // windows hold exactly w observations
         let outcome = self.iks.outcome(&self.ks_cfg).expect("both windows non-empty");
         if !outcome.rejected {
             return Ok(MonitorEvent::Stable { outcome });
@@ -674,6 +682,8 @@ impl DriftMonitor {
     pub fn push(&mut self, value: f64) -> MonitorEvent {
         match self.try_push(value) {
             Ok(event) => event,
+            // lint:allow(panic): the documented contract of `push` — the
+            // fallible twin is `try_push`, which this forwards to
             Err(_) => panic!("observations must be finite (got {value}); see try_push"),
         }
     }

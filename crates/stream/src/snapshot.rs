@@ -240,10 +240,13 @@ impl MonitorSnapshot {
         if bytes.len() < HEADER_LEN {
             return Err(SnapshotError::Truncated);
         }
+        // lint:allow(panic): infallible — fixed-width slices of a buffer
+        // whose length was checked against HEADER_LEN above
         let version = u32::from_le_bytes(bytes[8..12].try_into().expect("4-byte slice"));
         if version == 0 || version > SNAPSHOT_VERSION {
             return Err(SnapshotError::UnsupportedVersion(version));
         }
+        // lint:allow(panic): infallible — same header-length guard
         let payload_len = u64::from_le_bytes(bytes[12..HEADER_LEN].try_into().expect("8 bytes"));
         let payload_len = usize::try_from(payload_len)
             .map_err(|_| SnapshotError::Invalid("payload length overflows this platform"))?;
@@ -258,6 +261,7 @@ impl MonitorSnapshot {
             return Err(SnapshotError::Invalid("trailing bytes after the checksum"));
         }
         let payload = &bytes[HEADER_LEN..HEADER_LEN + payload_len];
+        // lint:allow(panic): infallible — `bytes.len() == total` was checked
         let stored_crc = u32::from_le_bytes(bytes[total - 4..].try_into().expect("4-byte slice"));
         if crc32(payload) != stored_crc {
             return Err(SnapshotError::ChecksumMismatch);
@@ -403,6 +407,7 @@ impl Cursor<'_> {
         }
         let (head, rest) = self.bytes.split_at(8);
         self.bytes = rest;
+        // lint:allow(panic): infallible — `split_at(8)` yields 8 bytes
         Ok(u64::from_le_bytes(head.try_into().expect("8-byte slice")))
     }
 

@@ -279,6 +279,8 @@ impl WeightedTreap {
                 stack.push(cur);
                 cur = self.nodes[cur as usize].left;
             }
+            // lint:allow(panic): the outer loop condition (`cur != NIL ||
+            // !stack.is_empty()`) plus the descent loop guarantee a frame
             let idx = stack.pop().unwrap();
             let n = &self.nodes[idx as usize];
             out.push((n.value, n.weight, n.elems));

@@ -6,6 +6,9 @@
 //! cargo run --release --example covid_case_study
 //! ```
 
+// Examples narrate to stdout on purpose.
+#![allow(clippy::print_stdout)]
+
 use moche::data::covid::{CovidDataset, AGE_LABELS};
 use moche::data::HealthAuthority;
 use moche::Moche;

@@ -12,6 +12,9 @@
 //! cargo run --release --example drift_monitor
 //! ```
 
+// Examples narrate to stdout on purpose.
+#![allow(clippy::print_stdout)]
+
 use moche::core::PreferenceList;
 use moche::data::nab::{generate_family, NabFamily};
 use moche::data::sliding::failed_windows;

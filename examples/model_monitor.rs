@@ -9,6 +9,9 @@
 //! cargo run --release --example model_monitor
 //! ```
 
+// Examples narrate to stdout on purpose.
+#![allow(clippy::print_stdout)]
+
 use moche::data::dist::{normal, uniform};
 use moche::data::rng::rng_from_seed;
 use moche::stream::{DriftMonitor, MonitorConfig, MonitorEvent};

@@ -11,6 +11,9 @@
 //! cargo run --release --example multidim_drift
 //! ```
 
+// Examples narrate to stdout on purpose.
+#![allow(clippy::print_stdout)]
+
 use moche::core::PreferenceList;
 use moche::data::dist::normal;
 use moche::data::rng::rng_from_seed;

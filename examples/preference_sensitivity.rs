@@ -12,6 +12,9 @@
 //! cargo run --release --example preference_sensitivity
 //! ```
 
+// Examples narrate to stdout on purpose.
+#![allow(clippy::print_stdout)]
+
 use moche::core::brute_force::{brute_force_explain, BruteForceLimits};
 use moche::{KsConfig, Moche, PreferenceList};
 

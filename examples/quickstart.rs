@@ -4,6 +4,9 @@
 //! cargo run --example quickstart
 //! ```
 
+// Examples narrate to stdout on purpose.
+#![allow(clippy::print_stdout)]
+
 use moche::core::bounds::BoundsContext;
 use moche::core::BaseVector;
 use moche::{KsConfig, Moche, PreferenceList};
